@@ -1,0 +1,204 @@
+//! Per-metric protocol rankings and theory/measurement agreement.
+//!
+//! The paper's validation bar (Section 5.1): *"Our preliminary findings
+//! establish, for each metric, the same hierarchy over protocols (from
+//! 'worst' to 'best') as induced by the theoretical results."* This module
+//! turns score lists into rankings (respecting each metric's orientation)
+//! and scores how well a measured ranking agrees with the theoretical one
+//! (fraction of concordant pairs — Kendall-style, restricted to pairs the
+//! theory actually orders).
+
+use axcc_core::axioms::Metric;
+
+/// A labeled score in one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledScore {
+    /// Protocol label.
+    pub label: String,
+    /// The score in the metric under consideration.
+    pub score: f64,
+}
+
+impl LabeledScore {
+    /// Construct a labeled score.
+    pub fn new(label: impl Into<String>, score: f64) -> Self {
+        LabeledScore {
+            label: label.into(),
+            score,
+        }
+    }
+}
+
+/// Rank labels best→worst for `metric` (stable: ties keep input order).
+/// Infinite scores sort as expected (∞ is best for higher-is-better
+/// metrics, worst for the loss/latency metrics).
+pub fn rank(metric: Metric, items: &[LabeledScore]) -> Vec<String> {
+    let mut idx: Vec<usize> = (0..items.len()).collect();
+    idx.sort_by(|&i, &j| {
+        let (a, b) = (items[i].score, items[j].score);
+        let ord = if metric.higher_is_better() {
+            b.partial_cmp(&a)
+        } else {
+            a.partial_cmp(&b)
+        };
+        ord.unwrap_or(std::cmp::Ordering::Equal)
+    });
+    idx.into_iter().map(|i| items[i].label.clone()).collect()
+}
+
+/// Fraction of protocol pairs that theory orders (scores differing by more
+/// than `theory_eps`) on which the measurement agrees. Measured ties
+/// (within `measured_eps`) count as half agreement. Returns 1.0 when
+/// theory orders no pair (nothing to validate).
+pub fn pairwise_agreement(
+    metric: Metric,
+    theory: &[LabeledScore],
+    measured: &[LabeledScore],
+    theory_eps: f64,
+    measured_eps: f64,
+) -> f64 {
+    assert_eq!(theory.len(), measured.len(), "score lists must align");
+    for (t, m) in theory.iter().zip(measured) {
+        assert_eq!(t.label, m.label, "score lists must align by label");
+    }
+    let better = |a: f64, b: f64| -> f64 {
+        // Positive when a is strictly better than b for this metric.
+        if metric.higher_is_better() {
+            a - b
+        } else {
+            b - a
+        }
+    };
+    let mut ordered_pairs = 0usize;
+    let mut agreement = 0.0f64;
+    for i in 0..theory.len() {
+        for j in (i + 1)..theory.len() {
+            let dt = better(theory[i].score, theory[j].score);
+            // Handle infinities: ∞ vs finite is decisively ordered.
+            let decisive = if dt.is_nan() {
+                false
+            } else {
+                dt.abs() > theory_eps
+            };
+            if !decisive {
+                continue;
+            }
+            ordered_pairs += 1;
+            let dm = better(measured[i].score, measured[j].score);
+            if dm.is_nan() {
+                continue;
+            }
+            if dm.abs() <= measured_eps {
+                agreement += 0.5; // measured tie: half credit
+            } else if (dt > 0.0) == (dm > 0.0) {
+                agreement += 1.0;
+            }
+        }
+    }
+    if ordered_pairs == 0 {
+        1.0
+    } else {
+        agreement / ordered_pairs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ls(pairs: &[(&str, f64)]) -> Vec<LabeledScore> {
+        pairs.iter().map(|(l, s)| LabeledScore::new(*l, *s)).collect()
+    }
+
+    #[test]
+    fn rank_respects_orientation() {
+        let items = ls(&[("reno", 0.5), ("scalable", 0.875), ("cubic", 0.8)]);
+        // Efficiency: higher is better.
+        assert_eq!(
+            rank(Metric::Efficiency, &items),
+            vec!["scalable", "cubic", "reno"]
+        );
+        // Loss bound: lower is better.
+        assert_eq!(
+            rank(Metric::LossAvoidance, &items),
+            vec!["reno", "cubic", "scalable"]
+        );
+    }
+
+    #[test]
+    fn rank_handles_infinity() {
+        let items = ls(&[("reno", 1.0), ("mimd", f64::INFINITY), ("cubic", 0.4)]);
+        assert_eq!(
+            rank(Metric::FastUtilization, &items),
+            vec!["mimd", "reno", "cubic"]
+        );
+    }
+
+    #[test]
+    fn perfect_agreement() {
+        let theory = ls(&[("a", 1.0), ("b", 0.5), ("c", 0.1)]);
+        let measured = ls(&[("a", 0.9), ("b", 0.6), ("c", 0.2)]);
+        assert_eq!(
+            pairwise_agreement(Metric::Efficiency, &theory, &measured, 1e-9, 1e-9),
+            1.0
+        );
+    }
+
+    #[test]
+    fn inverted_measurement_scores_zero() {
+        let theory = ls(&[("a", 1.0), ("b", 0.5)]);
+        let measured = ls(&[("a", 0.2), ("b", 0.6)]);
+        assert_eq!(
+            pairwise_agreement(Metric::Efficiency, &theory, &measured, 1e-9, 1e-9),
+            0.0
+        );
+    }
+
+    #[test]
+    fn measured_tie_gets_half_credit() {
+        let theory = ls(&[("a", 1.0), ("b", 0.5)]);
+        let measured = ls(&[("a", 0.55), ("b", 0.5)]);
+        assert_eq!(
+            pairwise_agreement(Metric::Efficiency, &theory, &measured, 1e-9, 0.1),
+            0.5
+        );
+    }
+
+    #[test]
+    fn theory_ties_are_skipped() {
+        // Theory does not order (a, b); only (a, c) and (b, c) count.
+        let theory = ls(&[("a", 1.0), ("b", 1.0), ("c", 0.1)]);
+        let measured = ls(&[("a", 0.3), ("b", 0.9), ("c", 0.1)]);
+        let s = pairwise_agreement(Metric::Efficiency, &theory, &measured, 1e-9, 1e-9);
+        assert_eq!(s, 1.0);
+    }
+
+    #[test]
+    fn no_ordered_pairs_is_vacuous() {
+        let theory = ls(&[("a", 1.0), ("b", 1.0)]);
+        let measured = ls(&[("a", 0.0), ("b", 5.0)]);
+        assert_eq!(
+            pairwise_agreement(Metric::Fairness, &theory, &measured, 1e-9, 1e-9),
+            1.0
+        );
+    }
+
+    #[test]
+    fn agreement_with_infinite_theory_scores() {
+        // MIMD's ∞ fast-utilization vs finite scores: decisively ordered.
+        let theory = ls(&[("mimd", f64::INFINITY), ("reno", 1.0)]);
+        let measured = ls(&[("mimd", 40.0), ("reno", 1.0)]);
+        assert_eq!(
+            pairwise_agreement(Metric::FastUtilization, &theory, &measured, 1e-9, 1e-9),
+            1.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "align by label")]
+    fn misaligned_labels_panic() {
+        let theory = ls(&[("a", 1.0)]);
+        let measured = ls(&[("b", 1.0)]);
+        pairwise_agreement(Metric::Efficiency, &theory, &measured, 1e-9, 1e-9);
+    }
+}

@@ -1,0 +1,25 @@
+//! One module per paper artifact.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`table1`] | Table 1 — protocol characterization (theory + empirical) |
+//! | [`emulab`] | Section 5.1 — the Emulab validation grid (trend/hierarchy check) |
+//! | [`table2`] | Table 2 — Robust-AIMD vs PCC TCP-friendliness grid |
+//! | [`figure1`] | Figure 1 — Pareto frontier of efficiency × fast-utilization × friendliness |
+//! | [`theorems`] | Section 4 — Claim 1 and Theorems 1–5, checked against simulation |
+//! | [`shootout`] | §5.2's robustness/efficiency shootout (R-AIMD vs classics vs PCC) |
+//! | [`frontier`] | empirical Pareto-frontier search over all implemented families |
+//! | [`aqm`] | §6 in-network queueing: droptail vs ECN vs RED across the metrics |
+//! | [`extensions`] | §6 future-work metrics: smoothness, responsiveness, Metric VIII across classes |
+//! | [`hierarchy`] | shared machinery: per-metric rankings and theory/measurement agreement |
+
+pub mod aqm;
+pub mod emulab;
+pub mod extensions;
+pub mod figure1;
+pub mod frontier;
+pub mod hierarchy;
+pub mod shootout;
+pub mod table1;
+pub mod table2;
+pub mod theorems;

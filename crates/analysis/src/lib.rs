@@ -1,0 +1,30 @@
+//! # axcc-analysis — empirical scoring, Pareto tooling, and the paper's
+//! experiments
+//!
+//! This crate closes the loop between the theory in `axcc-core` and the two
+//! simulators:
+//!
+//! * [`estimators`] — run scenario sweeps and measure a protocol's
+//!   empirical [`AxiomScores`](axcc_core::AxiomScores): solo metrics
+//!   (efficiency, loss, fairness, convergence, fast-utilization, latency),
+//!   friendliness against a reference protocol, and robustness via a sweep
+//!   over non-congestion loss rates. The axioms quantify universally over
+//!   initial configurations; the estimators realize that by taking the
+//!   per-metric worst over a set of adversarial initial window
+//!   configurations.
+//! * [`pareto`] — dominance filtering and frontier extraction over score
+//!   points (paper, Section 5.2).
+//! * [`experiments`] — one module per paper artifact: Table 1 (theory +
+//!   simulated validation + hierarchy check), Table 2 (Robust-AIMD vs PCC
+//!   TCP-friendliness grid), Figure 1 (the efficiency/fast-utilization/
+//!   friendliness Pareto frontier), and the Claim 1 / Theorem 1–5 checks.
+//! * [`report`] — fixed-width text tables for the experiment binaries, and
+//!   JSON serialization for EXPERIMENTS.md data dumps.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod estimators;
+pub mod experiments;
+pub mod pareto;
+pub mod report;

@@ -1,0 +1,172 @@
+//! Pareto dominance and frontier extraction (paper, Section 5.2).
+//!
+//! *"A feasible point is on the Pareto frontier if no other feasible point
+//! is strictly better in terms of one of our metrics without being strictly
+//! worse in terms of another metric."* Protocols are points in the
+//! 8-dimensional metric space ([`AxiomScores`]); this module filters sets
+//! of such points down to their Pareto-maximal subset, in any metric
+//! subspace (Figure 1 uses the 3-dimensional efficiency ×
+//! fast-utilization × TCP-friendliness subspace).
+
+use axcc_core::axioms::Metric;
+use axcc_core::AxiomScores;
+
+/// A labeled point in the metric space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredPoint {
+    /// Display label (protocol name).
+    pub label: String,
+    /// The point's scores.
+    pub scores: AxiomScores,
+}
+
+impl ScoredPoint {
+    /// Construct a labeled point.
+    pub fn new(label: impl Into<String>, scores: AxiomScores) -> Self {
+        ScoredPoint {
+            label: label.into(),
+            scores,
+        }
+    }
+}
+
+/// Indices of the points on the Pareto frontier of `points`, restricted to
+/// the metric subspace `metrics`. A point is kept iff no other point
+/// dominates it there. Duplicate-score points are all kept (none dominates
+/// the other).
+pub fn pareto_front_indices(points: &[ScoredPoint], metrics: &[Metric]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| {
+            !points
+                .iter()
+                .enumerate()
+                .any(|(j, q)| j != i && q.scores.dominates_in(&points[i].scores, metrics))
+        })
+        .collect()
+}
+
+/// The Pareto-maximal subset itself (cloned, original order preserved).
+///
+/// ```
+/// use axcc_analysis::pareto::{pareto_front, ScoredPoint, FIGURE1_METRICS};
+/// use axcc_core::theory::ProtocolSpec;
+/// // Two AIMD frontier points and one strictly-worse interloper.
+/// let pts = vec![
+///     ScoredPoint::new("AIMD(1,0.5)", ProtocolSpec::RENO.scores_worst()),
+///     ScoredPoint::new(
+///         "AIMD(2,0.5)",
+///         ProtocolSpec::Aimd { a: 2.0, b: 0.5 }.scores_worst(),
+///     ),
+///     ScoredPoint::new("worse", {
+///         let mut s = ProtocolSpec::RENO.scores_worst();
+///         s.tcp_friendliness -= 0.5; // same speed, less friendly
+///         s
+///     }),
+/// ];
+/// let front = pareto_front(&pts, &FIGURE1_METRICS);
+/// let names: Vec<&str> = front.iter().map(|p| p.label.as_str()).collect();
+/// assert_eq!(names, ["AIMD(1,0.5)", "AIMD(2,0.5)"]);
+/// ```
+pub fn pareto_front(points: &[ScoredPoint], metrics: &[Metric]) -> Vec<ScoredPoint> {
+    pareto_front_indices(points, metrics)
+        .into_iter()
+        .map(|i| points[i].clone())
+        .collect()
+}
+
+/// Whether `candidate` would join the frontier of `points` in `metrics`
+/// (i.e. is not dominated by any existing point).
+pub fn joins_frontier(candidate: &AxiomScores, points: &[ScoredPoint], metrics: &[Metric]) -> bool {
+    !points
+        .iter()
+        .any(|p| p.scores.dominates_in(candidate, metrics))
+}
+
+/// The Figure 1 subspace: fast-utilization × efficiency × TCP-friendliness.
+pub const FIGURE1_METRICS: [Metric; 3] = [
+    Metric::FastUtilization,
+    Metric::Efficiency,
+    Metric::TcpFriendliness,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(label: &str, eff: f64, fast: f64, friendly: f64) -> ScoredPoint {
+        let mut s = AxiomScores::worst();
+        s.efficiency = eff;
+        s.fast_utilization = fast;
+        s.tcp_friendliness = friendly;
+        ScoredPoint::new(label, s)
+    }
+
+    #[test]
+    fn dominated_points_filtered() {
+        let pts = vec![
+            point("good", 0.8, 1.0, 1.0),
+            point("worse", 0.7, 0.9, 0.9), // dominated by "good"
+            point("tradeoff", 0.9, 0.5, 1.2),
+        ];
+        let front = pareto_front(&pts, &FIGURE1_METRICS);
+        let labels: Vec<&str> = front.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels, vec!["good", "tradeoff"]);
+    }
+
+    #[test]
+    fn theorem2_family_is_mutually_nondominated() {
+        // AIMD(α, β) frontier points (α, β, 3(1−β)/(α(1+β))): none
+        // dominates another — exactly the paper's Figure 1 claim.
+        let mut pts = Vec::new();
+        for &(a, b) in &[(0.5, 0.5), (1.0, 0.5), (2.0, 0.5), (1.0, 0.8), (1.0, 0.9)] {
+            let friendly = 3.0 * (1.0 - b) / (a * (1.0 + b));
+            pts.push(point(&format!("AIMD({a},{b})"), b, a, friendly));
+        }
+        let front = pareto_front(&pts, &FIGURE1_METRICS);
+        assert_eq!(front.len(), pts.len());
+    }
+
+    #[test]
+    fn interior_point_does_not_join() {
+        let pts = vec![point("frontier", 0.8, 1.0, 0.4)];
+        let mut interior = AxiomScores::worst();
+        interior.efficiency = 0.7;
+        interior.fast_utilization = 0.9;
+        interior.tcp_friendliness = 0.3;
+        assert!(!joins_frontier(&interior, &pts, &FIGURE1_METRICS));
+        // But a tradeoff point does.
+        interior.tcp_friendliness = 0.6;
+        assert!(joins_frontier(&interior, &pts, &FIGURE1_METRICS));
+    }
+
+    #[test]
+    fn duplicates_are_all_kept() {
+        let pts = vec![point("a", 0.5, 1.0, 1.0), point("b", 0.5, 1.0, 1.0)];
+        assert_eq!(pareto_front_indices(&pts, &FIGURE1_METRICS), vec![0, 1]);
+    }
+
+    #[test]
+    fn full_space_dominance_uses_all_metrics() {
+        let mut a = AxiomScores::worst();
+        a.efficiency = 0.9;
+        let mut b = AxiomScores::worst();
+        b.efficiency = 0.8;
+        b.robustness = 0.01; // b wins on robustness
+        let pts = vec![ScoredPoint::new("a", a), ScoredPoint::new("b", b)];
+        // In the efficiency-only subspace, b is dominated…
+        assert_eq!(
+            pareto_front_indices(&pts, &[Metric::Efficiency]),
+            vec![0]
+        );
+        // …but over all 8 metrics both survive.
+        assert_eq!(
+            pareto_front_indices(&pts, &Metric::ALL),
+            vec![0, 1]
+        );
+    }
+
+    #[test]
+    fn empty_input_empty_front() {
+        assert!(pareto_front(&[], &FIGURE1_METRICS).is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! Criterion bench for the Figure 1 regeneration path: the analytic
+//! surface (pure closed forms + dominance check) and one validated grid
+//! point (two fluid simulations).
+
+use axcc_analysis::experiments::figure1::{
+    frontier_surface, validated_surface, DEFAULT_ALPHAS, DEFAULT_BETAS,
+};
+use axcc_core::LinkParams;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_surface(c: &mut Criterion) {
+    c.bench_function("figure1/analytic_surface_25pts", |b| {
+        b.iter(|| {
+            let fig = frontier_surface(black_box(&DEFAULT_ALPHAS), black_box(&DEFAULT_BETAS));
+            black_box(fig.dominated_count())
+        })
+    });
+}
+
+fn bench_validated_point(c: &mut Criterion) {
+    let link = LinkParams::new(1000.0, 0.05, 20.0);
+    let mut group = c.benchmark_group("figure1/validated_point");
+    group.sample_size(10);
+    group.bench_function("aimd_1_05_800steps", |b| {
+        b.iter(|| black_box(validated_surface(&[1.0], &[0.5], link, 800)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_surface, bench_validated_point);
+criterion_main!(benches);

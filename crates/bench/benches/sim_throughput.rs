@@ -1,0 +1,93 @@
+//! Simulator throughput benches: raw engine speed for both substrates.
+//!
+//! * fluid model: steps/second for 1, 4 and 16 Reno senders;
+//! * packet level: simulated seconds/second on a paper-grade link.
+//!
+//! These catch performance regressions in the inner loops (event heap,
+//! queue, protocol dispatch) that the experiment-path benches would blur.
+
+use axcc_core::units::Bandwidth;
+use axcc_core::LinkParams;
+use axcc_packetsim::PacketScenario;
+use axcc_protocols::Aimd;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_fluid_engine(c: &mut Criterion) {
+    let link = LinkParams::new(1000.0, 0.05, 20.0);
+    let mut group = c.benchmark_group("engine/fluid");
+    for n in [1usize, 4, 16] {
+        group.throughput(Throughput::Elements(2000));
+        group.bench_function(format!("reno_x{n}_2000steps"), |b| {
+            b.iter(|| {
+                let trace = axcc_fluidsim::Scenario::new(link)
+                    .homogeneous(&Aimd::reno(), n, 1.0)
+                    .steps(2000)
+                    .run();
+                black_box(trace.total_window.last().copied())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_packet_engine(c: &mut Criterion) {
+    let link = LinkParams::from_experiment(Bandwidth::Mbps(20.0), 42.0, 100.0);
+    let mut group = c.benchmark_group("engine/packet");
+    group.sample_size(10);
+    group.bench_function("reno_x2_10s_20mbps", |b| {
+        b.iter(|| {
+            let out = PacketScenario::new(link)
+                .homogeneous(&Aimd::reno(), 2)
+                .duration_secs(10.0)
+                .run();
+            black_box(out.flows[0].acked)
+        })
+    });
+    group.finish();
+}
+
+fn bench_network_engine(c: &mut Criterion) {
+    use axcc_fluidsim::{FlowConfig, NetScenario, Topology};
+    let hop = LinkParams::new(1000.0, 0.05, 20.0);
+    let mut group = c.benchmark_group("engine/network");
+    group.bench_function("parking_lot_3hops_2000steps", |b| {
+        b.iter(|| {
+            let mut sc = NetScenario::new(Topology::parking_lot(3, hop)).steps(2000);
+            sc = sc.flow(FlowConfig::new(Box::new(Aimd::reno()), vec![0, 1, 2]));
+            for l in 0..3 {
+                sc = sc.flow(FlowConfig::new(Box::new(Aimd::reno()), vec![l]));
+            }
+            let net = sc.run();
+            black_box(net.flow_goodput(0, net.tail_start(0.5)))
+        })
+    });
+    group.finish();
+}
+
+fn bench_paced_engine(c: &mut Criterion) {
+    use axcc_packetsim::PacketSenderConfig;
+    use axcc_protocols::Pcc;
+    let link = LinkParams::from_experiment(Bandwidth::Mbps(20.0), 42.0, 100.0);
+    let mut group = c.benchmark_group("engine/paced");
+    group.sample_size(10);
+    group.bench_function("pcc_paced_10s_20mbps", |b| {
+        b.iter(|| {
+            let out = PacketScenario::new(link)
+                .sender(PacketSenderConfig::new(Box::new(Pcc::new())).paced())
+                .duration_secs(10.0)
+                .run();
+            black_box(out.flows[0].acked)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fluid_engine,
+    bench_packet_engine,
+    bench_network_engine,
+    bench_paced_engine
+);
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! 1. **Robust-AIMD's ε knob** — sweep the loss tolerance and measure the
+//!    robustness↔friendliness tradeoff (Theorem 3 made empirical: every
+//!    notch of robustness is paid for in TCP-friendliness).
+//! 2. **PCC's controller constants** — sweep the base step δ₀ and the
+//!    rate-change amplifier and measure friendliness and convergence;
+//!    shows the aggressiveness envelope is a controller property, not an
+//!    accident of the default constants.
+//! 3. **Theorem 2 tightness across the AIMD grid** — measured friendliness
+//!    vs the bound 3(1−b)/(a(1+b)): the relative error column should stay
+//!    in single-digit percent (the paper calls the bound tight).
+//!
+//! Flags: `--json`.
+
+use axcc_analysis::estimators::{
+    measure_friendliness_fluid, measure_robustness_fluid, measure_solo_fluid, SweepConfig,
+    ROBUSTNESS_RATES,
+};
+use axcc_analysis::report::{fmt_score, TextTable};
+use axcc_bench::has_flag;
+use axcc_core::theory::theorems::theorem2_friendliness_upper_bound;
+use axcc_core::units::Bandwidth;
+use axcc_core::Protocol as _;
+use axcc_core::LinkParams;
+use axcc_protocols::{Aimd, Pcc, RobustAimd};
+
+const STEPS: usize = 3000;
+
+fn link() -> LinkParams {
+    LinkParams::from_experiment(Bandwidth::Mbps(20.0), 42.0, 100.0)
+}
+
+fn main() {
+    let reno = Aimd::reno();
+    let mut json = serde_json::Map::new();
+
+    // --- 1. Robust-AIMD ε sweep -------------------------------------------
+    println!("Ablation 1 — Robust-AIMD(1, 0.8, ε): robustness is paid in friendliness\n");
+    let mut t = TextTable::new(["eps", "measured robustness", "friendliness to Reno"]);
+    let mut sweep = Vec::new();
+    for eps in [0.002, 0.005, 0.01, 0.02, 0.05] {
+        let p = RobustAimd::new(1.0, 0.8, eps);
+        let rob = measure_robustness_fluid(&p, &ROBUSTNESS_RATES, STEPS);
+        let fr = measure_friendliness_fluid(&p, &reno, link(), 1, 1, STEPS, &[(1.0, 1.0)]);
+        t.row([format!("{eps}"), fmt_score(rob), fmt_score(fr)]);
+        sweep.push(serde_json::json!({"eps": eps, "robustness": rob, "friendliness": fr}));
+    }
+    println!("{}", t.render());
+    json.insert("robust_aimd_eps_sweep".into(), sweep.into());
+
+    // --- 2. PCC controller constants ---------------------------------------
+    println!("\nAblation 2 — PCC controller: step size / amplification vs friendliness\n");
+    let mut t = TextTable::new(["base step", "amplifier", "friendliness to Reno", "convergence"]);
+    let mut sweep = Vec::new();
+    for (step, amp) in [
+        (0.005, 0.5),
+        (0.01, 0.0),
+        (0.01, 0.5),
+        (0.02, 0.5),
+        (0.05, 1.0),
+    ] {
+        let p = Pcc::with_params(step, amp, (step * 8.0).min(0.5), 100.0);
+        let fr = measure_friendliness_fluid(&p, &reno, link(), 1, 1, STEPS, &[(1.0, 1.0)]);
+        let solo = measure_solo_fluid(&p, &SweepConfig::standard(link(), 2, STEPS));
+        t.row([
+            format!("{step}"),
+            format!("{amp}"),
+            fmt_score(fr),
+            fmt_score(solo.convergence),
+        ]);
+        sweep.push(serde_json::json!({
+            "base_step": step, "amplifier": amp,
+            "friendliness": fr, "convergence": solo.convergence
+        }));
+    }
+    println!("{}", t.render());
+    json.insert("pcc_controller_sweep".into(), sweep.into());
+
+    // --- 3. Theorem 2 tightness --------------------------------------------
+    println!("\nAblation 3 — Theorem 2 tightness on the AIMD(a,b) grid\n");
+    let mut t = TextTable::new(["protocol", "bound", "measured", "relative error"]);
+    let mut sweep = Vec::new();
+    for (a, b) in [
+        (0.5, 0.5),
+        (1.0, 0.5),
+        (2.0, 0.5),
+        (4.0, 0.5),
+        (1.0, 0.7),
+        (1.0, 0.9),
+        (2.0, 0.8),
+    ] {
+        let p = Aimd::new(a, b);
+        let bound = theorem2_friendliness_upper_bound(a, b);
+        let measured = measure_friendliness_fluid(&p, &reno, link(), 1, 1, STEPS, &[(1.0, 1.0)]);
+        let err = (measured - bound).abs() / bound;
+        t.row([
+            p.name(),
+            fmt_score(bound),
+            fmt_score(measured),
+            format!("{:.1}%", err * 100.0),
+        ]);
+        sweep.push(serde_json::json!({
+            "a": a, "b": b, "bound": bound, "measured": measured, "rel_error": err
+        }));
+    }
+    println!("{}", t.render());
+    json.insert("theorem2_tightness".into(), sweep.into());
+
+    // --- 4. Synchronized vs per-packet feedback ----------------------------
+    println!("\nAblation 4 — feedback synchronization (the §6 model extension):");
+    println!("fairness of two same-protocol senders from a 4:1 start\n");
+    let mut t = TextTable::new(["protocol", "synchronized", "per-packet"]);
+    let mut sweep = Vec::new();
+    for name in ["reno", "scalable", "cubic"] {
+        let fairness = |mode: axcc_fluidsim::FeedbackMode| {
+            let proto = axcc_protocols::registry::resolve(name).expect("known protocol");
+            let trace = axcc_fluidsim::Scenario::new(link())
+                .sender(
+                    axcc_fluidsim::SenderConfig::new(proto.clone_box()).initial_window(120.0),
+                )
+                .sender(axcc_fluidsim::SenderConfig::new(proto).initial_window(30.0))
+                .feedback(mode)
+                .seed(5)
+                .steps(STEPS)
+                .run();
+            let tail = trace.tail_start(0.5);
+            axcc_core::axioms::fairness::measured_fairness(&trace, tail)
+        };
+        let sync = fairness(axcc_fluidsim::FeedbackMode::Synchronized);
+        let unsync = fairness(axcc_fluidsim::FeedbackMode::PerPacket);
+        t.row([name.to_string(), fmt_score(sync), fmt_score(unsync)]);
+        sweep.push(serde_json::json!({"protocol": name, "sync": sync, "per_packet": unsync}));
+    }
+    println!("{}", t.render());
+    println!("MIMD's worst-case 0-fairness needs the model's synchronized losses;");
+    println!("per-packet feedback (losses fall where the packets are) restores convergence.\n");
+    json.insert("feedback_mode_sweep".into(), sweep.into());
+
+    if has_flag("--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde_json::Value::Object(json)).expect("serialize")
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! Check **Claim 1 and Theorems 1–5** (Section 4) against simulation.
+//!
+//! Each theorem's hypotheses are instantiated with concrete protocols in
+//! the fluid model and the conclusion is verified on measured scores (see
+//! `axcc_analysis::experiments::theorems` for what each check asserts).
+//! Exits non-zero if any check fails, so the target doubles as a CI gate.
+//!
+//! Flags: `--json`.
+
+use axcc_analysis::experiments::theorems::{check_all, render_checks};
+use axcc_bench::{budget, has_flag};
+
+fn main() {
+    let checks = check_all(budget::THEOREM_STEPS);
+    println!("{}", render_checks(&checks));
+    if has_flag("--json") {
+        println!("{}", serde_json::to_string_pretty(&checks).expect("serialize"));
+    }
+    if checks.iter().any(|c| !c.passed) {
+        std::process::exit(1);
+    }
+}

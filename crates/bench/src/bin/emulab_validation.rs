@@ -1,0 +1,27 @@
+//! Rerun the paper's **Section 5.1 Emulab validation** on the packet-level
+//! simulator: Reno / Cubic / Scalable, 2–4 staggered connections,
+//! 20/30/60/100 Mbps, 10/100-MSS buffers, 42 ms RTT — then compare, per
+//! metric, the measured protocol hierarchy with the hierarchy Table 1's
+//! theory induces (the paper's own success criterion).
+//!
+//! Flags:
+//! * `--quick` — a single-cell smoke grid instead of the full 24-cell one;
+//! * `--json` — dump all cells + hierarchy agreements as JSON.
+
+use axcc_analysis::experiments::emulab::{run_emulab_validation, EmulabConfig};
+use axcc_bench::has_flag;
+
+fn main() {
+    let cfg = if has_flag("--quick") {
+        EmulabConfig::quick()
+    } else {
+        EmulabConfig::paper()
+    };
+    eprintln!("running {} packet-level simulations…", cfg.total_runs());
+    let v = run_emulab_validation(&cfg);
+    println!("{}", v.render());
+    println!("mean hierarchy agreement: {:.3}", v.mean_agreement());
+    if has_flag("--json") {
+        println!("{}", serde_json::to_string_pretty(&v).expect("serialize"));
+    }
+}

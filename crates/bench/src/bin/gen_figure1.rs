@@ -1,0 +1,35 @@
+//! Regenerate **Figure 1** (the Pareto frontier of fast-utilization α,
+//! efficiency β, and TCP-friendliness `3(1−β)/(α(1+β))`).
+//!
+//! Prints the frontier surface over the default (α, β) grid and verifies
+//! it is dominance-free. With `--validate`, each grid point's AIMD(α, β)
+//! is additionally simulated (solo and against Reno) to confirm the
+//! analytic surface is *feasible* — the paper's central claim about the
+//! frontier.
+//!
+//! Flags: `--validate`, `--json`.
+
+use axcc_analysis::experiments::figure1::{
+    frontier_surface, validated_surface, DEFAULT_ALPHAS, DEFAULT_BETAS,
+};
+use axcc_bench::{budget, has_flag};
+use axcc_core::units::Bandwidth;
+use axcc_core::LinkParams;
+
+fn main() {
+    let fig = if has_flag("--validate") {
+        let link = LinkParams::from_experiment(Bandwidth::Mbps(20.0), 42.0, 100.0);
+        eprintln!(
+            "validating {} grid points ({} steps each)…",
+            DEFAULT_ALPHAS.len() * DEFAULT_BETAS.len(),
+            budget::FIGURE1_STEPS
+        );
+        validated_surface(&DEFAULT_ALPHAS, &DEFAULT_BETAS, link, budget::FIGURE1_STEPS)
+    } else {
+        frontier_surface(&DEFAULT_ALPHAS, &DEFAULT_BETAS)
+    };
+    println!("{}", fig.render());
+    if has_flag("--json") {
+        println!("{}", serde_json::to_string_pretty(&fig).expect("serialize"));
+    }
+}

@@ -1,0 +1,21 @@
+//! Regenerate the **empirical frontier search**: score a candidate pool
+//! spanning every implemented family and extract the Pareto-maximal
+//! subsets in the Figure 1 subspace, the +robustness subspace, and the
+//! full eight-metric space — the paper's "where architectures fit" claim,
+//! by measurement.
+//!
+//! Flags: `--json`.
+
+use axcc_analysis::experiments::frontier::search_frontier;
+use axcc_bench::{budget, has_flag};
+use axcc_core::LinkParams;
+
+fn main() {
+    let link = LinkParams::new(1000.0, 0.05, 20.0);
+    eprintln!("scoring the candidate pool ({} steps per run)…", budget::THEOREM_STEPS);
+    let f = search_frontier(link, budget::THEOREM_STEPS);
+    println!("{}", f.render());
+    if has_flag("--json") {
+        println!("{}", serde_json::to_string_pretty(&f).expect("serialize"));
+    }
+}

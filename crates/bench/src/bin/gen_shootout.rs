@@ -1,0 +1,36 @@
+//! Regenerate the **§5.2 robustness shootout** and the **§6 extension
+//! report** — the paper's prose results that have no table number:
+//!
+//! * *"Robust-AIMD(1,0.8) outperformed the evaluated AIMD and MIMD
+//!   protocols (specifically, Reno, Cubic, Scalable) in terms of
+//!   robustness and efficiency, and was outperformed by PCC"*;
+//! * the future-work metrics (smoothness, responsiveness, latency across
+//!   protocol classes), including the BBR and TFRC extensions;
+//! * the in-network-queueing comparison (droptail vs ECN vs RED).
+//!
+//! Flags: `--json`.
+
+use axcc_analysis::experiments::{aqm, extensions, shootout};
+use axcc_bench::{budget, has_flag};
+
+fn main() {
+    let s = shootout::run_shootout(budget::THEOREM_STEPS);
+    println!("{}", s.render());
+    let e = extensions::run_extension_report(budget::THEOREM_STEPS);
+    println!("{}", e.render());
+    let q = aqm::run_aqm_comparison(2, 40.0);
+    println!("{}", q.render());
+    if has_flag("--json") {
+        println!(
+            "{}",
+            serde_json::json!({
+                "shootout": s,
+                "extensions": e,
+                "aqm": q,
+            })
+        );
+    }
+    if !s.ordering_holds() {
+        std::process::exit(1);
+    }
+}

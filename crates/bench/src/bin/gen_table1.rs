@@ -1,0 +1,32 @@
+//! Regenerate **Table 1** (protocol characterization).
+//!
+//! By default prints the theoretical table (worst-case + parameterized) at
+//! the paper's reference link (100 Mbps, 42 ms RTT, 100 MSS ⇒ C = 350 MSS).
+//!
+//! Flags:
+//! * `--simulate` — also measure each protocol's empirical 8-tuple in the
+//!   fluid simulator and print it as a third section;
+//! * `--json` — dump the table as JSON to stdout after the text rendering.
+
+use axcc_analysis::experiments::table1::{empirical_table1, theoretical_table1};
+use axcc_bench::{budget, has_flag};
+use axcc_core::units::Bandwidth;
+use axcc_core::LinkParams;
+
+fn main() {
+    let link = LinkParams::from_experiment(Bandwidth::Mbps(100.0), 42.0, 100.0);
+    let n = 2;
+    let table = if has_flag("--simulate") {
+        eprintln!(
+            "simulating {} protocols x sweep configs ({} steps each)…",
+            5, budget::TABLE1_STEPS
+        );
+        empirical_table1(link, n, budget::TABLE1_STEPS)
+    } else {
+        theoretical_table1(link.capacity(), link.buffer, n)
+    };
+    println!("{}", table.render());
+    if has_flag("--json") {
+        println!("{}", serde_json::to_string_pretty(&table).expect("serialize"));
+    }
+}

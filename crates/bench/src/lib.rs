@@ -1,0 +1,61 @@
+//! # axcc-bench — experiment binaries and Criterion benches
+//!
+//! One regeneration target per paper artifact (see DESIGN.md §4):
+//!
+//! | Target | Artifact | Invocation |
+//! |---|---|---|
+//! | `gen-table1` | Table 1 | `cargo run -p axcc-bench --bin gen-table1 [-- --simulate]` |
+//! | `emulab-validation` | §5.1 validation grid | `cargo run --release -p axcc-bench --bin emulab-validation [-- --quick]` |
+//! | `gen-table2` | Table 2 | `cargo run --release -p axcc-bench --bin gen-table2 [-- --packet]` |
+//! | `gen-figure1` | Figure 1 | `cargo run -p axcc-bench --bin gen-figure1 [-- --validate]` |
+//! | `check-theorems` | Claim 1, Theorems 1–5 | `cargo run -p axcc-bench --bin check-theorems` |
+//!
+//! Every binary accepts `--json` to additionally dump machine-readable
+//! results (used to populate EXPERIMENTS.md).
+//!
+//! The Criterion benches (`cargo bench -p axcc-bench`) time the same
+//! regeneration paths — one bench per table/figure plus a simulator
+//! throughput bench — so performance regressions in the engines or the
+//! harness show up in CI.
+
+/// Shared run lengths so the binaries and benches exercise identical
+/// workloads.
+pub mod budget {
+    /// Fluid-model steps for Table 1 empirical scoring.
+    pub const TABLE1_STEPS: usize = 4000;
+    /// Fluid-model steps per Table 2 cell.
+    pub const TABLE2_STEPS: usize = 4000;
+    /// Packet-level seconds per Table 2 cell.
+    pub const TABLE2_PACKET_SECS: f64 = 60.0;
+    /// Fluid-model steps per Figure 1 grid point.
+    pub const FIGURE1_STEPS: usize = 3000;
+    /// Fluid-model steps per theorem check.
+    pub const THEOREM_STEPS: usize = 3000;
+}
+
+/// Minimal CLI-flag helper (the binaries take only boolean flags, so a
+/// dependency-free scan is enough).
+pub fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+// Compile-time budget sanity: the binaries must never ship with budgets
+// too small to converge (the axioms' tails need post-transient data).
+const _: () = {
+    use budget::*;
+    assert!(TABLE1_STEPS >= 1000);
+    assert!(TABLE2_STEPS >= 1000);
+    assert!(FIGURE1_STEPS >= 1000);
+    assert!(THEOREM_STEPS >= 1000);
+};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn packet_budget_is_sane() {
+        // Kept as a runtime test deliberately (f64 const assertions read
+        // poorly); silence the constant-value lint via a binding.
+        let secs = super::budget::TABLE2_PACKET_SECS;
+        assert!(secs >= 10.0);
+    }
+}

@@ -1,0 +1,245 @@
+//! A small, dependency-free argument parser for the `axcc` CLI.
+//!
+//! Grammar: `axcc <command> [--flag value]... [--switch]...`. Flags may be
+//! given as `--name value` or `--name=value`. Unknown flags are errors (a
+//! typo'd `--buffr` silently ignored would corrupt an experiment).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed command line: the subcommand and its flags.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    flags: BTreeMap<String, String>,
+    /// Flags the handler has read (for unknown-flag detection).
+    consumed: std::cell::RefCell<Vec<String>>,
+}
+
+/// Argument errors, designed to be printed to the user directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand was given.
+    MissingCommand,
+    /// A `--flag` had no value.
+    MissingValue(String),
+    /// A value failed to parse.
+    BadValue {
+        /// Flag name.
+        flag: String,
+        /// Offending value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// Positional argument where a flag was expected.
+    UnexpectedPositional(String),
+    /// Flags the command does not understand.
+    UnknownFlags(Vec<String>),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "missing command; try `axcc help`"),
+            ArgError::MissingValue(n) => write!(f, "flag --{n} needs a value"),
+            ArgError::BadValue { flag, value, expected } => {
+                write!(f, "--{flag}={value:?}: expected {expected}")
+            }
+            ArgError::UnexpectedPositional(p) => {
+                write!(f, "unexpected positional argument {p:?}")
+            }
+            ArgError::UnknownFlags(fs) => write!(f, "unknown flags: {}", fs.join(", ")),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parse a raw argument list (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, ArgError> {
+        let mut it = raw.into_iter().peekable();
+        let command = it.next().ok_or(ArgError::MissingCommand)?;
+        if command.starts_with('-') {
+            return Err(ArgError::MissingCommand);
+        }
+        let mut flags = BTreeMap::new();
+        while let Some(tok) = it.next() {
+            let Some(name) = tok.strip_prefix("--") else {
+                return Err(ArgError::UnexpectedPositional(tok));
+            };
+            if let Some((k, v)) = name.split_once('=') {
+                flags.insert(k.to_string(), v.to_string());
+            } else if it.peek().is_some_and(|n| !n.starts_with("--")) {
+                flags.insert(name.to_string(), it.next().expect("peeked"));
+            } else {
+                // Boolean switch.
+                flags.insert(name.to_string(), "true".to_string());
+            }
+        }
+        Ok(Args {
+            command,
+            flags,
+            consumed: std::cell::RefCell::new(Vec::new()),
+        })
+    }
+
+    fn mark(&self, name: &str) {
+        self.consumed.borrow_mut().push(name.to_string());
+    }
+
+    /// A string flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.mark(name);
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// A string flag with a default.
+    pub fn get_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
+        self.get(name).unwrap_or(default)
+    }
+
+    /// A float flag with a default.
+    pub fn get_f64(&self, name: &str, default: f64) -> Result<f64, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                flag: name.to_string(),
+                value: v.to_string(),
+                expected: "a number",
+            }),
+        }
+    }
+
+    /// An integer flag with a default.
+    pub fn get_usize(&self, name: &str, default: usize) -> Result<usize, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                flag: name.to_string(),
+                value: v.to_string(),
+                expected: "an integer",
+            }),
+        }
+    }
+
+    /// A boolean switch.
+    pub fn get_bool(&self, name: &str) -> bool {
+        self.get(name).is_some_and(|v| v != "false")
+    }
+
+    /// A comma-separated list flag.
+    pub fn get_list(&self, name: &str) -> Vec<String> {
+        self.get(name)
+            .map(|v| {
+                v.split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// After a handler has read all its flags: error out on leftovers.
+    pub fn finish(&self) -> Result<(), ArgError> {
+        let consumed = self.consumed.borrow();
+        let unknown: Vec<String> = self
+            .flags
+            .keys()
+            .filter(|k| !consumed.contains(k))
+            .cloned()
+            .collect();
+        if unknown.is_empty() {
+            Ok(())
+        } else {
+            Err(ArgError::UnknownFlags(unknown))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, ArgError> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = parse("run --protocols reno,cubic --steps 500 --packet").unwrap();
+        assert_eq!(a.command, "run");
+        assert_eq!(a.get_list("protocols"), vec!["reno", "cubic"]);
+        assert_eq!(a.get_usize("steps", 0).unwrap(), 500);
+        assert!(a.get_bool("packet"));
+        assert!(!a.get_bool("json"));
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn equals_syntax() {
+        let a = parse("score --protocol=pcc --bw-mbps=20").unwrap();
+        assert_eq!(a.get("protocol"), Some("pcc"));
+        assert_eq!(a.get_f64("bw-mbps", 0.0).unwrap(), 20.0);
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn missing_command() {
+        assert_eq!(parse(""), Err(ArgError::MissingCommand));
+        assert_eq!(parse("--help"), Err(ArgError::MissingCommand));
+    }
+
+    #[test]
+    fn bad_value_reported() {
+        let a = parse("run --steps abc").unwrap();
+        assert!(matches!(
+            a.get_usize("steps", 0),
+            Err(ArgError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_flags_rejected() {
+        let a = parse("run --steps 5 --buffr 10").unwrap();
+        let _ = a.get_usize("steps", 0);
+        let err = a.finish().unwrap_err();
+        assert_eq!(err, ArgError::UnknownFlags(vec!["buffr".to_string()]));
+    }
+
+    #[test]
+    fn positional_after_command_rejected() {
+        assert!(matches!(
+            parse("run reno"),
+            Err(ArgError::UnexpectedPositional(_))
+        ));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("score").unwrap();
+        assert_eq!(a.get_or("protocol", "reno"), "reno");
+        assert_eq!(a.get_f64("rtt-ms", 42.0).unwrap(), 42.0);
+    }
+
+    #[test]
+    fn switch_before_flag() {
+        let a = parse("run --json --steps 7").unwrap();
+        assert!(a.get_bool("json"));
+        assert_eq!(a.get_usize("steps", 0).unwrap(), 7);
+    }
+
+    #[test]
+    fn error_messages_are_actionable() {
+        let msg = ArgError::BadValue {
+            flag: "steps".into(),
+            value: "x".into(),
+            expected: "an integer",
+        }
+        .to_string();
+        assert!(msg.contains("--steps"));
+        assert!(msg.contains("an integer"));
+    }
+}

@@ -1,0 +1,12 @@
+//! `axcc` — the command-line entry point. All logic lives in
+//! [`axcc_cli`]; this shim only wires argv/stdout/exit-code together.
+
+fn main() {
+    let (code, output) = axcc_cli::run(std::env::args().skip(1));
+    if code == 0 {
+        println!("{output}");
+    } else {
+        eprintln!("{output}");
+    }
+    std::process::exit(code);
+}

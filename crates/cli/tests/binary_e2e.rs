@@ -1,0 +1,83 @@
+//! End-to-end tests of the real `axcc` binary (spawned as a process):
+//! exit codes, stdout/stderr separation, JSON validity — the contract a
+//! shell script or CI pipeline relies on.
+
+use std::process::Command;
+
+fn axcc(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_axcc"))
+        .args(args)
+        .output()
+        .expect("spawn axcc");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_exits_zero_on_stdout() {
+    let (code, stdout, stderr) = axcc(&["help"]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("axcc run"));
+    assert!(stderr.is_empty(), "stderr: {stderr}");
+}
+
+#[test]
+fn usage_errors_exit_two_on_stderr() {
+    let (code, stdout, stderr) = axcc(&["run"]); // missing --protocols
+    assert_eq!(code, 2);
+    assert!(stdout.is_empty(), "stdout: {stdout}");
+    assert!(stderr.contains("--protocols"), "stderr: {stderr}");
+}
+
+#[test]
+fn unknown_command_exits_two() {
+    let (code, _, stderr) = axcc(&["bogus"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn quick_run_succeeds() {
+    let (code, stdout, _) = axcc(&["run", "--protocols", "reno", "--steps", "300"]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("AIMD(1,0.5)"));
+    assert!(stdout.contains("efficiency"));
+}
+
+#[test]
+fn json_output_is_machine_readable() {
+    let (code, stdout, _) = axcc(&[
+        "score",
+        "--protocol",
+        "reno",
+        "--steps",
+        "300",
+        "--json",
+    ]);
+    assert_eq!(code, 0);
+    let start = stdout.find('{').expect("json object in output");
+    let v: serde_json::Value =
+        serde_json::from_str(stdout[start..].lines().next().unwrap()).expect("valid json");
+    assert!(v["efficiency"].as_f64().is_some());
+    assert!(v["tcp_friendliness"].as_f64().is_some());
+}
+
+#[test]
+fn theorems_gate_exits_zero_when_all_pass() {
+    let (code, stdout, _) = axcc(&["theorems", "--steps", "1500"]);
+    assert_eq!(code, 0, "{stdout}");
+    assert_eq!(stdout.matches("[PASS]").count(), 6, "{stdout}");
+    assert_eq!(stdout.matches("[FAIL]").count(), 0, "{stdout}");
+}
+
+#[test]
+fn feasible_is_scriptable() {
+    let (code, stdout, _) = axcc(&[
+        "feasible", "--fast", "3", "--eff", "0.95", "--friendly", "1",
+    ]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("Theorem 2"), "{stdout}");
+}

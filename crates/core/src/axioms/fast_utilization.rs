@@ -1,0 +1,272 @@
+//! **Metric II: fast-utilization.**
+//!
+//! Paper, Section 3: *"A congestion-control protocol P is α-fast-utilizing
+//! if there exists T > 0 such that if a P-sender i's window size is
+//! `x_i^(t1)` at time step `t1` and by time step `t1 + Δt`, for any
+//! `Δt ≥ T`, does not experience loss, nor increased RTT (if not
+//! loss-based), then `Σ_{t=t1}^{t1+Δt} (x_i^(t) − x_i^(t1)) ≥ αΔt²/2`."*
+//!
+//! Intuitively: during any long-enough loss-free stretch, the protocol must
+//! gain window at least as fast as an additive-increase-by-α protocol, whose
+//! cumulative gain after `Δt` steps is `α·Δt(Δt+1)/2 ≥ αΔt²/2`.
+//!
+//! The empirical evaluator scans a sender's trace for *eligible segments* —
+//! maximal stretches with zero loss (and, for non-loss-based protocols,
+//! non-increasing RTT) — and for each ascent start computes the worst
+//! normalized cumulative gain `2·Σ(x(t)−x(t1)) / Δt²` over all horizons
+//! `Δt ≥ min_horizon`. The measured score is the minimum over segments:
+//! the largest α the trace is consistent with.
+
+use crate::trace::SenderTrace;
+
+/// Minimum horizon `T` (in RTT steps) used by the empirical evaluator. The
+/// axiom allows any finite `T`; we require the gain condition only for
+/// stretches at least this long, which filters out quantization noise at
+/// the start of an ascent.
+pub const DEFAULT_MIN_HORIZON: usize = 8;
+
+/// An eligible (loss-free, RTT-non-increasing where required) segment of a
+/// sender trace: indices `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// First step of the segment.
+    pub start: usize,
+    /// One past the last step.
+    pub end: usize,
+}
+
+impl Segment {
+    /// Number of steps spanned.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the segment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// Find the maximal eligible segments of a sender trace starting at
+/// `from`: stretches with `loss == 0` and, when `check_rtt` is set (the
+/// protocol is *not* loss-based), RTT non-increasing step over step.
+///
+/// A window *drop* of more than 1% also ends a segment: in sampled traces
+/// (the packet-level simulator records state on a fixed grid) the
+/// loss-triggered back-off can land one sample after the interval whose
+/// loss column marked the event, and an ascent measurement must not span
+/// a back-off.
+pub fn eligible_segments(trace: &SenderTrace, from: usize, check_rtt: bool) -> Vec<Segment> {
+    let n = trace.len();
+    let mut segs = Vec::new();
+    let mut start = None;
+    for t in from..n {
+        let lossy = trace.loss[t] > 0.0;
+        let backed_off =
+            t > from && trace.window[t] < trace.window[t - 1] * 0.99 - 1e-12;
+        let rtt_rose = check_rtt && t > from && trace.rtt[t] > trace.rtt[t - 1] + 1e-12;
+        if lossy || backed_off || rtt_rose {
+            if let Some(s) = start.take() {
+                if t > s {
+                    segs.push(Segment { start: s, end: t });
+                }
+            }
+            // A back-off or RTT rise ends a segment, but the current step
+            // (already at the post-event window) can begin a new one; a
+            // lossy step cannot — its window predates the reaction.
+            if !lossy {
+                start = Some(t);
+            }
+        } else if start.is_none() {
+            start = Some(t);
+        }
+    }
+    if let Some(s) = start {
+        if n > s {
+            segs.push(Segment { start: s, end: n });
+        }
+    }
+    segs
+}
+
+/// The largest `α` consistent with the sender's ascents.
+///
+/// The axiom is `∃T ∀Δt ≥ T: Σ gains ≥ αΔt²/2` — the *protocol* picks the
+/// horizon `T`. On a finite segment of length `L`, the best choice is
+/// `T = L − 1`, for which the condition reduces to the normalized
+/// cumulative gain at the segment's **largest horizon**,
+/// `2·Σ_{t=t1}^{t1+L−1}(x(t) − x(t1)) / (L−1)²`. (Taking the minimum over
+/// *all* horizons instead would under-score protocols whose gains are
+/// back-loaded — MIMD's exponential ascent, CUBIC's convex phase — which
+/// the axiom explicitly permits via `T`.) The measured score is the worst
+/// such value over all eligible segments of length > `min_horizon`,
+/// realizing the axiom's quantification over ascent starts `t1`.
+///
+/// Returns `None` when the trace contains no eligible segment long enough
+/// to judge (the axiom is then vacuously satisfiable for any α on this
+/// trace, and the caller should lengthen the run).
+pub fn measured_fast_utilization(
+    trace: &SenderTrace,
+    from: usize,
+    min_horizon: usize,
+) -> Option<f64> {
+    let check_rtt = !trace.loss_based;
+    let mut worst: Option<f64> = None;
+    for seg in eligible_segments(trace, from, check_rtt) {
+        if seg.len() <= min_horizon {
+            continue;
+        }
+        let x1 = trace.window[seg.start];
+        let mut cum_gain = 0.0;
+        for dt in 1..seg.len() {
+            let t = seg.start + dt;
+            cum_gain += trace.window[t] - x1;
+        }
+        let final_dt = (seg.len() - 1) as f64;
+        let alpha = 2.0 * cum_gain / (final_dt * final_dt);
+        worst = Some(match worst {
+            None => alpha,
+            Some(w) => w.min(alpha),
+        });
+    }
+    worst.map(|w| w.max(0.0))
+}
+
+/// Whether the trace witnesses `α`-fast-utilization (conservatively `false`
+/// when no segment was long enough to judge and `alpha > 0`).
+pub fn satisfies_fast_utilization(
+    trace: &SenderTrace,
+    from: usize,
+    min_horizon: usize,
+    alpha: f64,
+) -> bool {
+    match measured_fast_utilization(trace, from, min_horizon) {
+        Some(m) => m >= alpha - 1e-9,
+        None => alpha <= 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::SenderTrace;
+
+    fn sender(windows: Vec<f64>, loss: Vec<f64>, rtt: Vec<f64>, loss_based: bool) -> SenderTrace {
+        let n = windows.len();
+        SenderTrace {
+            protocol: "test".into(),
+            loss_based,
+            goodput: vec![0.0; n],
+            window: windows,
+            loss,
+            rtt,
+        }
+    }
+
+    /// AIMD(a, ·) ascent: x(t) = x0 + a·t, no loss.
+    fn additive_ascent(a: f64, steps: usize) -> SenderTrace {
+        let windows: Vec<f64> = (0..steps).map(|t| 10.0 + a * t as f64).collect();
+        sender(windows, vec![0.0; steps], vec![0.1; steps], true)
+    }
+
+    #[test]
+    fn additive_increase_scores_its_slope() {
+        for a in [0.5, 1.0, 2.0] {
+            let tr = additive_ascent(a, 64);
+            let m = measured_fast_utilization(&tr, 0, 8).unwrap();
+            // Σ_{k=0}^{Δt} a·k = a·Δt(Δt+1)/2 ≥ aΔt²/2, with equality in the
+            // limit; the measured minimum should be ≥ a (slightly above).
+            assert!(m >= a - 1e-9, "a={a}, measured {m}");
+            assert!(m <= a * 1.2, "a={a}, measured {m}");
+        }
+    }
+
+    #[test]
+    fn constant_window_scores_zero() {
+        let tr = sender(vec![50.0; 40], vec![0.0; 40], vec![0.1; 40], true);
+        let m = measured_fast_utilization(&tr, 0, 8).unwrap();
+        assert_eq!(m, 0.0);
+        assert!(satisfies_fast_utilization(&tr, 0, 8, 0.0));
+        assert!(!satisfies_fast_utilization(&tr, 0, 8, 0.1));
+    }
+
+    #[test]
+    fn superlinear_growth_scores_high() {
+        // MIMD-style doubling: gains explode, so measured α is large.
+        let windows: Vec<f64> = (0..20).map(|t| 2.0_f64.powi(t)).collect();
+        let tr = sender(windows, vec![0.0; 20], vec![0.1; 20], true);
+        let m = measured_fast_utilization(&tr, 0, 8).unwrap();
+        assert!(m > 10.0, "measured {m}");
+    }
+
+    #[test]
+    fn loss_splits_segments() {
+        // Two ascents separated by one lossy step.
+        let mut windows = Vec::new();
+        let mut loss = Vec::new();
+        for t in 0..20 {
+            windows.push(10.0 + t as f64);
+            loss.push(0.0);
+        }
+        windows.push(5.0);
+        loss.push(0.3);
+        for t in 0..20 {
+            windows.push(5.0 + t as f64);
+            loss.push(0.0);
+        }
+        let n = windows.len();
+        let tr = sender(windows, loss, vec![0.1; n], true);
+        let segs = eligible_segments(&tr, 0, false);
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0], Segment { start: 0, end: 20 });
+        assert_eq!(segs[1], Segment { start: 21, end: 41 });
+        let m = measured_fast_utilization(&tr, 0, 8).unwrap();
+        assert!(m >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn rtt_rise_splits_segments_for_latency_protocols() {
+        let windows: Vec<f64> = (0..30).map(|t| 10.0 + t as f64).collect();
+        let mut rtt = vec![0.1; 30];
+        rtt[15] = 0.2; // RTT rises at t=15
+        let tr = sender(windows.clone(), vec![0.0; 30], rtt.clone(), false);
+        let segs = eligible_segments(&tr, 0, true);
+        assert_eq!(segs.len(), 2, "{segs:?}");
+        // A loss-based protocol ignores the RTT rise: one segment.
+        let tr2 = sender(windows, vec![0.0; 30], rtt, true);
+        let segs2 = eligible_segments(&tr2, 0, false);
+        assert_eq!(segs2.len(), 1);
+    }
+
+    #[test]
+    fn no_long_segment_yields_none() {
+        // Loss every 3 steps: no segment reaches the horizon.
+        let mut loss = vec![0.0; 30];
+        for t in (0..30).step_by(3) {
+            loss[t] = 0.1;
+        }
+        let tr = sender(vec![10.0; 30], loss, vec![0.1; 30], true);
+        assert!(measured_fast_utilization(&tr, 0, 8).is_none());
+        assert!(satisfies_fast_utilization(&tr, 0, 8, 0.0));
+        assert!(!satisfies_fast_utilization(&tr, 0, 8, 0.5));
+    }
+
+    #[test]
+    fn slow_probe_fails_fast_utilization() {
+        // The Claim-1 protocol: +1 MSS every 10 RTTs. Cumulative gain over
+        // Δt is ~Δt²/20, i.e. α = 0.1 — far below 1.
+        let windows: Vec<f64> = (0..100).map(|t| 10.0 + (t / 10) as f64).collect();
+        let tr = sender(windows, vec![0.0; 100], vec![0.1; 100], true);
+        let m = measured_fast_utilization(&tr, 0, 8).unwrap();
+        assert!(m < 0.2, "measured {m}");
+        assert!(!satisfies_fast_utilization(&tr, 0, 8, 1.0));
+    }
+
+    #[test]
+    fn segment_len_helpers() {
+        let s = Segment { start: 3, end: 10 };
+        assert_eq!(s.len(), 7);
+        assert!(!s.is_empty());
+        assert!(Segment { start: 5, end: 5 }.is_empty());
+    }
+}

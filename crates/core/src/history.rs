@@ -1,0 +1,199 @@
+//! Per-sender observation history.
+//!
+//! The paper defines a protocol as a map from the full history of a sender's
+//! windows, RTTs and losses to its next window. Most concrete protocols keep
+//! only a constant-size digest of that history (CUBIC: the window at the last
+//! loss and the time since; Vegas: the minimum RTT). [`History`] is the
+//! general-purpose recorder for protocols, adapters, and tests that need the
+//! real thing — e.g. the packet-level adapter aggregates per-packet feedback
+//! into per-RTT observations, and the fast-utilization estimator replays
+//! window ascent segments.
+
+use crate::protocol::Observation;
+
+/// A bounded log of [`Observation`]s with summary helpers.
+///
+/// The log is capped at `capacity` entries; pushing beyond it evicts the
+/// oldest entry (ring-buffer behaviour), so long simulations do not grow
+/// protocol state without bound.
+#[derive(Debug, Clone)]
+pub struct History {
+    entries: Vec<Observation>,
+    capacity: usize,
+    start: usize,
+    /// Total observations ever pushed (not just retained).
+    pushed: u64,
+}
+
+impl History {
+    /// A history retaining up to `capacity` most-recent observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "history capacity must be positive");
+        History {
+            entries: Vec::with_capacity(capacity.min(1024)),
+            capacity,
+            start: 0,
+            pushed: 0,
+        }
+    }
+
+    /// Record an observation, evicting the oldest if at capacity.
+    pub fn push(&mut self, obs: Observation) {
+        if self.entries.len() < self.capacity {
+            self.entries.push(obs);
+        } else {
+            self.entries[self.start] = obs;
+            self.start = (self.start + 1) % self.capacity;
+        }
+        self.pushed += 1;
+    }
+
+    /// Number of retained observations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total number of observations ever pushed.
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// The most recent observation, if any.
+    pub fn last(&self) -> Option<&Observation> {
+        if self.entries.is_empty() {
+            None
+        } else if self.entries.len() < self.capacity {
+            self.entries.last()
+        } else {
+            let idx = (self.start + self.capacity - 1) % self.capacity;
+            Some(&self.entries[idx])
+        }
+    }
+
+    /// Iterate oldest → newest over the retained observations.
+    pub fn iter(&self) -> impl Iterator<Item = &Observation> {
+        let (tail, head) = self.entries.split_at(self.start);
+        head.iter().chain(tail.iter())
+    }
+
+    /// Smallest RTT retained (the sender's running estimate of `2Θ` if the
+    /// capacity spans the connection lifetime).
+    pub fn min_rtt(&self) -> Option<f64> {
+        self.iter().map(|o| o.rtt).fold(None, |acc, r| match acc {
+            None => Some(r),
+            Some(m) => Some(m.min(r)),
+        })
+    }
+
+    /// Mean loss rate over the retained window.
+    pub fn mean_loss(&self) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        self.iter().map(|o| o.loss_rate).sum::<f64>() / self.entries.len() as f64
+    }
+
+    /// Number of retained observations with strictly positive loss.
+    pub fn loss_events(&self) -> usize {
+        self.iter().filter(|o| o.loss_rate > 0.0).count()
+    }
+
+    /// Forget everything (e.g. on protocol reset).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.start = 0;
+        self.pushed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(tick: u64, rtt: f64, loss: f64) -> Observation {
+        Observation {
+            tick,
+            window: tick as f64,
+            loss_rate: loss,
+            rtt,
+            min_rtt: rtt,
+        }
+    }
+
+    #[test]
+    fn push_and_last() {
+        let mut h = History::new(4);
+        assert!(h.last().is_none());
+        h.push(obs(0, 0.1, 0.0));
+        h.push(obs(1, 0.2, 0.0));
+        assert_eq!(h.last().unwrap().tick, 1);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn eviction_keeps_most_recent() {
+        let mut h = History::new(3);
+        for t in 0..10 {
+            h.push(obs(t, 0.1, 0.0));
+        }
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.total_pushed(), 10);
+        let ticks: Vec<u64> = h.iter().map(|o| o.tick).collect();
+        assert_eq!(ticks, vec![7, 8, 9]);
+        assert_eq!(h.last().unwrap().tick, 9);
+    }
+
+    #[test]
+    fn min_rtt_tracks_minimum() {
+        let mut h = History::new(8);
+        h.push(obs(0, 0.30, 0.0));
+        h.push(obs(1, 0.10, 0.0));
+        h.push(obs(2, 0.20, 0.0));
+        assert_eq!(h.min_rtt(), Some(0.10));
+    }
+
+    #[test]
+    fn min_rtt_forgets_evicted() {
+        let mut h = History::new(2);
+        h.push(obs(0, 0.05, 0.0));
+        h.push(obs(1, 0.30, 0.0));
+        h.push(obs(2, 0.20, 0.0));
+        // The 0.05 observation has been evicted.
+        assert_eq!(h.min_rtt(), Some(0.20));
+    }
+
+    #[test]
+    fn loss_summaries() {
+        let mut h = History::new(8);
+        h.push(obs(0, 0.1, 0.0));
+        h.push(obs(1, 0.1, 0.5));
+        h.push(obs(2, 0.1, 0.25));
+        assert_eq!(h.loss_events(), 2);
+        assert!((h.mean_loss() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = History::new(2);
+        h.push(obs(0, 0.1, 0.0));
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.total_pushed(), 0);
+        assert!(h.last().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        History::new(0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Protocols as points in the 8-dimensional metric space (paper, Section 5).
+//!
+//! *"Our theoretical framework … allows us to associate each congestion
+//! control protocol with a 8-tuple of real numbers, representing its scores
+//! in the eight metrics."* This module defines that tuple, the
+//! better-or-equal partial order induced by the metrics' orientations, and
+//! Pareto dominance — the relation whose maximal elements form the paper's
+//! *Pareto frontier for protocol design*.
+
+use crate::axioms::Metric;
+use serde::{Deserialize, Serialize};
+
+/// A protocol's scores in the paper's eight metrics.
+///
+/// Orientation follows the axioms: larger is better for every field except
+/// `loss_bound` and `latency_inflation`, where the score is an upper bound
+/// the protocol guarantees (smaller is better). `latency_inflation` is
+/// `f64::INFINITY` for loss-based protocols (Table 1 omits the column for
+/// exactly this reason).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AxiomScores {
+    /// Metric I: α such that the protocol is α-efficient.
+    pub efficiency: f64,
+    /// Metric II: α such that the protocol is α-fast-utilizing.
+    pub fast_utilization: f64,
+    /// Metric III: the loss bound α (smaller is better).
+    pub loss_bound: f64,
+    /// Metric IV: α such that the protocol is α-fair.
+    pub fairness: f64,
+    /// Metric V: α such that the protocol is α-convergent.
+    pub convergence: f64,
+    /// Metric VI: α such that the protocol is α-robust.
+    pub robustness: f64,
+    /// Metric VII: α such that the protocol is α-TCP-friendly.
+    pub tcp_friendliness: f64,
+    /// Metric VIII: the latency inflation bound α (smaller is better).
+    pub latency_inflation: f64,
+}
+
+impl AxiomScores {
+    /// Read the score for one metric.
+    pub fn get(&self, m: Metric) -> f64 {
+        match m {
+            Metric::Efficiency => self.efficiency,
+            Metric::FastUtilization => self.fast_utilization,
+            Metric::LossAvoidance => self.loss_bound,
+            Metric::Fairness => self.fairness,
+            Metric::Convergence => self.convergence,
+            Metric::Robustness => self.robustness,
+            Metric::TcpFriendliness => self.tcp_friendliness,
+            Metric::LatencyAvoidance => self.latency_inflation,
+        }
+    }
+
+    /// Set the score for one metric.
+    pub fn set(&mut self, m: Metric, v: f64) {
+        match m {
+            Metric::Efficiency => self.efficiency = v,
+            Metric::FastUtilization => self.fast_utilization = v,
+            Metric::LossAvoidance => self.loss_bound = v,
+            Metric::Fairness => self.fairness = v,
+            Metric::Convergence => self.convergence = v,
+            Metric::Robustness => self.robustness = v,
+            Metric::TcpFriendliness => self.tcp_friendliness = v,
+            Metric::LatencyAvoidance => self.latency_inflation = v,
+        }
+    }
+
+    /// Whether `self`'s score in metric `m` is at least as good as
+    /// `other`'s, respecting the metric's orientation.
+    pub fn at_least_as_good_in(&self, other: &AxiomScores, m: Metric) -> bool {
+        if m.higher_is_better() {
+            self.get(m) >= other.get(m)
+        } else {
+            self.get(m) <= other.get(m)
+        }
+    }
+
+    /// Whether `self` is at least as good as `other` in *every* metric of
+    /// `metrics` (weak dominance).
+    pub fn weakly_dominates_in(&self, other: &AxiomScores, metrics: &[Metric]) -> bool {
+        metrics.iter().all(|&m| self.at_least_as_good_in(other, m))
+    }
+
+    /// **Pareto dominance** restricted to a metric subset: at least as good
+    /// everywhere, strictly better somewhere. A feasible point is on the
+    /// Pareto frontier iff no feasible point dominates it (paper, §5.2).
+    ///
+    /// ```
+    /// use axcc_core::axioms::Metric;
+    /// use axcc_core::theory::ProtocolSpec;
+    /// // In the efficiency-only subspace Cubic's worst case (0.8)
+    /// // dominates Reno's (0.5) — but not once friendliness is added,
+    /// // where Reno's exact 1.0 wins back.
+    /// let cubic = ProtocolSpec::CUBIC_LINUX.scores_worst();
+    /// let reno = ProtocolSpec::RENO.scores_worst();
+    /// assert!(cubic.dominates_in(&reno, &[Metric::Efficiency]));
+    /// assert!(!cubic.dominates_in(
+    ///     &reno,
+    ///     &[Metric::Efficiency, Metric::TcpFriendliness],
+    /// ));
+    /// ```
+    pub fn dominates_in(&self, other: &AxiomScores, metrics: &[Metric]) -> bool {
+        self.weakly_dominates_in(other, metrics)
+            && metrics.iter().any(|&m| {
+                if m.higher_is_better() {
+                    self.get(m) > other.get(m)
+                } else {
+                    self.get(m) < other.get(m)
+                }
+            })
+    }
+
+    /// Pareto dominance over all eight metrics.
+    pub fn dominates(&self, other: &AxiomScores) -> bool {
+        self.dominates_in(other, &Metric::ALL)
+    }
+
+    /// The worst-possible point: the identity for "take the best of".
+    pub fn worst() -> Self {
+        AxiomScores {
+            efficiency: 0.0,
+            fast_utilization: 0.0,
+            loss_bound: 1.0,
+            fairness: 0.0,
+            convergence: 0.0,
+            robustness: 0.0,
+            tcp_friendliness: 0.0,
+            latency_inflation: f64::INFINITY,
+        }
+    }
+
+    /// Pointwise worst of two score tuples (used when aggregating a
+    /// protocol's scores across scenarios: the axioms quantify universally
+    /// over configurations, so the protocol's score is its worst case).
+    pub fn pointwise_worst(&self, other: &AxiomScores) -> AxiomScores {
+        let mut out = *self;
+        for m in Metric::ALL {
+            let v = if m.higher_is_better() {
+                self.get(m).min(other.get(m))
+            } else {
+                self.get(m).max(other.get(m))
+            };
+            out.set(m, v);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> AxiomScores {
+        AxiomScores {
+            efficiency: 0.8,
+            fast_utilization: 1.0,
+            loss_bound: 0.05,
+            fairness: 1.0,
+            convergence: 0.6,
+            robustness: 0.0,
+            tcp_friendliness: 1.0,
+            latency_inflation: f64::INFINITY,
+        }
+    }
+
+    #[test]
+    fn dominance_requires_strict_improvement() {
+        let a = base();
+        let b = base();
+        assert!(!a.dominates(&b));
+        assert!(a.weakly_dominates_in(&b, &Metric::ALL));
+    }
+
+    #[test]
+    fn better_efficiency_dominates() {
+        let a = base();
+        let mut b = base();
+        b.efficiency = 0.7;
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+    }
+
+    #[test]
+    fn lower_loss_bound_is_better() {
+        let a = base();
+        let mut b = base();
+        b.loss_bound = 0.10;
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+    }
+
+    #[test]
+    fn tradeoff_means_no_dominance() {
+        // The Theorem-2 tension: a is faster-utilizing, b is friendlier.
+        let mut a = base();
+        a.fast_utilization = 2.0;
+        a.tcp_friendliness = 0.5;
+        let mut b = base();
+        b.fast_utilization = 0.5;
+        b.tcp_friendliness = 2.0;
+        assert!(!a.dominates(&b));
+        assert!(!b.dominates(&a));
+    }
+
+    #[test]
+    fn dominance_is_antisymmetric() {
+        let a = base();
+        let mut b = base();
+        b.convergence = 0.5;
+        assert!(a.dominates(&b) && !b.dominates(&a));
+    }
+
+    #[test]
+    fn restricted_dominance_ignores_other_metrics() {
+        let mut a = base();
+        a.efficiency = 0.9;
+        a.fairness = 0.1; // much worse fairness
+        let b = base();
+        assert!(a.dominates_in(&b, &[Metric::Efficiency]));
+        assert!(!a.dominates(&b));
+    }
+
+    #[test]
+    fn pointwise_worst_takes_per_metric_worst() {
+        let mut a = base();
+        a.efficiency = 0.9;
+        a.loss_bound = 0.10;
+        let b = base();
+        let w = a.pointwise_worst(&b);
+        assert_eq!(w.efficiency, 0.8);
+        assert_eq!(w.loss_bound, 0.10);
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut s = AxiomScores::worst();
+        for (i, m) in Metric::ALL.iter().enumerate() {
+            s.set(*m, i as f64);
+            assert_eq!(s.get(*m), i as f64);
+        }
+    }
+}

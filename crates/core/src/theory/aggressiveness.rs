@@ -1,0 +1,176 @@
+//! The "more aggressive than" relation (paper, Section 4).
+//!
+//! *"A protocol P is more aggressive than a protocol Q if for any
+//! combination of P- and Q-senders, and initial sending rates, from some
+//! point in time onwards, the average goodput of any P-sender is higher
+//! than that of any Q-sender."*
+//!
+//! The relation is semantic (quantifying over all mixes and all initial
+//! rates); deciding it in general requires simulation, which
+//! `axcc-analysis::experiments::theorems` does. This module provides the
+//! **syntactic sufficient conditions** within and across the AIMD/BIN/MIMD
+//! families that Theorem 4's hypotheses rely on — conservative, documented
+//! rules that imply the semantic relation in the fluid model:
+//!
+//! * AIMD(a₁, b₁) vs AIMD(a₂, b₂): increasing faster *and* yielding less
+//!   (a₁ ≥ a₂, b₁ ≥ b₂, one strict) is more aggressive.
+//! * MIMD(a, b) with a > 1 is more aggressive than any AIMD: its
+//!   multiplicative increase eventually outpaces any additive one, so it
+//!   claims an ever-larger share of each sawtooth cycle. (This is the
+//!   sense in which the paper treats PCC — "strictly more aggressive than
+//!   MIMD(1.01, 0.99)" — as transitively more aggressive than Reno.)
+//! * BIN(a, b, k, l) vs AIMD(a′, b′): with k = 0 the binomial increase is
+//!   additive with slope a, and the decrease retains (1 − b); so the AIMD
+//!   comparison applies with (a, 1 − b) vs (a′, b′). For k > 0 the increase
+//!   vanishes at large windows, so no sufficient condition is claimed.
+
+use crate::theory::table1::ProtocolSpec;
+
+/// Conservative sufficient check that `p` is more aggressive than `q` in
+/// the fluid model. Returns:
+///
+/// * `Some(true)` — a documented sufficient condition holds; the semantic
+///   relation is guaranteed.
+/// * `Some(false)` — the *converse* condition holds (q is more aggressive
+///   than p by the same rules).
+/// * `None` — the rules are silent; callers should fall back to simulation.
+pub fn syntactically_more_aggressive(p: &ProtocolSpec, q: &ProtocolSpec) -> Option<bool> {
+    let pa = additive_envelope(p);
+    let qa = additive_envelope(q);
+    match (pa, qa) {
+        (Envelope::Additive { a: a1, retain: b1 }, Envelope::Additive { a: a2, retain: b2 }) => {
+            if a1 >= a2 && b1 >= b2 && (a1 > a2 || b1 > b2) {
+                Some(true)
+            } else if a2 >= a1 && b2 >= b1 && (a2 > a1 || b2 > b1) {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        (Envelope::Multiplicative, Envelope::Additive { .. }) => Some(true),
+        (Envelope::Additive { .. }, Envelope::Multiplicative) => Some(false),
+        _ => None,
+    }
+}
+
+/// Whether `p` is (syntactically) more aggressive than Reno = AIMD(1, 0.5) —
+/// hypothesis (3) of Theorem 4.
+pub fn more_aggressive_than_reno(p: &ProtocolSpec) -> bool {
+    syntactically_more_aggressive(p, &ProtocolSpec::RENO) == Some(true)
+}
+
+/// Whether a spec is in one of the families Theorem 4 covers
+/// (AIMD, BIN, or MIMD) — hypothesis (1).
+pub fn in_theorem4_families(p: &ProtocolSpec) -> bool {
+    matches!(
+        p,
+        ProtocolSpec::Aimd { .. } | ProtocolSpec::Bin { .. } | ProtocolSpec::Mimd { .. }
+    )
+}
+
+/// Growth envelope a spec presents to the comparison rules.
+enum Envelope {
+    /// Additive increase with slope `a`; multiplicative back-off retaining
+    /// `retain` of the window.
+    Additive { a: f64, retain: f64 },
+    /// Multiplicative (superlinear) increase.
+    Multiplicative,
+    /// Anything the rules do not cover.
+    Unknown,
+}
+
+fn additive_envelope(p: &ProtocolSpec) -> Envelope {
+    match *p {
+        ProtocolSpec::Aimd { a, b } => Envelope::Additive { a, retain: b },
+        ProtocolSpec::Bin { a, b, k: 0.0, .. } => Envelope::Additive {
+            a,
+            retain: 1.0 - b,
+        },
+        ProtocolSpec::Mimd { a, .. } if a > 1.0 => Envelope::Multiplicative,
+        _ => Envelope::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalable_aimd_more_aggressive_than_reno() {
+        // AIMD(1, 0.875) yields less than Reno's 0.5 back-off.
+        assert!(more_aggressive_than_reno(&ProtocolSpec::SCALABLE_AIMD));
+    }
+
+    #[test]
+    fn faster_additive_increase_is_more_aggressive() {
+        let p = ProtocolSpec::Aimd { a: 2.0, b: 0.5 };
+        assert_eq!(
+            syntactically_more_aggressive(&p, &ProtocolSpec::RENO),
+            Some(true)
+        );
+        // And the relation is antisymmetric.
+        assert_eq!(
+            syntactically_more_aggressive(&ProtocolSpec::RENO, &p),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn reno_not_more_aggressive_than_itself() {
+        assert_eq!(
+            syntactically_more_aggressive(&ProtocolSpec::RENO, &ProtocolSpec::RENO),
+            None
+        );
+        assert!(!more_aggressive_than_reno(&ProtocolSpec::RENO));
+    }
+
+    #[test]
+    fn mimd_dominates_aimd() {
+        assert!(more_aggressive_than_reno(&ProtocolSpec::SCALABLE_MIMD));
+        // The PCC envelope the paper cites:
+        let pcc_envelope = ProtocolSpec::Mimd { a: 1.01, b: 0.99 };
+        assert!(more_aggressive_than_reno(&pcc_envelope));
+        assert_eq!(
+            syntactically_more_aggressive(&ProtocolSpec::RENO, &pcc_envelope),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn incomparable_aimd_pairs_are_none() {
+        // Faster increase but deeper back-off: tradeoff, no verdict.
+        let p = ProtocolSpec::Aimd { a: 2.0, b: 0.3 };
+        assert_eq!(
+            syntactically_more_aggressive(&p, &ProtocolSpec::RENO),
+            None
+        );
+    }
+
+    #[test]
+    fn bin_k0_maps_to_aimd_comparison() {
+        // BIN(2, 0.5, 0, 1): additive slope 2, retains 0.5 — more
+        // aggressive than Reno.
+        let bin = ProtocolSpec::Bin { a: 2.0, b: 0.5, k: 0.0, l: 1.0 };
+        assert!(more_aggressive_than_reno(&bin));
+        // BIN with k > 0: rules are silent.
+        let iiad = ProtocolSpec::Bin { a: 1.0, b: 0.5, k: 1.0, l: 0.0 };
+        assert_eq!(
+            syntactically_more_aggressive(&iiad, &ProtocolSpec::RENO),
+            None
+        );
+    }
+
+    #[test]
+    fn theorem4_family_membership() {
+        assert!(in_theorem4_families(&ProtocolSpec::RENO));
+        assert!(in_theorem4_families(&ProtocolSpec::SCALABLE_MIMD));
+        assert!(in_theorem4_families(&ProtocolSpec::Bin {
+            a: 1.0,
+            b: 0.5,
+            k: 1.0,
+            l: 0.0
+        }));
+        assert!(!in_theorem4_families(&ProtocolSpec::CUBIC_LINUX));
+        assert!(!in_theorem4_families(&ProtocolSpec::ROBUST_AIMD_TABLE2));
+    }
+}

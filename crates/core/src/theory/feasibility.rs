@@ -1,0 +1,286 @@
+//! Feasibility of points in the metric space.
+//!
+//! Section 5.2: *"Not every point in the 8-dimensional space induced by our
+//! metrics is feasible, in the sense that there are some points such that
+//! no protocol can attain their associated scores."* The theorems of
+//! Section 4 carve out the infeasible region; this module packages them as
+//! a checker a protocol designer can point at a target score tuple:
+//! given the scores you want, which theorem (if any) says no?
+//!
+//! **Score semantics.** The tuple must hold the protocol's *universal*
+//! scores — guarantees across all network parameters, i.e. Table 1's
+//! angle-bracket column — because that is what the theorems' hypotheses
+//! ("α-fast-utilizing and β-efficient") mean. Feeding a single favorable
+//! link's parameterized efficiency into the checker produces spurious
+//! Theorem 2 "violations": AIMD(1, 0.5) on a deep-buffered link is
+//! 0.64-efficient *there* while being exactly 1-TCP-friendly, but its
+//! guaranteed efficiency is only 0.5 — and 3(1−0.5)/(1·1.5) = 1 is tight.
+
+use crate::score::AxiomScores;
+use crate::theory::theorems::{
+    theorem1_efficiency_lower_bound, theorem2_friendliness_upper_bound,
+    theorem3_friendliness_upper_bound,
+};
+
+/// A theorem-derived reason a score tuple is infeasible.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Infeasibility {
+    /// Claim 1: loss-based + 0-loss + positive fast-utilization.
+    Claim1,
+    /// Theorem 1: the claimed efficiency is below what convergence +
+    /// fast-utilization already guarantee — the tuple is *inconsistent*
+    /// (it under-reports a score the other scores imply; a protocol with
+    /// these convergence/fast-utilization scores is necessarily more
+    /// efficient).
+    Theorem1 {
+        /// The efficiency the other scores imply.
+        implied_efficiency: f64,
+    },
+    /// Theorem 2: TCP-friendliness exceeds the fast-utilization ×
+    /// efficiency cap (loss-based protocols).
+    Theorem2 {
+        /// The friendliness cap.
+        bound: f64,
+    },
+    /// Theorem 3: TCP-friendliness exceeds the (much tighter) cap once
+    /// robustness is positive (loss-based protocols; link-dependent).
+    Theorem3 {
+        /// The friendliness cap at the given link.
+        bound: f64,
+    },
+    /// Theorem 5: a loss-based protocol with positive efficiency claims
+    /// positive friendliness towards a latency-avoiding protocol.
+    Theorem5,
+}
+
+impl std::fmt::Display for Infeasibility {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Infeasibility::Claim1 => {
+                write!(f, "Claim 1: a loss-based 0-loss protocol cannot be fast-utilizing")
+            }
+            Infeasibility::Theorem1 { implied_efficiency } => write!(
+                f,
+                "Theorem 1: convergence + fast-utilization already imply efficiency ≥ {implied_efficiency:.3}"
+            ),
+            Infeasibility::Theorem2 { bound } => write!(
+                f,
+                "Theorem 2: TCP-friendliness cannot exceed {bound:.3} at this fast-utilization/efficiency"
+            ),
+            Infeasibility::Theorem3 { bound } => write!(
+                f,
+                "Theorem 3: with positive robustness, TCP-friendliness cannot exceed {bound:.5} on this link"
+            ),
+            Infeasibility::Theorem5 => write!(
+                f,
+                "Theorem 5: an efficient loss-based protocol cannot be friendly to a latency-avoider"
+            ),
+        }
+    }
+}
+
+/// Check a target score tuple for a **loss-based** protocol against every
+/// theorem constraint. `c_plus_tau` locates Theorem 3's link-dependent
+/// bound; `friendliness_to_latency_avoider` is an optional extra claim
+/// checked against Theorem 5. Returns every violated constraint (empty =
+/// no theorem in the paper rules the point out — which, the paper is
+/// careful to note, does not by itself prove feasibility).
+pub fn infeasibilities_loss_based(
+    scores: &AxiomScores,
+    c_plus_tau: f64,
+    friendliness_to_latency_avoider: Option<f64>,
+) -> Vec<Infeasibility> {
+    let mut out = Vec::new();
+
+    // Claim 1.
+    if scores.loss_bound <= 0.0 && scores.fast_utilization > 0.0 {
+        out.push(Infeasibility::Claim1);
+    }
+
+    // Theorem 1 (consistency direction).
+    if scores.fast_utilization > 0.0 && (0.0..=1.0).contains(&scores.convergence) {
+        let implied = theorem1_efficiency_lower_bound(scores.convergence);
+        if scores.efficiency < implied - 1e-9 {
+            out.push(Infeasibility::Theorem1 {
+                implied_efficiency: implied,
+            });
+        }
+    }
+
+    // Theorem 2.
+    if scores.fast_utilization > 0.0 && (0.0..=1.0).contains(&scores.efficiency) {
+        let bound =
+            theorem2_friendliness_upper_bound(scores.fast_utilization, scores.efficiency);
+        if scores.tcp_friendliness > bound + 1e-9 {
+            out.push(Infeasibility::Theorem2 { bound });
+        }
+    }
+
+    // Theorem 3 (strictly tighter than Theorem 2 when robustness > 0).
+    if scores.robustness > 0.0
+        && scores.robustness < 1.0
+        && scores.fast_utilization > 0.0
+        && (0.0..=1.0).contains(&scores.efficiency)
+        && c_plus_tau > scores.fast_utilization / 2.0
+    {
+        let bound = theorem3_friendliness_upper_bound(
+            scores.fast_utilization,
+            scores.efficiency,
+            scores.robustness,
+            c_plus_tau,
+        );
+        if scores.tcp_friendliness > bound + 1e-9 {
+            out.push(Infeasibility::Theorem3 { bound });
+        }
+    }
+
+    // Theorem 5.
+    if let Some(beta) = friendliness_to_latency_avoider {
+        if scores.efficiency > 0.0 && beta > 0.0 {
+            out.push(Infeasibility::Theorem5);
+        }
+    }
+
+    out
+}
+
+/// Whether no theorem rules the (loss-based) point out.
+pub fn is_consistent_loss_based(scores: &AxiomScores, c_plus_tau: f64) -> bool {
+    infeasibilities_loss_based(scores, c_plus_tau, None).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theory::table1::ProtocolSpec;
+
+    const CT: f64 = 450.0;
+
+    fn reno_point() -> AxiomScores {
+        // Reno's universal (angle-bracket) Table 1 row.
+        ProtocolSpec::RENO.scores_worst()
+    }
+
+    #[test]
+    fn every_table1_worst_case_row_is_consistent() {
+        // The paper's own protocols' universal scores must never violate
+        // the paper's own theorems.
+        for spec in [
+            ProtocolSpec::RENO,
+            ProtocolSpec::SCALABLE_MIMD,
+            ProtocolSpec::SCALABLE_AIMD,
+            ProtocolSpec::CUBIC_LINUX,
+            ProtocolSpec::ROBUST_AIMD_TABLE2,
+            ProtocolSpec::Bin { a: 1.0, b: 0.5, k: 1.0, l: 0.0 },
+        ] {
+            let scores = spec.scores_worst();
+            let v = infeasibilities_loss_based(&scores, CT, None);
+            assert!(v.is_empty(), "{spec:?}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn parameterized_rows_must_not_be_fed_to_the_checker() {
+        // The documented misuse: a favorable link's parameterized
+        // efficiency (0.64 for Reno at C=350, τ=100) combined with the
+        // universal friendliness 1.0 trips Theorem 2 — evidence that the
+        // theorem's β is the universal score, not a per-link one.
+        let parameterized = ProtocolSpec::RENO.scores(350.0, 100.0, 2.0);
+        let v = infeasibilities_loss_based(&parameterized, CT, None);
+        assert!(
+            v.iter().any(|i| matches!(i, Infeasibility::Theorem2 { .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn claim1_combination_is_caught() {
+        let mut s = reno_point();
+        s.loss_bound = 0.0; // claims 0-loss
+        let v = infeasibilities_loss_based(&s, CT, None);
+        assert!(v.contains(&Infeasibility::Claim1), "{v:?}");
+    }
+
+    #[test]
+    fn theorem1_inconsistency_is_caught() {
+        let mut s = reno_point();
+        // Convergence 0.9 implies efficiency ≥ 0.818; claim only 0.5.
+        s.convergence = 0.9;
+        s.efficiency = 0.5;
+        let v = infeasibilities_loss_based(&s, CT, None);
+        assert!(
+            v.iter().any(|i| matches!(i, Infeasibility::Theorem1 { .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn theorem2_greedy_point_is_caught() {
+        // The "have it all" point: fast, efficient AND fully friendly.
+        let mut s = reno_point();
+        s.fast_utilization = 2.0;
+        s.efficiency = 0.9;
+        s.tcp_friendliness = 1.0; // cap is 3·0.1/(2·1.9) ≈ 0.079
+        let v = infeasibilities_loss_based(&s, CT, None);
+        assert!(
+            v.iter().any(|i| matches!(i, Infeasibility::Theorem2 { .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn theorem3_robust_and_friendly_is_caught() {
+        // Robust-AIMD's universal scores but claiming AIMD-level
+        // friendliness.
+        let mut s = ProtocolSpec::ROBUST_AIMD_TABLE2.scores_worst();
+        s.tcp_friendliness = 0.3;
+        let v = infeasibilities_loss_based(&s, CT, None);
+        assert!(
+            v.iter().any(|i| matches!(i, Infeasibility::Theorem3 { .. })),
+            "{v:?}"
+        );
+        // The same friendliness without robustness is fine (Theorem 2's
+        // cap at a=1, b=0.8 is 0.333).
+        s.robustness = 0.0;
+        let v = infeasibilities_loss_based(&s, CT, None);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn theorem5_claim_is_caught() {
+        let s = reno_point();
+        let v = infeasibilities_loss_based(&s, CT, Some(0.2));
+        assert!(v.contains(&Infeasibility::Theorem5));
+        // Claiming zero friendliness towards the latency-avoider is fine.
+        let v = infeasibilities_loss_based(&s, CT, Some(0.0));
+        assert!(!v.contains(&Infeasibility::Theorem5));
+    }
+
+    #[test]
+    fn multiple_violations_all_reported() {
+        let mut s = reno_point();
+        s.loss_bound = 0.0;
+        s.fast_utilization = 3.0;
+        s.efficiency = 0.95;
+        s.tcp_friendliness = 2.0;
+        let v = infeasibilities_loss_based(&s, CT, Some(0.5));
+        assert!(v.len() >= 3, "{v:?}");
+    }
+
+    #[test]
+    fn display_messages_name_the_theorem() {
+        let msgs: Vec<String> = infeasibilities_loss_based(
+            &{
+                let mut s = reno_point();
+                s.loss_bound = 0.0;
+                s
+            },
+            CT,
+            None,
+        )
+        .iter()
+        .map(|i| i.to_string())
+        .collect();
+        assert!(msgs.iter().any(|m| m.contains("Claim 1")), "{msgs:?}");
+    }
+}

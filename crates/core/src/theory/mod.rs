@@ -1,0 +1,19 @@
+//! The paper's theoretical results, as executable formulas.
+//!
+//! * [`table1`] — every cell of Table 1 ("Protocol Characterization"): the
+//!   parameterized (link-dependent) scores and the worst-case bounds in
+//!   angle brackets, for AIMD, MIMD, BIN, CUBIC and Robust-AIMD.
+//! * [`theorems`] — Claim 1 and Theorems 1–5 of Section 4, each as a bound
+//!   function plus a checkable proposition that the experiment harness and
+//!   the property-test suites evaluate against simulated protocols.
+//! * [`aggressiveness`] — the "more aggressive than" relation of Section 4,
+//!   with the syntactic sufficient conditions used by Theorem 4.
+//! * [`feasibility`] — the Section 5.2 feasibility question as a checker:
+//!   which theorem (if any) rules a target score tuple out.
+
+pub mod aggressiveness;
+pub mod feasibility;
+pub mod table1;
+pub mod theorems;
+
+pub use table1::ProtocolSpec;

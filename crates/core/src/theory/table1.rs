@@ -1,0 +1,504 @@
+//! Table 1 of the paper: closed-form characterization of the five protocol
+//! families in the eight-metric space.
+//!
+//! Each cell exists in up to two forms:
+//!
+//! * the **parameterized** score, a function of the link capacity `C`,
+//!   buffer `τ`, and number of senders `n` — the "more nuanced results
+//!   reflecting the dependence on these parameters";
+//! * the **worst-case** bound "across all choices of network parameters
+//!   (e.g., very shallow buffer, very high number of senders, etc.)",
+//!   printed in angle brackets in the paper.
+//!
+//! Latency-avoidance is omitted from the table ("as all protocols considered
+//! are loss-based, their scores for latency avoidance are unbounded"), and
+//! robustness is 0 for every family except Robust-AIMD(a, b, ε), which is
+//! ε-robust.
+
+use crate::score::AxiomScores;
+use serde::{Deserialize, Serialize};
+
+/// A member of one of the protocol families characterized by Table 1.
+///
+/// This is the *analytic* description of a protocol — enough to evaluate
+/// every Table 1 formula. The executable implementations (the actual
+/// window-update rules) live in `axcc-protocols`, whose constructors accept
+/// a `ProtocolSpec` so the two always agree on parameters.
+///
+/// ```
+/// use axcc_core::theory::ProtocolSpec;
+/// // Reno's angle-bracket row: <b>-efficient, <a>-fast, exactly
+/// // 3(1−b)/(a(1+b)) = 1 TCP-friendly, <2b/(1+b)>-convergent.
+/// let row = ProtocolSpec::RENO.scores_worst();
+/// assert_eq!(row.efficiency, 0.5);
+/// assert_eq!(row.fast_utilization, 1.0);
+/// assert!((row.tcp_friendliness - 1.0).abs() < 1e-12);
+/// assert!((row.convergence - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ProtocolSpec {
+    /// AIMD(a, b): `x += a` on no loss, `x ← b·x` on loss. TCP Reno is
+    /// AIMD(1, 0.5).
+    Aimd {
+        /// Additive increase per RTT (MSS).
+        a: f64,
+        /// Multiplicative decrease factor in (0, 1).
+        b: f64,
+    },
+    /// MIMD(a, b): `x ← a·x` on no loss (a > 1), `x ← b·x` on loss. TCP
+    /// Scalable is MIMD(1.01, 0.875) in some environments.
+    Mimd {
+        /// Multiplicative increase factor (> 1).
+        a: f64,
+        /// Multiplicative decrease factor in (0, 1).
+        b: f64,
+    },
+    /// Binomial BIN(a, b, k, l): `x += a/x^k` on no loss,
+    /// `x −= b·x^l` on loss. IIAD is (k=1, l=0); SQRT is (k=l=1/2);
+    /// AIMD is (k=0, l=1).
+    Bin {
+        /// Increase numerator a > 0.
+        a: f64,
+        /// Decrease coefficient 0 < b ≤ 1.
+        b: f64,
+        /// Increase exponent k ≥ 0.
+        k: f64,
+        /// Decrease exponent l ∈ [0, 1].
+        l: f64,
+    },
+    /// CUBIC(c, b): cubic window growth anchored at the last-loss window
+    /// `x_max`, decrease to `b·x_max` on loss. Linux Cubic is CUBIC(0.4, 0.8)
+    /// in the paper's parameterization.
+    Cubic {
+        /// Scaling factor c > 0.
+        c: f64,
+        /// Rate-decrease factor b ∈ (0, 1).
+        b: f64,
+    },
+    /// Robust-AIMD(a, b, ε): `x += a` if the monitored loss rate is below
+    /// ε, `x ← b·x` otherwise (paper, Section 5.2). ε-robust by design.
+    RobustAimd {
+        /// Additive increase per monitor interval (MSS).
+        a: f64,
+        /// Multiplicative decrease factor in (0, 1).
+        b: f64,
+        /// Loss-rate tolerance ε ∈ [0, 1).
+        eps: f64,
+    },
+}
+
+impl ProtocolSpec {
+    /// TCP Reno: AIMD(1, 0.5) — the reference protocol for Metric VII.
+    pub const RENO: ProtocolSpec = ProtocolSpec::Aimd { a: 1.0, b: 0.5 };
+
+    /// Linux Cubic as the paper parameterizes it: CUBIC(0.4, 0.8).
+    pub const CUBIC_LINUX: ProtocolSpec = ProtocolSpec::Cubic { c: 0.4, b: 0.8 };
+
+    /// TCP Scalable in its MIMD incarnation: MIMD(1.01, 0.875).
+    pub const SCALABLE_MIMD: ProtocolSpec = ProtocolSpec::Mimd { a: 1.01, b: 0.875 };
+
+    /// TCP Scalable in its AIMD incarnation: AIMD(1, 0.875)
+    /// ("in some environments and AIMD(1,0.875) in others").
+    pub const SCALABLE_AIMD: ProtocolSpec = ProtocolSpec::Aimd { a: 1.0, b: 0.875 };
+
+    /// The Robust-AIMD instance evaluated in Table 2: Robust-AIMD(1, 0.8, 0.01).
+    pub const ROBUST_AIMD_TABLE2: ProtocolSpec = ProtocolSpec::RobustAimd {
+        a: 1.0,
+        b: 0.8,
+        eps: 0.01,
+    };
+
+    /// Display name matching the paper's notation.
+    pub fn name(&self) -> String {
+        match *self {
+            ProtocolSpec::Aimd { a, b } => format!("AIMD({a},{b})"),
+            ProtocolSpec::Mimd { a, b } => format!("MIMD({a},{b})"),
+            ProtocolSpec::Bin { a, b, k, l } => format!("BIN({a},{b},{k},{l})"),
+            ProtocolSpec::Cubic { c, b } => format!("CUBIC({c},{b})"),
+            ProtocolSpec::RobustAimd { a, b, eps } => format!("R-AIMD({a},{b},{eps})"),
+        }
+    }
+
+    /// The effective multiplicative-decrease factor: the fraction of the
+    /// window retained after a loss-triggered back-off. For BIN the
+    /// decrease `x − b·x^l` is window-dependent; Table 1's efficiency row
+    /// uses the `l = 1` form `(1 − b)`.
+    fn retain_factor(&self) -> f64 {
+        match *self {
+            ProtocolSpec::Aimd { b, .. }
+            | ProtocolSpec::Mimd { b, .. }
+            | ProtocolSpec::Cubic { c: _, b } => b,
+            ProtocolSpec::Bin { b, .. } => 1.0 - b,
+            ProtocolSpec::RobustAimd { b, .. } => b,
+        }
+    }
+
+    // ----- Metric I: efficiency -------------------------------------------
+
+    /// Parameterized efficiency: the dip of the sawtooth relative to `C`.
+    /// After backing off from the loss threshold `C + τ`, the total window
+    /// is `retain·(C + τ)`, i.e. `min(1, retain·(1 + τ/C))` of capacity.
+    /// Robust-AIMD backs off from `(C + τ)/(1 − ε)` instead (it tolerates
+    /// loss rate ε before reacting), hence the `1/(1 − ε)` boost.
+    pub fn efficiency(&self, c: f64, tau: f64) -> f64 {
+        let base = self.retain_factor() * (1.0 + tau / c);
+        let boosted = match *self {
+            ProtocolSpec::RobustAimd { eps, .. } => base / (1.0 - eps),
+            _ => base,
+        };
+        boosted.min(1.0)
+    }
+
+    /// Worst-case efficiency (`τ → 0`): `<b>` for AIMD/MIMD/CUBIC,
+    /// `<1 − b>` for BIN, `<b/(1 − ε)>` for Robust-AIMD.
+    pub fn efficiency_worst(&self) -> f64 {
+        match *self {
+            ProtocolSpec::RobustAimd { b, eps, .. } => (b / (1.0 - eps)).min(1.0),
+            _ => self.retain_factor().min(1.0),
+        }
+    }
+
+    // ----- Metric III: loss-avoidance -------------------------------------
+
+    /// Parameterized loss bound: the residual loss rate at the top of the
+    /// sawtooth, when `n` senders overshoot the threshold `C + τ` by one
+    /// aggregate increase step.
+    ///
+    /// * AIMD: overshoot `n·a` ⇒ `1 − (C+τ)/(C+τ+na)`.
+    /// * CUBIC: Table 1 uses the aggregate step `n·c` ⇒ `1 − (C+τ)/(C+τ+nc)`.
+    /// * BIN: per-sender increase near the fair share `x = (C+τ)/n` is
+    ///   `a/x^k`, so the aggregate overshoot is `n·a·(n/(C+τ))^k`.
+    ///   (The published table prints this cell as
+    ///   `1 − (C+τ)/(C+τ + a((C+τ)/n)^k)`, which does not reduce to the
+    ///   AIMD row at `k = 0`; we implement the derivation-consistent form,
+    ///   which does. The worst-case bound `<1>` is identical either way.)
+    /// * MIMD: the overshoot is a *factor*, not an increment: the last
+    ///   loss-free total is at most `C + τ`, the next is at most `a` times
+    ///   that, so `L ≤ 1 − 1/a = (a−1)/a`, independent of the link. (The
+    ///   published cell prints `a/(1+a)`, which is this same quantity under
+    ///   the increment convention `x ← (1+a)x`; we normalize to the factor
+    ///   convention `x ← ax` that MIMD(1.01, 0.875) — TCP Scalable — uses,
+    ///   so the formula and the executable protocol agree.)
+    /// * Robust-AIMD: tolerates loss ε before backing off, so the peak is
+    ///   `(C+τ)/(1−ε) + n·a`, giving `((C+τ)ε + na(1−ε)) / ((C+τ) + na(1−ε))`.
+    pub fn loss_bound(&self, c: f64, tau: f64, n: f64) -> f64 {
+        let ct = c + tau;
+        match *self {
+            ProtocolSpec::Aimd { a, .. } => 1.0 - ct / (ct + n * a),
+            ProtocolSpec::Cubic { c: cc, .. } => 1.0 - ct / (ct + n * cc),
+            ProtocolSpec::Bin { a, k, .. } => {
+                let overshoot = n * a * (n / ct).powf(k);
+                1.0 - ct / (ct + overshoot)
+            }
+            ProtocolSpec::Mimd { a, .. } => (a - 1.0) / a,
+            ProtocolSpec::RobustAimd { a, eps, .. } => {
+                (ct * eps + n * a * (1.0 - eps)) / (ct + n * a * (1.0 - eps))
+            }
+        }
+    }
+
+    /// Worst-case loss bound (`n → ∞`): `<1>` for all additive-increase
+    /// families; for MIMD the factor-overshoot bound `(a−1)/a` is already
+    /// link- and `n`-independent (see [`Self::loss_bound`] for the
+    /// convention note).
+    pub fn loss_bound_worst(&self) -> f64 {
+        match *self {
+            ProtocolSpec::Mimd { a, .. } => (a - 1.0) / a,
+            _ => 1.0,
+        }
+    }
+
+    // ----- Metric II: fast-utilization ------------------------------------
+
+    /// Worst-case fast-utilization: `<a>` for AIMD and Robust-AIMD, `<∞>`
+    /// for MIMD ("its rate increases superlinearly"), `<c>` for CUBIC,
+    /// `<a>` for BIN with `k = 0` and `<0>` for `k > 0` (the increase
+    /// `a/x^k` vanishes for large windows).
+    pub fn fast_utilization_worst(&self) -> f64 {
+        match *self {
+            ProtocolSpec::Aimd { a, .. } | ProtocolSpec::RobustAimd { a, .. } => a,
+            ProtocolSpec::Mimd { .. } => f64::INFINITY,
+            ProtocolSpec::Cubic { c, .. } => c,
+            ProtocolSpec::Bin { k: 0.0, a, .. } => a,
+            ProtocolSpec::Bin { .. } => 0.0,
+        }
+    }
+
+    // ----- Metric VII: TCP-friendliness ------------------------------------
+
+    /// Parameterized TCP-friendliness (towards Reno = AIMD(1, 0.5)).
+    ///
+    /// * AIMD: `3(1−b)/(a(1+b))` — link-independent (also the worst case);
+    ///   this is the tight bound of Theorem 2 [Cai et al.].
+    /// * MIMD: `2·log_a(1/b) / (C+τ − 2·log_a(1/b))` — vanishes on fast
+    ///   links, worst case `<0>`.
+    /// * BIN: `√(3/2)·(b/a)^{1/(1+l+k)}` if `l + k ≥ 1`, else 0
+    ///   (from Bansal–Balakrishnan: only `l + k ≥ 1` binomial protocols can
+    ///   be TCP-friendly).
+    /// * CUBIC: `√(3/2)·(4(1−b)/(c(3+b)(C+τ)))^{1/4}`, worst case `<0>`.
+    /// * Robust-AIMD: `3(1−b)/((4(C+τ)/(1−ε) − a)(1+b))` — the Theorem 3
+    ///   bound, worst case `<0>`.
+    pub fn tcp_friendliness(&self, c: f64, tau: f64) -> f64 {
+        let ct = c + tau;
+        match *self {
+            ProtocolSpec::Aimd { a, b } => 3.0 * (1.0 - b) / (a * (1.0 + b)),
+            ProtocolSpec::Mimd { a, b } => {
+                let steps = 2.0 * (1.0 / b).ln() / a.ln();
+                if ct <= steps {
+                    f64::INFINITY
+                } else {
+                    steps / (ct - steps)
+                }
+            }
+            ProtocolSpec::Bin { a, b, k, l } => {
+                if l + k >= 1.0 {
+                    (3.0f64 / 2.0).sqrt() * (b / a).powf(1.0 / (1.0 + l + k))
+                } else {
+                    0.0
+                }
+            }
+            ProtocolSpec::Cubic { c: cc, b } => {
+                (3.0f64 / 2.0).sqrt() * (4.0 * (1.0 - b) / (cc * (3.0 + b) * ct)).powf(0.25)
+            }
+            ProtocolSpec::RobustAimd { a, b, eps } => {
+                3.0 * (1.0 - b) / ((4.0 * ct / (1.0 - eps) - a) * (1.0 + b))
+            }
+        }
+    }
+
+    /// Worst-case TCP-friendliness: the AIMD value is link-independent;
+    /// every other family degrades to `<0>` on large links, except BIN with
+    /// `l + k ≥ 1`, whose bound is link-independent too.
+    pub fn tcp_friendliness_worst(&self) -> f64 {
+        match *self {
+            ProtocolSpec::Aimd { a, b } => 3.0 * (1.0 - b) / (a * (1.0 + b)),
+            ProtocolSpec::Bin { a, b, k, l } if l + k >= 1.0 => {
+                (3.0f64 / 2.0).sqrt() * (b / a).powf(1.0 / (1.0 + l + k))
+            }
+            _ => 0.0,
+        }
+    }
+
+    // ----- Metrics IV, V, VI ----------------------------------------------
+
+    /// Worst-case fairness: `<1>` for every family except MIMD, whose
+    /// multiplicative increase preserves initial imbalances (`<0>`).
+    pub fn fairness_worst(&self) -> f64 {
+        match *self {
+            ProtocolSpec::Mimd { .. } => 0.0,
+            _ => 1.0,
+        }
+    }
+
+    /// Worst-case convergence: `<2b/(1+b)>` for the multiplicative-decrease
+    /// families (the sawtooth oscillates between `b·W` and `W`), and
+    /// `<(2−2b)/(2−b)>` for BIN (whose decrease retains `1 − b`).
+    pub fn convergence_worst(&self) -> f64 {
+        match *self {
+            ProtocolSpec::Bin { b, .. } => (2.0 - 2.0 * b) / (2.0 - b),
+            _ => {
+                let b = self.retain_factor();
+                2.0 * b / (1.0 + b)
+            }
+        }
+    }
+
+    /// Robustness to non-congestion loss: ε for Robust-AIMD, 0 for all
+    /// classical families ("all protocols are 0-robust, with the exception
+    /// of Robust-AIMD(a, b, k), which is k-robust").
+    pub fn robustness(&self) -> f64 {
+        match *self {
+            ProtocolSpec::RobustAimd { eps, .. } => eps,
+            _ => 0.0,
+        }
+    }
+
+    // ----- Assembled rows ---------------------------------------------------
+
+    /// The parameterized Table 1 row for a given link (`C`, `τ`) and sender
+    /// count `n`. Latency inflation is unbounded — all five families are
+    /// loss-based.
+    pub fn scores(&self, c: f64, tau: f64, n: f64) -> AxiomScores {
+        AxiomScores {
+            efficiency: self.efficiency(c, tau),
+            fast_utilization: self.fast_utilization_worst(),
+            loss_bound: self.loss_bound(c, tau, n),
+            fairness: self.fairness_worst(),
+            convergence: self.convergence_worst(),
+            robustness: self.robustness(),
+            tcp_friendliness: self.tcp_friendliness(c, tau),
+            latency_inflation: f64::INFINITY,
+        }
+    }
+
+    /// The worst-case (angle-bracket) Table 1 row.
+    pub fn scores_worst(&self) -> AxiomScores {
+        AxiomScores {
+            efficiency: self.efficiency_worst(),
+            fast_utilization: self.fast_utilization_worst(),
+            loss_bound: self.loss_bound_worst(),
+            fairness: self.fairness_worst(),
+            convergence: self.convergence_worst(),
+            robustness: self.robustness(),
+            tcp_friendliness: self.tcp_friendliness_worst(),
+            latency_inflation: f64::INFINITY,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C: f64 = 350.0; // 100 Mbps × 42 ms
+    const TAU: f64 = 100.0;
+
+    #[test]
+    fn reno_row() {
+        let reno = ProtocolSpec::RENO;
+        // Efficiency: min(1, 0.5·(1 + 100/350)) = 0.6428…
+        assert!((reno.efficiency(C, TAU) - 0.5 * (1.0 + TAU / C)).abs() < 1e-12);
+        assert_eq!(reno.efficiency_worst(), 0.5);
+        // Loss with n=2: 1 − 450/452.
+        assert!((reno.loss_bound(C, TAU, 2.0) - (1.0 - 450.0 / 452.0)).abs() < 1e-12);
+        assert_eq!(reno.loss_bound_worst(), 1.0);
+        assert_eq!(reno.fast_utilization_worst(), 1.0);
+        // Friendliness to itself: 3·0.5/(1·1.5) = 1.
+        assert!((reno.tcp_friendliness(C, TAU) - 1.0).abs() < 1e-12);
+        assert_eq!(reno.fairness_worst(), 1.0);
+        // Convergence: 2·0.5/1.5 = 2/3.
+        assert!((reno.convergence_worst() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(reno.robustness(), 0.0);
+    }
+
+    #[test]
+    fn efficiency_capped_at_one() {
+        // Deep buffer: b(1+τ/C) > 1 ⇒ capped.
+        let reno = ProtocolSpec::RENO;
+        assert_eq!(reno.efficiency(100.0, 200.0), 1.0);
+    }
+
+    #[test]
+    fn mimd_row() {
+        let s = ProtocolSpec::SCALABLE_MIMD; // MIMD(1.01, 0.875)
+        assert_eq!(s.fast_utilization_worst(), f64::INFINITY);
+        assert_eq!(s.fairness_worst(), 0.0);
+        assert!((s.loss_bound_worst() - 0.01 / 1.01).abs() < 1e-12);
+        assert_eq!(s.tcp_friendliness_worst(), 0.0);
+        // Parameterized friendliness shrinks as the link grows.
+        let f_small = s.tcp_friendliness(100.0, 10.0);
+        let f_big = s.tcp_friendliness(10_000.0, 10.0);
+        assert!(f_small > f_big, "{f_small} vs {f_big}");
+        assert!(f_big > 0.0);
+    }
+
+    #[test]
+    fn bin_reduces_to_aimd_at_k0_l1() {
+        let bin = ProtocolSpec::Bin { a: 1.0, b: 0.5, k: 0.0, l: 1.0 };
+        let aimd = ProtocolSpec::RENO;
+        assert!((bin.efficiency(C, TAU) - aimd.efficiency(C, TAU)).abs() < 1e-12);
+        assert!((bin.loss_bound(C, TAU, 3.0) - aimd.loss_bound(C, TAU, 3.0)).abs() < 1e-12);
+        assert_eq!(bin.fast_utilization_worst(), 1.0);
+    }
+
+    #[test]
+    fn bin_with_positive_k_not_fast_utilizing() {
+        // IIAD: k=1, l=0.
+        let iiad = ProtocolSpec::Bin { a: 1.0, b: 0.5, k: 1.0, l: 0.0 };
+        assert_eq!(iiad.fast_utilization_worst(), 0.0);
+        // l + k = 1 ⇒ friendly bound √(3/2)·(b/a)^{1/2}.
+        let expect = (1.5f64).sqrt() * (0.5f64).powf(0.5);
+        assert!((iiad.tcp_friendliness_worst() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bin_below_friendliness_threshold() {
+        // l + k < 1 ⇒ not TCP-friendly at all.
+        let bin = ProtocolSpec::Bin { a: 1.0, b: 0.5, k: 0.25, l: 0.25 };
+        assert_eq!(bin.tcp_friendliness_worst(), 0.0);
+        assert_eq!(bin.tcp_friendliness(C, TAU), 0.0);
+    }
+
+    #[test]
+    fn bin_loss_bound_decreases_with_k() {
+        // Gentler increase (larger k) ⇒ smaller overshoot ⇒ less loss,
+        // when the fair share (C+τ)/n exceeds 1 MSS.
+        let lb = |k: f64| {
+            ProtocolSpec::Bin { a: 1.0, b: 0.5, k, l: 1.0 }.loss_bound(C, TAU, 4.0)
+        };
+        assert!(lb(0.0) > lb(0.5));
+        assert!(lb(0.5) > lb(1.0));
+    }
+
+    #[test]
+    fn cubic_row() {
+        let cub = ProtocolSpec::CUBIC_LINUX; // CUBIC(0.4, 0.8)
+        assert_eq!(cub.efficiency_worst(), 0.8);
+        assert_eq!(cub.fast_utilization_worst(), 0.4);
+        assert!((cub.loss_bound(C, TAU, 2.0) - (1.0 - 450.0 / 450.8)).abs() < 1e-12);
+        // Friendliness: √(3/2)·(4·0.2/(0.4·3.8·450))^{1/4}.
+        let expect = (1.5f64).sqrt() * (0.8f64 / (0.4 * 3.8 * 450.0)).powf(0.25);
+        assert!((cub.tcp_friendliness(C, TAU) - expect).abs() < 1e-12);
+        assert_eq!(cub.tcp_friendliness_worst(), 0.0);
+        assert!((cub.convergence_worst() - 1.6 / 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn robust_aimd_row() {
+        let r = ProtocolSpec::ROBUST_AIMD_TABLE2; // R-AIMD(1, 0.8, 0.01)
+        assert_eq!(r.robustness(), 0.01);
+        assert!((r.efficiency_worst() - 0.8 / 0.99).abs() < 1e-12);
+        // Loss bound with n=2: ((C+τ)ε + na(1−ε)) / ((C+τ) + na(1−ε)).
+        let ct = C + TAU;
+        let num = ct * 0.01 + 2.0 * 1.0 * 0.99;
+        let den = ct + 2.0 * 1.0 * 0.99;
+        assert!((r.loss_bound(C, TAU, 2.0) - num / den).abs() < 1e-12);
+        // Friendliness: 3·0.2/((4·450/0.99 − 1)·1.8).
+        let expect = 3.0 * 0.2 / ((4.0 * ct / 0.99 - 1.0) * 1.8);
+        assert!((r.tcp_friendliness(C, TAU) - expect).abs() < 1e-12);
+        assert_eq!(r.tcp_friendliness_worst(), 0.0);
+        assert_eq!(r.fast_utilization_worst(), 1.0);
+    }
+
+    #[test]
+    fn robust_aimd_friendliness_below_reno_aimd_counterpart() {
+        // Theorem 3 vs Theorem 2: tolerating loss costs friendliness.
+        let r = ProtocolSpec::RobustAimd { a: 1.0, b: 0.5, eps: 0.01 };
+        let aimd = ProtocolSpec::Aimd { a: 1.0, b: 0.5 };
+        assert!(r.tcp_friendliness(C, TAU) < aimd.tcp_friendliness(C, TAU));
+    }
+
+    #[test]
+    fn names_follow_paper_notation() {
+        assert_eq!(ProtocolSpec::RENO.name(), "AIMD(1,0.5)");
+        assert_eq!(ProtocolSpec::CUBIC_LINUX.name(), "CUBIC(0.4,0.8)");
+        assert_eq!(ProtocolSpec::SCALABLE_MIMD.name(), "MIMD(1.01,0.875)");
+        assert_eq!(
+            ProtocolSpec::ROBUST_AIMD_TABLE2.name(),
+            "R-AIMD(1,0.8,0.01)"
+        );
+    }
+
+    #[test]
+    fn assembled_rows_are_consistent() {
+        for spec in [
+            ProtocolSpec::RENO,
+            ProtocolSpec::SCALABLE_MIMD,
+            ProtocolSpec::CUBIC_LINUX,
+            ProtocolSpec::ROBUST_AIMD_TABLE2,
+            ProtocolSpec::Bin { a: 1.0, b: 0.5, k: 1.0, l: 0.0 },
+        ] {
+            let row = spec.scores(C, TAU, 3.0);
+            let wc = spec.scores_worst();
+            assert_eq!(row.fast_utilization, wc.fast_utilization);
+            assert_eq!(row.fairness, wc.fairness);
+            assert_eq!(row.robustness, wc.robustness);
+            // Parameterized efficiency at a real link is at least the
+            // worst case; the parameterized loss bound at finite n is at
+            // most the worst case.
+            assert!(row.efficiency >= wc.efficiency - 1e-12, "{spec:?}");
+            assert!(row.loss_bound <= wc.loss_bound + 1e-12, "{spec:?}");
+            assert!(row.latency_inflation.is_infinite());
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Unit conversions used throughout the framework.
+//!
+//! The paper measures bandwidth in **MSS per second** and buffers in **MSS**.
+//! Real-world experiment descriptions (Table 2, the Emulab validation of
+//! Section 5.1) use megabits per second and milliseconds; this module is the
+//! single place where those are converted, so every crate agrees on the
+//! numbers.
+
+use serde::{Deserialize, Serialize};
+
+/// Size of one MSS (maximum segment size) in bytes.
+///
+/// The paper's experiments use standard Ethernet framing; 1500 bytes is the
+/// conventional MTU and the MSS used by the Linux kernel protocols the paper
+/// tests against (Reno, Cubic, Scalable).
+pub const MSS_BYTES: f64 = 1500.0;
+
+/// Bits per MSS.
+pub const MSS_BITS: f64 = MSS_BYTES * 8.0;
+
+/// Convert a bandwidth in megabits/second to the paper's MSS/second unit.
+///
+/// ```
+/// use axcc_core::units::mbps_to_mss_per_sec;
+/// // 100 Mbps = 100e6 / (1500*8) ≈ 8333.3 MSS/s
+/// let b = mbps_to_mss_per_sec(100.0);
+/// assert!((b - 8333.333).abs() < 0.01);
+/// ```
+pub fn mbps_to_mss_per_sec(mbps: f64) -> f64 {
+    mbps * 1.0e6 / MSS_BITS
+}
+
+/// Convert MSS/second back to megabits/second.
+pub fn mss_per_sec_to_mbps(mss_per_sec: f64) -> f64 {
+    mss_per_sec * MSS_BITS / 1.0e6
+}
+
+/// Convert milliseconds to seconds.
+pub fn ms_to_sec(ms: f64) -> f64 {
+    ms / 1000.0
+}
+
+/// Convert seconds to milliseconds.
+pub fn sec_to_ms(sec: f64) -> f64 {
+    sec * 1000.0
+}
+
+/// A bandwidth value carrying its unit, convertible to the model's MSS/s.
+///
+/// Experiment configurations (e.g. the Table 2 grid) are written in the
+/// units the paper reports (`Mbps`); the simulators consume MSS/s.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Bandwidth {
+    /// Megabits per second (as in the paper's experiment tables).
+    Mbps(f64),
+    /// The model's native unit.
+    MssPerSec(f64),
+}
+
+impl Bandwidth {
+    /// The value in MSS/second (the model's native unit).
+    pub fn mss_per_sec(self) -> f64 {
+        match self {
+            Bandwidth::Mbps(v) => mbps_to_mss_per_sec(v),
+            Bandwidth::MssPerSec(v) => v,
+        }
+    }
+
+    /// The value in megabits/second.
+    pub fn mbps(self) -> f64 {
+        match self {
+            Bandwidth::Mbps(v) => v,
+            Bandwidth::MssPerSec(v) => mss_per_sec_to_mbps(v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mbps_round_trip() {
+        for mbps in [1.0, 20.0, 30.0, 60.0, 100.0, 1000.0] {
+            let there = mbps_to_mss_per_sec(mbps);
+            let back = mss_per_sec_to_mbps(there);
+            assert!((back - mbps).abs() < 1e-9, "{mbps} -> {there} -> {back}");
+        }
+    }
+
+    #[test]
+    fn paper_link_speeds() {
+        // The paper's Emulab links: 20/30/60/100 Mbps.
+        assert!((mbps_to_mss_per_sec(20.0) - 1666.666).abs() < 1e-2);
+        assert!((mbps_to_mss_per_sec(30.0) - 2500.0).abs() < 1e-9);
+        assert!((mbps_to_mss_per_sec(60.0) - 5000.0).abs() < 1e-9);
+        assert!((mbps_to_mss_per_sec(100.0) - 8333.333).abs() < 1e-2);
+    }
+
+    #[test]
+    fn ms_round_trip() {
+        assert_eq!(ms_to_sec(42.0), 0.042);
+        assert_eq!(sec_to_ms(0.042), 42.0);
+    }
+
+    #[test]
+    fn bandwidth_enum_agrees_with_free_functions() {
+        let b = Bandwidth::Mbps(60.0);
+        assert_eq!(b.mss_per_sec(), mbps_to_mss_per_sec(60.0));
+        assert_eq!(b.mbps(), 60.0);
+        let b = Bandwidth::MssPerSec(5000.0);
+        assert_eq!(b.mss_per_sec(), 5000.0);
+        assert_eq!(b.mbps(), 60.0);
+    }
+}

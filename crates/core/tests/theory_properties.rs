@@ -1,0 +1,147 @@
+//! Property tests for the theory layer: the closed forms of Table 1, the
+//! theorem bounds, and the feasibility checker must satisfy their
+//! structural relations for *arbitrary* in-domain parameters.
+
+use axcc_core::theory::feasibility::{infeasibilities_loss_based, is_consistent_loss_based};
+use axcc_core::theory::theorems::{
+    theorem1_efficiency_lower_bound, theorem2_friendliness_upper_bound,
+    theorem3_friendliness_upper_bound,
+};
+use axcc_core::theory::ProtocolSpec;
+use proptest::prelude::*;
+
+fn arb_aimd() -> impl Strategy<Value = ProtocolSpec> {
+    (0.1f64..5.0, 0.05f64..0.95).prop_map(|(a, b)| ProtocolSpec::Aimd { a, b })
+}
+
+fn arb_spec() -> impl Strategy<Value = ProtocolSpec> {
+    prop_oneof![
+        arb_aimd(),
+        (1.001f64..2.0, 0.05f64..0.95).prop_map(|(a, b)| ProtocolSpec::Mimd { a, b }),
+        (0.1f64..3.0, 0.05f64..1.0, 0.0f64..2.0, 0.0f64..1.0)
+            .prop_map(|(a, b, k, l)| ProtocolSpec::Bin { a, b, k, l }),
+        (0.05f64..1.5, 0.05f64..0.95).prop_map(|(c, b)| ProtocolSpec::Cubic { c, b }),
+        (0.1f64..3.0, 0.05f64..0.95, 0.001f64..0.2)
+            .prop_map(|(a, b, eps)| ProtocolSpec::RobustAimd { a, b, eps }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every Table 1 cell stays in its documented range, for every family
+    /// and link.
+    #[test]
+    fn table1_cells_in_range(
+        spec in arb_spec(),
+        c in 10.0f64..10_000.0,
+        tau in 0.1f64..2_000.0,
+        n in 1.0f64..64.0,
+    ) {
+        let eff = spec.efficiency(c, tau);
+        prop_assert!((0.0..=1.0).contains(&eff), "{spec:?} eff {eff}");
+        prop_assert!(eff >= spec.efficiency_worst() - 1e-12);
+
+        let loss = spec.loss_bound(c, tau, n);
+        prop_assert!((0.0..=1.0).contains(&loss), "{spec:?} loss {loss}");
+        prop_assert!(loss <= spec.loss_bound_worst() + 1e-12);
+
+        let fair = spec.fairness_worst();
+        prop_assert!(fair == 0.0 || fair == 1.0);
+
+        let conv = spec.convergence_worst();
+        prop_assert!((0.0..=1.0).contains(&conv), "{spec:?} conv {conv}");
+
+        let fr = spec.tcp_friendliness(c, tau);
+        prop_assert!(fr >= 0.0, "{spec:?} friendliness {fr}");
+    }
+
+    /// Efficiency improves with buffer depth; loss worsens with sender
+    /// count (for the additive-increase families where the cell depends
+    /// on n).
+    #[test]
+    fn table1_monotonicities(
+        spec in arb_spec(),
+        c in 10.0f64..10_000.0,
+        tau in 0.1f64..1_000.0,
+        dtau in 0.1f64..500.0,
+        n in 1.0f64..32.0,
+        dn in 1.0f64..32.0,
+    ) {
+        prop_assert!(spec.efficiency(c, tau + dtau) >= spec.efficiency(c, tau) - 1e-12);
+        prop_assert!(spec.loss_bound(c, tau, n + dn) >= spec.loss_bound(c, tau, n) - 1e-12);
+    }
+
+    /// Theorem bounds: Theorem 1's bound is monotone in convergence and
+    /// within [0, 1]; Theorem 2's bound decreases in both arguments;
+    /// Theorem 3's bound is strictly below Theorem 2's.
+    #[test]
+    fn theorem_bound_shapes(
+        alpha in 0.05f64..5.0,
+        beta in 0.0f64..0.99,
+        dbeta in 0.001f64..0.5,
+        eps in 0.001f64..0.5,
+        ct in 10.0f64..10_000.0,
+    ) {
+        let beta2 = (beta + dbeta).min(0.999);
+        prop_assert!(
+            theorem2_friendliness_upper_bound(alpha, beta2)
+                <= theorem2_friendliness_upper_bound(alpha, beta) + 1e-12
+        );
+        prop_assert!(
+            theorem2_friendliness_upper_bound(alpha * 2.0, beta)
+                <= theorem2_friendliness_upper_bound(alpha, beta) + 1e-12
+        );
+        let conv = beta; // reuse as a convergence score
+        let t1 = theorem1_efficiency_lower_bound(conv);
+        prop_assert!((0.0..=1.0).contains(&t1));
+        if ct > alpha / 2.0 {
+            let t3 = theorem3_friendliness_upper_bound(alpha, beta, eps, ct);
+            let t2 = theorem2_friendliness_upper_bound(alpha, beta);
+            prop_assert!(t3 <= t2 + 1e-12, "t3 {t3} vs t2 {t2}");
+            prop_assert!(t3 >= 0.0);
+        }
+    }
+
+    /// Theorem 2 is tight for AIMD: the worst-case Table 1 row of any
+    /// AIMD(a, b) sits exactly on the bound — and therefore every AIMD
+    /// worst-case row passes the feasibility checker.
+    #[test]
+    fn aimd_rows_sit_on_theorem2(spec in arb_aimd()) {
+        let ProtocolSpec::Aimd { a, b } = spec else { unreachable!() };
+        let row = spec.scores_worst();
+        let bound = theorem2_friendliness_upper_bound(a, b);
+        prop_assert!((row.tcp_friendliness - bound).abs() < 1e-12);
+        prop_assert!(is_consistent_loss_based(&row, 1_000.0));
+    }
+
+    /// Every family's worst-case row is theorem-consistent, and inflating
+    /// its friendliness beyond the Theorem 2 cap is always caught.
+    #[test]
+    fn feasibility_checker_is_sound_on_worst_rows(
+        spec in arb_spec(),
+        inflation in 1.2f64..10.0,
+        ct in 50.0f64..5_000.0,
+    ) {
+        let row = spec.scores_worst();
+        prop_assert!(
+            infeasibilities_loss_based(&row, ct, None).is_empty(),
+            "{spec:?}"
+        );
+        // Inflate friendliness beyond the Theorem 2 cap: must be caught
+        // whenever the hypotheses apply (positive, finite fast-utilization).
+        if row.fast_utilization > 0.0 && row.fast_utilization.is_finite() {
+            let cap = theorem2_friendliness_upper_bound(
+                row.fast_utilization,
+                row.efficiency,
+            );
+            let mut bad = row;
+            bad.tcp_friendliness = cap * inflation + 1e-6;
+            prop_assert!(
+                !infeasibilities_loss_based(&bad, ct, None).is_empty(),
+                "{spec:?} inflated to {} past cap {cap}",
+                bad.tcp_friendliness
+            );
+        }
+    }
+}

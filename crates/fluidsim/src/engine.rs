@@ -1,0 +1,398 @@
+//! The simulation loop: synchronized discrete-time dynamics (Section 2).
+
+use crate::loss::{compose_loss, sample_loss_fraction};
+use crate::scenario::{FeedbackMode, Scenario};
+use axcc_core::protocol::clamp_window;
+use axcc_core::{Observation, RunTrace, SenderTrace};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Run a scenario to completion, producing the full trace.
+///
+/// At each step `t`:
+///
+/// 1. senders whose start step is `t` enter with their initial windows;
+/// 2. the total active window `X^(t)` determines the step's RTT
+///    (equation 1) and congestion loss rate (both shared by all senders —
+///    synchronized feedback);
+/// 3. each active sender's wire loss is sampled and composed with the
+///    congestion loss; the sender's protocol observes its window, composed
+///    loss, RTT and running min-RTT, and selects the next window;
+/// 4. the requested windows are clamped to `[0, M]` and become `x̄^(t+1)`.
+///
+/// Senders that have not yet entered are recorded with zero window and
+/// goodput so traces stay rectangular.
+///
+/// # Panics
+///
+/// Panics if the scenario has no senders (there is nothing to simulate).
+pub fn run_scenario(scenario: Scenario) -> RunTrace {
+    let Scenario {
+        link,
+        mut senders,
+        steps,
+        max_window,
+        loss_model,
+        seed,
+        bandwidth_changes,
+        feedback,
+    } = scenario;
+    assert!(!senders.is_empty(), "scenario needs at least one sender");
+
+    // The active link: bandwidth may change mid-run (an extension of the
+    // paper's static model; see `Scenario::bandwidth_change`). Propagation
+    // delay and buffer never change, so the trace's recorded link keeps
+    // the correct RTT floor for validation.
+    let mut active_link = link;
+    let mut pending_changes = bandwidth_changes.into_iter().peekable();
+
+    let n = senders.len();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+    let mut windows: Vec<f64> = vec![0.0; n];
+    let mut started: Vec<bool> = vec![false; n];
+    let mut min_rtts: Vec<f64> = vec![f64::INFINITY; n];
+
+    let mut traces: Vec<SenderTrace> = senders
+        .iter()
+        .map(|s| {
+            SenderTrace::with_capacity(s.protocol.name(), s.protocol.loss_based(), steps)
+        })
+        .collect();
+    let mut total_col = Vec::with_capacity(steps);
+    let mut rtt_col = Vec::with_capacity(steps);
+    let mut loss_col = Vec::with_capacity(steps);
+
+    for t in 0..steps as u64 {
+        // (0) scheduled link changes.
+        while pending_changes.peek().is_some_and(|&(at, _)| at <= t) {
+            let (_, new_bw) = pending_changes.next().expect("peeked");
+            active_link = axcc_core::LinkParams::new(new_bw, link.prop_delay, link.buffer);
+        }
+
+        // (1) admissions.
+        for (i, cfg) in senders.iter().enumerate() {
+            if !started[i] && t >= cfg.start_tick {
+                started[i] = true;
+                windows[i] = clamp_window(cfg.initial_window, max_window);
+            }
+        }
+
+        // (2) shared link state.
+        let total: f64 = windows
+            .iter()
+            .zip(&started)
+            .filter(|(_, &s)| s)
+            .map(|(w, _)| *w)
+            .sum();
+        let rtt = active_link.rtt(total);
+        let congestion_loss = active_link.loss_rate(total);
+
+        total_col.push(total);
+        rtt_col.push(rtt);
+        loss_col.push(congestion_loss);
+
+        // (3)+(4) per-sender observation and update.
+        for i in 0..n {
+            if !started[i] {
+                traces[i].window.push(0.0);
+                traces[i].loss.push(0.0);
+                traces[i].rtt.push(rtt);
+                traces[i].goodput.push(0.0);
+                continue;
+            }
+            let wire = loss_model.sample(&mut rng, windows[i]);
+            let observed_congestion = match feedback {
+                FeedbackMode::Synchronized => congestion_loss,
+                FeedbackMode::PerPacket => {
+                    sample_loss_fraction(&mut rng, windows[i], congestion_loss)
+                }
+            };
+            let loss = compose_loss(observed_congestion, wire);
+            min_rtts[i] = min_rtts[i].min(rtt);
+
+            let w = windows[i];
+            traces[i].window.push(w);
+            traces[i].loss.push(loss);
+            traces[i].rtt.push(rtt);
+            traces[i].goodput.push(w * (1.0 - loss) / rtt);
+
+            let obs = Observation {
+                tick: t,
+                window: w,
+                loss_rate: loss,
+                rtt,
+                min_rtt: min_rtts[i],
+            };
+            let requested = senders[i].protocol.next_window(&obs);
+            windows[i] = clamp_window(requested, max_window);
+        }
+    }
+
+    let trace = RunTrace {
+        link,
+        senders: traces,
+        total_window: total_col,
+        rtt: rtt_col,
+        loss: loss_col,
+        seed,
+    };
+    debug_assert_eq!(trace.validate(max_window), Ok(()));
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::LossModel;
+    use crate::scenario::SenderConfig;
+    use axcc_core::LinkParams;
+    use axcc_protocols::{Aimd, Mimd, RobustAimd, Vegas};
+
+    /// C = 100 MSS, τ = 20 MSS.
+    fn link() -> LinkParams {
+        LinkParams::new(1000.0, 0.05, 20.0)
+    }
+
+    #[test]
+    fn single_reno_fills_the_pipe() {
+        let trace = Scenario::new(link())
+            .homogeneous(&Aimd::reno(), 1, 1.0)
+            .steps(1000)
+            .run();
+        trace.validate(axcc_core::protocol::MAX_WINDOW).unwrap();
+        let tail = trace.tail_start(0.5);
+        // Sawtooth between 0.5·(C+τ) = 60 and C+τ = 120: mean utilization
+        // well above the worst-case b = 0.5.
+        let eff = axcc_core::axioms::efficiency::measured_efficiency(&trace, tail);
+        assert!(eff >= 0.5, "efficiency {eff}");
+        let mean = axcc_core::axioms::efficiency::mean_utilization(&trace, tail);
+        assert!(mean > 0.8, "mean utilization {mean}");
+    }
+
+    #[test]
+    fn reno_sawtooth_is_periodic_and_lossy_at_peaks() {
+        let trace = Scenario::new(link())
+            .homogeneous(&Aimd::reno(), 1, 1.0)
+            .steps(600)
+            .run();
+        let tail = trace.tail_start(0.5);
+        // Loss recurs (Claim 1: a fast-utilizing loss-based protocol cannot
+        // be 0-loss)…
+        let events: usize = trace.loss[tail..].iter().filter(|&&l| l > 0.0).count();
+        assert!(events >= 2, "loss events in tail: {events}");
+        // …but single-step loss is bounded by the overshoot of one +1 step.
+        let max_loss = trace.loss[tail..].iter().copied().fold(0.0, f64::max);
+        assert!(max_loss < 0.05, "max loss {max_loss}");
+    }
+
+    #[test]
+    fn two_renos_converge_to_fairness_from_skewed_start() {
+        let trace = Scenario::new(link())
+            .sender(SenderConfig::new(Box::new(Aimd::reno())).initial_window(100.0))
+            .sender(SenderConfig::new(Box::new(Aimd::reno())).initial_window(1.0))
+            .steps(3000)
+            .run();
+        let tail = trace.tail_start(0.5);
+        let f = axcc_core::axioms::fairness::measured_fairness(&trace, tail);
+        assert!(f > 0.8, "fairness {f}");
+    }
+
+    #[test]
+    fn two_mimds_preserve_imbalance() {
+        let trace = Scenario::new(link())
+            .sender(SenderConfig::new(Box::new(Mimd::scalable())).initial_window(40.0))
+            .sender(SenderConfig::new(Box::new(Mimd::scalable())).initial_window(10.0))
+            .steps(2000)
+            .run();
+        let tail = trace.tail_start(0.5);
+        let f = axcc_core::axioms::fairness::measured_fairness(&trace, tail);
+        // Ratio stays 1:4 — far from fair (Table 1's <0> fairness).
+        assert!(f < 0.3, "fairness {f}");
+    }
+
+    #[test]
+    fn late_joiner_enters_at_start_tick() {
+        let trace = Scenario::new(link())
+            .sender(SenderConfig::new(Box::new(Aimd::reno())).initial_window(1.0))
+            .sender(
+                SenderConfig::new(Box::new(Aimd::reno()))
+                    .initial_window(1.0)
+                    .start_at(200),
+            )
+            .steps(400)
+            .run();
+        // Before step 200 the second sender is idle.
+        assert!(trace.senders[1].window[..200].iter().all(|&w| w == 0.0));
+        assert_eq!(trace.senders[1].window[200], 1.0);
+        assert!(trace.senders[1].window[399] > 1.0);
+    }
+
+    #[test]
+    fn deterministic_without_wire_loss() {
+        let run = || {
+            Scenario::new(link())
+                .homogeneous(&Aimd::reno(), 3, 2.0)
+                .steps(500)
+                .run()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn deterministic_per_seed_with_wire_loss() {
+        let run = |seed| {
+            Scenario::new(link())
+                .homogeneous(&Aimd::reno(), 2, 2.0)
+                .wire_loss(LossModel::Bernoulli { rate: 0.01 })
+                .seed(seed)
+                .steps(500)
+                .run()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn robustness_scenario_robust_aimd_escapes_reno_collapses() {
+        // Metric VI: infinite capacity (huge link), constant 0.5% loss.
+        let big = LinkParams::new(1.0e9, 0.05, 1.0e9);
+        let run = |p: Box<dyn axcc_core::Protocol>| {
+            Scenario::new(big)
+                .sender(SenderConfig::new(p).initial_window(10.0))
+                .wire_loss(LossModel::Constant { rate: 0.005 })
+                .steps(2000)
+                .run()
+        };
+        let robust = run(Box::new(RobustAimd::table2()));
+        let reno = run(Box::new(Aimd::reno()));
+        let r_final = *robust.senders[0].window.last().unwrap();
+        let t_final = *reno.senders[0].window.last().unwrap();
+        // Robust-AIMD climbs ~1 MSS/step; Reno halves every step.
+        assert!(r_final > 1000.0, "robust final {r_final}");
+        assert!(t_final < 2.0, "reno final {t_final}");
+    }
+
+    #[test]
+    fn vegas_holds_rtt_near_floor() {
+        let trace = Scenario::new(link())
+            .homogeneous(&Vegas::classic(), 2, 1.0)
+            .steps(1500)
+            .run();
+        let tail = trace.tail_start(0.5);
+        let inflation =
+            axcc_core::axioms::latency::measured_latency_inflation(&trace, tail);
+        // 2 senders × β = 4 packets of standing queue over C = 100:
+        // inflation ≈ 8% worst case.
+        assert!(inflation < 0.12, "latency inflation {inflation}");
+        // And no loss at all in the tail.
+        assert!(axcc_core::axioms::loss_avoidance::is_zero_loss(&trace, tail));
+    }
+
+    #[test]
+    fn max_window_is_respected() {
+        let trace = Scenario::new(link())
+            .homogeneous(&Mimd::scalable(), 1, 1.0)
+            .max_window(50.0)
+            .steps(300)
+            .run();
+        assert!(trace.senders[0].window.iter().all(|&w| w <= 50.0));
+        trace.validate(50.0).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sender")]
+    fn empty_scenario_panics() {
+        Scenario::new(link()).run();
+    }
+
+    #[test]
+    fn per_packet_feedback_breaks_mimd_ratio_preservation() {
+        // Under the paper's synchronized feedback, two MIMD senders keep
+        // their initial 4:1 imbalance forever. Under per-packet
+        // (unsynchronized) feedback — the §6 extension — the larger
+        // sender statistically sees loss more often and the pair drifts
+        // towards fairness.
+        let run = |mode: FeedbackMode| {
+            let trace = Scenario::new(link())
+                .sender(SenderConfig::new(Box::new(Mimd::scalable())).initial_window(40.0))
+                .sender(SenderConfig::new(Box::new(Mimd::scalable())).initial_window(10.0))
+                .feedback(mode)
+                .seed(5)
+                .steps(4000)
+                .run();
+            let tail = trace.tail_start(0.5);
+            axcc_core::axioms::fairness::measured_fairness(&trace, tail)
+        };
+        let sync = run(FeedbackMode::Synchronized);
+        let unsync = run(FeedbackMode::PerPacket);
+        assert!(sync < 0.3, "synchronized fairness {sync}");
+        assert!(
+            unsync > sync + 0.2,
+            "unsynchronized {unsync} should improve on synchronized {sync}"
+        );
+    }
+
+    #[test]
+    fn per_packet_feedback_is_seeded() {
+        let run = |seed| {
+            Scenario::new(link())
+                .homogeneous(&Aimd::reno(), 2, 2.0)
+                .feedback(FeedbackMode::PerPacket)
+                .seed(seed)
+                .steps(400)
+                .run()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1).senders[0].window, run(2).senders[0].window);
+    }
+
+    use crate::scenario::FeedbackMode;
+
+    #[test]
+    fn bandwidth_change_moves_the_operating_point() {
+        // Halve the bandwidth mid-run: C drops 100 → 50, so the Reno
+        // sawtooth re-converges around the smaller loss threshold.
+        let trace = Scenario::new(link())
+            .homogeneous(&Aimd::reno(), 1, 1.0)
+            .bandwidth_change(600, 500.0)
+            .steps(1200)
+            .run();
+        let before = axcc_core::trace::mean(&trace.total_window[400..600]);
+        let after = axcc_core::trace::mean(&trace.total_window[1000..1200]);
+        // Before: sawtooth in [60, 120] (mean ≈ 90); after: C = 50,
+        // threshold 70, sawtooth in [35, 70] (mean ≈ 52).
+        assert!(before > 80.0, "before {before}");
+        assert!(after < 65.0, "after {after}");
+        assert!(after > 30.0, "after {after}");
+    }
+
+    #[test]
+    fn bandwidth_increase_is_reclaimed() {
+        // Double the bandwidth at step 500; the sender must grow into the
+        // new capacity (this is what the responsiveness extension metric
+        // measures).
+        let trace = Scenario::new(link())
+            .homogeneous(&Aimd::reno(), 1, 1.0)
+            .bandwidth_change(500, 2000.0)
+            .steps(1500)
+            .run();
+        let tail_mean = axcc_core::trace::mean(&trace.total_window[1200..]);
+        // New C = 200, threshold 220: the sawtooth mean should exceed the
+        // old threshold of 120.
+        assert!(tail_mean > 140.0, "tail mean {tail_mean}");
+    }
+
+    #[test]
+    fn trace_shape_matches_steps_and_senders() {
+        let trace = Scenario::new(link())
+            .homogeneous(&Aimd::reno(), 3, 1.0)
+            .steps(123)
+            .run();
+        assert_eq!(trace.len(), 123);
+        assert_eq!(trace.num_senders(), 3);
+        for s in &trace.senders {
+            assert_eq!(s.len(), 123);
+        }
+    }
+}

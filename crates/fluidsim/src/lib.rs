@@ -1,0 +1,52 @@
+//! # axcc-fluidsim — the paper's fluid-flow discrete-time simulator
+//!
+//! Implements the dynamics of Section 2 exactly: time is an infinite
+//! sequence of RTT-length steps with **synchronized feedback**; at each step
+//! every sender observes the step's RTT (equation 1) and droptail loss
+//! rate, and its protocol deterministically selects the next congestion
+//! window in `[0, M]`.
+//!
+//! On top of the paper's deterministic core, the engine supports:
+//!
+//! * **staggered entry** — each sender has a start step, modeling
+//!   "connections (with smaller window sizes) starting to send after other
+//!   connections";
+//! * **non-congestion loss injection** ([`loss::LossModel`]) — the
+//!   constant/random wire loss of Metric VI and the PCC motivating
+//!   scenario, driven by a seeded ChaCha8 RNG so every run is reproducible;
+//! * **trace recording** — the engine emits the [`RunTrace`] consumed by
+//!   every axiom evaluator in `axcc-core` / `axcc-analysis`.
+//!
+//! ```
+//! use axcc_core::LinkParams;
+//! use axcc_fluidsim::{Scenario, SenderConfig};
+//! use axcc_protocols::Aimd;
+//!
+//! // Two Reno senders on a C = 100 MSS link, as in the paper's model.
+//! let link = LinkParams::new(1000.0, 0.05, 20.0);
+//! let trace = Scenario::new(link)
+//!     .sender(SenderConfig::new(Box::new(Aimd::reno())).initial_window(1.0))
+//!     .sender(SenderConfig::new(Box::new(Aimd::reno())).initial_window(80.0))
+//!     .steps(2000)
+//!     .run();
+//! // Converged and fair: both senders' tail-average windows are close.
+//! let tail = trace.tail_start(0.5);
+//! let a = trace.senders[0].mean_window_from(tail);
+//! let b = trace.senders[1].mean_window_from(tail);
+//! assert!((a / b - 1.0).abs() < 0.1);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+mod engine;
+pub mod loss;
+pub mod network;
+mod scenario;
+
+pub use engine::run_scenario;
+pub use network::{FlowConfig, NetScenario, NetTrace, Topology};
+pub use loss::LossModel;
+pub use scenario::{FeedbackMode, Scenario, SenderConfig};
+
+pub use axcc_core::{LinkParams, RunTrace, SenderTrace};

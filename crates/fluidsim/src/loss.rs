@@ -1,0 +1,228 @@
+//! Non-congestion ("wire") loss injection.
+//!
+//! Metric VI quantifies robustness against *"constant random packet loss
+//! rate of at most α"* on a link of infinite capacity — loss that does not
+//! signal congestion (wireless corruption, shallow-buffered middleboxes,
+//! etc.; the scenario PCC's authors use to motivate that protocol).
+//!
+//! The fluid model carries loss as a per-step *rate*, so wire loss composes
+//! with congestion loss independently:
+//!
+//! ```text
+//! L_eff = 1 − (1 − L_congestion) · (1 − L_wire)
+//! ```
+//!
+//! Two wire-loss models are provided:
+//!
+//! * [`LossModel::Constant`] — every step experiences exactly the given
+//!   rate; this is the literal reading of the axiom and is fully
+//!   deterministic.
+//! * [`LossModel::Bernoulli`] — each step's loss fraction is sampled as
+//!   `k/w` with `k ~ Binomial(⌈w⌉, rate)`: the packet-level reality the
+//!   rate abstracts. Small windows then see *bursty* loss (often 0,
+//!   occasionally ≥ 1 packet), which is exactly what breaks TCP in
+//!   practice and makes the robustness experiments more faithful.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A non-congestion loss model applied per sender per time step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LossModel {
+    /// No wire loss (the paper's deterministic core model).
+    None,
+    /// Constant loss rate each step — the literal Metric VI scenario.
+    Constant {
+        /// The loss rate applied every step, in `[0, 1)`.
+        rate: f64,
+    },
+    /// Per-packet Bernoulli loss: the step's loss fraction is
+    /// `k / ⌈w⌉` with `k ~ Binomial(⌈w⌉, rate)`.
+    Bernoulli {
+        /// Per-packet drop probability, in `[0, 1)`.
+        rate: f64,
+    },
+}
+
+impl LossModel {
+    /// The wire-loss fraction a sender with window `window` experiences
+    /// this step. `rng` is only consulted by the [`LossModel::Bernoulli`]
+    /// variant, keeping [`LossModel::None`]/[`LossModel::Constant`] runs
+    /// bit-for-bit deterministic.
+    pub fn sample(&self, rng: &mut ChaCha8Rng, window: f64) -> f64 {
+        match *self {
+            LossModel::None => 0.0,
+            LossModel::Constant { rate } => rate,
+            LossModel::Bernoulli { rate } => sample_loss_fraction(rng, window, rate),
+        }
+    }
+
+    /// The model's nominal rate (0 for [`LossModel::None`]).
+    pub fn nominal_rate(&self) -> f64 {
+        match *self {
+            LossModel::None => 0.0,
+            LossModel::Constant { rate } | LossModel::Bernoulli { rate } => rate,
+        }
+    }
+
+    /// Validate the model's parameters (rates must be in `[0, 1)`).
+    pub fn validate(&self) -> Result<(), String> {
+        let r = self.nominal_rate();
+        if (0.0..1.0).contains(&r) {
+            Ok(())
+        } else {
+            Err(format!("wire loss rate {r} outside [0,1)"))
+        }
+    }
+}
+
+/// Compose congestion loss and wire loss as independent drop processes.
+///
+/// The model's loss rates are strictly below 1 (`1 − (C+τ)/X` and the
+/// samplers both are), but composing two near-1 rates can *round* to
+/// exactly 1.0 in `f64`; the result is clamped back under 1 so traces
+/// always satisfy the `L ∈ [0, 1)` invariant.
+pub fn compose_loss(congestion: f64, wire: f64) -> f64 {
+    (1.0 - (1.0 - congestion) * (1.0 - wire)).min(1.0 - f64::EPSILON)
+}
+
+/// Sample the loss *fraction* a window of `window` MSS experiences when
+/// each of its packets is dropped independently with probability `rate`:
+/// `k/⌈window⌉` with `k ~ Binomial(⌈window⌉, rate)`.
+///
+/// Shared by the Bernoulli wire-loss model and the per-packet
+/// (unsynchronized) congestion-feedback mode.
+pub fn sample_loss_fraction(rng: &mut ChaCha8Rng, window: f64, rate: f64) -> f64 {
+    if window <= 0.0 || rate <= 0.0 {
+        return 0.0;
+    }
+    let n = window.ceil() as u64;
+    let k = sample_binomial(rng, n, rate.min(1.0 - f64::EPSILON));
+    (k as f64 / n as f64).min(1.0 - f64::EPSILON)
+}
+
+/// Draw from Binomial(n, p).
+///
+/// Exact Bernoulli summation for small `n`; for large `n` a normal
+/// approximation (clamped to `[0, n]`) keeps steps O(1) — at `n·p ≫ 10` the
+/// approximation error is far below the model's own fidelity.
+fn sample_binomial(rng: &mut ChaCha8Rng, n: u64, p: f64) -> u64 {
+    if n <= 1024 {
+        let mut k = 0;
+        for _ in 0..n {
+            if rng.gen::<f64>() < p {
+                k += 1;
+            }
+        }
+        k
+    } else {
+        let mean = n as f64 * p;
+        let sd = (n as f64 * p * (1.0 - p)).sqrt();
+        // Box-Muller from two uniforms.
+        let u1: f64 = rng.gen::<f64>().max(1e-12);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (mean + sd * z).round().clamp(0.0, n as f64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn none_is_zero() {
+        let mut r = rng(1);
+        assert_eq!(LossModel::None.sample(&mut r, 100.0), 0.0);
+        assert_eq!(LossModel::None.nominal_rate(), 0.0);
+    }
+
+    #[test]
+    fn constant_is_exact() {
+        let mut r = rng(1);
+        let m = LossModel::Constant { rate: 0.01 };
+        for w in [0.5, 1.0, 100.0, 1e6] {
+            assert_eq!(m.sample(&mut r, w), 0.01);
+        }
+    }
+
+    #[test]
+    fn bernoulli_mean_converges_to_rate() {
+        let mut r = rng(42);
+        let m = LossModel::Bernoulli { rate: 0.05 };
+        let trials = 4000;
+        let mean: f64 = (0..trials).map(|_| m.sample(&mut r, 100.0)).sum::<f64>() / trials as f64;
+        assert!((mean - 0.05).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn bernoulli_large_window_normal_path() {
+        let mut r = rng(7);
+        let m = LossModel::Bernoulli { rate: 0.01 };
+        let trials = 2000;
+        let mean: f64 =
+            (0..trials).map(|_| m.sample(&mut r, 50_000.0)).sum::<f64>() / trials as f64;
+        assert!((mean - 0.01).abs() < 0.001, "mean {mean}");
+    }
+
+    #[test]
+    fn bernoulli_zero_window_is_lossless() {
+        let mut r = rng(3);
+        let m = LossModel::Bernoulli { rate: 0.5 };
+        assert_eq!(m.sample(&mut r, 0.0), 0.0);
+    }
+
+    #[test]
+    fn bernoulli_small_window_is_bursty() {
+        // With w = 2 and rate 0.05 most steps see zero loss, a few see 50%+.
+        let mut r = rng(9);
+        let m = LossModel::Bernoulli { rate: 0.05 };
+        let samples: Vec<f64> = (0..500).map(|_| m.sample(&mut r, 2.0)).collect();
+        let zeros = samples.iter().filter(|&&s| s == 0.0).count();
+        let bursts = samples.iter().filter(|&&s| s >= 0.5).count();
+        assert!(zeros > 400, "zeros {zeros}");
+        assert!(bursts > 5, "bursts {bursts}");
+    }
+
+    #[test]
+    fn sample_never_reaches_one() {
+        let mut r = rng(11);
+        let m = LossModel::Bernoulli { rate: 0.99 };
+        for _ in 0..200 {
+            assert!(m.sample(&mut r, 3.0) < 1.0);
+        }
+    }
+
+    #[test]
+    fn composition_algebra() {
+        assert_eq!(compose_loss(0.0, 0.0), 0.0);
+        assert!((compose_loss(0.5, 0.0) - 0.5).abs() < 1e-12);
+        assert!((compose_loss(0.0, 0.01) - 0.01).abs() < 1e-12);
+        // Independent composition: 1 − 0.9·0.8 = 0.28.
+        assert!((compose_loss(0.1, 0.2) - 0.28).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let m = LossModel::Bernoulli { rate: 0.1 };
+        let mut r1 = rng(5);
+        let mut r2 = rng(5);
+        for _ in 0..100 {
+            assert_eq!(m.sample(&mut r1, 50.0), m.sample(&mut r2, 50.0));
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(LossModel::Constant { rate: 0.5 }.validate().is_ok());
+        assert!(LossModel::Constant { rate: 1.0 }.validate().is_err());
+        assert!(LossModel::Bernoulli { rate: -0.1 }.validate().is_err());
+        assert!(LossModel::None.validate().is_ok());
+    }
+}

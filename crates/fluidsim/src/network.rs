@@ -1,0 +1,423 @@
+//! Multi-link (network-wide) fluid dynamics — the §6 extension
+//! *"generalizing our model to capture network-wide protocol interaction"*.
+//!
+//! The single-bottleneck model of Section 2 generalizes naturally: a
+//! **topology** is a set of links, and each flow follows a **path** (a
+//! subset of links). Per global step:
+//!
+//! * each link `l` carries the total window `X_l = Σ_{f ∋ l} x_f` of the
+//!   flows crossing it, and contributes droptail loss `L_l(X_l)` and
+//!   queueing delay by its own equation-(1);
+//! * a flow's RTT is the sum over its path of per-link propagation and
+//!   queueing delays; its loss rate composes independently across links:
+//!   `L_f = 1 − Π_{l ∈ path(f)} (1 − L_l)`.
+//!
+//! Feedback stays synchronized (one global step), which is the direct
+//! generalization of the paper's model and keeps the dynamics
+//! deterministic. The classic testbed for this model is the **parking
+//! lot**: `k` links in a row, one long flow crossing all of them and one
+//! short flow per link; proportionally-fair or AIMD dynamics give the
+//! long flow less than the short flows — reproduced in this module's
+//! tests and the `parking_lot` example.
+
+use axcc_core::protocol::{clamp_window, MAX_WINDOW};
+use axcc_core::{LinkParams, Observation, Protocol, SenderTrace};
+
+/// A network of links.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    links: Vec<LinkParams>,
+}
+
+impl Topology {
+    /// A topology over the given links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty.
+    pub fn new(links: Vec<LinkParams>) -> Self {
+        assert!(!links.is_empty(), "topology needs at least one link");
+        Topology { links }
+    }
+
+    /// The classic parking lot: `k` identical links in a row.
+    pub fn parking_lot(k: usize, link: LinkParams) -> Self {
+        assert!(k > 0, "parking lot needs at least one hop");
+        Topology {
+            links: vec![link; k],
+        }
+    }
+
+    /// Number of links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The links.
+    pub fn links(&self) -> &[LinkParams] {
+        &self.links
+    }
+}
+
+/// One flow: a protocol, a path (link indices), and an initial window.
+pub struct FlowConfig {
+    protocol: Box<dyn Protocol>,
+    path: Vec<usize>,
+    initial_window: f64,
+}
+
+impl FlowConfig {
+    /// A flow running `protocol` over `path` (indices into the topology's
+    /// link list), starting from a 1-MSS window.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty path.
+    pub fn new(protocol: Box<dyn Protocol>, path: Vec<usize>) -> Self {
+        assert!(!path.is_empty(), "flow path cannot be empty");
+        FlowConfig {
+            protocol,
+            path,
+            initial_window: 1.0,
+        }
+    }
+
+    /// Set the initial window (MSS).
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite values.
+    pub fn initial_window(mut self, w: f64) -> Self {
+        assert!(w.is_finite() && w >= 0.0, "initial window must be finite and >= 0");
+        self.initial_window = w;
+        self
+    }
+}
+
+/// A network scenario.
+pub struct NetScenario {
+    topology: Topology,
+    flows: Vec<FlowConfig>,
+    steps: usize,
+    max_window: f64,
+}
+
+impl NetScenario {
+    /// A scenario on `topology` with no flows yet and 1000 steps.
+    pub fn new(topology: Topology) -> Self {
+        NetScenario {
+            topology,
+            flows: Vec::new(),
+            steps: 1000,
+            max_window: MAX_WINDOW,
+        }
+    }
+
+    /// Add a flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow's path references a link outside the topology.
+    pub fn flow(mut self, cfg: FlowConfig) -> Self {
+        for &l in &cfg.path {
+            assert!(
+                l < self.topology.num_links(),
+                "path references link {l}, topology has {}",
+                self.topology.num_links()
+            );
+        }
+        self.flows.push(cfg);
+        self
+    }
+
+    /// Set the number of steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if zero.
+    pub fn steps(mut self, steps: usize) -> Self {
+        assert!(steps > 0, "scenario must run at least one step");
+        self.steps = steps;
+        self
+    }
+
+    /// Run the scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics with no flows.
+    pub fn run(self) -> NetTrace {
+        run_network(self)
+    }
+}
+
+/// The trace of a network run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetTrace {
+    /// Per-flow traces (window/loss/RTT/goodput per step), flow order.
+    pub flows: Vec<SenderTrace>,
+    /// Per-flow paths, for interpreting the traces.
+    pub paths: Vec<Vec<usize>>,
+    /// Per-link total window `X_l^(t)`: `link_load[l][t]`.
+    pub link_load: Vec<Vec<f64>>,
+    /// Per-link loss rate: `link_loss[l][t]`.
+    pub link_loss: Vec<Vec<f64>>,
+    /// The topology the run executed on.
+    pub topology_links: Vec<LinkParams>,
+}
+
+impl NetTrace {
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.flows.first().map_or(0, |f| f.len())
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Index of the tail start (`fraction` of the run treated as
+    /// transient).
+    pub fn tail_start(&self, fraction: f64) -> usize {
+        (self.len() as f64 * fraction.clamp(0.0, 1.0)).floor() as usize
+    }
+
+    /// A flow's mean goodput over the tail.
+    pub fn flow_goodput(&self, flow: usize, tail_start: usize) -> f64 {
+        self.flows[flow].mean_goodput_from(tail_start)
+    }
+
+    /// A link's mean utilization (`X_l / C_l`) over the tail.
+    pub fn link_utilization(&self, l: usize, tail_start: usize) -> f64 {
+        let c = self.topology_links[l].capacity();
+        let tail = &self.link_load[l][tail_start.min(self.len())..];
+        if tail.is_empty() {
+            return 0.0;
+        }
+        tail.iter().sum::<f64>() / (tail.len() as f64 * c)
+    }
+}
+
+fn run_network(scenario: NetScenario) -> NetTrace {
+    let NetScenario {
+        topology,
+        mut flows,
+        steps,
+        max_window,
+    } = scenario;
+    assert!(!flows.is_empty(), "network scenario needs at least one flow");
+
+    let nf = flows.len();
+    let nl = topology.num_links();
+    let mut windows: Vec<f64> = flows
+        .iter()
+        .map(|f| clamp_window(f.initial_window, max_window))
+        .collect();
+    let mut min_rtts = vec![f64::INFINITY; nf];
+
+    let mut traces: Vec<SenderTrace> = flows
+        .iter()
+        .map(|f| SenderTrace::with_capacity(f.protocol.name(), f.protocol.loss_based(), steps))
+        .collect();
+    let mut link_load = vec![Vec::with_capacity(steps); nl];
+    let mut link_loss = vec![Vec::with_capacity(steps); nl];
+
+    for t in 0..steps as u64 {
+        // Per-link aggregates.
+        let mut loads = vec![0.0; nl];
+        for (f, cfg) in flows.iter().enumerate() {
+            for &l in &cfg.path {
+                loads[l] += windows[f];
+            }
+        }
+        let losses: Vec<f64> = (0..nl)
+            .map(|l| topology.links[l].loss_rate(loads[l]))
+            .collect();
+        let qdelays: Vec<f64> = (0..nl)
+            .map(|l| {
+                let link = &topology.links[l];
+                // Queueing component of equation (1): RTT − 2Θ, capped by
+                // the timeout branch as on the single link.
+                link.rtt(loads[l]) - link.min_rtt()
+            })
+            .collect();
+        for l in 0..nl {
+            link_load[l].push(loads[l]);
+            link_loss[l].push(losses[l]);
+        }
+
+        // Per-flow observation and update.
+        for (f, cfg) in flows.iter_mut().enumerate() {
+            let base_rtt: f64 = cfg.path.iter().map(|&l| topology.links[l].min_rtt()).sum();
+            let rtt: f64 = base_rtt + cfg.path.iter().map(|&l| qdelays[l]).sum::<f64>();
+            let loss = 1.0
+                - cfg
+                    .path
+                    .iter()
+                    .map(|&l| 1.0 - losses[l])
+                    .product::<f64>();
+            min_rtts[f] = min_rtts[f].min(rtt);
+
+            let w = windows[f];
+            traces[f].window.push(w);
+            traces[f].loss.push(loss);
+            traces[f].rtt.push(rtt);
+            traces[f].goodput.push(w * (1.0 - loss) / rtt);
+
+            let obs = Observation {
+                tick: t,
+                window: w,
+                loss_rate: loss,
+                rtt,
+                min_rtt: min_rtts[f],
+            };
+            windows[f] = clamp_window(cfg.protocol.next_window(&obs), max_window);
+        }
+    }
+
+    NetTrace {
+        flows: traces,
+        paths: flows.iter().map(|f| f.path.clone()).collect(),
+        link_load,
+        link_loss,
+        topology_links: topology.links,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axcc_protocols::{Aimd, Vegas};
+
+    /// C = 100 MSS per hop.
+    fn hop() -> LinkParams {
+        LinkParams::new(1000.0, 0.05, 20.0)
+    }
+
+    /// The classic parking lot: long flow over links {0,1}, one short
+    /// flow on each link.
+    fn parking_lot_2() -> NetTrace {
+        NetScenario::new(Topology::parking_lot(2, hop()))
+            .flow(FlowConfig::new(Box::new(Aimd::reno()), vec![0, 1]))
+            .flow(FlowConfig::new(Box::new(Aimd::reno()), vec![0]))
+            .flow(FlowConfig::new(Box::new(Aimd::reno()), vec![1]))
+            .steps(4000)
+            .run()
+    }
+
+    #[test]
+    fn single_link_reduces_to_the_paper_model() {
+        // One link, one flow: the network engine must reproduce the
+        // single-bottleneck sawtooth.
+        let net = NetScenario::new(Topology::new(vec![hop()]))
+            .flow(FlowConfig::new(Box::new(Aimd::reno()), vec![0]).initial_window(1.0))
+            .steps(1000)
+            .run();
+        let single = crate::Scenario::new(hop())
+            .homogeneous(&Aimd::reno(), 1, 1.0)
+            .steps(1000)
+            .run();
+        assert_eq!(net.flows[0].window, single.senders[0].window);
+        assert_eq!(net.flows[0].loss, single.senders[0].loss);
+    }
+
+    #[test]
+    fn parking_lot_penalizes_the_long_flow() {
+        let net = parking_lot_2();
+        let tail = net.tail_start(0.5);
+        let long = net.flow_goodput(0, tail);
+        let short0 = net.flow_goodput(1, tail);
+        let short1 = net.flow_goodput(2, tail);
+        // The long flow crosses two bottlenecks (double loss exposure,
+        // double RTT): it gets clearly less than either short flow.
+        assert!(long < 0.7 * short0, "long {long} vs short {short0}");
+        assert!(long < 0.7 * short1, "long {long} vs short {short1}");
+        // But it is not starved (AIMD's additive probe keeps it alive).
+        assert!(long > 0.05 * short0, "long {long} vs short {short0}");
+    }
+
+    #[test]
+    fn parking_lot_links_stay_utilized() {
+        let net = parking_lot_2();
+        let tail = net.tail_start(0.5);
+        for l in 0..2 {
+            let u = net.link_utilization(l, tail);
+            assert!(u > 0.8, "link {l} utilization {u}");
+        }
+    }
+
+    #[test]
+    fn rtt_unfairness_between_path_lengths() {
+        // Two AIMD flows into link 1; one also crosses link 0 (longer
+        // base RTT, same single shared bottleneck since link 0 is
+        // otherwise empty). Classic RTT unfairness: same per-step additive
+        // increase in our step-synchronized model means the *loss* and
+        // *latency* exposure differ, not the increase rate — the long
+        // path still ends up with at most the short flow's share.
+        let net = NetScenario::new(Topology::parking_lot(2, hop()))
+            .flow(FlowConfig::new(Box::new(Aimd::reno()), vec![0, 1]))
+            .flow(FlowConfig::new(Box::new(Aimd::reno()), vec![1]))
+            .steps(4000)
+            .run();
+        let tail = net.tail_start(0.5);
+        let long = net.flow_goodput(0, tail);
+        let short = net.flow_goodput(1, tail);
+        assert!(long <= short * 1.05, "long {long} vs short {short}");
+    }
+
+    #[test]
+    fn flow_loss_composes_across_links() {
+        let net = parking_lot_2();
+        // At every step the long flow's loss must equal the composition
+        // of its links' losses.
+        for t in 0..net.len() {
+            let expect =
+                1.0 - (1.0 - net.link_loss[0][t]) * (1.0 - net.link_loss[1][t]);
+            assert!((net.flows[0].loss[t] - expect).abs() < 1e-12, "t={t}");
+        }
+    }
+
+    #[test]
+    fn base_rtt_sums_over_path() {
+        let net = parking_lot_2();
+        // Min RTT of the long flow is 2×(2Θ) = 0.2 s; short flows 0.1 s.
+        let long_min = net.flows[0].rtt.iter().copied().fold(f64::INFINITY, f64::min);
+        let short_min = net.flows[1].rtt.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!((long_min - 0.2).abs() < 1e-9, "{long_min}");
+        assert!((short_min - 0.1).abs() < 1e-9, "{short_min}");
+    }
+
+    #[test]
+    fn vegas_in_a_network_keeps_queues_short() {
+        let net = NetScenario::new(Topology::parking_lot(2, hop()))
+            .flow(FlowConfig::new(Box::new(Vegas::classic()), vec![0, 1]))
+            .flow(FlowConfig::new(Box::new(Vegas::classic()), vec![0]))
+            .flow(FlowConfig::new(Box::new(Vegas::classic()), vec![1]))
+            .steps(3000)
+            .run();
+        let tail = net.tail_start(0.5);
+        // No loss anywhere in the tail…
+        for l in 0..2 {
+            assert!(net.link_loss[l][tail..].iter().all(|&x| x == 0.0));
+        }
+        // …and both links near (not over) capacity.
+        for l in 0..2 {
+            let u = net.link_utilization(l, tail);
+            assert!(u > 0.85 && u < 1.1, "link {l} utilization {u}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "references link")]
+    fn out_of_range_path_rejected() {
+        NetScenario::new(Topology::new(vec![hop()]))
+            .flow(FlowConfig::new(Box::new(Aimd::reno()), vec![1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flow")]
+    fn empty_scenario_rejected() {
+        NetScenario::new(Topology::new(vec![hop()])).run();
+    }
+}

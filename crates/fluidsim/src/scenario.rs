@@ -1,0 +1,242 @@
+//! Scenario description: link, senders, run length, loss injection.
+
+use crate::loss::LossModel;
+use serde::{Deserialize, Serialize};
+use axcc_core::protocol::MAX_WINDOW;
+use axcc_core::{LinkParams, Protocol, RunTrace};
+
+/// One sender in a scenario: a protocol, an initial window, and a start
+/// step (for late-joiner dynamics).
+pub struct SenderConfig {
+    pub(crate) protocol: Box<dyn Protocol>,
+    pub(crate) initial_window: f64,
+    pub(crate) start_tick: u64,
+}
+
+impl SenderConfig {
+    /// A sender running `protocol`, starting at step 0 with a 1-MSS window.
+    pub fn new(protocol: Box<dyn Protocol>) -> Self {
+        SenderConfig {
+            protocol,
+            initial_window: 1.0,
+            start_tick: 0,
+        }
+    }
+
+    /// Set the initial congestion window `x_i^(0)` (MSS).
+    ///
+    /// # Panics
+    ///
+    /// Panics if negative or non-finite (the model picks initial windows in
+    /// `{0, 1, …, M}`).
+    pub fn initial_window(mut self, w: f64) -> Self {
+        assert!(w.is_finite() && w >= 0.0, "initial window must be finite and >= 0");
+        self.initial_window = w;
+        self
+    }
+
+    /// Delay the sender's entry until the given step.
+    pub fn start_at(mut self, tick: u64) -> Self {
+        self.start_tick = tick;
+        self
+    }
+}
+
+/// How congestion loss is delivered to senders.
+///
+/// The paper's model assumes *"senders experience synchronized feedback"*:
+/// every sender observes the same droptail loss rate each step. Its
+/// Section 6 lists *"unsynchronized network feedback"* as a future-work
+/// model extension; [`FeedbackMode::PerPacket`] provides it — each
+/// sender's congestion loss is sampled per packet
+/// (`Binomial(⌈x_i⌉, L)/⌈x_i⌉`), so small senders often see no loss at
+/// all in a lossy step, and large senders bear proportionally more
+/// back-offs. This breaks MIMD's ratio-preservation, the mechanism
+/// behind its worst-case unfairness (see the crate tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeedbackMode {
+    /// All senders observe the exact link loss rate (the paper's model).
+    Synchronized,
+    /// Each sender's loss is sampled per packet from the link loss rate
+    /// (seeded; deterministic per scenario seed).
+    PerPacket,
+}
+
+/// A complete simulation scenario. Build with the fluent methods, then
+/// [`run`](Scenario::run).
+pub struct Scenario {
+    pub(crate) link: LinkParams,
+    pub(crate) senders: Vec<SenderConfig>,
+    pub(crate) steps: usize,
+    pub(crate) max_window: f64,
+    pub(crate) loss_model: LossModel,
+    pub(crate) seed: u64,
+    /// Scheduled bandwidth changes `(step, new bandwidth in MSS/s)`,
+    /// applied at the *start* of the given step. Kept sorted by step.
+    pub(crate) bandwidth_changes: Vec<(u64, f64)>,
+    pub(crate) feedback: FeedbackMode,
+}
+
+impl Scenario {
+    /// A scenario on the given link with no senders yet, 1000 steps, no
+    /// wire loss, seed 0, and the model's default `M`.
+    pub fn new(link: LinkParams) -> Self {
+        Scenario {
+            link,
+            senders: Vec::new(),
+            steps: 1000,
+            max_window: MAX_WINDOW,
+            loss_model: LossModel::None,
+            seed: 0,
+            bandwidth_changes: Vec::new(),
+            feedback: FeedbackMode::Synchronized,
+        }
+    }
+
+    /// Add a sender.
+    pub fn sender(mut self, cfg: SenderConfig) -> Self {
+        self.senders.push(cfg);
+        self
+    }
+
+    /// Add `n` identical senders cloned from a prototype, all with the
+    /// given initial window (the "all senders employ P" quantifier of
+    /// Metrics I–V).
+    pub fn homogeneous(mut self, prototype: &dyn Protocol, n: usize, initial_window: f64) -> Self {
+        for _ in 0..n {
+            self.senders.push(
+                SenderConfig::new(prototype.clone_box()).initial_window(initial_window),
+            );
+        }
+        self
+    }
+
+    /// Set the number of time steps to simulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if zero.
+    pub fn steps(mut self, steps: usize) -> Self {
+        assert!(steps > 0, "scenario must run at least one step");
+        self.steps = steps;
+        self
+    }
+
+    /// Cap windows at `m` instead of the default `M` (mostly for tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if non-positive.
+    pub fn max_window(mut self, m: f64) -> Self {
+        assert!(m > 0.0, "max window must be positive");
+        self.max_window = m;
+        self
+    }
+
+    /// Apply a wire-loss model (Metric VI scenarios).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's parameters are invalid.
+    pub fn wire_loss(mut self, model: LossModel) -> Self {
+        model.validate().expect("invalid loss model");
+        self.loss_model = model;
+        self
+    }
+
+    /// Seed the wire-loss RNG (runs with the same scenario and seed are
+    /// bit-for-bit identical).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Schedule a bandwidth change: from step `at_step` onwards the link
+    /// serves `new_bandwidth` MSS/s (propagation delay and buffer are
+    /// unchanged, so the capacity `C = B·2Θ` moves with it).
+    ///
+    /// This extends the paper's static model towards its "more realistic
+    /// network model" future-work direction, and powers the
+    /// *responsiveness* extension metric
+    /// ([`axcc_core::axioms`] documents the paper's original eight).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_bandwidth ≤ 0`.
+    pub fn bandwidth_change(mut self, at_step: u64, new_bandwidth: f64) -> Self {
+        assert!(new_bandwidth > 0.0, "bandwidth must stay positive");
+        self.bandwidth_changes.push((at_step, new_bandwidth));
+        self.bandwidth_changes.sort_by_key(|&(t, _)| t);
+        self
+    }
+
+    /// Select the congestion-feedback mode (default:
+    /// [`FeedbackMode::Synchronized`], the paper's model).
+    pub fn feedback(mut self, mode: FeedbackMode) -> Self {
+        self.feedback = mode;
+        self
+    }
+
+    /// Execute the scenario and return the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario has no senders.
+    pub fn run(self) -> RunTrace {
+        crate::engine::run_scenario(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axcc_protocols::Aimd;
+
+    #[test]
+    fn builder_defaults() {
+        let s = Scenario::new(LinkParams::new(1000.0, 0.05, 20.0));
+        assert_eq!(s.steps, 1000);
+        assert_eq!(s.seed, 0);
+        assert!(matches!(s.loss_model, LossModel::None));
+        assert!(s.senders.is_empty());
+    }
+
+    #[test]
+    fn homogeneous_clones_n_senders() {
+        let reno = Aimd::reno();
+        let s = Scenario::new(LinkParams::new(1000.0, 0.05, 20.0)).homogeneous(&reno, 4, 2.0);
+        assert_eq!(s.senders.len(), 4);
+        for cfg in &s.senders {
+            assert_eq!(cfg.initial_window, 2.0);
+            assert_eq!(cfg.protocol.name(), "AIMD(1,0.5)");
+        }
+    }
+
+    #[test]
+    fn sender_config_builders() {
+        let cfg = SenderConfig::new(Box::new(Aimd::reno()))
+            .initial_window(30.0)
+            .start_at(100);
+        assert_eq!(cfg.initial_window, 30.0);
+        assert_eq!(cfg.start_tick, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn zero_steps_rejected() {
+        Scenario::new(LinkParams::new(1000.0, 0.05, 20.0)).steps(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial window")]
+    fn negative_initial_window_rejected() {
+        SenderConfig::new(Box::new(Aimd::reno())).initial_window(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid loss model")]
+    fn invalid_loss_model_rejected() {
+        Scenario::new(LinkParams::new(1000.0, 0.05, 20.0))
+            .wire_loss(LossModel::Constant { rate: 1.5 });
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests for the multi-link network engine: for arbitrary
+//! topologies, paths and protocols, the composition laws must hold and the
+//! single-link case must reduce exactly to the paper's model.
+
+use axcc_fluidsim::{FlowConfig, NetScenario, Scenario, SenderConfig, Topology};
+use axcc_core::LinkParams;
+use axcc_protocols::registry::resolve;
+use proptest::prelude::*;
+
+fn arb_link() -> impl Strategy<Value = LinkParams> {
+    (300.0f64..5000.0, 0.01f64..0.1, 0.0f64..200.0)
+        .prop_map(|(b, th, tau)| LinkParams::new(b, th, tau))
+}
+
+fn arb_protocol_name() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("reno"),
+        Just("cubic"),
+        Just("scalable"),
+        Just("robust-aimd"),
+        Just("vegas"),
+        Just("tfrc"),
+        Just("aimd(2,0.7)"),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A single-link network run reduces to the single-bottleneck engine.
+    /// For loss-based protocols the window/loss trajectories are
+    /// bit-identical; RTTs agree to floating-point reassociation (the
+    /// network engine computes `2Θ + (RTT − 2Θ)`, one ULP off `RTT`,
+    /// which is also why delay-based protocols are excluded here — an ULP
+    /// can flip a Vegas threshold decision).
+    #[test]
+    fn single_link_reduction(
+        link in arb_link(),
+        name in prop_oneof![
+            Just("reno"),
+            Just("cubic"),
+            Just("scalable"),
+            Just("robust-aimd"),
+            Just("tfrc"),
+            Just("aimd(2,0.7)"),
+        ],
+        init in 1.0f64..200.0,
+    ) {
+        let net = NetScenario::new(Topology::new(vec![link]))
+            .flow(FlowConfig::new(resolve(name).unwrap(), vec![0]).initial_window(init))
+            .steps(200)
+            .run();
+        let single = Scenario::new(link)
+            .sender(SenderConfig::new(resolve(name).unwrap()).initial_window(init))
+            .steps(200)
+            .run();
+        prop_assert_eq!(&net.flows[0].window, &single.senders[0].window);
+        prop_assert_eq!(&net.flows[0].loss, &single.senders[0].loss);
+        for (a, b) in net.flows[0].rtt.iter().zip(&single.senders[0].rtt) {
+            prop_assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    /// Composition laws hold at every step of every flow: loss composes
+    /// multiplicatively across the path, base RTT sums, and link loads
+    /// equal the sum of crossing windows.
+    #[test]
+    fn composition_laws(
+        hop in arb_link(),
+        hops in 1usize..4,
+        name in arb_protocol_name(),
+        long_init in 1.0f64..100.0,
+    ) {
+        let mut sc = NetScenario::new(Topology::parking_lot(hops, hop)).steps(150);
+        sc = sc.flow(
+            FlowConfig::new(resolve(name).unwrap(), (0..hops).collect())
+                .initial_window(long_init),
+        );
+        for l in 0..hops {
+            sc = sc.flow(FlowConfig::new(resolve(name).unwrap(), vec![l]));
+        }
+        let net = sc.run();
+        for t in 0..net.len() {
+            // Link load = long flow + that hop's short flow.
+            for l in 0..hops {
+                let expect = net.flows[0].window[t] + net.flows[1 + l].window[t];
+                prop_assert!((net.link_load[l][t] - expect).abs() < 1e-9);
+                prop_assert!(
+                    (net.link_loss[l][t] - hop.loss_rate(net.link_load[l][t])).abs() < 1e-12
+                );
+            }
+            // Long-flow loss composes across its path.
+            let composed = 1.0
+                - (0..hops)
+                    .map(|l| 1.0 - net.link_loss[l][t])
+                    .product::<f64>();
+            prop_assert!((net.flows[0].loss[t] - composed).abs() < 1e-12);
+            // Long-flow RTT at least the summed propagation floor.
+            prop_assert!(net.flows[0].rtt[t] >= hops as f64 * hop.min_rtt() - 1e-12);
+        }
+    }
+
+    /// The network engine is deterministic: identical scenarios give
+    /// identical traces.
+    #[test]
+    fn network_determinism(
+        hop in arb_link(),
+        name in arb_protocol_name(),
+    ) {
+        let run = || {
+            NetScenario::new(Topology::parking_lot(2, hop))
+                .flow(FlowConfig::new(resolve(name).unwrap(), vec![0, 1]))
+                .flow(FlowConfig::new(resolve(name).unwrap(), vec![0]))
+                .steps(120)
+                .run()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

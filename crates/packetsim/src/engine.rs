@@ -1,0 +1,969 @@
+//! The discrete-event engine: scenario builder, main loop, trace sampling.
+
+use crate::event::{Event, EventQueue};
+use crate::queue::{DropTailQueue, Enqueue, QueuedPacket};
+use crate::red::{Red, RedConfig, RedVerdict};
+use crate::sender::{SendMode, Sender};
+use crate::stats::{FlowStats, QueueStats};
+use crate::time::Time;
+use axcc_core::protocol::MAX_WINDOW;
+use axcc_core::{LinkParams, Protocol, RunTrace, SenderTrace};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// One flow in a packet-level scenario.
+pub struct PacketSenderConfig {
+    protocol: Box<dyn Protocol>,
+    initial_cwnd: f64,
+    start_secs: f64,
+    mode: SendMode,
+    extra_delay_secs: f64,
+}
+
+impl PacketSenderConfig {
+    /// A flow running `protocol`, starting at t = 0 with a 1-MSS window.
+    pub fn new(protocol: Box<dyn Protocol>) -> Self {
+        PacketSenderConfig {
+            protocol,
+            initial_cwnd: 1.0,
+            start_secs: 0.0,
+            mode: SendMode::WindowClocked,
+            extra_delay_secs: 0.0,
+        }
+    }
+
+    /// Add a per-flow access delay (seconds, one-way): the flow's
+    /// feedback takes `2 × extra` longer than the bottleneck's own
+    /// propagation, modeling heterogeneous RTTs — the substrate of the
+    /// classic RTT-unfairness experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite values.
+    pub fn extra_delay_secs(mut self, d: f64) -> Self {
+        assert!(d.is_finite() && d >= 0.0, "extra delay must be finite and >= 0");
+        self.extra_delay_secs = d;
+        self
+    }
+
+    /// Make this flow **paced**: it transmits on a timer at rate
+    /// `cwnd/sRTT` and hands its protocol one observation per
+    /// monitor interval (one sRTT) — the PCC/BBR sender class the paper's
+    /// Section 2 defers to future research.
+    pub fn paced(mut self) -> Self {
+        self.mode = SendMode::Paced;
+        self
+    }
+
+    /// Set the initial congestion window (MSS).
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite values.
+    pub fn initial_cwnd(mut self, w: f64) -> Self {
+        assert!(w.is_finite() && w >= 0.0, "initial cwnd must be finite and >= 0");
+        self.initial_cwnd = w;
+        self
+    }
+
+    /// Delay the flow's start (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite values.
+    pub fn start_at_secs(mut self, t: f64) -> Self {
+        assert!(t.is_finite() && t >= 0.0, "start time must be finite and >= 0");
+        self.start_secs = t;
+        self
+    }
+}
+
+/// A packet-level scenario. Build fluently, then [`run`](PacketScenario::run).
+pub struct PacketScenario {
+    link: LinkParams,
+    senders: Vec<PacketSenderConfig>,
+    duration_secs: f64,
+    wire_loss_rate: f64,
+    seed: u64,
+    sample_interval_secs: Option<f64>,
+    max_window: f64,
+    ecn_threshold: Option<usize>,
+    red: Option<RedConfig>,
+}
+
+impl PacketScenario {
+    /// A scenario on the given link: no flows yet, 10 s duration, no wire
+    /// loss, seed 0, sampling every minimum RTT.
+    pub fn new(link: LinkParams) -> Self {
+        PacketScenario {
+            link,
+            senders: Vec::new(),
+            duration_secs: 10.0,
+            wire_loss_rate: 0.0,
+            seed: 0,
+            sample_interval_secs: None,
+            max_window: MAX_WINDOW,
+            ecn_threshold: None,
+            red: None,
+        }
+    }
+
+    /// Add a flow.
+    pub fn sender(mut self, cfg: PacketSenderConfig) -> Self {
+        self.senders.push(cfg);
+        self
+    }
+
+    /// Add `n` flows cloned from a prototype protocol.
+    pub fn homogeneous(mut self, prototype: &dyn Protocol, n: usize) -> Self {
+        for _ in 0..n {
+            self.senders
+                .push(PacketSenderConfig::new(prototype.clone_box()));
+        }
+        self
+    }
+
+    /// Simulated duration in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive values.
+    pub fn duration_secs(mut self, d: f64) -> Self {
+        assert!(d > 0.0 && d.is_finite(), "duration must be positive");
+        self.duration_secs = d;
+        self
+    }
+
+    /// Per-packet Bernoulli wire-loss probability (non-congestion loss).
+    ///
+    /// # Panics
+    ///
+    /// Panics outside `[0, 1)`.
+    pub fn wire_loss(mut self, rate: f64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "wire loss rate must be in [0,1)");
+        self.wire_loss_rate = rate;
+        self
+    }
+
+    /// Seed the wire-loss RNG.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override the trace sampling interval (default: one minimum RTT).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive values.
+    pub fn sample_interval_secs(mut self, s: f64) -> Self {
+        assert!(s > 0.0 && s.is_finite(), "sample interval must be positive");
+        self.sample_interval_secs = Some(s);
+        self
+    }
+
+    /// Cap congestion windows (the model's `M`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive values.
+    pub fn max_window(mut self, m: f64) -> Self {
+        assert!(m > 0.0, "max window must be positive");
+        self.max_window = m;
+        self
+    }
+
+    /// Enable ECN marking at the bottleneck: packets enqueued while
+    /// `threshold` or more packets wait are marked rather than waiting to
+    /// be dropped; senders treat delivered marks as congestion signals
+    /// (RFC 3168 loss-equivalence). With a threshold well below the
+    /// buffer, loss-based protocols operate *loss-free* at a short
+    /// standing queue — the in-network-queueing direction of §6.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold exceeds the link's buffer.
+    pub fn ecn_threshold(mut self, threshold: usize) -> Self {
+        assert!(
+            threshold as f64 <= self.link.buffer.round(),
+            "ECN threshold {threshold} exceeds buffer {}",
+            self.link.buffer
+        );
+        self.ecn_threshold = Some(threshold);
+        self
+    }
+
+    /// Enable RED at the bottleneck (random early drop/mark between the
+    /// configured thresholds). Mutually exclusive with
+    /// [`ecn_threshold`](Self::ecn_threshold) — they are alternative
+    /// disciplines for the same queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters or if step-marking ECN is also set.
+    pub fn red(mut self, config: RedConfig) -> Self {
+        config.validate();
+        assert!(
+            self.ecn_threshold.is_none(),
+            "choose either RED or step-marking ECN, not both"
+        );
+        self.red = Some(config);
+        self
+    }
+
+    /// Run the scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no flows were added.
+    pub fn run(self) -> SimOutput {
+        Engine::new(self).run()
+    }
+}
+
+/// Result of a packet-level run: the sampled trace plus packet accounting.
+pub struct SimOutput {
+    /// The sampled run trace (same shape as the fluid simulator's).
+    pub trace: RunTrace,
+    /// Per-flow packet counters, in flow order.
+    pub flows: Vec<FlowStats>,
+    /// Bottleneck queue counters.
+    pub queue: QueueStats,
+    /// Packets still in flight per flow when the run ended.
+    pub in_flight_at_end: Vec<u64>,
+}
+
+impl SimOutput {
+    /// Check packet conservation for every flow:
+    /// `sent = acked + lost + in flight`.
+    pub fn conservation_ok(&self) -> bool {
+        self.flows
+            .iter()
+            .zip(&self.in_flight_at_end)
+            .all(|(f, &inf)| f.conserves(inf))
+    }
+}
+
+/// Per-flow accumulators between consecutive trace samples.
+#[derive(Default, Clone)]
+struct IntervalAccum {
+    acked: u64,
+    lost: u64,
+    rtt_sum: f64,
+    rtt_count: u64,
+}
+
+struct Engine {
+    link: LinkParams,
+    senders: Vec<Sender>,
+    events: EventQueue,
+    queue: DropTailQueue,
+    rng: ChaCha8Rng,
+    wire_loss_rate: f64,
+    serialization: Time,
+    /// Per-flow feedback delay: bottleneck RTT floor plus the flow's own
+    /// access delay (both directions).
+    flow_feedback_delay: Vec<Time>,
+    /// The same floor in exact f64 seconds (the integer-nanosecond `Time`
+    /// rounds, which would put recorded RTTs epsilon below `2Θ` and fail
+    /// trace validation).
+    flow_rtt_floor: Vec<f64>,
+    red: Option<Red>,
+    end: Time,
+    sample_interval: Time,
+    // trace assembly
+    traces: Vec<SenderTrace>,
+    total_col: Vec<f64>,
+    rtt_col: Vec<f64>,
+    loss_col: Vec<f64>,
+    accums: Vec<IntervalAccum>,
+    interval_queue_drops: u64,
+    interval_queue_offered: u64,
+    wire_lost: u64,
+    red_dropped: u64,
+    red_marked: u64,
+    max_window: f64,
+    seed: u64,
+}
+
+impl Engine {
+    fn new(cfg: PacketScenario) -> Self {
+        assert!(!cfg.senders.is_empty(), "scenario needs at least one flow");
+        let link = cfg.link;
+        let serialization = Time::from_secs_f64(1.0 / link.bandwidth);
+        let feedback_delay = Time::from_secs_f64(link.min_rtt());
+        let sample_interval = Time::from_secs_f64(
+            cfg.sample_interval_secs.unwrap_or_else(|| link.min_rtt()),
+        );
+        let end = Time::from_secs_f64(cfg.duration_secs);
+
+        let mut events = EventQueue::new();
+        let mut senders = Vec::with_capacity(cfg.senders.len());
+        let mut traces = Vec::with_capacity(cfg.senders.len());
+        let mut flow_feedback_delay = Vec::with_capacity(cfg.senders.len());
+        let mut flow_rtt_floor = Vec::with_capacity(cfg.senders.len());
+        for (i, sc) in cfg.senders.into_iter().enumerate() {
+            let name = sc.protocol.name();
+            let loss_based = sc.protocol.loss_based();
+            senders.push(Sender::with_mode(
+                sc.protocol,
+                sc.initial_cwnd,
+                cfg.max_window,
+                sc.mode,
+            ));
+            flow_feedback_delay
+                .push(feedback_delay + Time::from_secs_f64(2.0 * sc.extra_delay_secs));
+            flow_rtt_floor.push(link.min_rtt() + 2.0 * sc.extra_delay_secs);
+            traces.push(SenderTrace::with_capacity(name, loss_based, 256));
+            events.schedule(Time::from_secs_f64(sc.start_secs), Event::FlowStart { flow: i });
+        }
+        events.schedule(Time::ZERO, Event::Sample);
+
+        let n = senders.len();
+        Engine {
+            link,
+            senders,
+            events,
+            queue: {
+                let q = DropTailQueue::new(cfg.link.buffer.round().max(0.0) as usize);
+                match cfg.ecn_threshold {
+                    Some(k) => q.with_ecn(k),
+                    None => q,
+                }
+            },
+            rng: ChaCha8Rng::seed_from_u64(cfg.seed),
+            wire_loss_rate: cfg.wire_loss_rate,
+            serialization,
+            flow_feedback_delay,
+            flow_rtt_floor,
+            red: cfg.red.map(Red::new),
+            end,
+            sample_interval,
+            traces,
+            total_col: Vec::new(),
+            rtt_col: Vec::new(),
+            loss_col: Vec::new(),
+            accums: vec![IntervalAccum::default(); n],
+            interval_queue_drops: 0,
+            interval_queue_offered: 0,
+            wire_lost: 0,
+            red_dropped: 0,
+            red_marked: 0,
+            max_window: cfg.max_window,
+            seed: cfg.seed,
+        }
+    }
+
+    fn run(mut self) -> SimOutput {
+        while let Some((now, ev)) = self.events.pop() {
+            if now > self.end {
+                break;
+            }
+            match ev {
+                Event::FlowStart { flow } => {
+                    self.senders[flow].active = true;
+                    match self.senders[flow].mode() {
+                        SendMode::WindowClocked => self.try_send(flow, now),
+                        SendMode::Paced => {
+                            self.events.schedule(now, Event::PacedSend { flow });
+                            let mi = Time::from_secs_f64(self.link.min_rtt());
+                            self.events.schedule(now + mi, Event::MiBoundary { flow });
+                        }
+                    }
+                }
+                Event::QueueDeparture => self.on_departure(now),
+                Event::AckArrive { flow, sent_at, marked } => {
+                    self.accums[flow].acked += 1;
+                    let rtt = now.saturating_since(sent_at).as_secs_f64();
+                    self.accums[flow].rtt_sum += rtt;
+                    self.accums[flow].rtt_count += 1;
+                    self.senders[flow].on_ack(now, sent_at, marked);
+                    if self.senders[flow].mode() == SendMode::WindowClocked {
+                        self.try_send(flow, now);
+                    }
+                }
+                Event::LossNotify { flow, sent_at } => {
+                    self.accums[flow].lost += 1;
+                    self.senders[flow].on_loss(now, sent_at);
+                    if self.senders[flow].mode() == SendMode::WindowClocked {
+                        self.try_send(flow, now);
+                    }
+                }
+                Event::PacedSend { flow } => {
+                    if self.senders[flow].active {
+                        if self.senders[flow].pacing_gate_open() {
+                            self.transmit_one(flow, now);
+                        }
+                        let next = now + self.senders[flow].pacing_interval(self.link.min_rtt());
+                        if next <= self.end {
+                            self.events.schedule(next, Event::PacedSend { flow });
+                        }
+                    }
+                }
+                Event::MiBoundary { flow } => {
+                    if self.senders[flow].active {
+                        self.senders[flow].close_epoch_timed(now);
+                        // Next boundary after one (estimated) RTT.
+                        let rtt = if self.senders[flow].last_rtt() > 0.0 {
+                            self.senders[flow].last_rtt()
+                        } else {
+                            self.link.min_rtt()
+                        };
+                        let next = now + Time::from_secs_f64(rtt);
+                        if next <= self.end {
+                            self.events.schedule(next, Event::MiBoundary { flow });
+                        }
+                    }
+                }
+                Event::Sample => {
+                    self.record_sample();
+                    let next = now + self.sample_interval;
+                    if next <= self.end {
+                        self.events.schedule(next, Event::Sample);
+                    }
+                }
+            }
+        }
+
+        let queue_stats = QueueStats {
+            enqueued: self.queue.total_enqueued(),
+            dropped: self.queue.total_dropped() + self.red_dropped,
+            max_depth: self.queue.max_depth(),
+            wire_lost: self.wire_lost,
+            marked: self.queue.total_marked() + self.red_marked,
+        };
+        let flows: Vec<FlowStats> = self.senders.iter().map(|s| s.stats).collect();
+        let in_flight: Vec<u64> = self.senders.iter().map(|s| s.in_flight()).collect();
+
+        let trace = RunTrace {
+            link: self.link,
+            senders: self.traces,
+            total_window: self.total_col,
+            rtt: self.rtt_col,
+            loss: self.loss_col,
+            seed: self.seed,
+        };
+        debug_assert_eq!(trace.validate(self.max_window), Ok(()));
+        SimOutput {
+            trace,
+            flows,
+            queue: queue_stats,
+            in_flight_at_end: in_flight,
+        }
+    }
+
+    /// Transmit as many packets as `flow`'s window allows (window-clocked
+    /// flows).
+    fn try_send(&mut self, flow: usize, now: Time) {
+        if !self.senders[flow].active {
+            return;
+        }
+        while self.senders[flow].can_send() > 0 {
+            self.transmit_one(flow, now);
+        }
+    }
+
+    /// Transmit exactly one packet from `flow`.
+    fn transmit_one(&mut self, flow: usize, now: Time) {
+        self.senders[flow].on_send();
+        self.interval_queue_offered += 1;
+        let mut pkt = QueuedPacket {
+            flow,
+            sent_at: now,
+            marked: false,
+        };
+        // RED inspects every arrival before the droptail check.
+        if let Some(red) = &mut self.red {
+            let u = self.rng.gen::<f64>();
+            match red.on_arrival(self.queue.depth(), u) {
+                RedVerdict::Pass => {}
+                RedVerdict::Mark => {
+                    pkt.marked = true;
+                    self.red_marked += 1;
+                }
+                RedVerdict::EarlyDrop => {
+                    self.interval_queue_drops += 1;
+                    self.red_dropped += 1;
+                    self.events.schedule(
+                        now + self.flow_feedback_delay[flow],
+                        Event::LossNotify { flow, sent_at: now },
+                    );
+                    return;
+                }
+            }
+        }
+        match self.queue.offer(pkt) {
+            Enqueue::StartService => {
+                self.events
+                    .schedule(now + self.serialization, Event::QueueDeparture);
+            }
+            Enqueue::Buffered => {}
+            Enqueue::Dropped => {
+                self.interval_queue_drops += 1;
+                // SACK-style discovery: the sender learns of the hole
+                // one feedback delay later.
+                self.events.schedule(
+                    now + self.flow_feedback_delay[flow],
+                    Event::LossNotify { flow, sent_at: now },
+                );
+            }
+        }
+    }
+
+    fn on_departure(&mut self, now: Time) {
+        let (pkt, more) = self.queue.depart();
+        if more {
+            self.events
+                .schedule(now + self.serialization, Event::QueueDeparture);
+        }
+        // Wire (non-congestion) loss strikes after the bottleneck.
+        if self.wire_loss_rate > 0.0 && self.rng.gen::<f64>() < self.wire_loss_rate {
+            self.wire_lost += 1;
+            self.events.schedule(
+                now + self.flow_feedback_delay[pkt.flow],
+                Event::LossNotify {
+                    flow: pkt.flow,
+                    sent_at: pkt.sent_at,
+                },
+            );
+        } else {
+            self.events.schedule(
+                now + self.flow_feedback_delay[pkt.flow],
+                Event::AckArrive {
+                    flow: pkt.flow,
+                    sent_at: pkt.sent_at,
+                    marked: pkt.marked,
+                },
+            );
+        }
+    }
+
+    fn record_sample(&mut self) {
+        let mut total = 0.0;
+        for (i, s) in self.senders.iter().enumerate() {
+            let acc = &mut self.accums[i];
+            let w = if s.active { s.cwnd() } else { 0.0 };
+            total += w;
+            let resolved = acc.acked + acc.lost;
+            let loss = if resolved > 0 {
+                (acc.lost as f64 / resolved as f64).min(1.0 - f64::EPSILON)
+            } else {
+                0.0
+            };
+            let flow_floor = self.flow_rtt_floor[i];
+            let rtt = if acc.rtt_count > 0 {
+                acc.rtt_sum / acc.rtt_count as f64
+            } else if s.last_rtt() > 0.0 {
+                s.last_rtt()
+            } else {
+                flow_floor
+            };
+            let goodput = acc.acked as f64 / self.sample_interval.as_secs_f64();
+            self.traces[i].window.push(w);
+            self.traces[i].loss.push(loss);
+            self.traces[i].rtt.push(rtt.max(flow_floor));
+            self.traces[i].goodput.push(goodput);
+            *acc = IntervalAccum::default();
+        }
+        self.total_col.push(total);
+        // Link-level RTT implied by the instantaneous queue depth.
+        let depth = self.queue.depth() as f64 + if self.queue.busy() { 1.0 } else { 0.0 };
+        self.rtt_col
+            .push(self.link.min_rtt() + depth / self.link.bandwidth);
+        let offered = self.interval_queue_offered;
+        let drops = self.interval_queue_drops;
+        let loss = if offered > 0 {
+            (drops as f64 / offered as f64).min(1.0 - f64::EPSILON)
+        } else {
+            0.0
+        };
+        self.loss_col.push(loss);
+        self.interval_queue_offered = 0;
+        self.interval_queue_drops = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axcc_core::units::Bandwidth;
+    use axcc_protocols::{Aimd, RobustAimd};
+
+    /// 20 Mbps, 42 ms RTT, 100-MSS buffer: a paper Emulab configuration.
+    fn paper_link() -> LinkParams {
+        LinkParams::from_experiment(Bandwidth::Mbps(20.0), 42.0, 100.0)
+    }
+
+    #[test]
+    fn single_reno_utilizes_the_link() {
+        let out = PacketScenario::new(paper_link())
+            .homogeneous(&Aimd::reno(), 1)
+            .duration_secs(30.0)
+            .run();
+        assert!(out.conservation_ok());
+        // Goodput in the second half should be near link rate
+        // (C = 70 MSS, τ = 100: efficiency is high).
+        let tail = out.trace.tail_start(0.5);
+        let goodput = out.trace.senders[0].mean_goodput_from(tail);
+        let util = goodput / out.trace.link.bandwidth;
+        assert!(util > 0.7, "utilization {util}");
+    }
+
+    #[test]
+    fn two_renos_split_fairly() {
+        let out = PacketScenario::new(paper_link())
+            .homogeneous(&Aimd::reno(), 2)
+            .duration_secs(60.0)
+            .run();
+        let tail = out.trace.tail_start(0.5);
+        let f = axcc_core::axioms::fairness::measured_fairness(&out.trace, tail);
+        assert!(f > 0.5, "fairness {f}");
+        assert!(out.conservation_ok());
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let run = || {
+            let out = PacketScenario::new(paper_link())
+                .homogeneous(&Aimd::reno(), 2)
+                .duration_secs(10.0)
+                .seed(3)
+                .run();
+            (out.trace, out.flows)
+        };
+        let (t1, f1) = run();
+        let (t2, f2) = run();
+        assert_eq!(t1, t2);
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn queue_never_exceeds_buffer() {
+        let link = LinkParams::from_experiment(Bandwidth::Mbps(20.0), 42.0, 10.0);
+        let out = PacketScenario::new(link)
+            .homogeneous(&Aimd::reno(), 3)
+            .duration_secs(20.0)
+            .run();
+        assert!(out.queue.max_depth <= 10, "max depth {}", out.queue.max_depth);
+        assert!(out.queue.dropped > 0, "shallow buffer must drop");
+    }
+
+    #[test]
+    fn shallow_buffer_drops_more_than_deep() {
+        let run = |buf: f64| {
+            let link = LinkParams::from_experiment(Bandwidth::Mbps(20.0), 42.0, buf);
+            let out = PacketScenario::new(link)
+                .homogeneous(&Aimd::reno(), 3)
+                .duration_secs(30.0)
+                .run();
+            out.queue.drop_fraction()
+        };
+        assert!(run(10.0) > run(100.0));
+    }
+
+    #[test]
+    fn wire_loss_is_counted_and_seeded() {
+        let out = PacketScenario::new(paper_link())
+            .homogeneous(&Aimd::reno(), 1)
+            .duration_secs(10.0)
+            .wire_loss(0.02)
+            .seed(9)
+            .run();
+        assert!(out.queue.wire_lost > 0);
+        assert!(out.conservation_ok());
+        let out2 = PacketScenario::new(paper_link())
+            .homogeneous(&Aimd::reno(), 1)
+            .duration_secs(10.0)
+            .wire_loss(0.02)
+            .seed(9)
+            .run();
+        assert_eq!(out.queue.wire_lost, out2.queue.wire_lost);
+    }
+
+    #[test]
+    fn robust_aimd_beats_reno_under_wire_loss() {
+        // The PCC motivating scenario at packet level: 1% random loss,
+        // lots of spare capacity.
+        let link = LinkParams::from_experiment(Bandwidth::Mbps(100.0), 42.0, 500.0);
+        let run = |p: Box<dyn Protocol>| {
+            let out = PacketScenario::new(link)
+                .sender(PacketSenderConfig::new(p))
+                .duration_secs(60.0)
+                .wire_loss(0.005)
+                .seed(1)
+                .run();
+            let tail = out.trace.tail_start(0.5);
+            out.trace.senders[0].mean_goodput_from(tail)
+        };
+        let robust = run(Box::new(RobustAimd::table2()));
+        let reno = run(Box::new(Aimd::reno()));
+        // At packet granularity the per-epoch loss rate is quantized at
+        // 1/window, so a single drop in a ≤100-packet epoch reads as
+        // "loss ≥ ε = 1%" and trips Robust-AIMD's back-off too; the
+        // advantage is therefore a solid factor rather than the fluid
+        // model's unbounded gap.
+        assert!(
+            robust > 1.5 * reno,
+            "robust {robust} should clearly beat reno {reno}"
+        );
+    }
+
+    #[test]
+    fn late_start_flow_stays_idle_then_sends() {
+        let out = PacketScenario::new(paper_link())
+            .sender(PacketSenderConfig::new(Box::new(Aimd::reno())))
+            .sender(PacketSenderConfig::new(Box::new(Aimd::reno())).start_at_secs(5.0))
+            .duration_secs(10.0)
+            .run();
+        // Samples before t = 5 s show a zero window for flow 1.
+        let interval = out.trace.link.min_rtt();
+        let cutoff = (5.0 / interval) as usize;
+        assert!(out.trace.senders[1].window[..cutoff.saturating_sub(1)]
+            .iter()
+            .all(|&w| w == 0.0));
+        assert!(out.flows[1].sent > 0);
+    }
+
+    #[test]
+    fn rtt_samples_respect_propagation_floor() {
+        let out = PacketScenario::new(paper_link())
+            .homogeneous(&Aimd::reno(), 2)
+            .duration_secs(15.0)
+            .run();
+        let floor = out.trace.link.min_rtt();
+        for s in &out.trace.senders {
+            assert!(s.rtt.iter().all(|&r| r >= floor - 1e-12));
+        }
+        // And queueing inflates RTTs beyond the floor at least sometimes.
+        let max_rtt = out.trace.senders[0].rtt.iter().copied().fold(0.0, f64::max);
+        assert!(max_rtt > floor * 1.05, "max rtt {max_rtt}");
+    }
+
+    #[test]
+    fn trace_is_rectangular_and_valid() {
+        let out = PacketScenario::new(paper_link())
+            .homogeneous(&Aimd::reno(), 3)
+            .duration_secs(5.0)
+            .run();
+        out.trace.validate(MAX_WINDOW).unwrap();
+        let len = out.trace.len();
+        assert!(len > 50);
+        for s in &out.trace.senders {
+            assert_eq!(s.len(), len);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flow")]
+    fn empty_scenario_panics() {
+        PacketScenario::new(paper_link()).run();
+    }
+
+    #[test]
+    fn paced_pcc_utilizes_the_link() {
+        use axcc_protocols::Pcc;
+        let out = PacketScenario::new(paper_link())
+            .sender(PacketSenderConfig::new(Box::new(Pcc::new())).paced())
+            .duration_secs(40.0)
+            .run();
+        assert!(out.conservation_ok());
+        let tail = out.trace.tail_start(0.5);
+        let goodput = out.trace.senders[0].mean_goodput_from(tail);
+        let util = goodput / out.trace.link.bandwidth;
+        assert!(util > 0.7, "paced PCC utilization {util}");
+        // MI boundaries produced epochs at ~RTT cadence, far fewer than
+        // the packet count.
+        assert!(out.flows[0].epochs > 100);
+        assert!(out.flows[0].epochs < out.flows[0].sent / 4);
+    }
+
+    #[test]
+    fn paced_flow_is_rate_limited_not_bursty() {
+        use axcc_protocols::Pcc;
+        // A paced flow's in-flight data stays near cwnd (its pacing rate
+        // spreads packets out); the local gate bounds it strictly.
+        let out = PacketScenario::new(paper_link())
+            .sender(PacketSenderConfig::new(Box::new(Pcc::new())).paced())
+            .duration_secs(20.0)
+            .run();
+        let tail = out.trace.tail_start(0.5);
+        let max_cwnd = out.trace.senders[0].window[tail..]
+            .iter()
+            .copied()
+            .fold(0.0, f64::max);
+        assert!(
+            (out.in_flight_at_end[0] as f64) <= 4.0 * max_cwnd + 64.0,
+            "in flight {} vs cwnd {max_cwnd}",
+            out.in_flight_at_end[0]
+        );
+    }
+
+    #[test]
+    fn paced_and_windowed_reno_coexist() {
+        let out = PacketScenario::new(paper_link())
+            .sender(PacketSenderConfig::new(Box::new(Aimd::reno())))
+            .sender(PacketSenderConfig::new(Box::new(Aimd::reno())).paced())
+            .duration_secs(40.0)
+            .run();
+        assert!(out.conservation_ok());
+        let tail = out.trace.tail_start(0.5);
+        let g0 = out.trace.senders[0].mean_goodput_from(tail);
+        let g1 = out.trace.senders[1].mean_goodput_from(tail);
+        // Same protocol, different clocking. The paced flow wins decisively
+        // at a droptail queue — its steady arrivals dodge the synchronized
+        // burst drops that hit the ACK-clocked flow — but must not starve
+        // the window-clocked one outright.
+        assert!(g1 > g0, "paced {g1} should out-earn windowed {g0} here");
+        let ratio = g0.min(g1) / g0.max(g1);
+        assert!(ratio > 0.08, "goodputs {g0} vs {g1}");
+    }
+
+    #[test]
+    fn paced_runs_are_deterministic() {
+        use axcc_protocols::Pcc;
+        let run = || {
+            let out = PacketScenario::new(paper_link())
+                .sender(PacketSenderConfig::new(Box::new(Pcc::new())).paced())
+                .duration_secs(10.0)
+                .run();
+            (out.trace, out.flows)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn red_keeps_the_average_queue_short() {
+        use crate::red::RedConfig;
+        let plain = PacketScenario::new(paper_link())
+            .homogeneous(&Aimd::reno(), 3)
+            .duration_secs(30.0)
+            .run();
+        let red = PacketScenario::new(paper_link())
+            .homogeneous(&Aimd::reno(), 3)
+            .duration_secs(30.0)
+            .red(RedConfig::classic(100.0))
+            .seed(2)
+            .run();
+        assert!(red.conservation_ok());
+        // RED's early random signals keep the worst-case queue depth well
+        // below droptail's full buffer…
+        assert!(
+            red.queue.max_depth < plain.queue.max_depth,
+            "RED {} vs droptail {}",
+            red.queue.max_depth,
+            plain.queue.max_depth
+        );
+        // …at comparable utilization.
+        let g = |out: &SimOutput| {
+            let tail = out.trace.tail_start(0.5);
+            out.trace.senders.iter().map(|s| s.mean_goodput_from(tail)).sum::<f64>()
+        };
+        assert!(g(&red) > 0.7 * g(&plain), "RED {} vs plain {}", g(&red), g(&plain));
+    }
+
+    #[test]
+    fn red_marking_variant_is_loss_free_at_light_load() {
+        use crate::red::RedConfig;
+        let out = PacketScenario::new(paper_link())
+            .homogeneous(&Aimd::reno(), 2)
+            .duration_secs(20.0)
+            .red(RedConfig::classic_marking(100.0))
+            .run();
+        // Marks replace early drops; tail drops can still occur only if
+        // the ramp saturates, which two Renos at τ=100 never force.
+        assert!(out.queue.marked > 0);
+        assert_eq!(out.queue.dropped, 0, "marking RED dropped packets");
+    }
+
+    #[test]
+    #[should_panic(expected = "not both")]
+    fn red_and_step_ecn_are_exclusive() {
+        use crate::red::RedConfig;
+        let _ = PacketScenario::new(paper_link())
+            .ecn_threshold(20)
+            .red(RedConfig::classic(100.0));
+    }
+
+    #[test]
+    fn rtt_unfairness_with_heterogeneous_delays() {
+        // Two Renos; flow 1 has +42 ms of one-way access delay (3x the
+        // total RTT). The short-RTT flow completes its epochs ~3x faster
+        // and takes the larger share — classic RTT unfairness.
+        let out = PacketScenario::new(paper_link())
+            .sender(PacketSenderConfig::new(Box::new(Aimd::reno())))
+            .sender(PacketSenderConfig::new(Box::new(Aimd::reno())).extra_delay_secs(0.042))
+            .duration_secs(60.0)
+            .run();
+        assert!(out.conservation_ok());
+        let tail = out.trace.tail_start(0.5);
+        let g_short = out.trace.senders[0].mean_goodput_from(tail);
+        let g_long = out.trace.senders[1].mean_goodput_from(tail);
+        assert!(
+            g_short > 1.5 * g_long,
+            "short-RTT {g_short} vs long-RTT {g_long}"
+        );
+        // And the long flow's RTT samples include the access delay.
+        let long_min_rtt = out.trace.senders[1]
+            .rtt
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        assert!(long_min_rtt >= 0.042 + 0.084 - 1e-9, "min rtt {long_min_rtt}");
+    }
+
+    #[test]
+    fn ecn_eliminates_drops_and_shortens_the_queue() {
+        // Same two-Reno scenario with and without ECN (mark at 20 of 100
+        // MSS): with ECN the senders back off on marks before the buffer
+        // ever fills — zero drops, much shorter standing queue, same
+        // ballpark of goodput.
+        let plain = PacketScenario::new(paper_link())
+            .homogeneous(&Aimd::reno(), 2)
+            .duration_secs(30.0)
+            .run();
+        let ecn = PacketScenario::new(paper_link())
+            .homogeneous(&Aimd::reno(), 2)
+            .duration_secs(30.0)
+            .ecn_threshold(20)
+            .run();
+        assert!(plain.queue.dropped > 0);
+        assert_eq!(ecn.queue.dropped, 0, "ECN run must be loss-free");
+        assert!(ecn.queue.marked > 0);
+        assert!(
+            ecn.queue.max_depth < plain.queue.max_depth,
+            "ECN queue {} vs droptail {}",
+            ecn.queue.max_depth,
+            plain.queue.max_depth
+        );
+        // Goodput within 25% of the droptail run.
+        let g = |out: &SimOutput| {
+            let tail = out.trace.tail_start(0.5);
+            out.trace.senders.iter().map(|s| s.mean_goodput_from(tail)).sum::<f64>()
+        };
+        let (gp, ge) = (g(&plain), g(&ecn));
+        assert!(ge > 0.75 * gp, "ECN goodput {ge} vs droptail {gp}");
+        // Marks are visible in the flow stats and conservation still holds.
+        assert!(ecn.flows.iter().any(|f| f.marked > 0));
+        assert!(ecn.conservation_ok());
+    }
+
+    #[test]
+    fn ecn_keeps_rtt_near_the_mark_threshold() {
+        let out = PacketScenario::new(paper_link())
+            .homogeneous(&Aimd::reno(), 2)
+            .duration_secs(30.0)
+            .ecn_threshold(20)
+            .run();
+        let link = out.trace.link;
+        let tail = out.trace.tail_start(0.5);
+        // Mean RTT stays well below the full-buffer RTT: the standing
+        // queue hovers around the 20-packet threshold, not 100.
+        let mean_rtt = axcc_core::trace::mean(&out.trace.senders[0].rtt[tail..]);
+        let full_buffer_rtt = link.min_rtt() + link.buffer / link.bandwidth;
+        let threshold_rtt = link.min_rtt() + 30.0 / link.bandwidth;
+        assert!(
+            mean_rtt < threshold_rtt,
+            "mean rtt {mean_rtt} vs threshold-ish {threshold_rtt} (full {full_buffer_rtt})"
+        );
+    }
+}

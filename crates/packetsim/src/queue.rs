@@ -1,0 +1,277 @@
+//! The FIFO droptail bottleneck queue.
+//!
+//! Matches the paper's model: a buffer of `τ` MSS in front of a link that
+//! serializes one 1-MSS packet per `1/B` seconds. A packet arriving while
+//! `τ` packets wait is dropped (droptail). The packet currently being
+//! serialized does not occupy buffer space (the usual router model; with
+//! `τ = 0` the link still forwards one packet at a time).
+
+use crate::time::Time;
+use std::collections::VecDeque;
+
+/// A packet's identity while queued: which flow sent it and when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuedPacket {
+    /// Index of the sending flow.
+    pub flow: usize,
+    /// Transmission (enqueue) time, used for the RTT sample on the ACK.
+    pub sent_at: Time,
+    /// ECN congestion-experienced mark, set by the queue when its depth
+    /// exceeds the marking threshold at enqueue time (RFC 3168 style).
+    pub marked: bool,
+}
+
+/// Outcome of offering a packet to the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Enqueue {
+    /// Accepted; the link was idle, so serialization starts immediately
+    /// (the caller must schedule the departure).
+    StartService,
+    /// Accepted into the buffer behind other packets.
+    Buffered,
+    /// Dropped: the buffer already holds `τ` packets.
+    Dropped,
+}
+
+/// FIFO droptail queue + link-occupancy state.
+#[derive(Debug)]
+pub struct DropTailQueue {
+    capacity: usize,
+    /// ECN marking threshold (packets waiting); `None` disables marking.
+    ecn_threshold: Option<usize>,
+    waiting: VecDeque<QueuedPacket>,
+    in_service: Option<QueuedPacket>,
+    // --- accounting ---
+    enqueued: u64,
+    dropped: u64,
+    marked: u64,
+    max_depth: usize,
+}
+
+impl DropTailQueue {
+    /// A queue with buffer capacity `tau_mss` packets and no ECN.
+    pub fn new(tau_mss: usize) -> Self {
+        DropTailQueue {
+            capacity: tau_mss,
+            ecn_threshold: None,
+            waiting: VecDeque::with_capacity(tau_mss.min(4096)),
+            in_service: None,
+            enqueued: 0,
+            dropped: 0,
+            marked: 0,
+            max_depth: 0,
+        }
+    }
+
+    /// Enable ECN: packets enqueued while `threshold` or more packets
+    /// wait are marked congestion-experienced instead of waiting for a
+    /// drop (the DCTCP-style step-marking discipline; §6's "in-network
+    /// queueing" direction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold exceeds the buffer capacity (marks could
+    /// then never fire before drops).
+    pub fn with_ecn(mut self, threshold: usize) -> Self {
+        assert!(
+            threshold <= self.capacity,
+            "ECN threshold {threshold} exceeds buffer capacity {}",
+            self.capacity
+        );
+        self.ecn_threshold = Some(threshold);
+        self
+    }
+
+    /// Offer a packet at time `now`.
+    pub fn offer(&mut self, mut pkt: QueuedPacket) -> Enqueue {
+        if let Some(k) = self.ecn_threshold {
+            if self.waiting.len() >= k {
+                pkt.marked = true;
+                self.marked += 1;
+            }
+        }
+        if self.in_service.is_none() {
+            debug_assert!(self.waiting.is_empty(), "idle link with non-empty buffer");
+            self.in_service = Some(pkt);
+            self.enqueued += 1;
+            Enqueue::StartService
+        } else if self.waiting.len() < self.capacity {
+            self.waiting.push_back(pkt);
+            self.enqueued += 1;
+            self.max_depth = self.max_depth.max(self.waiting.len());
+            Enqueue::Buffered
+        } else {
+            self.dropped += 1;
+            Enqueue::Dropped
+        }
+    }
+
+    /// Serialization of the in-service packet completed: return it, and
+    /// promote the next waiting packet (if any) into service. The caller
+    /// schedules the next departure iff the return's second element is
+    /// `true`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link was idle (a departure event without a packet in
+    /// service indicates an engine bug).
+    pub fn depart(&mut self) -> (QueuedPacket, bool) {
+        let done = self.in_service.take().expect("departure from idle link");
+        if let Some(next) = self.waiting.pop_front() {
+            self.in_service = Some(next);
+            (done, true)
+        } else {
+            (done, false)
+        }
+    }
+
+    /// Number of packets waiting in the buffer (excluding in-service).
+    pub fn depth(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Whether the link is currently serializing a packet.
+    pub fn busy(&self) -> bool {
+        self.in_service.is_some()
+    }
+
+    /// Total packets accepted (buffered or serviced).
+    pub fn total_enqueued(&self) -> u64 {
+        self.enqueued
+    }
+
+    /// Total packets dropped at the tail.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// High-water mark of the buffer depth.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Buffer capacity `τ` (packets).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total packets ECN-marked.
+    pub fn total_marked(&self) -> u64 {
+        self.marked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(flow: usize) -> QueuedPacket {
+        QueuedPacket {
+            flow,
+            sent_at: Time(0),
+            marked: false,
+        }
+    }
+
+    #[test]
+    fn first_packet_starts_service() {
+        let mut q = DropTailQueue::new(2);
+        assert_eq!(q.offer(pkt(0)), Enqueue::StartService);
+        assert!(q.busy());
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn subsequent_packets_buffer_then_drop() {
+        let mut q = DropTailQueue::new(2);
+        assert_eq!(q.offer(pkt(0)), Enqueue::StartService);
+        assert_eq!(q.offer(pkt(1)), Enqueue::Buffered);
+        assert_eq!(q.offer(pkt(2)), Enqueue::Buffered);
+        assert_eq!(q.offer(pkt(3)), Enqueue::Dropped);
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.total_dropped(), 1);
+        assert_eq!(q.total_enqueued(), 3);
+    }
+
+    #[test]
+    fn fifo_order_on_departure() {
+        let mut q = DropTailQueue::new(4);
+        q.offer(pkt(10));
+        q.offer(pkt(11));
+        q.offer(pkt(12));
+        let (p, more) = q.depart();
+        assert_eq!(p.flow, 10);
+        assert!(more);
+        let (p, more) = q.depart();
+        assert_eq!(p.flow, 11);
+        assert!(more);
+        let (p, more) = q.depart();
+        assert_eq!(p.flow, 12);
+        assert!(!more);
+        assert!(!q.busy());
+    }
+
+    #[test]
+    fn zero_capacity_forwards_one_at_a_time() {
+        let mut q = DropTailQueue::new(0);
+        assert_eq!(q.offer(pkt(0)), Enqueue::StartService);
+        assert_eq!(q.offer(pkt(1)), Enqueue::Dropped);
+        let (_, more) = q.depart();
+        assert!(!more);
+        assert_eq!(q.offer(pkt(2)), Enqueue::StartService);
+    }
+
+    #[test]
+    fn max_depth_tracks_high_water() {
+        let mut q = DropTailQueue::new(8);
+        q.offer(pkt(0));
+        for i in 0..5 {
+            q.offer(pkt(i));
+        }
+        q.depart();
+        q.depart();
+        assert_eq!(q.max_depth(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "departure from idle link")]
+    fn departure_from_idle_panics() {
+        DropTailQueue::new(2).depart();
+    }
+
+    #[test]
+    fn ecn_marks_above_threshold() {
+        let mut q = DropTailQueue::new(8).with_ecn(2);
+        q.offer(pkt(0)); // in service, depth 0: unmarked
+        q.offer(pkt(1)); // depth 0 -> 1: unmarked
+        q.offer(pkt(2)); // depth 1 -> 2: unmarked (threshold not reached)
+        q.offer(pkt(3)); // depth 2: marked
+        q.offer(pkt(4)); // depth 3: marked
+        assert_eq!(q.total_marked(), 2);
+        assert_eq!(q.total_dropped(), 0);
+        // Marks travel with the packets.
+        let mut marks = Vec::new();
+        while q.busy() {
+            let (p, _) = q.depart();
+            marks.push(p.marked);
+        }
+        assert_eq!(marks, vec![false, false, false, true, true]);
+    }
+
+    #[test]
+    fn ecn_marking_does_not_prevent_tail_drop() {
+        let mut q = DropTailQueue::new(2).with_ecn(1);
+        q.offer(pkt(0));
+        q.offer(pkt(1));
+        q.offer(pkt(2)); // depth 1 ≥ threshold: marked, buffered
+        assert_eq!(q.offer(pkt(3)), Enqueue::Dropped);
+        assert_eq!(q.total_marked(), 2);
+        assert_eq!(q.total_dropped(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds buffer capacity")]
+    fn ecn_threshold_above_capacity_rejected() {
+        DropTailQueue::new(4).with_ecn(5);
+    }
+}

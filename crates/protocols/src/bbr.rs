@@ -1,0 +1,274 @@
+//! A BBR-style model protocol (congestion-based congestion control).
+//!
+//! The paper's Section 6 lists BBR (Cardwell et al., reference \[8\]) as a
+//! protocol its future work should cover. This module provides an
+//! *in-model* BBR: like the real protocol it estimates the path's
+//! bottleneck bandwidth (windowed-max delivery rate) and propagation RTT
+//! (windowed-min RTT) and paces around their product, rather than reacting
+//! to loss. Mapped into the paper's window-based vocabulary:
+//!
+//! * **delivery rate** of a step = `window·(1 − loss)/RTT`;
+//! * **STARTUP**: the window doubles each step until the delivery-rate
+//!   estimate stops growing (three consecutive steps without a 25% gain),
+//!   then one **DRAIN** step empties the queue built during startup;
+//! * **PROBE_BW**: the window cycles through the gains
+//!   `[1.25, 0.75, 1, 1, 1, 1, 1, 1]` applied to the estimated BDP
+//!   `max_bw · min_rtt` — probe up, drain, cruise.
+//!
+//! It is **not loss-based** (window choices depend on RTTs), scores well on
+//! latency-avoidance on deep buffers, and — like the real BBR — tolerates
+//! random loss (its bandwidth filter barely notices a 1% ACK shortfall),
+//! making it a second positively-robust point in the metric space next to
+//! Robust-AIMD.
+
+use axcc_core::{Observation, Protocol};
+
+/// PROBE_BW pacing-gain cycle (the real BBR's eight-phase cycle).
+pub const PROBE_GAINS: [f64; 8] = [1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+/// STARTUP window gain per step.
+const STARTUP_GAIN: f64 = 2.0;
+/// Startup exits after this many steps without 25% delivery-rate growth.
+const STARTUP_FULL_BW_COUNT: u32 = 3;
+/// Window of steps over which the bandwidth maximum is tracked.
+const BW_FILTER_LEN: usize = 10;
+/// Minimum window (MSS), as in the kernel implementation.
+const MIN_WINDOW: f64 = 4.0;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Startup,
+    Drain,
+    ProbeBw,
+}
+
+/// The BBR-style protocol.
+#[derive(Debug, Clone)]
+pub struct Bbr {
+    phase: Phase,
+    /// Recent delivery-rate samples (MSS/s), newest last.
+    bw_samples: Vec<f64>,
+    /// Best delivery rate seen during startup growth detection.
+    full_bw: f64,
+    /// Consecutive startup steps without appreciable growth.
+    full_bw_count: u32,
+    /// Index into [`PROBE_GAINS`].
+    cycle_index: usize,
+    /// Running minimum RTT (seconds).
+    min_rtt: f64,
+}
+
+impl Bbr {
+    /// A fresh BBR instance in STARTUP.
+    pub fn new() -> Self {
+        Bbr {
+            phase: Phase::Startup,
+            bw_samples: Vec::with_capacity(BW_FILTER_LEN),
+            full_bw: 0.0,
+            full_bw_count: 0,
+            cycle_index: 0,
+            min_rtt: f64::INFINITY,
+        }
+    }
+
+    fn push_bw(&mut self, sample: f64) {
+        if self.bw_samples.len() == BW_FILTER_LEN {
+            self.bw_samples.remove(0);
+        }
+        self.bw_samples.push(sample);
+    }
+
+    fn max_bw(&self) -> f64 {
+        self.bw_samples.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The estimated bandwidth-delay product (MSS).
+    fn bdp(&self) -> f64 {
+        if self.min_rtt.is_finite() {
+            self.max_bw() * self.min_rtt
+        } else {
+            0.0
+        }
+    }
+
+    /// Which phase the controller is in (visible for tests/diagnostics).
+    pub fn phase_name(&self) -> &'static str {
+        match self.phase {
+            Phase::Startup => "STARTUP",
+            Phase::Drain => "DRAIN",
+            Phase::ProbeBw => "PROBE_BW",
+        }
+    }
+}
+
+impl Default for Bbr {
+    fn default() -> Self {
+        Bbr::new()
+    }
+}
+
+impl Protocol for Bbr {
+    fn name(&self) -> String {
+        "BBR".to_string()
+    }
+
+    fn next_window(&mut self, obs: &Observation) -> f64 {
+        // Update the path model.
+        self.min_rtt = self.min_rtt.min(obs.rtt).min(obs.min_rtt);
+        let rtt = obs.rtt.max(1e-9);
+        let delivered = obs.window * (1.0 - obs.loss_rate) / rtt;
+        self.push_bw(delivered);
+
+        match self.phase {
+            Phase::Startup => {
+                // Full-pipe detection: delivery rate stopped growing 25%.
+                if self.max_bw() >= self.full_bw * 1.25 {
+                    self.full_bw = self.max_bw();
+                    self.full_bw_count = 0;
+                } else {
+                    self.full_bw_count += 1;
+                }
+                if self.full_bw_count >= STARTUP_FULL_BW_COUNT {
+                    self.phase = Phase::Drain;
+                    // Drain the startup queue: drop to the BDP estimate.
+                    return self.bdp().max(MIN_WINDOW);
+                }
+                (obs.window * STARTUP_GAIN).max(MIN_WINDOW)
+            }
+            Phase::Drain => {
+                self.phase = Phase::ProbeBw;
+                self.cycle_index = 0;
+                self.bdp().max(MIN_WINDOW)
+            }
+            Phase::ProbeBw => {
+                let gain = PROBE_GAINS[self.cycle_index];
+                self.cycle_index = (self.cycle_index + 1) % PROBE_GAINS.len();
+                (gain * self.bdp()).max(MIN_WINDOW)
+            }
+        }
+    }
+
+    fn loss_based(&self) -> bool {
+        false
+    }
+
+    fn reset(&mut self) {
+        *self = Bbr::new();
+    }
+
+    fn clone_box(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive BBR against an ideal single-sender link: rtt = max(2Θ,
+    /// 2Θ + (x−C)/B), loss above C+τ.
+    fn drive(bbr: &mut Bbr, steps: usize, b: f64, theta2: f64, tau: f64) -> Vec<f64> {
+        let c = b * theta2;
+        let mut w = 4.0;
+        let mut min_rtt = f64::INFINITY;
+        let mut out = Vec::new();
+        for t in 0..steps {
+            let (rtt, loss) = if w < c + tau {
+                ((theta2 + (w - c) / b).max(theta2), 0.0)
+            } else {
+                (2.0 * (theta2 + tau / b), 1.0 - (c + tau) / w)
+            };
+            min_rtt = min_rtt.min(rtt);
+            w = bbr.next_window(&Observation {
+                tick: t as u64,
+                window: w,
+                loss_rate: loss,
+                rtt,
+                min_rtt,
+            });
+            out.push(w);
+        }
+        out
+    }
+
+    #[test]
+    fn startup_doubles_then_exits() {
+        let mut bbr = Bbr::new();
+        assert_eq!(bbr.phase_name(), "STARTUP");
+        let w = drive(&mut bbr, 30, 1000.0, 0.1, 50.0);
+        // It must leave startup once the pipe (C = 100) is full.
+        assert_eq!(bbr.phase_name(), "PROBE_BW");
+        // And early growth is exponential.
+        assert_eq!(w[0], 8.0);
+        assert_eq!(w[1], 16.0);
+    }
+
+    #[test]
+    fn converges_near_bdp_and_keeps_rtt_low() {
+        let mut bbr = Bbr::new();
+        let w = drive(&mut bbr, 300, 1000.0, 0.1, 50.0);
+        let c = 100.0;
+        let tail = &w[200..];
+        let mean: f64 = tail.iter().sum::<f64>() / tail.len() as f64;
+        // Cruise near the BDP (C = 100): within ±25% (the probe cycle).
+        assert!(mean > 0.8 * c && mean < 1.3 * c, "mean window {mean}");
+        // Never camps at the loss threshold C + τ = 150.
+        assert!(tail.iter().all(|&x| x < 145.0));
+    }
+
+    #[test]
+    fn probe_cycle_shape() {
+        let mut bbr = Bbr::new();
+        drive(&mut bbr, 100, 1000.0, 0.1, 50.0);
+        // In PROBE_BW, consecutive windows follow the gain cycle around a
+        // stable BDP: max/min ratio ≈ 1.25/0.75.
+        let w = drive(&mut bbr, 16, 1000.0, 0.1, 50.0);
+        let max = w.iter().copied().fold(0.0, f64::max);
+        let min = w.iter().copied().fold(f64::INFINITY, f64::min);
+        let ratio = max / min;
+        assert!((ratio - 1.25 / 0.75).abs() < 0.25, "ratio {ratio}");
+    }
+
+    #[test]
+    fn tolerates_random_loss() {
+        // 1% loss barely dents the max-filter bandwidth estimate: the
+        // window stays near the BDP instead of collapsing.
+        let mut bbr = Bbr::new();
+        let mut w = 4.0;
+        let mut min_rtt = f64::INFINITY;
+        for t in 0..400 {
+            let rtt = 0.1;
+            min_rtt = min_rtt.min(rtt);
+            w = bbr.next_window(&Observation {
+                tick: t,
+                window: w,
+                loss_rate: 0.01,
+                rtt,
+                min_rtt,
+            });
+        }
+        // On an uncongested 0.1s-RTT path the window stabilizes at the
+        // estimate it grew to; crucially it does NOT decay towards the
+        // minimum the way AIMD would.
+        assert!(w > 100.0, "window {w}");
+    }
+
+    #[test]
+    fn not_loss_based_and_resets() {
+        let mut bbr = Bbr::new();
+        assert!(!bbr.loss_based());
+        drive(&mut bbr, 50, 1000.0, 0.1, 50.0);
+        bbr.reset();
+        assert_eq!(bbr.phase_name(), "STARTUP");
+        assert_eq!(bbr.min_rtt, f64::INFINITY);
+    }
+
+    #[test]
+    fn window_floor() {
+        let mut bbr = Bbr::new();
+        // Adversarial feedback can't push it below 4 MSS.
+        for t in 0..50 {
+            let w = bbr.next_window(&Observation::loss_only(t, 0.0, 0.9));
+            assert!(w >= MIN_WINDOW);
+        }
+    }
+}

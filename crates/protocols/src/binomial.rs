@@ -1,0 +1,184 @@
+//! BIN(a, b, k, l) — the binomial congestion-control family of
+//! Bansal–Balakrishnan (INFOCOM 2001), as modeled in the paper:
+//!
+//! ```text
+//! x^(t+1) = x^(t) + a / (x^(t))^k    if L^(t) = 0
+//!         = x^(t) − b · (x^(t))^l    if L^(t) > 0
+//! ```
+//!
+//! for `a > 0`, `0 < b ≤ 1`, `k ≥ 0`, `l ∈ [0, 1]`. Notable members:
+//!
+//! * `k = 0, l = 1` — AIMD with decrease factor `1 − b`;
+//! * `k = 1, l = 0` — **IIAD** (inverse-increase, additive-decrease);
+//! * `k = l = 1/2` — **SQRT**.
+//!
+//! The family's TCP-friendliness hinges on the *k + l rule*: only members
+//! with `k + l ≥ 1` can be TCP-friendly (Table 1's BIN row).
+
+use axcc_core::theory::ProtocolSpec;
+use axcc_core::{Observation, Protocol};
+
+/// The BIN(a, b, k, l) protocol.
+#[derive(Debug, Clone)]
+pub struct Binomial {
+    a: f64,
+    b: f64,
+    k: f64,
+    l: f64,
+}
+
+impl Binomial {
+    /// BIN(a, b, k, l) with `a > 0`, `0 < b ≤ 1`, `k ≥ 0`, `l ∈ [0, 1]`
+    /// (the domains the paper states).
+    ///
+    /// # Panics
+    ///
+    /// Panics on parameters outside those domains.
+    pub fn new(a: f64, b: f64, k: f64, l: f64) -> Self {
+        assert!(a > 0.0, "BIN requires a > 0");
+        assert!(b > 0.0 && b <= 1.0, "BIN requires 0 < b <= 1");
+        assert!(k >= 0.0, "BIN requires k >= 0");
+        assert!((0.0..=1.0).contains(&l), "BIN requires l in [0,1]");
+        Binomial { a, b, k, l }
+    }
+
+    /// IIAD: inverse-increase (k = 1), additive-decrease (l = 0).
+    pub fn iiad(a: f64, b: f64) -> Self {
+        Binomial::new(a, b, 1.0, 0.0)
+    }
+
+    /// SQRT: k = l = 1/2.
+    pub fn sqrt(a: f64, b: f64) -> Self {
+        Binomial::new(a, b, 0.5, 0.5)
+    }
+
+    /// The analytic spec of this instance.
+    pub fn spec(&self) -> ProtocolSpec {
+        ProtocolSpec::Bin {
+            a: self.a,
+            b: self.b,
+            k: self.k,
+            l: self.l,
+        }
+    }
+
+    /// Whether this member satisfies the k + l ≥ 1 TCP-friendliness rule.
+    pub fn kl_rule(&self) -> bool {
+        self.k + self.l >= 1.0
+    }
+}
+
+impl Protocol for Binomial {
+    fn name(&self) -> String {
+        self.spec().name()
+    }
+
+    fn next_window(&mut self, obs: &Observation) -> f64 {
+        let x = obs.window;
+        if obs.loss_rate > 0.0 {
+            // Decrease: x − b·x^l, floored at 0 (for l < 1 and small x the
+            // raw formula can undershoot; the model clamps to [0, M]).
+            (x - self.b * x.powf(self.l)).max(0.0)
+        } else if x <= 0.0 {
+            // a/x^k diverges at x = 0 for k > 0; the natural continuation
+            // of the family is a plain additive step (matches k = 0).
+            self.a
+        } else {
+            x + self.a / x.powf(self.k)
+        }
+    }
+
+    fn loss_based(&self) -> bool {
+        true
+    }
+
+    fn reset(&mut self) {}
+
+    fn clone_box(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k0_l1_is_aimd() {
+        // BIN(a, b, 0, 1) must update exactly like AIMD(a, 1−b).
+        let mut bin = Binomial::new(1.0, 0.5, 0.0, 1.0);
+        let mut aimd = crate::Aimd::new(1.0, 0.5);
+        let mut wb = 10.0;
+        let mut wa = 10.0;
+        for t in 0..60 {
+            let loss = if t % 9 == 8 { 0.1 } else { 0.0 };
+            wb = bin.next_window(&Observation::loss_only(t, wb, loss));
+            wa = aimd.next_window(&Observation::loss_only(t, wa, loss));
+            assert!((wb - wa).abs() < 1e-12, "diverged at t={t}");
+        }
+    }
+
+    #[test]
+    fn iiad_increase_is_inverse() {
+        let mut p = Binomial::iiad(2.0, 1.0);
+        // x = 4: increase by 2/4 = 0.5.
+        assert!((p.next_window(&Observation::loss_only(0, 4.0, 0.0)) - 4.5).abs() < 1e-12);
+        // Additive decrease: x − b = 3.
+        assert!((p.next_window(&Observation::loss_only(1, 4.0, 0.2)) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sqrt_member() {
+        let mut p = Binomial::sqrt(1.0, 0.5);
+        // x = 16: increase 1/4, decrease 0.5·4 = 2.
+        assert!((p.next_window(&Observation::loss_only(0, 16.0, 0.0)) - 16.25).abs() < 1e-12);
+        assert!((p.next_window(&Observation::loss_only(1, 16.0, 0.1)) - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn increase_shrinks_as_window_grows_for_positive_k() {
+        let mut p = Binomial::iiad(1.0, 1.0);
+        let small = p.next_window(&Observation::loss_only(0, 2.0, 0.0)) - 2.0;
+        let large = p.next_window(&Observation::loss_only(1, 200.0, 0.0)) - 200.0;
+        assert!(small > large);
+        assert!(large > 0.0);
+    }
+
+    #[test]
+    fn decrease_never_negative() {
+        // l = 0, b = 1: x − 1 would go negative at x < 1.
+        let mut p = Binomial::new(1.0, 1.0, 1.0, 0.0);
+        let w = p.next_window(&Observation::loss_only(0, 0.5, 0.3));
+        assert_eq!(w, 0.0);
+    }
+
+    #[test]
+    fn zero_window_recovers_additively() {
+        let mut p = Binomial::iiad(1.0, 0.5);
+        assert_eq!(p.next_window(&Observation::loss_only(0, 0.0, 0.0)), 1.0);
+    }
+
+    #[test]
+    fn kl_rule_classification() {
+        assert!(Binomial::iiad(1.0, 1.0).kl_rule()); // 1 + 0
+        assert!(Binomial::sqrt(1.0, 0.5).kl_rule()); // 1/2 + 1/2
+        assert!(!Binomial::new(1.0, 0.5, 0.25, 0.25).kl_rule());
+    }
+
+    #[test]
+    fn name_shows_all_parameters() {
+        assert_eq!(Binomial::new(1.0, 0.5, 1.0, 0.0).name(), "BIN(1,0.5,1,0)");
+    }
+
+    #[test]
+    #[should_panic(expected = "BIN requires a > 0")]
+    fn rejects_nonpositive_a() {
+        Binomial::new(0.0, 0.5, 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "l in [0,1]")]
+    fn rejects_l_out_of_range() {
+        Binomial::new(1.0, 0.5, 1.0, 1.5);
+    }
+}

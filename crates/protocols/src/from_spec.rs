@@ -1,0 +1,60 @@
+//! Bridge from the analytic [`ProtocolSpec`] (Table 1 formulas) to the
+//! executable [`Protocol`] implementations, so theory and simulation always
+//! agree on parameters. The experiment builders in `axcc-analysis` take a
+//! `ProtocolSpec`, evaluate the Table 1 row with it, and simulate the
+//! protocol built from it by this function — one source of truth.
+
+use crate::{Aimd, Binomial, Cubic, Mimd, RobustAimd};
+use axcc_core::theory::ProtocolSpec;
+use axcc_core::Protocol;
+
+/// Build the executable protocol for an analytic spec.
+///
+/// # Panics
+///
+/// Panics when the spec's parameters are outside the family's domain
+/// (propagating the constructors' validation).
+pub fn build_protocol(spec: &ProtocolSpec) -> Box<dyn Protocol> {
+    match *spec {
+        ProtocolSpec::Aimd { a, b } => Box::new(Aimd::new(a, b)),
+        ProtocolSpec::Mimd { a, b } => Box::new(Mimd::new(a, b)),
+        ProtocolSpec::Bin { a, b, k, l } => Box::new(Binomial::new(a, b, k, l)),
+        ProtocolSpec::Cubic { c, b } => Box::new(Cubic::new(c, b)),
+        ProtocolSpec::RobustAimd { a, b, eps } => Box::new(RobustAimd::new(a, b, eps)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axcc_core::Observation;
+
+    #[test]
+    fn names_round_trip_through_build() {
+        for spec in [
+            ProtocolSpec::RENO,
+            ProtocolSpec::SCALABLE_MIMD,
+            ProtocolSpec::SCALABLE_AIMD,
+            ProtocolSpec::CUBIC_LINUX,
+            ProtocolSpec::ROBUST_AIMD_TABLE2,
+            ProtocolSpec::Bin { a: 1.0, b: 0.5, k: 1.0, l: 0.0 },
+        ] {
+            let p = build_protocol(&spec);
+            assert_eq!(p.name(), spec.name(), "{spec:?}");
+            assert!(p.loss_based());
+        }
+    }
+
+    #[test]
+    fn built_reno_behaves_like_reno() {
+        let mut p = build_protocol(&ProtocolSpec::RENO);
+        assert_eq!(p.next_window(&Observation::loss_only(0, 10.0, 0.0)), 11.0);
+        assert_eq!(p.next_window(&Observation::loss_only(1, 10.0, 0.1)), 5.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_spec_parameters_propagate() {
+        build_protocol(&ProtocolSpec::Aimd { a: -1.0, b: 0.5 });
+    }
+}

@@ -1,0 +1,189 @@
+//! HighSpeed TCP (RFC 3649) — window-dependent AIMD.
+//!
+//! Sally Floyd's answer to AIMD's poor scaling on large
+//! bandwidth-delay-product paths: below a window of `LOW_WINDOW` packets
+//! the protocol behaves exactly like Reno (AIMD(1, 0.5)); above it, the
+//! additive increase `a(w)` grows and the multiplicative decrease `b(w)`
+//! shallows with the window, following the RFC's response function
+//!
+//! ```text
+//! w(p) = (w1/p^s) · (p1^s),   s = (log w1 − log w0)/(log p0 − log p1)
+//! ```
+//!
+//! anchored at (w0 = 38, p0 = 10⁻³) and (w1 = 83000, p1 = 10⁻⁷). In this
+//! repository HighSpeed is interesting because it *interpolates* across
+//! the axiomatic space: at small windows it sits exactly on Reno's Table 1
+//! row; at large windows it trades TCP-friendliness for fast-utilization —
+//! a protocol whose *position in the metric space depends on the link
+//! size*, which the worst-case angle-bracket reading must score by its
+//! most aggressive regime.
+
+use axcc_core::{Observation, Protocol};
+
+/// Below this window, behave exactly like Reno (RFC 3649's Low_Window).
+pub const LOW_WINDOW: f64 = 38.0;
+/// The RFC's anchor for the high end of the response function.
+const HIGH_WINDOW: f64 = 83_000.0;
+/// Decrease factor at `HIGH_WINDOW` (RFC 3649's High_Decrease = 0.1,
+/// i.e. the window retains 0.9).
+const HIGH_B: f64 = 0.1;
+
+/// The HighSpeed TCP protocol.
+#[derive(Debug, Clone)]
+pub struct HighSpeed;
+
+impl HighSpeed {
+    /// A HighSpeed TCP instance (the protocol is parameter-free; the
+    /// RFC's constants are baked in).
+    pub fn new() -> Self {
+        HighSpeed
+    }
+
+    /// The decrease *fraction* `b(w)` (how much of the window is shed):
+    /// 0.5 at `LOW_WINDOW`, log-interpolated down to 0.1 at `HIGH_WINDOW`
+    /// (RFC 3649, equation for b(w)).
+    pub fn decrease_fraction(w: f64) -> f64 {
+        if w <= LOW_WINDOW {
+            return 0.5;
+        }
+        let w = w.min(HIGH_WINDOW);
+        let frac = (w.ln() - LOW_WINDOW.ln()) / (HIGH_WINDOW.ln() - LOW_WINDOW.ln());
+        0.5 + frac * (HIGH_B - 0.5)
+    }
+
+    /// The additive increase `a(w)` in MSS per RTT (RFC 3649, equation for
+    /// a(w), derived from the response function so the average rate
+    /// matches `w(p)`):
+    ///
+    /// ```text
+    /// a(w) = w² · p(w) · 2·b(w) / (2 − b(w))
+    /// ```
+    pub fn increase_amount(w: f64) -> f64 {
+        if w <= LOW_WINDOW {
+            return 1.0;
+        }
+        let w_cap = w.min(HIGH_WINDOW);
+        let p = Self::response_loss_rate(w_cap);
+        let b = Self::decrease_fraction(w_cap);
+        (w_cap * w_cap * p * 2.0 * b / (2.0 - b)).max(1.0)
+    }
+
+    /// The inverse response function `p(w)`: the loss rate at which the
+    /// RFC's target response function sustains window `w`.
+    fn response_loss_rate(w: f64) -> f64 {
+        // Anchors: (w0, p0) = (38, 1e-3), (w1, p1) = (83000, 1e-7).
+        let s = (HIGH_WINDOW.ln() - LOW_WINDOW.ln()) / ((1e-3f64).ln() - (1e-7f64).ln());
+        // w = w0 · (p/p0)^(−s)  ⇒  p = p0 · (w/w0)^(−1/s).
+        1e-3 * (w / LOW_WINDOW).powf(-1.0 / s)
+    }
+}
+
+impl Default for HighSpeed {
+    fn default() -> Self {
+        HighSpeed::new()
+    }
+}
+
+impl Protocol for HighSpeed {
+    fn name(&self) -> String {
+        "HighSpeed".to_string()
+    }
+
+    fn next_window(&mut self, obs: &Observation) -> f64 {
+        let w = obs.window;
+        if obs.loss_rate > 0.0 {
+            w * (1.0 - Self::decrease_fraction(w))
+        } else {
+            w + Self::increase_amount(w)
+        }
+    }
+
+    fn loss_based(&self) -> bool {
+        true
+    }
+
+    fn reset(&mut self) {}
+
+    fn clone_box(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Aimd;
+
+    #[test]
+    fn reno_regime_below_low_window() {
+        let mut hs = HighSpeed::new();
+        let mut reno = Aimd::reno();
+        for w in [1.0, 10.0, 20.0, 38.0] {
+            assert_eq!(
+                hs.next_window(&Observation::loss_only(0, w, 0.0)),
+                reno.next_window(&Observation::loss_only(0, w, 0.0)),
+                "increase at w={w}"
+            );
+            assert!(
+                (hs.next_window(&Observation::loss_only(0, w, 0.1))
+                    - reno.next_window(&Observation::loss_only(0, w, 0.1)))
+                .abs()
+                    < 1e-12,
+                "decrease at w={w}"
+            );
+        }
+    }
+
+    #[test]
+    fn increase_grows_with_window() {
+        let a100 = HighSpeed::increase_amount(100.0);
+        let a1000 = HighSpeed::increase_amount(1000.0);
+        let a10000 = HighSpeed::increase_amount(10_000.0);
+        assert!(a100 > 1.0, "a(100) = {a100}");
+        assert!(a1000 > a100, "a(1000) = {a1000}");
+        assert!(a10000 > a1000, "a(10000) = {a10000}");
+        // RFC 3649's own table: a(83000) = 70-something MSS.
+        let a_top = HighSpeed::increase_amount(83_000.0);
+        assert!(a_top > 50.0 && a_top < 100.0, "a(83000) = {a_top}");
+    }
+
+    #[test]
+    fn decrease_shallows_with_window() {
+        assert_eq!(HighSpeed::decrease_fraction(20.0), 0.5);
+        let b1000 = HighSpeed::decrease_fraction(1000.0);
+        let b80000 = HighSpeed::decrease_fraction(80_000.0);
+        assert!(b1000 < 0.5 && b1000 > HIGH_B);
+        assert!(b80000 < b1000);
+        assert!((HighSpeed::decrease_fraction(HIGH_WINDOW) - HIGH_B).abs() < 1e-12);
+    }
+
+    #[test]
+    fn response_function_anchors() {
+        // p(38) ≈ 1e-3, p(83000) ≈ 1e-7 (the RFC's two anchors).
+        assert!((HighSpeed::response_loss_rate(38.0) - 1e-3).abs() < 1e-5);
+        let p_hi = HighSpeed::response_loss_rate(83_000.0);
+        assert!((p_hi / 1e-7 - 1.0).abs() < 0.05, "p(83000) = {p_hi}");
+    }
+
+    #[test]
+    fn more_aggressive_than_reno_at_scale() {
+        // Sawtooth comparison at a large-BDP operating point: HighSpeed's
+        // cycle around w=10000 gains far more per RTT and sheds far less
+        // per loss than Reno's.
+        let mut hs = HighSpeed::new();
+        let up = hs.next_window(&Observation::loss_only(0, 10_000.0, 0.0)) - 10_000.0;
+        let down = 10_000.0 - hs.next_window(&Observation::loss_only(1, 10_000.0, 0.01));
+        assert!(up > 10.0, "gain {up}");
+        assert!(down < 0.4 * 10_000.0, "shed {down}");
+    }
+
+    #[test]
+    fn deterministic_and_reset_trivial() {
+        let mut p = HighSpeed::new();
+        let w1 = p.next_window(&Observation::loss_only(0, 500.0, 0.0));
+        p.reset();
+        let w2 = p.next_window(&Observation::loss_only(0, 500.0, 0.0));
+        assert_eq!(w1, w2);
+        assert!(p.loss_based());
+    }
+}

@@ -1,0 +1,95 @@
+//! Named presets matching the protocols the paper experiments with.
+//!
+//! Section 5.1: *"We experimented with protocols implemented in the Linux
+//! kernel, namely, TCP Reno (AIMD(1,0.5)), TCP Cubic (CUBIC(0.4,0.8)), and
+//! TCP Scalable (MIMD(1.01,0.875) in some environments and AIMD(1,0.875)
+//! in others)."* Section 5.2 adds Robust-AIMD(1, 0.8, ε) for
+//! ε ∈ {0.005, 0.007, 0.01} and PCC.
+
+use crate::{Aimd, Cubic, Mimd, Pcc, RobustAimd, Vegas};
+use axcc_core::Protocol;
+
+/// TCP Reno: AIMD(1, 0.5).
+pub fn reno() -> Box<dyn Protocol> {
+    Box::new(Aimd::reno())
+}
+
+/// TCP Cubic as parameterized by the paper: CUBIC(0.4, 0.8).
+pub fn cubic() -> Box<dyn Protocol> {
+    Box::new(Cubic::linux())
+}
+
+/// TCP Scalable, MIMD incarnation: MIMD(1.01, 0.875).
+pub fn scalable_mimd() -> Box<dyn Protocol> {
+    Box::new(Mimd::scalable())
+}
+
+/// TCP Scalable, AIMD incarnation: AIMD(1, 0.875).
+pub fn scalable_aimd() -> Box<dyn Protocol> {
+    Box::new(Aimd::scalable())
+}
+
+/// Robust-AIMD(1, 0.8, ε) for a chosen loss tolerance; Table 2 uses
+/// ε = 0.01.
+pub fn robust_aimd(eps: f64) -> Box<dyn Protocol> {
+    Box::new(RobustAimd::new(1.0, 0.8, eps))
+}
+
+/// The PCC comparator with default controller constants.
+pub fn pcc() -> Box<dyn Protocol> {
+    Box::new(Pcc::new())
+}
+
+/// The Vegas-style latency-avoider with classical thresholds (2, 4).
+pub fn vegas() -> Box<dyn Protocol> {
+    Box::new(Vegas::classic())
+}
+
+/// The three Linux-kernel protocols of the paper's Emulab validation, in
+/// the order the paper lists them.
+pub fn emulab_lineup() -> Vec<Box<dyn Protocol>> {
+    vec![reno(), cubic(), scalable_mimd()]
+}
+
+/// The ε values the paper evaluates for Robust-AIMD: 0.5%, 0.7%, 1%.
+pub const ROBUST_AIMD_EPS_VALUES: [f64; 3] = [0.005, 0.007, 0.01];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_names() {
+        assert_eq!(reno().name(), "AIMD(1,0.5)");
+        assert_eq!(cubic().name(), "CUBIC(0.4,0.8)");
+        assert_eq!(scalable_mimd().name(), "MIMD(1.01,0.875)");
+        assert_eq!(scalable_aimd().name(), "AIMD(1,0.875)");
+        assert_eq!(robust_aimd(0.01).name(), "R-AIMD(1,0.8,0.01)");
+        assert_eq!(pcc().name(), "PCC");
+        assert_eq!(vegas().name(), "Vegas(2,4)");
+    }
+
+    #[test]
+    fn emulab_lineup_matches_paper() {
+        let lineup = emulab_lineup();
+        assert_eq!(lineup.len(), 3);
+        assert_eq!(lineup[0].name(), "AIMD(1,0.5)");
+        assert_eq!(lineup[1].name(), "CUBIC(0.4,0.8)");
+        assert_eq!(lineup[2].name(), "MIMD(1.01,0.875)");
+    }
+
+    #[test]
+    fn eps_values_match_paper() {
+        assert_eq!(ROBUST_AIMD_EPS_VALUES, [0.005, 0.007, 0.01]);
+    }
+
+    #[test]
+    fn all_presets_loss_based_except_vegas() {
+        assert!(reno().loss_based());
+        assert!(cubic().loss_based());
+        assert!(scalable_mimd().loss_based());
+        assert!(robust_aimd(0.01).loss_based());
+        assert!(pcc().loss_based());
+        assert!(!vegas().loss_based());
+    }
+}

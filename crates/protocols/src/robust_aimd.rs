@@ -1,0 +1,178 @@
+//! Robust-AIMD(a, b, ε) — the paper's new protocol (Section 5.2).
+//!
+//! *"Robust-AIMD can be regarded as a hybrid of traditional AIMD and PCC.
+//! Under Robust-AIMD, time is divided into short (roughly 1 RTT) 'monitor
+//! intervals'. In each monitor interval, the sender sends at a certain rate
+//! and uses selective ACKs from the receiver to learn the resulting loss
+//! rate. Robust-AIMD uses an AIMD-like rule for adjusting transmission
+//! rate: the sender has a congestion window (similarly to TCP and unlike
+//! PCC), that is additively increased by a predetermined constant a (MSS)
+//! if the experienced loss rate is lower than a fixed constant ε > 0, and
+//! multiplicatively decreased by a predetermined constant b if the loss
+//! rate exceeds ε:*
+//!
+//! ```text
+//! x^(t+1) = x^(t) + a    if L^(t) < ε
+//!         = x^(t) · b    if L^(t) ≥ ε
+//! ```
+//!
+//! The ε-threshold is what buys robustness: random non-congestion loss of
+//! rate below ε never triggers a back-off, so the window keeps growing —
+//! Robust-AIMD is ε-robust while plain AIMD is 0-robust. The price is
+//! friendliness (Theorem 3): tolerating loss ε means squeezing TCP harder
+//! before reacting.
+//!
+//! In the fluid model a time step *is* a monitor interval and the per-step
+//! loss rate *is* the SACK-learned loss rate, so the protocol is exactly
+//! the two-branch rule above.
+
+use axcc_core::theory::ProtocolSpec;
+use axcc_core::{Observation, Protocol};
+
+/// The Robust-AIMD(a, b, ε) protocol.
+///
+/// The Table 2 instance is Robust-AIMD(1, 0.8, 0.01) (1% loss tolerance);
+/// the paper also evaluates ε = 0.005 and ε = 0.007.
+#[derive(Debug, Clone)]
+pub struct RobustAimd {
+    a: f64,
+    b: f64,
+    eps: f64,
+}
+
+impl RobustAimd {
+    /// Robust-AIMD(a, b, ε) with `a > 0`, `b ∈ (0, 1)`, `ε ∈ (0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on parameters outside those domains.
+    pub fn new(a: f64, b: f64, eps: f64) -> Self {
+        assert!(a > 0.0, "Robust-AIMD increase must be positive");
+        assert!(b > 0.0 && b < 1.0, "Robust-AIMD decrease factor must be in (0,1)");
+        assert!(eps > 0.0 && eps < 1.0, "Robust-AIMD loss tolerance must be in (0,1)");
+        RobustAimd { a, b, eps }
+    }
+
+    /// The Table 2 instance: Robust-AIMD(1, 0.8, 0.01).
+    pub fn table2() -> Self {
+        RobustAimd::new(1.0, 0.8, 0.01)
+    }
+
+    /// Loss tolerance ε.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// The analytic spec of this instance.
+    pub fn spec(&self) -> ProtocolSpec {
+        ProtocolSpec::RobustAimd {
+            a: self.a,
+            b: self.b,
+            eps: self.eps,
+        }
+    }
+}
+
+impl Protocol for RobustAimd {
+    fn name(&self) -> String {
+        self.spec().name()
+    }
+
+    fn next_window(&mut self, obs: &Observation) -> f64 {
+        if obs.loss_rate < self.eps {
+            obs.window + self.a
+        } else {
+            self.b * obs.window
+        }
+    }
+
+    fn loss_based(&self) -> bool {
+        true
+    }
+
+    fn reset(&mut self) {}
+
+    fn clone_box(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tolerates_loss_below_threshold() {
+        let mut p = RobustAimd::table2();
+        // 0.5% loss < ε = 1%: still increases.
+        let w = p.next_window(&Observation::loss_only(0, 100.0, 0.005));
+        assert_eq!(w, 101.0);
+    }
+
+    #[test]
+    fn backs_off_at_threshold() {
+        let mut p = RobustAimd::table2();
+        // Exactly ε: the paper's rule is L ≥ ε ⇒ decrease.
+        let w = p.next_window(&Observation::loss_only(0, 100.0, 0.01));
+        assert_eq!(w, 80.0);
+        let w = p.next_window(&Observation::loss_only(1, 100.0, 0.20));
+        assert_eq!(w, 80.0);
+    }
+
+    #[test]
+    fn zero_loss_is_plain_additive_increase() {
+        let mut p = RobustAimd::new(2.0, 0.5, 0.01);
+        assert_eq!(p.next_window(&Observation::loss_only(0, 10.0, 0.0)), 12.0);
+    }
+
+    #[test]
+    fn grows_through_sub_eps_random_loss_where_aimd_collapses() {
+        // The robustness scenario: constant 0.5% loss. Robust-AIMD keeps
+        // climbing; plain AIMD(1, 0.8) halves repeatedly.
+        let mut robust = RobustAimd::table2();
+        let mut aimd = crate::Aimd::new(1.0, 0.8);
+        let mut wr = 10.0;
+        let mut wa = 10.0;
+        for t in 0..500 {
+            wr = robust.next_window(&Observation::loss_only(t, wr, 0.005));
+            wa = aimd.next_window(&Observation::loss_only(t, wa, 0.005));
+        }
+        assert!((wr - 510.0).abs() < 1e-9, "robust climbed to {wr}");
+        // AIMD sees loss every step: w ← 0.8(w) forever, pinned near 0.
+        assert!(wa < 1.0, "aimd collapsed to {wa}");
+    }
+
+    #[test]
+    fn equivalent_to_aimd_when_loss_exceeds_eps() {
+        let mut p = RobustAimd::new(1.0, 0.5, 0.01);
+        let mut q = crate::Aimd::reno();
+        let mut wp = 20.0;
+        let mut wq = 20.0;
+        for t in 0..50 {
+            // Loss pattern always either 0 or ≥ ε: the two coincide.
+            let loss = if t % 5 == 4 { 0.10 } else { 0.0 };
+            wp = p.next_window(&Observation::loss_only(t, wp, loss));
+            wq = q.next_window(&Observation::loss_only(t, wq, loss));
+            assert_eq!(wp, wq);
+        }
+    }
+
+    #[test]
+    fn paper_eps_values_construct() {
+        for eps in [0.005, 0.007, 0.01] {
+            let p = RobustAimd::new(1.0, 0.8, eps);
+            assert_eq!(p.eps(), eps);
+        }
+    }
+
+    #[test]
+    fn name_matches_spec() {
+        assert_eq!(RobustAimd::table2().name(), "R-AIMD(1,0.8,0.01)");
+    }
+
+    #[test]
+    #[should_panic(expected = "loss tolerance")]
+    fn rejects_zero_eps() {
+        RobustAimd::new(1.0, 0.8, 0.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Slow-start wrapper.
+//!
+//! The paper's model covers protocols "in congestion-avoidance mode", but
+//! its dynamics explicitly include *"connections (with smaller window
+//! sizes) starting to send after other connections (with larger window
+//! sizes)"*. [`SlowStart`] composes the classical exponential start with
+//! any congestion-avoidance [`Protocol`]: the window doubles each RTT until
+//! the first loss (or until a configured threshold), after which the inner
+//! protocol takes over. This lets late-joiner scenarios ramp realistically
+//! without changing the inner protocol's characterization.
+
+use axcc_core::{Observation, Protocol};
+
+/// A protocol that performs exponential slow-start, then delegates to an
+/// inner congestion-avoidance protocol.
+#[derive(Debug)]
+pub struct SlowStart {
+    inner: Box<dyn Protocol>,
+    /// Leave slow-start once the window reaches this threshold (∞ = only
+    /// leave on loss).
+    ssthresh: f64,
+    in_slow_start: bool,
+}
+
+impl SlowStart {
+    /// Wrap `inner` with slow-start up to `ssthresh` (use
+    /// `f64::INFINITY` to exit only on the first loss).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ssthresh ≤ 0`.
+    pub fn new(inner: Box<dyn Protocol>, ssthresh: f64) -> Self {
+        assert!(ssthresh > 0.0, "slow-start threshold must be positive");
+        SlowStart {
+            inner,
+            ssthresh,
+            in_slow_start: true,
+        }
+    }
+
+    /// Whether the protocol is still in its exponential phase.
+    pub fn in_slow_start(&self) -> bool {
+        self.in_slow_start
+    }
+}
+
+impl Protocol for SlowStart {
+    fn name(&self) -> String {
+        format!("SS+{}", self.inner.name())
+    }
+
+    fn next_window(&mut self, obs: &Observation) -> f64 {
+        if self.in_slow_start {
+            if obs.loss_rate > 0.0 || obs.window >= self.ssthresh {
+                self.in_slow_start = false;
+                // Hand this very observation to the inner protocol so a
+                // loss that ends slow-start also triggers its back-off.
+                return self.inner.next_window(obs);
+            }
+            // Exponential growth; a zero window restarts from 1 MSS.
+            return (obs.window * 2.0).max(1.0).min(self.ssthresh);
+        }
+        self.inner.next_window(obs)
+    }
+
+    fn loss_based(&self) -> bool {
+        self.inner.loss_based()
+    }
+
+    fn reset(&mut self) {
+        self.in_slow_start = true;
+        self.inner.reset();
+    }
+
+    fn clone_box(&self) -> Box<dyn Protocol> {
+        Box::new(SlowStart {
+            inner: self.inner.clone_box(),
+            ssthresh: self.ssthresh,
+            in_slow_start: self.in_slow_start,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Aimd;
+
+    fn ss() -> SlowStart {
+        SlowStart::new(Box::new(Aimd::reno()), f64::INFINITY)
+    }
+
+    #[test]
+    fn doubles_until_loss() {
+        let mut p = ss();
+        let mut w = 1.0;
+        for t in 0..5 {
+            w = p.next_window(&Observation::loss_only(t, w, 0.0));
+        }
+        assert_eq!(w, 32.0);
+        assert!(p.in_slow_start());
+    }
+
+    #[test]
+    fn loss_exits_and_backs_off() {
+        let mut p = ss();
+        let w = p.next_window(&Observation::loss_only(0, 32.0, 0.1));
+        // Inner Reno halves on the same observation.
+        assert_eq!(w, 16.0);
+        assert!(!p.in_slow_start());
+        // Subsequent steps are plain Reno.
+        assert_eq!(p.next_window(&Observation::loss_only(1, 16.0, 0.0)), 17.0);
+    }
+
+    #[test]
+    fn threshold_exits_without_loss() {
+        let mut p = SlowStart::new(Box::new(Aimd::reno()), 16.0);
+        let mut w = 1.0;
+        for t in 0..10 {
+            w = p.next_window(&Observation::loss_only(t, w, 0.0));
+        }
+        assert!(!p.in_slow_start());
+        // Growth became additive after the threshold.
+        assert!(w <= 16.0 + 10.0);
+    }
+
+    #[test]
+    fn zero_window_restarts_at_one() {
+        let mut p = ss();
+        assert_eq!(p.next_window(&Observation::loss_only(0, 0.0, 0.0)), 1.0);
+    }
+
+    #[test]
+    fn reset_restores_slow_start() {
+        let mut p = ss();
+        p.next_window(&Observation::loss_only(0, 8.0, 0.2));
+        assert!(!p.in_slow_start());
+        p.reset();
+        assert!(p.in_slow_start());
+    }
+
+    #[test]
+    fn clone_preserves_phase() {
+        let mut p = ss();
+        p.next_window(&Observation::loss_only(0, 8.0, 0.2));
+        let q = p.clone_box();
+        assert_eq!(q.name(), "SS+AIMD(1,0.5)");
+        // The clone is out of slow-start too: next step is additive.
+        let mut q = q;
+        assert_eq!(q.next_window(&Observation::loss_only(1, 4.0, 0.0)), 5.0);
+    }
+
+    #[test]
+    fn name_composes() {
+        assert_eq!(ss().name(), "SS+AIMD(1,0.5)");
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn rejects_zero_threshold() {
+        SlowStart::new(Box::new(Aimd::reno()), 0.0);
+    }
+}

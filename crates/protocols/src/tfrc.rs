@@ -1,0 +1,250 @@
+//! An equation-based (TFRC-style) protocol.
+//!
+//! The paper's reference \[13\] (Floyd–Handley–Padhye, *A comparison of
+//! equation-based and AIMD congestion control*) is the classic alternative
+//! to AIMD's sawtooth: instead of reacting to individual losses, the
+//! sender estimates a **loss event rate** `p` — one over the average
+//! number of packets between loss events, smoothed over recent events à
+//! la TFRC's weighted average of loss intervals — and sets its window to
+//! what a TCP would get at that loss rate, the PFTK throughput equation
+//! (reference \[21\]) in window form:
+//!
+//! ```text
+//! w(p) = 1 / ( √(2p/3) + 12·√(3p/8)·p·(1 + 32p²) )      (MSS)
+//! ```
+//!
+//! Two fidelity notes:
+//!
+//! * `p` is an event rate *per packet*, so the estimator accumulates the
+//!   window across steps and, at each lossy step, folds the interval
+//!   `1/packets-since-last-event` into an EWMA — this is what makes the
+//!   protocol smooth (a single loss event barely moves `p`), unlike
+//!   naively smoothing the per-step loss *fraction*;
+//! * towards a higher target the window accelerates at most +1 MSS/RTT
+//!   (equation-based control must not out-ramp TCP), and before the first
+//!   loss event it probes additively like TCP's congestion avoidance.
+//!
+//! The design goal is **smoothness** (RFC 5166's metric): in the
+//! extension-metric report TFRC scores near 1 on smoothness while staying
+//! TCP-fair — a different Pareto point than anything in Table 1.
+
+use axcc_core::{Observation, Protocol};
+
+/// EWMA weight folding each new loss-interval sample into the average
+/// interval (≈ TFRC's 8-interval WALI memory).
+const EWMA: f64 = 0.25;
+/// Floor for the loss estimate (avoids equation blow-up).
+const P_FLOOR: f64 = 1e-7;
+
+/// The TFRC-style equation-based protocol.
+///
+/// The estimator lives in the **interval** domain (packets between loss
+/// events), as TFRC's WALI does: averaging intervals keeps one
+/// anomalously short interval from spiking the rate estimate, which is
+/// where the protocol's smoothness comes from. `p = 1/avg_interval`.
+#[derive(Debug, Clone)]
+pub struct Tfrc {
+    /// Smoothed average loss interval in packets (None until the first
+    /// loss event).
+    avg_interval: Option<f64>,
+    /// Packets delivered since the last loss event.
+    packets_since_event: f64,
+}
+
+impl Tfrc {
+    /// A fresh TFRC instance.
+    pub fn new() -> Self {
+        Tfrc {
+            avg_interval: None,
+            packets_since_event: 0.0,
+        }
+    }
+
+    /// The PFTK window for loss event rate `p` (MSS).
+    ///
+    /// ```
+    /// use axcc_protocols::Tfrc;
+    /// // The √p law: w(0.01) ≈ 11 MSS, and quartering p ≈ doubles it.
+    /// let w = Tfrc::equation_window(0.01);
+    /// assert!(w > 9.0 && w < 12.5);
+    /// assert!(Tfrc::equation_window(0.0025) > 1.8 * w);
+    /// ```
+    pub fn equation_window(p: f64) -> f64 {
+        let p = p.max(P_FLOOR);
+        let root = (2.0 * p / 3.0).sqrt();
+        let rto_term = 12.0 * (3.0 * p / 8.0).sqrt() * p * (1.0 + 32.0 * p * p);
+        1.0 / (root + rto_term)
+    }
+
+    /// The current smoothed loss-event-rate estimate (None before any
+    /// loss event).
+    pub fn loss_estimate(&self) -> Option<f64> {
+        self.avg_interval.map(|i| 1.0 / i.max(1.0))
+    }
+}
+
+impl Default for Tfrc {
+    fn default() -> Self {
+        Tfrc::new()
+    }
+}
+
+impl Protocol for Tfrc {
+    fn name(&self) -> String {
+        "TFRC".to_string()
+    }
+
+    fn next_window(&mut self, obs: &Observation) -> f64 {
+        self.packets_since_event += obs.window.max(0.0);
+        if obs.loss_rate > 0.0 {
+            // A loss event: fold the interval into the WALI-style average.
+            let interval = self.packets_since_event.max(1.0);
+            self.avg_interval = Some(match self.avg_interval {
+                None => interval,
+                Some(avg) => (1.0 - EWMA) * avg + EWMA * interval,
+            });
+            self.packets_since_event = 0.0;
+        } else if let Some(avg) = self.avg_interval {
+            // History aging (RFC 5348's open-interval rule): once the
+            // current loss-free interval outgrows the average, it enters
+            // the estimate, so `p` keeps declining through long clean
+            // spells — otherwise the rate would freeze after conditions
+            // improve (e.g. a capacity increase) and never grow into the
+            // new headroom.
+            if self.packets_since_event > avg {
+                self.avg_interval = Some(self.packets_since_event);
+            }
+        }
+        let Some(avg) = self.avg_interval else {
+            // No loss event yet: TCP-like additive probe.
+            return obs.window + 1.0;
+        };
+        let p = 1.0 / avg.max(1.0);
+        let target = Self::equation_window(p);
+        // Ramp towards a higher target at TCP speed; towards a lower one
+        // follow the (already smoothed) equation directly.
+        if target > obs.window + 1.0 {
+            obs.window + 1.0
+        } else {
+            target
+        }
+    }
+
+    fn loss_based(&self) -> bool {
+        true
+    }
+
+    fn reset(&mut self) {
+        self.avg_interval = None;
+        self.packets_since_event = 0.0;
+    }
+
+    fn clone_box(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equation_matches_tcp_scaling() {
+        // The classic √p scaling: quartering the loss rate roughly
+        // doubles the window (the RTO term bites harder at larger p, so
+        // slightly above 2×).
+        let w1 = Tfrc::equation_window(0.01);
+        let w2 = Tfrc::equation_window(0.0025);
+        assert!((w2 / w1 - 2.0).abs() < 0.2, "{w1} vs {w2}");
+        assert!(w1 > 9.0 && w1 < 12.5, "w(0.01) = {w1}");
+    }
+
+    #[test]
+    fn equation_monotone_decreasing_in_p() {
+        let mut prev = f64::INFINITY;
+        for p in [1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.3] {
+            let w = Tfrc::equation_window(p);
+            assert!(w < prev, "w({p}) = {w} not < {prev}");
+            assert!(w > 0.0);
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn probes_additively_before_first_loss() {
+        let mut t = Tfrc::new();
+        assert_eq!(t.next_window(&Observation::loss_only(0, 10.0, 0.0)), 11.0);
+        assert!(t.loss_estimate().is_none());
+    }
+
+    #[test]
+    fn estimates_event_rate_not_loss_fraction() {
+        // 100 clean steps at window 50 (5000 packets), then one lossy
+        // step: the event-rate sample is ≈ 1/5050, NOT the step's 20%
+        // loss fraction.
+        let mut t = Tfrc::new();
+        for k in 0..100 {
+            t.next_window(&Observation::loss_only(k, 50.0, 0.0));
+        }
+        t.next_window(&Observation::loss_only(100, 50.0, 0.2));
+        let p = t.loss_estimate().unwrap();
+        assert!(p < 1e-3, "p = {p}");
+        assert!((p - 1.0 / (101.0 * 50.0)).abs() < 2e-4, "p = {p}");
+    }
+
+    #[test]
+    fn single_loss_event_barely_moves_a_settled_estimate() {
+        let mut t = Tfrc::new();
+        t.avg_interval = Some(10_000.0);
+        let before = Tfrc::equation_window(1e-4);
+        t.packets_since_event = 9_000.0; // a typical interval at this p
+        let w = t.next_window(&Observation::loss_only(0, before, 0.01));
+        // The 9_121-packet sample folded at 25%: the target (and hence
+        // the window) moves by a few percent, not by a factor.
+        assert!(w > before * 0.9, "{w} vs {before}");
+    }
+
+    #[test]
+    fn steady_cycle_converges_and_is_smooth() {
+        // Emulate the solo fluid sawtooth: loss whenever the window
+        // exceeds a 120-MSS threshold, clean growth below it.
+        let mut t = Tfrc::new();
+        let mut w = 1.0;
+        let mut worst_ratio = 1.0f64;
+        let mut prev = w;
+        for k in 0..3000 {
+            let loss = if w > 120.0 { 1.0 - 120.0 / w } else { 0.0 };
+            w = t.next_window(&Observation::loss_only(k, w, loss)).clamp(0.0, 1e9);
+            if k > 1500 {
+                worst_ratio = worst_ratio.min(w / prev.max(1e-9));
+            }
+            prev = w;
+        }
+        // Settled near the threshold…
+        assert!(w > 60.0, "settled at {w}");
+        // …and smooth: no step in the tail cuts by more than ~15%.
+        assert!(worst_ratio > 0.85, "worst step ratio {worst_ratio}");
+    }
+
+    #[test]
+    fn rate_never_exceeds_tcp_acceleration() {
+        let mut t = Tfrc::new();
+        t.next_window(&Observation::loss_only(0, 40.0, 0.3));
+        let mut w = 2.0;
+        for k in 1..50 {
+            let next = t.next_window(&Observation::loss_only(k, w, 0.0));
+            assert!(next <= w + 1.0 + 1e-12, "step {k}: {w} -> {next}");
+            w = next;
+        }
+    }
+
+    #[test]
+    fn reset_clears_estimate() {
+        let mut t = Tfrc::new();
+        t.next_window(&Observation::loss_only(0, 10.0, 0.1));
+        assert!(t.loss_estimate().is_some());
+        t.reset();
+        assert!(t.loss_estimate().is_none());
+        assert_eq!(t.packets_since_event, 0.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! A Vegas-style delay-based (latency-avoiding) protocol.
+//!
+//! TCP Vegas (Brahmo–Peterson; analyzed against Reno by Mo et al., the
+//! paper's reference \[20\]) estimates the number of its own packets queued
+//! in the bottleneck buffer from the RTT inflation over the propagation
+//! floor, and holds that backlog between two thresholds:
+//!
+//! ```text
+//! backlog = x · (RTT − baseRTT) / RTT        (packets in queue)
+//! x += 1   if backlog < α_v
+//! x −= 1   if backlog > β_v
+//! hold     otherwise;      x ← x/2 on loss
+//! ```
+//!
+//! With `n` Vegas senders the standing queue settles between `n·α_v` and
+//! `n·β_v` packets, so for a large enough buffer `τ` the protocol is
+//! `γ`-latency-avoiding with `γ ≈ n·β_v / C` — the class of protocols
+//! Theorem 5 proves *any* efficient loss-based protocol tramples. The
+//! `theorem5` experiment pits this protocol against Reno and measures the
+//! starvation.
+
+use axcc_core::{Observation, Protocol};
+
+/// The Vegas-style protocol.
+#[derive(Debug, Clone)]
+pub struct Vegas {
+    alpha: f64,
+    beta: f64,
+    /// Running estimate of the propagation RTT (minimum RTT observed).
+    base_rtt: Option<f64>,
+}
+
+impl Vegas {
+    /// Vegas with backlog thresholds `0 < alpha ≤ beta` (in packets).
+    /// The classical defaults are α = 2, β = 4.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha ≤ beta`.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= beta, "Vegas requires 0 < alpha <= beta");
+        Vegas {
+            alpha,
+            beta,
+            base_rtt: None,
+        }
+    }
+
+    /// The classical Vegas(2, 4).
+    pub fn classic() -> Self {
+        Vegas::new(2.0, 4.0)
+    }
+
+    /// The sender's current estimate of its queue backlog (packets).
+    fn backlog(&self, obs: &Observation) -> f64 {
+        let base = self.base_rtt.unwrap_or(obs.min_rtt).min(obs.min_rtt);
+        if obs.rtt <= 0.0 {
+            return 0.0;
+        }
+        obs.window * (obs.rtt - base) / obs.rtt
+    }
+}
+
+impl Protocol for Vegas {
+    fn name(&self) -> String {
+        format!("Vegas({},{})", self.alpha, self.beta)
+    }
+
+    fn next_window(&mut self, obs: &Observation) -> f64 {
+        // Track the propagation floor.
+        self.base_rtt = Some(match self.base_rtt {
+            None => obs.rtt.min(obs.min_rtt),
+            Some(b) => b.min(obs.rtt).min(obs.min_rtt),
+        });
+        if obs.loss_rate > 0.0 {
+            return obs.window / 2.0;
+        }
+        let backlog = self.backlog(obs);
+        if backlog < self.alpha {
+            obs.window + 1.0
+        } else if backlog > self.beta {
+            (obs.window - 1.0).max(0.0)
+        } else {
+            obs.window
+        }
+    }
+
+    fn loss_based(&self) -> bool {
+        false
+    }
+
+    fn reset(&mut self) {
+        self.base_rtt = None;
+    }
+
+    fn clone_box(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(window: f64, rtt: f64, min_rtt: f64, loss: f64) -> Observation {
+        Observation {
+            tick: 0,
+            window,
+            loss_rate: loss,
+            rtt,
+            min_rtt,
+        }
+    }
+
+    #[test]
+    fn grows_when_queue_is_empty() {
+        let mut p = Vegas::classic();
+        // RTT at the floor: zero backlog < α ⇒ +1.
+        let w = p.next_window(&obs(10.0, 0.1, 0.1, 0.0));
+        assert_eq!(w, 11.0);
+    }
+
+    #[test]
+    fn holds_inside_the_band() {
+        let mut p = Vegas::classic();
+        // backlog = x(rtt−base)/rtt = 30·(0.11−0.10)/0.11 ≈ 2.7 ∈ [2, 4].
+        let w = p.next_window(&obs(30.0, 0.11, 0.10, 0.0));
+        assert_eq!(w, 30.0);
+    }
+
+    #[test]
+    fn retreats_when_queue_builds() {
+        let mut p = Vegas::classic();
+        // backlog = 100·(0.12−0.10)/0.12 ≈ 16.7 > β ⇒ −1.
+        let w = p.next_window(&obs(100.0, 0.12, 0.10, 0.0));
+        assert_eq!(w, 99.0);
+    }
+
+    #[test]
+    fn halves_on_loss() {
+        let mut p = Vegas::classic();
+        assert_eq!(p.next_window(&obs(40.0, 0.2, 0.1, 0.1)), 20.0);
+    }
+
+    #[test]
+    fn is_not_loss_based() {
+        assert!(!Vegas::classic().loss_based());
+    }
+
+    #[test]
+    fn base_rtt_tracks_minimum() {
+        let mut p = Vegas::classic();
+        p.next_window(&obs(10.0, 0.30, 0.30, 0.0));
+        p.next_window(&obs(10.0, 0.10, 0.10, 0.0));
+        p.next_window(&obs(10.0, 0.25, 0.10, 0.0));
+        assert_eq!(p.base_rtt, Some(0.10));
+    }
+
+    #[test]
+    fn converges_to_backlog_band_on_single_link() {
+        // Emulate equation (1): rtt = max(2Θ, 2Θ + (x−C)/B) with C = 100,
+        // B = 1000, 2Θ = 0.1, loss-free region.
+        let mut p = Vegas::classic();
+        let mut w = 1.0;
+        for _ in 0..500 {
+            let rtt = (0.1_f64 + (w - 100.0) / 1000.0).max(0.1);
+            w = p.next_window(&obs(w, rtt, 0.1, 0.0));
+        }
+        // Steady state: backlog between α and β packets above C.
+        assert!(w > 100.0 && w < 107.0, "settled at {w}");
+    }
+
+    #[test]
+    fn window_never_negative() {
+        let mut p = Vegas::classic();
+        let w = p.next_window(&obs(0.5, 0.5, 0.1, 0.0));
+        assert!(w >= 0.0);
+    }
+
+    #[test]
+    fn reset_clears_base_rtt() {
+        let mut p = Vegas::classic();
+        p.next_window(&obs(10.0, 0.2, 0.2, 0.0));
+        assert!(p.base_rtt.is_some());
+        p.reset();
+        assert!(p.base_rtt.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < alpha <= beta")]
+    fn rejects_inverted_band() {
+        Vegas::new(4.0, 2.0);
+    }
+}

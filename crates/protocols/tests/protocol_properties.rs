@@ -1,0 +1,227 @@
+//! Property tests for the protocol contracts: determinism, reset
+//! equivalence, RTT-invariance of loss-based protocols, and the
+//! family-defining update algebra under arbitrary parameters and
+//! observation streams.
+
+use axcc_protocols::{Aimd, Binomial, CautiousProber, Cubic, Mimd, Pcc, RobustAimd, Vegas};
+use axcc_core::{Observation, Protocol};
+use proptest::prelude::*;
+
+/// An arbitrary observation stream: windows evolve under protocol control,
+/// but losses and RTTs are adversarial inputs.
+fn arb_feedback() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec(
+        (
+            prop_oneof![Just(0.0f64), 0.0f64..0.5], // loss (half the time zero)
+            0.01f64..1.0,                           // rtt
+        ),
+        10..120,
+    )
+}
+
+fn drive(p: &mut dyn Protocol, feedback: &[(f64, f64)], w0: f64) -> Vec<f64> {
+    let mut w = w0;
+    let mut min_rtt = f64::INFINITY;
+    let mut out = Vec::with_capacity(feedback.len());
+    for (t, &(loss, rtt)) in feedback.iter().enumerate() {
+        min_rtt = min_rtt.min(rtt);
+        w = p
+            .next_window(&Observation {
+                tick: t as u64,
+                window: w,
+                loss_rate: loss,
+                rtt,
+                min_rtt,
+            })
+            .clamp(0.0, 1e9);
+        out.push(w);
+    }
+    out
+}
+
+fn all_protocols(
+    a: f64,
+    b: f64,
+    k: f64,
+    l: f64,
+    eps: f64,
+) -> Vec<Box<dyn Protocol>> {
+    vec![
+        Box::new(Aimd::new(a, b)),
+        Box::new(Mimd::new(1.0 + a * 0.1 + 1e-3, b)),
+        Box::new(Binomial::new(a, b.min(1.0), k, l)),
+        Box::new(Cubic::new(a, b)),
+        Box::new(RobustAimd::new(a, b, eps)),
+        Box::new(Pcc::new()),
+        Box::new(Vegas::new(1.0 + a, 2.0 + a)),
+        Box::new(CautiousProber::new(a, b)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every protocol is deterministic and reset-equivalent: replaying the
+    /// same feedback after `reset()` reproduces the exact window sequence.
+    #[test]
+    fn reset_equivalence(
+        feedback in arb_feedback(),
+        a in 0.1f64..3.0,
+        b in 0.1f64..0.9,
+        k in 0.0f64..1.5,
+        l in 0.0f64..1.0,
+        eps in 0.001f64..0.1,
+        w0 in 0.0f64..500.0,
+    ) {
+        for mut p in all_protocols(a, b, k, l, eps) {
+            let first = drive(p.as_mut(), &feedback, w0);
+            p.reset();
+            let second = drive(p.as_mut(), &feedback, w0);
+            prop_assert_eq!(&first, &second, "{} not reset-equivalent", p.name());
+        }
+    }
+
+    /// Cloned boxes behave identically to their originals.
+    #[test]
+    fn clone_equivalence(
+        feedback in arb_feedback(),
+        a in 0.1f64..3.0,
+        b in 0.1f64..0.9,
+        w0 in 0.0f64..500.0,
+    ) {
+        for p in all_protocols(a, b, 0.5, 0.5, 0.01) {
+            let mut original = p.clone_box();
+            let mut clone = original.clone_box();
+            prop_assert_eq!(
+                drive(original.as_mut(), &feedback, w0),
+                drive(clone.as_mut(), &feedback, w0),
+                "{} clone diverged", p.name()
+            );
+        }
+    }
+
+    /// Loss-based protocols are RTT-invariant: scrambling the RTT channel
+    /// leaves their window sequence unchanged (the paper's definition of
+    /// "loss-based").
+    #[test]
+    fn loss_based_protocols_ignore_rtt(
+        feedback in arb_feedback(),
+        a in 0.1f64..3.0,
+        b in 0.1f64..0.9,
+        w0 in 0.0f64..500.0,
+        rtt_scale in 0.1f64..50.0,
+    ) {
+        for p in all_protocols(a, b, 0.5, 0.5, 0.01) {
+            if !p.loss_based() {
+                continue; // Vegas is exempt by design
+            }
+            let mut p1 = p.clone_box();
+            let mut p2 = p.clone_box();
+            let scrambled: Vec<(f64, f64)> = feedback
+                .iter()
+                .map(|&(loss, rtt)| (loss, rtt * rtt_scale))
+                .collect();
+            prop_assert_eq!(
+                drive(p1.as_mut(), &feedback, w0),
+                drive(p2.as_mut(), &scrambled, w0),
+                "{} reacted to RTT", p.name()
+            );
+        }
+    }
+
+    /// Windows produced by every protocol are finite and non-negative for
+    /// arbitrary in-domain parameters and adversarial feedback.
+    #[test]
+    fn windows_stay_finite(
+        feedback in arb_feedback(),
+        a in 0.1f64..3.0,
+        b in 0.1f64..0.9,
+        k in 0.0f64..1.5,
+        l in 0.0f64..1.0,
+        w0 in 0.0f64..500.0,
+    ) {
+        for mut p in all_protocols(a, b, k, l, 0.01) {
+            for w in drive(p.as_mut(), &feedback, w0) {
+                prop_assert!(w.is_finite(), "{} produced {w}", p.name());
+                prop_assert!(w >= 0.0, "{} produced {w}", p.name());
+            }
+        }
+    }
+
+    /// The AIMD algebra: after any zero-loss step the window grows by
+    /// exactly `a`; after any lossy step it is exactly `b`× the previous.
+    #[test]
+    fn aimd_update_algebra(
+        a in 0.1f64..3.0,
+        b in 0.1f64..0.9,
+        w in 0.0f64..1000.0,
+        loss in 1e-6f64..0.9,
+    ) {
+        let mut p = Aimd::new(a, b);
+        prop_assert!((p.next_window(&Observation::loss_only(0, w, 0.0)) - (w + a)).abs() < 1e-12);
+        prop_assert!((p.next_window(&Observation::loss_only(1, w, loss)) - b * w).abs() < 1e-12);
+    }
+
+    /// Robust-AIMD's threshold semantics: below ε behaves like increase,
+    /// at/above ε like decrease — the knife-edge is exactly ε.
+    #[test]
+    fn robust_aimd_threshold_algebra(
+        a in 0.1f64..3.0,
+        b in 0.1f64..0.9,
+        eps in 0.001f64..0.2,
+        w in 1.0f64..1000.0,
+    ) {
+        let mut p = RobustAimd::new(a, b, eps);
+        let below = p.next_window(&Observation::loss_only(0, w, eps * 0.999));
+        let at = p.next_window(&Observation::loss_only(1, w, eps));
+        prop_assert!((below - (w + a)).abs() < 1e-12);
+        prop_assert!((at - b * w).abs() < 1e-12);
+    }
+
+    /// MIMD preserves window ratios under synchronized feedback — the
+    /// mechanism behind its worst-case unfairness.
+    #[test]
+    fn mimd_preserves_ratios(
+        a in 1.001f64..1.5,
+        b in 0.1f64..0.9,
+        w1 in 1.0f64..100.0,
+        ratio in 1.1f64..20.0,
+        feedback in arb_feedback(),
+    ) {
+        let mut p1 = Mimd::new(a, b);
+        let mut p2 = Mimd::new(a, b);
+        let mut x1 = w1;
+        let mut x2 = w1 * ratio;
+        for (t, &(loss, rtt)) in feedback.iter().enumerate() {
+            let obs1 = Observation { tick: t as u64, window: x1, loss_rate: loss, rtt, min_rtt: rtt };
+            let obs2 = Observation { window: x2, ..obs1 };
+            x1 = p1.next_window(&obs1);
+            x2 = p2.next_window(&obs2);
+            prop_assert!((x2 / x1 - ratio).abs() < 1e-6 * ratio);
+        }
+    }
+
+    /// CUBIC anchors correctly: a loss at any window `w` yields exactly
+    /// `b·w`, and the trajectory re-crosses `w` within a bounded number of
+    /// steps afterwards.
+    #[test]
+    fn cubic_anchor_and_recross(
+        c in 0.05f64..1.0,
+        b in 0.2f64..0.9,
+        w in 10.0f64..2000.0,
+    ) {
+        let mut p = Cubic::new(c, b);
+        let mut x = p.next_window(&Observation::loss_only(0, w, 0.1));
+        prop_assert!((x - b * w).abs() < 1e-9);
+        let k = (w * (1.0 - b) / c).powf(1.0 / 3.0).ceil() as u64 + 2;
+        let mut crossed = false;
+        for t in 1..=(k + 2) {
+            x = p.next_window(&Observation::loss_only(t, x, 0.0));
+            if x >= w {
+                crossed = true;
+                break;
+            }
+        }
+        prop_assert!(crossed, "CUBIC({c},{b}) failed to re-cross {w} within {k}+2 steps");
+    }
+}

@@ -1,0 +1,60 @@
+//! Buffer sizing: how τ moves every metric, at packet granularity.
+//!
+//! Table 1's parameterized forms say efficiency improves with buffer depth
+//! (`min(1, b(1 + τ/C))`) while loss-avoidance worsens with sender count,
+//! and latency (Metric VIII) pays for every MSS of standing queue. This
+//! example sweeps the paper's two buffer sizes (10 and 100 MSS) plus a
+//! bufferbloated 400 MSS on the packet-level simulator, for Reno and
+//! Cubic with three connections, and prints the measured
+//! efficiency/loss/latency tradeoff next to the Table 1 prediction —
+//! the classic "small buffers cost throughput, big buffers cost delay".
+//!
+//! ```sh
+//! cargo run --release --example buffer_sizing
+//! ```
+
+use axiomatic_cc::analysis::estimators::measure_solo_packet;
+use axiomatic_cc::core::theory::ProtocolSpec;
+use axiomatic_cc::core::units::Bandwidth;
+use axiomatic_cc::core::LinkParams;
+use axiomatic_cc::protocols::{build_protocol, SlowStart};
+
+fn main() {
+    let n = 3;
+    println!("3 connections, 20 Mbps, 42 ms RTT — sweeping buffer size\n");
+    println!(
+        "{:<16} {:>9} {:>14} {:>14} {:>11} {:>12} {:>14}",
+        "protocol", "τ (MSS)", "eff (theory)", "eff (meas.)", "mean util", "loss bound", "queue delay"
+    );
+    println!("{}", "-".repeat(95));
+    for spec in [ProtocolSpec::RENO, ProtocolSpec::CUBIC_LINUX] {
+        for tau in [10.0, 100.0, 400.0] {
+            let link = LinkParams::from_experiment(Bandwidth::Mbps(20.0), 42.0, tau);
+            let proto = SlowStart::new(build_protocol(&spec), f64::INFINITY);
+            let m = measure_solo_packet(&proto, link, n, 40.0, 1.0, 0);
+            let theory_eff = spec.efficiency(link.capacity(), tau);
+            // Standing-queue delay implied by the measured mean
+            // utilization above capacity.
+            let mean_rtt_excess_ms = ((m.mean_utilization - 1.0).max(0.0)
+                * link.capacity()
+                / link.bandwidth)
+                * 1000.0;
+            println!(
+                "{:<16} {:>9} {:>14.3} {:>14.3} {:>11.3} {:>12.4} {:>11.1} ms",
+                spec.name(),
+                tau,
+                theory_eff,
+                m.efficiency,
+                m.mean_utilization,
+                m.loss_bound,
+                mean_rtt_excess_ms,
+            );
+        }
+    }
+    println!(
+        "\nreading the table: τ = 10 MSS (< C = 70) leaves the pipe draining after every\n\
+         back-off (efficiency below 1, as min(1, b(1+τ/C)) predicts); τ = 100 MSS keeps\n\
+         it full; τ = 400 MSS buys nothing more — it only adds standing-queue delay.\n\
+         This is Metric VIII's case against bufferbloat, in the paper's own terms."
+    );
+}

@@ -1,0 +1,68 @@
+//! Parking lot: network-wide protocol interaction (§6 future work).
+//!
+//! The classic multi-bottleneck topology — `k` links in a row, one long
+//! flow crossing all of them, one short flow per link. The long flow pays
+//! double: loss exposure on every hop (loss composes across links) and a
+//! longer base RTT. This example runs the 3-hop parking lot for Reno and
+//! for Vegas and prints each flow's goodput share, the per-link
+//! utilization, and the long/short ratio — the number network-wide
+//! fairness debates revolve around.
+//!
+//! ```sh
+//! cargo run --release --example parking_lot
+//! ```
+
+use axiomatic_cc::core::{LinkParams, Protocol};
+use axiomatic_cc::fluidsim::{FlowConfig, NetScenario, Topology};
+use axiomatic_cc::protocols::{Aimd, Vegas};
+
+fn main() {
+    let hop = LinkParams::new(1000.0, 0.05, 20.0); // C = 100 MSS per hop
+    let hops = 3;
+    println!(
+        "parking lot: {hops} hops of C = {:.0} MSS; 1 long flow (all hops) + {hops} short flows\n",
+        hop.capacity()
+    );
+
+    let protos: Vec<(&str, Box<dyn Protocol>)> = vec![
+        ("TCP Reno", Box::new(Aimd::reno())),
+        ("Vegas", Box::new(Vegas::classic())),
+    ];
+
+    for (label, proto) in protos {
+        let mut sc = NetScenario::new(Topology::parking_lot(hops, hop)).steps(4000);
+        // Flow 0: the long flow over every hop.
+        sc = sc.flow(FlowConfig::new(proto.clone_box(), (0..hops).collect()));
+        // One short flow per hop.
+        for l in 0..hops {
+            sc = sc.flow(FlowConfig::new(proto.clone_box(), vec![l]));
+        }
+        let net = sc.run();
+        let tail = net.tail_start(0.5);
+
+        println!("— {label} —");
+        let long = net.flow_goodput(0, tail);
+        println!("  long flow ({} hops): {:>7.1} MSS/s", hops, long);
+        let mut shorts = Vec::new();
+        for f in 1..=hops {
+            let g = net.flow_goodput(f, tail);
+            shorts.push(g);
+            println!("  short flow on hop {}: {:>6.1} MSS/s", f - 1, g);
+        }
+        let mean_short = shorts.iter().sum::<f64>() / shorts.len() as f64;
+        println!("  long/short ratio: {:.2}", long / mean_short);
+        for l in 0..hops {
+            println!(
+                "  hop {l} utilization: {:.2}",
+                net.link_utilization(l, tail)
+            );
+        }
+        println!();
+    }
+    println!(
+        "Reading: with Reno, loss exposure composes across hops and the long flow\n\
+         gets squeezed well below the short flows' share (but never starved —\n\
+         additive increase keeps probing). Vegas allocates by backlog, not loss,\n\
+         and treats the long flow more gently while keeping every queue short."
+    );
+}

@@ -1,0 +1,89 @@
+//! Quickstart: two TCP Reno connections share one bottleneck.
+//!
+//! Builds the paper's model (Section 2), runs the dynamics, prints the
+//! sawtooth, and scores the run against all the axioms a homogeneous
+//! two-sender scenario can witness (Metrics I–V, VIII).
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use axiomatic_cc::core::axioms::{
+    convergence, efficiency, fairness, fast_utilization, latency, loss_avoidance,
+};
+use axiomatic_cc::core::LinkParams;
+use axiomatic_cc::fluidsim::{Scenario, SenderConfig};
+use axiomatic_cc::protocols::Aimd;
+
+fn main() {
+    // A 12 Mbps link with 50 ms one-way propagation delay and a 20-MSS
+    // buffer: capacity C = B·2Θ = 100 MSS.
+    let link = LinkParams::new(1000.0, 0.05, 20.0);
+    println!(
+        "link: B = {} MSS/s, 2Θ = {} ms, τ = {} MSS  ⇒  C = {} MSS, loss threshold C+τ = {} MSS\n",
+        link.bandwidth,
+        link.min_rtt() * 1000.0,
+        link.buffer,
+        link.capacity(),
+        link.loss_threshold()
+    );
+
+    // One incumbent with a large window, one newcomer with a tiny one:
+    // the skewed start exercises AIMD's convergence-to-fairness.
+    let trace = Scenario::new(link)
+        .sender(SenderConfig::new(Box::new(Aimd::reno())).initial_window(90.0))
+        .sender(SenderConfig::new(Box::new(Aimd::reno())).initial_window(1.0))
+        .steps(1200)
+        .run();
+
+    // Print the converged sawtooth at a resolution that resolves its
+    // ~30-step period (coarser sampling would alias it).
+    println!("t(step)  sender0  sender1  total   RTT(ms)  loss");
+    for t in (900..1050).step_by(7) {
+        println!(
+            "{:>7}  {:>7.1}  {:>7.1}  {:>5.1}  {:>7.1}  {:.3}",
+            t,
+            trace.senders[0].window[t],
+            trace.senders[1].window[t],
+            trace.total_window[t],
+            trace.rtt[t] * 1000.0,
+            trace.loss[t],
+        );
+    }
+
+    // Score the tail of the run against the axioms.
+    let tail = trace.tail_start(0.5);
+    println!("\naxiom scores over the final half of the run:");
+    println!(
+        "  Metric I    (efficiency):       α = {:.3}",
+        efficiency::measured_efficiency(&trace, tail)
+    );
+    println!(
+        "  Metric II   (fast-utilization): α = {:?}",
+        fast_utilization::measured_fast_utilization(&trace.senders[0], tail, 8)
+    );
+    println!(
+        "  Metric III  (loss bound):       α = {:.4}",
+        loss_avoidance::measured_loss_bound(&trace, tail)
+    );
+    println!(
+        "  Metric IV   (fairness):         α = {:.3}  (Jain index {:.3})",
+        fairness::measured_fairness(&trace, tail),
+        fairness::jain_index(&trace, tail)
+    );
+    println!(
+        "  Metric V    (convergence):      α = {:.3}",
+        convergence::measured_convergence(&trace, tail)
+    );
+    println!(
+        "  Metric VIII (latency):          α = {}",
+        match latency::measured_latency_inflation(&trace, tail) {
+            x if x.is_infinite() => "unbounded (loss-based protocol fills the buffer)".to_string(),
+            x => format!("{x:.3}"),
+        }
+    );
+    println!(
+        "\nTable 1 predicts worst-case efficiency b = 0.5 and convergence 2b/(1+b) = {:.3} for Reno.",
+        2.0 * 0.5 / 1.5
+    );
+}

@@ -1,0 +1,53 @@
+//! # axiomatic-cc — An Axiomatic Approach to Congestion Control
+//!
+//! A full Rust implementation of the framework from *"An Axiomatic
+//! Approach to Congestion Control"* (Zarchy, Schapira, Mittal, Shenker —
+//! HotNets-XVI, 2017): the fluid-flow model, the eight parameterized
+//! axioms, the protocol families (plus PCC- and Vegas-style protocols),
+//! the theoretical results (Table 1, Claim 1, Theorems 1–5), a
+//! packet-level simulator standing in for the paper's Emulab testbed, and
+//! the machinery that regenerates every table and figure in the paper's
+//! evaluation.
+//!
+//! This crate is a facade: it re-exports the five library crates so
+//! applications can depend on one name.
+//!
+//! ```
+//! use axiomatic_cc::core::LinkParams;
+//! use axiomatic_cc::fluidsim::{Scenario, SenderConfig};
+//! use axiomatic_cc::protocols::Aimd;
+//! use axiomatic_cc::core::axioms::fairness;
+//!
+//! // Two Reno senders on one bottleneck; measure Metric IV (fairness).
+//! let link = LinkParams::new(1000.0, 0.05, 20.0);
+//! let trace = Scenario::new(link)
+//!     .sender(SenderConfig::new(Box::new(Aimd::reno())).initial_window(90.0))
+//!     .sender(SenderConfig::new(Box::new(Aimd::reno())).initial_window(1.0))
+//!     .steps(3000)
+//!     .run();
+//! let score = fairness::measured_fairness(&trace, trace.tail_start(0.5));
+//! assert!(score > 0.8);
+//! ```
+//!
+//! The crates, bottom-up:
+//!
+//! * [`core`] — model types, the [`Protocol`](core::Protocol) trait, the
+//!   eight axioms, Table 1's closed forms, Theorems 1–5;
+//! * [`protocols`] — executable AIMD / MIMD / BIN / CUBIC / Robust-AIMD /
+//!   PCC / Vegas implementations and Linux presets;
+//! * [`fluidsim`] — the paper's synchronized discrete-time simulator;
+//! * [`packetsim`] — the event-driven packet-level simulator (Emulab
+//!   substitute);
+//! * [`analysis`] — empirical scoring, Pareto tooling, and the experiment
+//!   builders for Table 1, Table 2, Figure 1 and the theorem checks.
+//!
+//! Runnable walkthroughs live in `examples/`; the paper's tables and
+//! figures regenerate via the `axcc-bench` binaries (see README).
+
+#![deny(missing_docs)]
+
+pub use axcc_analysis as analysis;
+pub use axcc_core as core;
+pub use axcc_fluidsim as fluidsim;
+pub use axcc_packetsim as packetsim;
+pub use axcc_protocols as protocols;

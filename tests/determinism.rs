@@ -1,0 +1,111 @@
+//! End-to-end determinism: the entire stack — protocols, both simulation
+//! engines, loss injection, estimators — must be a pure function of
+//! (scenario, seed). This is what makes every number in EXPERIMENTS.md
+//! reproducible by `cargo run`.
+
+use axiomatic_cc::core::units::Bandwidth;
+use axiomatic_cc::core::LinkParams;
+use axiomatic_cc::fluidsim::{LossModel, Scenario, SenderConfig};
+use axiomatic_cc::packetsim::{PacketScenario, PacketSenderConfig};
+use axiomatic_cc::protocols::registry::resolve;
+
+const LINEUP: [&str; 7] = [
+    "reno",
+    "cubic",
+    "scalable",
+    "robust-aimd",
+    "pcc",
+    "vegas",
+    "bin(1,0.5,1,0)",
+];
+
+#[test]
+fn fluid_runs_are_bit_identical_per_seed() {
+    for name in LINEUP {
+        let run = |seed: u64| {
+            let link = LinkParams::new(1000.0, 0.05, 20.0);
+            Scenario::new(link)
+                .sender(SenderConfig::new(resolve(name).unwrap()).initial_window(2.0))
+                .sender(SenderConfig::new(resolve(name).unwrap()).initial_window(50.0))
+                .wire_loss(LossModel::Bernoulli { rate: 0.01 })
+                .seed(seed)
+                .steps(600)
+                .run()
+        };
+        assert_eq!(run(42), run(42), "{name} diverged under same seed");
+        assert_ne!(
+            run(42).senders[0].window,
+            run(43).senders[0].window,
+            "{name} ignored the seed"
+        );
+    }
+}
+
+#[test]
+fn packet_runs_are_bit_identical_per_seed() {
+    for name in ["reno", "cubic", "scalable", "robust-aimd", "pcc"] {
+        let run = |seed: u64| {
+            let link = LinkParams::from_experiment(Bandwidth::Mbps(20.0), 42.0, 100.0);
+            let out = PacketScenario::new(link)
+                .sender(PacketSenderConfig::new(resolve(name).unwrap()))
+                .sender(PacketSenderConfig::new(resolve(name).unwrap()).start_at_secs(1.0))
+                .duration_secs(8.0)
+                .wire_loss(0.01)
+                .seed(seed)
+                .run();
+            (out.trace, out.flows, out.queue)
+        };
+        let (t1, f1, q1) = run(7);
+        let (t2, f2, q2) = run(7);
+        assert_eq!(t1, t2, "{name} trace diverged");
+        assert_eq!(f1, f2, "{name} flow stats diverged");
+        assert_eq!(q1, q2, "{name} queue stats diverged");
+    }
+}
+
+#[test]
+fn deterministic_scenarios_ignore_seed_entirely() {
+    // Without wire loss there is no randomness at all: seeds must not
+    // matter.
+    let run = |seed: u64| {
+        let link = LinkParams::new(1000.0, 0.05, 20.0);
+        Scenario::new(link)
+            .sender(SenderConfig::new(resolve("reno").unwrap()).initial_window(1.0))
+            .seed(seed)
+            .steps(400)
+            .run()
+            .senders[0]
+            .window
+            .clone()
+    };
+    assert_eq!(run(1), run(2));
+}
+
+#[test]
+fn protocol_reset_restores_initial_behaviour() {
+    use axiomatic_cc::core::Observation;
+    for name in LINEUP {
+        let mut p = resolve(name).unwrap();
+        let feed = |p: &mut Box<dyn axiomatic_cc::core::Protocol>| -> Vec<f64> {
+            let mut w = 10.0;
+            let mut out = Vec::new();
+            for t in 0..80 {
+                let loss = if t % 11 == 10 { 0.05 } else { 0.0 };
+                let rtt = 0.1 + (t % 7) as f64 * 0.01;
+                w = p.next_window(&Observation {
+                    tick: t,
+                    window: w,
+                    loss_rate: loss,
+                    rtt,
+                    min_rtt: 0.1,
+                });
+                out.push(w);
+            }
+            out
+        };
+        let first = feed(&mut p);
+        p.reset();
+        let second = feed(&mut p);
+        assert_eq!(first, second, "{name} reset is lossy");
+    }
+}
