@@ -325,8 +325,7 @@ pub fn empirical_scores_fluid(
     let reno = axcc_protocols::Aimd::reno();
     let ct = link.loss_threshold();
     let pairs = [(1.0, 1.0), (0.8 * ct, 1.0), (1.0, 0.8 * ct)];
-    let friendliness =
-        measure_friendliness_fluid(proto, &reno, link, 1, 1, steps, &pairs);
+    let friendliness = measure_friendliness_fluid(proto, &reno, link, 1, 1, steps, &pairs);
     let robustness = measure_robustness_fluid(proto, &ROBUSTNESS_RATES, steps);
     axcc_core::AxiomScores {
         efficiency: solo.efficiency,
@@ -419,10 +418,7 @@ mod tests {
         let scalable = Aimd::scalable(); // AIMD(1, 0.875)
         let reno = Aimd::reno();
         assert_eq!(
-            syntactically_more_aggressive(
-                &ProtocolSpec::SCALABLE_AIMD,
-                &ProtocolSpec::RENO
-            ),
+            syntactically_more_aggressive(&ProtocolSpec::SCALABLE_AIMD, &ProtocolSpec::RENO),
             Some(true)
         );
         assert!(empirically_more_aggressive(&scalable, &reno, l, 3000));

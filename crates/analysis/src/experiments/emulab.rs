@@ -250,7 +250,12 @@ fn finite_mean(xs: &[f64]) -> f64 {
 impl EmulabValidation {
     /// Render the hierarchy comparison as text.
     pub fn render(&self) -> String {
-        let mut t = TextTable::new(["Metric", "Theory (best→worst)", "Measured (best→worst)", "Agreement"]);
+        let mut t = TextTable::new([
+            "Metric",
+            "Theory (best→worst)",
+            "Measured (best→worst)",
+            "Agreement",
+        ]);
         for h in &self.hierarchies {
             t.row([
                 h.metric.clone(),
@@ -303,7 +308,11 @@ mod tests {
         // The paper's claim: hierarchies match. On the quick grid we demand
         // a clear majority of pairwise orderings.
         let mean = v.mean_agreement();
-        assert!(mean >= 0.6, "mean hierarchy agreement {mean}\n{}", v.render());
+        assert!(
+            mean >= 0.6,
+            "mean hierarchy agreement {mean}\n{}",
+            v.render()
+        );
     }
 
     #[test]

@@ -140,7 +140,10 @@ mod tests {
         let reno = get("AIMD(1,0.5)").smoothness;
         let cubic = get("CUBIC").smoothness;
         let scalable = get("MIMD").smoothness;
-        assert!(scalable >= cubic - 0.02, "scalable {scalable} cubic {cubic}");
+        assert!(
+            scalable >= cubic - 0.02,
+            "scalable {scalable} cubic {cubic}"
+        );
         assert!(cubic >= reno - 0.02, "cubic {cubic} reno {reno}");
         assert!((reno - 0.5).abs() < 0.05, "reno {reno}");
     }
@@ -149,12 +152,12 @@ mod tests {
     fn tfrc_is_the_smoothest_loss_based_protocol() {
         let rep = run_extension_report(1500);
         let tfrc = rep.rows.iter().find(|r| r.protocol == "TFRC").unwrap();
-        let reno = rep.rows.iter().find(|r| r.protocol == "AIMD(1,0.5)").unwrap();
-        assert!(
-            tfrc.smoothness > 0.8,
-            "TFRC smoothness {}",
-            tfrc.smoothness
-        );
+        let reno = rep
+            .rows
+            .iter()
+            .find(|r| r.protocol == "AIMD(1,0.5)")
+            .unwrap();
+        assert!(tfrc.smoothness > 0.8, "TFRC smoothness {}", tfrc.smoothness);
         assert!(tfrc.smoothness > reno.smoothness + 0.2);
     }
 
@@ -191,8 +194,16 @@ mod tests {
     #[test]
     fn latency_column_separates_classes() {
         let rep = run_extension_report(1500);
-        let vegas = rep.rows.iter().find(|r| r.protocol.starts_with("Vegas")).unwrap();
-        let reno = rep.rows.iter().find(|r| r.protocol == "AIMD(1,0.5)").unwrap();
+        let vegas = rep
+            .rows
+            .iter()
+            .find(|r| r.protocol.starts_with("Vegas"))
+            .unwrap();
+        let reno = rep
+            .rows
+            .iter()
+            .find(|r| r.protocol == "AIMD(1,0.5)")
+            .unwrap();
         assert!(vegas.latency_inflation.is_finite());
         assert!(vegas.latency_inflation < 0.2, "{}", vegas.latency_inflation);
         assert!(reno.latency_inflation.is_infinite());

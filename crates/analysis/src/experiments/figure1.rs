@@ -119,8 +119,9 @@ impl Figure1 {
     /// Render as one series per β (rows: α; columns: bound and measured
     /// values) — the textual analogue of the paper's 3-D plot.
     pub fn render(&self) -> String {
-        let mut out =
-            String::from("Figure 1 — Pareto frontier (fast-utilization α, efficiency β, TCP-friendliness)\n\n");
+        let mut out = String::from(
+            "Figure 1 — Pareto frontier (fast-utilization α, efficiency β, TCP-friendliness)\n\n",
+        );
         let mut t = TextTable::new([
             "alpha",
             "beta",
@@ -163,14 +164,12 @@ mod tests {
     fn friendliness_decreases_along_both_axes() {
         let fig = frontier_surface(&DEFAULT_ALPHAS, &DEFAULT_BETAS);
         // For fixed β, larger α ⇒ smaller friendliness.
-        let beta0: Vec<&Figure1Point> =
-            fig.points.iter().filter(|p| p.beta == 0.5).collect();
+        let beta0: Vec<&Figure1Point> = fig.points.iter().filter(|p| p.beta == 0.5).collect();
         for w in beta0.windows(2) {
             assert!(w[1].friendliness_bound < w[0].friendliness_bound);
         }
         // For fixed α, larger β ⇒ smaller friendliness.
-        let alpha1: Vec<&Figure1Point> =
-            fig.points.iter().filter(|p| p.alpha == 1.0).collect();
+        let alpha1: Vec<&Figure1Point> = fig.points.iter().filter(|p| p.alpha == 1.0).collect();
         for w in alpha1.windows(2) {
             assert!(w[1].friendliness_bound < w[0].friendliness_bound);
         }

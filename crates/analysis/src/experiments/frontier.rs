@@ -81,10 +81,7 @@ pub fn search_frontier(link: LinkParams, steps: usize) -> FrontierSearch {
         frontier_fig1: labels(pareto_front_indices(&scored, &FIGURE1_METRICS)),
         frontier_robust: labels(pareto_front_indices(&scored, &ROBUST_METRICS)),
         frontier_all: labels(pareto_front_indices(&scored, &Metric::ALL)),
-        points: scored
-            .into_iter()
-            .map(|p| (p.label, p.scores))
-            .collect(),
+        points: scored.into_iter().map(|p| (p.label, p.scores)).collect(),
     }
 }
 

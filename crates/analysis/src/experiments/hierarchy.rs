@@ -107,7 +107,10 @@ mod tests {
     use super::*;
 
     fn ls(pairs: &[(&str, f64)]) -> Vec<LabeledScore> {
-        pairs.iter().map(|(l, s)| LabeledScore::new(*l, *s)).collect()
+        pairs
+            .iter()
+            .map(|(l, s)| LabeledScore::new(*l, *s))
+            .collect()
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! | [`figure1`] | Figure 1 — Pareto frontier of efficiency × fast-utilization × friendliness |
 //! | [`theorems`] | Section 4 — Claim 1 and Theorems 1–5, checked against simulation |
 //! | [`shootout`] | §5.2's robustness/efficiency shootout (R-AIMD vs classics vs PCC) |
+//! | [`gauntlet`] | Metric VI under Gilbert–Elliott bursty loss (the adverse-network gauntlet) |
 //! | [`frontier`] | empirical Pareto-frontier search over all implemented families |
 //! | [`aqm`] | §6 in-network queueing: droptail vs ECN vs RED across the metrics |
 //! | [`extensions`] | §6 future-work metrics: smoothness, responsiveness, Metric VIII across classes |
@@ -18,6 +19,7 @@ pub mod emulab;
 pub mod extensions;
 pub mod figure1;
 pub mod frontier;
+pub mod gauntlet;
 pub mod hierarchy;
 pub mod shootout;
 pub mod table1;

@@ -196,7 +196,11 @@ mod tests {
             assert!(m.efficiency <= 1.0 + 1e-9);
         }
         // Robust-AIMD is the only robust protocol, measured too.
-        let raimd = t.rows.iter().find(|r| r.name.starts_with("R-AIMD")).unwrap();
+        let raimd = t
+            .rows
+            .iter()
+            .find(|r| r.name.starts_with("R-AIMD"))
+            .unwrap();
         assert!(raimd.measured.as_ref().unwrap().robustness > 0.0);
         let reno = &t.rows[0];
         assert_eq!(reno.measured.as_ref().unwrap().robustness, 0.0);

@@ -17,11 +17,11 @@
 //! TCP more room, as the paper reports in every cell.
 
 use crate::estimators::{measure_friendliness_fluid, measure_friendliness_packet};
-use axcc_core::axioms::friendliness::measured_friendliness;
-use axcc_packetsim::{PacketScenario, PacketSenderConfig};
 use crate::report::{fmt_ratio, TextTable};
+use axcc_core::axioms::friendliness::measured_friendliness;
 use axcc_core::units::Bandwidth;
 use axcc_core::LinkParams;
+use axcc_packetsim::{PacketScenario, PacketSenderConfig};
 use axcc_protocols::{Aimd, Pcc, RobustAimd};
 use serde::Serialize;
 
@@ -90,14 +90,10 @@ pub fn build_table2_packet_paced(duration_secs: f64) -> Table2 {
     let mut cells = Vec::new();
     for &n in &TABLE2_NS {
         for &bw in &TABLE2_BWS {
-            let link = LinkParams::from_experiment(
-                Bandwidth::Mbps(bw),
-                TABLE2_RTT_MS,
-                TABLE2_BUFFER_MSS,
-            );
+            let link =
+                LinkParams::from_experiment(Bandwidth::Mbps(bw), TABLE2_RTT_MS, TABLE2_BUFFER_MSS);
             let n_p = n - 1;
-            let f_r =
-                measure_friendliness_packet(&robust, &reno, link, n_p, 1, duration_secs, 0);
+            let f_r = measure_friendliness_packet(&robust, &reno, link, n_p, 1, duration_secs, 0);
             // Paced-PCC cell, built directly.
             let mut sc = PacketScenario::new(link).duration_secs(duration_secs);
             for _ in 0..n_p {
@@ -129,11 +125,8 @@ fn build_table2(budget: f64, fluid: bool) -> Table2 {
     let mut cells = Vec::new();
     for &n in &TABLE2_NS {
         for &bw in &TABLE2_BWS {
-            let link = LinkParams::from_experiment(
-                Bandwidth::Mbps(bw),
-                TABLE2_RTT_MS,
-                TABLE2_BUFFER_MSS,
-            );
+            let link =
+                LinkParams::from_experiment(Bandwidth::Mbps(bw), TABLE2_RTT_MS, TABLE2_BUFFER_MSS);
             let n_p = n - 1;
             let (f_r, f_p) = if fluid {
                 let pairs = [(1.0, 1.0)];
@@ -222,11 +215,8 @@ mod tests {
     #[test]
     fn single_cell_robust_beats_pcc_fluid() {
         // One Table 2 cell, fluid backend: (n=2, 20 Mbps).
-        let link = LinkParams::from_experiment(
-            Bandwidth::Mbps(20.0),
-            TABLE2_RTT_MS,
-            TABLE2_BUFFER_MSS,
-        );
+        let link =
+            LinkParams::from_experiment(Bandwidth::Mbps(20.0), TABLE2_RTT_MS, TABLE2_BUFFER_MSS);
         let reno = Aimd::reno();
         let pairs = [(1.0, 1.0)];
         let f_r =
@@ -242,11 +232,8 @@ mod tests {
     #[test]
     fn paced_pcc_cell_preserves_the_winner() {
         // One paced-PCC cell at reduced budget: R-AIMD still wins.
-        let link = LinkParams::from_experiment(
-            Bandwidth::Mbps(20.0),
-            TABLE2_RTT_MS,
-            TABLE2_BUFFER_MSS,
-        );
+        let link =
+            LinkParams::from_experiment(Bandwidth::Mbps(20.0), TABLE2_RTT_MS, TABLE2_BUFFER_MSS);
         let reno = Aimd::reno();
         let f_r = crate::estimators::measure_friendliness_packet(
             &RobustAimd::table2(),

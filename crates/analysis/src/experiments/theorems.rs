@@ -72,9 +72,12 @@ pub fn check_claim1(steps: usize) -> TheoremCheck {
         fast_utilization::measured_fast_utilization(&prober_trace.senders[0], tail, 8)
             .unwrap_or(0.0);
     let reno_lossy = !loss_avoidance::is_zero_loss(&reno_trace, reno_trace.tail_start(0.5));
-    let reno_fast =
-        fast_utilization::measured_fast_utilization(&reno_trace.senders[0], reno_trace.tail_start(0.5), 8)
-            .unwrap_or(0.0);
+    let reno_fast = fast_utilization::measured_fast_utilization(
+        &reno_trace.senders[0],
+        reno_trace.tail_start(0.5),
+        8,
+    )
+    .unwrap_or(0.0);
 
     let passed = prober_zero_loss && prober_fast < 0.05 && reno_lossy && reno_fast > 0.5;
     TheoremCheck {
@@ -126,15 +129,8 @@ pub fn check_theorem2(steps: usize) -> TheoremCheck {
     let mut detail = String::new();
     let mut passed = true;
     for &(a, b) in &[(1.0, 0.5), (2.0, 0.5), (4.0, 0.5), (1.0, 0.8)] {
-        let f = measure_friendliness_fluid(
-            &Aimd::new(a, b),
-            &reno,
-            link,
-            1,
-            1,
-            steps,
-            &[(1.0, 1.0)],
-        );
+        let f =
+            measure_friendliness_fluid(&Aimd::new(a, b), &reno, link, 1, 1, steps, &[(1.0, 1.0)]);
         let bound = theorem2_friendliness_upper_bound(a, b);
         // Tightness + discretization: measured within [0.5, 1.35]×bound.
         let ok = f <= bound * 1.35 + 0.05 && f >= bound * 0.5 - 0.05;
@@ -205,10 +201,8 @@ pub fn check_theorem4(steps: usize) -> TheoremCheck {
 
     // Hypothesis (3): both Qs are more aggressive than Reno — verified
     // empirically (the semantic relation, not just the syntactic rules).
-    let q1_aggr =
-        crate::estimators::empirically_more_aggressive(&q_aimd, &reno, link, steps);
-    let q2_aggr =
-        crate::estimators::empirically_more_aggressive(&q_mimd, &reno, link, steps);
+    let q1_aggr = crate::estimators::empirically_more_aggressive(&q_aimd, &reno, link, steps);
+    let q2_aggr = crate::estimators::empirically_more_aggressive(&q_mimd, &reno, link, steps);
 
     let pairs = [(1.0, 1.0)];
     let f_reno = measure_friendliness_fluid(&p, &reno, link, 1, 1, steps, &pairs);

@@ -154,15 +154,9 @@ mod tests {
         b.robustness = 0.01; // b wins on robustness
         let pts = vec![ScoredPoint::new("a", a), ScoredPoint::new("b", b)];
         // In the efficiency-only subspace, b is dominated…
-        assert_eq!(
-            pareto_front_indices(&pts, &[Metric::Efficiency]),
-            vec![0]
-        );
+        assert_eq!(pareto_front_indices(&pts, &[Metric::Efficiency]), vec![0]);
         // …but over all 8 metrics both survive.
-        assert_eq!(
-            pareto_front_indices(&pts, &Metric::ALL),
-            vec![0, 1]
-        );
+        assert_eq!(pareto_front_indices(&pts, &Metric::ALL), vec![0, 1]);
     }
 
     #[test]

@@ -21,8 +21,8 @@ use axcc_analysis::report::{fmt_score, TextTable};
 use axcc_bench::has_flag;
 use axcc_core::theory::theorems::theorem2_friendliness_upper_bound;
 use axcc_core::units::Bandwidth;
-use axcc_core::Protocol as _;
 use axcc_core::LinkParams;
+use axcc_core::Protocol as _;
 use axcc_protocols::{Aimd, Pcc, RobustAimd};
 
 const STEPS: usize = 3000;
@@ -51,7 +51,12 @@ fn main() {
 
     // --- 2. PCC controller constants ---------------------------------------
     println!("\nAblation 2 — PCC controller: step size / amplification vs friendliness\n");
-    let mut t = TextTable::new(["base step", "amplifier", "friendliness to Reno", "convergence"]);
+    let mut t = TextTable::new([
+        "base step",
+        "amplifier",
+        "friendliness to Reno",
+        "convergence",
+    ]);
     let mut sweep = Vec::new();
     for (step, amp) in [
         (0.005, 0.5),
@@ -116,9 +121,7 @@ fn main() {
         let fairness = |mode: axcc_fluidsim::FeedbackMode| {
             let proto = axcc_protocols::registry::resolve(name).expect("known protocol");
             let trace = axcc_fluidsim::Scenario::new(link())
-                .sender(
-                    axcc_fluidsim::SenderConfig::new(proto.clone_box()).initial_window(120.0),
-                )
+                .sender(axcc_fluidsim::SenderConfig::new(proto.clone_box()).initial_window(120.0))
                 .sender(axcc_fluidsim::SenderConfig::new(proto).initial_window(30.0))
                 .feedback(mode)
                 .seed(5)

@@ -14,7 +14,10 @@ fn main() {
     let checks = check_all(budget::THEOREM_STEPS);
     println!("{}", render_checks(&checks));
     if has_flag("--json") {
-        println!("{}", serde_json::to_string_pretty(&checks).expect("serialize"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&checks).expect("serialize")
+        );
     }
     if checks.iter().any(|c| !c.passed) {
         std::process::exit(1);

@@ -12,7 +12,10 @@ use axcc_core::LinkParams;
 
 fn main() {
     let link = LinkParams::new(1000.0, 0.05, 20.0);
-    eprintln!("scoring the candidate pool ({} steps per run)…", budget::THEOREM_STEPS);
+    eprintln!(
+        "scoring the candidate pool ({} steps per run)…",
+        budget::THEOREM_STEPS
+    );
     let f = search_frontier(link, budget::THEOREM_STEPS);
     println!("{}", f.render());
     if has_flag("--json") {

@@ -1,0 +1,25 @@
+//! Regenerate the **adverse-network gauntlet** — Metric VI re-measured
+//! under Gilbert–Elliott bursty loss instead of the axiom's constant
+//! loss, across a burst-length × burst-frequency impairment grid (with
+//! efficiency and TCP-friendliness side-effect columns re-measured under
+//! a reference impairment).
+//!
+//! Exits non-zero unless the headline holds: Robust-AIMD's tolerated
+//! burst frequency degrades strictly slower than plain AIMD's as bursts
+//! lengthen.
+//!
+//! Flags: `--json`.
+
+use axcc_analysis::experiments::gauntlet;
+use axcc_bench::{budget, has_flag};
+
+fn main() {
+    let rep = gauntlet::run_gauntlet(budget::GAUNTLET_STEPS);
+    println!("{}", rep.render());
+    if has_flag("--json") {
+        println!("{}", serde_json::json!({ "gauntlet": rep }));
+    }
+    if !rep.degrades_slower("R-AIMD", "AIMD(1,0.5)") {
+        std::process::exit(1);
+    }
+}

@@ -19,7 +19,8 @@ fn main() {
     let table = if has_flag("--simulate") {
         eprintln!(
             "simulating {} protocols x sweep configs ({} steps each)…",
-            5, budget::TABLE1_STEPS
+            5,
+            budget::TABLE1_STEPS
         );
         empirical_table1(link, n, budget::TABLE1_STEPS)
     } else {
@@ -27,6 +28,9 @@ fn main() {
     };
     println!("{}", table.render());
     if has_flag("--json") {
-        println!("{}", serde_json::to_string_pretty(&table).expect("serialize"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&table).expect("serialize")
+        );
     }
 }

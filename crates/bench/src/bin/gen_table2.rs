@@ -40,6 +40,9 @@ fn main() {
     };
     println!("{}", table.render());
     if has_flag("--json") {
-        println!("{}", serde_json::to_string_pretty(&table).expect("serialize"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&table).expect("serialize")
+        );
     }
 }

@@ -31,6 +31,9 @@ pub mod budget {
     pub const FIGURE1_STEPS: usize = 3000;
     /// Fluid-model steps per theorem check.
     pub const THEOREM_STEPS: usize = 3000;
+    /// Minimum fluid-model steps per gauntlet robustness cell (cells with
+    /// rare bursts run longer — see `axcc_analysis::experiments::gauntlet`).
+    pub const GAUNTLET_STEPS: usize = 2500;
 }
 
 /// Minimal CLI-flag helper (the binaries take only boolean flags, so a
@@ -47,6 +50,7 @@ const _: () = {
     assert!(TABLE2_STEPS >= 1000);
     assert!(FIGURE1_STEPS >= 1000);
     assert!(THEOREM_STEPS >= 1000);
+    assert!(GAUNTLET_STEPS >= 1000);
 };
 
 #[cfg(test)]

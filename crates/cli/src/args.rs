@@ -44,7 +44,11 @@ impl fmt::Display for ArgError {
         match self {
             ArgError::MissingCommand => write!(f, "missing command; try `axcc help`"),
             ArgError::MissingValue(n) => write!(f, "flag --{n} needs a value"),
-            ArgError::BadValue { flag, value, expected } => {
+            ArgError::BadValue {
+                flag,
+                value,
+                expected,
+            } => {
                 write!(f, "--{flag}={value:?}: expected {expected}")
             }
             ArgError::UnexpectedPositional(p) => {

@@ -4,7 +4,9 @@ use crate::args::Args;
 use axcc_analysis::estimators::{
     empirical_scores_fluid, measure_friendliness_fluid, solo_metrics_of_trace,
 };
-use axcc_analysis::experiments::{extensions, figure1, frontier, shootout, table1, table2, theorems};
+use axcc_analysis::experiments::{
+    extensions, figure1, frontier, gauntlet, shootout, table1, table2, theorems,
+};
 use axcc_analysis::report::{fmt_ratio, fmt_score, TextTable};
 use axcc_core::units::Bandwidth;
 use axcc_core::{LinkParams, Protocol};
@@ -36,6 +38,8 @@ paper artifacts:
   axcc figure1    [--validate]   Figure 1 (Pareto frontier surface)
   axcc theorems                  Claim 1 + Theorems 1–5 checks
   axcc shootout                  §5.2 robustness shootout
+  axcc gauntlet   [--steps N]    adverse-network gauntlet (Metric VI under
+                                 Gilbert–Elliott bursty loss)
   axcc extensions                §6 extension metrics (smoothness, …)
   axcc aqm        [--duration S] droptail vs ECN vs RED comparison
 
@@ -83,6 +87,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "figure1" => cmd_figure1(args),
         "theorems" => cmd_theorems(args),
         "shootout" => cmd_shootout(args),
+        "gauntlet" => cmd_gauntlet(args),
         "extensions" => cmd_extensions(args),
         "aqm" => cmd_aqm(args),
         "characterize" => cmd_characterize(args),
@@ -103,7 +108,20 @@ fn link_from(args: &Args) -> Result<LinkParams, CliError> {
             "link parameters must be positive (buffer may be 0)".into(),
         ));
     }
-    Ok(LinkParams::from_experiment(Bandwidth::Mbps(bw), rtt, buffer))
+    Ok(LinkParams::from_experiment(
+        Bandwidth::Mbps(bw),
+        rtt,
+        buffer,
+    ))
+}
+
+/// Parse `--steps`, rejecting 0 before any experiment loop can panic on it.
+fn steps_from(args: &Args, default: usize) -> Result<usize, CliError> {
+    let steps = args.get_usize("steps", default)?;
+    if steps == 0 {
+        return Err(CliError::Usage("--steps must be at least 1".into()));
+    }
+    Ok(steps)
 }
 
 fn resolve_protocol(name: &str) -> Result<Box<dyn Protocol>, CliError> {
@@ -122,8 +140,14 @@ fn cmd_list(args: &Args) -> Result<String, CliError> {
         ("pcc", "PCC-style monitor-interval utility controller"),
         ("vegas", "Vegas-style latency avoider (Theorem 5 foil)"),
         ("bbr", "BBR-style bandwidth/RTT estimator (§6 extension)"),
-        ("tfrc", "TFRC-style equation-based protocol (reference [13])"),
-        ("highspeed", "HighSpeed TCP (RFC 3649), window-dependent AIMD"),
+        (
+            "tfrc",
+            "TFRC-style equation-based protocol (reference [13])",
+        ),
+        (
+            "highspeed",
+            "HighSpeed TCP (RFC 3649), window-dependent AIMD",
+        ),
     ] {
         let _ = writeln!(out, "    {alias:<14} {desc}");
     }
@@ -143,11 +167,13 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
     let wire = args.get_f64("wire-loss", 0.0)?;
     let seed = args.get_usize("seed", 0)? as u64;
     let stagger = args.get_f64("stagger-s", 0.0)?;
-    let steps = args.get_usize("steps", 2000)?;
+    let steps = steps_from(args, 2000)?;
     let duration = args.get_f64("duration", 30.0)?;
-    let ecn = args.get("ecn").map(|v| v.parse::<usize>()).transpose().map_err(|_| {
-        CliError::Usage("--ecn takes a marking threshold in packets".into())
-    })?;
+    let ecn = args
+        .get("ecn")
+        .map(|v| v.parse::<usize>())
+        .transpose()
+        .map_err(|_| CliError::Usage("--ecn takes a marking threshold in packets".into()))?;
     let csv_path = args.get("csv").map(str::to_string);
     let json = args.get_bool("json");
     args.finish()?;
@@ -162,9 +188,7 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
     );
 
     let trace = if packet {
-        let mut sc = PacketScenario::new(link)
-            .duration_secs(duration)
-            .seed(seed);
+        let mut sc = PacketScenario::new(link).duration_secs(duration).seed(seed);
         if wire > 0.0 {
             sc = sc.wire_loss(wire);
         }
@@ -176,7 +200,7 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
                 PacketSenderConfig::new(resolve_protocol(n)?).start_at_secs(i as f64 * stagger),
             );
         }
-        let sim = sc.run();
+        let sim = sc.try_run().map_err(|e| CliError::Usage(e.to_string()))?;
         let _ = writeln!(out, "backend: packet-level, {duration} s simulated");
         let mut t = TextTable::new(["flow", "packets sent", "acked", "lost", "epochs"]);
         for (i, f) in sim.flows.iter().enumerate() {
@@ -208,7 +232,7 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
             );
         }
         let _ = writeln!(out, "backend: fluid model, {steps} RTT steps");
-        sc.run()
+        sc.try_run().map_err(|e| CliError::Usage(e.to_string()))?
     };
 
     if let Some(path) = &csv_path {
@@ -249,13 +273,16 @@ fn cmd_score(args: &Args) -> Result<String, CliError> {
         .ok_or_else(|| CliError::Usage("score needs --protocol".into()))?
         .to_string();
     let link = link_from(args)?;
-    let steps = args.get_usize("steps", 3000)?;
+    let steps = steps_from(args, 3000)?;
     let n = args.get_usize("senders", 2)?;
     let json = args.get_bool("json");
     args.finish()?;
     let proto = resolve_protocol(&name)?;
     let scores = empirical_scores_fluid(proto.as_ref(), link, n, steps);
-    let mut out = format!("{} on the configured link ({n} senders, {steps} steps):\n\n", proto.name());
+    let mut out = format!(
+        "{} on the configured link ({n} senders, {steps} steps):\n\n",
+        proto.name()
+    );
     for (label, v) in [
         ("efficiency", scores.efficiency),
         ("fast-util", scores.fast_utilization),
@@ -269,7 +296,11 @@ fn cmd_score(args: &Args) -> Result<String, CliError> {
         let _ = writeln!(out, "  {label:<18} {}", fmt_score(v));
     }
     if json {
-        let _ = writeln!(out, "\n{}", serde_json::to_string(&scores).expect("serialize"));
+        let _ = writeln!(
+            out,
+            "\n{}",
+            serde_json::to_string(&scores).expect("serialize")
+        );
     }
     Ok(out)
 }
@@ -281,7 +312,7 @@ fn cmd_compare(args: &Args) -> Result<String, CliError> {
         .to_string();
     let defender = args.get_or("defender", "reno").to_string();
     let link = link_from(args)?;
-    let steps = args.get_usize("steps", 3000)?;
+    let steps = steps_from(args, 3000)?;
     let n_p = args.get_usize("n-challengers", 1)?;
     args.finish()?;
     let p = resolve_protocol(&challenger)?;
@@ -320,7 +351,7 @@ fn cmd_aqm(args: &Args) -> Result<String, CliError> {
 
 fn cmd_characterize(args: &Args) -> Result<String, CliError> {
     let link = link_from(args)?;
-    let steps = args.get_usize("steps", 2500)?;
+    let steps = steps_from(args, 2500)?;
     let n = args.get_usize("senders", 2)?;
     let json = args.get_bool("json");
     args.finish()?;
@@ -356,7 +387,7 @@ fn cmd_characterize(args: &Args) -> Result<String, CliError> {
 
 fn cmd_frontier(args: &Args) -> Result<String, CliError> {
     let link = link_from(args)?;
-    let steps = args.get_usize("steps", 2500)?;
+    let steps = steps_from(args, 2500)?;
     let json = args.get_bool("json");
     args.finish()?;
     let f = frontier::search_frontier(link, steps);
@@ -374,7 +405,7 @@ fn cmd_network(args: &Args) -> Result<String, CliError> {
     if hops == 0 {
         return Err(CliError::Usage("--hops must be at least 1".into()));
     }
-    let steps = args.get_usize("steps", 4000)?;
+    let steps = steps_from(args, 4000)?;
     let link = link_from(args)?;
     args.finish()?;
     let proto = resolve_protocol(&name)?;
@@ -398,9 +429,17 @@ fn cmd_network(args: &Args) -> Result<String, CliError> {
         shorts += g;
         let _ = writeln!(out, "short flow (hop {}): {g:.1} MSS/s", f - 1);
     }
-    let _ = writeln!(out, "long/short ratio:   {:.2}", long / (shorts / hops as f64));
+    let _ = writeln!(
+        out,
+        "long/short ratio:   {:.2}",
+        long / (shorts / hops as f64)
+    );
     for l in 0..hops {
-        let _ = writeln!(out, "hop {l} utilization:   {:.2}", net.link_utilization(l, tail));
+        let _ = writeln!(
+            out,
+            "hop {l} utilization:   {:.2}",
+            net.link_utilization(l, tail)
+        );
     }
     Ok(out)
 }
@@ -442,7 +481,7 @@ fn cmd_feasible(args: &Args) -> Result<String, CliError> {
 fn cmd_table1(args: &Args) -> Result<String, CliError> {
     let simulate = args.get_bool("simulate");
     let link = link_from(args)?;
-    let steps = args.get_usize("steps", 2000)?;
+    let steps = steps_from(args, 2000)?;
     args.finish()?;
     let t = if simulate {
         table1::empirical_table1(link, 2, steps)
@@ -453,7 +492,7 @@ fn cmd_table1(args: &Args) -> Result<String, CliError> {
 }
 
 fn cmd_table2(args: &Args) -> Result<String, CliError> {
-    let steps = args.get_usize("steps", 2000)?;
+    let steps = steps_from(args, 2000)?;
     args.finish()?;
     let t = table2::build_table2_fluid(steps);
     Ok(format!(
@@ -466,10 +505,15 @@ fn cmd_table2(args: &Args) -> Result<String, CliError> {
 fn cmd_figure1(args: &Args) -> Result<String, CliError> {
     let validate = args.get_bool("validate");
     let link = link_from(args)?;
-    let steps = args.get_usize("steps", 2000)?;
+    let steps = steps_from(args, 2000)?;
     args.finish()?;
     let fig = if validate {
-        figure1::validated_surface(&figure1::DEFAULT_ALPHAS, &figure1::DEFAULT_BETAS, link, steps)
+        figure1::validated_surface(
+            &figure1::DEFAULT_ALPHAS,
+            &figure1::DEFAULT_BETAS,
+            link,
+            steps,
+        )
     } else {
         figure1::frontier_surface(&figure1::DEFAULT_ALPHAS, &figure1::DEFAULT_BETAS)
     };
@@ -477,7 +521,7 @@ fn cmd_figure1(args: &Args) -> Result<String, CliError> {
 }
 
 fn cmd_theorems(args: &Args) -> Result<String, CliError> {
-    let steps = args.get_usize("steps", 2500)?;
+    let steps = steps_from(args, 2500)?;
     args.finish()?;
     let checks = theorems::check_all(steps);
     let out = theorems::render_checks(&checks);
@@ -489,13 +533,25 @@ fn cmd_theorems(args: &Args) -> Result<String, CliError> {
 }
 
 fn cmd_shootout(args: &Args) -> Result<String, CliError> {
-    let steps = args.get_usize("steps", 2000)?;
+    let steps = steps_from(args, 2000)?;
     args.finish()?;
     Ok(shootout::run_shootout(steps).render())
 }
 
+fn cmd_gauntlet(args: &Args) -> Result<String, CliError> {
+    let steps = steps_from(args, 2500)?;
+    let json = args.get_bool("json");
+    args.finish()?;
+    let rep = gauntlet::run_gauntlet(steps);
+    let mut out = rep.render();
+    if json {
+        let _ = writeln!(out, "\n{}", serde_json::to_string(&rep).expect("serialize"));
+    }
+    Ok(out)
+}
+
 fn cmd_extensions(args: &Args) -> Result<String, CliError> {
-    let steps = args.get_usize("steps", 2000)?;
+    let steps = steps_from(args, 2000)?;
     args.finish()?;
     Ok(extensions::run_extension_report(steps).render())
 }

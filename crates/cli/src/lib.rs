@@ -12,6 +12,7 @@
 //! axcc figure1   [--validate]          # Figure 1
 //! axcc theorems                        # Claim 1 + Theorems 1–5 checks
 //! axcc shootout                        # §5.2 robustness shootout
+//! axcc gauntlet                        # Metric VI under bursty loss
 //! axcc extensions                      # §6 extension metrics
 //! axcc list                            # protocol registry
 //! axcc help

@@ -49,14 +49,7 @@ fn quick_run_succeeds() {
 
 #[test]
 fn json_output_is_machine_readable() {
-    let (code, stdout, _) = axcc(&[
-        "score",
-        "--protocol",
-        "reno",
-        "--steps",
-        "300",
-        "--json",
-    ]);
+    let (code, stdout, _) = axcc(&["score", "--protocol", "reno", "--steps", "300", "--json"]);
     assert_eq!(code, 0);
     let start = stdout.find('{').expect("json object in output");
     let v: serde_json::Value =
@@ -74,9 +67,29 @@ fn theorems_gate_exits_zero_when_all_pass() {
 }
 
 #[test]
+fn gauntlet_shows_robust_aimd_degrading_slower_than_reno() {
+    let (code, stdout, _) = axcc(&["gauntlet", "--json"]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(
+        stdout.contains("R-AIMD degrades strictly slower than AIMD(1,0.5): true"),
+        "{stdout}"
+    );
+    let start = stdout.find('{').expect("json object in output");
+    let v: serde_json::Value =
+        serde_json::from_str(stdout[start..].lines().next().unwrap()).expect("valid json");
+    assert!(v["rows"].as_array().is_some_and(|r| !r.is_empty()));
+}
+
+#[test]
 fn feasible_is_scriptable() {
     let (code, stdout, _) = axcc(&[
-        "feasible", "--fast", "3", "--eff", "0.95", "--friendly", "1",
+        "feasible",
+        "--fast",
+        "3",
+        "--eff",
+        "0.95",
+        "--friendly",
+        "1",
     ]);
     assert_eq!(code, 0);
     assert!(stdout.contains("Theorem 2"), "{stdout}");

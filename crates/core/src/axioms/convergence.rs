@@ -108,7 +108,9 @@ mod tests {
     #[test]
     fn worst_sender_dominates() {
         let stable = vec![50.0; 20];
-        let wild: Vec<f64> = (0..20).map(|t| if t % 2 == 0 { 10.0 } else { 90.0 }).collect();
+        let wild: Vec<f64> = (0..20)
+            .map(|t| if t % 2 == 0 { 10.0 } else { 90.0 })
+            .collect();
         let tr = trace_from_windows(small_link(), &[stable, wild]);
         // Wild sender: α = 2·10/(10+90) = 0.2.
         assert!((measured_convergence(&tr, 0) - 0.2).abs() < 1e-12);
@@ -116,7 +118,9 @@ mod tests {
 
     #[test]
     fn window_hitting_zero_gives_zero() {
-        let w: Vec<f64> = (0..10).map(|t| if t % 2 == 0 { 0.0 } else { 50.0 }).collect();
+        let w: Vec<f64> = (0..10)
+            .map(|t| if t % 2 == 0 { 0.0 } else { 50.0 })
+            .collect();
         let tr = trace_from_windows(small_link(), &[w]);
         assert_eq!(measured_convergence(&tr, 0), 0.0);
     }

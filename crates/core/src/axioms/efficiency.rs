@@ -109,8 +109,8 @@ mod tests {
     #[test]
     fn standing_queue_above_capacity_caps_at_one() {
         let link = small_link(); // C = 100, τ = 20
-        // Total never dips below 106 (MIMD-style shallow back-off): the
-        // score caps at 1 per Table 1's min(1, ·).
+                                 // Total never dips below 106 (MIMD-style shallow back-off): the
+                                 // score caps at 1 per Table 1's min(1, ·).
         let tr = trace_from_windows(link, &[vec![118.0, 106.0, 118.0, 106.0]]);
         assert_eq!(measured_efficiency(&tr, 0), 1.0);
     }

@@ -132,7 +132,13 @@ mod tests {
     fn reclaim_counting() {
         // Capacity "doubles" at step 5; window climbs 10/step from 60.
         let w: Vec<f64> = (0..30)
-            .map(|t| if t < 5 { 60.0 } else { 60.0 + (t - 5) as f64 * 10.0 })
+            .map(|t| {
+                if t < 5 {
+                    60.0
+                } else {
+                    60.0 + (t - 5) as f64 * 10.0
+                }
+            })
             .collect();
         let tr = trace_from_windows(small_link(), &[w]);
         // Target 0.8 × 200 = 160: reached at offset 10 past the event

@@ -98,8 +98,12 @@ mod tests {
     fn averages_not_instantaneous() {
         // Senders alternate 20/60 out of phase: instantaneous ratio is 1/3
         // but averages are equal => fair.
-        let a: Vec<f64> = (0..20).map(|t| if t % 2 == 0 { 20.0 } else { 60.0 }).collect();
-        let b: Vec<f64> = (0..20).map(|t| if t % 2 == 0 { 60.0 } else { 20.0 }).collect();
+        let a: Vec<f64> = (0..20)
+            .map(|t| if t % 2 == 0 { 20.0 } else { 60.0 })
+            .collect();
+        let b: Vec<f64> = (0..20)
+            .map(|t| if t % 2 == 0 { 60.0 } else { 20.0 })
+            .collect();
         let tr = trace_from_windows(small_link(), &[a, b]);
         assert!((measured_fairness(&tr, 0) - 1.0).abs() < 1e-12);
     }

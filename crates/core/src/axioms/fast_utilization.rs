@@ -62,8 +62,7 @@ pub fn eligible_segments(trace: &SenderTrace, from: usize, check_rtt: bool) -> V
     let mut start = None;
     for t in from..n {
         let lossy = trace.loss[t] > 0.0;
-        let backed_off =
-            t > from && trace.window[t] < trace.window[t - 1] * 0.99 - 1e-12;
+        let backed_off = t > from && trace.window[t] < trace.window[t - 1] * 0.99 - 1e-12;
         let rtt_rose = check_rtt && t > from && trace.rtt[t] > trace.rtt[t - 1] + 1e-12;
         if lossy || backed_off || rtt_rose {
             if let Some(s) = start.take() {

@@ -147,10 +147,7 @@ mod tests {
     fn goodput_share_ratio_with_unequal_sets() {
         // 1 P-sender at 60, 2 Q-senders at 30 each: Q share = 0.5, fair
         // share = 2/3, ratio = 0.75.
-        let tr = trace_from_windows(
-            small_link(),
-            &[vec![60.0; 8], vec![30.0; 8], vec![30.0; 8]],
-        );
+        let tr = trace_from_windows(small_link(), &[vec![60.0; 8], vec![30.0; 8], vec![30.0; 8]]);
         let r = goodput_share_ratio(&tr, &[0], &[1, 2], 0);
         assert!((r - 0.75).abs() < 1e-9, "ratio {r}");
     }

@@ -97,7 +97,9 @@ mod tests {
     #[test]
     fn worst_step_dominates() {
         // Alternating 100 / 115: worst inflation from X=115.
-        let w: Vec<f64> = (0..10).map(|t| if t % 2 == 0 { 100.0 } else { 115.0 }).collect();
+        let w: Vec<f64> = (0..10)
+            .map(|t| if t % 2 == 0 { 100.0 } else { 115.0 })
+            .collect();
         let tr = trace_from_windows(small_link(), &[w]);
         let a = measured_latency_inflation(&tr, 0);
         assert!((a - 0.15).abs() < 1e-9);

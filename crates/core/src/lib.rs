@@ -39,6 +39,7 @@
 #![warn(clippy::all)]
 
 pub mod axioms;
+pub mod error;
 pub mod history;
 pub mod link;
 pub mod protocol;
@@ -47,6 +48,7 @@ pub mod theory;
 pub mod trace;
 pub mod units;
 
+pub use error::ScenarioError;
 pub use link::{LinkParams, LossRate, RttSeconds};
 pub use protocol::{Observation, Protocol};
 pub use score::AxiomScores;

@@ -56,11 +56,7 @@ impl LinkParams {
     /// in Mbps, **round-trip** propagation delay in milliseconds (the paper's
     /// "fixed RTT of 42ms" is `2Θ`), and buffer in MSS.
     pub fn from_experiment(bandwidth: Bandwidth, rtt_ms: f64, buffer_mss: f64) -> Self {
-        Self::new(
-            bandwidth.mss_per_sec(),
-            ms_to_sec(rtt_ms) / 2.0,
-            buffer_mss,
-        )
+        Self::new(bandwidth.mss_per_sec(), ms_to_sec(rtt_ms) / 2.0, buffer_mss)
     }
 
     /// The link "capacity" `C = B · 2Θ`: the minimum possible

@@ -82,10 +82,7 @@ enum Envelope {
 fn additive_envelope(p: &ProtocolSpec) -> Envelope {
     match *p {
         ProtocolSpec::Aimd { a, b } => Envelope::Additive { a, retain: b },
-        ProtocolSpec::Bin { a, b, k: 0.0, .. } => Envelope::Additive {
-            a,
-            retain: 1.0 - b,
-        },
+        ProtocolSpec::Bin { a, b, k: 0.0, .. } => Envelope::Additive { a, retain: 1.0 - b },
         ProtocolSpec::Mimd { a, .. } if a > 1.0 => Envelope::Multiplicative,
         _ => Envelope::Unknown,
     }
@@ -140,20 +137,27 @@ mod tests {
     fn incomparable_aimd_pairs_are_none() {
         // Faster increase but deeper back-off: tradeoff, no verdict.
         let p = ProtocolSpec::Aimd { a: 2.0, b: 0.3 };
-        assert_eq!(
-            syntactically_more_aggressive(&p, &ProtocolSpec::RENO),
-            None
-        );
+        assert_eq!(syntactically_more_aggressive(&p, &ProtocolSpec::RENO), None);
     }
 
     #[test]
     fn bin_k0_maps_to_aimd_comparison() {
         // BIN(2, 0.5, 0, 1): additive slope 2, retains 0.5 — more
         // aggressive than Reno.
-        let bin = ProtocolSpec::Bin { a: 2.0, b: 0.5, k: 0.0, l: 1.0 };
+        let bin = ProtocolSpec::Bin {
+            a: 2.0,
+            b: 0.5,
+            k: 0.0,
+            l: 1.0,
+        };
         assert!(more_aggressive_than_reno(&bin));
         // BIN with k > 0: rules are silent.
-        let iiad = ProtocolSpec::Bin { a: 1.0, b: 0.5, k: 1.0, l: 0.0 };
+        let iiad = ProtocolSpec::Bin {
+            a: 1.0,
+            b: 0.5,
+            k: 1.0,
+            l: 0.0,
+        };
         assert_eq!(
             syntactically_more_aggressive(&iiad, &ProtocolSpec::RENO),
             None

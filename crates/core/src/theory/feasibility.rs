@@ -109,8 +109,7 @@ pub fn infeasibilities_loss_based(
 
     // Theorem 2.
     if scores.fast_utilization > 0.0 && (0.0..=1.0).contains(&scores.efficiency) {
-        let bound =
-            theorem2_friendliness_upper_bound(scores.fast_utilization, scores.efficiency);
+        let bound = theorem2_friendliness_upper_bound(scores.fast_utilization, scores.efficiency);
         if scores.tcp_friendliness > bound + 1e-9 {
             out.push(Infeasibility::Theorem2 { bound });
         }
@@ -171,7 +170,12 @@ mod tests {
             ProtocolSpec::SCALABLE_AIMD,
             ProtocolSpec::CUBIC_LINUX,
             ProtocolSpec::ROBUST_AIMD_TABLE2,
-            ProtocolSpec::Bin { a: 1.0, b: 0.5, k: 1.0, l: 0.0 },
+            ProtocolSpec::Bin {
+                a: 1.0,
+                b: 0.5,
+                k: 1.0,
+                l: 0.0,
+            },
         ] {
             let scores = spec.scores_worst();
             let v = infeasibilities_loss_based(&scores, CT, None);
@@ -188,7 +192,8 @@ mod tests {
         let parameterized = ProtocolSpec::RENO.scores(350.0, 100.0, 2.0);
         let v = infeasibilities_loss_based(&parameterized, CT, None);
         assert!(
-            v.iter().any(|i| matches!(i, Infeasibility::Theorem2 { .. })),
+            v.iter()
+                .any(|i| matches!(i, Infeasibility::Theorem2 { .. })),
             "{v:?}"
         );
     }
@@ -209,7 +214,8 @@ mod tests {
         s.efficiency = 0.5;
         let v = infeasibilities_loss_based(&s, CT, None);
         assert!(
-            v.iter().any(|i| matches!(i, Infeasibility::Theorem1 { .. })),
+            v.iter()
+                .any(|i| matches!(i, Infeasibility::Theorem1 { .. })),
             "{v:?}"
         );
     }
@@ -223,7 +229,8 @@ mod tests {
         s.tcp_friendliness = 1.0; // cap is 3·0.1/(2·1.9) ≈ 0.079
         let v = infeasibilities_loss_based(&s, CT, None);
         assert!(
-            v.iter().any(|i| matches!(i, Infeasibility::Theorem2 { .. })),
+            v.iter()
+                .any(|i| matches!(i, Infeasibility::Theorem2 { .. })),
             "{v:?}"
         );
     }
@@ -236,7 +243,8 @@ mod tests {
         s.tcp_friendliness = 0.3;
         let v = infeasibilities_loss_based(&s, CT, None);
         assert!(
-            v.iter().any(|i| matches!(i, Infeasibility::Theorem3 { .. })),
+            v.iter()
+                .any(|i| matches!(i, Infeasibility::Theorem3 { .. })),
             "{v:?}"
         );
         // The same friendliness without robustness is fine (Theorem 2's

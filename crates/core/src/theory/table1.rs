@@ -394,7 +394,12 @@ mod tests {
 
     #[test]
     fn bin_reduces_to_aimd_at_k0_l1() {
-        let bin = ProtocolSpec::Bin { a: 1.0, b: 0.5, k: 0.0, l: 1.0 };
+        let bin = ProtocolSpec::Bin {
+            a: 1.0,
+            b: 0.5,
+            k: 0.0,
+            l: 1.0,
+        };
         let aimd = ProtocolSpec::RENO;
         assert!((bin.efficiency(C, TAU) - aimd.efficiency(C, TAU)).abs() < 1e-12);
         assert!((bin.loss_bound(C, TAU, 3.0) - aimd.loss_bound(C, TAU, 3.0)).abs() < 1e-12);
@@ -404,7 +409,12 @@ mod tests {
     #[test]
     fn bin_with_positive_k_not_fast_utilizing() {
         // IIAD: k=1, l=0.
-        let iiad = ProtocolSpec::Bin { a: 1.0, b: 0.5, k: 1.0, l: 0.0 };
+        let iiad = ProtocolSpec::Bin {
+            a: 1.0,
+            b: 0.5,
+            k: 1.0,
+            l: 0.0,
+        };
         assert_eq!(iiad.fast_utilization_worst(), 0.0);
         // l + k = 1 ⇒ friendly bound √(3/2)·(b/a)^{1/2}.
         let expect = (1.5f64).sqrt() * (0.5f64).powf(0.5);
@@ -414,7 +424,12 @@ mod tests {
     #[test]
     fn bin_below_friendliness_threshold() {
         // l + k < 1 ⇒ not TCP-friendly at all.
-        let bin = ProtocolSpec::Bin { a: 1.0, b: 0.5, k: 0.25, l: 0.25 };
+        let bin = ProtocolSpec::Bin {
+            a: 1.0,
+            b: 0.5,
+            k: 0.25,
+            l: 0.25,
+        };
         assert_eq!(bin.tcp_friendliness_worst(), 0.0);
         assert_eq!(bin.tcp_friendliness(C, TAU), 0.0);
     }
@@ -424,7 +439,13 @@ mod tests {
         // Gentler increase (larger k) ⇒ smaller overshoot ⇒ less loss,
         // when the fair share (C+τ)/n exceeds 1 MSS.
         let lb = |k: f64| {
-            ProtocolSpec::Bin { a: 1.0, b: 0.5, k, l: 1.0 }.loss_bound(C, TAU, 4.0)
+            ProtocolSpec::Bin {
+                a: 1.0,
+                b: 0.5,
+                k,
+                l: 1.0,
+            }
+            .loss_bound(C, TAU, 4.0)
         };
         assert!(lb(0.0) > lb(0.5));
         assert!(lb(0.5) > lb(1.0));
@@ -463,7 +484,11 @@ mod tests {
     #[test]
     fn robust_aimd_friendliness_below_reno_aimd_counterpart() {
         // Theorem 3 vs Theorem 2: tolerating loss costs friendliness.
-        let r = ProtocolSpec::RobustAimd { a: 1.0, b: 0.5, eps: 0.01 };
+        let r = ProtocolSpec::RobustAimd {
+            a: 1.0,
+            b: 0.5,
+            eps: 0.01,
+        };
         let aimd = ProtocolSpec::Aimd { a: 1.0, b: 0.5 };
         assert!(r.tcp_friendliness(C, TAU) < aimd.tcp_friendliness(C, TAU));
     }
@@ -486,7 +511,12 @@ mod tests {
             ProtocolSpec::SCALABLE_MIMD,
             ProtocolSpec::CUBIC_LINUX,
             ProtocolSpec::ROBUST_AIMD_TABLE2,
-            ProtocolSpec::Bin { a: 1.0, b: 0.5, k: 1.0, l: 0.0 },
+            ProtocolSpec::Bin {
+                a: 1.0,
+                b: 0.5,
+                k: 1.0,
+                l: 0.0,
+            },
         ] {
             let row = spec.scores(C, TAU, 3.0);
             let wc = spec.scores_worst();

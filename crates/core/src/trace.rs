@@ -134,10 +134,7 @@ impl RunTrace {
         out.push_str("step");
         for (i, s) in self.senders.iter().enumerate() {
             let name = s.protocol.replace(',', ";");
-            let _ = write!(
-                out,
-                ",s{i}_window({name}),s{i}_loss,s{i}_rtt,s{i}_goodput"
-            );
+            let _ = write!(out, ",s{i}_window({name}),s{i}_loss,s{i}_rtt,s{i}_goodput");
         }
         out.push_str(",total_window,link_rtt,link_loss\n");
         for t in 0..self.len() {
@@ -178,7 +175,9 @@ impl RunTrace {
             }
             for (t, &w) in s.window.iter().enumerate() {
                 if !(0.0..=max_window).contains(&w) {
-                    return Err(format!("sender {i} window {w} out of [0,{max_window}] at t={t}"));
+                    return Err(format!(
+                        "sender {i} window {w} out of [0,{max_window}] at t={t}"
+                    ));
                 }
             }
             for (t, &l) in s.loss.iter().enumerate() {

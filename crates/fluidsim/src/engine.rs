@@ -1,13 +1,14 @@
 //! The simulation loop: synchronized discrete-time dynamics (Section 2).
 
-use crate::loss::{compose_loss, sample_loss_fraction};
+use crate::loss::{compose_loss, sample_loss_fraction, LossProcess};
 use crate::scenario::{FeedbackMode, Scenario};
 use axcc_core::protocol::clamp_window;
-use axcc_core::{Observation, RunTrace, SenderTrace};
+use axcc_core::{Observation, RunTrace, ScenarioError, SenderTrace};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-/// Run a scenario to completion, producing the full trace.
+/// Run a scenario to completion, producing the full trace, or a typed
+/// error for an invalid configuration or a numerically divergent run.
 ///
 /// At each step `t`:
 ///
@@ -18,15 +19,15 @@ use rand_chacha::ChaCha8Rng;
 /// 3. each active sender's wire loss is sampled and composed with the
 ///    congestion loss; the sender's protocol observes its window, composed
 ///    loss, RTT and running min-RTT, and selects the next window;
-/// 4. the requested windows are clamped to `[0, M]` and become `x̄^(t+1)`.
+/// 4. the requested windows are checked for divergence (a NaN or infinite
+///    request aborts with [`ScenarioError::NumericalDivergence`] rather
+///    than emitting a garbage trace), clamped to `[0, M]`, and become
+///    `x̄^(t+1)`.
 ///
 /// Senders that have not yet entered are recorded with zero window and
 /// goodput so traces stay rectangular.
-///
-/// # Panics
-///
-/// Panics if the scenario has no senders (there is nothing to simulate).
-pub fn run_scenario(scenario: Scenario) -> RunTrace {
+pub fn try_run_scenario(scenario: Scenario) -> Result<RunTrace, ScenarioError> {
+    scenario.validate()?;
     let Scenario {
         link,
         mut senders,
@@ -37,7 +38,6 @@ pub fn run_scenario(scenario: Scenario) -> RunTrace {
         bandwidth_changes,
         feedback,
     } = scenario;
-    assert!(!senders.is_empty(), "scenario needs at least one sender");
 
     // The active link: bandwidth may change mid-run (an extension of the
     // paper's static model; see `Scenario::bandwidth_change`). Propagation
@@ -48,6 +48,7 @@ pub fn run_scenario(scenario: Scenario) -> RunTrace {
 
     let n = senders.len();
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut wire_loss = LossProcess::new(loss_model, n);
 
     let mut windows: Vec<f64> = vec![0.0; n];
     let mut started: Vec<bool> = vec![false; n];
@@ -55,9 +56,7 @@ pub fn run_scenario(scenario: Scenario) -> RunTrace {
 
     let mut traces: Vec<SenderTrace> = senders
         .iter()
-        .map(|s| {
-            SenderTrace::with_capacity(s.protocol.name(), s.protocol.loss_based(), steps)
-        })
+        .map(|s| SenderTrace::with_capacity(s.protocol.name(), s.protocol.loss_based(), steps))
         .collect();
     let mut total_col = Vec::with_capacity(steps);
     let mut rtt_col = Vec::with_capacity(steps);
@@ -101,7 +100,7 @@ pub fn run_scenario(scenario: Scenario) -> RunTrace {
                 traces[i].goodput.push(0.0);
                 continue;
             }
-            let wire = loss_model.sample(&mut rng, windows[i]);
+            let wire = wire_loss.sample(&mut rng, i, windows[i]);
             let observed_congestion = match feedback {
                 FeedbackMode::Synchronized => congestion_loss,
                 FeedbackMode::PerPacket => {
@@ -125,6 +124,14 @@ pub fn run_scenario(scenario: Scenario) -> RunTrace {
                 min_rtt: min_rtts[i],
             };
             let requested = senders[i].protocol.next_window(&obs);
+            if !requested.is_finite() {
+                return Err(ScenarioError::NumericalDivergence {
+                    step: t,
+                    sender: i,
+                    context: "requested window",
+                    value: requested,
+                });
+            }
             windows[i] = clamp_window(requested, max_window);
         }
     }
@@ -138,7 +145,20 @@ pub fn run_scenario(scenario: Scenario) -> RunTrace {
         seed,
     };
     debug_assert_eq!(trace.validate(max_window), Ok(()));
-    trace
+    Ok(trace)
+}
+
+/// Run a scenario to completion, producing the full trace.
+///
+/// Legacy panicking wrapper over [`try_run_scenario`]: the panic message
+/// is the [`ScenarioError`] display string, preserving the historical
+/// messages ("scenario needs at least one sender", …).
+///
+/// # Panics
+///
+/// Panics on an invalid scenario or a numerically divergent run.
+pub fn run_scenario(scenario: Scenario) -> RunTrace {
+    try_run_scenario(scenario).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
@@ -254,6 +274,34 @@ mod tests {
     }
 
     #[test]
+    fn deterministic_per_seed_with_bursty_loss() {
+        let run = |seed| {
+            Scenario::new(link())
+                .homogeneous(&Aimd::reno(), 2, 2.0)
+                .wire_loss(LossModel::bursty(0.01, 8.0, 0.2))
+                .seed(seed)
+                .steps(500)
+                .run()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn bursty_loss_reaches_the_senders() {
+        // The composed per-sender loss column must show wire loss above
+        // the congestion floor in bad-state steps.
+        let trace = Scenario::new(link())
+            .homogeneous(&Aimd::reno(), 1, 1.0)
+            .wire_loss(LossModel::bursty(0.02, 8.0, 0.2))
+            .seed(3)
+            .steps(1000)
+            .run();
+        let lossy = trace.senders[0].loss.iter().filter(|&&l| l >= 0.19).count();
+        assert!(lossy > 10, "bad-state steps observed: {lossy}");
+    }
+
+    #[test]
     fn robustness_scenario_robust_aimd_escapes_reno_collapses() {
         // Metric VI: infinite capacity (huge link), constant 0.5% loss.
         let big = LinkParams::new(1.0e9, 0.05, 1.0e9);
@@ -280,13 +328,14 @@ mod tests {
             .steps(1500)
             .run();
         let tail = trace.tail_start(0.5);
-        let inflation =
-            axcc_core::axioms::latency::measured_latency_inflation(&trace, tail);
+        let inflation = axcc_core::axioms::latency::measured_latency_inflation(&trace, tail);
         // 2 senders × β = 4 packets of standing queue over C = 100:
         // inflation ≈ 8% worst case.
         assert!(inflation < 0.12, "latency inflation {inflation}");
         // And no loss at all in the tail.
-        assert!(axcc_core::axioms::loss_avoidance::is_zero_loss(&trace, tail));
+        assert!(axcc_core::axioms::loss_avoidance::is_zero_loss(
+            &trace, tail
+        ));
     }
 
     #[test]
@@ -304,6 +353,93 @@ mod tests {
     #[should_panic(expected = "at least one sender")]
     fn empty_scenario_panics() {
         Scenario::new(link()).run();
+    }
+
+    /// A pathological protocol whose window arithmetic blows up after a
+    /// set number of steps — exercises the engine's divergence guard.
+    #[derive(Debug, Clone)]
+    struct DivergeAfter {
+        remaining: u64,
+        emit: f64,
+    }
+
+    impl axcc_core::Protocol for DivergeAfter {
+        fn name(&self) -> String {
+            "DivergeAfter".into()
+        }
+        fn next_window(&mut self, obs: &Observation) -> f64 {
+            if self.remaining == 0 {
+                self.emit
+            } else {
+                self.remaining -= 1;
+                obs.window + 1.0
+            }
+        }
+        fn loss_based(&self) -> bool {
+            true
+        }
+        fn reset(&mut self) {}
+        fn clone_box(&self) -> Box<dyn axcc_core::Protocol> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[test]
+    fn nan_window_is_caught_as_numerical_divergence() {
+        let err = Scenario::new(link())
+            .sender(SenderConfig::new(Box::new(DivergeAfter {
+                remaining: 5,
+                emit: f64::NAN,
+            })))
+            .steps(100)
+            .try_run()
+            .unwrap_err();
+        match err {
+            ScenarioError::NumericalDivergence {
+                step,
+                sender,
+                context,
+                value,
+            } => {
+                assert_eq!(step, 5);
+                assert_eq!(sender, 0);
+                assert_eq!(context, "requested window");
+                assert!(value.is_nan());
+            }
+            other => panic!("expected NumericalDivergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infinite_window_is_caught_as_numerical_divergence() {
+        let err = Scenario::new(link())
+            .sender(SenderConfig::new(Box::new(DivergeAfter {
+                remaining: 0,
+                emit: f64::INFINITY,
+            })))
+            .steps(10)
+            .try_run()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ScenarioError::NumericalDivergence {
+                step: 0,
+                sender: 0,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "numerical divergence")]
+    fn run_panics_on_divergence_with_diagnostic_message() {
+        Scenario::new(link())
+            .sender(SenderConfig::new(Box::new(DivergeAfter {
+                remaining: 2,
+                emit: f64::NAN,
+            })))
+            .steps(10)
+            .run();
     }
 
     #[test]
@@ -381,6 +517,25 @@ mod tests {
         // New C = 200, threshold 220: the sawtooth mean should exceed the
         // old threshold of 120.
         assert!(tail_mean > 140.0, "tail mean {tail_mean}");
+    }
+
+    #[test]
+    fn outage_collapses_goodput_then_recovers() {
+        // A 100-step outage: total goodput during the blackout is a
+        // trickle; after recovery the sender re-fills the pipe.
+        let trace = Scenario::new(link())
+            .homogeneous(&Aimd::reno(), 1, 1.0)
+            .outage(500, 600)
+            .steps(1500)
+            .run();
+        let during = axcc_core::trace::mean(&trace.senders[0].goodput[520..600]);
+        let after = axcc_core::trace::mean(&trace.senders[0].goodput[1200..]);
+        // During the outage the residual bandwidth (and the ballooned RTT)
+        // cap goodput at a trickle — the buffer still holds a standing
+        // window, so the *window* barely moves, but deliveries stop…
+        assert!(during < 1.0, "mean goodput during outage {during}");
+        // …and afterwards the sawtooth refills the nominal 1000 MSS/s pipe.
+        assert!(after > 500.0, "mean goodput after recovery {after}");
     }
 
     #[test]

@@ -13,7 +13,12 @@
 //!   connections";
 //! * **non-congestion loss injection** ([`loss::LossModel`]) — the
 //!   constant/random wire loss of Metric VI and the PCC motivating
-//!   scenario, driven by a seeded ChaCha8 RNG so every run is reproducible;
+//!   scenario, plus Gilbert–Elliott bursty loss and link outages for the
+//!   adverse-network gauntlet, all driven by a seeded ChaCha8 RNG so every
+//!   run is reproducible;
+//! * **typed errors** — [`Scenario::try_run`] returns
+//!   [`ScenarioError`](axcc_core::ScenarioError) for invalid
+//!   configurations and numerically divergent runs instead of panicking;
 //! * **trace recording** — the engine emits the [`RunTrace`] consumed by
 //!   every axiom evaluator in `axcc-core` / `axcc-analysis`.
 //!
@@ -38,15 +43,16 @@
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod engine;
 pub mod loss;
 pub mod network;
 mod scenario;
 
-pub use engine::run_scenario;
+pub use engine::{run_scenario, try_run_scenario};
+pub use loss::{LossModel, LossProcess};
 pub use network::{FlowConfig, NetScenario, NetTrace, Topology};
-pub use loss::LossModel;
 pub use scenario::{FeedbackMode, Scenario, SenderConfig};
 
-pub use axcc_core::{LinkParams, RunTrace, SenderTrace};
+pub use axcc_core::{LinkParams, RunTrace, ScenarioError, SenderTrace};

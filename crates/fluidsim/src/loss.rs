@@ -12,7 +12,7 @@
 //! L_eff = 1 − (1 − L_congestion) · (1 − L_wire)
 //! ```
 //!
-//! Two wire-loss models are provided:
+//! Three wire-loss models are provided:
 //!
 //! * [`LossModel::Constant`] — every step experiences exactly the given
 //!   rate; this is the literal reading of the axiom and is fully
@@ -22,6 +22,18 @@
 //!   rate abstracts. Small windows then see *bursty* loss (often 0,
 //!   occasionally ≥ 1 packet), which is exactly what breaks TCP in
 //!   practice and makes the robustness experiments more faithful.
+//! * [`LossModel::GilbertElliott`] — a two-state Markov chain per sender:
+//!   a mostly-clean *good* state and a lossy *bad* state with geometric
+//!   sojourn times. This is the classic model of *correlated* loss
+//!   (wireless fades, microwave links, interference bursts) and the
+//!   substrate of the adverse-network gauntlet: uniform and bursty models
+//!   share a mean rate but stress protocols very differently.
+//!
+//! Gilbert–Elliott is *stateful* (the chain's state persists across
+//! steps), so sampling goes through [`LossProcess`], which owns one chain
+//! per sender. The stateless variants pass through unchanged — their RNG
+//! draw sequences are identical to the pre-fault-layer engine, keeping
+//! old seeds bit-compatible.
 
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
@@ -43,36 +55,153 @@ pub enum LossModel {
         /// Per-packet drop probability, in `[0, 1)`.
         rate: f64,
     },
+    /// Two-state Markov (Gilbert–Elliott) bursty loss. Each sender carries
+    /// its own chain; per step the chain's current state emits its loss
+    /// rate, then transitions.
+    GilbertElliott {
+        /// P(good → bad) per step, in `[0, 1]`.
+        p_enter: f64,
+        /// P(bad → good) per step, in `(0, 1]`. Mean burst length is
+        /// `1/p_exit` steps.
+        p_exit: f64,
+        /// Loss rate emitted in the good state, in `[0, 1)` (usually 0).
+        loss_good: f64,
+        /// Loss rate emitted in the bad state, in `[0, 1)`.
+        loss_bad: f64,
+    },
 }
 
 impl LossModel {
-    /// The wire-loss fraction a sender with window `window` experiences
-    /// this step. `rng` is only consulted by the [`LossModel::Bernoulli`]
-    /// variant, keeping [`LossModel::None`]/[`LossModel::Constant`] runs
-    /// bit-for-bit deterministic.
-    pub fn sample(&self, rng: &mut ChaCha8Rng, window: f64) -> f64 {
-        match *self {
-            LossModel::None => 0.0,
-            LossModel::Constant { rate } => rate,
-            LossModel::Bernoulli { rate } => sample_loss_fraction(rng, window, rate),
+    /// A Gilbert–Elliott model parameterized the way experiments think
+    /// about it: a long-run `mean_rate`, a mean burst length of
+    /// `burst_len` steps, and a bad-state loss rate `loss_bad`
+    /// (good state is clean).
+    ///
+    /// Solving the stationary distribution `π_bad = p_enter/(p_enter+p_exit)`:
+    /// `π_bad = mean_rate/loss_bad`, `p_exit = 1/burst_len`, and
+    /// `p_enter = π_bad·p_exit/(1−π_bad)`.
+    ///
+    /// With `burst_len = 1` the chain has no memory beyond a single step —
+    /// the closest GE analogue of uniform loss — so sweeping `burst_len`
+    /// at fixed `mean_rate` isolates *burstiness* as the experimental
+    /// variable.
+    pub fn bursty(mean_rate: f64, burst_len: f64, loss_bad: f64) -> Self {
+        let pi_bad = if loss_bad > 0.0 {
+            mean_rate / loss_bad
+        } else {
+            f64::NAN
+        };
+        let p_exit = if burst_len > 0.0 {
+            1.0 / burst_len
+        } else {
+            f64::NAN
+        };
+        let p_enter = pi_bad * p_exit / (1.0 - pi_bad);
+        LossModel::GilbertElliott {
+            p_enter,
+            p_exit,
+            loss_good: 0.0,
+            loss_bad,
         }
     }
 
-    /// The model's nominal rate (0 for [`LossModel::None`]).
+    /// The model's long-run mean rate (0 for [`LossModel::None`]).
     pub fn nominal_rate(&self) -> f64 {
         match *self {
             LossModel::None => 0.0,
             LossModel::Constant { rate } | LossModel::Bernoulli { rate } => rate,
+            LossModel::GilbertElliott {
+                p_enter,
+                p_exit,
+                loss_good,
+                loss_bad,
+            } => {
+                let pi_bad = p_enter / (p_enter + p_exit);
+                pi_bad * loss_bad + (1.0 - pi_bad) * loss_good
+            }
         }
     }
 
-    /// Validate the model's parameters (rates must be in `[0, 1)`).
+    /// Validate the model's parameters.
     pub fn validate(&self) -> Result<(), String> {
-        let r = self.nominal_rate();
-        if (0.0..1.0).contains(&r) {
-            Ok(())
-        } else {
-            Err(format!("wire loss rate {r} outside [0,1)"))
+        let rate_ok = |r: f64| (0.0..1.0).contains(&r);
+        match *self {
+            LossModel::None => Ok(()),
+            LossModel::Constant { rate } | LossModel::Bernoulli { rate } => {
+                if rate_ok(rate) {
+                    Ok(())
+                } else {
+                    Err(format!("wire loss rate {rate} outside [0,1)"))
+                }
+            }
+            LossModel::GilbertElliott {
+                p_enter,
+                p_exit,
+                loss_good,
+                loss_bad,
+            } => {
+                if !(0.0..=1.0).contains(&p_enter) || !p_enter.is_finite() {
+                    return Err(format!("Gilbert-Elliott p_enter {p_enter} outside [0,1]"));
+                }
+                if !(p_exit > 0.0 && p_exit <= 1.0) {
+                    return Err(format!("Gilbert-Elliott p_exit {p_exit} outside (0,1]"));
+                }
+                if !rate_ok(loss_good) {
+                    return Err(format!(
+                        "Gilbert-Elliott loss_good {loss_good} outside [0,1)"
+                    ));
+                }
+                if !rate_ok(loss_bad) {
+                    return Err(format!("Gilbert-Elliott loss_bad {loss_bad} outside [0,1)"));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The runtime sampler for a [`LossModel`]: owns the per-sender
+/// Gilbert–Elliott chain states (all chains start in the good state).
+///
+/// For the stateless variants this is a zero-state pass-through whose RNG
+/// consumption exactly matches the historical engine: `None`/`Constant`
+/// never draw, `Bernoulli` draws per packet. Gilbert–Elliott draws exactly
+/// one transition uniform per sampled step.
+#[derive(Debug, Clone)]
+pub struct LossProcess {
+    model: LossModel,
+    /// Per-sender "currently in bad state" flags (Gilbert–Elliott only).
+    in_bad: Vec<bool>,
+}
+
+impl LossProcess {
+    /// A process for `model` serving `n_senders` independent chains.
+    pub fn new(model: LossModel, n_senders: usize) -> Self {
+        LossProcess {
+            model,
+            in_bad: vec![false; n_senders],
+        }
+    }
+
+    /// The wire-loss fraction sender `sender` with window `window`
+    /// experiences this step.
+    pub fn sample(&mut self, rng: &mut ChaCha8Rng, sender: usize, window: f64) -> f64 {
+        match self.model {
+            LossModel::None => 0.0,
+            LossModel::Constant { rate } => rate,
+            LossModel::Bernoulli { rate } => sample_loss_fraction(rng, window, rate),
+            LossModel::GilbertElliott {
+                p_enter,
+                p_exit,
+                loss_good,
+                loss_bad,
+            } => {
+                let bad = self.in_bad[sender];
+                let emitted = if bad { loss_bad } else { loss_good };
+                let u = rng.gen::<f64>();
+                self.in_bad[sender] = if bad { u >= p_exit } else { u < p_enter };
+                emitted
+            }
         }
     }
 }
@@ -136,10 +265,14 @@ mod tests {
         ChaCha8Rng::seed_from_u64(seed)
     }
 
+    fn one(model: LossModel, r: &mut ChaCha8Rng, window: f64) -> f64 {
+        LossProcess::new(model, 1).sample(r, 0, window)
+    }
+
     #[test]
     fn none_is_zero() {
         let mut r = rng(1);
-        assert_eq!(LossModel::None.sample(&mut r, 100.0), 0.0);
+        assert_eq!(one(LossModel::None, &mut r, 100.0), 0.0);
         assert_eq!(LossModel::None.nominal_rate(), 0.0);
     }
 
@@ -148,42 +281,44 @@ mod tests {
         let mut r = rng(1);
         let m = LossModel::Constant { rate: 0.01 };
         for w in [0.5, 1.0, 100.0, 1e6] {
-            assert_eq!(m.sample(&mut r, w), 0.01);
+            assert_eq!(one(m, &mut r, w), 0.01);
         }
     }
 
     #[test]
     fn bernoulli_mean_converges_to_rate() {
         let mut r = rng(42);
-        let m = LossModel::Bernoulli { rate: 0.05 };
+        let mut p = LossProcess::new(LossModel::Bernoulli { rate: 0.05 }, 1);
         let trials = 4000;
-        let mean: f64 = (0..trials).map(|_| m.sample(&mut r, 100.0)).sum::<f64>() / trials as f64;
+        let mean: f64 =
+            (0..trials).map(|_| p.sample(&mut r, 0, 100.0)).sum::<f64>() / trials as f64;
         assert!((mean - 0.05).abs() < 0.005, "mean {mean}");
     }
 
     #[test]
     fn bernoulli_large_window_normal_path() {
         let mut r = rng(7);
-        let m = LossModel::Bernoulli { rate: 0.01 };
+        let mut p = LossProcess::new(LossModel::Bernoulli { rate: 0.01 }, 1);
         let trials = 2000;
-        let mean: f64 =
-            (0..trials).map(|_| m.sample(&mut r, 50_000.0)).sum::<f64>() / trials as f64;
+        let mean: f64 = (0..trials)
+            .map(|_| p.sample(&mut r, 0, 50_000.0))
+            .sum::<f64>()
+            / trials as f64;
         assert!((mean - 0.01).abs() < 0.001, "mean {mean}");
     }
 
     #[test]
     fn bernoulli_zero_window_is_lossless() {
         let mut r = rng(3);
-        let m = LossModel::Bernoulli { rate: 0.5 };
-        assert_eq!(m.sample(&mut r, 0.0), 0.0);
+        assert_eq!(one(LossModel::Bernoulli { rate: 0.5 }, &mut r, 0.0), 0.0);
     }
 
     #[test]
     fn bernoulli_small_window_is_bursty() {
         // With w = 2 and rate 0.05 most steps see zero loss, a few see 50%+.
         let mut r = rng(9);
-        let m = LossModel::Bernoulli { rate: 0.05 };
-        let samples: Vec<f64> = (0..500).map(|_| m.sample(&mut r, 2.0)).collect();
+        let mut p = LossProcess::new(LossModel::Bernoulli { rate: 0.05 }, 1);
+        let samples: Vec<f64> = (0..500).map(|_| p.sample(&mut r, 0, 2.0)).collect();
         let zeros = samples.iter().filter(|&&s| s == 0.0).count();
         let bursts = samples.iter().filter(|&&s| s >= 0.5).count();
         assert!(zeros > 400, "zeros {zeros}");
@@ -193,9 +328,9 @@ mod tests {
     #[test]
     fn sample_never_reaches_one() {
         let mut r = rng(11);
-        let m = LossModel::Bernoulli { rate: 0.99 };
+        let mut p = LossProcess::new(LossModel::Bernoulli { rate: 0.99 }, 1);
         for _ in 0..200 {
-            assert!(m.sample(&mut r, 3.0) < 1.0);
+            assert!(p.sample(&mut r, 0, 3.0) < 1.0);
         }
     }
 
@@ -213,8 +348,10 @@ mod tests {
         let m = LossModel::Bernoulli { rate: 0.1 };
         let mut r1 = rng(5);
         let mut r2 = rng(5);
+        let mut p1 = LossProcess::new(m, 1);
+        let mut p2 = LossProcess::new(m, 1);
         for _ in 0..100 {
-            assert_eq!(m.sample(&mut r1, 50.0), m.sample(&mut r2, 50.0));
+            assert_eq!(p1.sample(&mut r1, 0, 50.0), p2.sample(&mut r2, 0, 50.0));
         }
     }
 
@@ -224,5 +361,98 @@ mod tests {
         assert!(LossModel::Constant { rate: 1.0 }.validate().is_err());
         assert!(LossModel::Bernoulli { rate: -0.1 }.validate().is_err());
         assert!(LossModel::None.validate().is_ok());
+    }
+
+    #[test]
+    fn gilbert_elliott_validation() {
+        assert!(LossModel::bursty(0.01, 8.0, 0.2).validate().is_ok());
+        // Mean rate above loss_bad is unrealizable (π_bad would exceed 1).
+        assert!(LossModel::bursty(0.3, 8.0, 0.2).validate().is_err());
+        assert!(LossModel::GilbertElliott {
+            p_enter: 0.1,
+            p_exit: 0.0,
+            loss_good: 0.0,
+            loss_bad: 0.5
+        }
+        .validate()
+        .is_err());
+        assert!(LossModel::GilbertElliott {
+            p_enter: -0.1,
+            p_exit: 0.5,
+            loss_good: 0.0,
+            loss_bad: 0.5
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn bursty_constructor_hits_requested_mean() {
+        for (mean, burst) in [(0.01, 1.0), (0.01, 8.0), (0.05, 16.0)] {
+            let m = LossModel::bursty(mean, burst, 0.2);
+            m.validate().unwrap();
+            assert!(
+                (m.nominal_rate() - mean).abs() < 1e-12,
+                "nominal {} vs requested {mean}",
+                m.nominal_rate()
+            );
+        }
+    }
+
+    #[test]
+    fn gilbert_elliott_long_run_rate_matches_stationary() {
+        let m = LossModel::bursty(0.02, 8.0, 0.25);
+        let mut r = rng(17);
+        let mut p = LossProcess::new(m, 1);
+        let steps = 200_000;
+        let mean: f64 = (0..steps).map(|_| p.sample(&mut r, 0, 100.0)).sum::<f64>() / steps as f64;
+        assert!((mean - 0.02).abs() < 0.003, "long-run mean {mean}");
+    }
+
+    #[test]
+    fn gilbert_elliott_emits_bursts_not_uniform_dust() {
+        // With burst_len = 10 the loss arrives in runs of bad-state steps.
+        let m = LossModel::bursty(0.02, 10.0, 0.2);
+        let mut r = rng(23);
+        let mut p = LossProcess::new(m, 1);
+        let samples: Vec<f64> = (0..20_000).map(|_| p.sample(&mut r, 0, 50.0)).collect();
+        // Count maximal runs of lossy steps and their mean length.
+        let mut runs = Vec::new();
+        let mut current = 0usize;
+        for &s in &samples {
+            if s > 0.0 {
+                current += 1;
+            } else if current > 0 {
+                runs.push(current);
+                current = 0;
+            }
+        }
+        if current > 0 {
+            runs.push(current);
+        }
+        assert!(!runs.is_empty());
+        let mean_run = runs.iter().sum::<usize>() as f64 / runs.len() as f64;
+        assert!(
+            (mean_run - 10.0).abs() < 2.5,
+            "mean burst length {mean_run}, expected ~10"
+        );
+    }
+
+    #[test]
+    fn gilbert_elliott_chains_are_per_sender() {
+        // Two senders' chains evolve independently: their loss sequences
+        // must differ (each consumes its own transition draws).
+        let m = LossModel::bursty(0.05, 5.0, 0.5);
+        let mut r = rng(31);
+        let mut p = LossProcess::new(m, 2);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for _ in 0..5000 {
+            a.push(p.sample(&mut r, 0, 10.0));
+            b.push(p.sample(&mut r, 1, 10.0));
+        }
+        assert_ne!(a, b);
+        assert!(a.iter().any(|&x| x > 0.0));
+        assert!(b.iter().any(|&x| x > 0.0));
     }
 }

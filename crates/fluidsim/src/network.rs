@@ -88,7 +88,10 @@ impl FlowConfig {
     ///
     /// Panics on negative or non-finite values.
     pub fn initial_window(mut self, w: f64) -> Self {
-        assert!(w.is_finite() && w >= 0.0, "initial window must be finite and >= 0");
+        assert!(
+            w.is_finite() && w >= 0.0,
+            "initial window must be finite and >= 0"
+        );
         self.initial_window = w;
         self
     }
@@ -206,7 +209,10 @@ fn run_network(scenario: NetScenario) -> NetTrace {
         steps,
         max_window,
     } = scenario;
-    assert!(!flows.is_empty(), "network scenario needs at least one flow");
+    assert!(
+        !flows.is_empty(),
+        "network scenario needs at least one flow"
+    );
 
     let nf = flows.len();
     let nl = topology.num_links();
@@ -251,12 +257,7 @@ fn run_network(scenario: NetScenario) -> NetTrace {
         for (f, cfg) in flows.iter_mut().enumerate() {
             let base_rtt: f64 = cfg.path.iter().map(|&l| topology.links[l].min_rtt()).sum();
             let rtt: f64 = base_rtt + cfg.path.iter().map(|&l| qdelays[l]).sum::<f64>();
-            let loss = 1.0
-                - cfg
-                    .path
-                    .iter()
-                    .map(|&l| 1.0 - losses[l])
-                    .product::<f64>();
+            let loss = 1.0 - cfg.path.iter().map(|&l| 1.0 - losses[l]).product::<f64>();
             min_rtts[f] = min_rtts[f].min(rtt);
 
             let w = windows[f];
@@ -372,8 +373,7 @@ mod tests {
         // At every step the long flow's loss must equal the composition
         // of its links' losses.
         for t in 0..net.len() {
-            let expect =
-                1.0 - (1.0 - net.link_loss[0][t]) * (1.0 - net.link_loss[1][t]);
+            let expect = 1.0 - (1.0 - net.link_loss[0][t]) * (1.0 - net.link_loss[1][t]);
             assert!((net.flows[0].loss[t] - expect).abs() < 1e-12, "t={t}");
         }
     }
@@ -382,8 +382,16 @@ mod tests {
     fn base_rtt_sums_over_path() {
         let net = parking_lot_2();
         // Min RTT of the long flow is 2×(2Θ) = 0.2 s; short flows 0.1 s.
-        let long_min = net.flows[0].rtt.iter().copied().fold(f64::INFINITY, f64::min);
-        let short_min = net.flows[1].rtt.iter().copied().fold(f64::INFINITY, f64::min);
+        let long_min = net.flows[0]
+            .rtt
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let short_min = net.flows[1]
+            .rtt
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
         assert!((long_min - 0.2).abs() < 1e-9, "{long_min}");
         assert!((short_min - 0.1).abs() < 1e-9, "{short_min}");
     }

@@ -1,9 +1,9 @@
 //! Scenario description: link, senders, run length, loss injection.
 
 use crate::loss::LossModel;
-use serde::{Deserialize, Serialize};
 use axcc_core::protocol::MAX_WINDOW;
-use axcc_core::{LinkParams, Protocol, RunTrace};
+use axcc_core::{LinkParams, Protocol, RunTrace, ScenarioError};
+use serde::{Deserialize, Serialize};
 
 /// One sender in a scenario: a protocol, an initial window, and a start
 /// step (for late-joiner dynamics).
@@ -23,14 +23,10 @@ impl SenderConfig {
         }
     }
 
-    /// Set the initial congestion window `x_i^(0)` (MSS).
-    ///
-    /// # Panics
-    ///
-    /// Panics if negative or non-finite (the model picks initial windows in
-    /// `{0, 1, …, M}`).
+    /// Set the initial congestion window `x_i^(0)` (MSS). Must be finite
+    /// and non-negative (the model picks initial windows in `{0, 1, …, M}`);
+    /// violations surface from [`Scenario::validate`].
     pub fn initial_window(mut self, w: f64) -> Self {
-        assert!(w.is_finite() && w >= 0.0, "initial window must be finite and >= 0");
         self.initial_window = w;
         self
     }
@@ -63,7 +59,11 @@ pub enum FeedbackMode {
 }
 
 /// A complete simulation scenario. Build with the fluent methods, then
-/// [`run`](Scenario::run).
+/// [`run`](Scenario::run) (panics on invalid configuration) or
+/// [`try_run`](Scenario::try_run) (returns [`ScenarioError`]).
+///
+/// Setters are non-panicking: all validation is centralized in
+/// [`validate`](Scenario::validate), which both run paths call first.
 pub struct Scenario {
     pub(crate) link: LinkParams,
     pub(crate) senders: Vec<SenderConfig>,
@@ -104,42 +104,30 @@ impl Scenario {
     /// Metrics I–V).
     pub fn homogeneous(mut self, prototype: &dyn Protocol, n: usize, initial_window: f64) -> Self {
         for _ in 0..n {
-            self.senders.push(
-                SenderConfig::new(prototype.clone_box()).initial_window(initial_window),
-            );
+            self.senders
+                .push(SenderConfig::new(prototype.clone_box()).initial_window(initial_window));
         }
         self
     }
 
-    /// Set the number of time steps to simulate.
-    ///
-    /// # Panics
-    ///
-    /// Panics if zero.
+    /// Set the number of time steps to simulate (must be at least one;
+    /// checked by [`validate`](Scenario::validate)).
     pub fn steps(mut self, steps: usize) -> Self {
-        assert!(steps > 0, "scenario must run at least one step");
         self.steps = steps;
         self
     }
 
     /// Cap windows at `m` instead of the default `M` (mostly for tests).
-    ///
-    /// # Panics
-    ///
-    /// Panics if non-positive.
+    /// Must be positive; checked by [`validate`](Scenario::validate).
     pub fn max_window(mut self, m: f64) -> Self {
-        assert!(m > 0.0, "max window must be positive");
         self.max_window = m;
         self
     }
 
-    /// Apply a wire-loss model (Metric VI scenarios).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the model's parameters are invalid.
+    /// Apply a wire-loss model (Metric VI scenarios and the adverse-network
+    /// gauntlet). Parameter errors surface from
+    /// [`validate`](Scenario::validate).
     pub fn wire_loss(mut self, model: LossModel) -> Self {
-        model.validate().expect("invalid loss model");
         self.loss_model = model;
         self
     }
@@ -153,21 +141,28 @@ impl Scenario {
 
     /// Schedule a bandwidth change: from step `at_step` onwards the link
     /// serves `new_bandwidth` MSS/s (propagation delay and buffer are
-    /// unchanged, so the capacity `C = B·2Θ` moves with it).
+    /// unchanged, so the capacity `C = B·2Θ` moves with it). Must stay
+    /// positive; checked by [`validate`](Scenario::validate).
     ///
     /// This extends the paper's static model towards its "more realistic
     /// network model" future-work direction, and powers the
     /// *responsiveness* extension metric
     /// ([`axcc_core::axioms`] documents the paper's original eight).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `new_bandwidth ≤ 0`.
     pub fn bandwidth_change(mut self, at_step: u64, new_bandwidth: f64) -> Self {
-        assert!(new_bandwidth > 0.0, "bandwidth must stay positive");
         self.bandwidth_changes.push((at_step, new_bandwidth));
         self.bandwidth_changes.sort_by_key(|&(t, _)| t);
         self
+    }
+
+    /// Schedule a link outage: for steps in `[from_step, to_step)` the
+    /// bandwidth collapses to a residual trickle (10⁻⁶ of nominal — the
+    /// fluid model needs strictly positive bandwidth), then recovers to
+    /// the nominal rate. A fault-layer convenience over
+    /// [`bandwidth_change`](Scenario::bandwidth_change).
+    pub fn outage(self, from_step: u64, to_step: u64) -> Self {
+        let nominal = self.link.bandwidth;
+        self.bandwidth_change(from_step, nominal * 1e-6)
+            .bandwidth_change(to_step, nominal)
     }
 
     /// Select the congestion-feedback mode (default:
@@ -177,13 +172,68 @@ impl Scenario {
         self
     }
 
+    /// Check the full configuration. Both [`run`](Scenario::run) and
+    /// [`try_run`](Scenario::try_run) call this before simulating; it is
+    /// public so schedulers can validate scenarios they did not build.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        if self.senders.is_empty() {
+            return Err(ScenarioError::NoSenders);
+        }
+        if self.steps == 0 {
+            return Err(ScenarioError::InvalidParameter {
+                field: "steps",
+                value: 0.0,
+                constraint: "at least one step",
+            });
+        }
+        if !(self.max_window.is_finite() && self.max_window > 0.0) {
+            return Err(ScenarioError::InvalidParameter {
+                field: "max_window",
+                value: self.max_window,
+                constraint: "positive and finite",
+            });
+        }
+        self.loss_model
+            .validate()
+            .map_err(ScenarioError::InvalidLossModel)?;
+        for (i, cfg) in self.senders.iter().enumerate() {
+            if !(cfg.initial_window.is_finite() && cfg.initial_window >= 0.0) {
+                return Err(ScenarioError::InvalidSender {
+                    index: i,
+                    field: "initial_window",
+                    value: cfg.initial_window,
+                    constraint: "finite and >= 0",
+                });
+            }
+        }
+        for &(_, bw) in &self.bandwidth_changes {
+            if !(bw > 0.0 && bw.is_finite()) {
+                return Err(ScenarioError::InvalidParameter {
+                    field: "bandwidth_change",
+                    value: bw,
+                    constraint: "positive and finite (bandwidth must stay positive)",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute the scenario and return the trace, or a typed error for an
+    /// invalid configuration or a numerically divergent run.
+    pub fn try_run(self) -> Result<RunTrace, ScenarioError> {
+        crate::engine::try_run_scenario(self)
+    }
+
     /// Execute the scenario and return the trace.
     ///
     /// # Panics
     ///
-    /// Panics if the scenario has no senders.
+    /// Panics (with the [`ScenarioError`] message) on an invalid
+    /// configuration — e.g. no senders, zero steps, an out-of-range loss
+    /// model — or if the simulation diverges numerically. Use
+    /// [`try_run`](Scenario::try_run) to handle these as values.
     pub fn run(self) -> RunTrace {
-        crate::engine::run_scenario(self)
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -192,9 +242,13 @@ mod tests {
     use super::*;
     use axcc_protocols::Aimd;
 
+    fn link() -> LinkParams {
+        LinkParams::new(1000.0, 0.05, 20.0)
+    }
+
     #[test]
     fn builder_defaults() {
-        let s = Scenario::new(LinkParams::new(1000.0, 0.05, 20.0));
+        let s = Scenario::new(link());
         assert_eq!(s.steps, 1000);
         assert_eq!(s.seed, 0);
         assert!(matches!(s.loss_model, LossModel::None));
@@ -204,7 +258,7 @@ mod tests {
     #[test]
     fn homogeneous_clones_n_senders() {
         let reno = Aimd::reno();
-        let s = Scenario::new(LinkParams::new(1000.0, 0.05, 20.0)).homogeneous(&reno, 4, 2.0);
+        let s = Scenario::new(link()).homogeneous(&reno, 4, 2.0);
         assert_eq!(s.senders.len(), 4);
         for cfg in &s.senders {
             assert_eq!(cfg.initial_window, 2.0);
@@ -224,19 +278,97 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one step")]
     fn zero_steps_rejected() {
-        Scenario::new(LinkParams::new(1000.0, 0.05, 20.0)).steps(0);
+        Scenario::new(link())
+            .homogeneous(&Aimd::reno(), 1, 1.0)
+            .steps(0)
+            .run();
     }
 
     #[test]
-    #[should_panic(expected = "initial window")]
+    #[should_panic(expected = "initial_window")]
     fn negative_initial_window_rejected() {
-        SenderConfig::new(Box::new(Aimd::reno())).initial_window(-1.0);
+        Scenario::new(link())
+            .sender(SenderConfig::new(Box::new(Aimd::reno())).initial_window(-1.0))
+            .run();
     }
 
     #[test]
     #[should_panic(expected = "invalid loss model")]
     fn invalid_loss_model_rejected() {
-        Scenario::new(LinkParams::new(1000.0, 0.05, 20.0))
-            .wire_loss(LossModel::Constant { rate: 1.5 });
+        Scenario::new(link())
+            .homogeneous(&Aimd::reno(), 1, 1.0)
+            .wire_loss(LossModel::Constant { rate: 1.5 })
+            .run();
+    }
+
+    #[test]
+    fn try_run_returns_typed_errors_instead_of_panicking() {
+        let err = Scenario::new(link()).try_run().unwrap_err();
+        assert_eq!(err, ScenarioError::NoSenders);
+
+        let err = Scenario::new(link())
+            .homogeneous(&Aimd::reno(), 1, 1.0)
+            .steps(0)
+            .try_run()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ScenarioError::InvalidParameter { field: "steps", .. }
+        ));
+
+        let err = Scenario::new(link())
+            .homogeneous(&Aimd::reno(), 1, 1.0)
+            .wire_loss(LossModel::Bernoulli { rate: -0.5 })
+            .try_run()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::InvalidLossModel(_)));
+
+        let err = Scenario::new(link())
+            .homogeneous(&Aimd::reno(), 1, 1.0)
+            .max_window(0.0)
+            .try_run()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ScenarioError::InvalidParameter {
+                field: "max_window",
+                ..
+            }
+        ));
+
+        let err = Scenario::new(link())
+            .homogeneous(&Aimd::reno(), 1, 1.0)
+            .bandwidth_change(10, -5.0)
+            .try_run()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ScenarioError::InvalidParameter {
+                field: "bandwidth_change",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn validate_accepts_a_well_formed_scenario() {
+        let s = Scenario::new(link())
+            .homogeneous(&Aimd::reno(), 2, 1.0)
+            .wire_loss(LossModel::bursty(0.01, 8.0, 0.2))
+            .bandwidth_change(100, 500.0)
+            .steps(200);
+        assert_eq!(s.validate(), Ok(()));
+    }
+
+    #[test]
+    fn outage_schedules_collapse_and_recovery() {
+        let s = Scenario::new(link())
+            .homogeneous(&Aimd::reno(), 1, 1.0)
+            .outage(100, 150);
+        assert_eq!(s.bandwidth_changes.len(), 2);
+        assert_eq!(s.bandwidth_changes[0].0, 100);
+        assert!(s.bandwidth_changes[0].1 < 1.0);
+        assert_eq!(s.bandwidth_changes[1], (150, 1000.0));
+        assert_eq!(s.validate(), Ok(()));
     }
 }

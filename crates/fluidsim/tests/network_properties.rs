@@ -2,8 +2,8 @@
 //! topologies, paths and protocols, the composition laws must hold and the
 //! single-link case must reduce exactly to the paper's model.
 
-use axcc_fluidsim::{FlowConfig, NetScenario, Scenario, SenderConfig, Topology};
 use axcc_core::LinkParams;
+use axcc_fluidsim::{FlowConfig, NetScenario, Scenario, SenderConfig, Topology};
 use axcc_protocols::registry::resolve;
 use proptest::prelude::*;
 

@@ -1,13 +1,14 @@
 //! The discrete-event engine: scenario builder, main loop, trace sampling.
 
 use crate::event::{Event, EventQueue};
+use crate::faults::{FaultPlan, FaultState, WireLoss};
 use crate::queue::{DropTailQueue, Enqueue, QueuedPacket};
 use crate::red::{Red, RedConfig, RedVerdict};
 use crate::sender::{SendMode, Sender};
 use crate::stats::{FlowStats, QueueStats};
 use crate::time::Time;
 use axcc_core::protocol::MAX_WINDOW;
-use axcc_core::{LinkParams, Protocol, RunTrace, SenderTrace};
+use axcc_core::{LinkParams, Protocol, RunTrace, ScenarioError, SenderTrace};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -35,13 +36,9 @@ impl PacketSenderConfig {
     /// Add a per-flow access delay (seconds, one-way): the flow's
     /// feedback takes `2 × extra` longer than the bottleneck's own
     /// propagation, modeling heterogeneous RTTs — the substrate of the
-    /// classic RTT-unfairness experiments.
-    ///
-    /// # Panics
-    ///
-    /// Panics on negative or non-finite values.
+    /// classic RTT-unfairness experiments. Must be finite and `>= 0`
+    /// (checked by [`PacketScenario::validate`]).
     pub fn extra_delay_secs(mut self, d: f64) -> Self {
-        assert!(d.is_finite() && d >= 0.0, "extra delay must be finite and >= 0");
         self.extra_delay_secs = d;
         self
     }
@@ -55,35 +52,32 @@ impl PacketSenderConfig {
         self
     }
 
-    /// Set the initial congestion window (MSS).
-    ///
-    /// # Panics
-    ///
-    /// Panics on negative or non-finite values.
+    /// Set the initial congestion window (MSS). Must be finite and
+    /// `>= 0` (checked by [`PacketScenario::validate`]).
     pub fn initial_cwnd(mut self, w: f64) -> Self {
-        assert!(w.is_finite() && w >= 0.0, "initial cwnd must be finite and >= 0");
         self.initial_cwnd = w;
         self
     }
 
-    /// Delay the flow's start (seconds).
-    ///
-    /// # Panics
-    ///
-    /// Panics on negative or non-finite values.
+    /// Delay the flow's start (seconds). Must be finite and `>= 0`
+    /// (checked by [`PacketScenario::validate`]).
     pub fn start_at_secs(mut self, t: f64) -> Self {
-        assert!(t.is_finite() && t >= 0.0, "start time must be finite and >= 0");
         self.start_secs = t;
         self
     }
 }
 
-/// A packet-level scenario. Build fluently, then [`run`](PacketScenario::run).
+/// A packet-level scenario. Build fluently, then [`run`](PacketScenario::run)
+/// (panics on invalid configuration) or [`try_run`](PacketScenario::try_run)
+/// (returns [`ScenarioError`]).
+///
+/// Setters are non-panicking: all validation is centralized in
+/// [`validate`](PacketScenario::validate), which both run paths call first.
 pub struct PacketScenario {
     link: LinkParams,
     senders: Vec<PacketSenderConfig>,
     duration_secs: f64,
-    wire_loss_rate: f64,
+    faults: FaultPlan,
     seed: u64,
     sample_interval_secs: Option<f64>,
     max_window: f64,
@@ -92,14 +86,14 @@ pub struct PacketScenario {
 }
 
 impl PacketScenario {
-    /// A scenario on the given link: no flows yet, 10 s duration, no wire
-    /// loss, seed 0, sampling every minimum RTT.
+    /// A scenario on the given link: no flows yet, 10 s duration, no
+    /// faults, seed 0, sampling every minimum RTT.
     pub fn new(link: LinkParams) -> Self {
         PacketScenario {
             link,
             senders: Vec::new(),
             duration_secs: 10.0,
-            wire_loss_rate: 0.0,
+            faults: FaultPlan::new(),
             seed: 0,
             sample_interval_secs: None,
             max_window: MAX_WINDOW,
@@ -123,52 +117,46 @@ impl PacketScenario {
         self
     }
 
-    /// Simulated duration in seconds.
-    ///
-    /// # Panics
-    ///
-    /// Panics on non-positive values.
+    /// Simulated duration in seconds. Must be positive and finite
+    /// (checked by [`validate`](Self::validate)).
     pub fn duration_secs(mut self, d: f64) -> Self {
-        assert!(d > 0.0 && d.is_finite(), "duration must be positive");
         self.duration_secs = d;
         self
     }
 
     /// Per-packet Bernoulli wire-loss probability (non-congestion loss).
-    ///
-    /// # Panics
-    ///
-    /// Panics outside `[0, 1)`.
+    /// Shorthand for a fault plan whose data path is
+    /// [`WireLoss::Bernoulli`]; composes with other impairments set via
+    /// [`faults`](Self::faults) *before* this call (and is overwritten by
+    /// a later `faults` call).
     pub fn wire_loss(mut self, rate: f64) -> Self {
-        assert!((0.0..1.0).contains(&rate), "wire loss rate must be in [0,1)");
-        self.wire_loss_rate = rate;
+        self.faults.data_loss = WireLoss::Bernoulli { rate };
         self
     }
 
-    /// Seed the wire-loss RNG.
+    /// Install a full fault-injection plan (replaces any previous plan,
+    /// including [`wire_loss`](Self::wire_loss)).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Seed the fault-injection RNG.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
     }
 
     /// Override the trace sampling interval (default: one minimum RTT).
-    ///
-    /// # Panics
-    ///
-    /// Panics on non-positive values.
+    /// Must be positive and finite (checked by [`validate`](Self::validate)).
     pub fn sample_interval_secs(mut self, s: f64) -> Self {
-        assert!(s > 0.0 && s.is_finite(), "sample interval must be positive");
         self.sample_interval_secs = Some(s);
         self
     }
 
-    /// Cap congestion windows (the model's `M`).
-    ///
-    /// # Panics
-    ///
-    /// Panics on non-positive values.
+    /// Cap congestion windows (the model's `M`). Must be positive
+    /// (checked by [`validate`](Self::validate)).
     pub fn max_window(mut self, m: f64) -> Self {
-        assert!(m > 0.0, "max window must be positive");
         self.max_window = m;
         self
     }
@@ -178,17 +166,10 @@ impl PacketScenario {
     /// be dropped; senders treat delivered marks as congestion signals
     /// (RFC 3168 loss-equivalence). With a threshold well below the
     /// buffer, loss-based protocols operate *loss-free* at a short
-    /// standing queue — the in-network-queueing direction of §6.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the threshold exceeds the link's buffer.
+    /// standing queue — the in-network-queueing direction of §6. The
+    /// threshold must not exceed the link's buffer (checked by
+    /// [`validate`](Self::validate)).
     pub fn ecn_threshold(mut self, threshold: usize) -> Self {
-        assert!(
-            threshold as f64 <= self.link.buffer.round(),
-            "ECN threshold {threshold} exceeds buffer {}",
-            self.link.buffer
-        );
         self.ecn_threshold = Some(threshold);
         self
     }
@@ -196,32 +177,115 @@ impl PacketScenario {
     /// Enable RED at the bottleneck (random early drop/mark between the
     /// configured thresholds). Mutually exclusive with
     /// [`ecn_threshold`](Self::ecn_threshold) — they are alternative
-    /// disciplines for the same queue.
-    ///
-    /// # Panics
-    ///
-    /// Panics on invalid parameters or if step-marking ECN is also set.
+    /// disciplines for the same queue (checked by
+    /// [`validate`](Self::validate)).
     pub fn red(mut self, config: RedConfig) -> Self {
-        config.validate();
-        assert!(
-            self.ecn_threshold.is_none(),
-            "choose either RED or step-marking ECN, not both"
-        );
         self.red = Some(config);
         self
+    }
+
+    /// Check the full configuration. Both [`run`](Self::run) and
+    /// [`try_run`](Self::try_run) call this before simulating; it is
+    /// public so schedulers can validate scenarios they did not build.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        if self.senders.is_empty() {
+            return Err(ScenarioError::NoSenders);
+        }
+        if !(self.duration_secs > 0.0 && self.duration_secs.is_finite()) {
+            return Err(ScenarioError::InvalidParameter {
+                field: "duration_secs",
+                value: self.duration_secs,
+                constraint: "positive and finite",
+            });
+        }
+        if let Some(s) = self.sample_interval_secs {
+            if !(s > 0.0 && s.is_finite()) {
+                return Err(ScenarioError::InvalidParameter {
+                    field: "sample_interval_secs",
+                    value: s,
+                    constraint: "positive and finite",
+                });
+            }
+        }
+        if !(self.max_window.is_finite() && self.max_window > 0.0) {
+            return Err(ScenarioError::InvalidParameter {
+                field: "max_window",
+                value: self.max_window,
+                constraint: "positive and finite",
+            });
+        }
+        if let Some(threshold) = self.ecn_threshold {
+            if threshold as f64 > self.link.buffer.round() {
+                return Err(ScenarioError::InvalidParameter {
+                    field: "ecn_threshold",
+                    value: threshold as f64,
+                    constraint: "at most the link's buffer",
+                });
+            }
+        }
+        if let Some(red) = &self.red {
+            red.check()?;
+            if self.ecn_threshold.is_some() {
+                return Err(ScenarioError::ConflictingOptions {
+                    first: "RED",
+                    second: "step-marking ECN",
+                });
+            }
+        }
+        self.faults.validate()?;
+        for (i, sc) in self.senders.iter().enumerate() {
+            let sender_field = |field, value, constraint| ScenarioError::InvalidSender {
+                index: i,
+                field,
+                value,
+                constraint,
+            };
+            if !(sc.initial_cwnd.is_finite() && sc.initial_cwnd >= 0.0) {
+                return Err(sender_field(
+                    "initial_cwnd",
+                    sc.initial_cwnd,
+                    "finite and >= 0",
+                ));
+            }
+            if !(sc.start_secs.is_finite() && sc.start_secs >= 0.0) {
+                return Err(sender_field(
+                    "start_at_secs",
+                    sc.start_secs,
+                    "finite and >= 0",
+                ));
+            }
+            if !(sc.extra_delay_secs.is_finite() && sc.extra_delay_secs >= 0.0) {
+                return Err(sender_field(
+                    "extra_delay_secs",
+                    sc.extra_delay_secs,
+                    "finite and >= 0",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Run the scenario, or return a typed error for an invalid
+    /// configuration.
+    pub fn try_run(self) -> Result<SimOutput, ScenarioError> {
+        self.validate()?;
+        Ok(Engine::new(self).run())
     }
 
     /// Run the scenario.
     ///
     /// # Panics
     ///
-    /// Panics if no flows were added.
+    /// Panics (with the [`ScenarioError`] message) on an invalid
+    /// configuration. Use [`try_run`](Self::try_run) to handle errors as
+    /// values.
     pub fn run(self) -> SimOutput {
-        Engine::new(self).run()
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
 /// Result of a packet-level run: the sampled trace plus packet accounting.
+#[derive(Debug)]
 pub struct SimOutput {
     /// The sampled run trace (same shape as the fluid simulator's).
     pub trace: RunTrace,
@@ -259,7 +323,7 @@ struct Engine {
     events: EventQueue,
     queue: DropTailQueue,
     rng: ChaCha8Rng,
-    wire_loss_rate: f64,
+    faults: FaultState,
     serialization: Time,
     /// Per-flow feedback delay: bottleneck RTT floor plus the flow's own
     /// access delay (both directions).
@@ -287,14 +351,15 @@ struct Engine {
 }
 
 impl Engine {
+    /// Build the runtime from a scenario `PacketScenario::validate` has
+    /// already accepted.
     fn new(cfg: PacketScenario) -> Self {
-        assert!(!cfg.senders.is_empty(), "scenario needs at least one flow");
+        debug_assert_eq!(cfg.validate(), Ok(()));
         let link = cfg.link;
         let serialization = Time::from_secs_f64(1.0 / link.bandwidth);
         let feedback_delay = Time::from_secs_f64(link.min_rtt());
-        let sample_interval = Time::from_secs_f64(
-            cfg.sample_interval_secs.unwrap_or_else(|| link.min_rtt()),
-        );
+        let sample_interval =
+            Time::from_secs_f64(cfg.sample_interval_secs.unwrap_or_else(|| link.min_rtt()));
         let end = Time::from_secs_f64(cfg.duration_secs);
 
         let mut events = EventQueue::new();
@@ -315,7 +380,10 @@ impl Engine {
                 .push(feedback_delay + Time::from_secs_f64(2.0 * sc.extra_delay_secs));
             flow_rtt_floor.push(link.min_rtt() + 2.0 * sc.extra_delay_secs);
             traces.push(SenderTrace::with_capacity(name, loss_based, 256));
-            events.schedule(Time::from_secs_f64(sc.start_secs), Event::FlowStart { flow: i });
+            events.schedule(
+                Time::from_secs_f64(sc.start_secs),
+                Event::FlowStart { flow: i },
+            );
         }
         events.schedule(Time::ZERO, Event::Sample);
 
@@ -332,7 +400,7 @@ impl Engine {
                 }
             },
             rng: ChaCha8Rng::seed_from_u64(cfg.seed),
-            wire_loss_rate: cfg.wire_loss_rate,
+            faults: FaultState::new(cfg.faults),
             serialization,
             flow_feedback_delay,
             flow_rtt_floor,
@@ -372,7 +440,11 @@ impl Engine {
                     }
                 }
                 Event::QueueDeparture => self.on_departure(now),
-                Event::AckArrive { flow, sent_at, marked } => {
+                Event::AckArrive {
+                    flow,
+                    sent_at,
+                    marked,
+                } => {
                     self.accums[flow].acked += 1;
                     let rtt = now.saturating_since(sent_at).as_secs_f64();
                     self.accums[flow].rtt_sum += rtt;
@@ -430,6 +502,7 @@ impl Engine {
             dropped: self.queue.total_dropped() + self.red_dropped,
             max_depth: self.queue.max_depth(),
             wire_lost: self.wire_lost,
+            ack_lost: self.faults.ack_lost,
             marked: self.queue.total_marked() + self.red_marked,
         };
         let flows: Vec<FlowStats> = self.senders.iter().map(|s| s.stats).collect();
@@ -494,8 +567,8 @@ impl Engine {
         }
         match self.queue.offer(pkt) {
             Enqueue::StartService => {
-                self.events
-                    .schedule(now + self.serialization, Event::QueueDeparture);
+                let ser = self.serialization_at(now);
+                self.events.schedule(now + ser, Event::QueueDeparture);
             }
             Enqueue::Buffered => {}
             Enqueue::Dropped => {
@@ -510,32 +583,69 @@ impl Engine {
         }
     }
 
+    /// The bottleneck's serialization time at `now`: the nominal rate
+    /// unless a capacity flap is active. Packets already in service keep
+    /// their scheduled departure; the new rate applies from the next
+    /// service start.
+    fn serialization_at(&self, now: Time) -> Time {
+        if self.faults.plan().capacity_flaps.is_empty() {
+            return self.serialization;
+        }
+        let bw = self
+            .faults
+            .bandwidth_at(now.as_secs_f64(), self.link.bandwidth);
+        Time::from_secs_f64(1.0 / bw)
+    }
+
     fn on_departure(&mut self, now: Time) {
         let (pkt, more) = self.queue.depart();
         if more {
-            self.events
-                .schedule(now + self.serialization, Event::QueueDeparture);
+            let ser = self.serialization_at(now);
+            self.events.schedule(now + ser, Event::QueueDeparture);
         }
-        // Wire (non-congestion) loss strikes after the bottleneck.
-        if self.wire_loss_rate > 0.0 && self.rng.gen::<f64>() < self.wire_loss_rate {
+        let flow = pkt.flow;
+        let feedback = self.flow_feedback_delay[flow];
+        // Fault pipeline, in wire order. The outage check is purely
+        // deterministic and precedes every RNG draw, so adding an outage
+        // window never shifts the random stream of the surviving steps.
+        //
+        // (1) Outage or data-path wire loss: the packet never arrives.
+        if self.faults.in_outage(now.as_secs_f64()) || self.faults.data_strike(&mut self.rng) {
             self.wire_lost += 1;
             self.events.schedule(
-                now + self.flow_feedback_delay[pkt.flow],
+                now + feedback,
                 Event::LossNotify {
-                    flow: pkt.flow,
+                    flow,
                     sent_at: pkt.sent_at,
                 },
             );
-        } else {
-            self.events.schedule(
-                now + self.flow_feedback_delay[pkt.flow],
-                Event::AckArrive {
-                    flow: pkt.flow,
-                    sent_at: pkt.sent_at,
-                    marked: pkt.marked,
-                },
-            );
+            return;
         }
+        // (2) ACK-path loss: the packet arrived but its feedback did not.
+        // The sender discovers the hole by timeout — modeled as a loss
+        // notification after twice the feedback delay (a conservative
+        // RTO), which keeps packet conservation exact.
+        if self.faults.ack_strike(&mut self.rng) {
+            self.events.schedule(
+                now + feedback + feedback,
+                Event::LossNotify {
+                    flow,
+                    sent_at: pkt.sent_at,
+                },
+            );
+            return;
+        }
+        // (3) Delivered feedback, possibly reordered and/or jittered.
+        let extra = self.faults.feedback_extra_secs(&mut self.rng);
+        let delay = feedback + Time::from_secs_f64(extra);
+        self.events.schedule(
+            now + delay,
+            Event::AckArrive {
+                flow,
+                sent_at: pkt.sent_at,
+                marked: pkt.marked,
+            },
+        );
     }
 
     fn record_sample(&mut self) {
@@ -644,7 +754,11 @@ mod tests {
             .homogeneous(&Aimd::reno(), 3)
             .duration_secs(20.0)
             .run();
-        assert!(out.queue.max_depth <= 10, "max depth {}", out.queue.max_depth);
+        assert!(
+            out.queue.max_depth <= 10,
+            "max depth {}",
+            out.queue.max_depth
+        );
         assert!(out.queue.dropped > 0, "shallow buffer must drop");
     }
 
@@ -754,9 +868,75 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one flow")]
+    #[should_panic(expected = "at least one sender")]
     fn empty_scenario_panics() {
         PacketScenario::new(paper_link()).run();
+    }
+
+    #[test]
+    fn try_run_returns_typed_errors_instead_of_panicking() {
+        use crate::faults::FaultPlan;
+        let err = PacketScenario::new(paper_link()).try_run().unwrap_err();
+        assert_eq!(err, ScenarioError::NoSenders);
+
+        let err = PacketScenario::new(paper_link())
+            .homogeneous(&Aimd::reno(), 1)
+            .duration_secs(-3.0)
+            .try_run()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ScenarioError::InvalidParameter {
+                field: "duration_secs",
+                ..
+            }
+        ));
+
+        let err = PacketScenario::new(paper_link())
+            .homogeneous(&Aimd::reno(), 1)
+            .wire_loss(1.5)
+            .try_run()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::InvalidLossModel(_)));
+
+        let err = PacketScenario::new(paper_link())
+            .sender(PacketSenderConfig::new(Box::new(Aimd::reno())).initial_cwnd(f64::NAN))
+            .try_run()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ScenarioError::InvalidSender {
+                index: 0,
+                field: "initial_cwnd",
+                ..
+            }
+        ));
+
+        let err = PacketScenario::new(paper_link())
+            .homogeneous(&Aimd::reno(), 1)
+            .ecn_threshold(100_000)
+            .try_run()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ScenarioError::InvalidParameter {
+                field: "ecn_threshold",
+                ..
+            }
+        ));
+
+        let err = PacketScenario::new(paper_link())
+            .homogeneous(&Aimd::reno(), 1)
+            .faults(FaultPlan::new().jitter(f64::NAN))
+            .try_run()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ScenarioError::InvalidParameter {
+                field: "jitter_secs",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -856,9 +1036,18 @@ mod tests {
         // …at comparable utilization.
         let g = |out: &SimOutput| {
             let tail = out.trace.tail_start(0.5);
-            out.trace.senders.iter().map(|s| s.mean_goodput_from(tail)).sum::<f64>()
+            out.trace
+                .senders
+                .iter()
+                .map(|s| s.mean_goodput_from(tail))
+                .sum::<f64>()
         };
-        assert!(g(&red) > 0.7 * g(&plain), "RED {} vs plain {}", g(&red), g(&plain));
+        assert!(
+            g(&red) > 0.7 * g(&plain),
+            "RED {} vs plain {}",
+            g(&red),
+            g(&plain)
+        );
     }
 
     #[test]
@@ -879,9 +1068,150 @@ mod tests {
     #[should_panic(expected = "not both")]
     fn red_and_step_ecn_are_exclusive() {
         use crate::red::RedConfig;
-        let _ = PacketScenario::new(paper_link())
+        PacketScenario::new(paper_link())
+            .homogeneous(&Aimd::reno(), 1)
             .ecn_threshold(20)
-            .red(RedConfig::classic(100.0));
+            .red(RedConfig::classic(100.0))
+            .run();
+    }
+
+    #[test]
+    fn bursty_and_uniform_loss_both_impair_at_packet_granularity() {
+        use crate::faults::{FaultPlan, WireLoss};
+        // Same 1% mean rate, two temporal structures. At per-packet
+        // granularity a burst of consecutive drops lands inside one
+        // SACK-recovery epoch and costs one back-off, while the same
+        // number of drops spread uniformly trigger a back-off each — the
+        // classic correlated-loss result: at fixed mean rate, bursty loss
+        // leaves an AIMD *more* goodput than independent loss.
+        let run = |plan: FaultPlan| {
+            let link = LinkParams::from_experiment(Bandwidth::Mbps(100.0), 42.0, 500.0);
+            let out = PacketScenario::new(link)
+                .homogeneous(&Aimd::reno(), 1)
+                .duration_secs(30.0)
+                .faults(plan)
+                .seed(11)
+                .run();
+            assert!(out.conservation_ok());
+            let tail = out.trace.tail_start(0.5);
+            out.trace.senders[0].mean_goodput_from(tail)
+        };
+        let clean = run(FaultPlan::new());
+        let uniform = run(FaultPlan::new().data_loss(WireLoss::Bernoulli { rate: 0.01 }));
+        let bursty = run(FaultPlan::new().data_loss(WireLoss::bursty(0.01, 8.0, 0.25)));
+        // Both impair badly relative to the clean link…
+        assert!(uniform < 0.25 * clean, "uniform {uniform} vs clean {clean}");
+        assert!(bursty < 0.5 * clean, "bursty {bursty} vs clean {clean}");
+        // …and the burst structure concentrates drops into fewer
+        // congestion events, retaining more goodput than uniform.
+        assert!(bursty > uniform, "bursty {bursty} vs uniform {uniform}");
+    }
+
+    #[test]
+    fn ack_loss_is_counted_and_conserves_packets() {
+        use crate::faults::{FaultPlan, WireLoss};
+        let out = PacketScenario::new(paper_link())
+            .homogeneous(&Aimd::reno(), 1)
+            .duration_secs(10.0)
+            .faults(FaultPlan::new().ack_loss(WireLoss::Bernoulli { rate: 0.02 }))
+            .seed(5)
+            .run();
+        assert!(out.queue.ack_lost > 0, "no ACKs were lost");
+        assert_eq!(out.queue.wire_lost, 0);
+        assert!(out.conservation_ok());
+    }
+
+    #[test]
+    fn outage_stops_delivery_then_recovers() {
+        use crate::faults::FaultPlan;
+        let out = PacketScenario::new(paper_link())
+            .homogeneous(&Aimd::reno(), 1)
+            .duration_secs(20.0)
+            .faults(FaultPlan::new().outage(8.0, 10.0))
+            .run();
+        assert!(out.conservation_ok());
+        assert!(out.queue.wire_lost > 0, "outage lost no packets");
+        // Goodput in the outage window collapses vs the surrounding steady
+        // state; afterwards the flow recovers.
+        let interval = out.trace.link.min_rtt();
+        let idx = |secs: f64| (secs / interval) as usize;
+        let g = &out.trace.senders[0].goodput;
+        let during = axcc_core::trace::mean(&g[idx(8.5)..idx(10.0)]);
+        let after = axcc_core::trace::mean(&g[idx(15.0)..idx(19.0)]);
+        assert!(during < 0.2 * after, "during {during} vs after {after}");
+    }
+
+    #[test]
+    fn capacity_flap_halves_throughput() {
+        use crate::faults::FaultPlan;
+        // Nominal 20 Mbps (≈1667 MSS/s); flap to half rate at t = 15 s.
+        let nominal = paper_link().bandwidth;
+        let out = PacketScenario::new(paper_link())
+            .homogeneous(&Aimd::reno(), 1)
+            .duration_secs(30.0)
+            .faults(FaultPlan::new().capacity_flap(15.0, nominal / 2.0))
+            .run();
+        assert!(out.conservation_ok());
+        let interval = out.trace.link.min_rtt();
+        let idx = |secs: f64| (secs / interval) as usize;
+        let g = &out.trace.senders[0].goodput;
+        let before = axcc_core::trace::mean(&g[idx(8.0)..idx(14.0)]);
+        let after = axcc_core::trace::mean(&g[idx(22.0)..idx(29.0)]);
+        assert!(
+            after < 0.75 * before,
+            "goodput before {before} vs after flap {after}"
+        );
+        assert!(
+            after > 0.25 * before,
+            "flow should survive the flap: {after}"
+        );
+    }
+
+    #[test]
+    fn jitter_and_reorder_keep_conservation_and_determinism() {
+        use crate::faults::{FaultPlan, WireLoss};
+        let run = |seed| {
+            let out = PacketScenario::new(paper_link())
+                .homogeneous(&Aimd::reno(), 2)
+                .duration_secs(10.0)
+                .faults(
+                    FaultPlan::new()
+                        .data_loss(WireLoss::bursty(0.005, 4.0, 0.2))
+                        .ack_loss(WireLoss::Bernoulli { rate: 0.005 })
+                        .jitter(0.002)
+                        .reorder(0.01, 0.02),
+                )
+                .seed(seed)
+                .run();
+            assert!(out.conservation_ok());
+            (out.trace, out.flows, out.queue)
+        };
+        let a = run(3);
+        let b = run(3);
+        assert_eq!(a, b);
+        assert_ne!(a.0, run(4).0);
+    }
+
+    #[test]
+    fn bernoulli_fault_path_reproduces_legacy_wire_loss_stream() {
+        // wire_loss(r) is sugar for a Bernoulli data-loss plan; both must
+        // consume the identical RNG stream and hence produce identical
+        // runs for the same seed.
+        use crate::faults::{FaultPlan, WireLoss};
+        let legacy = PacketScenario::new(paper_link())
+            .homogeneous(&Aimd::reno(), 1)
+            .duration_secs(10.0)
+            .wire_loss(0.02)
+            .seed(9)
+            .run();
+        let plan = PacketScenario::new(paper_link())
+            .homogeneous(&Aimd::reno(), 1)
+            .duration_secs(10.0)
+            .faults(FaultPlan::new().data_loss(WireLoss::Bernoulli { rate: 0.02 }))
+            .seed(9)
+            .run();
+        assert_eq!(legacy.trace, plan.trace);
+        assert_eq!(legacy.queue, plan.queue);
     }
 
     #[test]
@@ -908,7 +1238,10 @@ mod tests {
             .iter()
             .copied()
             .fold(f64::INFINITY, f64::min);
-        assert!(long_min_rtt >= 0.042 + 0.084 - 1e-9, "min rtt {long_min_rtt}");
+        assert!(
+            long_min_rtt >= 0.042 + 0.084 - 1e-9,
+            "min rtt {long_min_rtt}"
+        );
     }
 
     #[test]
@@ -938,7 +1271,11 @@ mod tests {
         // Goodput within 25% of the droptail run.
         let g = |out: &SimOutput| {
             let tail = out.trace.tail_start(0.5);
-            out.trace.senders.iter().map(|s| s.mean_goodput_from(tail)).sum::<f64>()
+            out.trace
+                .senders
+                .iter()
+                .map(|s| s.mean_goodput_from(tail))
+                .sum::<f64>()
         };
         let (gp, ge) = (g(&plain), g(&ecn));
         assert!(ge > 0.75 * gp, "ECN goodput {ge} vs droptail {gp}");

@@ -1,0 +1,562 @@
+//! Composable network-fault injection for the packet-level engine.
+//!
+//! The paper's Metric VI ("robustness") asks whether a protocol keeps
+//! transmitting under *non-congestion* loss. Real adverse networks are
+//! nastier than a uniform Bernoulli coin: losses arrive in bursts
+//! (wireless fades), ACKs get lost too, feedback is jittered and
+//! reordered, and link capacity flaps or disappears outright. This module
+//! models each of those impairments as an independent, seeded process so
+//! experiments can compose them into a reproducible "gauntlet":
+//!
+//! * [`WireLoss`] — per-packet loss on the data path: uniform Bernoulli
+//!   or two-state Gilbert–Elliott bursty loss (a single chain per link,
+//!   stepped per departing packet).
+//! * ACK-path loss — the same [`WireLoss`] family applied to the reverse
+//!   path. A lost ACK is surfaced to the sender as a loss notification
+//!   after a 2× feedback-delay timeout (the retransmission-timer
+//!   abstraction), so packet conservation still holds.
+//! * Feedback **jitter** — a uniform extra delay on each delivered ACK.
+//! * **Reordering** — a fraction of ACKs take a fixed detour and arrive
+//!   late (and hence out of order relative to later packets).
+//! * **Outages** — `[from, to)` windows during which every departing
+//!   packet is lost (checked before any RNG draw, so an outage does not
+//!   perturb the random stream).
+//! * **Capacity flaps** — scheduled bandwidth changes; the bottleneck's
+//!   serialization time follows the active rate.
+//!
+//! All randomness comes from the engine's single seeded ChaCha8 stream,
+//! and every impairment draws only when it is actually configured, so a
+//! plan with (say) only data loss consumes exactly the draws the
+//! pre-fault-layer engine did — old seeds reproduce bit-identically.
+
+use axcc_core::ScenarioError;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A per-packet loss model for one direction of the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WireLoss {
+    /// No loss (and no RNG draws).
+    None,
+    /// Independent per-packet loss with the given probability.
+    Bernoulli {
+        /// Drop probability per packet, in `[0, 1)`.
+        rate: f64,
+    },
+    /// Two-state Markov (Gilbert–Elliott) bursty loss: a mostly-clean
+    /// *good* state and a lossy *bad* state with geometric sojourns. The
+    /// chain advances once per packet, so `1/p_exit` is the mean burst
+    /// length in packets.
+    GilbertElliott {
+        /// P(good → bad) per packet, in `[0, 1]`.
+        p_enter: f64,
+        /// P(bad → good) per packet, in `(0, 1]`.
+        p_exit: f64,
+        /// Drop probability in the good state, in `[0, 1)` (usually 0).
+        loss_good: f64,
+        /// Drop probability in the bad state, in `[0, 1)`.
+        loss_bad: f64,
+    },
+}
+
+impl WireLoss {
+    /// A Gilbert–Elliott model hitting a long-run `mean_rate` with mean
+    /// burst length `burst_len` packets and bad-state drop probability
+    /// `loss_bad` (good state clean). Same construction as the fluid
+    /// simulator's `LossModel::bursty`; `burst_len = 1` is the memoryless
+    /// baseline, so sweeping `burst_len` isolates burstiness.
+    pub fn bursty(mean_rate: f64, burst_len: f64, loss_bad: f64) -> Self {
+        let pi_bad = if loss_bad > 0.0 {
+            mean_rate / loss_bad
+        } else {
+            f64::NAN
+        };
+        let p_exit = if burst_len > 0.0 {
+            1.0 / burst_len
+        } else {
+            f64::NAN
+        };
+        let p_enter = pi_bad * p_exit / (1.0 - pi_bad);
+        WireLoss::GilbertElliott {
+            p_enter,
+            p_exit,
+            loss_good: 0.0,
+            loss_bad,
+        }
+    }
+
+    /// The long-run mean drop probability.
+    pub fn nominal_rate(&self) -> f64 {
+        match *self {
+            WireLoss::None => 0.0,
+            WireLoss::Bernoulli { rate } => rate,
+            WireLoss::GilbertElliott {
+                p_enter,
+                p_exit,
+                loss_good,
+                loss_bad,
+            } => {
+                let pi_bad = p_enter / (p_enter + p_exit);
+                pi_bad * loss_bad + (1.0 - pi_bad) * loss_good
+            }
+        }
+    }
+
+    /// Validate parameter domains.
+    pub fn validate(&self) -> Result<(), String> {
+        let rate_ok = |r: f64| (0.0..1.0).contains(&r);
+        match *self {
+            WireLoss::None => Ok(()),
+            WireLoss::Bernoulli { rate } => {
+                if rate_ok(rate) {
+                    Ok(())
+                } else {
+                    Err(format!("wire loss rate {rate} must be in [0,1)"))
+                }
+            }
+            WireLoss::GilbertElliott {
+                p_enter,
+                p_exit,
+                loss_good,
+                loss_bad,
+            } => {
+                if !(0.0..=1.0).contains(&p_enter) || !p_enter.is_finite() {
+                    return Err(format!("Gilbert-Elliott p_enter {p_enter} outside [0,1]"));
+                }
+                if !(p_exit > 0.0 && p_exit <= 1.0) {
+                    return Err(format!("Gilbert-Elliott p_exit {p_exit} outside (0,1]"));
+                }
+                if !rate_ok(loss_good) {
+                    return Err(format!(
+                        "Gilbert-Elliott loss_good {loss_good} outside [0,1)"
+                    ));
+                }
+                if !rate_ok(loss_bad) {
+                    return Err(format!("Gilbert-Elliott loss_bad {loss_bad} outside [0,1)"));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A composable set of impairments for one scenario. Build fluently, then
+/// hand to `PacketScenario::faults`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Loss process on the data (forward) path.
+    pub data_loss: WireLoss,
+    /// Loss process on the ACK (reverse) path.
+    pub ack_loss: WireLoss,
+    /// Maximum extra feedback delay per ACK (uniform in `[0, jitter_secs]`);
+    /// 0 disables.
+    pub jitter_secs: f64,
+    /// Probability that an ACK is reordered (takes the detour below).
+    pub reorder_prob: f64,
+    /// Extra delay a reordered ACK suffers (seconds).
+    pub reorder_extra_secs: f64,
+    /// Link blackout windows `[from, to)` in seconds: departures inside a
+    /// window are lost.
+    pub outages: Vec<(f64, f64)>,
+    /// Scheduled capacity changes `(at_secs, bandwidth_mss_per_sec)`,
+    /// sorted by time; the bottleneck serializes at the active rate.
+    pub capacity_flaps: Vec<(f64, f64)>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan: no impairments.
+    pub fn new() -> Self {
+        FaultPlan {
+            data_loss: WireLoss::None,
+            ack_loss: WireLoss::None,
+            jitter_secs: 0.0,
+            reorder_prob: 0.0,
+            reorder_extra_secs: 0.0,
+            outages: Vec::new(),
+            capacity_flaps: Vec::new(),
+        }
+    }
+
+    /// Set the data-path loss process.
+    pub fn data_loss(mut self, model: WireLoss) -> Self {
+        self.data_loss = model;
+        self
+    }
+
+    /// Set the ACK-path loss process.
+    pub fn ack_loss(mut self, model: WireLoss) -> Self {
+        self.ack_loss = model;
+        self
+    }
+
+    /// Add uniform feedback jitter in `[0, max_secs]` per ACK.
+    pub fn jitter(mut self, max_secs: f64) -> Self {
+        self.jitter_secs = max_secs;
+        self
+    }
+
+    /// Reorder a fraction `prob` of ACKs by delaying them `extra_secs`.
+    pub fn reorder(mut self, prob: f64, extra_secs: f64) -> Self {
+        self.reorder_prob = prob;
+        self.reorder_extra_secs = extra_secs;
+        self
+    }
+
+    /// Add a link blackout over `[from_secs, to_secs)`.
+    pub fn outage(mut self, from_secs: f64, to_secs: f64) -> Self {
+        self.outages.push((from_secs, to_secs));
+        self.outages
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        self
+    }
+
+    /// Schedule the bottleneck bandwidth to become `bandwidth` MSS/s at
+    /// `at_secs`.
+    pub fn capacity_flap(mut self, at_secs: f64, bandwidth: f64) -> Self {
+        self.capacity_flaps.push((at_secs, bandwidth));
+        self.capacity_flaps
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        self
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_noop(&self) -> bool {
+        self == &FaultPlan::new()
+    }
+
+    /// Validate every impairment's parameters.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        self.data_loss
+            .validate()
+            .map_err(|e| ScenarioError::InvalidLossModel(format!("data path: {e}")))?;
+        self.ack_loss
+            .validate()
+            .map_err(|e| ScenarioError::InvalidLossModel(format!("ack path: {e}")))?;
+        if !(self.jitter_secs.is_finite() && self.jitter_secs >= 0.0) {
+            return Err(ScenarioError::InvalidParameter {
+                field: "jitter_secs",
+                value: self.jitter_secs,
+                constraint: "finite and >= 0",
+            });
+        }
+        if !(0.0..1.0).contains(&self.reorder_prob) {
+            return Err(ScenarioError::InvalidParameter {
+                field: "reorder_prob",
+                value: self.reorder_prob,
+                constraint: "in [0,1)",
+            });
+        }
+        if !(self.reorder_extra_secs.is_finite() && self.reorder_extra_secs >= 0.0) {
+            return Err(ScenarioError::InvalidParameter {
+                field: "reorder_extra_secs",
+                value: self.reorder_extra_secs,
+                constraint: "finite and >= 0",
+            });
+        }
+        for &(from, to) in &self.outages {
+            if !(from.is_finite() && to.is_finite() && from >= 0.0 && from < to) {
+                return Err(ScenarioError::InvalidParameter {
+                    field: "outage",
+                    value: from,
+                    constraint: "a window [from, to) with 0 <= from < to, both finite",
+                });
+            }
+        }
+        for &(at, bw) in &self.capacity_flaps {
+            if !(at.is_finite() && at >= 0.0 && bw.is_finite() && bw > 0.0) {
+                return Err(ScenarioError::InvalidParameter {
+                    field: "capacity_flap",
+                    value: bw,
+                    constraint: "a finite time >= 0 and a positive finite bandwidth",
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The runtime state of a [`FaultPlan`]: the two Gilbert–Elliott chains
+/// (data and ACK path — both start in the good state) and the ACK-loss
+/// counter. Owned by the engine; all draws come from the engine's RNG.
+#[derive(Debug, Clone)]
+pub struct FaultState {
+    plan: FaultPlan,
+    data_bad: bool,
+    ack_bad: bool,
+    /// ACKs lost on the reverse path (surfaced to senders as timeouts).
+    pub ack_lost: u64,
+}
+
+/// Advance a per-packet [`WireLoss`] process one packet: returns whether
+/// this packet is struck. `bad` is the chain state for the GE variant.
+fn strike(model: WireLoss, bad: &mut bool, rng: &mut ChaCha8Rng) -> bool {
+    match model {
+        WireLoss::None => false,
+        WireLoss::Bernoulli { rate } => rate > 0.0 && rng.gen::<f64>() < rate,
+        WireLoss::GilbertElliott {
+            p_enter,
+            p_exit,
+            loss_good,
+            loss_bad,
+        } => {
+            let emitted = if *bad { loss_bad } else { loss_good };
+            let lost = emitted > 0.0 && rng.gen::<f64>() < emitted;
+            let u = rng.gen::<f64>();
+            *bad = if *bad { u >= p_exit } else { u < p_enter };
+            lost
+        }
+    }
+}
+
+impl FaultState {
+    /// Runtime state for `plan` with both chains in the good state.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultState {
+            plan,
+            data_bad: false,
+            ack_bad: false,
+            ack_lost: 0,
+        }
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Is the link blacked out at `now_secs`? Deterministic — consults no
+    /// RNG, so outage windows never perturb the random stream.
+    pub fn in_outage(&self, now_secs: f64) -> bool {
+        self.plan
+            .outages
+            .iter()
+            .any(|&(from, to)| now_secs >= from && now_secs < to)
+    }
+
+    /// Does the data-path loss process strike the packet departing now?
+    /// (Call once per departure; advances the GE chain.)
+    pub fn data_strike(&mut self, rng: &mut ChaCha8Rng) -> bool {
+        strike(self.plan.data_loss, &mut self.data_bad, rng)
+    }
+
+    /// Does the ACK-path loss process strike this packet's ACK?
+    pub fn ack_strike(&mut self, rng: &mut ChaCha8Rng) -> bool {
+        let hit = strike(self.plan.ack_loss, &mut self.ack_bad, rng);
+        if hit {
+            self.ack_lost += 1;
+        }
+        hit
+    }
+
+    /// The extra feedback delay (seconds) this delivered ACK suffers from
+    /// reordering and jitter. Draws from the RNG only for impairments that
+    /// are actually configured.
+    pub fn feedback_extra_secs(&mut self, rng: &mut ChaCha8Rng) -> f64 {
+        let mut extra = 0.0;
+        if self.plan.reorder_prob > 0.0 && rng.gen::<f64>() < self.plan.reorder_prob {
+            extra += self.plan.reorder_extra_secs;
+        }
+        if self.plan.jitter_secs > 0.0 {
+            extra += rng.gen::<f64>() * self.plan.jitter_secs;
+        }
+        extra
+    }
+
+    /// The active bottleneck bandwidth at `now_secs` given the nominal
+    /// rate: the most recent capacity flap at or before `now_secs` wins.
+    pub fn bandwidth_at(&self, now_secs: f64, nominal: f64) -> f64 {
+        let mut bw = nominal;
+        for &(at, new_bw) in &self.plan.capacity_flaps {
+            if at <= now_secs {
+                bw = new_bw;
+            } else {
+                break;
+            }
+        }
+        bw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn empty_plan_is_noop_and_valid() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_noop());
+        assert_eq!(plan.validate(), Ok(()));
+        let mut st = FaultState::new(plan);
+        let mut r = rng(1);
+        assert!(!st.data_strike(&mut r));
+        assert!(!st.ack_strike(&mut r));
+        assert_eq!(st.feedback_extra_secs(&mut r), 0.0);
+        assert!(!st.in_outage(5.0));
+        assert_eq!(st.bandwidth_at(5.0, 100.0), 100.0);
+        // And a no-op plan consumed zero random draws.
+        assert_eq!(r.gen::<u64>(), rng(1).gen::<u64>());
+    }
+
+    #[test]
+    fn bernoulli_data_loss_hits_near_rate() {
+        let mut st = FaultState::new(FaultPlan::new().data_loss(WireLoss::Bernoulli { rate: 0.1 }));
+        let mut r = rng(2);
+        let n = 20_000;
+        let hits = (0..n).filter(|_| st.data_strike(&mut r)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.1).abs() < 0.01, "loss fraction {frac}");
+    }
+
+    #[test]
+    fn gilbert_elliott_bursts_have_the_requested_length() {
+        let model = WireLoss::bursty(0.05, 10.0, 0.5);
+        model.validate().unwrap();
+        assert!((model.nominal_rate() - 0.05).abs() < 1e-12);
+        let mut st = FaultState::new(FaultPlan::new().data_loss(model));
+        let mut r = rng(3);
+        // The chain spends bursts of mean 10 packets in the bad state:
+        // hits cluster, unlike Bernoulli at the same mean rate.
+        let n = 100_000;
+        let seq: Vec<bool> = (0..n).map(|_| st.data_strike(&mut r)).collect();
+        let frac = seq.iter().filter(|&&h| h).count() as f64 / n as f64;
+        assert!((frac - 0.05).abs() < 0.01, "loss fraction {frac}");
+        // Conditional loss probability right after a loss should be near
+        // the bad-state rate (0.5), far above the 5% mean.
+        let mut after_loss = 0usize;
+        let mut after_loss_hits = 0usize;
+        for w in seq.windows(2) {
+            if w[0] {
+                after_loss += 1;
+                if w[1] {
+                    after_loss_hits += 1;
+                }
+            }
+        }
+        let cond = after_loss_hits as f64 / after_loss as f64;
+        assert!(cond > 0.3, "conditional loss after loss {cond}");
+    }
+
+    #[test]
+    fn ack_strikes_are_counted() {
+        let mut st = FaultState::new(FaultPlan::new().ack_loss(WireLoss::Bernoulli { rate: 0.5 }));
+        let mut r = rng(4);
+        for _ in 0..100 {
+            st.ack_strike(&mut r);
+        }
+        assert!(st.ack_lost > 20);
+    }
+
+    #[test]
+    fn outage_windows_are_half_open() {
+        let st = FaultState::new(FaultPlan::new().outage(1.0, 2.0).outage(5.0, 6.0));
+        assert!(!st.in_outage(0.5));
+        assert!(st.in_outage(1.0));
+        assert!(st.in_outage(1.999));
+        assert!(!st.in_outage(2.0));
+        assert!(st.in_outage(5.5));
+        assert!(!st.in_outage(6.5));
+    }
+
+    #[test]
+    fn capacity_flaps_apply_in_order() {
+        let st = FaultState::new(
+            FaultPlan::new()
+                .capacity_flap(10.0, 50.0)
+                .capacity_flap(5.0, 200.0),
+        );
+        assert_eq!(st.bandwidth_at(0.0, 100.0), 100.0);
+        assert_eq!(st.bandwidth_at(5.0, 100.0), 200.0);
+        assert_eq!(st.bandwidth_at(7.0, 100.0), 200.0);
+        assert_eq!(st.bandwidth_at(12.0, 100.0), 50.0);
+    }
+
+    #[test]
+    fn jitter_and_reorder_delays_are_bounded() {
+        let mut st = FaultState::new(FaultPlan::new().jitter(0.01).reorder(0.3, 0.1));
+        let mut r = rng(5);
+        let mut saw_reorder = false;
+        for _ in 0..1000 {
+            let d = st.feedback_extra_secs(&mut r);
+            assert!((0.0..=0.11).contains(&d), "delay {d}");
+            if d >= 0.1 {
+                saw_reorder = true;
+            }
+        }
+        assert!(saw_reorder);
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(matches!(
+            FaultPlan::new()
+                .data_loss(WireLoss::Bernoulli { rate: 1.5 })
+                .validate(),
+            Err(ScenarioError::InvalidLossModel(_))
+        ));
+        assert!(matches!(
+            FaultPlan::new().jitter(-1.0).validate(),
+            Err(ScenarioError::InvalidParameter {
+                field: "jitter_secs",
+                ..
+            })
+        ));
+        assert!(matches!(
+            FaultPlan::new().reorder(1.5, 0.1).validate(),
+            Err(ScenarioError::InvalidParameter {
+                field: "reorder_prob",
+                ..
+            })
+        ));
+        assert!(matches!(
+            FaultPlan::new().outage(3.0, 1.0).validate(),
+            Err(ScenarioError::InvalidParameter {
+                field: "outage",
+                ..
+            })
+        ));
+        assert!(matches!(
+            FaultPlan::new().capacity_flap(1.0, -5.0).validate(),
+            Err(ScenarioError::InvalidParameter {
+                field: "capacity_flap",
+                ..
+            })
+        ));
+        // An unrealizable bursty model (mean above bad-state rate).
+        assert!(WireLoss::bursty(0.5, 4.0, 0.2).validate().is_err());
+    }
+
+    #[test]
+    fn same_seed_same_strikes() {
+        let plan = FaultPlan::new()
+            .data_loss(WireLoss::bursty(0.02, 8.0, 0.2))
+            .ack_loss(WireLoss::Bernoulli { rate: 0.01 })
+            .jitter(0.005);
+        let run = |seed| {
+            let mut st = FaultState::new(plan.clone());
+            let mut r = rng(seed);
+            (0..2000)
+                .map(|_| {
+                    (
+                        st.data_strike(&mut r),
+                        st.ack_strike(&mut r),
+                        st.feedback_extra_secs(&mut r),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

@@ -15,8 +15,10 @@
 //!   one observation per *epoch* — a window's worth of feedback, the
 //!   packet-level realization of the fluid model's RTT step and of
 //!   Robust-AIMD's "monitor interval";
-//! * optional **Bernoulli wire loss** (non-congestion loss, Metric VI),
-//!   drawn from a seeded ChaCha8 RNG.
+//! * composable **fault injection** ([`faults`]): Bernoulli or
+//!   Gilbert–Elliott bursty wire loss (non-congestion loss, Metric VI),
+//!   ACK-path loss, feedback jitter and reordering, link outages, and
+//!   capacity flaps — all drawn from a seeded ChaCha8 RNG.
 //!
 //! The engine is single-threaded and fully deterministic: events at equal
 //! timestamps are ordered by insertion sequence, virtual time is integer
@@ -47,9 +49,11 @@
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod engine;
 pub mod event;
+pub mod faults;
 pub mod queue;
 pub mod red;
 pub mod sender;
@@ -58,6 +62,7 @@ pub mod time;
 
 pub use engine::{PacketScenario, PacketSenderConfig, SimOutput};
 pub use event::{Event, EventQueue};
+pub use faults::{FaultPlan, FaultState, WireLoss};
 pub use queue::DropTailQueue;
 pub use red::{Red, RedConfig, RedVerdict};
 pub use sender::{SendMode, Sender};

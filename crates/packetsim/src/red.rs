@@ -55,6 +55,33 @@ impl RedConfig {
         }
     }
 
+    /// Check parameter domains, returning a typed error.
+    pub fn check(&self) -> Result<(), axcc_core::ScenarioError> {
+        use axcc_core::ScenarioError::InvalidParameter;
+        if !(self.min_th >= 0.0 && self.min_th < self.max_th) {
+            return Err(InvalidParameter {
+                field: "red.min_th",
+                value: self.min_th,
+                constraint: "0 <= min_th < max_th",
+            });
+        }
+        if !(self.max_p > 0.0 && self.max_p <= 1.0) {
+            return Err(InvalidParameter {
+                field: "red.max_p",
+                value: self.max_p,
+                constraint: "in (0,1]",
+            });
+        }
+        if !(self.weight > 0.0 && self.weight <= 1.0) {
+            return Err(InvalidParameter {
+                field: "red.weight",
+                value: self.weight,
+                constraint: "in (0,1]",
+            });
+        }
+        Ok(())
+    }
+
     /// Validate parameter domains.
     ///
     /// # Panics

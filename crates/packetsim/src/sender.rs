@@ -369,9 +369,9 @@ mod tests {
         s.on_ack(Time::from_secs_f64(0.05), Time::ZERO, false);
         s.on_loss(Time::from_secs_f64(0.06), Time::from_secs_f64(0.01)); // closes epoch (2 of 2) with loss rate 0.5
         assert_eq!(s.cwnd(), 1.0); // Reno halves 2 -> 1
-        // A *fresh* loss (packet sent after the back-off at t = 0.06)
-        // triggers another halving, floored at MIN_CWND; no RTT samples in
-        // the epoch, so the last RTT is reused internally.
+                                   // A *fresh* loss (packet sent after the back-off at t = 0.06)
+                                   // triggers another halving, floored at MIN_CWND; no RTT samples in
+                                   // the epoch, so the last RTT is reused internally.
         s.on_send();
         assert!(s.on_loss(Time::from_secs_f64(0.20), Time::from_secs_f64(0.15)));
         assert_eq!(s.cwnd(), 1.0); // halve again, floored at MIN_CWND

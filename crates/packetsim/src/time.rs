@@ -26,7 +26,10 @@ impl Time {
     ///
     /// Panics on negative or non-finite input.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "time must be finite and >= 0, got {secs}");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "time must be finite and >= 0, got {secs}"
+        );
         Time((secs * 1e9).round() as u64)
     }
 

@@ -40,7 +40,10 @@ impl Aimd {
     /// Panics on parameters outside those domains.
     pub fn new(a: f64, b: f64) -> Self {
         assert!(a > 0.0, "AIMD increase must be positive");
-        assert!((0.0..1.0).contains(&b) && b > 0.0, "AIMD decrease factor must be in (0,1)");
+        assert!(
+            (0.0..1.0).contains(&b) && b > 0.0,
+            "AIMD decrease factor must be in (0,1)"
+        );
         Aimd { a, b }
     }
 
@@ -66,7 +69,10 @@ impl Aimd {
 
     /// The analytic spec of this instance (for Table 1 formulas).
     pub fn spec(&self) -> ProtocolSpec {
-        ProtocolSpec::Aimd { a: self.a, b: self.b }
+        ProtocolSpec::Aimd {
+            a: self.a,
+            b: self.b,
+        }
     }
 }
 

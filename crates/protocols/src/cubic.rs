@@ -60,7 +60,10 @@ impl Cubic {
 
     /// The analytic spec of this instance.
     pub fn spec(&self) -> ProtocolSpec {
-        ProtocolSpec::Cubic { c: self.c, b: self.b }
+        ProtocolSpec::Cubic {
+            c: self.c,
+            b: self.b,
+        }
     }
 }
 
@@ -144,7 +147,7 @@ mod tests {
             prev = w;
         }
         let k = p.plateau(1000.0) as usize; // ≈ 7.9
-        // Gains shrink approaching the plateau and grow after it.
+                                            // Gains shrink approaching the plateau and grow after it.
         assert!(gains[0] > gains[k - 2], "{gains:?}");
         assert!(gains[gains.len() - 1] > gains[k], "{gains:?}");
     }

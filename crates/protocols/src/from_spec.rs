@@ -37,7 +37,12 @@ mod tests {
             ProtocolSpec::SCALABLE_AIMD,
             ProtocolSpec::CUBIC_LINUX,
             ProtocolSpec::ROBUST_AIMD_TABLE2,
-            ProtocolSpec::Bin { a: 1.0, b: 0.5, k: 1.0, l: 0.0 },
+            ProtocolSpec::Bin {
+                a: 1.0,
+                b: 0.5,
+                k: 1.0,
+                l: 0.0,
+            },
         ] {
             let p = build_protocol(&spec);
             assert_eq!(p.name(), spec.name(), "{spec:?}");

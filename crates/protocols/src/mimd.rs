@@ -62,7 +62,10 @@ impl Mimd {
 
     /// The analytic spec of this instance.
     pub fn spec(&self) -> ProtocolSpec {
-        ProtocolSpec::Mimd { a: self.a, b: self.b }
+        ProtocolSpec::Mimd {
+            a: self.a,
+            b: self.b,
+        }
     }
 }
 

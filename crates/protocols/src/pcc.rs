@@ -75,7 +75,10 @@ impl Pcc {
     /// Panics unless `0 < base_step ≤ max_step < 1` and
     /// `amplifier ≥ 0`, `steepness > 0`.
     pub fn with_params(base_step: f64, amplifier: f64, max_step: f64, steepness: f64) -> Self {
-        assert!(base_step > 0.0 && base_step <= max_step, "0 < base_step <= max_step");
+        assert!(
+            base_step > 0.0 && base_step <= max_step,
+            "0 < base_step <= max_step"
+        );
         assert!(max_step < 1.0, "max_step must be < 1");
         assert!(amplifier >= 0.0, "amplifier must be non-negative");
         assert!(steepness > 0.0, "sigmoid steepness must be positive");

@@ -39,7 +39,11 @@ impl fmt::Display for ResolveError {
         match self {
             ResolveError::UnknownName(n) => write!(f, "unknown protocol name: {n:?}"),
             ResolveError::BadParameters(s) => write!(f, "cannot parse parameters in {s:?}"),
-            ResolveError::WrongArity { family, expected, got } => {
+            ResolveError::WrongArity {
+                family,
+                expected,
+                got,
+            } => {
                 write!(f, "{family} expects {expected} parameters, got {got}")
             }
             ResolveError::OutOfDomain(msg) => write!(f, "parameters out of domain: {msg}"),
@@ -134,10 +138,7 @@ fn split_call(s: &str) -> Result<(&str, Vec<f64>), ResolveError> {
     }
     let family = &s[..open];
     let inner = &s[open + 1..s.len() - 1];
-    let params: Result<Vec<f64>, _> = inner
-        .split(',')
-        .map(|p| p.trim().parse::<f64>())
-        .collect();
+    let params: Result<Vec<f64>, _> = inner.split(',').map(|p| p.trim().parse::<f64>()).collect();
     let params = params.map_err(|_| ResolveError::BadParameters(s.to_string()))?;
     Ok((family, params))
 }
@@ -176,10 +177,7 @@ mod tests {
     fn parameterized_forms_resolve() {
         assert_eq!(resolve("aimd(2,0.7)").unwrap().name(), "AIMD(2,0.7)");
         assert_eq!(resolve("MIMD(1.05, 0.5)").unwrap().name(), "MIMD(1.05,0.5)");
-        assert_eq!(
-            resolve("bin(1,0.5,1,0)").unwrap().name(),
-            "BIN(1,0.5,1,0)"
-        );
+        assert_eq!(resolve("bin(1,0.5,1,0)").unwrap().name(), "BIN(1,0.5,1,0)");
         assert_eq!(resolve("cubic(0.4,0.8)").unwrap().name(), "CUBIC(0.4,0.8)");
         assert_eq!(
             resolve("r-aimd(1,0.8,0.005)").unwrap().name(),
@@ -200,11 +198,19 @@ mod tests {
     fn wrong_arity_errors() {
         assert!(matches!(
             resolve("aimd(1)"),
-            Err(ResolveError::WrongArity { expected: 2, got: 1, .. })
+            Err(ResolveError::WrongArity {
+                expected: 2,
+                got: 1,
+                ..
+            })
         ));
         assert!(matches!(
             resolve("bin(1,0.5)"),
-            Err(ResolveError::WrongArity { expected: 4, got: 2, .. })
+            Err(ResolveError::WrongArity {
+                expected: 4,
+                got: 2,
+                ..
+            })
         ));
     }
 

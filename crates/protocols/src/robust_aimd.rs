@@ -48,8 +48,14 @@ impl RobustAimd {
     /// Panics on parameters outside those domains.
     pub fn new(a: f64, b: f64, eps: f64) -> Self {
         assert!(a > 0.0, "Robust-AIMD increase must be positive");
-        assert!(b > 0.0 && b < 1.0, "Robust-AIMD decrease factor must be in (0,1)");
-        assert!(eps > 0.0 && eps < 1.0, "Robust-AIMD loss tolerance must be in (0,1)");
+        assert!(
+            b > 0.0 && b < 1.0,
+            "Robust-AIMD decrease factor must be in (0,1)"
+        );
+        assert!(
+            eps > 0.0 && eps < 1.0,
+            "Robust-AIMD loss tolerance must be in (0,1)"
+        );
         RobustAimd { a, b, eps }
     }
 

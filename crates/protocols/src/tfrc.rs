@@ -214,7 +214,9 @@ mod tests {
         let mut prev = w;
         for k in 0..3000 {
             let loss = if w > 120.0 { 1.0 - 120.0 / w } else { 0.0 };
-            w = t.next_window(&Observation::loss_only(k, w, loss)).clamp(0.0, 1e9);
+            w = t
+                .next_window(&Observation::loss_only(k, w, loss))
+                .clamp(0.0, 1e9);
             if k > 1500 {
                 worst_ratio = worst_ratio.min(w / prev.max(1e-9));
             }

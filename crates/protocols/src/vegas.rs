@@ -38,7 +38,10 @@ impl Vegas {
     ///
     /// Panics unless `0 < alpha ≤ beta`.
     pub fn new(alpha: f64, beta: f64) -> Self {
-        assert!(alpha > 0.0 && alpha <= beta, "Vegas requires 0 < alpha <= beta");
+        assert!(
+            alpha > 0.0 && alpha <= beta,
+            "Vegas requires 0 < alpha <= beta"
+        );
         Vegas {
             alpha,
             beta,

@@ -3,8 +3,8 @@
 //! family-defining update algebra under arbitrary parameters and
 //! observation streams.
 
-use axcc_protocols::{Aimd, Binomial, CautiousProber, Cubic, Mimd, Pcc, RobustAimd, Vegas};
 use axcc_core::{Observation, Protocol};
+use axcc_protocols::{Aimd, Binomial, CautiousProber, Cubic, Mimd, Pcc, RobustAimd, Vegas};
 use proptest::prelude::*;
 
 /// An arbitrary observation stream: windows evolve under protocol control,
@@ -39,13 +39,7 @@ fn drive(p: &mut dyn Protocol, feedback: &[(f64, f64)], w0: f64) -> Vec<f64> {
     out
 }
 
-fn all_protocols(
-    a: f64,
-    b: f64,
-    k: f64,
-    l: f64,
-    eps: f64,
-) -> Vec<Box<dyn Protocol>> {
+fn all_protocols(a: f64, b: f64, k: f64, l: f64, eps: f64) -> Vec<Box<dyn Protocol>> {
     vec![
         Box::new(Aimd::new(a, b)),
         Box::new(Mimd::new(1.0 + a * 0.1 + 1e-3, b)),

@@ -24,7 +24,13 @@ fn main() {
     println!("3 connections, 20 Mbps, 42 ms RTT — sweeping buffer size\n");
     println!(
         "{:<16} {:>9} {:>14} {:>14} {:>11} {:>12} {:>14}",
-        "protocol", "τ (MSS)", "eff (theory)", "eff (meas.)", "mean util", "loss bound", "queue delay"
+        "protocol",
+        "τ (MSS)",
+        "eff (theory)",
+        "eff (meas.)",
+        "mean util",
+        "loss bound",
+        "queue delay"
     );
     println!("{}", "-".repeat(95));
     for spec in [ProtocolSpec::RENO, ProtocolSpec::CUBIC_LINUX] {
@@ -35,10 +41,8 @@ fn main() {
             let theory_eff = spec.efficiency(link.capacity(), tau);
             // Standing-queue delay implied by the measured mean
             // utilization above capacity.
-            let mean_rtt_excess_ms = ((m.mean_utilization - 1.0).max(0.0)
-                * link.capacity()
-                / link.bandwidth)
-                * 1000.0;
+            let mean_rtt_excess_ms =
+                ((m.mean_utilization - 1.0).max(0.0) * link.capacity() / link.bandwidth) * 1000.0;
             println!(
                 "{:<16} {:>9} {:>14.3} {:>14.3} {:>11.3} {:>12.4} {:>11.1} ms",
                 spec.name(),

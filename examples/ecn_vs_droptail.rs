@@ -21,9 +21,7 @@ use axiomatic_cc::protocols::Aimd;
 
 fn main() {
     let link = LinkParams::from_experiment(Bandwidth::Mbps(20.0), 42.0, 100.0);
-    println!(
-        "2 × TCP Reno on 20 Mbps / 42 ms / 100-MSS buffer; ECN threshold 20 MSS\n"
-    );
+    println!("2 × TCP Reno on 20 Mbps / 42 ms / 100-MSS buffer; ECN threshold 20 MSS\n");
     println!(
         "{:<22} {:>10} {:>10} {:>10} {:>12} {:>12}",
         "bottleneck", "drops", "marks", "max queue", "loss bound", "mean RTT(ms)"
@@ -59,7 +57,11 @@ fn main() {
             "{:<22} mean utilization {:.2}, latency inflation {}",
             "",
             util,
-            if lat.is_infinite() { "unbounded".into() } else { format!("{lat:.2}") },
+            if lat.is_infinite() {
+                "unbounded".into()
+            } else {
+                format!("{lat:.2}")
+            },
         );
     }
 

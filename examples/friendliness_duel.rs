@@ -10,9 +10,7 @@
 //! cargo run --release --example friendliness_duel
 //! ```
 
-use axiomatic_cc::analysis::estimators::{
-    measure_friendliness_fluid, measure_friendliness_packet,
-};
+use axiomatic_cc::analysis::estimators::{measure_friendliness_fluid, measure_friendliness_packet};
 use axiomatic_cc::core::theory::theorems::theorem2_friendliness_upper_bound;
 use axiomatic_cc::core::units::Bandwidth;
 use axiomatic_cc::core::{LinkParams, Protocol};
@@ -51,17 +49,9 @@ fn main() {
     );
     println!("{}", "-".repeat(67));
     for (challenger, bound) in challengers {
-        let fluid = measure_friendliness_fluid(
-            challenger.as_ref(),
-            &reno,
-            link,
-            1,
-            1,
-            4000,
-            &[(1.0, 1.0)],
-        );
-        let packet =
-            measure_friendliness_packet(challenger.as_ref(), &reno, link, 1, 1, 40.0, 0);
+        let fluid =
+            measure_friendliness_fluid(challenger.as_ref(), &reno, link, 1, 1, 4000, &[(1.0, 1.0)]);
+        let packet = measure_friendliness_packet(challenger.as_ref(), &reno, link, 1, 1, 40.0, 0);
         println!(
             "{:<22} {:>12.3} {:>13.3} {:>16}",
             challenger.name(),

@@ -31,7 +31,15 @@ fn main() {
     );
     println!("{}", "-".repeat(76));
 
-    for name in ["reno", "cubic", "scalable", "robust-aimd", "tfrc", "highspeed", "vegas"] {
+    for name in [
+        "reno",
+        "cubic",
+        "scalable",
+        "robust-aimd",
+        "tfrc",
+        "highspeed",
+        "vegas",
+    ] {
         let proto: Box<dyn Protocol> = resolve(name).expect("known protocol");
         let trace = Scenario::new(link)
             .sender(SenderConfig::new(proto.clone_box()).initial_window(90.0))
@@ -49,8 +57,7 @@ fn main() {
             .iter()
             .position(|&w| w >= half_share);
         let tail = trace.tail_start(0.75);
-        let fair =
-            axiomatic_cc::core::axioms::fairness::measured_fairness(&trace, tail);
+        let fair = axiomatic_cc::core::axioms::fairness::measured_fairness(&trace, tail);
         let w0 = trace.senders[0].mean_window_from(tail);
         let w1 = trace.senders[1].mean_window_from(tail);
         println!(

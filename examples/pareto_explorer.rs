@@ -78,8 +78,10 @@ fn main() {
         Metric::Robustness,
     ];
     let front4 = pareto_front(&measured_points, &four);
-    println!("\n4-metric frontier (adding robustness): {:?}",
-        front4.iter().map(|p| p.label.as_str()).collect::<Vec<_>>());
+    println!(
+        "\n4-metric frontier (adding robustness): {:?}",
+        front4.iter().map(|p| p.label.as_str()).collect::<Vec<_>>()
+    );
     println!(
         "Robust-AIMD trades friendliness for robustness — dominated in 3 dimensions is fine\n\
          as long as it is undominated in the 4th; that is the paper's design argument."

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repo hygiene gate: formatting, lints (warnings are errors), full test
+# suite. CI and pre-push hooks should run exactly this.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "All checks passed."

@@ -31,7 +31,11 @@ fn reno_pair_agrees_across_backends() {
     );
     for (name, m) in [("fluid", &fluid), ("packet", &packet)] {
         assert!(m.fairness > 0.6, "{name} fairness {}", m.fairness);
-        assert!(m.mean_utilization > 0.8, "{name} util {}", m.mean_utilization);
+        assert!(
+            m.mean_utilization > 0.8,
+            "{name} util {}",
+            m.mean_utilization
+        );
         assert!(m.loss_bound < 0.15, "{name} loss {}", m.loss_bound);
     }
 }

@@ -64,6 +64,88 @@ fn packet_runs_are_bit_identical_per_seed() {
 }
 
 #[test]
+fn fluid_gilbert_elliott_runs_are_bit_identical_per_seed() {
+    for name in LINEUP {
+        let run = |seed: u64| {
+            let link = LinkParams::new(1000.0, 0.05, 20.0);
+            Scenario::new(link)
+                .sender(SenderConfig::new(resolve(name).unwrap()).initial_window(2.0))
+                .sender(SenderConfig::new(resolve(name).unwrap()).initial_window(50.0))
+                .wire_loss(LossModel::bursty(0.01, 8.0, 0.25))
+                .seed(seed)
+                .steps(600)
+                .run()
+        };
+        assert_eq!(run(42), run(42), "{name} diverged under same seed");
+        assert_ne!(
+            run(42).senders[0].window,
+            run(43).senders[0].window,
+            "{name} ignored the seed"
+        );
+    }
+}
+
+#[test]
+fn packet_runs_under_every_impairment_are_bit_identical_per_seed() {
+    use axiomatic_cc::packetsim::{FaultPlan, WireLoss};
+    // (label, plan, draws randomness?) — outages and flaps are scheduled,
+    // not drawn, so those runs are identical across seeds too.
+    let plans: Vec<(&str, FaultPlan, bool)> = vec![
+        (
+            "bursty data loss",
+            FaultPlan::new().data_loss(WireLoss::bursty(0.02, 6.0, 0.3)),
+            true,
+        ),
+        (
+            "ack loss",
+            FaultPlan::new().ack_loss(WireLoss::Bernoulli { rate: 0.05 }),
+            true,
+        ),
+        ("jitter", FaultPlan::new().jitter(0.004), true),
+        ("reorder", FaultPlan::new().reorder(0.2, 0.01), true),
+        ("outage", FaultPlan::new().outage(2.0, 2.5), false),
+        (
+            "capacity flap",
+            FaultPlan::new().capacity_flap(3.0, 30_000.0),
+            false,
+        ),
+        (
+            "everything at once",
+            FaultPlan::new()
+                .data_loss(WireLoss::bursty(0.02, 6.0, 0.3))
+                .ack_loss(WireLoss::Bernoulli { rate: 0.02 })
+                .jitter(0.002)
+                .reorder(0.1, 0.005)
+                .outage(2.0, 2.5)
+                .capacity_flap(4.0, 30_000.0),
+            true,
+        ),
+    ];
+    for (label, plan, stochastic) in plans {
+        let run = |seed: u64| {
+            let link = LinkParams::from_experiment(Bandwidth::Mbps(20.0), 42.0, 100.0);
+            let out = PacketScenario::new(link)
+                .sender(PacketSenderConfig::new(resolve("reno").unwrap()))
+                .sender(PacketSenderConfig::new(resolve("cubic").unwrap()).start_at_secs(0.5))
+                .duration_secs(6.0)
+                .faults(plan.clone())
+                .seed(seed)
+                .run();
+            (out.trace, out.flows, out.queue)
+        };
+        let (t1, f1, q1) = run(9);
+        let (t2, f2, q2) = run(9);
+        assert_eq!(t1, t2, "{label}: trace diverged under same seed");
+        assert_eq!(f1, f2, "{label}: flow stats diverged under same seed");
+        assert_eq!(q1, q2, "{label}: queue stats diverged under same seed");
+        if stochastic {
+            let (t3, _, _) = run(10);
+            assert_ne!(t1, t3, "{label}: ignored the seed");
+        }
+    }
+}
+
+#[test]
 fn deterministic_scenarios_ignore_seed_entirely() {
     // Without wire loss there is no randomness at all: seeds must not
     // matter.

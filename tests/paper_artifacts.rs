@@ -3,13 +3,13 @@
 //! budgets so the suite stays fast. The full-budget regenerations are the
 //! `axcc-bench` binaries.
 
+use axiomatic_cc::analysis::estimators::{
+    measure_friendliness_fluid, measure_robustness_fluid, ROBUSTNESS_RATES,
+};
 use axiomatic_cc::analysis::experiments::figure1::frontier_surface;
 use axiomatic_cc::analysis::experiments::table1::theoretical_table1;
 use axiomatic_cc::analysis::experiments::table2::{TABLE2_BUFFER_MSS, TABLE2_RTT_MS};
 use axiomatic_cc::analysis::experiments::theorems;
-use axiomatic_cc::analysis::estimators::{
-    measure_friendliness_fluid, measure_robustness_fluid, ROBUSTNESS_RATES,
-};
 use axiomatic_cc::core::theory::ProtocolSpec;
 use axiomatic_cc::core::units::Bandwidth;
 use axiomatic_cc::core::LinkParams;
@@ -111,11 +111,7 @@ fn all_theorem_checks_pass() {
 fn robustness_tracks_epsilon() {
     let mut last = 0.0;
     for eps in [0.005, 0.007, 0.01] {
-        let r = measure_robustness_fluid(
-            &RobustAimd::new(1.0, 0.8, eps),
-            &ROBUSTNESS_RATES,
-            1200,
-        );
+        let r = measure_robustness_fluid(&RobustAimd::new(1.0, 0.8, eps), &ROBUSTNESS_RATES, 1200);
         assert!(r > 0.0, "ε={eps} must be robust");
         assert!(r < eps, "measured robustness {r} must stay below ε={eps}");
         assert!(r >= last, "robustness must not decrease with ε");

@@ -94,6 +94,45 @@ proptest! {
         prop_assert!(reported <= out.queue.dropped + out.queue.wire_lost);
     }
 
+    /// Gilbert–Elliott wire loss realizes its stationary rate: over a
+    /// long run on a congestion-free link, the observed mean loss equals
+    /// `π_bad · loss_bad + (1 − π_bad) · loss_good` with
+    /// `π_bad = p_enter / (p_enter + p_exit)` — the two-state chain's
+    /// stationary distribution — within sampling tolerance.
+    #[test]
+    fn gilbert_elliott_matches_its_stationary_rate(
+        p_enter in 0.01f64..0.1,
+        p_exit in 0.1f64..0.9,
+        loss_bad in 0.1f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let steps = 12_000;
+        // Effectively infinite link: all observed loss is the wire's.
+        let link = LinkParams::new(MAX_WINDOW * 100.0, 0.05, MAX_WINDOW);
+        let trace = Scenario::new(link)
+            .sender(SenderConfig::new(Box::new(Aimd::reno())).initial_window(10.0))
+            .wire_loss(LossModel::GilbertElliott {
+                p_enter,
+                p_exit,
+                loss_good: 0.0,
+                loss_bad,
+            })
+            .steps(steps)
+            .seed(seed)
+            .run();
+        let pi_bad = p_enter / (p_enter + p_exit);
+        let expected = pi_bad * loss_bad;
+        let observed: f64 =
+            trace.senders[0].loss.iter().sum::<f64>() / trace.len() as f64;
+        // Bursts correlate adjacent samples, so the sample mean is noisy:
+        // allow 50% relative error plus a small absolute floor.
+        let tol = 0.5 * expected + 0.003;
+        prop_assert!(
+            (observed - expected).abs() < tol,
+            "observed {observed}, stationary {expected} (π_bad = {pi_bad})"
+        );
+    }
+
     /// Pareto dominance is irreflexive and anti-symmetric for arbitrary
     /// score tuples.
     #[test]

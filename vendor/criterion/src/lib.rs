@@ -1,0 +1,185 @@
+//! Offline vendored stub of `criterion`: enough of the API to compile and
+//! run the workspace's benches as plain timed loops.
+//!
+//! No statistics, warm-up calibration, or HTML reports — each benchmark
+//! runs a fixed number of timed iterations and prints the mean time per
+//! iteration. Good for "did I make the hot loop 3× slower?", which is all
+//! the workspace's benches are used for offline.
+
+#![deny(missing_docs)]
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup (ignored by the stub's simple loop).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group (printed, not analyzed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(&name.into(), self.sample_size, &mut f);
+        self
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Lower the iteration count for expensive benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Record the per-iteration throughput (printed only).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        println!("{}: throughput {t:?}", self.name);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, name.into()), self.sample_size, &mut f);
+        self
+    }
+
+    /// Finish the group (no-op in the stub).
+    pub fn finish(&mut self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) {
+    let mut b = Bencher {
+        iterations: samples as u64,
+        elapsed_ns: 0,
+        measured: 0,
+    };
+    f(&mut b);
+    if b.measured > 0 {
+        println!(
+            "bench {name}: {} ns/iter ({} iters)",
+            b.elapsed_ns / b.measured as u128,
+            b.measured
+        );
+    }
+}
+
+/// Passed to the benchmark closure; times the routine.
+pub struct Bencher {
+    iterations: u64,
+    elapsed_ns: u128,
+    measured: u64,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos();
+        self.measured += self.iterations;
+    }
+
+    /// Time `routine` with a fresh `setup()` input per iteration; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed_ns += start.elapsed().as_nanos();
+            self.measured += 1;
+        }
+    }
+}
+
+/// Collect benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 20);
+    }
+}

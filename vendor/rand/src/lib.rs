@@ -1,0 +1,129 @@
+//! Offline vendored stub of the `rand` crate.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors the *exact* API surface it consumes: [`RngCore`],
+//! [`Rng::gen`] and [`SeedableRng::seed_from_u64`]. Anything else from real
+//! `rand` is intentionally absent — if new code needs more, extend this stub
+//! rather than adding a registry dependency.
+//!
+//! Determinism is the only contract: the same seed must always produce the
+//! same stream. Bit-compatibility with upstream `rand` is *not* promised
+//! (no golden RNG values are pinned anywhere in the workspace).
+
+#![deny(missing_docs)]
+
+/// The core of a random number generator: a source of `u32`/`u64` words.
+pub trait RngCore {
+    /// Return the next pseudo-random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Return the next pseudo-random `u32` (high word of [`next_u64`]).
+    ///
+    /// [`next_u64`]: RngCore::next_u64
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Types that can be sampled uniformly from an [`RngCore`].
+///
+/// This plays the role of `rand::distributions::Standard`: `f64`/`f32`
+/// sample uniformly from `[0, 1)`, integers uniformly over their full range,
+/// `bool` as a fair coin.
+pub trait StandardSample: Sized {
+    /// Draw one value from `rng`.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits, exactly the classic [0, 1) construction.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for u64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for usize {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from the standard distribution
+    /// (`f64` → uniform `[0, 1)`).
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+
+    /// Return `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// RNGs constructible from a small integer seed.
+pub trait SeedableRng: Sized {
+    /// Build the generator from a `u64` seed. Same seed ⇒ same stream.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 so the f64 distribution test sees spread-out bits.
+            self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn f64_is_unit_interval() {
+        let mut rng = Counter(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_roughly_half() {
+        let mut rng = Counter(11);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -1,0 +1,136 @@
+//! Offline vendored stub of `serde`.
+//!
+//! Real serde separates the data model (`Serializer` visitors) from formats;
+//! this workspace only ever serializes **to JSON**, so the stub collapses
+//! the two: [`Serialize`] converts a value directly into the JSON
+//! [`value::Value`] tree defined here, and the `serde_json` stub renders /
+//! parses that tree. The `Serialize`/`Deserialize` derive macros come from
+//! the sibling `serde_derive` stub (re-exported under the `derive` feature,
+//! mirroring upstream).
+//!
+//! [`Deserialize`] is a marker only: no call site in the workspace
+//! deserializes into a typed struct (only into `serde_json::Value`).
+
+#![deny(missing_docs)]
+
+pub mod value;
+
+pub use value::Value;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Types convertible to a JSON [`Value`] tree.
+pub trait Serialize {
+    /// Convert `self` into a JSON value.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Marker trait emitted by `#[derive(Deserialize)]`.
+///
+/// The workspace never deserializes into typed structs (only into
+/// `serde_json::Value`), so no methods are required.
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! impl_serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                let v = *self as f64;
+                if v.is_finite() {
+                    Value::Number(v)
+                } else {
+                    // Upstream serde_json also emits null for non-finite floats.
+                    Value::Null
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+    )*};
+}
+
+impl_serialize_float!(f32, f64);
+impl_serialize_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+    )*};
+}
+
+impl_serialize_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}

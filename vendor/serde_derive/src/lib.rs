@@ -1,0 +1,290 @@
+//! Offline vendored stub of `serde_derive`: `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` implemented directly on `proc_macro` token
+//! streams (no `syn`/`quote` — the build environment is offline).
+//!
+//! Supported shapes — exactly the ones this workspace derives on:
+//! non-generic structs (named, tuple, unit) and non-generic enums whose
+//! variants are unit, tuple or struct-like. JSON mapping mirrors upstream
+//! serde's "externally tagged" default:
+//! unit variant → `"Name"`, newtype → `{"Name": inner}`,
+//! tuple → `{"Name": [..]}`, struct variant → `{"Name": {..}}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (stub: direct conversion to the JSON tree).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from("let mut m = ::serde::value::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "m.insert(String::from(\"{f}\"), ::serde::Serialize::to_json_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::value::Value::Object(m)");
+            s
+        }
+        Shape::TupleStruct(arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_json_value(&self.{i})"))
+                .collect();
+            format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::value::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                let name = &item.name;
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => s.push_str(&format!(
+                        "{name}::{vname} => ::serde::value::Value::String(String::from(\"{vname}\")),\n"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let inner = if *arity == 1 {
+                            "::serde::Serialize::to_json_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                                .collect();
+                            format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        s.push_str(&format!(
+                            "{name}::{vname}({}) => {{ let mut m = ::serde::value::Map::new(); \
+                             m.insert(String::from(\"{vname}\"), {inner}); \
+                             ::serde::value::Value::Object(m) }}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner =
+                            String::from("let mut __inner = ::serde::value::Map::new(); ");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__inner.insert(String::from(\"{f}\"), ::serde::Serialize::to_json_value({f})); "
+                            ));
+                        }
+                        s.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{ {inner} \
+                             let mut m = ::serde::value::Map::new(); \
+                             m.insert(String::from(\"{vname}\"), ::serde::value::Value::Object(__inner)); \
+                             ::serde::value::Value::Object(m) }}\n"
+                        ));
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {} {{\n fn to_json_value(&self) -> ::serde::value::Value {{\n {body}\n }}\n}}",
+        item.name
+    )
+    .parse()
+    .expect("serde_derive stub emitted invalid Rust")
+}
+
+/// Derive `serde::Deserialize` (stub: marker impl only — the workspace
+/// never deserializes into typed structs).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {} {{}}",
+        item.name
+    )
+    .parse()
+    .expect("serde_derive stub emitted invalid Rust")
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // '#' + [...] group
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic types are not supported (derive on {name})");
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_top_level_items(g.stream()))
+            }
+            _ => Shape::UnitStruct,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive stub: malformed enum {name}: {other:?}"),
+        },
+        other => panic!("serde_derive stub: cannot derive for `{other} {name}`"),
+    };
+    Item { name, shape }
+}
+
+/// Field names from `{ a: T, pub b: U, ... }`, tracking `<...>` depth so
+/// commas inside generic arguments don't split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip field attributes and visibility.
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        // Expect ':' then skip the type up to the next top-level comma.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Count comma-separated items in a tuple-struct/-variant body.
+fn count_top_level_items(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle = 0i32;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip variant attributes (incl. doc comments).
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_top_level_items(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional `= discriminant` and the separating comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
