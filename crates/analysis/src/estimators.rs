@@ -142,6 +142,8 @@ pub fn measure_solo_fluid(proto: &dyn Protocol, cfg: &SweepConfig) -> SoloMetric
             Some(a) => a.pointwise_worst(&m),
         });
     }
+    #[allow(clippy::expect_used)] // invariant: SweepConfig always carries configurations
+    // tidy-allow: panic-freedom — SweepConfig construction guarantees a non-empty sweep; None is unreachable
     agg.expect("sweep had no configurations")
 }
 

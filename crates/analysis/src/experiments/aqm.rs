@@ -160,7 +160,7 @@ impl AqmComparison {
                 c.marks.to_string(),
                 fmt_score(c.loss_bound),
                 fmt_score(c.latency_inflation),
-                format!("{:.1}", c.mean_rtt * 1000.0),
+                format!("{:.1}", axcc_core::units::sec_to_ms(c.mean_rtt)),
                 fmt_score(c.utilization),
                 fmt_score(c.jain),
             ]);

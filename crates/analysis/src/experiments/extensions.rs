@@ -56,9 +56,9 @@ pub fn extension_lineup() -> Vec<Box<dyn Protocol>> {
     ]
 }
 
-/// Standard link: C = 100 MSS, τ = 20 MSS.
+/// Standard link: the [`LinkParams::reference`] link (C = 100 MSS, τ = 20 MSS).
 fn link() -> LinkParams {
-    LinkParams::new(1000.0, 0.05, 20.0)
+    LinkParams::reference()
 }
 
 /// Run the extension experiments with `steps` fluid steps per run.

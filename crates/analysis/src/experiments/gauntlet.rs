@@ -129,9 +129,10 @@ fn infinite_link() -> LinkParams {
     LinkParams::new(MAX_WINDOW * 100.0, 0.05, MAX_WINDOW)
 }
 
-/// A standard congested link for the side-effect columns.
+/// A standard congested link for the side-effect columns: the
+/// [`LinkParams::reference`] link (C = 100 MSS, τ = 20 MSS).
 fn congested_link() -> LinkParams {
-    LinkParams::new(1000.0, 0.05, 20.0)
+    LinkParams::reference()
 }
 
 /// The Gilbert–Elliott model of one gauntlet cell.

@@ -31,17 +31,27 @@ impl LabeledScore {
 
 /// Rank labels best→worst for `metric` (stable: ties keep input order).
 /// Infinite scores sort as expected (∞ is best for higher-is-better
-/// metrics, worst for the loss/latency metrics).
+/// metrics, worst for the loss/latency metrics). NaN scores — a metric
+/// that failed to evaluate — rank strictly last for *either* orientation,
+/// via [`f64::total_cmp`], so a NaN can never silently compare `Equal`
+/// and leave the ranking dependent on input order.
 pub fn rank(metric: Metric, items: &[LabeledScore]) -> Vec<String> {
+    use std::cmp::Ordering;
     let mut idx: Vec<usize> = (0..items.len()).collect();
     idx.sort_by(|&i, &j| {
         let (a, b) = (items[i].score, items[j].score);
-        let ord = if metric.higher_is_better() {
-            b.partial_cmp(&a)
-        } else {
-            a.partial_cmp(&b)
-        };
-        ord.unwrap_or(std::cmp::Ordering::Equal)
+        match (a.is_nan(), b.is_nan()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+            (false, false) => {
+                if metric.higher_is_better() {
+                    b.total_cmp(&a)
+                } else {
+                    a.total_cmp(&b)
+                }
+            }
+        }
     });
     idx.into_iter().map(|i| items[i].label.clone()).collect()
 }
@@ -135,6 +145,23 @@ mod tests {
             rank(Metric::FastUtilization, &items),
             vec!["mimd", "reno", "cubic"]
         );
+    }
+
+    #[test]
+    fn rank_puts_nan_last_for_both_orientations() {
+        // Regression for the partial_cmp(..).unwrap_or(Equal) ordering: a
+        // NaN score used to compare Equal to every neighbour, so its rank
+        // (and its neighbours') depended on input order. It now ranks
+        // strictly last under either orientation, wherever it appears.
+        let items = ls(&[("nan", f64::NAN), ("good", 0.9), ("bad", 0.1)]);
+        assert_eq!(rank(Metric::Efficiency, &items), vec!["good", "bad", "nan"]);
+        assert_eq!(
+            rank(Metric::LossAvoidance, &items),
+            vec!["bad", "good", "nan"]
+        );
+        // Same protocols, NaN in the middle: identical ranking.
+        let items = ls(&[("good", 0.9), ("nan", f64::NAN), ("bad", 0.1)]);
+        assert_eq!(rank(Metric::Efficiency, &items), vec!["good", "bad", "nan"]);
     }
 
     #[test]

@@ -69,9 +69,10 @@ fn roomy_link() -> LinkParams {
     LinkParams::new(1.0e8, 0.05, 1.0e8)
 }
 
-/// A standard congested link for the efficiency column.
+/// A standard congested link for the efficiency column: the
+/// [`LinkParams::reference`] link (C = 100 MSS, τ = 20 MSS).
 fn congested_link() -> LinkParams {
-    LinkParams::new(1000.0, 0.05, 20.0)
+    LinkParams::reference()
 }
 
 /// Run the shootout with `steps` fluid steps per run.

@@ -33,9 +33,10 @@ pub struct TheoremCheck {
     pub detail: String,
 }
 
-/// Standard link for the checks: C = 100 MSS, τ = 20 MSS.
+/// Standard link for the checks: the [`LinkParams::reference`] link
+/// (12 Mbps, C = 100 MSS, τ = 20 MSS).
 pub fn check_link() -> LinkParams {
-    LinkParams::new(1000.0, 0.05, 20.0)
+    LinkParams::reference()
 }
 
 /// Run every check. `steps` controls the run length of each simulation
@@ -170,7 +171,9 @@ pub fn check_theorem3(steps: usize) -> TheoremCheck {
     let plain = Aimd::new(a, b);
     let r_rob = measure_robustness_fluid(&robust, &ROBUSTNESS_RATES, steps);
     let r_plain = measure_robustness_fluid(&plain, &ROBUSTNESS_RATES, steps);
-    let robustness_ordered = r_rob > 0.0 && r_plain == 0.0;
+    // `<= 0.0` rather than `== 0.0`: NaN-sound, and a (theoretically
+    // impossible) negative score must not count as "robust".
+    let robustness_ordered = r_rob > 0.0 && r_plain <= 0.0;
 
     let f_rob = measure_friendliness_fluid(&robust, &reno, link, 1, 1, steps, &[(1.0, 1.0)]);
     let f_plain = measure_friendliness_fluid(&plain, &reno, link, 1, 1, steps, &[(1.0, 1.0)]);

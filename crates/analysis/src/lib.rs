@@ -21,8 +21,11 @@
 //! * [`report`] — fixed-width text tables for the experiment binaries, and
 //!   JSON serialization for EXPERIMENTS.md data dumps.
 
-#![deny(missing_docs)]
-#![warn(clippy::all)]
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    test,
+    allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)
+)]
 
 pub mod estimators;
 pub mod experiments;

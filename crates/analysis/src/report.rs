@@ -92,7 +92,7 @@ pub fn fmt_score(v: f64) -> String {
         "-".to_string()
     } else if v.is_infinite() {
         "inf".to_string()
-    } else if v != 0.0 && v.abs() < 0.0005 {
+    } else if (f64::MIN_POSITIVE..0.0005).contains(&v.abs()) {
         // Preserve tiny-but-nonzero scores (e.g. Theorem 3 bounds ~1e-4).
         format!("{v:.1e}")
     } else {

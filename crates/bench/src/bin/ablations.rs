@@ -31,7 +31,7 @@ fn link() -> LinkParams {
     LinkParams::from_experiment(Bandwidth::Mbps(20.0), 42.0, 100.0)
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let reno = Aimd::reno();
     let mut json = serde_json::Map::new();
 
@@ -118,20 +118,23 @@ fn main() {
     let mut t = TextTable::new(["protocol", "synchronized", "per-packet"]);
     let mut sweep = Vec::new();
     for name in ["reno", "scalable", "cubic"] {
-        let fairness = |mode: axcc_fluidsim::FeedbackMode| {
-            let proto = axcc_protocols::registry::resolve(name).expect("known protocol");
-            let trace = axcc_fluidsim::Scenario::new(link())
-                .sender(axcc_fluidsim::SenderConfig::new(proto.clone_box()).initial_window(120.0))
-                .sender(axcc_fluidsim::SenderConfig::new(proto).initial_window(30.0))
-                .feedback(mode)
-                .seed(5)
-                .steps(STEPS)
-                .run();
-            let tail = trace.tail_start(0.5);
-            axcc_core::axioms::fairness::measured_fairness(&trace, tail)
-        };
-        let sync = fairness(axcc_fluidsim::FeedbackMode::Synchronized);
-        let unsync = fairness(axcc_fluidsim::FeedbackMode::PerPacket);
+        let fairness =
+            |mode: axcc_fluidsim::FeedbackMode| -> Result<f64, Box<dyn std::error::Error>> {
+                let proto = axcc_protocols::registry::resolve(name)?;
+                let trace = axcc_fluidsim::Scenario::new(link())
+                    .sender(
+                        axcc_fluidsim::SenderConfig::new(proto.clone_box()).initial_window(120.0),
+                    )
+                    .sender(axcc_fluidsim::SenderConfig::new(proto).initial_window(30.0))
+                    .feedback(mode)
+                    .seed(5)
+                    .steps(STEPS)
+                    .run();
+                let tail = trace.tail_start(0.5);
+                Ok(axcc_core::axioms::fairness::measured_fairness(&trace, tail))
+            };
+        let sync = fairness(axcc_fluidsim::FeedbackMode::Synchronized)?;
+        let unsync = fairness(axcc_fluidsim::FeedbackMode::PerPacket)?;
         t.row([name.to_string(), fmt_score(sync), fmt_score(unsync)]);
         sweep.push(serde_json::json!({"protocol": name, "sync": sync, "per_packet": unsync}));
     }
@@ -143,7 +146,8 @@ fn main() {
     if has_flag("--json") {
         println!(
             "{}",
-            serde_json::to_string_pretty(&serde_json::Value::Object(json)).expect("serialize")
+            serde_json::to_string_pretty(&serde_json::Value::Object(json))?
         );
     }
+    Ok(())
 }

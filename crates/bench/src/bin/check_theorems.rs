@@ -10,16 +10,14 @@
 use axcc_analysis::experiments::theorems::{check_all, render_checks};
 use axcc_bench::{budget, has_flag};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let checks = check_all(budget::THEOREM_STEPS);
     println!("{}", render_checks(&checks));
     if has_flag("--json") {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&checks).expect("serialize")
-        );
+        println!("{}", serde_json::to_string_pretty(&checks)?);
     }
     if checks.iter().any(|c| !c.passed) {
         std::process::exit(1);
     }
+    Ok(())
 }

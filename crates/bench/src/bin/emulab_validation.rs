@@ -11,7 +11,7 @@
 use axcc_analysis::experiments::emulab::{run_emulab_validation, EmulabConfig};
 use axcc_bench::has_flag;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = if has_flag("--quick") {
         EmulabConfig::quick()
     } else {
@@ -22,6 +22,7 @@ fn main() {
     println!("{}", v.render());
     println!("mean hierarchy agreement: {:.3}", v.mean_agreement());
     if has_flag("--json") {
-        println!("{}", serde_json::to_string_pretty(&v).expect("serialize"));
+        println!("{}", serde_json::to_string_pretty(&v)?);
     }
+    Ok(())
 }

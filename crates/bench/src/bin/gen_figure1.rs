@@ -16,7 +16,7 @@ use axcc_bench::{budget, has_flag};
 use axcc_core::units::Bandwidth;
 use axcc_core::LinkParams;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fig = if has_flag("--validate") {
         let link = LinkParams::from_experiment(Bandwidth::Mbps(20.0), 42.0, 100.0);
         eprintln!(
@@ -30,6 +30,7 @@ fn main() {
     };
     println!("{}", fig.render());
     if has_flag("--json") {
-        println!("{}", serde_json::to_string_pretty(&fig).expect("serialize"));
+        println!("{}", serde_json::to_string_pretty(&fig)?);
     }
+    Ok(())
 }

@@ -10,8 +10,8 @@ use axcc_analysis::experiments::frontier::search_frontier;
 use axcc_bench::{budget, has_flag};
 use axcc_core::LinkParams;
 
-fn main() {
-    let link = LinkParams::new(1000.0, 0.05, 20.0);
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let link = LinkParams::reference();
     eprintln!(
         "scoring the candidate pool ({} steps per run)…",
         budget::THEOREM_STEPS
@@ -19,6 +19,7 @@ fn main() {
     let f = search_frontier(link, budget::THEOREM_STEPS);
     println!("{}", f.render());
     if has_flag("--json") {
-        println!("{}", serde_json::to_string_pretty(&f).expect("serialize"));
+        println!("{}", serde_json::to_string_pretty(&f)?);
     }
+    Ok(())
 }

@@ -13,7 +13,7 @@ use axcc_bench::{budget, has_flag};
 use axcc_core::units::Bandwidth;
 use axcc_core::LinkParams;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let link = LinkParams::from_experiment(Bandwidth::Mbps(100.0), 42.0, 100.0);
     let n = 2;
     let table = if has_flag("--simulate") {
@@ -28,9 +28,7 @@ fn main() {
     };
     println!("{}", table.render());
     if has_flag("--json") {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&table).expect("serialize")
-        );
+        println!("{}", serde_json::to_string_pretty(&table)?);
     }
+    Ok(())
 }

@@ -18,7 +18,7 @@ use axcc_analysis::experiments::table2::{
 };
 use axcc_bench::{budget, has_flag};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let table = if has_flag("--paced") {
         eprintln!(
             "running 12 cells at packet level with paced PCC ({}s each)…",
@@ -40,9 +40,7 @@ fn main() {
     };
     println!("{}", table.render());
     if has_flag("--json") {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&table).expect("serialize")
-        );
+        println!("{}", serde_json::to_string_pretty(&table)?);
     }
+    Ok(())
 }

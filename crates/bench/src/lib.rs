@@ -18,6 +18,12 @@
 //! throughput bench — so performance regressions in the engines or the
 //! harness show up in CI.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    test,
+    allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)
+)]
+
 /// Shared run lengths so the binaries and benches exercise identical
 /// workloads.
 pub mod budget {

@@ -76,8 +76,8 @@ impl Args {
             };
             if let Some((k, v)) = name.split_once('=') {
                 flags.insert(k.to_string(), v.to_string());
-            } else if it.peek().is_some_and(|n| !n.starts_with("--")) {
-                flags.insert(name.to_string(), it.next().expect("peeked"));
+            } else if let Some(value) = it.next_if(|n| !n.starts_with("--")) {
+                flags.insert(name.to_string(), value);
             } else {
                 // Boolean switch.
                 flags.insert(name.to_string(), "true".to_string());

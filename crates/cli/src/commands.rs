@@ -68,6 +68,12 @@ pub enum CliError {
     Failed(String),
 }
 
+/// Lift a `serde_json` serialization result into [`CliError`] so the
+/// `--json` paths never panic on a serializer failure.
+fn json_or_err(r: Result<String, serde_json::Error>) -> Result<String, CliError> {
+    r.map_err(|e| CliError::Failed(format!("JSON serialization failed: {e}")))
+}
+
 impl From<crate::args::ArgError> for CliError {
     fn from(e: crate::args::ArgError) -> Self {
         CliError::Usage(e.to_string())
@@ -182,7 +188,7 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
         "link: {:.1} Mbps ({:.0} MSS/s), RTT {:.0} ms, buffer {:.0} MSS — C = {:.1} MSS\n",
         axcc_core::units::mss_per_sec_to_mbps(link.bandwidth),
         link.bandwidth,
-        link.min_rtt() * 1000.0,
+        axcc_core::units::sec_to_ms(link.min_rtt()),
         link.buffer,
         link.capacity()
     );
@@ -262,7 +268,7 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
         fmt_score(m.latency_inflation),
     );
     if json {
-        let _ = writeln!(out, "{}", serde_json::to_string(&m).expect("serialize"));
+        let _ = writeln!(out, "{}", json_or_err(serde_json::to_string(&m))?);
     }
     Ok(out)
 }
@@ -296,11 +302,7 @@ fn cmd_score(args: &Args) -> Result<String, CliError> {
         let _ = writeln!(out, "  {label:<18} {}", fmt_score(v));
     }
     if json {
-        let _ = writeln!(
-            out,
-            "\n{}",
-            serde_json::to_string(&scores).expect("serialize")
-        );
+        let _ = writeln!(out, "\n{}", json_or_err(serde_json::to_string(&scores))?);
     }
     Ok(out)
 }
@@ -393,7 +395,7 @@ fn cmd_frontier(args: &Args) -> Result<String, CliError> {
     let f = frontier::search_frontier(link, steps);
     let mut out = f.render();
     if json {
-        let _ = writeln!(out, "\n{}", serde_json::to_string(&f).expect("serialize"));
+        let _ = writeln!(out, "\n{}", json_or_err(serde_json::to_string(&f))?);
     }
     Ok(out)
 }
@@ -545,7 +547,7 @@ fn cmd_gauntlet(args: &Args) -> Result<String, CliError> {
     let rep = gauntlet::run_gauntlet(steps);
     let mut out = rep.render();
     if json {
-        let _ = writeln!(out, "\n{}", serde_json::to_string(&rep).expect("serialize"));
+        let _ = writeln!(out, "\n{}", json_or_err(serde_json::to_string(&rep))?);
     }
     Ok(out)
 }

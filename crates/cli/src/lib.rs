@@ -22,7 +22,11 @@
 //! (plus an exit code), which is what makes the CLI testable end-to-end
 //! without spawning processes.
 
-#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    test,
+    allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)
+)]
 
 pub mod args;
 mod commands;

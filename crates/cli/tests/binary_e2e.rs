@@ -2,6 +2,8 @@
 //! exit codes, stdout/stderr separation, JSON validity — the contract a
 //! shell script or CI pipeline relies on.
 
+#![allow(clippy::expect_used)] // spawn failures should abort the e2e suite loudly
+
 use std::process::Command;
 
 fn axcc(args: &[&str]) -> (i32, String, String) {

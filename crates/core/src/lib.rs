@@ -35,8 +35,11 @@
 //! of windows, RTTs and loss rates to its next window — see
 //! [`protocol::Protocol`].
 
-#![deny(missing_docs)]
-#![warn(clippy::all)]
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    test,
+    allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)
+)]
 
 pub mod axioms;
 pub mod error;

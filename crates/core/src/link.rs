@@ -59,6 +59,15 @@ impl LinkParams {
         Self::new(bandwidth.mss_per_sec(), ms_to_sec(rtt_ms) / 2.0, buffer_mss)
     }
 
+    /// The standard reference link shared by the theorem checks, the
+    /// robustness shootout, the extension experiments, and the examples:
+    /// 12 Mbps (exactly 1000 MSS/s at 1500-byte MSS), 100 ms RTT
+    /// (`Θ` = 50 ms), and a 20-MSS buffer — so `C = B·2Θ = 100` MSS and
+    /// the loss threshold `C + τ = 120` MSS.
+    pub fn reference() -> Self {
+        Self::from_experiment(Bandwidth::Mbps(12.0), 100.0, 20.0)
+    }
+
     /// The link "capacity" `C = B · 2Θ`: the minimum possible
     /// bandwidth-delay product (paper, Section 2).
     pub fn capacity(&self) -> f64 {

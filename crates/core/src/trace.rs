@@ -181,7 +181,8 @@ impl RunTrace {
                 }
             }
             for (t, &l) in s.loss.iter().enumerate() {
-                if !(0.0..1.0).contains(&l) && l != 0.0 {
+                // NaN fails `contains` and is rejected here too.
+                if !(0.0..1.0).contains(&l) {
                     return Err(format!("sender {i} loss {l} out of [0,1) at t={t}"));
                 }
             }

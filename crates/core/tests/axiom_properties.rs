@@ -2,6 +2,7 @@
 //! facts that must hold for *every* trace and link, not just the examples
 //! in the unit tests.
 
+#![allow(clippy::float_cmp)] // exact comparisons are deliberate in tests
 use axcc_core::axioms::{
     convergence, efficiency, fairness, fast_utilization, latency, loss_avoidance,
 };

@@ -2,6 +2,7 @@
 //! theorem bounds, and the feasibility checker must satisfy their
 //! structural relations for *arbitrary* in-domain parameters.
 
+#![allow(clippy::float_cmp)] // exact comparisons are deliberate in tests
 use axcc_core::theory::feasibility::{infeasibilities_loss_based, is_consistent_loss_based};
 use axcc_core::theory::theorems::{
     theorem1_efficiency_lower_bound, theorem2_friendliness_upper_bound,

@@ -64,8 +64,11 @@ pub fn try_run_scenario(scenario: Scenario) -> Result<RunTrace, ScenarioError> {
 
     for t in 0..steps as u64 {
         // (0) scheduled link changes.
-        while pending_changes.peek().is_some_and(|&(at, _)| at <= t) {
-            let (_, new_bw) = pending_changes.next().expect("peeked");
+        while let Some(&(at, new_bw)) = pending_changes.peek() {
+            if at > t {
+                break;
+            }
+            pending_changes.next();
             active_link = axcc_core::LinkParams::new(new_bw, link.prop_delay, link.buffer);
         }
 
@@ -158,6 +161,7 @@ pub fn try_run_scenario(scenario: Scenario) -> Result<RunTrace, ScenarioError> {
 ///
 /// Panics on an invalid scenario or a numerically divergent run.
 pub fn run_scenario(scenario: Scenario) -> RunTrace {
+    // tidy-allow: panic-freedom — documented panicking façade over try_run_scenario; fallible callers use the try_ path
     try_run_scenario(scenario).unwrap_or_else(|e| panic!("{e}"))
 }
 

@@ -41,9 +41,11 @@
 //! assert!((a / b - 1.0).abs() < 0.1);
 //! ```
 
-#![deny(missing_docs)]
-#![warn(clippy::all)]
-#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    test,
+    allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)
+)]
 
 mod engine;
 pub mod loss;

@@ -233,6 +233,7 @@ impl Scenario {
     /// model — or if the simulation diverges numerically. Use
     /// [`try_run`](Scenario::try_run) to handle these as values.
     pub fn run(self) -> RunTrace {
+        // tidy-allow: panic-freedom — documented panicking façade over try_run; fallible callers use the try_ path
         self.try_run().unwrap_or_else(|e| panic!("{e}"))
     }
 }

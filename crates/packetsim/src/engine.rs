@@ -280,6 +280,7 @@ impl PacketScenario {
     /// configuration. Use [`try_run`](Self::try_run) to handle errors as
     /// values.
     pub fn run(self) -> SimOutput {
+        // tidy-allow: panic-freedom — documented panicking façade over try_run; fallible callers use the try_ path
         self.try_run().unwrap_or_else(|e| panic!("{e}"))
     }
 }

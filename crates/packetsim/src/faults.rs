@@ -210,10 +210,14 @@ impl FaultPlan {
     }
 
     /// Add a link blackout over `[from_secs, to_secs)`.
+    ///
+    /// The window list is kept sorted with [`f64::total_cmp`]: a NaN
+    /// bound sorts deterministically (last) instead of silently
+    /// comparing `Equal` and shuffling its neighbours, and is then
+    /// rejected by [`FaultPlan::validate`].
     pub fn outage(mut self, from_secs: f64, to_secs: f64) -> Self {
         self.outages.push((from_secs, to_secs));
-        self.outages
-            .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        self.outages.sort_by(|a, b| a.0.total_cmp(&b.0));
         self
     }
 
@@ -221,8 +225,7 @@ impl FaultPlan {
     /// `at_secs`.
     pub fn capacity_flap(mut self, at_secs: f64, bandwidth: f64) -> Self {
         self.capacity_flaps.push((at_secs, bandwidth));
-        self.capacity_flaps
-            .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        self.capacity_flaps.sort_by(|a, b| a.0.total_cmp(&b.0));
         self
     }
 
@@ -535,6 +538,44 @@ mod tests {
         ));
         // An unrealizable bursty model (mean above bad-state rate).
         assert!(WireLoss::bursty(0.5, 4.0, 0.2).validate().is_err());
+    }
+
+    #[test]
+    fn nan_bounds_sort_deterministically_and_are_rejected() {
+        // Regression for the partial_cmp(..).unwrap_or(Equal) bug: a NaN
+        // timestamp used to compare Equal to everything, leaving the
+        // window order dependent on insertion order. With total_cmp the
+        // NaN sorts last, the finite windows stay correctly ordered, and
+        // validate() rejects the plan instead of mis-sorting it.
+        let plan = FaultPlan::new()
+            .outage(5.0, 6.0)
+            .outage(f64::NAN, 2.0)
+            .outage(1.0, 2.0);
+        assert_eq!(plan.outages[0], (1.0, 2.0));
+        assert_eq!(plan.outages[1], (5.0, 6.0));
+        assert!(plan.outages[2].0.is_nan());
+        assert!(matches!(
+            plan.validate(),
+            Err(ScenarioError::InvalidParameter {
+                field: "outage",
+                ..
+            })
+        ));
+
+        let plan = FaultPlan::new()
+            .capacity_flap(9.0, 10.0)
+            .capacity_flap(f64::NAN, 50.0)
+            .capacity_flap(3.0, 200.0);
+        assert_eq!(plan.capacity_flaps[0], (3.0, 200.0));
+        assert_eq!(plan.capacity_flaps[1], (9.0, 10.0));
+        assert!(plan.capacity_flaps[2].0.is_nan());
+        assert!(matches!(
+            plan.validate(),
+            Err(ScenarioError::InvalidParameter {
+                field: "capacity_flap",
+                ..
+            })
+        ));
     }
 
     #[test]

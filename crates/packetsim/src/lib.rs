@@ -47,9 +47,11 @@
 //! assert!(fair > 0.5, "two Renos share fairly, got {fair}");
 //! ```
 
-#![deny(missing_docs)]
-#![warn(clippy::all)]
-#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    test,
+    allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)
+)]
 
 mod engine;
 pub mod event;

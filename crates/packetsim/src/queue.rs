@@ -116,6 +116,8 @@ impl DropTailQueue {
     /// Panics if the link was idle (a departure event without a packet in
     /// service indicates an engine bug).
     pub fn depart(&mut self) -> (QueuedPacket, bool) {
+        #[allow(clippy::expect_used)] // engine invariant documented above
+        // tidy-allow: panic-freedom — a departure event with no packet in service is an engine bug; see # Panics
         let done = self.in_service.take().expect("departure from idle link");
         if let Some(next) = self.waiting.pop_front() {
             self.in_service = Some(next);

@@ -65,6 +65,8 @@ impl AddAssign for Time {
 impl Sub for Time {
     type Output = Time;
     fn sub(self, rhs: Time) -> Time {
+        #[allow(clippy::expect_used)] // monotone event clock: underflow is an engine bug
+        // tidy-allow: panic-freedom — the event clock is monotone; subtracting a later time is an engine bug
         Time(self.0.checked_sub(rhs.0).expect("time went backwards"))
     }
 }

@@ -1,6 +1,7 @@
 //! Property tests for the packet-level engine: conservation, buffer
 //! bounds, determinism and timing sanity for arbitrary scenarios.
 
+#![allow(clippy::float_cmp)] // exact comparisons are deliberate in tests
 use axcc_core::protocol::MAX_WINDOW;
 use axcc_core::LinkParams;
 use axcc_packetsim::{PacketScenario, PacketSenderConfig};

@@ -40,8 +40,11 @@
 //! analytic [`ProtocolSpec`](axcc_core::theory::ProtocolSpec) to the
 //! executable protocol so theory and simulation always share parameters.
 
-#![deny(missing_docs)]
-#![warn(clippy::all)]
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    test,
+    allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)
+)]
 
 mod aimd;
 mod bbr;

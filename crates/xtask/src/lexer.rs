@@ -1,0 +1,411 @@
+//! A minimal Rust lexer for static analysis: strips comments and
+//! string/char literals (replacing their contents with spaces, so columns
+//! and line counts are preserved) and marks the lines that belong to test
+//! code (`#[cfg(test)]` items and `#[test]` functions).
+//!
+//! Doc comments are comments, so doctest example code is stripped along
+//! with them — rules never fire on prose or examples. The lexer is
+//! deliberately permissive: on malformed input it degrades to treating
+//! the remainder of the file as code, which at worst produces an extra
+//! diagnostic for a human to look at (never a silently skipped file).
+
+/// One source line, in both raw and stripped form.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// The original line text (used to parse `tidy-allow` comments and
+    /// check doc-comment conventions).
+    pub raw: String,
+    /// The line with comments and literal contents blanked out: only
+    /// genuine code tokens survive, so rule patterns never match prose.
+    pub code: String,
+    /// Whether this line sits inside `#[cfg(test)]`-gated code or a
+    /// `#[test]` function.
+    pub in_test: bool,
+}
+
+/// A lexed source file: per-line raw text, stripped code, test marking.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Lines in file order (`lines[0]` is line 1).
+    pub lines: Vec<Line>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str { raw_hashes: Option<u32> },
+    Char,
+}
+
+/// Strip `src` into per-line code/raw pairs and mark test regions.
+pub fn lex(src: &str) -> SourceFile {
+    let stripped = strip(src);
+    let raw_lines: Vec<&str> = src.split('\n').collect();
+    let code_lines: Vec<&str> = stripped.split('\n').collect();
+    let in_test = mark_test_regions(&code_lines);
+    let lines = raw_lines
+        .iter()
+        .zip(code_lines.iter())
+        .zip(in_test)
+        .map(|((raw, code), in_test)| Line {
+            raw: (*raw).to_string(),
+            code: (*code).to_string(),
+            in_test,
+        })
+        .collect();
+    SourceFile { lines }
+}
+
+/// Replace comment bodies and string/char literal contents with spaces,
+/// preserving newlines (and thus line numbers).
+fn strip(src: &str) -> String {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match state {
+            State::Code => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    out.push_str("  ");
+                    i += 2;
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    out.push_str("  ");
+                    i += 2;
+                }
+                '"' => {
+                    state = State::Str { raw_hashes: None };
+                    out.push(' ');
+                    i += 1;
+                }
+                'r' | 'b' if starts_raw_or_byte_literal(&chars, i) => {
+                    let (consumed, hashes, is_char) = literal_prefix(&chars, i);
+                    for _ in 0..consumed {
+                        out.push(' ');
+                    }
+                    i += consumed;
+                    state = if is_char {
+                        State::Char
+                    } else {
+                        State::Str { raw_hashes: hashes }
+                    };
+                }
+                '\'' => {
+                    if is_lifetime(&chars, i) {
+                        out.push(c);
+                        i += 1;
+                    } else {
+                        state = State::Char;
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+                '\n' => {
+                    out.push('\n');
+                    i += 1;
+                }
+                _ => {
+                    out.push(c);
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                if c == '\n' {
+                    state = State::Code;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    out.push_str("  ");
+                    i += 2;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            State::Str { raw_hashes } => match raw_hashes {
+                None => {
+                    if c == '\\' {
+                        // Preserve newlines under string-continuation
+                        // escapes so line numbers stay aligned.
+                        out.push(' ');
+                        out.push(if next == Some('\n') { '\n' } else { ' ' });
+                        i += 2;
+                    } else if c == '"' {
+                        state = State::Code;
+                        out.push(' ');
+                        i += 1;
+                    } else {
+                        out.push(if c == '\n' { '\n' } else { ' ' });
+                        i += 1;
+                    }
+                }
+                Some(hashes) => {
+                    if c == '"' && has_hashes(&chars, i + 1, hashes) {
+                        state = State::Code;
+                        for _ in 0..(1 + hashes as usize) {
+                            out.push(' ');
+                        }
+                        i += 1 + hashes as usize;
+                    } else {
+                        out.push(if c == '\n' { '\n' } else { ' ' });
+                        i += 1;
+                    }
+                }
+            },
+            State::Char => {
+                if c == '\\' {
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '\'' {
+                    state = State::Code;
+                    out.push(' ');
+                    i += 1;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Does `chars[i..]` begin a raw string (`r"`, `r#"`), byte string
+/// (`b"`, `br#"`), or byte char (`b'`) literal? Plain identifiers that
+/// merely start with `r`/`b` must not match, so the preceding character
+/// may not be part of an identifier.
+fn starts_raw_or_byte_literal(chars: &[char], i: usize) -> bool {
+    if i > 0 {
+        let p = chars[i - 1];
+        if p.is_alphanumeric() || p == '_' {
+            return false;
+        }
+    }
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        match chars.get(j) {
+            Some('\'') | Some('"') => return true,
+            Some('r') => j += 1,
+            _ => return false,
+        }
+    } else {
+        // chars[i] == 'r'
+        j += 1;
+    }
+    loop {
+        match chars.get(j) {
+            Some('#') => j += 1,
+            Some('"') => return true,
+            _ => return false,
+        }
+    }
+}
+
+/// Length of the literal prefix starting at `i` (up to and including the
+/// opening quote), the number of `#`s for raw strings, and whether it is
+/// a (byte) char literal.
+fn literal_prefix(chars: &[char], i: usize) -> (usize, Option<u32>, bool) {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if chars.get(j) == Some(&'\'') {
+            return (j + 1 - i, None, true);
+        }
+    }
+    let raw = chars.get(j) == Some(&'r');
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    // chars[j] is the opening quote.
+    (j + 1 - i, raw.then_some(hashes), false)
+}
+
+/// Are the `n` characters at `chars[i..]` all `#`?
+fn has_hashes(chars: &[char], i: usize, n: u32) -> bool {
+    (0..n as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// A `'` starts a lifetime (not a char literal) when it is followed by an
+/// identifier that is *not* closed by another `'` (e.g. `'a>` or
+/// `'static`), or by `'_`.
+fn is_lifetime(chars: &[char], i: usize) -> bool {
+    let mut j = i + 1;
+    let first = match chars.get(j) {
+        Some(&c) if c.is_alphabetic() || c == '_' => c,
+        _ => return false,
+    };
+    // `'a'` is a char literal; `'a,` / `'a>` / `'a ` are lifetimes.
+    j += 1;
+    if first != '_' && chars.get(j) == Some(&'\'') {
+        return false;
+    }
+    while let Some(&c) = chars.get(j) {
+        if c.is_alphanumeric() || c == '_' {
+            j += 1;
+        } else {
+            break;
+        }
+    }
+    chars.get(j) != Some(&'\'')
+}
+
+/// Mark each line that sits inside a `#[cfg(test)]` item or `#[test]`
+/// function by tracking brace depth on the stripped code.
+fn mark_test_regions(code_lines: &[&str]) -> Vec<bool> {
+    let mut out = vec![false; code_lines.len()];
+    let mut depth = 0usize;
+    // While `Some(d)`, everything until depth returns to `d` is test code.
+    let mut test_until_depth: Option<usize> = None;
+    // A test attribute has been seen but its item's `{` not yet opened.
+    let mut pending_test = false;
+    for (idx, code) in code_lines.iter().enumerate() {
+        if test_until_depth.is_some() || pending_test {
+            out[idx] = true;
+        }
+        // A test attribute inside an already-active region is redundant —
+        // setting `pending_test` there would latch it past the region's
+        // closing brace (the `{`/`;` handlers below would never fire) and
+        // mark everything after the tests module as test code.
+        if (code.contains("cfg(test") || code.contains("#[test]")) && test_until_depth.is_none() {
+            pending_test = true;
+            out[idx] = true;
+        }
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    if pending_test {
+                        test_until_depth = Some(depth);
+                        pending_test = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if test_until_depth == Some(depth) {
+                        test_until_depth = None;
+                    }
+                }
+                // An attribute on a braceless item (e.g. a gated `use`)
+                // ends at the `;` — don't let it leak onto the next item.
+                ';' if pending_test => {
+                    pending_test = false;
+                }
+                _ => {}
+            }
+        }
+        if pending_test || test_until_depth.is_some() {
+            out[idx] = true;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let f = lex("let x = 1; // thread_rng\n/* SystemTime */ let y = 2;\n");
+        assert!(f.lines[0].code.contains("let x = 1;"));
+        assert!(!f.lines[0].code.contains("thread_rng"));
+        assert!(!f.lines[1].code.contains("SystemTime"));
+        assert!(f.lines[1].code.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn strips_doc_comments_and_doctests() {
+        let src = "/// Example:\n/// ```\n/// x.unwrap();\n/// ```\nfn f() {}\n";
+        let f = lex(src);
+        assert!(f.lines.iter().all(|l| !l.code.contains("unwrap")));
+        assert!(f.lines[4].code.contains("fn f()"));
+    }
+
+    #[test]
+    fn strips_string_contents_but_not_code() {
+        let f = lex("let s = \"HashMap::new()\"; let m = 3;\n");
+        assert!(!f.lines[0].code.contains("HashMap"));
+        assert!(f.lines[0].code.contains("let m = 3;"));
+    }
+
+    #[test]
+    fn strips_raw_strings_with_hashes() {
+        let f = lex("let s = r#\"a \" quote .unwrap() \"# ; let t = 4;\n");
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[0].code.contains("let t = 4;"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let f = lex("fn g<'a>(x: &'a str) -> char { '\\'' }\n");
+        assert!(f.lines[0].code.contains("fn g<'a>(x: &'a str)"));
+        let f = lex("let c = 'u'; let u = c;\n");
+        assert!(f.lines[0].code.contains("let u = c;"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let f = lex("/* outer /* inner */ still comment */ let z = 5;\n");
+        assert!(!f.lines[0].code.contains("inner"));
+        assert!(f.lines[0].code.contains("let z = 5;"));
+    }
+
+    #[test]
+    fn cfg_test_module_is_marked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn lib2() {}\n";
+        let f = lex(src);
+        let flags: Vec<bool> = f.lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags[..6], [false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn test_attr_inside_region_does_not_latch() {
+        // Regression: a `#[test]` attribute *inside* a `#[cfg(test)]` module
+        // used to leave the pending flag set past the module's closing
+        // brace, marking all subsequent code as test code (and thereby
+        // exempting it from every rule).
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        x();\n    }\n}\nfn lib() {}\n";
+        let f = lex(src);
+        let flags: Vec<bool> = f.lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(
+            flags[..8],
+            [true, true, true, true, true, true, true, false]
+        );
+    }
+
+    #[test]
+    fn cfg_test_use_does_not_leak() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn lib() {\n    body();\n}\n";
+        let f = lex(src);
+        assert!(f.lines[1].in_test);
+        assert!(!f.lines[2].in_test);
+        assert!(!f.lines[3].in_test);
+    }
+}

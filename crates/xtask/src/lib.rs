@@ -1,0 +1,48 @@
+//! # xtask — the `axcc-tidy` static-analysis gate
+//!
+//! Every artifact this repository reproduces (Table 1, Table 2, Figure 1,
+//! the theorem checks) is a *deterministic function* of a scenario: a
+//! single unseeded RNG, wall-clock read, unordered-map iteration, or
+//! NaN-silently-equal sort in a hot path invalidates all of them. Tests
+//! only catch the regressions they exercise; `axcc-tidy` makes the
+//! invariants unbreakable at commit time by scanning every non-test
+//! source line in the workspace, in the style of rustc's `tidy`.
+//!
+//! The pass is self-contained (no dependencies): a small lexer strips
+//! comments, string/char literals, and doctest code (doc comments *are*
+//! comments) so rules never fire on prose, then tracks `#[cfg(test)]`
+//! regions so rules never fire on test code. Five rule families run
+//! under a per-crate [`policy`]:
+//!
+//! * [`determinism`](rules::Rule::Determinism) — no `thread_rng` /
+//!   `from_entropy`, no `SystemTime` / `Instant::now`, no `HashMap` /
+//!   `HashSet` (unordered iteration) in simulator/analysis code.
+//! * [`nan-safety`](rules::Rule::NanSafety) — no `.partial_cmp(...)`
+//!   (use `f64::total_cmp`), no bare `==`/`!=` against float literals.
+//! * [`panic-freedom`](rules::Rule::PanicFreedom) — no `.unwrap()`,
+//!   `.expect(...)`, `panic!`, `unreachable!`, `todo!`, `unimplemented!`
+//!   in library code.
+//! * [`unit-safety`](rules::Rule::UnitSafety) — no raw Mbps/ms
+//!   conversion literals (`1000.0`, `1e6`, `12000.0`, `1500.0`) outside
+//!   `axcc_core::units`.
+//! * [`hygiene`](rules::Rule::Hygiene) — crate roots open with `//!`
+//!   docs and carry the agreed `#![forbid(unsafe_code)]` header, crate
+//!   manifests opt into `[workspace.lints]`, and every experiment module
+//!   cites the paper artifact it reproduces.
+//!
+//! A finding can be suppressed inline with
+//! `// tidy-allow: <rule-id> — <justification>`; the justification text
+//! is mandatory, and a malformed suppression is itself a (meta-rule)
+//! finding. Run with `cargo run -p xtask -- tidy` or the `cargo tidy`
+//! alias; diagnostics print as `file:line: rule-id: message` and the
+//! process exits non-zero on any finding.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod policy;
+pub mod rules;
+pub mod runner;
+
+pub use rules::{Diagnostic, Rule};
+pub use runner::run_tidy;

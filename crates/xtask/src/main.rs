@@ -1,0 +1,64 @@
+//! `cargo run -p xtask -- tidy [--root <path>]` — run the `axcc-tidy`
+//! static-analysis gate and exit non-zero on any finding. See the crate
+//! docs ([`xtask`]) and DESIGN.md §"axcc-tidy" for the rule catalogue.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("tidy") => tidy(&args[1..]),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- tidy [--root <path>]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn tidy(args: &[String]) -> ExitCode {
+    let root = match parse_root(args) {
+        Ok(root) => root,
+        Err(msg) => {
+            eprintln!("xtask tidy: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match xtask::run_tidy(&root) {
+        Ok(diags) if diags.is_empty() => {
+            let n = xtask::runner::count_checked_files(&root).unwrap_or(0);
+            eprintln!("tidy: workspace clean ({n} files checked)");
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            eprintln!("tidy: {} finding(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask tidy: i/o error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// `--root <path>` if given, else the workspace root containing this
+/// crate (xtask lives at `<root>/crates/xtask`).
+fn parse_root(args: &[String]) -> Result<PathBuf, String> {
+    match args {
+        [] => {
+            let manifest_dir = std::env::var("CARGO_MANIFEST_DIR")
+                .map_err(|_| "CARGO_MANIFEST_DIR unset; pass --root <path>".to_string())?;
+            let mut p = PathBuf::from(manifest_dir);
+            p.pop();
+            p.pop();
+            Ok(p)
+        }
+        [flag, path] if flag == "--root" => Ok(PathBuf::from(path)),
+        _ => Err("unrecognized arguments; usage: tidy [--root <path>]".to_string()),
+    }
+}

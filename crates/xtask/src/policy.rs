@@ -1,0 +1,179 @@
+//! Per-crate policy: which rule families apply to which workspace files.
+//!
+//! The policy is keyed on workspace-relative paths so it works unchanged
+//! on fixture trees that mimic the workspace layout (see
+//! `tests/fixtures/`). The intent per tier:
+//!
+//! * **Deterministic core** (`core`, `fluidsim`, `packetsim`,
+//!   `protocols`, `analysis`, `cli`, the root facade): every rule. These
+//!   crates compute paper artifacts; a panic, NaN mis-sort, wall-clock
+//!   read, or raw unit literal there invalidates results.
+//! * **Generators** (`bench` bins): every rule too — artifact generators
+//!   propagate errors with `?` rather than panicking mid-artifact.
+//! * **Examples**: pattern rules but no crate-root hygiene (they are
+//!   single files, not crates).
+//! * **Tooling** (`xtask` itself): determinism and hygiene; the tool
+//!   reports through `Result` but is not part of the simulation TCB.
+//! * **Test code** (`tests/`, `benches/`, `#[cfg(test)]`): exempt —
+//!   tests may unwrap, compare exact floats, and use ad-hoc literals.
+
+use crate::rules::{HygieneKind, RuleSet};
+
+/// What `axcc-tidy` should do with one workspace file.
+#[derive(Debug, Clone, Copy)]
+pub struct FilePolicy {
+    /// Pattern rules to run on non-test lines.
+    pub rules: RuleSet,
+    /// File-level hygiene conventions.
+    pub hygiene_kind: HygieneKind,
+    /// Whether this is the module allowed to spell unit-conversion
+    /// factors (`crates/core/src/units.rs`).
+    pub is_units_module: bool,
+}
+
+/// Classify a workspace-relative, `/`-separated path. `None` means the
+/// file is out of scope (vendored code, test suites, benches, fixtures).
+pub fn policy_for(rel_path: &str) -> Option<FilePolicy> {
+    if !rel_path.ends_with(".rs") {
+        return None;
+    }
+    if rel_path.starts_with("vendor/")
+        || rel_path.starts_with("target/")
+        || rel_path.starts_with("tests/")
+        || rel_path.contains("/tests/")
+        || rel_path.contains("/benches/")
+        || rel_path.contains("/fixtures/")
+    {
+        return None;
+    }
+
+    let all = RuleSet {
+        determinism: true,
+        nan_safety: true,
+        panic_freedom: true,
+        unit_safety: true,
+        hygiene: true,
+    };
+
+    let (rules, hygiene_kind) = if rel_path.starts_with("crates/xtask/") {
+        (
+            RuleSet {
+                determinism: true,
+                hygiene: true,
+                ..RuleSet::default()
+            },
+            hygiene_kind_for(rel_path),
+        )
+    } else if rel_path.starts_with("examples/") {
+        (
+            RuleSet {
+                hygiene: false,
+                ..all
+            },
+            HygieneKind::Plain,
+        )
+    } else if rel_path.starts_with("crates/") || rel_path.starts_with("src/") {
+        (all, hygiene_kind_for(rel_path))
+    } else {
+        return None;
+    };
+
+    Some(FilePolicy {
+        rules,
+        hygiene_kind,
+        is_units_module: rel_path == "crates/core/src/units.rs",
+    })
+}
+
+/// Crate roots get header checks; experiment modules get artifact-citation
+/// checks; everything else has no file-level conventions.
+fn hygiene_kind_for(rel_path: &str) -> HygieneKind {
+    let is_crate_root = rel_path == "src/lib.rs"
+        || (rel_path.starts_with("crates/")
+            && rel_path.ends_with("/src/lib.rs")
+            && rel_path.matches('/').count() == 3);
+    if is_crate_root {
+        HygieneKind::CrateRoot
+    } else if rel_path.contains("/src/experiments/") {
+        HygieneKind::ExperimentModule
+    } else {
+        HygieneKind::Plain
+    }
+}
+
+/// The manifest whose `[lints] workspace = true` opt-in covers
+/// `rel_path`, when the file is a crate root (manifest drift is checked
+/// once per crate, at its root).
+pub fn manifest_for(rel_path: &str) -> Option<String> {
+    if rel_path == "src/lib.rs" {
+        return Some("Cargo.toml".to_string());
+    }
+    let rest = rel_path.strip_prefix("crates/")?;
+    let crate_name = rest.strip_suffix("/src/lib.rs")?;
+    Some(format!("crates/{crate_name}/Cargo.toml"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_gets_every_rule() {
+        let p = policy_for("crates/fluidsim/src/engine.rs").unwrap();
+        assert!(p.rules.determinism && p.rules.nan_safety && p.rules.panic_freedom);
+        assert!(p.rules.unit_safety && p.rules.hygiene);
+        assert_eq!(p.hygiene_kind, HygieneKind::Plain);
+    }
+
+    #[test]
+    fn crate_roots_and_experiments_are_classified() {
+        assert_eq!(
+            policy_for("crates/core/src/lib.rs").unwrap().hygiene_kind,
+            HygieneKind::CrateRoot
+        );
+        assert_eq!(
+            policy_for("src/lib.rs").unwrap().hygiene_kind,
+            HygieneKind::CrateRoot
+        );
+        assert_eq!(
+            policy_for("crates/analysis/src/experiments/table1.rs")
+                .unwrap()
+                .hygiene_kind,
+            HygieneKind::ExperimentModule
+        );
+    }
+
+    #[test]
+    fn out_of_scope_paths_are_skipped() {
+        assert!(policy_for("vendor/rand/src/lib.rs").is_none());
+        assert!(policy_for("crates/fluidsim/tests/engine_properties.rs").is_none());
+        assert!(policy_for("crates/bench/benches/table1.rs").is_none());
+        assert!(policy_for("tests/determinism.rs").is_none());
+        assert!(policy_for("crates/xtask/tests/fixtures/bad/crates/core/src/x.rs").is_none());
+        assert!(policy_for("README.md").is_none());
+    }
+
+    #[test]
+    fn units_module_is_exempt_from_unit_safety() {
+        assert!(
+            policy_for("crates/core/src/units.rs")
+                .unwrap()
+                .is_units_module
+        );
+        assert!(
+            !policy_for("crates/core/src/link.rs")
+                .unwrap()
+                .is_units_module
+        );
+    }
+
+    #[test]
+    fn manifest_mapping() {
+        assert_eq!(
+            manifest_for("crates/core/src/lib.rs").as_deref(),
+            Some("crates/core/Cargo.toml")
+        );
+        assert_eq!(manifest_for("src/lib.rs").as_deref(), Some("Cargo.toml"));
+        assert_eq!(manifest_for("crates/core/src/link.rs"), None);
+    }
+}

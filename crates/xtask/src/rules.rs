@@ -1,0 +1,514 @@
+//! The `axcc-tidy` rule families, diagnostics, and inline suppressions.
+//!
+//! Rules operate on [`lexer::SourceFile`]s — comments and literals are
+//! already blanked, and test lines are marked — so each rule is a small,
+//! line-local pattern check. Which rules run on which file is decided by
+//! [`crate::policy`].
+
+use crate::lexer::{Line, SourceFile};
+use std::fmt;
+
+/// A rule family enforced by `axcc-tidy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Unseeded randomness, wall-clock reads, unordered-map iteration.
+    Determinism,
+    /// `partial_cmp` orderings and bare float-literal equality.
+    NanSafety,
+    /// `.unwrap()` / `.expect()` / panicking macros in library code.
+    PanicFreedom,
+    /// Raw Mbps/ms conversion literals outside `axcc_core::units`.
+    UnitSafety,
+    /// Crate-root headers, manifest lint opt-in, experiment-module docs.
+    Hygiene,
+    /// Meta-rule: malformed `tidy-allow` suppressions.
+    TidyAllow,
+}
+
+impl Rule {
+    /// The stable diagnostic id (also the id used in `tidy-allow:`).
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::Determinism => "determinism",
+            Rule::NanSafety => "nan-safety",
+            Rule::PanicFreedom => "panic-freedom",
+            Rule::UnitSafety => "unit-safety",
+            Rule::Hygiene => "hygiene",
+            Rule::TidyAllow => "tidy-allow",
+        }
+    }
+
+    /// Parse a rule id as written in a `tidy-allow:` comment.
+    pub fn from_id(id: &str) -> Option<Rule> {
+        match id {
+            "determinism" => Some(Rule::Determinism),
+            "nan-safety" => Some(Rule::NanSafety),
+            "panic-freedom" => Some(Rule::PanicFreedom),
+            "unit-safety" => Some(Rule::UnitSafety),
+            "hygiene" => Some(Rule::Hygiene),
+            _ => None,
+        }
+    }
+}
+
+/// One finding, printed as `file:line: rule-id: message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path relative to the workspace root, `/`-separated.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule family that fired.
+    pub rule: Rule,
+    /// What was found and what to use instead.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file,
+            self.line,
+            self.rule.id(),
+            self.message
+        )
+    }
+}
+
+/// Which rule families apply to a file (decided per crate by `policy`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RuleSet {
+    /// Run the determinism patterns.
+    pub determinism: bool,
+    /// Run the NaN-safety patterns.
+    pub nan_safety: bool,
+    /// Run the panic-freedom patterns.
+    pub panic_freedom: bool,
+    /// Run the unit-safety patterns.
+    pub unit_safety: bool,
+    /// Run the hygiene (header/doc/manifest) checks.
+    pub hygiene: bool,
+}
+
+/// Substring patterns with fixed messages, applied to stripped code.
+const DETERMINISM_PATTERNS: &[(&str, &str)] = &[
+    (
+        "thread_rng",
+        "unseeded RNG; seed a ChaCha8Rng from the scenario seed instead",
+    ),
+    (
+        "from_entropy",
+        "entropy-seeded RNG; seed a ChaCha8Rng from the scenario seed instead",
+    ),
+    (
+        "SystemTime",
+        "wall-clock read; simulators must use virtual time only",
+    ),
+    (
+        "Instant::now",
+        "wall-clock read; simulators must use virtual time only",
+    ),
+    (
+        "HashMap",
+        "unordered iteration is nondeterministic; use BTreeMap or a Vec",
+    ),
+    (
+        "HashSet",
+        "unordered iteration is nondeterministic; use BTreeSet or a sorted Vec",
+    ),
+];
+
+const PANIC_PATTERNS: &[(&str, &str)] = &[
+    (
+        ".unwrap()",
+        "panic in library code; return a Result or use a non-panicking alternative",
+    ),
+    (
+        ".expect(",
+        "panic in library code; return a Result or use a non-panicking alternative",
+    ),
+    (
+        "panic!(",
+        "panic in library code; return a typed ScenarioError instead",
+    ),
+    (
+        "unreachable!(",
+        "panic in library code; make the invariant a type or return an error",
+    ),
+    ("todo!(", "unfinished code must not ship in library crates"),
+    (
+        "unimplemented!(",
+        "unfinished code must not ship in library crates",
+    ),
+];
+
+/// Numeric literals that smell like inline Mbps/ms/MSS conversions.
+const UNIT_LITERALS: &[&str] = &[
+    "1000.0",
+    "1_000.0",
+    "1e6",
+    "1.0e6",
+    "1_000_000.0",
+    "1500.0",
+    "1_500.0",
+    "12000.0",
+    "12_000.0",
+];
+
+/// Run the pattern rules (everything except hygiene, which is file-level;
+/// see [`check_hygiene`]) over one lexed file. `is_units_module` exempts
+/// the one module allowed to spell conversion factors.
+pub fn check_lines(
+    file: &SourceFile,
+    rules: RuleSet,
+    is_units_module: bool,
+) -> Vec<(usize, Rule, String)> {
+    let mut findings = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if line.in_test {
+            continue;
+        }
+        let code = line.code.as_str();
+        if rules.determinism {
+            for &(pat, msg) in DETERMINISM_PATTERNS {
+                if code.contains(pat) {
+                    findings.push((lineno, Rule::Determinism, format!("`{pat}`: {msg}")));
+                }
+            }
+        }
+        if rules.nan_safety {
+            if code.contains(".partial_cmp(") {
+                findings.push((
+                    lineno,
+                    Rule::NanSafety,
+                    "`.partial_cmp(...)`: NaN silently compares Equal and mis-sorts; \
+                     use f64::total_cmp for a total, deterministic order"
+                        .to_string(),
+                ));
+            }
+            for op_idx in float_literal_comparisons(code) {
+                findings.push((
+                    lineno,
+                    Rule::NanSafety,
+                    format!(
+                        "bare float equality at column {}: compare with an epsilon or \
+                         restructure; `==`/`!=` on f64 is NaN-unsound",
+                        op_idx + 1
+                    ),
+                ));
+            }
+        }
+        if rules.panic_freedom {
+            for &(pat, msg) in PANIC_PATTERNS {
+                if code.contains(pat) {
+                    findings.push((lineno, Rule::PanicFreedom, format!("`{pat}`: {msg}")));
+                }
+            }
+        }
+        if rules.unit_safety && !is_units_module {
+            for &lit in UNIT_LITERALS {
+                if contains_token(code, lit) {
+                    findings.push((
+                        lineno,
+                        Rule::UnitSafety,
+                        format!(
+                            "raw conversion literal `{lit}`; route through axcc_core::units \
+                             (mbps_to_mss_per_sec / sec_to_ms / MSS_BITS)"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Byte offsets of `==` / `!=` operators whose left or right operand is a
+/// float literal (or `f64::NAN`, which never compares equal to anything).
+fn float_literal_comparisons(code: &str) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    let mut hits = Vec::new();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        let two = &bytes[i..i + 2];
+        let is_eq = two == b"==";
+        let is_ne = two == b"!=";
+        if !(is_eq || is_ne) {
+            i += 1;
+            continue;
+        }
+        // Reject `<=`, `>=`, `..=`, `=>`, and the tail of a prior `==`.
+        let prev = if i > 0 { bytes[i - 1] } else { b' ' };
+        if is_eq && matches!(prev, b'=' | b'<' | b'>' | b'!' | b'.') {
+            i += 2;
+            continue;
+        }
+        let left = token_before(code, i);
+        let right = token_after(code, i + 2);
+        if is_float_literal(left) || is_float_literal(right) {
+            hits.push(i);
+        }
+        i += 2;
+    }
+    hits
+}
+
+fn token_before(code: &str, end: usize) -> &str {
+    let bytes = code.as_bytes();
+    let mut j = end;
+    while j > 0 && bytes[j - 1] == b' ' {
+        j -= 1;
+    }
+    let stop = j;
+    while j > 0 && is_token_byte(bytes[j - 1]) {
+        j -= 1;
+    }
+    &code[j..stop]
+}
+
+fn token_after(code: &str, start: usize) -> &str {
+    let bytes = code.as_bytes();
+    let mut j = start;
+    while j < bytes.len() && bytes[j] == b' ' {
+        j += 1;
+    }
+    let begin = j;
+    while j < bytes.len() && is_token_byte(bytes[j]) {
+        j += 1;
+    }
+    &code[begin..j]
+}
+
+fn is_token_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b'.' | b':')
+}
+
+fn is_float_literal(tok: &str) -> bool {
+    if tok.ends_with("NAN") {
+        return true;
+    }
+    let mut chars = tok.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_digit()) && tok.contains('.')
+}
+
+/// Does `code` contain `lit` as a standalone numeric token (not embedded
+/// in a longer number or identifier)?
+fn contains_token(code: &str, lit: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(lit) {
+        let start = from + pos;
+        let end = start + lit.len();
+        let before_ok = start == 0 || {
+            let b = code.as_bytes()[start - 1];
+            !(b.is_ascii_alphanumeric() || b == b'_' || b == b'.')
+        };
+        let after_ok = end >= code.len() || {
+            let b = code.as_bytes()[end];
+            !(b.is_ascii_alphanumeric() || b == b'_' || b == b'.')
+        };
+        if before_ok && after_ok {
+            return true;
+        }
+        from = start + 1;
+    }
+    false
+}
+
+/// Paper-artifact markers an experiment module's docs must cite.
+const ARTIFACT_MARKERS: &[&str] = &[
+    "Table", "Figure", "Section", "Claim", "Theorem", "Metric", "\u{a7}",
+];
+
+/// File-level hygiene checks. `kind` selects which conventions apply.
+pub fn check_hygiene(file: &SourceFile, kind: HygieneKind) -> Vec<(usize, Rule, String)> {
+    let mut findings = Vec::new();
+    let first_raw = file.lines.first().map(|l| l.raw.trim()).unwrap_or("");
+    match kind {
+        HygieneKind::CrateRoot => {
+            if !first_raw.starts_with("//!") {
+                findings.push((
+                    1,
+                    Rule::Hygiene,
+                    "crate root must open with `//!` crate-level docs".to_string(),
+                ));
+            }
+            let has_forbid = file
+                .lines
+                .iter()
+                .any(|l| l.code.contains("#![forbid(unsafe_code)]"));
+            if !has_forbid {
+                findings.push((
+                    1,
+                    Rule::Hygiene,
+                    "crate root missing the agreed header `#![forbid(unsafe_code)]`".to_string(),
+                ));
+            }
+        }
+        HygieneKind::ExperimentModule => {
+            if !first_raw.starts_with("//!") {
+                findings.push((
+                    1,
+                    Rule::Hygiene,
+                    "experiment module must open with `//!` docs citing its paper artifact"
+                        .to_string(),
+                ));
+            } else {
+                let doc: String = file
+                    .lines
+                    .iter()
+                    .map(|l| l.raw.trim())
+                    .take_while(|raw| raw.starts_with("//!"))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                if !ARTIFACT_MARKERS.iter().any(|m| doc.contains(m)) {
+                    findings.push((
+                        1,
+                        Rule::Hygiene,
+                        "experiment module docs must cite the paper artifact they reproduce \
+                         (Table/Figure/Section/Claim/Theorem/Metric)"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+        HygieneKind::Plain => {}
+    }
+    findings
+}
+
+/// Which hygiene conventions apply to a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HygieneKind {
+    /// `src/lib.rs` of a workspace crate (or the root facade).
+    CrateRoot,
+    /// A module under `src/experiments/`.
+    ExperimentModule,
+    /// No file-level conventions.
+    Plain,
+}
+
+/// An inline suppression parsed from a `// tidy-allow:` comment.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The rule being suppressed.
+    pub rule: Rule,
+    /// Whether the line holding the comment also holds code (same-line
+    /// suppression) or stands alone (suppresses the following line).
+    pub own_line: bool,
+}
+
+/// Parse the `tidy-allow` comment on `line`, if any. Malformed
+/// suppressions (unknown rule, missing justification) yield `Err` with a
+/// message for the meta-rule diagnostic.
+pub fn parse_allow(line: &Line) -> Option<Result<Allow, String>> {
+    // Built with concat! so this file's own source never contains the
+    // contiguous marker and cannot self-flag.
+    let marker = concat!("// ", "tidy-allow:");
+    let raw = line.raw.as_str();
+    let pos = raw.find(marker)?;
+    // The marker must open the line's (only) comment: a doc comment or an
+    // earlier `//` before it means this is prose, not a suppression.
+    if raw[..pos].contains("//") {
+        return None;
+    }
+    let rest = raw[pos + marker.len()..].trim_start();
+    let id_end = rest
+        .find(|c: char| !(c.is_ascii_lowercase() || c == '-'))
+        .unwrap_or(rest.len());
+    let id = &rest[..id_end];
+    let rule = match Rule::from_id(id) {
+        Some(r) => r,
+        None => {
+            return Some(Err(format!(
+                "unknown rule id `{id}` in tidy-allow (expected one of determinism, \
+                 nan-safety, panic-freedom, unit-safety, hygiene)"
+            )))
+        }
+    };
+    let justification = rest[id_end..]
+        .trim_start_matches([' ', '\u{2014}', '-', ':'])
+        .trim();
+    if justification.len() < 8 {
+        return Some(Err(format!(
+            "tidy-allow for `{id}` requires a justification: `tidy-allow: {id} — why this \
+             is sound`"
+        )));
+    }
+    let own_line = !line.code.trim().is_empty();
+    Some(Ok(Allow { rule, own_line }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn all_rules() -> RuleSet {
+        RuleSet {
+            determinism: true,
+            nan_safety: true,
+            panic_freedom: true,
+            unit_safety: true,
+            hygiene: true,
+        }
+    }
+
+    #[test]
+    fn float_eq_detection() {
+        assert_eq!(float_literal_comparisons("if x == 0.0 {").len(), 1);
+        assert_eq!(float_literal_comparisons("if x != 1.5 {").len(), 1);
+        assert_eq!(float_literal_comparisons("if x <= 0.0 {").len(), 0);
+        assert_eq!(float_literal_comparisons("if x >= 2.0 {").len(), 0);
+        assert_eq!(float_literal_comparisons("for i in 0..=n {").len(), 0);
+        assert_eq!(float_literal_comparisons("if n == 3 {").len(), 0);
+        assert_eq!(float_literal_comparisons("x == f64::NAN").len(), 1);
+    }
+
+    #[test]
+    fn unit_literal_tokenization() {
+        assert!(contains_token("x * 1000.0", "1000.0"));
+        assert!(!contains_token("x * 21000.0", "1000.0"));
+        assert!(!contains_token("x * 1000.05", "1000.0"));
+        assert!(contains_token("(1e6)", "1e6"));
+        assert!(!contains_token("2.1e6", "1e6"));
+    }
+
+    #[test]
+    fn patterns_skip_test_lines_and_strings() {
+        let src = "fn lib() { let s = \"thread_rng\"; }\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        let f = lex(src);
+        assert!(check_lines(&f, all_rules(), false).is_empty());
+    }
+
+    #[test]
+    fn patterns_fire_on_real_code() {
+        let f = lex("fn lib() { let m: HashMap<u32, u32> = HashMap::new(); }\n");
+        let hits = check_lines(&f, all_rules(), false);
+        assert!(hits
+            .iter()
+            .any(|(l, r, _)| *l == 1 && *r == Rule::Determinism));
+    }
+
+    #[test]
+    fn allow_requires_justification() {
+        let f = lex("x.unwrap(); // tidy-allow: panic-freedom\n");
+        assert!(matches!(parse_allow(&f.lines[0]), Some(Err(_))));
+        let f = lex("x.unwrap(); // tidy-allow: panic-freedom — invariant upheld by caller\n");
+        match parse_allow(&f.lines[0]) {
+            Some(Ok(a)) => {
+                assert_eq!(a.rule, Rule::PanicFreedom);
+                assert!(a.own_line);
+            }
+            other => panic!("expected Ok(Allow), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn allow_unknown_rule_is_error() {
+        let f = lex("// tidy-allow: no-such-rule — because reasons here\n");
+        assert!(matches!(parse_allow(&f.lines[0]), Some(Err(_))));
+    }
+}

@@ -1,0 +1,176 @@
+//! Walk the workspace, apply the per-file policy, and collect
+//! diagnostics. The walk order and diagnostic order are fully sorted, so
+//! tidy output is byte-stable across runs and machines.
+
+use crate::lexer::lex;
+use crate::policy::{manifest_for, policy_for};
+use crate::rules::{check_hygiene, check_lines, parse_allow, Diagnostic, Rule};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Run `axcc-tidy` over the workspace rooted at `root`. Returns the
+/// sorted list of findings (empty = clean). I/O errors abort the run —
+/// an unreadable file must fail the gate, not pass it silently.
+pub fn run_tidy(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    for top in ["crates", "src", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut diagnostics = Vec::new();
+    for path in &files {
+        let rel = relative_slash_path(root, path);
+        let Some(policy) = policy_for(&rel) else {
+            continue;
+        };
+        let src = fs::read_to_string(path)?;
+        let file = lex(&src);
+
+        let mut findings = check_lines(&file, policy.rules, policy.is_units_module);
+        if policy.rules.hygiene {
+            findings.extend(check_hygiene(&file, policy.hygiene_kind));
+            if let Some(manifest_rel) = manifest_for(&rel) {
+                diagnostics.extend(check_manifest(root, &manifest_rel)?);
+            }
+        }
+
+        // Parse suppressions; malformed ones become meta-rule findings.
+        let mut allows = vec![None; file.lines.len()];
+        for (idx, line) in file.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            match parse_allow(line) {
+                None => {}
+                Some(Ok(allow)) => allows[idx] = Some(allow),
+                Some(Err(msg)) => diagnostics.push(Diagnostic {
+                    file: rel.clone(),
+                    line: idx + 1,
+                    rule: Rule::TidyAllow,
+                    message: msg,
+                }),
+            }
+        }
+
+        for (lineno, rule, message) in findings {
+            if is_suppressed(&allows, lineno, rule) {
+                continue;
+            }
+            diagnostics.push(Diagnostic {
+                file: rel.clone(),
+                line: lineno,
+                rule,
+                message,
+            });
+        }
+    }
+
+    diagnostics
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    diagnostics.dedup();
+    Ok(diagnostics)
+}
+
+/// Number of `.rs` files in scope under `root` (for the success summary).
+pub fn count_checked_files(root: &Path) -> io::Result<usize> {
+    let mut files = Vec::new();
+    for top in ["crates", "src", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    Ok(files
+        .iter()
+        .filter(|p| policy_for(&relative_slash_path(root, p)).is_some())
+        .count())
+}
+
+/// A finding at `lineno` is suppressed by an allow for the same rule on
+/// the same line, or by a comment-only allow on the line above.
+fn is_suppressed(allows: &[Option<crate::rules::Allow>], lineno: usize, rule: Rule) -> bool {
+    let same_line = allows
+        .get(lineno - 1)
+        .and_then(|a| a.as_ref())
+        .is_some_and(|a| a.own_line && a.rule == rule);
+    let line_above = lineno >= 2
+        && allows
+            .get(lineno - 2)
+            .and_then(|a| a.as_ref())
+            .is_some_and(|a| !a.own_line && a.rule == rule);
+    same_line || line_above
+}
+
+/// Check that a crate manifest opts into the workspace lint table:
+/// a `[lints]` section containing `workspace = true`.
+fn check_manifest(root: &Path, manifest_rel: &str) -> io::Result<Vec<Diagnostic>> {
+    let path = root.join(manifest_rel);
+    let text = match fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            return Ok(vec![Diagnostic {
+                file: manifest_rel.to_string(),
+                line: 1,
+                rule: Rule::Hygiene,
+                message: "crate has no Cargo.toml next to its src/lib.rs".to_string(),
+            }])
+        }
+        Err(e) => return Err(e),
+    };
+    let mut in_lints = false;
+    let mut opted_in = false;
+    for line in text.lines() {
+        let t = line.trim();
+        if t.starts_with('[') {
+            in_lints = t == "[lints]";
+        } else if in_lints && t.replace(' ', "") == "workspace=true" {
+            opted_in = true;
+        }
+    }
+    if opted_in {
+        Ok(Vec::new())
+    } else {
+        Ok(vec![Diagnostic {
+            file: manifest_rel.to_string(),
+            line: 1,
+            rule: Rule::Hygiene,
+            message: "manifest must opt into shared lint policy: add `[lints]\\nworkspace = true`"
+                .to_string(),
+        }])
+    }
+}
+
+/// Recursively collect `.rs` files, visiting directory entries in sorted
+/// order for deterministic output.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "target" || name == "vendor" {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, `/`-separated regardless of platform.
+fn relative_slash_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

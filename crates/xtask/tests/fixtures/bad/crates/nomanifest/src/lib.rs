@@ -1,0 +1,3 @@
+//! A crate root with a correct header but no Cargo.toml beside it: the
+//! hygiene rule must flag the missing manifest.
+#![forbid(unsafe_code)]

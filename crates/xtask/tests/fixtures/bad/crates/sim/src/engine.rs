@@ -1,0 +1,50 @@
+//! A module violating every pattern rule at least once.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Determinism: unordered map, wall-clock read, unseeded RNG.
+pub fn nondeterministic() -> usize {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let _t = Instant::now();
+    let _r = rand::thread_rng();
+    m.len()
+}
+
+/// NaN-safety: partial_cmp ordering and a bare float-literal equality.
+pub fn nan_unsound(xs: &mut [f64], w: f64) -> bool {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    w == 0.0
+}
+
+/// Panic-freedom: unwrap and expect in library code.
+pub fn panicky(v: Option<u32>, r: Result<u32, String>) -> u32 {
+    v.unwrap() + r.expect("boom")
+}
+
+/// Unit-safety: an inline Mbps -> MSS/s conversion factor.
+pub fn raw_units(mbps: f64) -> f64 {
+    mbps * 1_000_000.0 / (1500.0 * 8.0)
+}
+
+/// Suppressions that must fail the meta-rule: an unknown rule id and a
+/// missing justification.
+pub fn bad_allows(v: Option<u32>) -> u32 {
+    // tidy-allow: no-such-rule — this id does not exist at all
+    // tidy-allow: panic-freedom
+    v.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        panicky(Some(1), Ok(2)).to_string();
+    }
+}
+
+/// Library code *after* the tests module is still library code: this
+/// unwrap must be flagged (regression for the latched test-region bug).
+pub fn after_tests(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

@@ -1,0 +1,5 @@
+//! An experiment module whose docs cite nothing from the paper: the
+//! hygiene rule must demand an artifact citation.
+
+/// Placeholder.
+pub fn run() {}

@@ -1,0 +1,4 @@
+// A crate root that neither opens with `//!` docs nor carries the agreed
+// `#![forbid(unsafe_code)]` header: two hygiene findings.
+
+pub mod engine;

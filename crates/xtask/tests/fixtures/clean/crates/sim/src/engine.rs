@@ -1,0 +1,47 @@
+//! The negative case for every pattern rule: deterministic collections,
+//! total float orderings, Result-based error handling, units-layer
+//! conversions, justified suppressions, and exempt test code.
+
+use std::collections::BTreeMap;
+
+/// Determinism: ordered map, no wall-clock, no ambient RNG.
+pub fn deterministic() -> usize {
+    let m: BTreeMap<u32, u32> = BTreeMap::new();
+    // Mentioning thread_rng or HashMap in a comment is prose, not code.
+    let s = "thread_rng and HashMap in a string literal are data, not code";
+    m.len() + s.len()
+}
+
+/// NaN-safety: total order, epsilon comparison, integer equality.
+pub fn nan_sound(xs: &mut [f64], w: f64, n: usize) -> bool {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    w.abs() < 1e-9 && n == 0
+}
+
+/// Panic-freedom: errors propagate through Result.
+pub fn fallible(v: Option<u32>) -> Result<u32, String> {
+    v.ok_or_else(|| "missing value".to_string())
+}
+
+/// A justified same-line suppression for an upheld invariant.
+pub fn suppressed(v: Option<u32>) -> u32 {
+    // tidy-allow: panic-freedom — fixture invariant: callers always pass Some
+    v.expect("fixture invariant")
+}
+
+/// Unit-safety: conversions go through the units layer.
+pub fn via_units(mbps: f64) -> f64 {
+    axcc_core::units::mbps_to_mss_per_sec(mbps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_unwrap_and_compare_exactly() {
+        assert!(fallible(Some(3)).unwrap() == 3);
+        let exact = 0.5;
+        assert!(exact == 0.5);
+    }
+}

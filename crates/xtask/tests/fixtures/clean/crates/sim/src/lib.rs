@@ -1,0 +1,5 @@
+//! A crate root with the agreed header: `//!` docs first, then the
+//! forbid attribute.
+#![forbid(unsafe_code)]
+
+pub mod engine;

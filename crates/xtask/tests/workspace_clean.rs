@@ -1,0 +1,24 @@
+//! Self-check: the workspace this tool lives in must itself be
+//! tidy-clean. Any new violation of the determinism / NaN-safety /
+//! panic-freedom / unit-safety / hygiene invariants fails this test (and
+//! `scripts/check.sh`, which also runs the tool directly).
+
+use std::path::PathBuf;
+
+#[test]
+fn workspace_passes_its_own_tidy_gate() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists");
+    let diags = xtask::run_tidy(&root).expect("workspace is readable");
+    assert!(
+        diags.is_empty(),
+        "the workspace must be tidy-clean; run `cargo run -p xtask -- tidy`:\n{}",
+        diags
+            .iter()
+            .map(|d| format!("  {d}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -15,7 +15,7 @@
 
 use axiomatic_cc::analysis::estimators::measure_solo_packet;
 use axiomatic_cc::core::theory::ProtocolSpec;
-use axiomatic_cc::core::units::Bandwidth;
+use axiomatic_cc::core::units::{sec_to_ms, Bandwidth};
 use axiomatic_cc::core::LinkParams;
 use axiomatic_cc::protocols::{build_protocol, SlowStart};
 
@@ -42,7 +42,7 @@ fn main() {
             // Standing-queue delay implied by the measured mean
             // utilization above capacity.
             let mean_rtt_excess_ms =
-                ((m.mean_utilization - 1.0).max(0.0) * link.capacity() / link.bandwidth) * 1000.0;
+                sec_to_ms((m.mean_utilization - 1.0).max(0.0) * link.capacity() / link.bandwidth);
             println!(
                 "{:<16} {:>9} {:>14.3} {:>14.3} {:>11.3} {:>12.4} {:>11.1} ms",
                 spec.name(),

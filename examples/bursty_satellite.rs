@@ -17,7 +17,7 @@
 //!
 //! [`lossy_satellite`]: ../lossy_satellite.rs
 
-use axiomatic_cc::core::units::Bandwidth;
+use axiomatic_cc::core::units::{sec_to_ms, Bandwidth};
 use axiomatic_cc::core::{LinkParams, Protocol};
 use axiomatic_cc::packetsim::{FaultPlan, PacketScenario, PacketSenderConfig, WireLoss};
 use axiomatic_cc::protocols::{Aimd, Cubic, Pcc, RobustAimd};
@@ -47,7 +47,7 @@ fn main() {
     println!(
         "link: {:.0} MSS/s, {:.0} ms RTT — noisy but uncongested",
         link.bandwidth,
-        link.min_rtt() * 1000.0,
+        sec_to_ms(link.min_rtt()),
     );
     println!(
         "impairments: clean | uniform {:.0}% | bursty {:.0}% mean ({} pkt bursts @ {:.0}%)\n",

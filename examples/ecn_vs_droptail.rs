@@ -14,7 +14,7 @@
 //! ```
 
 use axiomatic_cc::core::axioms::{efficiency, latency, loss_avoidance};
-use axiomatic_cc::core::units::Bandwidth;
+use axiomatic_cc::core::units::{sec_to_ms, Bandwidth};
 use axiomatic_cc::core::LinkParams;
 use axiomatic_cc::packetsim::PacketScenario;
 use axiomatic_cc::protocols::Aimd;
@@ -49,7 +49,7 @@ fn main() {
             out.queue.marked,
             out.queue.max_depth,
             loss,
-            mean_rtt * 1000.0,
+            sec_to_ms(mean_rtt),
         );
         let util = efficiency::mean_utilization(&out.trace, tail);
         let lat = latency::measured_latency_inflation(&out.trace, tail);

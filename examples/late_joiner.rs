@@ -17,8 +17,8 @@ use axiomatic_cc::core::{LinkParams, Protocol};
 use axiomatic_cc::fluidsim::{Scenario, SenderConfig};
 use axiomatic_cc::protocols::registry::resolve;
 
-fn main() {
-    let link = LinkParams::new(1000.0, 0.05, 20.0); // C = 100 MSS
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let link = LinkParams::reference(); // C = 100 MSS
     let join_at = 400u64;
     let steps = 4000usize;
     println!(
@@ -40,7 +40,7 @@ fn main() {
         "highspeed",
         "vegas",
     ] {
-        let proto: Box<dyn Protocol> = resolve(name).expect("known protocol");
+        let proto: Box<dyn Protocol> = resolve(name)?;
         let trace = Scenario::new(link)
             .sender(SenderConfig::new(proto.clone_box()).initial_window(90.0))
             .sender(
@@ -75,4 +75,5 @@ fn main() {
          (MIMD) never converges — synchronized multiplicative moves preserve the\n\
          incumbent's advantage forever, Table 1's <0> fairness in action."
     );
+    Ok(())
 }

@@ -16,6 +16,7 @@
 //! ```
 
 use axiomatic_cc::analysis::estimators::{measure_robustness_fluid, ROBUSTNESS_RATES};
+use axiomatic_cc::core::units::sec_to_ms;
 use axiomatic_cc::core::{LinkParams, Protocol};
 use axiomatic_cc::fluidsim::{LossModel, Scenario, SenderConfig};
 use axiomatic_cc::protocols::{Aimd, Cubic, Pcc, RobustAimd};
@@ -27,7 +28,7 @@ fn main() {
     println!(
         "link: {:.0} MSS/s, {:.0} ms RTT, C = {:.0} MSS — noisy but uncongested\n",
         link.bandwidth,
-        link.min_rtt() * 1000.0,
+        sec_to_ms(link.min_rtt()),
         link.capacity()
     );
 

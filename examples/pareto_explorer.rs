@@ -38,7 +38,7 @@ fn main() {
     );
 
     // (2) Measure a real lineup and test for dominance by the surface.
-    let link = LinkParams::new(1000.0, 0.05, 20.0);
+    let link = LinkParams::reference();
     let surface = fig.as_scored_points();
     let lineup: Vec<Box<dyn Protocol>> = vec![
         Box::new(Aimd::reno()),

@@ -17,7 +17,7 @@ use axiomatic_cc::fluidsim::{FlowConfig, NetScenario, Topology};
 use axiomatic_cc::protocols::{Aimd, Vegas};
 
 fn main() {
-    let hop = LinkParams::new(1000.0, 0.05, 20.0); // C = 100 MSS per hop
+    let hop = LinkParams::reference(); // C = 100 MSS per hop
     let hops = 3;
     println!(
         "parking lot: {hops} hops of C = {:.0} MSS; 1 long flow (all hops) + {hops} short flows\n",

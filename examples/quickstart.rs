@@ -11,6 +11,7 @@
 use axiomatic_cc::core::axioms::{
     convergence, efficiency, fairness, fast_utilization, latency, loss_avoidance,
 };
+use axiomatic_cc::core::units::sec_to_ms;
 use axiomatic_cc::core::LinkParams;
 use axiomatic_cc::fluidsim::{Scenario, SenderConfig};
 use axiomatic_cc::protocols::Aimd;
@@ -18,11 +19,11 @@ use axiomatic_cc::protocols::Aimd;
 fn main() {
     // A 12 Mbps link with 50 ms one-way propagation delay and a 20-MSS
     // buffer: capacity C = B·2Θ = 100 MSS.
-    let link = LinkParams::new(1000.0, 0.05, 20.0);
+    let link = LinkParams::reference();
     println!(
         "link: B = {} MSS/s, 2Θ = {} ms, τ = {} MSS  ⇒  C = {} MSS, loss threshold C+τ = {} MSS\n",
         link.bandwidth,
-        link.min_rtt() * 1000.0,
+        sec_to_ms(link.min_rtt()),
         link.buffer,
         link.capacity(),
         link.loss_threshold()
@@ -46,7 +47,7 @@ fn main() {
             trace.senders[0].window[t],
             trace.senders[1].window[t],
             trace.total_window[t],
-            trace.rtt[t] * 1000.0,
+            sec_to_ms(trace.rtt[t]),
             trace.loss[t],
         );
     }

@@ -44,7 +44,11 @@
 //! Runnable walkthroughs live in `examples/`; the paper's tables and
 //! figures regenerate via the `axcc-bench` binaries (see README).
 
-#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    test,
+    allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)
+)]
 
 pub use axcc_analysis as analysis;
 pub use axcc_core as core;

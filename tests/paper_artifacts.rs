@@ -3,6 +3,7 @@
 //! budgets so the suite stays fast. The full-budget regenerations are the
 //! `axcc-bench` binaries.
 
+#![allow(clippy::float_cmp)] // exact comparisons are deliberate in tests
 use axiomatic_cc::analysis::estimators::{
     measure_friendliness_fluid, measure_robustness_fluid, ROBUSTNESS_RATES,
 };

@@ -4,6 +4,7 @@
 //! RTTs at least `2Θ`, packet conservation, trace validation, dominance
 //! anti-symmetry.
 
+#![allow(clippy::float_cmp)] // exact comparisons are deliberate in tests
 use axiomatic_cc::core::protocol::MAX_WINDOW;
 use axiomatic_cc::core::{AxiomScores, LinkParams};
 use axiomatic_cc::fluidsim::{LossModel, Scenario, SenderConfig};

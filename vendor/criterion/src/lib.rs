@@ -90,7 +90,11 @@ impl BenchmarkGroup<'_> {
         name: impl Into<String>,
         mut f: F,
     ) -> &mut Self {
-        run_bench(&format!("{}/{}", self.name, name.into()), self.sample_size, &mut f);
+        run_bench(
+            &format!("{}/{}", self.name, name.into()),
+            self.sample_size,
+            &mut f,
+        );
         self
     }
 

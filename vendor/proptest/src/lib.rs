@@ -134,10 +134,12 @@ macro_rules! prop_assert_ne {
     ($left:expr, $right:expr $(,)?) => {{
         let (l, r) = (&$left, &$right);
         if l == r {
-            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
-                format!("assertion failed: {} != {}\n  both: {:?}",
-                        stringify!($left), stringify!($right), l),
-            ));
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
         }
     }};
 }

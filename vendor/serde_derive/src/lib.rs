@@ -95,12 +95,9 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    format!(
-        "impl<'de> ::serde::Deserialize<'de> for {} {{}}",
-        item.name
-    )
-    .parse()
-    .expect("serde_derive stub emitted invalid Rust")
+    format!("impl<'de> ::serde::Deserialize<'de> for {} {{}}", item.name)
+        .parse()
+        .expect("serde_derive stub emitted invalid Rust")
 }
 
 struct Item {
