@@ -106,6 +106,33 @@ pub fn solo_metrics_of_trace(trace: &RunTrace) -> SoloMetrics {
     }
 }
 
+impl axcc_sweep::Cacheable for SoloMetrics {
+    fn to_record(&self) -> axcc_sweep::Record {
+        let mut r = axcc_sweep::Record::new();
+        r.push_f64(self.efficiency);
+        r.push_f64(self.loss_bound);
+        r.push_f64(self.fairness);
+        r.push_f64(self.convergence);
+        r.push_opt_f64(self.fast_utilization);
+        r.push_f64(self.latency_inflation);
+        r.push_f64(self.mean_utilization);
+        r
+    }
+    fn from_record(record: &axcc_sweep::Record) -> Option<Self> {
+        let mut rd = record.reader();
+        let m = SoloMetrics {
+            efficiency: rd.f64()?,
+            loss_bound: rd.f64()?,
+            fairness: rd.f64()?,
+            convergence: rd.f64()?,
+            fast_utilization: rd.opt_f64()?,
+            latency_inflation: rd.f64()?,
+            mean_utilization: rd.f64()?,
+        };
+        rd.exhausted().then_some(m)
+    }
+}
+
 impl SoloMetrics {
     /// Per-metric worst of two measurements (the universal-quantifier
     /// aggregation).

@@ -18,10 +18,12 @@
 
 use crate::report::{fmt_score, TextTable};
 use axcc_core::axioms::{fairness, latency, loss_avoidance};
+use axcc_core::fingerprint::{Fingerprint, Fingerprinter};
 use axcc_core::units::Bandwidth;
 use axcc_core::{LinkParams, Protocol};
 use axcc_packetsim::{PacketScenario, RedConfig};
 use axcc_protocols::presets;
+use axcc_sweep::{Cacheable, Record, SweepJob, SweepRunner};
 use serde::Serialize;
 
 /// The disciplines compared.
@@ -95,46 +97,132 @@ pub fn disciplines_for(tau: f64) -> Vec<Discipline> {
     ]
 }
 
+impl Cacheable for AqmCell {
+    fn to_record(&self) -> Record {
+        let mut r = Record::new();
+        r.push_str(&self.protocol);
+        r.push_str(&self.discipline);
+        r.push_usize(self.drops as usize);
+        r.push_usize(self.marks as usize);
+        r.push_f64(self.loss_bound);
+        r.push_f64(self.latency_inflation);
+        r.push_f64(self.mean_rtt);
+        r.push_f64(self.utilization);
+        r.push_f64(self.jain);
+        r
+    }
+    fn from_record(record: &Record) -> Option<Self> {
+        let mut rd = record.reader();
+        let c = AqmCell {
+            protocol: rd.str()?.to_string(),
+            discipline: rd.str()?.to_string(),
+            drops: rd.usize()? as u64,
+            marks: rd.usize()? as u64,
+            loss_bound: rd.f64()?,
+            latency_inflation: rd.f64()?,
+            mean_rtt: rd.f64()?,
+            utilization: rd.f64()?,
+            jain: rd.f64()?,
+        };
+        rd.exhausted().then_some(c)
+    }
+}
+
+/// One (protocol × discipline) packet-level run. Protocols are rebuilt
+/// from the lineup index inside `run` (`Send` but not `Sync`).
+struct AqmJob {
+    proto_index: usize,
+    proto_name: String,
+    discipline: Discipline,
+    n: usize,
+    duration_secs: f64,
+}
+
+impl Fingerprint for AqmJob {
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        fp.write_str(&self.proto_name);
+        fp.write_str(&self.discipline.label());
+        fp.write_usize(self.n);
+        fp.write_f64(self.duration_secs);
+    }
+}
+
+impl SweepJob for AqmJob {
+    type Output = AqmCell;
+    fn run(&self) -> AqmCell {
+        let link = aqm_link();
+        let protocols = aqm_lineup();
+        let proto = protocols[self.proto_index].as_ref();
+        let mut sc = PacketScenario::new(link)
+            .homogeneous(proto, self.n)
+            .duration_secs(self.duration_secs)
+            .seed(4);
+        sc = match self.discipline {
+            Discipline::DropTail => sc,
+            Discipline::EcnStep { threshold } => sc.ecn_threshold(threshold),
+            Discipline::RedDrop => sc.red(RedConfig::classic(link.buffer)),
+            Discipline::RedMark => sc.red(RedConfig::classic_marking(link.buffer)),
+        };
+        let out = sc.run();
+        let tail = out.trace.tail_start(0.5);
+        let goodput: f64 = out
+            .trace
+            .senders
+            .iter()
+            .map(|s| s.mean_goodput_from(tail))
+            .sum();
+        let rtts = &out.trace.senders[0].rtt[tail..];
+        AqmCell {
+            protocol: proto.name(),
+            discipline: self.discipline.label(),
+            drops: out.queue.dropped,
+            marks: out.queue.marked,
+            loss_bound: loss_avoidance::measured_loss_bound(&out.trace, tail),
+            latency_inflation: latency::measured_latency_inflation(&out.trace, tail),
+            mean_rtt: rtts.iter().sum::<f64>() / rtts.len().max(1) as f64,
+            utilization: goodput / link.bandwidth,
+            jain: fairness::jain_index(&out.trace, tail),
+        }
+    }
+}
+
+/// The paper-grade 20 Mbps / 42 ms / 100 MSS comparison link.
+fn aqm_link() -> LinkParams {
+    LinkParams::from_experiment(Bandwidth::Mbps(20.0), 42.0, 100.0)
+}
+
+/// The protocols compared (the two loss-based Linux defaults).
+fn aqm_lineup() -> Vec<Box<dyn Protocol>> {
+    vec![presets::reno(), presets::cubic()]
+}
+
 /// Run the comparison: each protocol × discipline, `n` flows for
 /// `duration_secs` on the paper-grade 20 Mbps / 42 ms / 100 MSS link.
 pub fn run_aqm_comparison(n: usize, duration_secs: f64) -> AqmComparison {
-    let link = LinkParams::from_experiment(Bandwidth::Mbps(20.0), 42.0, 100.0);
-    let protocols: Vec<Box<dyn Protocol>> = vec![presets::reno(), presets::cubic()];
-    let mut cells = Vec::new();
-    for proto in &protocols {
-        for d in disciplines_for(link.buffer) {
-            let mut sc = PacketScenario::new(link)
-                .homogeneous(proto.as_ref(), n)
-                .duration_secs(duration_secs)
-                .seed(4);
-            sc = match d {
-                Discipline::DropTail => sc,
-                Discipline::EcnStep { threshold } => sc.ecn_threshold(threshold),
-                Discipline::RedDrop => sc.red(RedConfig::classic(link.buffer)),
-                Discipline::RedMark => sc.red(RedConfig::classic_marking(link.buffer)),
-            };
-            let out = sc.run();
-            let tail = out.trace.tail_start(0.5);
-            let goodput: f64 = out
-                .trace
-                .senders
-                .iter()
-                .map(|s| s.mean_goodput_from(tail))
-                .sum();
-            let rtts = &out.trace.senders[0].rtt[tail..];
-            cells.push(AqmCell {
-                protocol: proto.name(),
-                discipline: d.label(),
-                drops: out.queue.dropped,
-                marks: out.queue.marked,
-                loss_bound: loss_avoidance::measured_loss_bound(&out.trace, tail),
-                latency_inflation: latency::measured_latency_inflation(&out.trace, tail),
-                mean_rtt: rtts.iter().sum::<f64>() / rtts.len().max(1) as f64,
-                utilization: goodput / link.bandwidth,
-                jain: fairness::jain_index(&out.trace, tail),
+    run_aqm_comparison_with(&SweepRunner::serial(), n, duration_secs)
+}
+
+/// [`run_aqm_comparison`] through an explicit sweep runner: one job per
+/// (protocol, discipline) pair.
+pub fn run_aqm_comparison_with(
+    runner: &SweepRunner,
+    n: usize,
+    duration_secs: f64,
+) -> AqmComparison {
+    let link = aqm_link();
+    let mut jobs = Vec::new();
+    for (proto_index, proto) in aqm_lineup().iter().enumerate() {
+        for discipline in disciplines_for(link.buffer) {
+            jobs.push(AqmJob {
+                proto_index,
+                proto_name: proto.name(),
+                discipline,
+                n,
+                duration_secs,
             });
         }
     }
+    let cells = runner.run_jobs("aqm/cells", &jobs);
     AqmComparison { cells }
 }
 

@@ -19,10 +19,12 @@ use crate::estimators::{measure_solo_packet, SoloMetrics};
 use crate::experiments::hierarchy::{pairwise_agreement, rank, LabeledScore};
 use crate::report::{fmt_score, TextTable};
 use axcc_core::axioms::Metric;
+use axcc_core::fingerprint::{Fingerprint, Fingerprinter};
 use axcc_core::theory::ProtocolSpec;
 use axcc_core::units::Bandwidth;
 use axcc_core::LinkParams;
 use axcc_protocols::{build_protocol, SlowStart};
+use axcc_sweep::{SweepJob, SweepRunner};
 use serde::Serialize;
 
 /// The three Linux protocols of the validation, as analytic specs.
@@ -135,41 +137,96 @@ pub struct HierarchyResult {
     pub agreement: f64,
 }
 
+/// One (cell × protocol) packet-level run of the Emulab grid.
+struct CellJob {
+    spec: ProtocolSpec,
+    n: usize,
+    bw_mbps: f64,
+    buffer_mss: f64,
+    rtt_ms: f64,
+    duration_secs: f64,
+    stagger_secs: f64,
+    seed: u64,
+}
+
+impl Fingerprint for CellJob {
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        fp.write_str(&self.spec.name());
+        fp.write_usize(self.n);
+        fp.write_f64(self.bw_mbps);
+        fp.write_f64(self.buffer_mss);
+        fp.write_f64(self.rtt_ms);
+        fp.write_f64(self.duration_secs);
+        fp.write_f64(self.stagger_secs);
+        fp.write_u64(self.seed);
+    }
+}
+
+impl SweepJob for CellJob {
+    type Output = SoloMetrics;
+    fn run(&self) -> SoloMetrics {
+        let link = LinkParams::from_experiment(
+            Bandwidth::Mbps(self.bw_mbps),
+            self.rtt_ms,
+            self.buffer_mss,
+        );
+        // Real kernel connections begin in slow start; the model's
+        // congestion-avoidance rules take over at the first loss. Without
+        // this, MIMD(1.01, ·)'s 1%-per-RTT ramp from a 1-MSS window never
+        // reaches capacity within any realistic run.
+        let proto: Box<dyn axcc_core::Protocol> =
+            Box::new(SlowStart::new(build_protocol(&self.spec), f64::INFINITY));
+        measure_solo_packet(
+            proto.as_ref(),
+            link,
+            self.n,
+            self.duration_secs,
+            self.stagger_secs,
+            self.seed,
+        )
+    }
+}
+
 /// Run the grid and compare hierarchies.
 pub fn run_emulab_validation(cfg: &EmulabConfig) -> EmulabValidation {
+    run_emulab_validation_with(&SweepRunner::serial(), cfg)
+}
+
+/// [`run_emulab_validation`] through an explicit sweep runner: one job
+/// per (cell × protocol) packet-level run.
+pub fn run_emulab_validation_with(runner: &SweepRunner, cfg: &EmulabConfig) -> EmulabValidation {
     let specs = emulab_specs();
-    let mut cells = Vec::with_capacity(cfg.total_runs());
+    let mut jobs = Vec::with_capacity(cfg.total_runs());
     for &n in &cfg.ns {
         for &bw in &cfg.bandwidths_mbps {
             for &buf in &cfg.buffers_mss {
-                let link = LinkParams::from_experiment(Bandwidth::Mbps(bw), cfg.rtt_ms, buf);
                 for spec in &specs {
-                    // Real kernel connections begin in slow start; the
-                    // model's congestion-avoidance rules take over at the
-                    // first loss. Without this, MIMD(1.01, ·)'s 1%-per-RTT
-                    // ramp from a 1-MSS window never reaches capacity
-                    // within any realistic run.
-                    let proto: Box<dyn axcc_core::Protocol> =
-                        Box::new(SlowStart::new(build_protocol(spec), f64::INFINITY));
-                    let metrics = measure_solo_packet(
-                        proto.as_ref(),
-                        link,
-                        n,
-                        cfg.duration_secs,
-                        cfg.stagger_secs,
-                        cfg.seed,
-                    );
-                    cells.push(EmulabCell {
-                        protocol: spec.name(),
+                    jobs.push(CellJob {
+                        spec: *spec,
                         n,
                         bw_mbps: bw,
                         buffer_mss: buf,
-                        metrics,
+                        rtt_ms: cfg.rtt_ms,
+                        duration_secs: cfg.duration_secs,
+                        stagger_secs: cfg.stagger_secs,
+                        seed: cfg.seed,
                     });
                 }
             }
         }
     }
+    let measured = runner.run_jobs("emulab/cells", &jobs);
+    let cells: Vec<EmulabCell> = jobs
+        .iter()
+        .zip(measured)
+        .map(|(job, metrics)| EmulabCell {
+            protocol: job.spec.name(),
+            n: job.n,
+            bw_mbps: job.bw_mbps,
+            buffer_mss: job.buffer_mss,
+            metrics,
+        })
+        .collect();
 
     // Aggregate measured scores per protocol (grid mean) and compare the
     // hierarchy per metric against the theory at a representative cell.

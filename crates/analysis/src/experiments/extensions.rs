@@ -13,9 +13,11 @@
 use crate::report::{fmt_score, TextTable};
 use axcc_core::axioms::extensions::{measured_smoothness, steps_to_reclaim};
 use axcc_core::axioms::latency::measured_latency_inflation;
+use axcc_core::fingerprint::{Fingerprint, Fingerprinter};
 use axcc_core::{LinkParams, Protocol};
 use axcc_fluidsim::{Scenario, SenderConfig};
 use axcc_protocols::{presets, Bbr, HighSpeed, Tfrc};
+use axcc_sweep::{Cacheable, Record, SweepJob, SweepRunner};
 use serde::Serialize;
 
 /// One protocol's extension-metric measurements.
@@ -61,38 +63,95 @@ fn link() -> LinkParams {
     LinkParams::reference()
 }
 
+impl Cacheable for ExtensionRow {
+    fn to_record(&self) -> Record {
+        let mut r = Record::new();
+        r.push_str(&self.protocol);
+        r.push_f64(self.smoothness);
+        r.push_opt_usize(self.reclaim_steps);
+        r.push_f64(self.latency_inflation);
+        r
+    }
+    fn from_record(record: &Record) -> Option<Self> {
+        let mut rd = record.reader();
+        let row = ExtensionRow {
+            protocol: rd.str()?.to_string(),
+            smoothness: rd.f64()?,
+            reclaim_steps: rd.opt_usize()?,
+            latency_inflation: rd.f64()?,
+        };
+        rd.exhausted().then_some(row)
+    }
+}
+
+/// One protocol's two extension runs (steady + capacity doubling).
+/// Protocols are rebuilt from the lineup index inside `run`.
+struct ExtensionJob {
+    index: usize,
+    name: String,
+    steps: usize,
+}
+
+impl Fingerprint for ExtensionJob {
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        fp.write_str(&self.name);
+        fp.write_usize(self.steps);
+    }
+}
+
+impl SweepJob for ExtensionJob {
+    type Output = ExtensionRow;
+    fn run(&self) -> ExtensionRow {
+        let lineup = extension_lineup();
+        let proto = lineup[self.index].as_ref();
+        let steps = self.steps;
+        let event = (steps / 2) as u64;
+
+        // Steady solo run for smoothness + latency.
+        let steady = Scenario::new(link())
+            .sender(SenderConfig::new(proto.clone_box()).initial_window(1.0))
+            .steps(steps)
+            .run();
+        let tail = steady.tail_start(0.5);
+        let smoothness = measured_smoothness(&steady, tail);
+        let latency = measured_latency_inflation(&steady, tail);
+
+        // Capacity-doubling run for responsiveness.
+        let dynamic = Scenario::new(link())
+            .sender(SenderConfig::new(proto.clone_box()).initial_window(1.0))
+            .bandwidth_change(event, 2000.0)
+            .steps(steps)
+            .run();
+        let c_new = 2000.0 * link().min_rtt();
+        let reclaim = steps_to_reclaim(&dynamic, event as usize, c_new, 0.8);
+
+        ExtensionRow {
+            protocol: proto.name(),
+            smoothness,
+            reclaim_steps: reclaim,
+            latency_inflation: latency,
+        }
+    }
+}
+
 /// Run the extension experiments with `steps` fluid steps per run.
 pub fn run_extension_report(steps: usize) -> ExtensionReport {
-    let event = (steps / 2) as u64;
-    let rows = extension_lineup()
-        .into_iter()
-        .map(|proto| {
-            // Steady solo run for smoothness + latency.
-            let steady = Scenario::new(link())
-                .sender(SenderConfig::new(proto.clone_box()).initial_window(1.0))
-                .steps(steps)
-                .run();
-            let tail = steady.tail_start(0.5);
-            let smoothness = measured_smoothness(&steady, tail);
-            let latency = measured_latency_inflation(&steady, tail);
+    run_extension_report_with(&SweepRunner::serial(), steps)
+}
 
-            // Capacity-doubling run for responsiveness.
-            let dynamic = Scenario::new(link())
-                .sender(SenderConfig::new(proto.clone_box()).initial_window(1.0))
-                .bandwidth_change(event, 2000.0)
-                .steps(steps)
-                .run();
-            let c_new = 2000.0 * link().min_rtt();
-            let reclaim = steps_to_reclaim(&dynamic, event as usize, c_new, 0.8);
-
-            ExtensionRow {
-                protocol: proto.name(),
-                smoothness,
-                reclaim_steps: reclaim,
-                latency_inflation: latency,
-            }
+/// [`run_extension_report`] through an explicit sweep runner: one job
+/// per lineup protocol.
+pub fn run_extension_report_with(runner: &SweepRunner, steps: usize) -> ExtensionReport {
+    let jobs: Vec<ExtensionJob> = extension_lineup()
+        .iter()
+        .enumerate()
+        .map(|(index, proto)| ExtensionJob {
+            index,
+            name: proto.name(),
+            steps,
         })
         .collect();
+    let rows = runner.run_jobs("extensions/rows", &jobs);
     ExtensionReport { rows }
 }
 

@@ -16,9 +16,11 @@
 use crate::estimators::{measure_friendliness_fluid, measure_solo_fluid, SweepConfig};
 use crate::pareto::{pareto_front_indices, ScoredPoint, FIGURE1_METRICS};
 use crate::report::{fmt_score, TextTable};
+use axcc_core::fingerprint::{Fingerprint, Fingerprinter};
 use axcc_core::theory::theorems::theorem2_friendliness_upper_bound;
 use axcc_core::{AxiomScores, LinkParams};
 use axcc_protocols::Aimd;
+use axcc_sweep::{Cacheable, Record, SweepJob, SweepRunner};
 use serde::Serialize;
 
 /// Default α (fast-utilization) grid for the surface.
@@ -74,20 +76,97 @@ pub fn frontier_surface(alphas: &[f64], betas: &[f64]) -> Figure1 {
     }
 }
 
+/// The measured triple attached to one surface point by validation.
+struct MeasuredPoint {
+    friendliness: f64,
+    efficiency: f64,
+    fast_utilization: Option<f64>,
+}
+
+impl Cacheable for MeasuredPoint {
+    fn to_record(&self) -> Record {
+        let mut r = Record::new();
+        r.push_f64(self.friendliness);
+        r.push_f64(self.efficiency);
+        r.push_opt_f64(self.fast_utilization);
+        r
+    }
+    fn from_record(record: &Record) -> Option<Self> {
+        let mut rd = record.reader();
+        let m = MeasuredPoint {
+            friendliness: rd.f64()?,
+            efficiency: rd.f64()?,
+            fast_utilization: rd.opt_f64()?,
+        };
+        rd.exhausted().then_some(m)
+    }
+}
+
+/// One feasibility-validation job: AIMD(α, β) solo and against Reno.
+struct PointJob {
+    alpha: f64,
+    beta: f64,
+    link: LinkParams,
+    steps: usize,
+}
+
+impl Fingerprint for PointJob {
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        fp.write_f64(self.alpha);
+        fp.write_f64(self.beta);
+        self.link.fingerprint(fp);
+        fp.write_usize(self.steps);
+    }
+}
+
+impl SweepJob for PointJob {
+    type Output = MeasuredPoint;
+    fn run(&self) -> MeasuredPoint {
+        let aimd = Aimd::new(self.alpha, self.beta);
+        let reno = Aimd::reno();
+        let solo = measure_solo_fluid(&aimd, &SweepConfig::standard(self.link, 2, self.steps));
+        let friendliness =
+            measure_friendliness_fluid(&aimd, &reno, self.link, 1, 1, self.steps, &[(1.0, 1.0)]);
+        MeasuredPoint {
+            friendliness,
+            efficiency: solo.efficiency,
+            fast_utilization: solo.fast_utilization,
+        }
+    }
+}
+
 /// The surface with feasibility validation: each point's AIMD(α, β) is
 /// simulated solo (efficiency, fast-utilization) and against Reno
 /// (friendliness) on `link` for `steps` fluid steps.
 pub fn validated_surface(alphas: &[f64], betas: &[f64], link: LinkParams, steps: usize) -> Figure1 {
+    validated_surface_with(&SweepRunner::serial(), alphas, betas, link, steps)
+}
+
+/// [`validated_surface`] through an explicit sweep runner: one job per
+/// (α, β) grid point.
+pub fn validated_surface_with(
+    runner: &SweepRunner,
+    alphas: &[f64],
+    betas: &[f64],
+    link: LinkParams,
+    steps: usize,
+) -> Figure1 {
     let mut fig = frontier_surface(alphas, betas);
-    let reno = Aimd::reno();
-    for p in &mut fig.points {
-        let aimd = Aimd::new(p.alpha, p.beta);
-        let solo = measure_solo_fluid(&aimd, &SweepConfig::standard(link, 2, steps));
-        let friendliness =
-            measure_friendliness_fluid(&aimd, &reno, link, 1, 1, steps, &[(1.0, 1.0)]);
-        p.measured_friendliness = Some(friendliness);
-        p.measured_efficiency = Some(solo.efficiency);
-        p.measured_fast_utilization = solo.fast_utilization;
+    let jobs: Vec<PointJob> = fig
+        .points
+        .iter()
+        .map(|p| PointJob {
+            alpha: p.alpha,
+            beta: p.beta,
+            link,
+            steps,
+        })
+        .collect();
+    let measured = runner.run_jobs("figure1/validate", &jobs);
+    for (p, m) in fig.points.iter_mut().zip(measured) {
+        p.measured_friendliness = Some(m.friendliness);
+        p.measured_efficiency = Some(m.efficiency);
+        p.measured_fast_utilization = m.fast_utilization;
     }
     fig.validated = true;
     fig

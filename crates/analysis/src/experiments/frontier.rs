@@ -19,8 +19,10 @@ use crate::estimators::empirical_scores_fluid;
 use crate::pareto::{pareto_front_indices, ScoredPoint, FIGURE1_METRICS};
 use crate::report::{fmt_score, TextTable};
 use axcc_core::axioms::Metric;
+use axcc_core::fingerprint::{Fingerprint, Fingerprinter};
 use axcc_core::{LinkParams, Protocol};
 use axcc_protocols::{Aimd, Bbr, Binomial, Cubic, HighSpeed, Mimd, Pcc, RobustAimd, Tfrc, Vegas};
+use axcc_sweep::{SweepJob, SweepRunner};
 use serde::Serialize;
 
 /// The 4-metric subspace: Figure 1's three plus robustness.
@@ -65,14 +67,58 @@ pub struct FrontierSearch {
     pub frontier_all: Vec<String>,
 }
 
+/// One candidate's full 8-metric evaluation, addressed by its display
+/// name (names embed every constructor parameter) and the scenario.
+struct CandidateJob {
+    index: usize,
+    name: String,
+    link: LinkParams,
+    steps: usize,
+}
+
+impl Fingerprint for CandidateJob {
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        fp.write_str(&self.name);
+        self.link.fingerprint(fp);
+        fp.write_usize(self.steps);
+    }
+}
+
+impl SweepJob for CandidateJob {
+    type Output = axcc_core::AxiomScores;
+    fn run(&self) -> axcc_core::AxiomScores {
+        let pool = candidate_pool();
+        empirical_scores_fluid(pool[self.index].as_ref(), self.link, 2, self.steps)
+    }
+}
+
 /// Score the pool on `link` and extract the frontiers.
 pub fn search_frontier(link: LinkParams, steps: usize) -> FrontierSearch {
-    let scored: Vec<ScoredPoint> = candidate_pool()
-        .into_iter()
-        .map(|p| {
-            let s = empirical_scores_fluid(p.as_ref(), link, 2, steps);
-            ScoredPoint::new(p.name(), s)
+    search_frontier_with(&SweepRunner::serial(), link, steps)
+}
+
+/// [`search_frontier`] through an explicit sweep runner: one job per
+/// candidate protocol.
+pub fn search_frontier_with(
+    runner: &SweepRunner,
+    link: LinkParams,
+    steps: usize,
+) -> FrontierSearch {
+    let jobs: Vec<CandidateJob> = candidate_pool()
+        .iter()
+        .enumerate()
+        .map(|(index, p)| CandidateJob {
+            index,
+            name: p.name(),
+            link,
+            steps,
         })
+        .collect();
+    let scores = runner.run_jobs("frontier/candidates", &jobs);
+    let scored: Vec<ScoredPoint> = jobs
+        .iter()
+        .zip(scores)
+        .map(|(job, s)| ScoredPoint::new(job.name.clone(), s))
         .collect();
     let labels = |idx: Vec<usize>| -> Vec<String> {
         idx.into_iter().map(|i| scored[i].label.clone()).collect()

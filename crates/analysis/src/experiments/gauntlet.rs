@@ -38,10 +38,12 @@
 use crate::estimators::TAIL_FRACTION;
 use crate::report::{fmt_score, TextTable};
 use axcc_core::axioms::{efficiency, friendliness, robustness};
+use axcc_core::fingerprint::{Fingerprint, Fingerprinter};
 use axcc_core::protocol::MAX_WINDOW;
 use axcc_core::{LinkParams, Protocol};
 use axcc_fluidsim::{LossModel, Scenario, SenderConfig};
 use axcc_protocols::presets;
+use axcc_sweep::{SweepJob, SweepRunner};
 use serde::Serialize;
 
 /// Burst lengths swept (RTT steps spent in the bad state per episode);
@@ -213,20 +215,117 @@ fn impaired_friendliness(proto: &dyn Protocol, steps: usize) -> f64 {
     friendliness::measured_friendliness(&trace, &[0], &[1], trace.tail_start(TAIL_FRACTION))
 }
 
+/// Write the gauntlet's fixed grid into a job fingerprint: any change to
+/// the frequency grid, seed set, in-burst loss rate, escape threshold, or
+/// episode budget must re-address every cached cell.
+fn fingerprint_grid(fp: &mut Fingerprinter) {
+    BURST_FREQS.as_slice().fingerprint(fp);
+    GAUNTLET_SEEDS.as_slice().fingerprint(fp);
+    fp.write_f64(LOSS_BAD);
+    fp.write_f64(BETA);
+    fp.write_f64(BURSTS_PER_CELL);
+}
+
+/// One gauntlet cell column: the largest withstood burst frequency for
+/// one (protocol, burst length) pair. Protocols are rebuilt from the
+/// lineup index inside `run` (they are `Send` but not `Sync`).
+struct CellScoreJob {
+    index: usize,
+    name: String,
+    burst_len: usize,
+    steps: usize,
+}
+
+impl Fingerprint for CellScoreJob {
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        fp.write_str(&self.name);
+        fp.write_usize(self.burst_len);
+        fp.write_usize(self.steps);
+        fingerprint_grid(fp);
+    }
+}
+
+impl SweepJob for CellScoreJob {
+    type Output = f64;
+    fn run(&self) -> f64 {
+        let lineup = gauntlet_lineup();
+        cell_score(lineup[self.index].as_ref(), self.burst_len, self.steps)
+    }
+}
+
+/// One protocol's side-effect columns (impaired efficiency and
+/// friendliness) under the reference impairment.
+struct SideEffectJob {
+    index: usize,
+    name: String,
+    steps: usize,
+}
+
+impl Fingerprint for SideEffectJob {
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        fp.write_str(&self.name);
+        fp.write_usize(self.steps);
+        fingerprint_grid(fp);
+    }
+}
+
+impl SweepJob for SideEffectJob {
+    type Output = (f64, f64);
+    fn run(&self) -> (f64, f64) {
+        let lineup = gauntlet_lineup();
+        let proto = lineup[self.index].as_ref();
+        (
+            impaired_efficiency(proto, self.steps),
+            impaired_friendliness(proto, self.steps),
+        )
+    }
+}
+
 /// Run the full gauntlet with `steps` fluid steps per run.
 pub fn run_gauntlet(steps: usize) -> GauntletReport {
-    let rows = gauntlet_lineup()
-        .into_iter()
-        .map(|proto| {
-            let scores = BURST_LENS
-                .iter()
-                .map(|&len| cell_score(proto.as_ref(), len, steps))
-                .collect();
+    run_gauntlet_with(&SweepRunner::serial(), steps)
+}
+
+/// [`run_gauntlet`] through an explicit sweep runner. The grain is one
+/// job per (protocol, burst length) column — the low-frequency cells
+/// dominate the wall-clock (`cell_steps` stretches them to ~200k steps),
+/// so splitting below protocol level is what lets the pool balance.
+pub fn run_gauntlet_with(runner: &SweepRunner, steps: usize) -> GauntletReport {
+    let lineup = gauntlet_lineup();
+    let mut cell_jobs = Vec::new();
+    for (index, proto) in lineup.iter().enumerate() {
+        for &burst_len in &BURST_LENS {
+            cell_jobs.push(CellScoreJob {
+                index,
+                name: proto.name(),
+                burst_len,
+                steps,
+            });
+        }
+    }
+    let scores = runner.run_jobs("gauntlet/cells", &cell_jobs);
+    let side_jobs: Vec<SideEffectJob> = lineup
+        .iter()
+        .enumerate()
+        .map(|(index, proto)| SideEffectJob {
+            index,
+            name: proto.name(),
+            steps,
+        })
+        .collect();
+    let sides = runner.run_jobs("gauntlet/side-effects", &side_jobs);
+
+    let rows = lineup
+        .iter()
+        .enumerate()
+        .map(|(i, proto)| {
+            let base = i * BURST_LENS.len();
+            let (eff, friend) = sides[i];
             GauntletRow {
                 protocol: proto.name(),
-                scores,
-                efficiency: impaired_efficiency(proto.as_ref(), steps),
-                friendliness: impaired_friendliness(proto.as_ref(), steps),
+                scores: scores[base..base + BURST_LENS.len()].to_vec(),
+                efficiency: eff,
+                friendliness: friend,
             }
         })
         .collect();

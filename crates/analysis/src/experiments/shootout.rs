@@ -21,9 +21,11 @@ use crate::estimators::{
     measure_robustness_fluid, measure_solo_fluid, SweepConfig, ROBUSTNESS_RATES,
 };
 use crate::report::{fmt_score, TextTable};
+use axcc_core::fingerprint::{Fingerprint, Fingerprinter};
 use axcc_core::{LinkParams, Protocol};
 use axcc_fluidsim::{LossModel, Scenario, SenderConfig};
 use axcc_protocols::{presets, Bbr};
+use axcc_sweep::{Cacheable, Record, SweepJob, SweepRunner};
 use serde::Serialize;
 
 /// The loss rates the paper's Robust-AIMD evaluation names (ε values).
@@ -75,33 +77,96 @@ fn congested_link() -> LinkParams {
     LinkParams::reference()
 }
 
+impl Cacheable for ShootoutRow {
+    fn to_record(&self) -> Record {
+        let mut r = Record::new();
+        r.push_str(&self.protocol);
+        r.push_f64(self.robustness);
+        for v in self.goodput_retention {
+            r.push_f64(v);
+        }
+        r.push_f64(self.efficiency);
+        r
+    }
+    fn from_record(record: &Record) -> Option<Self> {
+        let mut rd = record.reader();
+        let protocol = rd.str()?.to_string();
+        let robustness = rd.f64()?;
+        let goodput_retention = [rd.f64()?, rd.f64()?, rd.f64()?];
+        let efficiency = rd.f64()?;
+        rd.exhausted().then_some(ShootoutRow {
+            protocol,
+            robustness,
+            goodput_retention,
+            efficiency,
+        })
+    }
+}
+
+/// One protocol's full shootout evaluation. The protocol is rebuilt from
+/// its lineup index inside `run` (protocol objects are `Send` but not
+/// `Sync`); its display name carries every constructor parameter, so the
+/// (name, steps) pair pins the job identity.
+struct LineupJob {
+    index: usize,
+    name: String,
+    steps: usize,
+}
+
+impl Fingerprint for LineupJob {
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        fp.write_str(&self.name);
+        fp.write_usize(self.steps);
+    }
+}
+
+impl SweepJob for LineupJob {
+    type Output = ShootoutRow;
+    fn run(&self) -> ShootoutRow {
+        let lineup = shootout_lineup();
+        let proto = &lineup[self.index];
+        let steps = self.steps;
+        let robustness = measure_robustness_fluid(proto.as_ref(), &ROBUSTNESS_RATES, steps);
+        let clean = noisy_goodput(proto.as_ref(), 0.0, steps);
+        let mut retention = [0.0; 3];
+        for (i, &rate) in NOISE_RATES.iter().enumerate() {
+            retention[i] = if clean > 0.0 {
+                noisy_goodput(proto.as_ref(), rate, steps) / clean
+            } else {
+                0.0
+            };
+        }
+        let solo = measure_solo_fluid(
+            proto.as_ref(),
+            &SweepConfig::standard(congested_link(), 2, steps),
+        );
+        ShootoutRow {
+            protocol: proto.name(),
+            robustness,
+            goodput_retention: retention,
+            efficiency: solo.efficiency,
+        }
+    }
+}
+
 /// Run the shootout with `steps` fluid steps per run.
 pub fn run_shootout(steps: usize) -> Shootout {
-    let rows = shootout_lineup()
-        .into_iter()
-        .map(|proto| {
-            let robustness = measure_robustness_fluid(proto.as_ref(), &ROBUSTNESS_RATES, steps);
-            let clean = noisy_goodput(proto.as_ref(), 0.0, steps);
-            let mut retention = [0.0; 3];
-            for (i, &rate) in NOISE_RATES.iter().enumerate() {
-                retention[i] = if clean > 0.0 {
-                    noisy_goodput(proto.as_ref(), rate, steps) / clean
-                } else {
-                    0.0
-                };
-            }
-            let solo = measure_solo_fluid(
-                proto.as_ref(),
-                &SweepConfig::standard(congested_link(), 2, steps),
-            );
-            ShootoutRow {
-                protocol: proto.name(),
-                robustness,
-                goodput_retention: retention,
-                efficiency: solo.efficiency,
-            }
+    run_shootout_with(&SweepRunner::serial(), steps)
+}
+
+/// [`run_shootout`] through an explicit sweep runner: one job per lineup
+/// protocol.
+pub fn run_shootout_with(runner: &SweepRunner, steps: usize) -> Shootout {
+    let jobs: Vec<LineupJob> = shootout_lineup()
+        .iter()
+        .enumerate()
+        .map(|(index, proto)| LineupJob {
+            index,
+            name: proto.name(),
+            steps,
         })
         .collect();
+    let rows = runner.run_jobs("shootout/rows", &jobs);
     Shootout { rows }
 }
 

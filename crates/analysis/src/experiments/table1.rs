@@ -11,9 +11,11 @@
 
 use crate::estimators::empirical_scores_fluid;
 use crate::report::{fmt_score, TextTable};
+use axcc_core::fingerprint::{Fingerprint, Fingerprinter};
 use axcc_core::theory::ProtocolSpec;
 use axcc_core::{AxiomScores, LinkParams};
 use axcc_protocols::build_protocol;
+use axcc_sweep::{SweepJob, SweepRunner};
 use serde::Serialize;
 
 /// The protocol instances characterized in the generated table: the three
@@ -77,14 +79,62 @@ pub fn theoretical_table1(c: f64, tau: f64, n: usize) -> Table1 {
     Table1 { c, tau, n, rows }
 }
 
+/// One empirical-characterization job: simulate `spec` on `link` and
+/// score the full 8-tuple. The fingerprint covers the protocol identity
+/// (spec names embed every parameter) and the whole scenario.
+struct MeasureJob {
+    spec: ProtocolSpec,
+    link: LinkParams,
+    n: usize,
+    steps: usize,
+}
+
+impl Fingerprint for MeasureJob {
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        fp.write_str(&self.spec.name());
+        self.link.fingerprint(fp);
+        fp.write_usize(self.n);
+        fp.write_usize(self.steps);
+    }
+}
+
+impl SweepJob for MeasureJob {
+    type Output = AxiomScores;
+    fn run(&self) -> AxiomScores {
+        let proto = build_protocol(&self.spec);
+        empirical_scores_fluid(proto.as_ref(), self.link, self.n, self.steps)
+    }
+}
+
 /// Build the table **with** empirical validation: each protocol instance
 /// is simulated on `link` with `n` senders for `steps` fluid-model steps,
 /// and its measured 8-tuple is attached to the row.
 pub fn empirical_table1(link: LinkParams, n: usize, steps: usize) -> Table1 {
+    empirical_table1_with(&SweepRunner::serial(), link, n, steps)
+}
+
+/// [`empirical_table1`] through an explicit sweep runner: one job per
+/// protocol row, fanned out and answered from the cache where possible.
+pub fn empirical_table1_with(
+    runner: &SweepRunner,
+    link: LinkParams,
+    n: usize,
+    steps: usize,
+) -> Table1 {
     let mut table = theoretical_table1(link.capacity(), link.buffer, n);
-    for row in &mut table.rows {
-        let proto = build_protocol(&row.spec);
-        row.measured = Some(empirical_scores_fluid(proto.as_ref(), link, n, steps));
+    let jobs: Vec<MeasureJob> = table
+        .rows
+        .iter()
+        .map(|row| MeasureJob {
+            spec: row.spec,
+            link,
+            n,
+            steps,
+        })
+        .collect();
+    let measured = runner.run_jobs("table1/empirical", &jobs);
+    for (row, m) in table.rows.iter_mut().zip(measured) {
+        row.measured = Some(m);
     }
     table
 }

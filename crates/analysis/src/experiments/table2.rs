@@ -19,10 +19,12 @@
 use crate::estimators::{measure_friendliness_fluid, measure_friendliness_packet};
 use crate::report::{fmt_ratio, TextTable};
 use axcc_core::axioms::friendliness::measured_friendliness;
+use axcc_core::fingerprint::{Fingerprint, Fingerprinter};
 use axcc_core::units::Bandwidth;
 use axcc_core::LinkParams;
 use axcc_packetsim::{PacketScenario, PacketSenderConfig};
 use axcc_protocols::{Aimd, Pcc, RobustAimd};
+use axcc_sweep::{SweepJob, SweepRunner};
 use serde::Serialize;
 
 /// The paper's sender counts.
@@ -68,15 +70,107 @@ pub struct Table2 {
     pub backend: String,
 }
 
+/// Which simulation backend a Table 2 cell runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Table2Backend {
+    Fluid,
+    Packet,
+    PacketPaced,
+}
+
+impl Table2Backend {
+    fn label(self) -> &'static str {
+        match self {
+            Table2Backend::Fluid => "fluid",
+            Table2Backend::Packet => "packet",
+            Table2Backend::PacketPaced => "packet (paced PCC)",
+        }
+    }
+}
+
+/// One `(n, BW)` cell evaluation: both comparator runs (Robust-AIMD and
+/// PCC vs one Reno) on the shared 42-ms / 100-MSS link. Output is the
+/// `(friendliness(R-AIMD), friendliness(PCC))` pair.
+struct CellJob {
+    backend: Table2Backend,
+    n: usize,
+    bw_mbps: f64,
+    /// Fluid steps or packet seconds, depending on backend.
+    budget: f64,
+}
+
+impl Fingerprint for CellJob {
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        fp.write_str(self.backend.label());
+        fp.write_usize(self.n);
+        fp.write_f64(self.bw_mbps);
+        fp.write_f64(self.budget);
+        fp.write_f64(TABLE2_RTT_MS);
+        fp.write_f64(TABLE2_BUFFER_MSS);
+    }
+}
+
+impl SweepJob for CellJob {
+    type Output = (f64, f64);
+    fn run(&self) -> (f64, f64) {
+        let reno = Aimd::reno();
+        let robust = RobustAimd::table2();
+        let link = LinkParams::from_experiment(
+            Bandwidth::Mbps(self.bw_mbps),
+            TABLE2_RTT_MS,
+            TABLE2_BUFFER_MSS,
+        );
+        let n_p = self.n - 1;
+        match self.backend {
+            Table2Backend::Fluid => {
+                let pairs = [(1.0, 1.0)];
+                let steps = self.budget as usize;
+                (
+                    measure_friendliness_fluid(&robust, &reno, link, n_p, 1, steps, &pairs),
+                    measure_friendliness_fluid(&Pcc::new(), &reno, link, n_p, 1, steps, &pairs),
+                )
+            }
+            Table2Backend::Packet => (
+                measure_friendliness_packet(&robust, &reno, link, n_p, 1, self.budget, 0),
+                measure_friendliness_packet(&Pcc::new(), &reno, link, n_p, 1, self.budget, 0),
+            ),
+            Table2Backend::PacketPaced => {
+                let f_r = measure_friendliness_packet(&robust, &reno, link, n_p, 1, self.budget, 0);
+                // Paced-PCC cell, built directly.
+                let mut sc = PacketScenario::new(link).duration_secs(self.budget);
+                for _ in 0..n_p {
+                    sc = sc.sender(PacketSenderConfig::new(Box::new(Pcc::new())).paced());
+                }
+                sc = sc.sender(PacketSenderConfig::new(Box::new(Aimd::reno())));
+                let out = sc.run();
+                let tail = out.trace.tail_start(0.5);
+                let p_idx: Vec<usize> = (0..n_p).collect();
+                let f_p = measured_friendliness(&out.trace, &p_idx, &[n_p], tail);
+                (f_r, f_p)
+            }
+        }
+    }
+}
+
 /// Build Table 2 with the **fluid** backend (`steps` RTT steps per run).
 pub fn build_table2_fluid(steps: usize) -> Table2 {
-    build_table2(steps as f64, true)
+    build_table2_fluid_with(&SweepRunner::serial(), steps)
+}
+
+/// [`build_table2_fluid`] through an explicit sweep runner.
+pub fn build_table2_fluid_with(runner: &SweepRunner, steps: usize) -> Table2 {
+    build_table2(runner, Table2Backend::Fluid, steps as f64)
 }
 
 /// Build Table 2 with the **packet-level** backend (`duration_secs` per
 /// run) — the closer analogue of the paper's testbed.
 pub fn build_table2_packet(duration_secs: f64) -> Table2 {
-    build_table2(duration_secs, false)
+    build_table2_packet_with(&SweepRunner::serial(), duration_secs)
+}
+
+/// [`build_table2_packet`] through an explicit sweep runner.
+pub fn build_table2_packet_with(runner: &SweepRunner, duration_secs: f64) -> Table2 {
+    build_table2(runner, Table2Backend::Packet, duration_secs)
 }
 
 /// Build Table 2 at packet level with a **paced** PCC — the real PCC is a
@@ -85,80 +179,40 @@ pub fn build_table2_packet(duration_secs: f64) -> Table2 {
 /// ("the sender has a congestion window, similarly to TCP and unlike
 /// PCC").
 pub fn build_table2_packet_paced(duration_secs: f64) -> Table2 {
-    let reno = Aimd::reno();
-    let robust = RobustAimd::table2();
-    let mut cells = Vec::new();
-    for &n in &TABLE2_NS {
-        for &bw in &TABLE2_BWS {
-            let link =
-                LinkParams::from_experiment(Bandwidth::Mbps(bw), TABLE2_RTT_MS, TABLE2_BUFFER_MSS);
-            let n_p = n - 1;
-            let f_r = measure_friendliness_packet(&robust, &reno, link, n_p, 1, duration_secs, 0);
-            // Paced-PCC cell, built directly.
-            let mut sc = PacketScenario::new(link).duration_secs(duration_secs);
-            for _ in 0..n_p {
-                sc = sc.sender(PacketSenderConfig::new(Box::new(Pcc::new())).paced());
-            }
-            sc = sc.sender(PacketSenderConfig::new(Box::new(Aimd::reno())));
-            let out = sc.run();
-            let tail = out.trace.tail_start(0.5);
-            let p_idx: Vec<usize> = (0..n_p).collect();
-            let f_p = measured_friendliness(&out.trace, &p_idx, &[n_p], tail);
-            cells.push(Table2Cell {
-                n,
-                bw_mbps: bw,
-                friendliness_robust_aimd: f_r,
-                friendliness_pcc: f_p,
-            });
-        }
-    }
-    Table2 {
-        cells,
-        backend: "packet (paced PCC)".to_string(),
-    }
+    build_table2_packet_paced_with(&SweepRunner::serial(), duration_secs)
 }
 
-fn build_table2(budget: f64, fluid: bool) -> Table2 {
-    let reno = Aimd::reno();
-    let robust = RobustAimd::table2();
-    let pcc = Pcc::new();
-    let mut cells = Vec::new();
+/// [`build_table2_packet_paced`] through an explicit sweep runner.
+pub fn build_table2_packet_paced_with(runner: &SweepRunner, duration_secs: f64) -> Table2 {
+    build_table2(runner, Table2Backend::PacketPaced, duration_secs)
+}
+
+fn build_table2(runner: &SweepRunner, backend: Table2Backend, budget: f64) -> Table2 {
+    let mut jobs = Vec::new();
     for &n in &TABLE2_NS {
         for &bw in &TABLE2_BWS {
-            let link =
-                LinkParams::from_experiment(Bandwidth::Mbps(bw), TABLE2_RTT_MS, TABLE2_BUFFER_MSS);
-            let n_p = n - 1;
-            let (f_r, f_p) = if fluid {
-                let pairs = [(1.0, 1.0)];
-                (
-                    measure_friendliness_fluid(
-                        &robust,
-                        &reno,
-                        link,
-                        n_p,
-                        1,
-                        budget as usize,
-                        &pairs,
-                    ),
-                    measure_friendliness_fluid(&pcc, &reno, link, n_p, 1, budget as usize, &pairs),
-                )
-            } else {
-                (
-                    measure_friendliness_packet(&robust, &reno, link, n_p, 1, budget, 0),
-                    measure_friendliness_packet(&pcc, &reno, link, n_p, 1, budget, 0),
-                )
-            };
-            cells.push(Table2Cell {
+            jobs.push(CellJob {
+                backend,
                 n,
                 bw_mbps: bw,
-                friendliness_robust_aimd: f_r,
-                friendliness_pcc: f_p,
+                budget,
             });
         }
     }
+    let pairs = runner.run_jobs("table2/cells", &jobs);
+    let cells = jobs
+        .iter()
+        .zip(pairs)
+        .map(|(job, (f_r, f_p))| Table2Cell {
+            n: job.n,
+            bw_mbps: job.bw_mbps,
+            friendliness_robust_aimd: f_r,
+            friendliness_pcc: f_p,
+        })
+        .collect();
     Table2 {
         cells,
-        backend: if fluid { "fluid" } else { "packet" }.to_string(),
+        backend: backend.label().to_string(),
     }
 }
 

@@ -13,6 +13,7 @@ use crate::estimators::{
     ROBUSTNESS_RATES,
 };
 use axcc_core::axioms::{fast_utilization, loss_avoidance};
+use axcc_core::fingerprint::{Fingerprint, Fingerprinter};
 use axcc_core::theory::theorems::{
     theorem1_efficiency_lower_bound, theorem2_friendliness_upper_bound,
     theorem3_friendliness_upper_bound,
@@ -20,6 +21,7 @@ use axcc_core::theory::theorems::{
 use axcc_core::{LinkParams, Protocol};
 use axcc_fluidsim::{Scenario, SenderConfig};
 use axcc_protocols::{Aimd, CautiousProber, Mimd, RobustAimd, Vegas};
+use axcc_sweep::{Cacheable, Record, SweepJob, SweepRunner};
 use serde::Serialize;
 
 /// Outcome of one theorem check.
@@ -33,23 +35,79 @@ pub struct TheoremCheck {
     pub detail: String,
 }
 
+impl Cacheable for TheoremCheck {
+    fn to_record(&self) -> Record {
+        let mut r = Record::new();
+        r.push_str(&self.name);
+        r.push_bool(self.passed);
+        r.push_str(&self.detail);
+        r
+    }
+    fn from_record(record: &Record) -> Option<Self> {
+        let mut rd = record.reader();
+        let c = TheoremCheck {
+            name: rd.str()?.to_string(),
+            passed: rd.bool()?,
+            detail: rd.str()?.to_string(),
+        };
+        rd.exhausted().then_some(c)
+    }
+}
+
 /// Standard link for the checks: the [`LinkParams::reference`] link
 /// (12 Mbps, C = 100 MSS, τ = 20 MSS).
 pub fn check_link() -> LinkParams {
     LinkParams::reference()
 }
 
+/// A theorem check: fluid-model steps in, verdict out.
+type CheckFn = fn(usize) -> TheoremCheck;
+
+/// The individual checks, in report order, as dispatchable entries.
+const CHECKS: [(&str, CheckFn); 6] = [
+    ("claim1", check_claim1),
+    ("theorem1", check_theorem1),
+    ("theorem2", check_theorem2),
+    ("theorem3", check_theorem3),
+    ("theorem4", check_theorem4),
+    ("theorem5", check_theorem5),
+];
+
+/// One theorem-check job, identified by its stable dispatch key.
+struct CheckJob {
+    key: &'static str,
+    run: fn(usize) -> TheoremCheck,
+    steps: usize,
+}
+
+impl Fingerprint for CheckJob {
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        fp.write_str(self.key);
+        fp.write_usize(self.steps);
+    }
+}
+
+impl SweepJob for CheckJob {
+    type Output = TheoremCheck;
+    fn run(&self) -> TheoremCheck {
+        (self.run)(self.steps)
+    }
+}
+
 /// Run every check. `steps` controls the run length of each simulation
 /// (3000 is comfortable; tests use less).
 pub fn check_all(steps: usize) -> Vec<TheoremCheck> {
-    vec![
-        check_claim1(steps),
-        check_theorem1(steps),
-        check_theorem2(steps),
-        check_theorem3(steps),
-        check_theorem4(steps),
-        check_theorem5(steps),
-    ]
+    check_all_with(&SweepRunner::serial(), steps)
+}
+
+/// [`check_all`] through an explicit sweep runner: the six checks are
+/// independent simulations and fan out as six jobs.
+pub fn check_all_with(runner: &SweepRunner, steps: usize) -> Vec<TheoremCheck> {
+    let jobs: Vec<CheckJob> = CHECKS
+        .iter()
+        .map(|&(key, run)| CheckJob { key, run, steps })
+        .collect();
+    runner.run_jobs("theorems/check", &jobs)
 }
 
 /// **Claim 1**: a loss-based 0-loss protocol is not α-fast-utilizing for

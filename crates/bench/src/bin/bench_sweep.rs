@@ -1,0 +1,133 @@
+//! Benchmark the sweep engine itself and emit **BENCH_sweep.json**.
+//!
+//! For every experiment in the registry (smoke scale by default) this
+//! measures three wall-clock configurations:
+//!
+//! 1. **serial** — one worker, cache disabled (the pre-sweep baseline);
+//! 2. **parallel** — `--jobs` workers (default: all cores), cold cache;
+//! 3. **warm** — the same runner again, so every job should be answered
+//!    from the content-addressed cache.
+//!
+//! The JSON snapshot records per-experiment wall-clock, speedup, and the
+//! warm-pass cache hit rate, plus suite totals. Reports are discarded —
+//! this binary times the engine, it does not regenerate artifacts.
+//!
+//! Flags:
+//! * `--jobs N` — parallel worker count (0 = all cores; the default);
+//! * `--paper` — full artifact scale instead of smoke scale;
+//! * `--out PATH` — where to write the snapshot (default `BENCH_sweep.json`).
+
+use axcc_analysis::experiments::{registry, RunBudget};
+use axcc_bench::has_flag;
+use axcc_bench::runner::flag_value;
+use axcc_sweep::{Stopwatch, SweepRunner, ENGINE_REVISION};
+
+fn main() {
+    let workers = flag_value("--jobs")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    let budget = if has_flag("--paper") {
+        RunBudget::paper()
+    } else {
+        RunBudget::smoke()
+    };
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_sweep.json".to_string());
+
+    let mut experiments = Vec::new();
+    let mut serial_total = 0.0;
+    let mut parallel_total = 0.0;
+    let mut warm_hits = 0u64;
+    let mut warm_jobs = 0u64;
+    let resolved_workers = SweepRunner::new(workers).workers();
+    for exp in registry() {
+        eprintln!("[bench-sweep] {} …", exp.name);
+
+        let serial = SweepRunner::without_cache(1);
+        let sw = Stopwatch::start();
+        let serial_outcome = (exp.run)(&serial, budget);
+        let serial_secs = sw.elapsed_secs();
+
+        let parallel = SweepRunner::new(workers);
+        let sw = Stopwatch::start();
+        let parallel_outcome = (exp.run)(&parallel, budget);
+        let parallel_secs = sw.elapsed_secs();
+        let cold = parallel.take_stats();
+
+        let sw = Stopwatch::start();
+        let warm_outcome = (exp.run)(&parallel, budget);
+        let warm_secs = sw.elapsed_secs();
+        let warm = parallel.take_stats();
+
+        assert_eq!(
+            serial_outcome.report, parallel_outcome.report,
+            "{}: parallel report diverged from serial",
+            exp.name
+        );
+        assert_eq!(
+            serial_outcome.report, warm_outcome.report,
+            "{}: warm-cache report diverged from serial",
+            exp.name
+        );
+
+        serial_total += serial_secs;
+        parallel_total += parallel_secs;
+        warm_hits += warm.cache_hits;
+        warm_jobs += warm.jobs();
+        let speedup = if parallel_secs > 0.0 {
+            serial_secs / parallel_secs
+        } else {
+            0.0
+        };
+        experiments.push(serde_json::json!({
+            "name": exp.name,
+            "jobs": cold.jobs(),
+            "serial_secs": serial_secs,
+            "parallel_secs": parallel_secs,
+            "speedup": speedup,
+            "warm_secs": warm_secs,
+            "warm_hit_rate": warm.hit_rate(),
+        }));
+    }
+
+    let suite_speedup = if parallel_total > 0.0 {
+        serial_total / parallel_total
+    } else {
+        0.0
+    };
+    let suite_warm_hit_rate = if warm_jobs > 0 {
+        warm_hits as f64 / warm_jobs as f64
+    } else {
+        0.0
+    };
+    let totals = serde_json::json!({
+        "serial_secs": serial_total,
+        "parallel_secs": parallel_total,
+        "speedup": suite_speedup,
+        "warm_hit_rate": suite_warm_hit_rate,
+    });
+    let scale = if budget.smoke { "smoke" } else { "paper" };
+    let snapshot = serde_json::json!({
+        "engine_revision": ENGINE_REVISION,
+        "workers": resolved_workers,
+        "scale": scale,
+        "experiments": experiments,
+        "totals": totals,
+    });
+    let rendered = match serde_json::to_string_pretty(&snapshot) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("[bench-sweep] JSON serialization failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{rendered}");
+    if let Err(e) = std::fs::write(&out_path, format!("{rendered}\n")) {
+        eprintln!("[bench-sweep] cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "[bench-sweep] snapshot written to {out_path} ({}x suite speedup, {:.1}% warm hit rate)",
+        (serial_total / parallel_total.max(1e-9)).round(),
+        100.0 * warm_hits as f64 / warm_jobs.max(1) as f64
+    );
+}

@@ -5,19 +5,16 @@
 //! `axcc_analysis::experiments::theorems` for what each check asserts).
 //! Exits non-zero if any check fails, so the target doubles as a CI gate.
 //!
-//! Flags: `--json`.
+//! Flags: `--json`, and the shared `--jobs N` / `--no-cache`.
 
-use axcc_analysis::experiments::theorems::{check_all, render_checks};
-use axcc_bench::{budget, has_flag};
+use axcc_analysis::experiments::theorems::{check_all_with, render_checks};
+use axcc_bench::budget;
+use axcc_bench::runner::Bin;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let checks = check_all(budget::THEOREM_STEPS);
-    println!("{}", render_checks(&checks));
-    if has_flag("--json") {
-        println!("{}", serde_json::to_string_pretty(&checks)?);
-    }
-    if checks.iter().any(|c| !c.passed) {
-        std::process::exit(1);
-    }
-    Ok(())
+fn main() {
+    let mut bin = Bin::new("check-theorems");
+    let checks = check_all_with(bin.runner(), budget::THEOREM_STEPS);
+    bin.section("theorems", &checks, &render_checks(&checks));
+    bin.gate(checks.iter().all(|c| c.passed), "all theorem checks pass");
+    std::process::exit(bin.finish());
 }

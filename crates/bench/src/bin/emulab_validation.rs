@@ -6,23 +6,30 @@
 //!
 //! Flags:
 //! * `--quick` — a single-cell smoke grid instead of the full 24-cell one;
-//! * `--json` — dump all cells + hierarchy agreements as JSON.
+//! * `--json` — dump all cells + hierarchy agreements as JSON;
+//! * `--jobs N`, `--no-cache` — sweep-engine controls.
 
-use axcc_analysis::experiments::emulab::{run_emulab_validation, EmulabConfig};
+use axcc_analysis::experiments::emulab::{run_emulab_validation_with, EmulabConfig};
 use axcc_bench::has_flag;
+use axcc_bench::runner::Bin;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() {
+    let mut bin = Bin::new("emulab-validation");
     let cfg = if has_flag("--quick") {
         EmulabConfig::quick()
     } else {
         EmulabConfig::paper()
     };
-    eprintln!("running {} packet-level simulations…", cfg.total_runs());
-    let v = run_emulab_validation(&cfg);
-    println!("{}", v.render());
-    println!("mean hierarchy agreement: {:.3}", v.mean_agreement());
-    if has_flag("--json") {
-        println!("{}", serde_json::to_string_pretty(&v)?);
-    }
-    Ok(())
+    bin.progress(&format!(
+        "running {} packet-level simulations…",
+        cfg.total_runs()
+    ));
+    let v = run_emulab_validation_with(bin.runner(), &cfg);
+    let text = format!(
+        "{}\nmean hierarchy agreement: {:.3}",
+        v.render(),
+        v.mean_agreement()
+    );
+    bin.section("emulab", &v, &text);
+    std::process::exit(bin.finish());
 }

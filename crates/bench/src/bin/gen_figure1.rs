@@ -7,30 +7,35 @@
 //! analytic surface is *feasible* — the paper's central claim about the
 //! frontier.
 //!
-//! Flags: `--validate`, `--json`.
+//! Flags: `--validate`, `--json`, and the shared `--jobs N` / `--no-cache`.
 
 use axcc_analysis::experiments::figure1::{
-    frontier_surface, validated_surface, DEFAULT_ALPHAS, DEFAULT_BETAS,
+    frontier_surface, validated_surface_with, DEFAULT_ALPHAS, DEFAULT_BETAS,
 };
+use axcc_bench::runner::Bin;
 use axcc_bench::{budget, has_flag};
 use axcc_core::units::Bandwidth;
 use axcc_core::LinkParams;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() {
+    let mut bin = Bin::new("gen-figure1");
     let fig = if has_flag("--validate") {
         let link = LinkParams::from_experiment(Bandwidth::Mbps(20.0), 42.0, 100.0);
-        eprintln!(
+        bin.progress(&format!(
             "validating {} grid points ({} steps each)…",
             DEFAULT_ALPHAS.len() * DEFAULT_BETAS.len(),
             budget::FIGURE1_STEPS
-        );
-        validated_surface(&DEFAULT_ALPHAS, &DEFAULT_BETAS, link, budget::FIGURE1_STEPS)
+        ));
+        validated_surface_with(
+            bin.runner(),
+            &DEFAULT_ALPHAS,
+            &DEFAULT_BETAS,
+            link,
+            budget::FIGURE1_STEPS,
+        )
     } else {
         frontier_surface(&DEFAULT_ALPHAS, &DEFAULT_BETAS)
     };
-    println!("{}", fig.render());
-    if has_flag("--json") {
-        println!("{}", serde_json::to_string_pretty(&fig)?);
-    }
-    Ok(())
+    bin.section("figure1", &fig, &fig.render());
+    std::process::exit(bin.finish());
 }

@@ -4,22 +4,20 @@
 //! full eight-metric space — the paper's "where architectures fit" claim,
 //! by measurement.
 //!
-//! Flags: `--json`.
+//! Flags: `--json`, and the shared `--jobs N` / `--no-cache`.
 
-use axcc_analysis::experiments::frontier::search_frontier;
-use axcc_bench::{budget, has_flag};
+use axcc_analysis::experiments::frontier::search_frontier_with;
+use axcc_bench::budget;
+use axcc_bench::runner::Bin;
 use axcc_core::LinkParams;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let link = LinkParams::reference();
-    eprintln!(
+fn main() {
+    let mut bin = Bin::new("gen-frontier");
+    bin.progress(&format!(
         "scoring the candidate pool ({} steps per run)…",
         budget::THEOREM_STEPS
-    );
-    let f = search_frontier(link, budget::THEOREM_STEPS);
-    println!("{}", f.render());
-    if has_flag("--json") {
-        println!("{}", serde_json::to_string_pretty(&f)?);
-    }
-    Ok(())
+    ));
+    let f = search_frontier_with(bin.runner(), LinkParams::reference(), budget::THEOREM_STEPS);
+    bin.section("frontier", &f, &f.render());
+    std::process::exit(bin.finish());
 }

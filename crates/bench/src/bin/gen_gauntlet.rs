@@ -8,18 +8,19 @@
 //! burst frequency degrades strictly slower than plain AIMD's as bursts
 //! lengthen.
 //!
-//! Flags: `--json`.
+//! Flags: `--json`, and the shared `--jobs N` / `--no-cache`.
 
 use axcc_analysis::experiments::gauntlet;
-use axcc_bench::{budget, has_flag};
+use axcc_bench::budget;
+use axcc_bench::runner::Bin;
 
 fn main() {
-    let rep = gauntlet::run_gauntlet(budget::GAUNTLET_STEPS);
-    println!("{}", rep.render());
-    if has_flag("--json") {
-        println!("{}", serde_json::json!({ "gauntlet": rep }));
-    }
-    if !rep.degrades_slower("R-AIMD", "AIMD(1,0.5)") {
-        std::process::exit(1);
-    }
+    let mut bin = Bin::new("gen-gauntlet");
+    let rep = gauntlet::run_gauntlet_with(bin.runner(), budget::GAUNTLET_STEPS);
+    bin.section("gauntlet", &rep, &rep.render());
+    bin.gate(
+        rep.degrades_slower("R-AIMD", "AIMD(1,0.5)"),
+        "Robust-AIMD degrades slower than AIMD",
+    );
+    std::process::exit(bin.finish());
 }

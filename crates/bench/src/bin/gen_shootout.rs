@@ -8,29 +8,20 @@
 //!   protocol classes), including the BBR and TFRC extensions;
 //! * the in-network-queueing comparison (droptail vs ECN vs RED).
 //!
-//! Flags: `--json`.
+//! Flags: `--json`, and the shared `--jobs N` / `--no-cache`.
 
 use axcc_analysis::experiments::{aqm, extensions, shootout};
-use axcc_bench::{budget, has_flag};
+use axcc_bench::budget;
+use axcc_bench::runner::Bin;
 
 fn main() {
-    let s = shootout::run_shootout(budget::THEOREM_STEPS);
-    println!("{}", s.render());
-    let e = extensions::run_extension_report(budget::THEOREM_STEPS);
-    println!("{}", e.render());
-    let q = aqm::run_aqm_comparison(2, 40.0);
-    println!("{}", q.render());
-    if has_flag("--json") {
-        println!(
-            "{}",
-            serde_json::json!({
-                "shootout": s,
-                "extensions": e,
-                "aqm": q,
-            })
-        );
-    }
-    if !s.ordering_holds() {
-        std::process::exit(1);
-    }
+    let mut bin = Bin::new("gen-shootout");
+    let s = shootout::run_shootout_with(bin.runner(), budget::THEOREM_STEPS);
+    bin.section("shootout", &s, &s.render());
+    let e = extensions::run_extension_report_with(bin.runner(), budget::THEOREM_STEPS);
+    bin.section("extensions", &e, &e.render());
+    let q = aqm::run_aqm_comparison_with(bin.runner(), 2, 40.0);
+    bin.section("aqm", &q, &q.render());
+    bin.gate(s.ordering_holds(), "paper's robustness ordering holds");
+    std::process::exit(bin.finish());
 }

@@ -6,29 +6,28 @@
 //! Flags:
 //! * `--simulate` — also measure each protocol's empirical 8-tuple in the
 //!   fluid simulator and print it as a third section;
-//! * `--json` — dump the table as JSON to stdout after the text rendering.
+//! * `--json` — dump the table as JSON to stdout after the text rendering;
+//! * `--jobs N`, `--no-cache` — sweep-engine controls (see `axcc_bench::runner`).
 
-use axcc_analysis::experiments::table1::{empirical_table1, theoretical_table1};
+use axcc_analysis::experiments::table1::{empirical_table1_with, theoretical_table1};
+use axcc_bench::runner::Bin;
 use axcc_bench::{budget, has_flag};
 use axcc_core::units::Bandwidth;
 use axcc_core::LinkParams;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() {
+    let mut bin = Bin::new("gen-table1");
     let link = LinkParams::from_experiment(Bandwidth::Mbps(100.0), 42.0, 100.0);
     let n = 2;
     let table = if has_flag("--simulate") {
-        eprintln!(
-            "simulating {} protocols x sweep configs ({} steps each)…",
-            5,
+        bin.progress(&format!(
+            "simulating 5 protocols x sweep configs ({} steps each)…",
             budget::TABLE1_STEPS
-        );
-        empirical_table1(link, n, budget::TABLE1_STEPS)
+        ));
+        empirical_table1_with(bin.runner(), link, n, budget::TABLE1_STEPS)
     } else {
         theoretical_table1(link.capacity(), link.buffer, n)
     };
-    println!("{}", table.render());
-    if has_flag("--json") {
-        println!("{}", serde_json::to_string_pretty(&table)?);
-    }
-    Ok(())
+    bin.section("table1", &table, &table.render());
+    std::process::exit(bin.finish());
 }

@@ -11,36 +11,36 @@
 //!   analogue; slower) instead of the fluid model;
 //! * `--paced` — packet-level with a *paced* PCC (the real PCC's sender
 //!   class);
-//! * `--json` — dump the grid as JSON after the text rendering.
+//! * `--json` — dump the grid as JSON after the text rendering;
+//! * `--jobs N`, `--no-cache` — sweep-engine controls (see `axcc_bench::runner`).
 
 use axcc_analysis::experiments::table2::{
-    build_table2_fluid, build_table2_packet, build_table2_packet_paced,
+    build_table2_fluid_with, build_table2_packet_paced_with, build_table2_packet_with,
 };
+use axcc_bench::runner::Bin;
 use axcc_bench::{budget, has_flag};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() {
+    let mut bin = Bin::new("gen-table2");
     let table = if has_flag("--paced") {
-        eprintln!(
+        bin.progress(&format!(
             "running 12 cells at packet level with paced PCC ({}s each)…",
             budget::TABLE2_PACKET_SECS
-        );
-        build_table2_packet_paced(budget::TABLE2_PACKET_SECS)
+        ));
+        build_table2_packet_paced_with(bin.runner(), budget::TABLE2_PACKET_SECS)
     } else if has_flag("--packet") {
-        eprintln!(
+        bin.progress(&format!(
             "running 12 cells x 2 protocols at packet level ({}s each)…",
             budget::TABLE2_PACKET_SECS
-        );
-        build_table2_packet(budget::TABLE2_PACKET_SECS)
+        ));
+        build_table2_packet_with(bin.runner(), budget::TABLE2_PACKET_SECS)
     } else {
-        eprintln!(
+        bin.progress(&format!(
             "running 12 cells x 2 protocols in the fluid model ({} steps each)…",
             budget::TABLE2_STEPS
-        );
-        build_table2_fluid(budget::TABLE2_STEPS)
+        ));
+        build_table2_fluid_with(bin.runner(), budget::TABLE2_STEPS)
     };
-    println!("{}", table.render());
-    if has_flag("--json") {
-        println!("{}", serde_json::to_string_pretty(&table)?);
-    }
-    Ok(())
+    bin.section("table2", &table, &table.render());
+    std::process::exit(bin.finish());
 }

@@ -9,9 +9,14 @@
 //! | `gen-table2` | Table 2 | `cargo run --release -p axcc-bench --bin gen-table2 [-- --packet]` |
 //! | `gen-figure1` | Figure 1 | `cargo run -p axcc-bench --bin gen-figure1 [-- --validate]` |
 //! | `check-theorems` | Claim 1, Theorems 1–5 | `cargo run -p axcc-bench --bin check-theorems` |
+//! | `bench-sweep` | BENCH_sweep.json | `cargo run --release -p axcc-bench --bin bench-sweep` |
 //!
 //! Every binary accepts `--json` to additionally dump machine-readable
-//! results (used to populate EXPERIMENTS.md).
+//! results (used to populate EXPERIMENTS.md), plus the shared sweep
+//! flags `--jobs N` (0 = all cores; default serial) and `--no-cache` —
+//! see [`runner`] for the shared scaffolding and the stdout/stderr
+//! discipline that keeps redirected artifacts byte-identical across
+//! worker counts.
 //!
 //! The Criterion benches (`cargo bench -p axcc-bench`) time the same
 //! regeneration paths — one bench per table/figure plus a simulator
@@ -23,6 +28,8 @@
     test,
     allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)
 )]
+
+pub mod runner;
 
 /// Shared run lengths so the binaries and benches exercise identical
 /// workloads.

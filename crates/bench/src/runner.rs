@@ -1,0 +1,143 @@
+//! Shared scaffolding for the `gen_*` experiment binaries.
+//!
+//! Every binary used to carry the same boilerplate: parse flags, run an
+//! experiment, print its report, optionally append `--json`, and exit
+//! non-zero when a headline predicate fails. [`Bin`] centralizes that,
+//! and adds the sweep engine: each binary gets a [`SweepRunner`] built
+//! from the shared `--jobs N` / `--no-cache` flags, so every artifact
+//! regeneration can fan out across cores and reuse cached results.
+//!
+//! Stdout discipline: report text (and `--json` output) go to stdout and
+//! are deterministic — redirecting a binary into `results/` must produce
+//! byte-identical files regardless of worker count. Progress lines and
+//! the timing footer go to stderr.
+
+use crate::has_flag;
+use axcc_sweep::{Stopwatch, SweepRunner};
+use serde::Serialize;
+
+/// Value of a `--flag N` or `--flag=N` argument, if present.
+pub fn flag_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args().peekable();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.peek().cloned();
+        }
+        if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+/// Shared driver state for one experiment binary.
+pub struct Bin {
+    name: &'static str,
+    runner: SweepRunner,
+    json: bool,
+    sections: serde_json::Map,
+    failed: Vec<&'static str>,
+    stopwatch: Stopwatch,
+}
+
+impl Bin {
+    /// Parse the shared flags (`--jobs N`, `--no-cache`, `--json`) and
+    /// build the sweep runner. `--jobs 0` uses all cores; the default is
+    /// serial, which keeps the binaries' historical behaviour.
+    pub fn new(name: &'static str) -> Self {
+        let jobs = flag_value("--jobs")
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(1);
+        let runner = if has_flag("--no-cache") {
+            SweepRunner::without_cache(jobs)
+        } else {
+            SweepRunner::new(jobs)
+        };
+        Bin {
+            name,
+            runner,
+            json: has_flag("--json"),
+            sections: serde_json::Map::new(),
+            failed: Vec::new(),
+            stopwatch: Stopwatch::start(),
+        }
+    }
+
+    /// The binary's sweep runner — pass to the experiments' `*_with`
+    /// entry points.
+    pub fn runner(&self) -> &SweepRunner {
+        &self.runner
+    }
+
+    /// A progress note (stderr, so stdout artifacts stay deterministic).
+    pub fn progress(&self, msg: &str) {
+        eprintln!("[{}] {msg}", self.name);
+    }
+
+    /// Print one report section to stdout and stash its JSON form for a
+    /// `--json` dump at the end.
+    pub fn section<T: Serialize>(&mut self, key: &str, value: &T, text: &str) {
+        println!("{text}");
+        if self.json {
+            self.sections
+                .insert(key.to_string(), serde_json::to_value(value));
+        }
+    }
+
+    /// Record a headline predicate; any failure turns into exit code 1.
+    pub fn gate(&mut self, ok: bool, what: &'static str) {
+        if !ok {
+            self.failed.push(what);
+        }
+    }
+
+    /// Dump JSON (if requested), print the timing footer, and return the
+    /// process exit code.
+    pub fn finish(self) -> i32 {
+        if self.json {
+            match serde_json::to_string_pretty(&serde_json::Value::Object(self.sections)) {
+                Ok(s) => println!("{s}"),
+                Err(e) => {
+                    eprintln!("[{}] JSON serialization failed: {e}", self.name);
+                    return 1;
+                }
+            }
+        }
+        let stats = self.runner.stats();
+        eprintln!(
+            "[{}] {} jobs over {} workers in {:.2} s ({} cached, {:.1}% hit rate)",
+            self.name,
+            stats.jobs(),
+            self.runner.workers(),
+            self.stopwatch.elapsed_secs(),
+            stats.cache_hits,
+            100.0 * stats.hit_rate(),
+        );
+        if self.failed.is_empty() {
+            0
+        } else {
+            eprintln!("[{}] FAILED: {}", self.name, self.failed.join(", "));
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gates_accumulate_into_exit_code() {
+        let mut bin = Bin::new("test");
+        bin.gate(true, "fine");
+        assert_eq!(bin.runner().workers(), 1);
+        let mut failing = Bin::new("test");
+        failing.gate(false, "headline");
+        assert_eq!(failing.finish(), 1);
+    }
+
+    #[test]
+    fn flag_value_missing_is_none() {
+        assert_eq!(flag_value("--definitely-not-passed"), None);
+    }
+}

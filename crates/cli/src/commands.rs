@@ -5,7 +5,8 @@ use axcc_analysis::estimators::{
     empirical_scores_fluid, measure_friendliness_fluid, solo_metrics_of_trace,
 };
 use axcc_analysis::experiments::{
-    extensions, figure1, frontier, gauntlet, shootout, table1, table2, theorems,
+    extensions, figure1, find_experiment, frontier, gauntlet, registry, shootout, table1, table2,
+    theorems, RunBudget,
 };
 use axcc_analysis::report::{fmt_ratio, fmt_score, TextTable};
 use axcc_core::units::Bandwidth;
@@ -13,6 +14,8 @@ use axcc_core::{LinkParams, Protocol};
 use axcc_fluidsim::{LossModel, Scenario, SenderConfig};
 use axcc_packetsim::{PacketScenario, PacketSenderConfig};
 use axcc_protocols::registry::resolve;
+use axcc_sweep::progress::render_timings;
+use axcc_sweep::{ExperimentTiming, Stopwatch, SweepRunner};
 use std::fmt::Write as _;
 
 /// CLI usage text.
@@ -42,6 +45,19 @@ paper artifacts:
                                  Gilbert–Elliott bursty loss)
   axcc extensions                §6 extension metrics (smoothness, …)
   axcc aqm        [--duration S] droptail vs ECN vs RED comparison
+
+sweep engine (parallel + content-addressed cache; see DESIGN.md):
+  axcc sweep    --experiment NAME   one registry experiment through the
+                                    sweep engine (see `axcc run-all` for names)
+  axcc run-all  [--out-dir D]       the full experiment suite; writes one
+                                    report per experiment to D when given
+                [--only n1,n2,…]    restrict to a subset of experiments
+  flags for both:
+                [--jobs N]     worker threads (0 = all cores; default 1)
+                [--smoke]      reduced run lengths (CI scale)
+                [--no-cache]   disable the result cache
+                [--cache-dir D] persist the cache under D
+                                (default target/sweep-cache)
 
 misc:
   axcc characterize [--steps N]  empirical 8-tuples for the whole lineup
@@ -96,6 +112,8 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "gauntlet" => cmd_gauntlet(args),
         "extensions" => cmd_extensions(args),
         "aqm" => cmd_aqm(args),
+        "sweep" => cmd_sweep(args),
+        "run-all" => cmd_run_all(args),
         "characterize" => cmd_characterize(args),
         "frontier" => cmd_frontier(args),
         "network" => cmd_network(args),
@@ -556,4 +574,137 @@ fn cmd_extensions(args: &Args) -> Result<String, CliError> {
     let steps = steps_from(args, 2000)?;
     args.finish()?;
     Ok(extensions::run_extension_report(steps).render())
+}
+
+/// Build a [`SweepRunner`] from the shared sweep flags (`--jobs`,
+/// `--no-cache`, `--cache-dir`). The default is a disk cache under
+/// `target/sweep-cache`, so a repeated invocation is answered warm.
+fn runner_from(args: &Args) -> Result<SweepRunner, CliError> {
+    let jobs = args.get_usize("jobs", 1)?;
+    let no_cache = args.get_bool("no-cache");
+    let cache_dir = args.get("cache-dir").map(str::to_string);
+    if no_cache {
+        if cache_dir.is_some() {
+            return Err(CliError::Usage(
+                "--no-cache and --cache-dir are mutually exclusive".into(),
+            ));
+        }
+        return Ok(SweepRunner::without_cache(jobs));
+    }
+    let dir = cache_dir.unwrap_or_else(|| "target/sweep-cache".to_string());
+    Ok(SweepRunner::with_disk_cache(jobs, dir.into()))
+}
+
+/// Shared budget flag: `--smoke` selects CI-scale run lengths.
+fn budget_from(args: &Args) -> RunBudget {
+    if args.get_bool("smoke") {
+        RunBudget::smoke()
+    } else {
+        RunBudget::paper()
+    }
+}
+
+fn cmd_sweep(args: &Args) -> Result<String, CliError> {
+    let name = args
+        .get("experiment")
+        .ok_or_else(|| {
+            CliError::Usage("sweep needs --experiment NAME (try `axcc run-all` for all)".into())
+        })?
+        .to_string();
+    let runner = runner_from(args)?;
+    let budget = budget_from(args);
+    args.finish()?;
+    let exp = find_experiment(&name).ok_or_else(|| {
+        let known: Vec<&str> = registry().iter().map(|e| e.name).collect();
+        CliError::Usage(format!(
+            "unknown experiment {name:?}; known: {}",
+            known.join(", ")
+        ))
+    })?;
+    let sw = Stopwatch::start();
+    let outcome = (exp.run)(&runner, budget);
+    let stats = runner.take_stats();
+    let mut out = format!("{} — {}\n\n{}", exp.name, exp.artifact, outcome.report);
+    let _ = writeln!(
+        out,
+        "\n{} jobs over {} workers in {:.2} s ({} from cache, {:.1}% hit rate)",
+        stats.jobs(),
+        runner.workers(),
+        sw.elapsed_secs(),
+        stats.cache_hits,
+        100.0 * stats.hit_rate(),
+    );
+    if outcome.passed {
+        Ok(out)
+    } else {
+        let _ = writeln!(out, "\nexperiment predicate FAILED");
+        Err(CliError::Failed(out))
+    }
+}
+
+fn cmd_run_all(args: &Args) -> Result<String, CliError> {
+    let runner = runner_from(args)?;
+    let budget = budget_from(args);
+    let out_dir = args.get("out-dir").map(str::to_string);
+    let only = args.get_list("only");
+    args.finish()?;
+    let suite: Vec<_> = if only.is_empty() {
+        registry()
+    } else {
+        let mut picked = Vec::new();
+        for name in &only {
+            picked.push(find_experiment(name).ok_or_else(|| {
+                let known: Vec<&str> = registry().iter().map(|e| e.name).collect();
+                CliError::Usage(format!(
+                    "unknown experiment {name:?} in --only; known: {}",
+                    known.join(", ")
+                ))
+            })?);
+        }
+        picked
+    };
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CliError::Failed(format!("cannot create {dir}: {e}")))?;
+    }
+    let mut out = format!(
+        "running the full experiment suite ({} workers, {} scale, cache {})\n\n",
+        runner.workers(),
+        if budget.smoke { "smoke" } else { "paper" },
+        if runner.caching() { "on" } else { "off" },
+    );
+    let mut timings = Vec::new();
+    let mut failures = Vec::new();
+    for exp in suite {
+        let sw = Stopwatch::start();
+        let outcome = (exp.run)(&runner, budget);
+        let stats = runner.take_stats();
+        timings.push(ExperimentTiming {
+            name: exp.name.to_string(),
+            wall_secs: sw.elapsed_secs(),
+            jobs: stats.jobs(),
+            cache_hits: stats.cache_hits,
+        });
+        let verdict = if outcome.passed { "ok" } else { "FAILED" };
+        let _ = writeln!(out, "  {:<12} {}", exp.name, verdict);
+        if !outcome.passed {
+            failures.push(exp.name);
+        }
+        if let Some(dir) = &out_dir {
+            let path = format!("{dir}/{}.txt", exp.name);
+            std::fs::write(&path, &outcome.report)
+                .map_err(|e| CliError::Failed(format!("cannot write {path}: {e}")))?;
+        }
+    }
+    out.push('\n');
+    out.push_str(&render_timings(&timings));
+    if let Some(dir) = &out_dir {
+        let _ = writeln!(out, "\nreports written to {dir}/");
+    }
+    if failures.is_empty() {
+        Ok(out)
+    } else {
+        let _ = writeln!(out, "\nFAILED experiments: {}", failures.join(", "));
+        Err(CliError::Failed(out))
+    }
 }

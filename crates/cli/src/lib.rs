@@ -14,6 +14,8 @@
 //! axcc shootout                        # §5.2 robustness shootout
 //! axcc gauntlet                        # Metric VI under bursty loss
 //! axcc extensions                      # §6 extension metrics
+//! axcc sweep     --experiment NAME [--jobs N --smoke --no-cache]
+//! axcc run-all   [--jobs N --smoke --out-dir results/]
 //! axcc list                            # protocol registry
 //! axcc help
 //! ```
@@ -208,6 +210,58 @@ mod tests {
         assert!(csv.starts_with("step,"));
         assert_eq!(csv.lines().count(), 51);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sweep_runs_one_experiment() {
+        let (code, out) = cli("sweep --experiment theorems --smoke --jobs 2 --no-cache");
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("Claim 1"), "{out}");
+        assert!(out.contains("jobs over 2 workers"), "{out}");
+    }
+
+    #[test]
+    fn sweep_requires_a_known_experiment() {
+        let (code, out) = cli("sweep");
+        assert_eq!(code, 2);
+        assert!(out.contains("--experiment"), "{out}");
+        let (code, out) = cli("sweep --experiment nope");
+        assert_eq!(code, 2);
+        assert!(out.contains("known: table1"), "{out}");
+    }
+
+    #[test]
+    fn sweep_rejects_no_cache_with_cache_dir() {
+        let (code, out) = cli("sweep --experiment theorems --no-cache --cache-dir /tmp/x");
+        assert_eq!(code, 2);
+        assert!(out.contains("mutually exclusive"), "{out}");
+    }
+
+    #[test]
+    fn run_all_subset_writes_identical_reports_for_any_worker_count() {
+        let base = std::env::temp_dir().join("axcc_cli_test_run_all");
+        let serial = base.join("serial");
+        let parallel = base.join("parallel");
+        for (jobs, dir) in [(1, &serial), (8, &parallel)] {
+            let (code, out) = cli(&format!(
+                "run-all --only theorems --smoke --jobs {jobs} --no-cache --out-dir {}",
+                dir.display()
+            ));
+            assert_eq!(code, 0, "{out}");
+            assert!(out.contains("theorems     ok"), "{out}");
+            assert!(out.contains("hit rate"), "{out}");
+        }
+        let a = std::fs::read_to_string(serial.join("theorems.txt")).unwrap();
+        let b = std::fs::read_to_string(parallel.join("theorems.txt")).unwrap();
+        assert_eq!(a, b, "parallel report must be byte-identical to serial");
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn run_all_rejects_unknown_subset_names() {
+        let (code, out) = cli("run-all --only theorems,bogus --smoke");
+        assert_eq!(code, 2);
+        assert!(out.contains("bogus"), "{out}");
     }
 
     #[test]

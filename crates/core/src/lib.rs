@@ -43,6 +43,7 @@
 
 pub mod axioms;
 pub mod error;
+pub mod fingerprint;
 pub mod history;
 pub mod link;
 pub mod protocol;
@@ -52,6 +53,7 @@ pub mod trace;
 pub mod units;
 
 pub use error::ScenarioError;
+pub use fingerprint::{Digest, Fingerprint, Fingerprinter};
 pub use link::{LinkParams, LossRate, RttSeconds};
 pub use protocol::{Observation, Protocol};
 pub use score::AxiomScores;

@@ -1,0 +1,159 @@
+//! The content-addressed result store.
+//!
+//! Results live in an in-memory `BTreeMap` keyed by the 128-bit job
+//! [`Digest`]; a cache may additionally be backed by a directory, with
+//! one file per digest (named by its 32-hex-digit address) holding the
+//! encoded [`Record`]. Because the address is a content hash of *all*
+//! inputs including the engine version, entries never go stale — a stale
+//! input simply hashes elsewhere — so there is no eviction or
+//! invalidation machinery.
+//!
+//! Disk I/O is strictly best-effort: unreadable, missing, or corrupt
+//! files are cache *misses* (the job re-runs), and write failures are
+//! swallowed — a broken cache directory may cost time, never
+//! correctness. Writes go through a temp file + rename so a concurrent
+//! reader can never observe a half-written record.
+
+use crate::record::Record;
+use axcc_core::fingerprint::Digest;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Monotonic suffix source for temp-file names, so concurrent writers in
+/// one process never collide. (Cross-process uniqueness comes from the
+/// process id in the name.)
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// In-memory + optional on-disk record store, shared across worker
+/// threads.
+#[derive(Debug)]
+pub struct ResultCache {
+    mem: Mutex<BTreeMap<Digest, Record>>,
+    dir: Option<PathBuf>,
+}
+
+impl ResultCache {
+    /// Purely in-memory cache (lives as long as the process).
+    pub fn in_memory() -> Self {
+        ResultCache {
+            mem: Mutex::new(BTreeMap::new()),
+            dir: None,
+        }
+    }
+
+    /// Cache backed by `dir` (created on first write). Entries persist
+    /// across processes, which is what makes warm re-runs of the
+    /// experiment suite near-free.
+    pub fn with_disk(dir: PathBuf) -> Self {
+        ResultCache {
+            mem: Mutex::new(BTreeMap::new()),
+            dir: Some(dir),
+        }
+    }
+
+    /// The backing directory, if this cache has one.
+    pub fn disk_dir(&self) -> Option<&PathBuf> {
+        self.dir.as_ref()
+    }
+
+    /// Look up a record; disk hits are promoted into memory.
+    pub fn get(&self, digest: &Digest) -> Option<Record> {
+        if let Some(rec) = self.lock_mem().get(digest) {
+            return Some(rec.clone());
+        }
+        let dir = self.dir.as_ref()?;
+        let text = fs::read_to_string(dir.join(digest.to_hex())).ok()?;
+        let rec = Record::decode(&text)?;
+        self.lock_mem().insert(*digest, rec.clone());
+        Some(rec)
+    }
+
+    /// Store a record under its content address.
+    pub fn put(&self, digest: Digest, record: Record) {
+        if let Some(dir) = &self.dir {
+            // Best-effort persistence: a full disk or read-only directory
+            // degrades to an in-memory cache, silently.
+            if fs::create_dir_all(dir).is_ok() {
+                let suffix = TMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+                let tmp = dir.join(format!(
+                    ".tmp-{}-{}-{}",
+                    digest.to_hex(),
+                    std::process::id(),
+                    suffix
+                ));
+                if fs::write(&tmp, record.encode()).is_ok()
+                    && fs::rename(&tmp, dir.join(digest.to_hex())).is_err()
+                {
+                    let _ = fs::remove_file(&tmp);
+                }
+            }
+        }
+        self.lock_mem().insert(digest, record);
+    }
+
+    /// Number of entries currently held in memory.
+    pub fn len(&self) -> usize {
+        self.lock_mem().len()
+    }
+
+    /// Whether the in-memory store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock_mem().is_empty()
+    }
+
+    /// Lock the map, recovering from poisoning: a worker that panicked
+    /// mid-insert leaves the map structurally intact (inserts are
+    /// atomic at this level), so the data is still usable.
+    fn lock_mem(&self) -> std::sync::MutexGuard<'_, BTreeMap<Digest, Record>> {
+        self.mem.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axcc_core::fingerprint::Fingerprint;
+
+    fn digest_of(tag: &str) -> Digest {
+        tag.digest()
+    }
+
+    fn record_of(v: f64) -> Record {
+        let mut r = Record::new();
+        r.push_f64(v);
+        r
+    }
+
+    #[test]
+    fn memory_get_put() {
+        let cache = ResultCache::in_memory();
+        let d = digest_of("k1");
+        assert!(cache.get(&d).is_none());
+        cache.put(d, record_of(1.5));
+        assert_eq!(cache.get(&d), Some(record_of(1.5)));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn disk_round_trip_and_corruption_is_a_miss() {
+        let dir = std::env::temp_dir().join(format!("axcc-sweep-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let cache = ResultCache::with_disk(dir.clone());
+        let d = digest_of("disk-key");
+        cache.put(d, record_of(f64::INFINITY));
+
+        // A fresh cache over the same directory sees the entry.
+        let warm = ResultCache::with_disk(dir.clone());
+        let rec = warm.get(&d).unwrap();
+        assert_eq!(rec.reader().f64().unwrap(), f64::INFINITY);
+
+        // Corrupt the file: decode fails, lookup degrades to a miss.
+        fs::write(dir.join(d.to_hex()), "garbage").unwrap();
+        let cold = ResultCache::with_disk(dir.clone());
+        assert!(cold.get(&d).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,51 @@
+//! # axcc-sweep — deterministic parallel experiment orchestration
+//!
+//! Every artifact this workspace reproduces from *An Axiomatic Approach to
+//! Congestion Control* (HotNets-XVI 2017) — Table 1, the Table 2 n × BW
+//! grid, Figure 1's Pareto frontier, the theorem checks, and the
+//! shootout/gauntlet/ablation sweeps — is an embarrassingly parallel grid
+//! of independent scenario evaluations. This crate is the one engine that
+//! fans those evaluations out across cores *without giving up the
+//! workspace determinism invariant*: results are collected in submission
+//! order, so a parallel run is bit-identical to a serial one, and a
+//! content-addressed cache never re-runs a scenario it has already scored.
+//!
+//! The moving parts:
+//!
+//! * [`SweepJob`] — one unit of work: scenario + protocol + metric budget
+//!   in, a [`Cacheable`](record::Cacheable) scored result out. Jobs
+//!   fingerprint themselves ([`axcc_core::fingerprint`]) so equal inputs
+//!   share a cache address.
+//! * [`pool`] — a fixed-size `std::thread` worker pool. Workers race to
+//!   *claim* jobs but results are reassembled by submission index, which
+//!   is why parallel output is byte-identical to serial output (see
+//!   DESIGN.md, "The sweep subsystem").
+//! * [`cache`] — content-addressed in-memory + optional on-disk result
+//!   store keyed by the 128-bit job digest. The on-disk format is the
+//!   exact bit-pattern [`record::Record`] codec, not JSON, so ±∞ and NaN
+//!   scores round-trip losslessly.
+//! * [`progress`] — wall-clock / jobs-per-second / hit-rate reporting.
+//!   Timing is *reporting only*; it never feeds back into results, which
+//!   is the contract under which this crate's `Instant::now` suppressions
+//!   are justified.
+//!
+//! This is the only crate in the workspace where spawning threads is
+//! policy-allowed by `axcc-tidy`; everywhere else thread use remains a
+//! determinism violation.
+
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    test,
+    allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)
+)]
+
+pub mod cache;
+pub mod pool;
+pub mod progress;
+pub mod record;
+pub mod runner;
+
+pub use cache::ResultCache;
+pub use progress::{ExperimentTiming, Stopwatch};
+pub use record::{Cacheable, Record, RecordReader};
+pub use runner::{SweepJob, SweepRunner, SweepStats, ENGINE_REVISION};

@@ -1,0 +1,111 @@
+//! The ordered worker pool.
+//!
+//! Workers *claim* jobs dynamically (an atomic cursor over the input
+//! slice) but every result is tagged with its submission index and the
+//! pool reassembles the output strictly in that order. Scheduling is
+//! therefore free to be nondeterministic — which worker runs which job,
+//! and in what order jobs finish, varies run to run — while the returned
+//! `Vec` is a pure function of the inputs. Combined with the workspace
+//! invariant that every job body is itself deterministic (no wall-clock,
+//! no ambient randomness — enforced by `axcc-tidy`), a parallel sweep is
+//! bit-identical to a serial one.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Run `f` over every input and return the outputs in input order.
+///
+/// With `workers <= 1` (or fewer than two inputs) no thread is spawned
+/// and the jobs run inline on the caller's thread — the serial reference
+/// path that the parallel path must reproduce bit-for-bit.
+///
+/// If a job panics, the panic is re-raised on the caller's thread after
+/// the remaining workers drain.
+pub fn run_ordered<I, T, F>(workers: usize, inputs: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    if workers <= 1 || inputs.len() <= 1 {
+        return inputs.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let n_workers = workers.min(inputs.len());
+    // Each worker returns its locally collected (index, result) pairs;
+    // after the scope joins, a sort by unique submission index restores
+    // deterministic order regardless of how the claims interleaved.
+    let mut tagged: Vec<(usize, T)> = Vec::with_capacity(inputs.len());
+    let panicked = thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_workers)
+            // tidy-allow: determinism — worker threads only *claim* jobs; results are reordered by submission index below, so output is schedule-independent.
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(input) = inputs.get(idx) else {
+                            break;
+                        };
+                        local.push((idx, f(idx, input)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        let mut panic_payload = None;
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => tagged.extend(local),
+                Err(payload) => panic_payload = Some(payload),
+            }
+        }
+        panic_payload
+    });
+    if let Some(payload) = panicked {
+        std::panic::resume_unwind(payload);
+    }
+
+    tagged.sort_unstable_by_key(|&(idx, _)| idx);
+    debug_assert_eq!(tagged.len(), inputs.len());
+    tagged.into_iter().map(|(_, v)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_matches_serial_order() {
+        let inputs: Vec<usize> = (0..97).collect();
+        let serial = run_ordered(1, &inputs, |i, &x| (i, x * x));
+        let parallel = run_ordered(8, &inputs, |i, &x| (i, x * x));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(run_ordered::<u32, u32, _>(4, &empty, |_, &x| x).is_empty());
+        assert_eq!(run_ordered(4, &[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn more_workers_than_jobs() {
+        let out = run_ordered(16, &[1u32, 2, 3], |_, &x| x * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let inputs: Vec<usize> = (0..8).collect();
+        let result = std::panic::catch_unwind(|| {
+            run_ordered(4, &inputs, |_, &x| {
+                assert!(x != 5, "boom");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+}

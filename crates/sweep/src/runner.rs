@@ -1,0 +1,292 @@
+//! The sweep runner: jobs in, memoized ordered results out.
+//!
+//! A [`SweepRunner`] ties the three mechanisms together: it derives each
+//! job's content address (fingerprint of the job plus an engine-version
+//! tag plus a per-sweep scope label), answers what it can from the
+//! [`ResultCache`], and fans the rest out over the ordered worker pool.
+//! The returned `Vec` is always in submission order and bit-identical
+//! whether `workers` is 1 or 100, cold cache or warm.
+
+use crate::cache::ResultCache;
+use crate::pool::run_ordered;
+use crate::record::Cacheable;
+use axcc_core::fingerprint::{Digest, Fingerprint, Fingerprinter};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bump when an engine change (simulator semantics, metric definitions,
+/// protocol dynamics) invalidates previously cached results. The
+/// revision is mixed into every job digest, so old cache entries are
+/// simply never addressed again.
+pub const ENGINE_REVISION: u32 = 1;
+
+/// Default engine tag: crate version + engine revision.
+fn default_engine_tag() -> String {
+    format!("axcc-{}+r{}", env!("CARGO_PKG_VERSION"), ENGINE_REVISION)
+}
+
+/// One unit of sweep work: a fingerprintable input (scenario + protocol
+/// + metric budget) that evaluates to a cacheable scored result.
+///
+/// The fingerprint must cover *everything* `run` depends on; anything
+/// left out becomes a stale-cache bug. Conversely `run` must be
+/// deterministic — equal fingerprints are assumed to mean equal results.
+pub trait SweepJob: Fingerprint + Sync {
+    /// The scored result this job produces.
+    type Output: Cacheable + Send;
+
+    /// Evaluate the job. Must be deterministic and must not read
+    /// ambient state (wall-clock, environment, global RNGs).
+    fn run(&self) -> Self::Output;
+}
+
+/// Cumulative job statistics for one runner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepStats {
+    /// Jobs answered from the cache.
+    pub cache_hits: u64,
+    /// Jobs actually evaluated.
+    pub executed: u64,
+}
+
+impl SweepStats {
+    /// Total jobs submitted.
+    pub fn jobs(&self) -> u64 {
+        self.cache_hits + self.executed
+    }
+
+    /// Fraction of jobs answered from the cache, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.jobs() > 0 {
+            self.cache_hits as f64 / self.jobs() as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Orchestrates sweeps: content addressing + cache + ordered pool.
+#[derive(Debug)]
+pub struct SweepRunner {
+    workers: usize,
+    cache: Option<ResultCache>,
+    engine_tag: String,
+    hits: AtomicU64,
+    executed: AtomicU64,
+}
+
+impl SweepRunner {
+    /// Runner with `workers` threads and an in-memory cache.
+    /// `workers == 0` selects the host's available parallelism.
+    pub fn new(workers: usize) -> Self {
+        SweepRunner {
+            workers: resolve_workers(workers),
+            cache: Some(ResultCache::in_memory()),
+            engine_tag: default_engine_tag(),
+            hits: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+        }
+    }
+
+    /// The serial reference runner: one worker, in-memory cache. This is
+    /// what the experiments' plain entry points use, so existing callers
+    /// see unchanged behaviour.
+    pub fn serial() -> Self {
+        SweepRunner::new(1)
+    }
+
+    /// Runner whose cache persists under `dir` (one file per digest).
+    pub fn with_disk_cache(workers: usize, dir: PathBuf) -> Self {
+        SweepRunner {
+            workers: resolve_workers(workers),
+            cache: Some(ResultCache::with_disk(dir)),
+            engine_tag: default_engine_tag(),
+            hits: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+        }
+    }
+
+    /// Runner with caching disabled entirely (`--no-cache`).
+    pub fn without_cache(workers: usize) -> Self {
+        SweepRunner {
+            workers: resolve_workers(workers),
+            cache: None,
+            engine_tag: default_engine_tag(),
+            hits: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+        }
+    }
+
+    /// Override the engine tag (tests use this to prove that an
+    /// engine-parameter change re-addresses every job).
+    pub fn with_engine_tag(mut self, tag: &str) -> Self {
+        self.engine_tag = tag.to_string();
+        self
+    }
+
+    /// Number of worker threads this runner fans out to.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Whether a result cache is attached.
+    pub fn caching(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Cumulative statistics since construction (or the last
+    /// [`take_stats`](Self::take_stats)).
+    pub fn stats(&self) -> SweepStats {
+        SweepStats {
+            cache_hits: self.hits.load(Ordering::Relaxed),
+            executed: self.executed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Read and reset the statistics — lets a driver report per-phase
+    /// numbers from one shared runner.
+    pub fn take_stats(&self) -> SweepStats {
+        SweepStats {
+            cache_hits: self.hits.swap(0, Ordering::Relaxed),
+            executed: self.executed.swap(0, Ordering::Relaxed),
+        }
+    }
+
+    /// The content address the runner will use for `input` in `scope`.
+    /// Exposed so tests can assert fingerprint sensitivity.
+    pub fn job_digest<I: Fingerprint>(&self, scope: &str, input: &I) -> Digest {
+        let mut fp = Fingerprinter::new();
+        fp.write_str(&self.engine_tag);
+        fp.write_str(scope);
+        input.fingerprint(&mut fp);
+        fp.finish()
+    }
+
+    /// Run `eval` over every input, in parallel, answering repeated
+    /// inputs from the cache. Results come back in input order and are
+    /// bit-identical to a serial, uncached run.
+    ///
+    /// `scope` namespaces the digests (two experiments hashing the same
+    /// tuple type must not share addresses unless they share semantics).
+    pub fn sweep<I, T, F>(&self, scope: &str, inputs: &[I], eval: F) -> Vec<T>
+    where
+        I: Fingerprint + Sync,
+        T: Cacheable + Send,
+        F: Fn(&I) -> T + Sync,
+    {
+        let digests: Vec<Digest> = inputs.iter().map(|i| self.job_digest(scope, i)).collect();
+        run_ordered(self.workers, inputs, |idx, input| {
+            let digest = digests[idx];
+            if let Some(cache) = &self.cache {
+                if let Some(hit) = cache.get(&digest).and_then(|r| T::from_record(&r)) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return hit;
+                }
+            }
+            let out = eval(input);
+            self.executed.fetch_add(1, Ordering::Relaxed);
+            if let Some(cache) = &self.cache {
+                cache.put(digest, out.to_record());
+            }
+            out
+        })
+    }
+
+    /// Run a slice of self-contained [`SweepJob`]s.
+    pub fn run_jobs<J: SweepJob>(&self, scope: &str, jobs: &[J]) -> Vec<J::Output> {
+        self.sweep(scope, jobs, J::run)
+    }
+}
+
+/// `0` means "ask the host"; anything else is taken literally.
+fn resolve_workers(workers: usize) -> usize {
+    if workers > 0 {
+        return workers;
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    struct Square(f64);
+
+    impl Fingerprint for Square {
+        fn fingerprint(&self, fp: &mut Fingerprinter) {
+            fp.write_str("Square");
+            fp.write_f64(self.0);
+        }
+    }
+
+    impl SweepJob for Square {
+        type Output = f64;
+        fn run(&self) -> f64 {
+            self.0 * self.0
+        }
+    }
+
+    #[test]
+    fn run_jobs_returns_input_order() {
+        let runner = SweepRunner::new(4);
+        let jobs: Vec<Square> = (0..20).map(|i| Square(i as f64)).collect();
+        let out = runner.run_jobs("square", &jobs);
+        assert_eq!(out, (0..20).map(|i| (i * i) as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn repeated_inputs_hit_the_cache() {
+        let runner = SweepRunner::serial();
+        let evals = AtomicUsize::new(0);
+        let inputs = vec![1.0f64, 2.0, 1.0, 2.0, 1.0];
+        let out = runner.sweep("double", &inputs, |&x| {
+            evals.fetch_add(1, Ordering::Relaxed);
+            x * 2.0
+        });
+        assert_eq!(out, vec![2.0, 4.0, 2.0, 4.0, 2.0]);
+        assert_eq!(evals.load(Ordering::Relaxed), 2);
+        let stats = runner.stats();
+        assert_eq!(stats.cache_hits, 3);
+        assert_eq!(stats.executed, 2);
+    }
+
+    #[test]
+    fn without_cache_always_evaluates() {
+        let runner = SweepRunner::without_cache(1);
+        let evals = AtomicUsize::new(0);
+        let inputs = vec![1.0f64, 1.0, 1.0];
+        runner.sweep("noop", &inputs, |&x| {
+            evals.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(evals.load(Ordering::Relaxed), 3);
+        assert_eq!(runner.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn scope_and_engine_tag_separate_addresses() {
+        let runner = SweepRunner::serial();
+        let a = runner.job_digest("scope-a", &1.0f64);
+        let b = runner.job_digest("scope-b", &1.0f64);
+        assert_ne!(a, b);
+        let retagged = SweepRunner::serial().with_engine_tag("axcc-0.1.0+r999");
+        assert_ne!(retagged.job_digest("scope-a", &1.0f64), a);
+    }
+
+    #[test]
+    fn take_stats_resets() {
+        let runner = SweepRunner::serial();
+        runner.sweep("x", &[1.0f64, 1.0], |&x| x);
+        let first = runner.take_stats();
+        assert_eq!(first.jobs(), 2);
+        assert_eq!(runner.stats().jobs(), 0);
+    }
+
+    #[test]
+    fn auto_workers_is_at_least_one() {
+        assert!(SweepRunner::new(0).workers() >= 1);
+    }
+}

@@ -1,0 +1,205 @@
+//! Integration properties of the sweep engine against the *real* fluid
+//! simulator: parallel output is bit-identical to serial output, cached
+//! results come back without re-execution, and every engine parameter
+//! participates in the content address.
+
+use axcc_core::fingerprint::{Fingerprint, Fingerprinter};
+use axcc_core::LinkParams;
+use axcc_fluidsim::{Scenario, SenderConfig};
+use axcc_protocols::Aimd;
+use axcc_sweep::{SweepJob, SweepRunner};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A real two-sender fluid run: AIMD(α, β) sharing a link with Reno.
+#[derive(Clone)]
+struct FluidJob {
+    alpha: f64,
+    beta: f64,
+    steps: usize,
+    link: LinkParams,
+}
+
+impl FluidJob {
+    fn evaluate(&self) -> (f64, f64) {
+        let trace = Scenario::new(self.link)
+            .sender(
+                SenderConfig::new(Box::new(Aimd::new(self.alpha, self.beta))).initial_window(1.0),
+            )
+            .sender(SenderConfig::new(Box::new(Aimd::reno())).initial_window(1.0))
+            .steps(self.steps)
+            .run();
+        let tail = trace.tail_start(0.5);
+        (
+            trace.senders[0].mean_goodput_from(tail),
+            trace.senders[1].mean_goodput_from(tail),
+        )
+    }
+}
+
+impl Fingerprint for FluidJob {
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        fp.write_str("FluidJob");
+        fp.write_f64(self.alpha);
+        fp.write_f64(self.beta);
+        fp.write_usize(self.steps);
+        self.link.fingerprint(fp);
+    }
+}
+
+impl SweepJob for FluidJob {
+    type Output = (f64, f64);
+    fn run(&self) -> (f64, f64) {
+        self.evaluate()
+    }
+}
+
+fn job_grid(alpha: f64, beta: f64, steps: usize) -> Vec<FluidJob> {
+    let link = LinkParams::reference();
+    let mut jobs = Vec::new();
+    for da in [0.0, 0.25, 0.5] {
+        for db in [0.0, 0.1] {
+            jobs.push(FluidJob {
+                alpha: alpha + da,
+                beta: beta + db,
+                steps,
+                link,
+            });
+        }
+    }
+    jobs
+}
+
+/// Exact bit equality — `==` would accept -0.0 vs 0.0 and reject NaN.
+fn bits(results: &[(f64, f64)]) -> Vec<(u64, u64)> {
+    results
+        .iter()
+        .map(|(a, b)| (a.to_bits(), b.to_bits()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// `--jobs 8` output is bit-identical to `--jobs 1` output on real
+    /// fluid-model sweeps, for arbitrary protocol parameters.
+    #[test]
+    fn parallel_is_bit_identical_to_serial(
+        alpha in 0.5f64..2.0,
+        beta in 0.4f64..0.8,
+    ) {
+        let jobs = job_grid(alpha, beta, 400);
+        let serial = SweepRunner::serial().run_jobs("determinism", &jobs);
+        let parallel = SweepRunner::new(8).run_jobs("determinism", &jobs);
+        prop_assert_eq!(bits(&serial), bits(&parallel));
+        let uncached = SweepRunner::without_cache(8).run_jobs("determinism", &jobs);
+        prop_assert_eq!(bits(&serial), bits(&uncached));
+    }
+}
+
+/// An instrumented job: counts how many times `run` actually executes.
+struct CountedJob<'a> {
+    inner: FluidJob,
+    executions: &'a AtomicUsize,
+}
+
+impl Fingerprint for CountedJob<'_> {
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        self.inner.fingerprint(fp);
+    }
+}
+
+impl SweepJob for CountedJob<'_> {
+    type Output = (f64, f64);
+    fn run(&self) -> (f64, f64) {
+        self.executions.fetch_add(1, Ordering::Relaxed);
+        self.inner.evaluate()
+    }
+}
+
+#[test]
+fn equal_fingerprints_return_cached_results_without_rerunning() {
+    let executions = AtomicUsize::new(0);
+    let jobs: Vec<CountedJob> = job_grid(1.0, 0.5, 300)
+        .into_iter()
+        .map(|inner| CountedJob {
+            inner,
+            executions: &executions,
+        })
+        .collect();
+    let runner = SweepRunner::new(4);
+    let first = runner.run_jobs("cache-hit", &jobs);
+    let ran = executions.load(Ordering::Relaxed);
+    assert_eq!(ran, jobs.len(), "cold cache must execute every job");
+
+    let second = runner.run_jobs("cache-hit", &jobs);
+    assert_eq!(
+        executions.load(Ordering::Relaxed),
+        ran,
+        "warm cache must not re-run any job"
+    );
+    assert_eq!(bits(&first), bits(&second));
+    let stats = runner.stats();
+    assert_eq!(stats.cache_hits as usize, jobs.len());
+}
+
+#[test]
+fn warm_disk_cache_survives_a_new_runner() {
+    let dir = std::env::temp_dir().join(format!("axcc-sweep-integration-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let jobs = job_grid(1.0, 0.5, 300);
+
+    let cold = SweepRunner::with_disk_cache(2, dir.clone());
+    let first = cold.run_jobs("disk", &jobs);
+    assert_eq!(cold.stats().executed as usize, jobs.len());
+
+    // A fresh runner (fresh in-memory cache) over the same directory must
+    // be answered entirely from disk.
+    let warm = SweepRunner::with_disk_cache(2, dir.clone());
+    let second = warm.run_jobs("disk", &jobs);
+    assert_eq!(warm.stats().executed, 0, "disk cache must answer all jobs");
+    assert_eq!(warm.stats().cache_hits as usize, jobs.len());
+    assert_eq!(bits(&first), bits(&second));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn every_engine_parameter_changes_the_address() {
+    let runner = SweepRunner::serial();
+    let base = FluidJob {
+        alpha: 1.0,
+        beta: 0.5,
+        steps: 400,
+        link: LinkParams::reference(),
+    };
+    let addr = |job: &FluidJob| runner.job_digest("sensitivity", job);
+    let reference = addr(&base);
+
+    let variants = [
+        FluidJob {
+            alpha: 1.0 + 1e-9,
+            ..base.clone()
+        },
+        FluidJob {
+            beta: 0.5 - 1e-9,
+            ..base.clone()
+        },
+        FluidJob {
+            steps: 401,
+            ..base.clone()
+        },
+        FluidJob {
+            link: LinkParams::new(1001.0, 0.05, 20.0),
+            ..base.clone()
+        },
+    ];
+    for (i, v) in variants.iter().enumerate() {
+        assert_ne!(addr(v), reference, "variant {i} must re-address the job");
+    }
+
+    // Same job, different scope or engine tag: different address, so an
+    // engine-revision bump orphans (never corrupts) old cache entries.
+    assert_ne!(runner.job_digest("other-scope", &base), reference);
+    let retagged = SweepRunner::serial().with_engine_tag("axcc-test+r999");
+    assert_ne!(retagged.job_digest("sensitivity", &base), reference);
+}

@@ -10,6 +10,10 @@
 //!   read, or raw unit literal there invalidates results.
 //! * **Generators** (`bench` bins): every rule too — artifact generators
 //!   propagate errors with `?` rather than panicking mid-artifact.
+//! * **Sweep engine** (`crates/sweep`): every rule, but the
+//!   thread-spawning determinism patterns are waived — its worker pool
+//!   reassembles results in submission order, so scheduling can never
+//!   reach an output. Thread use anywhere else is still flagged.
 //! * **Examples**: pattern rules but no crate-root hygiene (they are
 //!   single files, not crates).
 //! * **Tooling** (`xtask` itself): determinism and hygiene; the tool
@@ -53,9 +57,22 @@ pub fn policy_for(rel_path: &str) -> Option<FilePolicy> {
         panic_freedom: true,
         unit_safety: true,
         hygiene: true,
+        allow_threads: false,
     };
 
-    let (rules, hygiene_kind) = if rel_path.starts_with("crates/xtask/") {
+    let (rules, hygiene_kind) = if rel_path.starts_with("crates/sweep/") {
+        // The sweep crate's ordered worker pool is the one sanctioned
+        // home for threads: results are reassembled in submission order,
+        // so scheduling nondeterminism cannot reach any output. All
+        // other rules still apply in full.
+        (
+            RuleSet {
+                allow_threads: true,
+                ..all
+            },
+            hygiene_kind_for(rel_path),
+        )
+    } else if rel_path.starts_with("crates/xtask/") {
         (
             RuleSet {
                 determinism: true,
@@ -123,6 +140,28 @@ mod tests {
         assert!(p.rules.determinism && p.rules.nan_safety && p.rules.panic_freedom);
         assert!(p.rules.unit_safety && p.rules.hygiene);
         assert_eq!(p.hygiene_kind, HygieneKind::Plain);
+    }
+
+    #[test]
+    fn only_the_sweep_crate_may_spawn_threads() {
+        let sweep = policy_for("crates/sweep/src/pool.rs").unwrap();
+        assert!(sweep.rules.allow_threads);
+        // …with every other rule family still in force there.
+        assert!(sweep.rules.determinism && sweep.rules.panic_freedom);
+        assert!(sweep.rules.nan_safety && sweep.rules.unit_safety && sweep.rules.hygiene);
+        for other in [
+            "crates/fluidsim/src/engine.rs",
+            "crates/analysis/src/experiments/table2.rs",
+            "crates/cli/src/commands.rs",
+            "crates/xtask/src/runner.rs",
+            "src/lib.rs",
+            "examples/quickstart.rs",
+        ] {
+            assert!(
+                !policy_for(other).unwrap().rules.allow_threads,
+                "{other} must not be thread-exempt"
+            );
+        }
     }
 
     #[test]

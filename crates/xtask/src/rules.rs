@@ -90,6 +90,10 @@ pub struct RuleSet {
     pub unit_safety: bool,
     /// Run the hygiene (header/doc/manifest) checks.
     pub hygiene: bool,
+    /// Exempt this file from the thread-spawning determinism patterns.
+    /// Only the `axcc-sweep` ordered worker pool earns this: it is the
+    /// one place where threads provably cannot reorder results.
+    pub allow_threads: bool,
 }
 
 /// Substring patterns with fixed messages, applied to stripped code.
@@ -117,6 +121,28 @@ const DETERMINISM_PATTERNS: &[(&str, &str)] = &[
     (
         "HashSet",
         "unordered iteration is nondeterministic; use BTreeSet or a sorted Vec",
+    ),
+];
+
+/// Thread-spawning patterns: part of the determinism family, but
+/// separately gated so the policy can exempt the `axcc-sweep` worker
+/// pool (which reassembles results in submission order) while every
+/// other crate stays flagged.
+const THREAD_PATTERNS: &[(&str, &str)] = &[
+    (
+        "thread::spawn",
+        "ad-hoc threads make result order schedule-dependent; \
+         go through the axcc-sweep ordered worker pool",
+    ),
+    (
+        "thread::scope",
+        "ad-hoc threads make result order schedule-dependent; \
+         go through the axcc-sweep ordered worker pool",
+    ),
+    (
+        "std::thread",
+        "ad-hoc threads make result order schedule-dependent; \
+         go through the axcc-sweep ordered worker pool",
     ),
 ];
 
@@ -175,6 +201,15 @@ pub fn check_lines(
         if rules.determinism {
             for &(pat, msg) in DETERMINISM_PATTERNS {
                 if code.contains(pat) {
+                    findings.push((lineno, Rule::Determinism, format!("`{pat}`: {msg}")));
+                }
+            }
+            if !rules.allow_threads {
+                // Report each line once even when several thread patterns
+                // overlap on it (`std::thread::spawn` matches two).
+                if let Some(&(pat, msg)) =
+                    THREAD_PATTERNS.iter().find(|(pat, _)| code.contains(pat))
+                {
                     findings.push((lineno, Rule::Determinism, format!("`{pat}`: {msg}")));
                 }
             }
@@ -453,6 +488,7 @@ mod tests {
             panic_freedom: true,
             unit_safety: true,
             hygiene: true,
+            allow_threads: false,
         }
     }
 
@@ -481,6 +517,29 @@ mod tests {
         let src = "fn lib() { let s = \"thread_rng\"; }\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
         let f = lex(src);
         assert!(check_lines(&f, all_rules(), false).is_empty());
+    }
+
+    #[test]
+    fn thread_patterns_fire_unless_exempted() {
+        let f = lex("fn lib() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n");
+        let hits = check_lines(&f, all_rules(), false);
+        assert!(
+            hits.iter()
+                .any(|(_, r, m)| *r == Rule::Determinism && m.contains("worker pool")),
+            "thread use must be a determinism finding; got {hits:?}"
+        );
+        // One line, one finding — overlapping patterns don't stack.
+        assert_eq!(
+            hits.iter()
+                .filter(|(_, _, m)| m.contains("worker pool"))
+                .count(),
+            1
+        );
+        let exempt = RuleSet {
+            allow_threads: true,
+            ..all_rules()
+        };
+        assert!(check_lines(&f, exempt, false).is_empty());
     }
 
     #[test]

@@ -11,6 +11,11 @@ pub fn nondeterministic() -> usize {
     m.len()
 }
 
+/// Determinism: ad-hoc threads outside the sanctioned sweep pool.
+pub fn adhoc_threads() {
+    std::thread::spawn(|| {}).join().ok();
+}
+
 /// NaN-safety: partial_cmp ordering and a bare float-literal equality.
 pub fn nan_unsound(xs: &mut [f64], w: f64) -> bool {
     xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));

@@ -1,0 +1,15 @@
+//! Fixture mirroring the real `axcc-sweep` crate: threads are
+//! policy-allowed here (and only here), so the scoped spawn below must
+//! produce no determinism finding.
+#![forbid(unsafe_code)]
+
+/// Ordered fan-out: thread use is sanctioned in this crate.
+pub fn fan_out(xs: &[u64]) -> Vec<u64> {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = xs.iter().map(|&x| s.spawn(move || x * 2)).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
+    })
+}

@@ -43,6 +43,7 @@ fn bad_fixture_trips_every_rule_family() {
     assert_finding(&diags, engine, Rule::Determinism, "`HashMap`");
     assert_finding(&diags, engine, Rule::Determinism, "`Instant::now`");
     assert_finding(&diags, engine, Rule::Determinism, "`thread_rng`");
+    assert_finding(&diags, engine, Rule::Determinism, "worker pool");
 
     // NaN-safety: partial_cmp ordering and bare float equality.
     assert_finding(&diags, engine, Rule::NanSafety, "partial_cmp");

@@ -16,4 +16,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> axcc run-all --jobs 2 --smoke (full suite through the sweep engine)"
+cargo run -q -p axcc-cli -- run-all --jobs 2 --smoke \
+  --cache-dir target/sweep-cache-ci --out-dir target/run-all-ci
+
 echo "All checks passed."

@@ -9,7 +9,7 @@
 //! the machinery that regenerates every table and figure in the paper's
 //! evaluation.
 //!
-//! This crate is a facade: it re-exports the five library crates so
+//! This crate is a facade: it re-exports the six library crates so
 //! applications can depend on one name.
 //!
 //! ```
@@ -39,7 +39,10 @@
 //! * [`packetsim`] — the event-driven packet-level simulator (Emulab
 //!   substitute);
 //! * [`analysis`] — empirical scoring, Pareto tooling, and the experiment
-//!   builders for Table 1, Table 2, Figure 1 and the theorem checks.
+//!   builders for Table 1, Table 2, Figure 1 and the theorem checks;
+//! * [`sweep`] — the deterministic parallel experiment runner with a
+//!   content-addressed result cache that the experiment suite fans out
+//!   through (`axcc run-all`).
 //!
 //! Runnable walkthroughs live in `examples/`; the paper's tables and
 //! figures regenerate via the `axcc-bench` binaries (see README).
@@ -55,3 +58,4 @@ pub use axcc_core as core;
 pub use axcc_fluidsim as fluidsim;
 pub use axcc_packetsim as packetsim;
 pub use axcc_protocols as protocols;
+pub use axcc_sweep as sweep;
