@@ -19,8 +19,12 @@ use axcc_core::axioms::{
 };
 use axcc_core::protocol::MAX_WINDOW;
 use axcc_core::{LinkParams, Protocol, RunTrace};
-use axcc_fluidsim::{LossModel, Scenario, SenderConfig};
+use axcc_fluidsim::{
+    metric_accumulator_for, run_scenario_streaming, run_scenario_streaming_into, LossModel,
+    MetricAccumulator, Scenario, SenderConfig, StreamOptions,
+};
 use axcc_packetsim::{PacketScenario, PacketSenderConfig};
+use axcc_sweep::EvalMode;
 use serde::{Deserialize, Serialize};
 
 /// Fraction of each run treated as transient.
@@ -28,6 +32,20 @@ pub const TAIL_FRACTION: f64 = 0.5;
 
 /// Minimum ascent horizon for the fast-utilization estimator (RTT steps).
 pub const FAST_UTIL_HORIZON: usize = 8;
+
+/// The β threshold the robustness estimators use for the escape witness
+/// ([`robustness::window_escapes`]' first argument on the trace path).
+pub const ROBUSTNESS_ESCAPE_BETA: f64 = 100.0;
+
+/// Streaming-evaluation options matching this module's estimator
+/// parameters, so the accumulator reproduces the trace path bit-for-bit.
+pub fn stream_options() -> StreamOptions {
+    StreamOptions {
+        tail_fraction: TAIL_FRACTION,
+        min_horizon: FAST_UTIL_HORIZON,
+        escape_beta: ROBUSTNESS_ESCAPE_BETA,
+    }
+}
 
 /// Configuration of a homogeneous ("all senders employ P") sweep.
 #[derive(Debug, Clone)]
@@ -91,7 +109,15 @@ pub fn solo_metrics_of_trace(trace: &RunTrace) -> SoloMetrics {
     let fast = trace
         .senders
         .iter()
-        .filter_map(|s| fast_utilization::measured_fast_utilization(s, tail, FAST_UTIL_HORIZON))
+        .enumerate()
+        .filter_map(|(i, s)| {
+            fast_utilization::measured_fast_utilization(
+                s,
+                trace.sender_rtt(i),
+                tail,
+                FAST_UTIL_HORIZON,
+            )
+        })
         .fold(None, |acc: Option<f64>, v| {
             Some(acc.map_or(v, |a| a.min(v)))
         });
@@ -103,6 +129,26 @@ pub fn solo_metrics_of_trace(trace: &RunTrace) -> SoloMetrics {
         fast_utilization: fast,
         latency_inflation: latency::measured_latency_inflation(trace, tail),
         mean_utilization: efficiency::mean_utilization(trace, tail),
+    }
+}
+
+/// Measure Metrics I–V and VIII from a streaming accumulator — the
+/// trace-free counterpart of [`solo_metrics_of_trace`], bit-identical on
+/// the same run.
+pub fn solo_metrics_of_acc(acc: &MetricAccumulator) -> SoloMetrics {
+    let fast = (0..acc.num_senders())
+        .filter_map(|i| acc.measured_fast_utilization(i))
+        .fold(None, |agg: Option<f64>, v| {
+            Some(agg.map_or(v, |a| a.min(v)))
+        });
+    SoloMetrics {
+        efficiency: acc.measured_efficiency(),
+        loss_bound: acc.measured_loss_bound(),
+        fairness: acc.measured_fairness(),
+        convergence: acc.measured_convergence(),
+        fast_utilization: fast,
+        latency_inflation: acc.measured_latency_inflation(),
+        mean_utilization: acc.mean_utilization(),
     }
 }
 
@@ -174,6 +220,42 @@ pub fn measure_solo_fluid(proto: &dyn Protocol, cfg: &SweepConfig) -> SoloMetric
     agg.expect("sweep had no configurations")
 }
 
+/// [`measure_solo_fluid`] under an explicit evaluation mode: the traced
+/// path records full traces and scores them; the streaming path folds the
+/// very same runs into one reused [`MetricAccumulator`] — same scores to
+/// the bit, no trace columns allocated.
+pub fn measure_solo_fluid_mode(
+    proto: &dyn Protocol,
+    cfg: &SweepConfig,
+    mode: EvalMode,
+) -> SoloMetrics {
+    if mode == EvalMode::Traced {
+        return measure_solo_fluid(proto, cfg);
+    }
+    let opts = stream_options();
+    let mut acc: Option<MetricAccumulator> = None;
+    let mut agg: Option<SoloMetrics> = None;
+    for init in &cfg.initial_configs {
+        assert_eq!(init.len(), cfg.n_senders, "config arity mismatch");
+        let mut sc = Scenario::new(cfg.link).steps(cfg.steps);
+        for &w in init {
+            sc = sc.sender(SenderConfig::new(proto.clone_box()).initial_window(w));
+        }
+        // All sweep configurations share one scenario shape, so one
+        // accumulator serves the whole job.
+        let acc = acc.get_or_insert_with(|| metric_accumulator_for(&sc, &opts));
+        run_scenario_streaming_into(sc, acc);
+        let m = solo_metrics_of_acc(acc);
+        agg = Some(match agg {
+            None => m,
+            Some(a) => a.pointwise_worst(&m),
+        });
+    }
+    #[allow(clippy::expect_used)] // invariant: SweepConfig always carries configurations
+    // tidy-allow: panic-freedom — SweepConfig construction guarantees a non-empty sweep; None is unreachable
+    agg.expect("sweep had no configurations")
+}
+
 /// Run a homogeneous **packet-level** scenario (all flows start at 1 MSS,
 /// as real connections do; flow `i` starts at `i · stagger_secs`, so with a
 /// positive stagger the run probes late-joiner convergence — the situation
@@ -229,6 +311,42 @@ pub fn measure_friendliness_fluid(
         let q_idx: Vec<usize> = (n_p..n_p + n_q).collect();
         let f = friendliness::measured_friendliness(&trace, &p_idx, &q_idx, tail);
         worst = worst.min(f);
+    }
+    worst
+}
+
+/// [`measure_friendliness_fluid`] under an explicit evaluation mode.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_friendliness_fluid_mode(
+    p: &dyn Protocol,
+    q: &dyn Protocol,
+    link: LinkParams,
+    n_p: usize,
+    n_q: usize,
+    steps: usize,
+    initial_pairs: &[(f64, f64)],
+    mode: EvalMode,
+) -> f64 {
+    if mode == EvalMode::Traced {
+        return measure_friendliness_fluid(p, q, link, n_p, n_q, steps, initial_pairs);
+    }
+    assert!(n_p > 0 && n_q > 0, "friendliness needs both sender sets");
+    let opts = stream_options();
+    let p_idx: Vec<usize> = (0..n_p).collect();
+    let q_idx: Vec<usize> = (n_p..n_p + n_q).collect();
+    let mut acc: Option<MetricAccumulator> = None;
+    let mut worst = f64::INFINITY;
+    for &(pi, qi) in initial_pairs {
+        let mut sc = Scenario::new(link).steps(steps);
+        for _ in 0..n_p {
+            sc = sc.sender(SenderConfig::new(p.clone_box()).initial_window(pi));
+        }
+        for _ in 0..n_q {
+            sc = sc.sender(SenderConfig::new(q.clone_box()).initial_window(qi));
+        }
+        let acc = acc.get_or_insert_with(|| metric_accumulator_for(&sc, &opts));
+        run_scenario_streaming_into(sc, acc);
+        worst = worst.min(acc.measured_friendliness(&p_idx, &q_idx));
     }
     worst
 }
@@ -304,6 +422,43 @@ pub fn empirically_more_aggressive(
     true
 }
 
+/// [`empirically_more_aggressive`] under an explicit evaluation mode.
+pub fn empirically_more_aggressive_mode(
+    p: &dyn Protocol,
+    q: &dyn Protocol,
+    link: LinkParams,
+    steps: usize,
+    mode: EvalMode,
+) -> bool {
+    if mode == EvalMode::Traced {
+        return empirically_more_aggressive(p, q, link, steps);
+    }
+    let opts = stream_options();
+    let ct = link.loss_threshold();
+    for (n_p, n_q) in [(1usize, 1usize), (2, 1), (1, 2)] {
+        for &(pi, qi) in &[(1.0, 1.0), (1.0, 0.8 * ct), (0.8 * ct, 1.0)] {
+            let mut sc = Scenario::new(link).steps(steps);
+            for _ in 0..n_p {
+                sc = sc.sender(SenderConfig::new(p.clone_box()).initial_window(pi));
+            }
+            for _ in 0..n_q {
+                sc = sc.sender(SenderConfig::new(q.clone_box()).initial_window(qi));
+            }
+            let acc = run_scenario_streaming(sc, &opts);
+            let worst_p = (0..n_p)
+                .map(|i| acc.tail_mean_goodput(i))
+                .fold(f64::INFINITY, f64::min);
+            let best_q = (n_p..n_p + n_q)
+                .map(|j| acc.tail_mean_goodput(j))
+                .fold(0.0, f64::max);
+            if worst_p <= best_q {
+                return false;
+            }
+        }
+    }
+    true
+}
+
 /// The default loss-rate grid for robustness sweeps (Metric VI): spans the
 /// paper's ε values (0.5%, 0.7%, 1%) plus coarser rates.
 pub const ROBUSTNESS_RATES: [f64; 7] = [0.001, 0.002, 0.005, 0.007, 0.009, 0.02, 0.05];
@@ -331,9 +486,40 @@ pub fn measure_robustness_fluid(proto: &dyn Protocol, rates: &[f64], steps: usiz
         // maximum window `M` (aggressive climbers like PCC/BBR saturate
         // the cap long before the run ends, which is the strongest escape
         // a finite trace can witness).
-        let escaped = robustness::window_escapes(s, 100.0, 0.2);
+        let escaped = robustness::window_escapes(s, ROBUSTNESS_ESCAPE_BETA, 0.2);
         let growing = robustness::window_diverging(s, 1e-9);
         let capped = s.window.last().copied().unwrap_or(0.0) >= 0.9 * MAX_WINDOW;
+        if escaped && (growing || capped) {
+            best = rate.max(best);
+        }
+    }
+    best
+}
+
+/// [`measure_robustness_fluid`] under an explicit evaluation mode.
+pub fn measure_robustness_fluid_mode(
+    proto: &dyn Protocol,
+    rates: &[f64],
+    steps: usize,
+    mode: EvalMode,
+) -> f64 {
+    if mode == EvalMode::Traced {
+        return measure_robustness_fluid(proto, rates, steps);
+    }
+    let opts = stream_options();
+    let infinite = LinkParams::new(MAX_WINDOW * 100.0, 0.05, MAX_WINDOW);
+    let mut acc: Option<MetricAccumulator> = None;
+    let mut best = 0.0;
+    for &rate in rates {
+        let sc = Scenario::new(infinite)
+            .sender(SenderConfig::new(proto.clone_box()).initial_window(10.0))
+            .wire_loss(LossModel::Constant { rate })
+            .steps(steps);
+        let acc = acc.get_or_insert_with(|| metric_accumulator_for(&sc, &opts));
+        run_scenario_streaming_into(sc, acc);
+        let escaped = acc.window_escapes(0, 0.2);
+        let growing = acc.window_diverging(0, 1e-9);
+        let capped = acc.last_window(0) >= 0.9 * MAX_WINDOW;
         if escaped && (growing || capped) {
             best = rate.max(best);
         }
@@ -350,12 +536,24 @@ pub fn empirical_scores_fluid(
     n_senders: usize,
     steps: usize,
 ) -> axcc_core::AxiomScores {
-    let solo = measure_solo_fluid(proto, &SweepConfig::standard(link, n_senders, steps));
+    empirical_scores_fluid_mode(proto, link, n_senders, steps, EvalMode::Traced)
+}
+
+/// [`empirical_scores_fluid`] under an explicit evaluation mode.
+pub fn empirical_scores_fluid_mode(
+    proto: &dyn Protocol,
+    link: LinkParams,
+    n_senders: usize,
+    steps: usize,
+    mode: EvalMode,
+) -> axcc_core::AxiomScores {
+    let solo = measure_solo_fluid_mode(proto, &SweepConfig::standard(link, n_senders, steps), mode);
     let reno = axcc_protocols::Aimd::reno();
     let ct = link.loss_threshold();
     let pairs = [(1.0, 1.0), (0.8 * ct, 1.0), (1.0, 0.8 * ct)];
-    let friendliness = measure_friendliness_fluid(proto, &reno, link, 1, 1, steps, &pairs);
-    let robustness = measure_robustness_fluid(proto, &ROBUSTNESS_RATES, steps);
+    let friendliness =
+        measure_friendliness_fluid_mode(proto, &reno, link, 1, 1, steps, &pairs, mode);
+    let robustness = measure_robustness_fluid_mode(proto, &ROBUSTNESS_RATES, steps, mode);
     axcc_core::AxiomScores {
         efficiency: solo.efficiency,
         fast_utilization: solo.fast_utilization.unwrap_or(0.0),
@@ -501,6 +699,102 @@ mod tests {
         assert_eq!(w.efficiency, 0.6);
         assert_eq!(w.loss_bound, 0.05);
         assert_eq!(w.fast_utilization, Some(1.0));
+    }
+
+    /// Every field of two [`SoloMetrics`] equal to the bit.
+    fn assert_solo_bits_equal(a: &SoloMetrics, b: &SoloMetrics) {
+        assert_eq!(a.efficiency.to_bits(), b.efficiency.to_bits());
+        assert_eq!(a.loss_bound.to_bits(), b.loss_bound.to_bits());
+        assert_eq!(a.fairness.to_bits(), b.fairness.to_bits());
+        assert_eq!(a.convergence.to_bits(), b.convergence.to_bits());
+        assert_eq!(
+            a.fast_utilization.map(f64::to_bits),
+            b.fast_utilization.map(f64::to_bits)
+        );
+        assert_eq!(a.latency_inflation.to_bits(), b.latency_inflation.to_bits());
+        assert_eq!(a.mean_utilization.to_bits(), b.mean_utilization.to_bits());
+    }
+
+    #[test]
+    fn streaming_solo_metrics_match_traced_bit_for_bit() {
+        for proto in [
+            Box::new(Aimd::reno()) as Box<dyn axcc_core::Protocol>,
+            Box::new(Mimd::scalable()),
+            Box::new(Vegas::classic()),
+        ] {
+            let cfg = SweepConfig::standard(link(), 2, 600);
+            let traced = measure_solo_fluid_mode(proto.as_ref(), &cfg, EvalMode::Traced);
+            let streamed = measure_solo_fluid_mode(proto.as_ref(), &cfg, EvalMode::Streaming);
+            assert_solo_bits_equal(&traced, &streamed);
+        }
+    }
+
+    #[test]
+    fn streaming_friendliness_matches_traced_bit_for_bit() {
+        let reno = Aimd::reno();
+        let fast = Aimd::new(4.0, 0.5);
+        let pairs = [(1.0, 1.0), (90.0, 1.0)];
+        let traced = measure_friendliness_fluid_mode(
+            &fast,
+            &reno,
+            link(),
+            1,
+            2,
+            800,
+            &pairs,
+            EvalMode::Traced,
+        );
+        let streamed = measure_friendliness_fluid_mode(
+            &fast,
+            &reno,
+            link(),
+            1,
+            2,
+            800,
+            &pairs,
+            EvalMode::Streaming,
+        );
+        assert_eq!(traced.to_bits(), streamed.to_bits());
+    }
+
+    #[test]
+    fn streaming_robustness_matches_traced() {
+        for proto in [
+            Box::new(Aimd::reno()) as Box<dyn axcc_core::Protocol>,
+            Box::new(RobustAimd::table2()),
+        ] {
+            let traced = measure_robustness_fluid_mode(
+                proto.as_ref(),
+                &ROBUSTNESS_RATES,
+                1000,
+                EvalMode::Traced,
+            );
+            let streamed = measure_robustness_fluid_mode(
+                proto.as_ref(),
+                &ROBUSTNESS_RATES,
+                1000,
+                EvalMode::Streaming,
+            );
+            assert_eq!(traced.to_bits(), streamed.to_bits());
+        }
+    }
+
+    #[test]
+    fn streaming_aggressiveness_matches_traced() {
+        let reno = Aimd::reno();
+        let mimd = Mimd::scalable();
+        for (p, q) in [
+            (
+                &mimd as &dyn axcc_core::Protocol,
+                &reno as &dyn axcc_core::Protocol,
+            ),
+            (&reno, &reno),
+        ] {
+            assert_eq!(
+                empirically_more_aggressive_mode(p, q, link(), 800, EvalMode::Traced),
+                empirically_more_aggressive_mode(p, q, link(), 800, EvalMode::Streaming),
+            );
+        }
     }
 
     #[test]

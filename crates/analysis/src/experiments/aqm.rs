@@ -171,7 +171,7 @@ impl SweepJob for AqmJob {
             .iter()
             .map(|s| s.mean_goodput_from(tail))
             .sum();
-        let rtts = &out.trace.senders[0].rtt[tail..];
+        let rtts = &out.trace.sender_rtt(0)[tail..];
         AqmCell {
             protocol: proto.name(),
             discipline: self.discipline.label(),

@@ -13,14 +13,14 @@
 //! confirming that the analytic frontier points are attained (within
 //! simulation tolerance) and never exceeded.
 
-use crate::estimators::{measure_friendliness_fluid, measure_solo_fluid, SweepConfig};
+use crate::estimators::{measure_friendliness_fluid_mode, measure_solo_fluid_mode, SweepConfig};
 use crate::pareto::{pareto_front_indices, ScoredPoint, FIGURE1_METRICS};
 use crate::report::{fmt_score, TextTable};
 use axcc_core::fingerprint::{Fingerprint, Fingerprinter};
 use axcc_core::theory::theorems::theorem2_friendliness_upper_bound;
 use axcc_core::{AxiomScores, LinkParams};
 use axcc_protocols::Aimd;
-use axcc_sweep::{Cacheable, Record, SweepJob, SweepRunner};
+use axcc_sweep::{Cacheable, EvalMode, Record, SweepJob, SweepRunner};
 use serde::Serialize;
 
 /// Default α (fast-utilization) grid for the surface.
@@ -108,6 +108,7 @@ struct PointJob {
     beta: f64,
     link: LinkParams,
     steps: usize,
+    mode: EvalMode,
 }
 
 impl Fingerprint for PointJob {
@@ -116,6 +117,7 @@ impl Fingerprint for PointJob {
         fp.write_f64(self.beta);
         self.link.fingerprint(fp);
         fp.write_usize(self.steps);
+        self.mode.fingerprint(fp);
     }
 }
 
@@ -124,9 +126,21 @@ impl SweepJob for PointJob {
     fn run(&self) -> MeasuredPoint {
         let aimd = Aimd::new(self.alpha, self.beta);
         let reno = Aimd::reno();
-        let solo = measure_solo_fluid(&aimd, &SweepConfig::standard(self.link, 2, self.steps));
-        let friendliness =
-            measure_friendliness_fluid(&aimd, &reno, self.link, 1, 1, self.steps, &[(1.0, 1.0)]);
+        let solo = measure_solo_fluid_mode(
+            &aimd,
+            &SweepConfig::standard(self.link, 2, self.steps),
+            self.mode,
+        );
+        let friendliness = measure_friendliness_fluid_mode(
+            &aimd,
+            &reno,
+            self.link,
+            1,
+            1,
+            self.steps,
+            &[(1.0, 1.0)],
+            self.mode,
+        );
         MeasuredPoint {
             friendliness,
             efficiency: solo.efficiency,
@@ -160,6 +174,7 @@ pub fn validated_surface_with(
             beta: p.beta,
             link,
             steps,
+            mode: runner.eval_mode(),
         })
         .collect();
     let measured = runner.run_jobs("figure1/validate", &jobs);

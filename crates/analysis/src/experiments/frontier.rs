@@ -15,14 +15,14 @@
 //!    earns its place on *some* axis, which is the axiomatic framing's
 //!    whole point.
 
-use crate::estimators::empirical_scores_fluid;
+use crate::estimators::empirical_scores_fluid_mode;
 use crate::pareto::{pareto_front_indices, ScoredPoint, FIGURE1_METRICS};
 use crate::report::{fmt_score, TextTable};
 use axcc_core::axioms::Metric;
 use axcc_core::fingerprint::{Fingerprint, Fingerprinter};
 use axcc_core::{LinkParams, Protocol};
 use axcc_protocols::{Aimd, Bbr, Binomial, Cubic, HighSpeed, Mimd, Pcc, RobustAimd, Tfrc, Vegas};
-use axcc_sweep::{SweepJob, SweepRunner};
+use axcc_sweep::{EvalMode, SweepJob, SweepRunner};
 use serde::Serialize;
 
 /// The 4-metric subspace: Figure 1's three plus robustness.
@@ -74,6 +74,7 @@ struct CandidateJob {
     name: String,
     link: LinkParams,
     steps: usize,
+    mode: EvalMode,
 }
 
 impl Fingerprint for CandidateJob {
@@ -81,6 +82,7 @@ impl Fingerprint for CandidateJob {
         fp.write_str(&self.name);
         self.link.fingerprint(fp);
         fp.write_usize(self.steps);
+        self.mode.fingerprint(fp);
     }
 }
 
@@ -88,7 +90,13 @@ impl SweepJob for CandidateJob {
     type Output = axcc_core::AxiomScores;
     fn run(&self) -> axcc_core::AxiomScores {
         let pool = candidate_pool();
-        empirical_scores_fluid(pool[self.index].as_ref(), self.link, 2, self.steps)
+        empirical_scores_fluid_mode(
+            pool[self.index].as_ref(),
+            self.link,
+            2,
+            self.steps,
+            self.mode,
+        )
     }
 }
 
@@ -112,6 +120,7 @@ pub fn search_frontier_with(
             name: p.name(),
             link,
             steps,
+            mode: runner.eval_mode(),
         })
         .collect();
     let scores = runner.run_jobs("frontier/candidates", &jobs);

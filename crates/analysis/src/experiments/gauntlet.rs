@@ -35,15 +35,15 @@
 //! efficiency (Metric I) and TCP-friendliness (Metric VII) are re-measured
 //! on a standard congested link *under* a reference impairment.
 
-use crate::estimators::TAIL_FRACTION;
+use crate::estimators::{stream_options, TAIL_FRACTION};
 use crate::report::{fmt_score, TextTable};
 use axcc_core::axioms::{efficiency, friendliness, robustness};
 use axcc_core::fingerprint::{Fingerprint, Fingerprinter};
 use axcc_core::protocol::MAX_WINDOW;
 use axcc_core::{LinkParams, Protocol};
-use axcc_fluidsim::{LossModel, Scenario, SenderConfig};
+use axcc_fluidsim::{run_scenario_streaming, LossModel, Scenario, SenderConfig, StreamOptions};
 use axcc_protocols::presets;
-use axcc_sweep::{SweepJob, SweepRunner};
+use axcc_sweep::{EvalMode, SweepJob, SweepRunner};
 use serde::Serialize;
 
 /// Burst lengths swept (RTT steps spent in the bad state per episode);
@@ -153,6 +153,15 @@ fn reference_model() -> LossModel {
     cell_model(4, 0.005)
 }
 
+/// Streaming options for gauntlet cells: the estimator defaults with the
+/// escape threshold lowered to the gauntlet's β.
+fn gauntlet_stream_options() -> StreamOptions {
+    StreamOptions {
+        escape_beta: BETA,
+        ..stream_options()
+    }
+}
+
 /// Run length of one robustness cell: at least `base` steps, and long
 /// enough to endure [`BURSTS_PER_CELL`] expected episodes.
 fn cell_steps(base: usize, freq: f64) -> usize {
@@ -162,25 +171,35 @@ fn cell_steps(base: usize, freq: f64) -> usize {
 /// Does `proto` withstand one cell under one seed? The witness mirrors
 /// the constant-loss sweep: the window escapes β and stays there for the
 /// tail of the run.
-fn withstands(proto: &dyn Protocol, model: &LossModel, steps: usize, seed: u64) -> bool {
-    let trace = Scenario::new(infinite_link())
+fn withstands(
+    proto: &dyn Protocol,
+    model: &LossModel,
+    steps: usize,
+    seed: u64,
+    mode: EvalMode,
+) -> bool {
+    let sc = Scenario::new(infinite_link())
         .sender(SenderConfig::new(proto.clone_box()).initial_window(10.0))
         .wire_loss(*model)
         .steps(steps)
-        .seed(seed)
-        .run();
-    robustness::window_escapes(&trace.senders[0], BETA, 0.2)
+        .seed(seed);
+    match mode {
+        EvalMode::Traced => robustness::window_escapes(&sc.run().senders[0], BETA, 0.2),
+        EvalMode::Streaming => {
+            run_scenario_streaming(sc, &gauntlet_stream_options()).window_escapes(0, 0.2)
+        }
+    }
 }
 
 /// Largest withstood burst frequency for one burst length.
-fn cell_score(proto: &dyn Protocol, burst_len: usize, base_steps: usize) -> f64 {
+fn cell_score(proto: &dyn Protocol, burst_len: usize, base_steps: usize, mode: EvalMode) -> f64 {
     let mut best = 0.0;
     for &freq in &BURST_FREQS {
         let model = cell_model(burst_len, freq);
         let steps = cell_steps(base_steps, freq);
         let passes = GAUNTLET_SEEDS
             .iter()
-            .filter(|&&seed| withstands(proto, &model, steps, seed))
+            .filter(|&&seed| withstands(proto, &model, steps, seed, mode))
             .count();
         if 2 * passes > GAUNTLET_SEEDS.len() {
             best = freq.max(best);
@@ -190,29 +209,43 @@ fn cell_score(proto: &dyn Protocol, burst_len: usize, base_steps: usize) -> f64 
 }
 
 /// Metric I on the congested link under the reference impairment.
-fn impaired_efficiency(proto: &dyn Protocol, steps: usize) -> f64 {
-    let trace = Scenario::new(congested_link())
+fn impaired_efficiency(proto: &dyn Protocol, steps: usize, mode: EvalMode) -> f64 {
+    let sc = Scenario::new(congested_link())
         .sender(SenderConfig::new(proto.clone_box()).initial_window(1.0))
         .sender(SenderConfig::new(proto.clone_box()).initial_window(1.0))
         .wire_loss(reference_model())
         .steps(steps)
-        .seed(GAUNTLET_SEEDS[0])
-        .run();
-    efficiency::measured_efficiency(&trace, trace.tail_start(TAIL_FRACTION))
+        .seed(GAUNTLET_SEEDS[0]);
+    match mode {
+        EvalMode::Traced => {
+            let trace = sc.run();
+            efficiency::measured_efficiency(&trace, trace.tail_start(TAIL_FRACTION))
+        }
+        EvalMode::Streaming => {
+            run_scenario_streaming(sc, &gauntlet_stream_options()).measured_efficiency()
+        }
+    }
 }
 
 /// Metric VII vs Reno on the congested link under the reference
 /// impairment.
-fn impaired_friendliness(proto: &dyn Protocol, steps: usize) -> f64 {
+fn impaired_friendliness(proto: &dyn Protocol, steps: usize, mode: EvalMode) -> f64 {
     let reno = presets::reno();
-    let trace = Scenario::new(congested_link())
+    let sc = Scenario::new(congested_link())
         .sender(SenderConfig::new(proto.clone_box()).initial_window(1.0))
         .sender(SenderConfig::new(reno.clone_box()).initial_window(1.0))
         .wire_loss(reference_model())
         .steps(steps)
-        .seed(GAUNTLET_SEEDS[0])
-        .run();
-    friendliness::measured_friendliness(&trace, &[0], &[1], trace.tail_start(TAIL_FRACTION))
+        .seed(GAUNTLET_SEEDS[0]);
+    match mode {
+        EvalMode::Traced => {
+            let trace = sc.run();
+            friendliness::measured_friendliness(&trace, &[0], &[1], trace.tail_start(TAIL_FRACTION))
+        }
+        EvalMode::Streaming => {
+            run_scenario_streaming(sc, &gauntlet_stream_options()).measured_friendliness(&[0], &[1])
+        }
+    }
 }
 
 /// Write the gauntlet's fixed grid into a job fingerprint: any change to
@@ -234,6 +267,7 @@ struct CellScoreJob {
     name: String,
     burst_len: usize,
     steps: usize,
+    mode: EvalMode,
 }
 
 impl Fingerprint for CellScoreJob {
@@ -242,6 +276,7 @@ impl Fingerprint for CellScoreJob {
         fp.write_usize(self.burst_len);
         fp.write_usize(self.steps);
         fingerprint_grid(fp);
+        self.mode.fingerprint(fp);
     }
 }
 
@@ -249,7 +284,12 @@ impl SweepJob for CellScoreJob {
     type Output = f64;
     fn run(&self) -> f64 {
         let lineup = gauntlet_lineup();
-        cell_score(lineup[self.index].as_ref(), self.burst_len, self.steps)
+        cell_score(
+            lineup[self.index].as_ref(),
+            self.burst_len,
+            self.steps,
+            self.mode,
+        )
     }
 }
 
@@ -259,6 +299,7 @@ struct SideEffectJob {
     index: usize,
     name: String,
     steps: usize,
+    mode: EvalMode,
 }
 
 impl Fingerprint for SideEffectJob {
@@ -266,6 +307,7 @@ impl Fingerprint for SideEffectJob {
         fp.write_str(&self.name);
         fp.write_usize(self.steps);
         fingerprint_grid(fp);
+        self.mode.fingerprint(fp);
     }
 }
 
@@ -275,8 +317,8 @@ impl SweepJob for SideEffectJob {
         let lineup = gauntlet_lineup();
         let proto = lineup[self.index].as_ref();
         (
-            impaired_efficiency(proto, self.steps),
-            impaired_friendliness(proto, self.steps),
+            impaired_efficiency(proto, self.steps, self.mode),
+            impaired_friendliness(proto, self.steps, self.mode),
         )
     }
 }
@@ -300,6 +342,7 @@ pub fn run_gauntlet_with(runner: &SweepRunner, steps: usize) -> GauntletReport {
                 name: proto.name(),
                 burst_len,
                 steps,
+                mode: runner.eval_mode(),
             });
         }
     }
@@ -311,6 +354,7 @@ pub fn run_gauntlet_with(runner: &SweepRunner, steps: usize) -> GauntletReport {
             index,
             name: proto.name(),
             steps,
+            mode: runner.eval_mode(),
         })
         .collect();
     let sides = runner.run_jobs("gauntlet/side-effects", &side_jobs);

@@ -98,6 +98,12 @@ pub struct Experiment {
     pub artifact: &'static str,
     /// Run the experiment through a sweep runner at the given budget.
     pub run: fn(&SweepRunner, RunBudget) -> ExperimentOutcome,
+    /// Whether the experiment honours the runner's
+    /// [`EvalMode`](axcc_sweep::EvalMode) and can run trace-free. The
+    /// packet-level experiments (table2, emulab, aqm) and the extension
+    /// metrics (which need whole-trace statistics like smoothness) always
+    /// record traces regardless of the runner's mode.
+    pub supports_streaming: bool,
 }
 
 /// The paper-grade 100 Mbps link Table 1 is characterized on.
@@ -204,51 +210,61 @@ pub fn registry() -> Vec<Experiment> {
     vec![
         Experiment {
             name: "table1",
+            supports_streaming: true,
             artifact: "Table 1 — protocol characterization (empirical)",
             run: run_table1,
         },
         Experiment {
             name: "table2",
+            supports_streaming: false,
             artifact: "Table 2 — Robust-AIMD vs PCC friendliness grid",
             run: run_table2,
         },
         Experiment {
             name: "figure1",
+            supports_streaming: true,
             artifact: "Figure 1 — Pareto frontier feasibility validation",
             run: run_figure1,
         },
         Experiment {
             name: "theorems",
+            supports_streaming: true,
             artifact: "Section 4 — Claim 1 + Theorems 1-5 checks",
             run: run_theorems,
         },
         Experiment {
             name: "emulab",
+            supports_streaming: false,
             artifact: "Section 5.1 — Emulab validation grid (packet-level)",
             run: run_emulab,
         },
         Experiment {
             name: "shootout",
+            supports_streaming: true,
             artifact: "Section 5.2 — robustness shootout",
             run: run_shootout,
         },
         Experiment {
             name: "gauntlet",
+            supports_streaming: true,
             artifact: "Metric VI under Gilbert-Elliott bursty loss",
             run: run_gauntlet,
         },
         Experiment {
             name: "frontier",
+            supports_streaming: true,
             artifact: "empirical Pareto-frontier search",
             run: run_frontier,
         },
         Experiment {
             name: "aqm",
+            supports_streaming: false,
             artifact: "Section 6 — in-network queueing comparison",
             run: run_aqm,
         },
         Experiment {
             name: "extensions",
+            supports_streaming: false,
             artifact: "Section 6 — extension metrics",
             run: run_extensions,
         },
@@ -290,6 +306,45 @@ mod tests {
         assert_eq!(b.secs(40.0, 20.0), 20.0);
         let p = RunBudget::paper();
         assert_eq!(p.steps(4000, 800), 4000);
+    }
+
+    /// Run one experiment under both evaluation modes (fresh runners, so
+    /// nothing is answered across modes) and assert the reports are
+    /// byte-identical. Report strings embed every measured score, so this
+    /// is bit equality of the numbers too.
+    fn assert_mode_identity(e: &Experiment, budget: RunBudget) {
+        use axcc_sweep::EvalMode;
+        let streaming = SweepRunner::serial(); // Streaming is the default
+        let traced = SweepRunner::serial().with_eval_mode(EvalMode::Traced);
+        let s = (e.run)(&streaming, budget);
+        let t = (e.run)(&traced, budget);
+        assert_eq!(s.report, t.report, "{} diverged across eval modes", e.name);
+        assert_eq!(s.passed, t.passed, "{} verdict diverged", e.name);
+    }
+
+    #[test]
+    fn streaming_experiments_match_traced_at_smoke_scale() {
+        for e in registry().iter().filter(|e| e.supports_streaming) {
+            assert_mode_identity(e, RunBudget::smoke());
+        }
+    }
+
+    #[test]
+    #[ignore = "paper-scale identity sweep; run explicitly with --ignored"]
+    fn streaming_experiments_match_traced_at_paper_scale() {
+        for e in registry().iter().filter(|e| e.supports_streaming) {
+            assert_mode_identity(e, RunBudget::paper());
+        }
+    }
+
+    #[test]
+    fn traced_only_experiments_are_flagged() {
+        // The packet-level experiments and the whole-trace extension
+        // metrics cannot stream; everything fluid-and-metric-only can.
+        for e in registry() {
+            let expect = !matches!(e.name, "table2" | "emulab" | "aqm" | "extensions");
+            assert_eq!(e.supports_streaming, expect, "{}", e.name);
+        }
     }
 
     #[test]

@@ -9,13 +9,13 @@
 //! the fluid simulator — the in-model counterpart of the paper's Emulab
 //! validation (the packet-level grid lives in [`super::emulab`]).
 
-use crate::estimators::empirical_scores_fluid;
+use crate::estimators::empirical_scores_fluid_mode;
 use crate::report::{fmt_score, TextTable};
 use axcc_core::fingerprint::{Fingerprint, Fingerprinter};
 use axcc_core::theory::ProtocolSpec;
 use axcc_core::{AxiomScores, LinkParams};
 use axcc_protocols::build_protocol;
-use axcc_sweep::{SweepJob, SweepRunner};
+use axcc_sweep::{EvalMode, SweepJob, SweepRunner};
 use serde::Serialize;
 
 /// The protocol instances characterized in the generated table: the three
@@ -87,6 +87,7 @@ struct MeasureJob {
     link: LinkParams,
     n: usize,
     steps: usize,
+    mode: EvalMode,
 }
 
 impl Fingerprint for MeasureJob {
@@ -95,6 +96,7 @@ impl Fingerprint for MeasureJob {
         self.link.fingerprint(fp);
         fp.write_usize(self.n);
         fp.write_usize(self.steps);
+        self.mode.fingerprint(fp);
     }
 }
 
@@ -102,7 +104,7 @@ impl SweepJob for MeasureJob {
     type Output = AxiomScores;
     fn run(&self) -> AxiomScores {
         let proto = build_protocol(&self.spec);
-        empirical_scores_fluid(proto.as_ref(), self.link, self.n, self.steps)
+        empirical_scores_fluid_mode(proto.as_ref(), self.link, self.n, self.steps, self.mode)
     }
 }
 
@@ -130,6 +132,7 @@ pub fn empirical_table1_with(
             link,
             n,
             steps,
+            mode: runner.eval_mode(),
         })
         .collect();
     let measured = runner.run_jobs("table1/empirical", &jobs);

@@ -1,0 +1,123 @@
+//! Benchmark the two engine evaluation paths and emit **BENCH_engine.json**.
+//!
+//! For every streaming-capable experiment in the registry this runs the
+//! full experiment twice through a serial, cache-disabled runner — once in
+//! [`EvalMode::Traced`] (record the full trace, evaluate the axioms on it)
+//! and once in [`EvalMode::Streaming`] (fold each step straight into the
+//! metric accumulators) — asserts the rendered reports are **identical**
+//! (they embed every measured score, so equal strings means bit-equal
+//! metrics), and records wall-clock for both plus the trace bytes the
+//! streaming path never allocated ([`axcc_fluidsim::stats`]).
+//!
+//! Serial + no cache isolates the engine-path difference: no worker
+//! scheduling noise, no cache hits standing in for runs.
+//!
+//! Flags:
+//! * `--smoke` — CI-scale run lengths (default: full paper scale);
+//! * `--out PATH` — where to write the snapshot (default `BENCH_engine.json`).
+
+use axcc_analysis::experiments::{registry, RunBudget};
+use axcc_bench::has_flag;
+use axcc_bench::runner::flag_value;
+use axcc_sweep::{EvalMode, Stopwatch, SweepRunner, ENGINE_REVISION};
+
+fn main() {
+    let budget = if has_flag("--smoke") {
+        RunBudget::smoke()
+    } else {
+        RunBudget::paper()
+    };
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_engine.json".to_string());
+
+    let mut experiments = Vec::new();
+    let mut traced_total = 0.0;
+    let mut streaming_total = 0.0;
+    let mut eliminated_total = 0u64;
+    let mut runs_total = 0u64;
+    for exp in registry().iter().filter(|e| e.supports_streaming) {
+        eprintln!("[bench-engine] {} …", exp.name);
+
+        let traced = SweepRunner::without_cache(1).with_eval_mode(EvalMode::Traced);
+        let _ = axcc_fluidsim::stats::take();
+        let sw = Stopwatch::start();
+        let traced_outcome = (exp.run)(&traced, budget);
+        let traced_secs = sw.elapsed_secs();
+        let traced_streamed = axcc_fluidsim::stats::take();
+        assert_eq!(
+            traced_streamed.runs, 0,
+            "{}: traced mode must not take the streaming path",
+            exp.name
+        );
+
+        let streaming = SweepRunner::without_cache(1);
+        let sw = Stopwatch::start();
+        let streaming_outcome = (exp.run)(&streaming, budget);
+        let streaming_secs = sw.elapsed_secs();
+        let streamed = axcc_fluidsim::stats::take();
+
+        assert_eq!(
+            traced_outcome.report, streaming_outcome.report,
+            "{}: streaming report diverged from traced",
+            exp.name
+        );
+        assert_eq!(
+            traced_outcome.passed, streaming_outcome.passed,
+            "{}: streaming pass/fail diverged from traced",
+            exp.name
+        );
+
+        traced_total += traced_secs;
+        streaming_total += streaming_secs;
+        eliminated_total += streamed.eliminated_bytes;
+        runs_total += streamed.runs;
+        let speedup = if streaming_secs > 0.0 {
+            traced_secs / streaming_secs
+        } else {
+            0.0
+        };
+        experiments.push(serde_json::json!({
+            "name": exp.name,
+            "traced_secs": traced_secs,
+            "streaming_secs": streaming_secs,
+            "speedup": speedup,
+            "streaming_runs": streamed.runs,
+            "eliminated_trace_bytes": streamed.eliminated_bytes,
+        }));
+    }
+
+    let suite_speedup = if streaming_total > 0.0 {
+        traced_total / streaming_total
+    } else {
+        0.0
+    };
+    let totals = serde_json::json!({
+        "traced_secs": traced_total,
+        "streaming_secs": streaming_total,
+        "speedup": suite_speedup,
+        "streaming_runs": runs_total,
+        "eliminated_trace_bytes": eliminated_total,
+    });
+    let scale = if budget.smoke { "smoke" } else { "paper" };
+    let snapshot = serde_json::json!({
+        "engine_revision": ENGINE_REVISION,
+        "scale": scale,
+        "experiments": experiments,
+        "totals": totals,
+    });
+    let rendered = match serde_json::to_string_pretty(&snapshot) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("[bench-engine] JSON serialization failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{rendered}");
+    if let Err(e) = std::fs::write(&out_path, format!("{rendered}\n")) {
+        eprintln!("[bench-engine] cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "[bench-engine] snapshot written to {out_path} ({suite_speedup:.2}x suite speedup, {:.1} MiB of trace never allocated over {runs_total} runs)",
+        eliminated_total as f64 / (1024.0 * 1024.0),
+    );
+}

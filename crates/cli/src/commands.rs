@@ -15,7 +15,7 @@ use axcc_fluidsim::{LossModel, Scenario, SenderConfig};
 use axcc_packetsim::{PacketScenario, PacketSenderConfig};
 use axcc_protocols::registry::resolve;
 use axcc_sweep::progress::render_timings;
-use axcc_sweep::{ExperimentTiming, Stopwatch, SweepRunner};
+use axcc_sweep::{EvalMode, ExperimentTiming, Stopwatch, SweepRunner};
 use std::fmt::Write as _;
 
 /// CLI usage text.
@@ -58,6 +58,9 @@ sweep engine (parallel + content-addressed cache; see DESIGN.md):
                 [--no-cache]   disable the result cache
                 [--cache-dir D] persist the cache under D
                                 (default target/sweep-cache)
+                [--record-traces] evaluate via full trace recording instead
+                                of the streaming fast path (escape hatch;
+                                results are bit-identical either way)
 
 misc:
   axcc characterize [--steps N]  empirical 8-tuples for the whole lineup
@@ -577,22 +580,29 @@ fn cmd_extensions(args: &Args) -> Result<String, CliError> {
 }
 
 /// Build a [`SweepRunner`] from the shared sweep flags (`--jobs`,
-/// `--no-cache`, `--cache-dir`). The default is a disk cache under
-/// `target/sweep-cache`, so a repeated invocation is answered warm.
+/// `--no-cache`, `--cache-dir`, `--record-traces`). The default is a disk
+/// cache under `target/sweep-cache`, so a repeated invocation is answered
+/// warm, and the streaming (trace-free) evaluation mode; `--record-traces`
+/// switches metric-only experiments back to full trace recording.
 fn runner_from(args: &Args) -> Result<SweepRunner, CliError> {
     let jobs = args.get_usize("jobs", 1)?;
     let no_cache = args.get_bool("no-cache");
     let cache_dir = args.get("cache-dir").map(str::to_string);
+    let mode = if args.get_bool("record-traces") {
+        EvalMode::Traced
+    } else {
+        EvalMode::Streaming
+    };
     if no_cache {
         if cache_dir.is_some() {
             return Err(CliError::Usage(
                 "--no-cache and --cache-dir are mutually exclusive".into(),
             ));
         }
-        return Ok(SweepRunner::without_cache(jobs));
+        return Ok(SweepRunner::without_cache(jobs).with_eval_mode(mode));
     }
     let dir = cache_dir.unwrap_or_else(|| "target/sweep-cache".to_string());
-    Ok(SweepRunner::with_disk_cache(jobs, dir.into()))
+    Ok(SweepRunner::with_disk_cache(jobs, dir.into()).with_eval_mode(mode))
 }
 
 /// Shared budget flag: `--smoke` selects CI-scale run lengths.

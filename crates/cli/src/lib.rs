@@ -231,6 +231,27 @@ mod tests {
     }
 
     #[test]
+    fn sweep_record_traces_matches_streaming_output() {
+        let (code, streamed) = cli("sweep --experiment theorems --smoke --no-cache");
+        assert_eq!(code, 0, "{streamed}");
+        let (code, traced) = cli("sweep --experiment theorems --smoke --no-cache --record-traces");
+        assert_eq!(code, 0, "{traced}");
+        // Strip the trailing timing line (wall clock differs run to run);
+        // everything above it — the full rendered report — must be identical.
+        let body = |s: &str| {
+            s.lines()
+                .filter(|l| !l.contains("workers in"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(
+            body(&streamed),
+            body(&traced),
+            "--record-traces must be bit-identical to the streaming default"
+        );
+    }
+
+    #[test]
     fn sweep_rejects_no_cache_with_cache_dir() {
         let (code, out) = cli("sweep --experiment theorems --no-cache --cache-dir /tmp/x");
         assert_eq!(code, 2);

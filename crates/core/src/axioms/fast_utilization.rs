@@ -56,14 +56,24 @@ impl Segment {
 /// loss-triggered back-off can land one sample after the interval whose
 /// loss column marked the event, and an ascent measurement must not span
 /// a back-off.
-pub fn eligible_segments(trace: &SenderTrace, from: usize, check_rtt: bool) -> Vec<Segment> {
+///
+/// `rtt` is the sender's RTT column — callers with a [`RunTrace`] pass
+/// `run.sender_rtt(i)`, which resolves the shared-vs-own storage.
+///
+/// [`RunTrace`]: crate::trace::RunTrace
+pub fn eligible_segments(
+    trace: &SenderTrace,
+    rtt: &[f64],
+    from: usize,
+    check_rtt: bool,
+) -> Vec<Segment> {
     let n = trace.len();
     let mut segs = Vec::new();
     let mut start = None;
     for t in from..n {
         let lossy = trace.loss[t] > 0.0;
         let backed_off = t > from && trace.window[t] < trace.window[t - 1] * 0.99 - 1e-12;
-        let rtt_rose = check_rtt && t > from && trace.rtt[t] > trace.rtt[t - 1] + 1e-12;
+        let rtt_rose = check_rtt && t > from && rtt[t] > rtt[t - 1] + 1e-12;
         if lossy || backed_off || rtt_rose {
             if let Some(s) = start.take() {
                 if t > s {
@@ -106,12 +116,13 @@ pub fn eligible_segments(trace: &SenderTrace, from: usize, check_rtt: bool) -> V
 /// trace, and the caller should lengthen the run).
 pub fn measured_fast_utilization(
     trace: &SenderTrace,
+    rtt: &[f64],
     from: usize,
     min_horizon: usize,
 ) -> Option<f64> {
     let check_rtt = !trace.loss_based;
     let mut worst: Option<f64> = None;
-    for seg in eligible_segments(trace, from, check_rtt) {
+    for seg in eligible_segments(trace, rtt, from, check_rtt) {
         if seg.len() <= min_horizon {
             continue;
         }
@@ -135,11 +146,12 @@ pub fn measured_fast_utilization(
 /// when no segment was long enough to judge and `alpha > 0`).
 pub fn satisfies_fast_utilization(
     trace: &SenderTrace,
+    rtt: &[f64],
     from: usize,
     min_horizon: usize,
     alpha: f64,
 ) -> bool {
-    match measured_fast_utilization(trace, from, min_horizon) {
+    match measured_fast_utilization(trace, rtt, from, min_horizon) {
         Some(m) => m >= alpha - 1e-9,
         None => alpha <= 0.0,
     }
@@ -150,7 +162,7 @@ mod tests {
     use super::*;
     use crate::trace::SenderTrace;
 
-    fn sender(windows: Vec<f64>, loss: Vec<f64>, rtt: Vec<f64>, loss_based: bool) -> SenderTrace {
+    fn sender(windows: Vec<f64>, loss: Vec<f64>, loss_based: bool) -> SenderTrace {
         let n = windows.len();
         SenderTrace {
             protocol: "test".into(),
@@ -158,21 +170,25 @@ mod tests {
             goodput: vec![0.0; n],
             window: windows,
             loss,
-            rtt,
+            rtt: None,
         }
+    }
+
+    fn flat_rtt(n: usize) -> Vec<f64> {
+        vec![0.1; n]
     }
 
     /// AIMD(a, ·) ascent: x(t) = x0 + a·t, no loss.
     fn additive_ascent(a: f64, steps: usize) -> SenderTrace {
         let windows: Vec<f64> = (0..steps).map(|t| 10.0 + a * t as f64).collect();
-        sender(windows, vec![0.0; steps], vec![0.1; steps], true)
+        sender(windows, vec![0.0; steps], true)
     }
 
     #[test]
     fn additive_increase_scores_its_slope() {
         for a in [0.5, 1.0, 2.0] {
             let tr = additive_ascent(a, 64);
-            let m = measured_fast_utilization(&tr, 0, 8).unwrap();
+            let m = measured_fast_utilization(&tr, &flat_rtt(64), 0, 8).unwrap();
             // Σ_{k=0}^{Δt} a·k = a·Δt(Δt+1)/2 ≥ aΔt²/2, with equality in the
             // limit; the measured minimum should be ≥ a (slightly above).
             assert!(m >= a - 1e-9, "a={a}, measured {m}");
@@ -182,19 +198,20 @@ mod tests {
 
     #[test]
     fn constant_window_scores_zero() {
-        let tr = sender(vec![50.0; 40], vec![0.0; 40], vec![0.1; 40], true);
-        let m = measured_fast_utilization(&tr, 0, 8).unwrap();
+        let tr = sender(vec![50.0; 40], vec![0.0; 40], true);
+        let rtt = flat_rtt(40);
+        let m = measured_fast_utilization(&tr, &rtt, 0, 8).unwrap();
         assert_eq!(m, 0.0);
-        assert!(satisfies_fast_utilization(&tr, 0, 8, 0.0));
-        assert!(!satisfies_fast_utilization(&tr, 0, 8, 0.1));
+        assert!(satisfies_fast_utilization(&tr, &rtt, 0, 8, 0.0));
+        assert!(!satisfies_fast_utilization(&tr, &rtt, 0, 8, 0.1));
     }
 
     #[test]
     fn superlinear_growth_scores_high() {
         // MIMD-style doubling: gains explode, so measured α is large.
         let windows: Vec<f64> = (0..20).map(|t| 2.0_f64.powi(t)).collect();
-        let tr = sender(windows, vec![0.0; 20], vec![0.1; 20], true);
-        let m = measured_fast_utilization(&tr, 0, 8).unwrap();
+        let tr = sender(windows, vec![0.0; 20], true);
+        let m = measured_fast_utilization(&tr, &flat_rtt(20), 0, 8).unwrap();
         assert!(m > 10.0, "measured {m}");
     }
 
@@ -214,12 +231,13 @@ mod tests {
             loss.push(0.0);
         }
         let n = windows.len();
-        let tr = sender(windows, loss, vec![0.1; n], true);
-        let segs = eligible_segments(&tr, 0, false);
+        let tr = sender(windows, loss, true);
+        let rtt = flat_rtt(n);
+        let segs = eligible_segments(&tr, &rtt, 0, false);
         assert_eq!(segs.len(), 2);
         assert_eq!(segs[0], Segment { start: 0, end: 20 });
         assert_eq!(segs[1], Segment { start: 21, end: 41 });
-        let m = measured_fast_utilization(&tr, 0, 8).unwrap();
+        let m = measured_fast_utilization(&tr, &rtt, 0, 8).unwrap();
         assert!(m >= 1.0 - 1e-9);
     }
 
@@ -228,12 +246,12 @@ mod tests {
         let windows: Vec<f64> = (0..30).map(|t| 10.0 + t as f64).collect();
         let mut rtt = vec![0.1; 30];
         rtt[15] = 0.2; // RTT rises at t=15
-        let tr = sender(windows.clone(), vec![0.0; 30], rtt.clone(), false);
-        let segs = eligible_segments(&tr, 0, true);
+        let tr = sender(windows.clone(), vec![0.0; 30], false);
+        let segs = eligible_segments(&tr, &rtt, 0, true);
         assert_eq!(segs.len(), 2, "{segs:?}");
         // A loss-based protocol ignores the RTT rise: one segment.
-        let tr2 = sender(windows, vec![0.0; 30], rtt, true);
-        let segs2 = eligible_segments(&tr2, 0, false);
+        let tr2 = sender(windows, vec![0.0; 30], true);
+        let segs2 = eligible_segments(&tr2, &rtt, 0, false);
         assert_eq!(segs2.len(), 1);
     }
 
@@ -244,10 +262,11 @@ mod tests {
         for t in (0..30).step_by(3) {
             loss[t] = 0.1;
         }
-        let tr = sender(vec![10.0; 30], loss, vec![0.1; 30], true);
-        assert!(measured_fast_utilization(&tr, 0, 8).is_none());
-        assert!(satisfies_fast_utilization(&tr, 0, 8, 0.0));
-        assert!(!satisfies_fast_utilization(&tr, 0, 8, 0.5));
+        let tr = sender(vec![10.0; 30], loss, true);
+        let rtt = flat_rtt(30);
+        assert!(measured_fast_utilization(&tr, &rtt, 0, 8).is_none());
+        assert!(satisfies_fast_utilization(&tr, &rtt, 0, 8, 0.0));
+        assert!(!satisfies_fast_utilization(&tr, &rtt, 0, 8, 0.5));
     }
 
     #[test]
@@ -255,10 +274,11 @@ mod tests {
         // The Claim-1 protocol: +1 MSS every 10 RTTs. Cumulative gain over
         // Δt is ~Δt²/20, i.e. α = 0.1 — far below 1.
         let windows: Vec<f64> = (0..100).map(|t| 10.0 + (t / 10) as f64).collect();
-        let tr = sender(windows, vec![0.0; 100], vec![0.1; 100], true);
-        let m = measured_fast_utilization(&tr, 0, 8).unwrap();
+        let tr = sender(windows, vec![0.0; 100], true);
+        let rtt = flat_rtt(100);
+        let m = measured_fast_utilization(&tr, &rtt, 0, 8).unwrap();
         assert!(m < 0.2, "measured {m}");
-        assert!(!satisfies_fast_utilization(&tr, 0, 8, 1.0));
+        assert!(!satisfies_fast_utilization(&tr, &rtt, 0, 8, 1.0));
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod friendliness;
 pub mod latency;
 pub mod loss_avoidance;
 pub mod robustness;
+pub mod streaming;
 
 /// Fraction of a run treated as transient by default: axioms are evaluated
 /// on the final half of the trace unless the caller says otherwise.
@@ -136,7 +137,6 @@ pub(crate) mod testutil {
             for (s, w) in senders.iter_mut().zip(windows.iter()) {
                 s.window.push(w[t]);
                 s.loss.push(loss);
-                s.rtt.push(rtt);
                 s.goodput.push(w[t] * (1.0 - loss) / rtt);
             }
         }

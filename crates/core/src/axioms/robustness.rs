@@ -66,7 +66,7 @@ mod tests {
             protocol: "test".into(),
             loss_based: true,
             loss: vec![0.0; n],
-            rtt: vec![0.1; n],
+            rtt: None,
             goodput: vec![0.0; n],
             window: windows,
         }

@@ -1,0 +1,1075 @@
+//! Streaming (single-pass) axiom evaluation — the trace-free fast path.
+//!
+//! Every axiom of Section 3 is a statement about a trajectory of the form
+//! "there is some time step T such that from T onwards …", and every one
+//! of its empirical evaluators in the sibling modules is an in-order fold
+//! over trace columns: min/max folds (efficiency, loss-avoidance,
+//! convergence, latency), sequential sums (fairness and friendliness tail
+//! averages, fast-utilization cumulative gains), or a last-index scan
+//! (robustness). None of them needs the trajectory materialized — they
+//! need each step's values exactly once, in order.
+//!
+//! This module provides one online accumulator per axiom plus a combined
+//! [`MetricAccumulator`] that consumes one [`StepRecord`] per sender per
+//! step in O(senders) memory, independent of run length. A simulation
+//! engine drives it directly from its hot loop (see `axcc-fluidsim`'s
+//! `StepSink`), eliminating the O(steps × senders) trace allocation
+//! entirely for metric-only sweeps.
+//!
+//! **The bit-identity contract.** Each accumulator reproduces its
+//! trace-based evaluator *to the exact f64 bit*: the same additions in the
+//! same order (f64 addition is not associative, so sums must fold
+//! sequentially over steps exactly as the slice iterators do), the same
+//! `f64::min`/`f64::max` argument order (which decides NaN propagation),
+//! and the same edge-case returns for empty tails and idle senders. Tail
+//! boundaries and the robustness quartiles are precomputable because the
+//! run length is known up front ([`MetricConfig::steps`]), mirroring
+//! [`RunTrace::tail_start`](crate::trace::RunTrace::tail_start). The
+//! equivalence is asserted bit-for-bit by unit tests here, by property
+//! tests in `axcc-fluidsim`, and on every registry experiment by
+//! `axcc-analysis` and the `bench-engine` binary.
+
+use crate::link::LinkParams;
+
+/// One sender's observation at one step: exactly the four values the
+/// trace path would append to its per-sender columns.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StepRecord {
+    /// Congestion window `x_i^(t)` (MSS); 0 for a not-yet-started sender.
+    pub window: f64,
+    /// Loss rate the sender experienced this step.
+    pub loss: f64,
+    /// RTT the sender experienced this step (seconds).
+    pub rtt: f64,
+    /// Goodput this step (MSS/s): delivered window over RTT.
+    pub goodput: f64,
+}
+
+/// Static shape of the run the accumulators will consume — everything the
+/// trace path would have read from `RunTrace` metadata.
+#[derive(Debug, Clone)]
+pub struct MetricConfig {
+    /// The (nominal) link of the run; capacity and RTT floor come from
+    /// here, exactly as the trace evaluators read `trace.link`.
+    pub link: LinkParams,
+    /// Total number of steps the run will execute.
+    pub steps: usize,
+    /// Per-sender `loss_based` flags (drives the fast-utilization RTT
+    /// eligibility check, like `SenderTrace::loss_based`).
+    pub loss_based: Vec<bool>,
+    /// Fraction of the run treated as transient; the tail boundary is
+    /// `floor(steps · fraction)`, mirroring `RunTrace::tail_start`.
+    pub tail_fraction: f64,
+    /// Minimum fast-utilization segment horizon (steps).
+    pub min_horizon: usize,
+    /// Escape threshold β tracked by the robustness accumulator.
+    pub escape_beta: f64,
+}
+
+impl MetricConfig {
+    /// The tail boundary this configuration implies — identical to
+    /// `RunTrace::tail_start` on the finished trace.
+    pub fn tail_start(&self) -> usize {
+        let f = self.tail_fraction.clamp(0.0, 1.0);
+        (self.steps as f64 * f).floor() as usize
+    }
+}
+
+/// Metric I (efficiency) online: min-fold of `X^(t)/C` over the tail,
+/// plus the mean-utilization companion sum.
+#[derive(Debug, Clone)]
+pub struct EfficiencyAcc {
+    capacity: f64,
+    tail_start: usize,
+    t: usize,
+    worst_ratio: f64,
+    sum: f64,
+    tail_len: usize,
+}
+
+impl EfficiencyAcc {
+    /// Accumulator for a run on `link` with the given tail boundary.
+    pub fn new(link: &LinkParams, tail_start: usize) -> Self {
+        EfficiencyAcc {
+            capacity: link.capacity(),
+            tail_start,
+            t: 0,
+            worst_ratio: f64::INFINITY,
+            sum: 0.0,
+            tail_len: 0,
+        }
+    }
+
+    /// Consume one step's total window `X^(t)`.
+    pub fn push(&mut self, total: f64) {
+        if self.t >= self.tail_start {
+            self.worst_ratio = f64::min(self.worst_ratio, total / self.capacity);
+            self.sum += total;
+            self.tail_len += 1;
+        }
+        self.t += 1;
+    }
+
+    /// `efficiency::measured_efficiency` of the stream so far.
+    pub fn measured(&self) -> f64 {
+        let worst = if self.worst_ratio.is_finite() {
+            self.worst_ratio
+        } else {
+            0.0
+        };
+        worst.min(1.0)
+    }
+
+    /// `efficiency::mean_utilization` of the stream so far.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.tail_len == 0 {
+            return 0.0;
+        }
+        self.sum / (self.tail_len as f64 * self.capacity)
+    }
+
+    /// Clear run state, keeping the configuration.
+    pub fn reset(&mut self) {
+        self.t = 0;
+        self.worst_ratio = f64::INFINITY;
+        self.sum = 0.0;
+        self.tail_len = 0;
+    }
+}
+
+/// Metric III (loss-avoidance) online: max-fold and sum of the link loss
+/// column over the tail.
+#[derive(Debug, Clone)]
+pub struct LossAvoidanceAcc {
+    tail_start: usize,
+    t: usize,
+    worst: f64,
+    sum: f64,
+    tail_len: usize,
+}
+
+impl LossAvoidanceAcc {
+    /// Accumulator with the given tail boundary.
+    pub fn new(tail_start: usize) -> Self {
+        LossAvoidanceAcc {
+            tail_start,
+            t: 0,
+            worst: 0.0,
+            sum: 0.0,
+            tail_len: 0,
+        }
+    }
+
+    /// Consume one step's link loss rate `L^(t)`.
+    pub fn push(&mut self, loss: f64) {
+        if self.t >= self.tail_start {
+            self.worst = f64::max(self.worst, loss);
+            self.sum += loss;
+            self.tail_len += 1;
+        }
+        self.t += 1;
+    }
+
+    /// `loss_avoidance::measured_loss_bound` of the stream so far.
+    pub fn measured(&self) -> f64 {
+        self.worst
+    }
+
+    /// `loss_avoidance::mean_loss` of the stream so far.
+    pub fn mean(&self) -> f64 {
+        if self.tail_len == 0 {
+            0.0
+        } else {
+            self.sum / self.tail_len as f64
+        }
+    }
+
+    /// Whether the tail is 0-loss (`loss_avoidance::is_zero_loss`).
+    pub fn is_zero_loss(&self) -> bool {
+        self.measured() <= 1e-12
+    }
+
+    /// Clear run state, keeping the configuration.
+    pub fn reset(&mut self) {
+        self.t = 0;
+        self.worst = 0.0;
+        self.sum = 0.0;
+        self.tail_len = 0;
+    }
+}
+
+/// Metric VIII (latency-avoidance) online: max-fold of `RTT/(2Θ) − 1`
+/// over the tail, unbounded as soon as a tail step shows loss.
+///
+/// The trace evaluator returns `INFINITY` the moment it meets a lossy
+/// step; the stream cannot early-return, so it latches a flag instead —
+/// the folded `worst` is discarded whenever the flag is set, which makes
+/// the two bit-identical (on a loss-free tail the folds see the same
+/// steps in the same order).
+#[derive(Debug, Clone)]
+pub struct LatencyAcc {
+    floor: f64,
+    tail_start: usize,
+    t: usize,
+    saw_tail_loss: bool,
+    worst: f64,
+}
+
+impl LatencyAcc {
+    /// Accumulator for a run on `link` with the given tail boundary.
+    pub fn new(link: &LinkParams, tail_start: usize) -> Self {
+        LatencyAcc {
+            floor: link.min_rtt(),
+            tail_start,
+            t: 0,
+            saw_tail_loss: false,
+            worst: 0.0,
+        }
+    }
+
+    /// Consume one step's link RTT and loss rate.
+    pub fn push(&mut self, rtt: f64, loss: f64) {
+        if self.t >= self.tail_start {
+            if loss > 0.0 {
+                self.saw_tail_loss = true;
+            } else if !self.saw_tail_loss {
+                self.worst = f64::max(self.worst, rtt / self.floor - 1.0);
+            }
+        }
+        self.t += 1;
+    }
+
+    /// `latency::measured_latency_inflation` of the stream so far.
+    pub fn measured(&self) -> f64 {
+        if self.saw_tail_loss {
+            return f64::INFINITY;
+        }
+        self.worst.max(0.0)
+    }
+
+    /// Clear run state, keeping the configuration.
+    pub fn reset(&mut self) {
+        self.t = 0;
+        self.saw_tail_loss = false;
+        self.worst = 0.0;
+    }
+}
+
+/// Metrics IV and VII (fairness / friendliness) online: per-sender tail
+/// sums of window and goodput, combined at finish time exactly like
+/// `SenderTrace::mean_window_from` / `mean_goodput_from`.
+#[derive(Debug, Clone)]
+pub struct FairnessAcc {
+    tail_start: usize,
+    t: usize,
+    tail_len: usize,
+    win_sums: Vec<f64>,
+    goodput_sums: Vec<f64>,
+}
+
+impl FairnessAcc {
+    /// Accumulator for `n` senders with the given tail boundary.
+    pub fn new(n: usize, tail_start: usize) -> Self {
+        FairnessAcc {
+            tail_start,
+            t: 0,
+            tail_len: 0,
+            win_sums: vec![0.0; n],
+            goodput_sums: vec![0.0; n],
+        }
+    }
+
+    /// Consume one step: every sender's record, in sender order.
+    pub fn push_step(&mut self, records: &[StepRecord]) {
+        if self.t >= self.tail_start {
+            for (i, r) in records.iter().enumerate() {
+                self.win_sums[i] += r.window;
+                self.goodput_sums[i] += r.goodput;
+            }
+            self.tail_len += 1;
+        }
+        self.t += 1;
+    }
+
+    /// Sender `i`'s tail-average window (`mean_window_from(tail)`).
+    pub fn tail_mean_window(&self, i: usize) -> f64 {
+        if self.tail_len == 0 {
+            0.0
+        } else {
+            self.win_sums[i] / self.tail_len as f64
+        }
+    }
+
+    /// Sender `i`'s tail-average goodput (`mean_goodput_from(tail)`).
+    pub fn tail_mean_goodput(&self, i: usize) -> f64 {
+        if self.tail_len == 0 {
+            0.0
+        } else {
+            self.goodput_sums[i] / self.tail_len as f64
+        }
+    }
+
+    /// `fairness::measured_fairness` of the stream so far.
+    pub fn measured(&self) -> f64 {
+        let n = self.win_sums.len();
+        if n < 2 {
+            return 1.0;
+        }
+        let avgs = (0..n).map(|i| self.tail_mean_window(i));
+        let max = avgs.clone().fold(0.0, f64::max);
+        let min = avgs.fold(f64::INFINITY, f64::min);
+        if max <= 0.0 {
+            return 1.0;
+        }
+        (min / max).clamp(0.0, 1.0)
+    }
+
+    /// `fairness::jain_index` of the stream so far.
+    pub fn jain_index(&self) -> f64 {
+        let n = self.goodput_sums.len() as f64;
+        let g = (0..self.goodput_sums.len()).map(|i| self.tail_mean_goodput(i));
+        let sum: f64 = g.clone().sum();
+        let sum_sq: f64 = g.map(|x| x * x).sum();
+        if sum_sq <= 0.0 {
+            return 1.0;
+        }
+        (sum * sum) / (n * sum_sq)
+    }
+
+    /// `friendliness::measured_friendliness` of the stream so far, for
+    /// P-senders `p` and Q-senders `q` (indices into the sender order).
+    pub fn friendliness(&self, p: &[usize], q: &[usize]) -> f64 {
+        if p.is_empty() || q.is_empty() {
+            return 1.0;
+        }
+        let p_max = p
+            .iter()
+            .map(|&i| self.tail_mean_window(i))
+            .fold(0.0, f64::max);
+        let q_min = q
+            .iter()
+            .map(|&j| self.tail_mean_window(j))
+            .fold(f64::INFINITY, f64::min);
+        if p_max <= 0.0 {
+            return 1.0;
+        }
+        (q_min / p_max).max(0.0)
+    }
+
+    /// Clear run state, keeping the configuration.
+    pub fn reset(&mut self) {
+        self.t = 0;
+        self.tail_len = 0;
+        self.win_sums.fill(0.0);
+        self.goodput_sums.fill(0.0);
+    }
+}
+
+/// Metric V (convergence) online: per-sender `[lo, hi]` window excursion
+/// over the tail.
+#[derive(Debug, Clone)]
+pub struct ConvergenceAcc {
+    steps: usize,
+    tail_start: usize,
+    t: usize,
+    los: Vec<f64>,
+    his: Vec<f64>,
+}
+
+impl ConvergenceAcc {
+    /// Accumulator for `n` senders over a `steps`-long run.
+    pub fn new(n: usize, steps: usize, tail_start: usize) -> Self {
+        ConvergenceAcc {
+            steps,
+            tail_start,
+            t: 0,
+            los: vec![f64::INFINITY; n],
+            his: vec![0.0; n],
+        }
+    }
+
+    /// Consume one step: every sender's record, in sender order.
+    pub fn push_step(&mut self, records: &[StepRecord]) {
+        if self.t >= self.tail_start {
+            for (i, r) in records.iter().enumerate() {
+                self.los[i] = f64::min(self.los[i], r.window);
+                self.his[i] = f64::max(self.his[i], r.window);
+            }
+        }
+        self.t += 1;
+    }
+
+    /// `convergence::measured_convergence` of the stream so far.
+    pub fn measured(&self) -> f64 {
+        if self.tail_start.min(self.steps) >= self.steps {
+            return 1.0;
+        }
+        let mut worst = 1.0_f64;
+        for i in 0..self.los.len() {
+            let (lo, hi) = (self.los[i], self.his[i]);
+            let alpha = if hi <= 0.0 { 1.0 } else { 2.0 * lo / (lo + hi) };
+            worst = worst.min(alpha);
+        }
+        worst.clamp(0.0, 1.0)
+    }
+
+    /// Clear run state, keeping the configuration.
+    pub fn reset(&mut self) {
+        self.t = 0;
+        self.los.fill(f64::INFINITY);
+        self.his.fill(0.0);
+    }
+}
+
+/// Metric VI (robustness) online: per-sender last-dip index below β, the
+/// third/fourth-quarter window sums behind `window_diverging`, and the
+/// final window.
+#[derive(Debug, Clone)]
+pub struct RobustnessAcc {
+    beta: f64,
+    steps: usize,
+    t: usize,
+    last_dips: Vec<Option<usize>>,
+    q3_sums: Vec<f64>,
+    q4_sums: Vec<f64>,
+    last_windows: Vec<f64>,
+}
+
+impl RobustnessAcc {
+    /// Accumulator for `n` senders over a `steps`-long run, tracking
+    /// escape above `beta`.
+    pub fn new(n: usize, steps: usize, beta: f64) -> Self {
+        RobustnessAcc {
+            beta,
+            steps,
+            t: 0,
+            last_dips: vec![None; n],
+            q3_sums: vec![0.0; n],
+            q4_sums: vec![0.0; n],
+            last_windows: vec![0.0; n],
+        }
+    }
+
+    /// Consume one step: every sender's record, in sender order.
+    pub fn push_step(&mut self, records: &[StepRecord]) {
+        let (h, q) = (self.steps / 2, 3 * self.steps / 4);
+        for (i, r) in records.iter().enumerate() {
+            if r.window < self.beta {
+                self.last_dips[i] = Some(self.t);
+            }
+            if self.t >= q {
+                self.q4_sums[i] += r.window;
+            } else if self.t >= h {
+                self.q3_sums[i] += r.window;
+            }
+            self.last_windows[i] = r.window;
+        }
+        self.t += 1;
+    }
+
+    /// `robustness::window_escapes(senders[i], beta, min_suffix_frac)` of
+    /// the stream so far.
+    pub fn escapes(&self, i: usize, min_suffix_frac: f64) -> bool {
+        let n = self.t;
+        if n == 0 {
+            return false;
+        }
+        let suffix_start = match self.last_dips[i] {
+            None => 0,
+            Some(d) => d + 1,
+        };
+        let suffix_len = n - suffix_start;
+        suffix_len as f64 >= min_suffix_frac * n as f64 && suffix_len > 0
+    }
+
+    /// `robustness::window_diverging(senders[i], growth_margin)` of the
+    /// stream so far.
+    pub fn diverging(&self, i: usize, growth_margin: f64) -> bool {
+        let n = self.steps;
+        if n < 8 {
+            return false;
+        }
+        let q3_len = 3 * n / 4 - n / 2;
+        let q4_len = n - 3 * n / 4;
+        let q3 = if q3_len == 0 {
+            0.0
+        } else {
+            self.q3_sums[i] / q3_len as f64
+        };
+        let q4 = if q4_len == 0 {
+            0.0
+        } else {
+            self.q4_sums[i] / q4_len as f64
+        };
+        q4 > q3 + growth_margin
+    }
+
+    /// Sender `i`'s final window (`senders[i].window.last()`), 0 before
+    /// any step.
+    pub fn last_window(&self, i: usize) -> f64 {
+        self.last_windows[i]
+    }
+
+    /// Clear run state, keeping the configuration.
+    pub fn reset(&mut self) {
+        self.t = 0;
+        self.last_dips.fill(None);
+        self.q3_sums.fill(0.0);
+        self.q4_sums.fill(0.0);
+        self.last_windows.fill(0.0);
+    }
+}
+
+/// Per-sender streaming state for Metric II (fast-utilization): the
+/// segment scan of `fast_utilization::eligible_segments` fused with the
+/// per-segment cumulative-gain fold of `measured_fast_utilization`, using
+/// one step of lookback.
+#[derive(Debug, Clone)]
+struct FastUtilSender {
+    check_rtt: bool,
+    prev_window: f64,
+    prev_rtt: f64,
+    seg_start: Option<usize>,
+    x1: f64,
+    cum_gain: f64,
+    worst: Option<f64>,
+}
+
+impl FastUtilSender {
+    fn new(loss_based: bool) -> Self {
+        FastUtilSender {
+            check_rtt: !loss_based,
+            prev_window: 0.0,
+            prev_rtt: 0.0,
+            seg_start: None,
+            x1: 0.0,
+            cum_gain: 0.0,
+            worst: None,
+        }
+    }
+
+    fn finalize_segment(&mut self, start: usize, end: usize, min_horizon: usize) {
+        let len = end - start;
+        if len <= min_horizon {
+            return;
+        }
+        let final_dt = (len - 1) as f64;
+        let alpha = 2.0 * self.cum_gain / (final_dt * final_dt);
+        self.worst = Some(match self.worst {
+            None => alpha,
+            Some(w) => w.min(alpha),
+        });
+    }
+
+    fn push(&mut self, t: usize, from: usize, min_horizon: usize, r: &StepRecord) {
+        let lossy = r.loss > 0.0;
+        let has_prev = t > from;
+        let backed_off = has_prev && r.window < self.prev_window * 0.99 - 1e-12;
+        let rtt_rose = self.check_rtt && has_prev && r.rtt > self.prev_rtt + 1e-12;
+        if lossy || backed_off || rtt_rose {
+            if let Some(s) = self.seg_start.take() {
+                self.finalize_segment(s, t, min_horizon);
+            }
+            // A back-off or RTT rise ends a segment but can begin a new
+            // one at the post-event window; a lossy step cannot — exactly
+            // the `eligible_segments` rule.
+            if !lossy {
+                self.seg_start = Some(t);
+                self.x1 = r.window;
+                self.cum_gain = 0.0;
+            }
+        } else if self.seg_start.is_none() {
+            self.seg_start = Some(t);
+            self.x1 = r.window;
+            self.cum_gain = 0.0;
+        } else {
+            self.cum_gain += r.window - self.x1;
+        }
+        self.prev_window = r.window;
+        self.prev_rtt = r.rtt;
+    }
+
+    fn measured(&self, end: usize, min_horizon: usize) -> Option<f64> {
+        // Flush the open segment without mutating (`measured` may be read
+        // mid-stream by tests); clone the tiny state instead.
+        let mut fin = self.clone();
+        if let Some(s) = fin.seg_start.take() {
+            if end > s {
+                fin.finalize_segment(s, end, min_horizon);
+            }
+        }
+        fin.worst.map(|w| w.max(0.0))
+    }
+
+    fn reset(&mut self) {
+        self.prev_window = 0.0;
+        self.prev_rtt = 0.0;
+        self.seg_start = None;
+        self.x1 = 0.0;
+        self.cum_gain = 0.0;
+        self.worst = None;
+    }
+}
+
+/// Metric II (fast-utilization) online, per sender.
+#[derive(Debug, Clone)]
+pub struct FastUtilizationAcc {
+    from: usize,
+    min_horizon: usize,
+    t: usize,
+    senders: Vec<FastUtilSender>,
+}
+
+impl FastUtilizationAcc {
+    /// Accumulator scanning from step `from` with the given minimum
+    /// segment horizon; `loss_based` flags one entry per sender.
+    pub fn new(loss_based: &[bool], from: usize, min_horizon: usize) -> Self {
+        FastUtilizationAcc {
+            from,
+            min_horizon,
+            t: 0,
+            senders: loss_based
+                .iter()
+                .map(|&lb| FastUtilSender::new(lb))
+                .collect(),
+        }
+    }
+
+    /// Consume one step: every sender's record, in sender order.
+    pub fn push_step(&mut self, records: &[StepRecord]) {
+        if self.t >= self.from {
+            for (i, r) in records.iter().enumerate() {
+                self.senders[i].push(self.t, self.from, self.min_horizon, r);
+            }
+        }
+        self.t += 1;
+    }
+
+    /// `fast_utilization::measured_fast_utilization(senders[i], from,
+    /// min_horizon)` of the stream so far.
+    pub fn measured(&self, i: usize) -> Option<f64> {
+        self.senders[i].measured(self.t, self.min_horizon)
+    }
+
+    /// Clear run state, keeping the configuration.
+    pub fn reset(&mut self) {
+        self.t = 0;
+        for s in &mut self.senders {
+            s.reset();
+        }
+    }
+}
+
+/// The combined single-pass evaluator: one instance per run, consuming
+/// each step's shared link state and per-sender records, exposing every
+/// axiom score the trace evaluators would produce — bit-identically.
+#[derive(Debug, Clone)]
+pub struct MetricAccumulator {
+    steps: usize,
+    n: usize,
+    t: usize,
+    efficiency: EfficiencyAcc,
+    loss: LossAvoidanceAcc,
+    latency: LatencyAcc,
+    fairness: FairnessAcc,
+    convergence: ConvergenceAcc,
+    robustness: RobustnessAcc,
+    fast_utilization: FastUtilizationAcc,
+}
+
+impl MetricAccumulator {
+    /// Build the accumulator for one run shape.
+    pub fn new(cfg: &MetricConfig) -> Self {
+        let tail = cfg.tail_start();
+        let n = cfg.loss_based.len();
+        MetricAccumulator {
+            steps: cfg.steps,
+            n,
+            t: 0,
+            efficiency: EfficiencyAcc::new(&cfg.link, tail),
+            loss: LossAvoidanceAcc::new(tail),
+            latency: LatencyAcc::new(&cfg.link, tail),
+            fairness: FairnessAcc::new(n, tail),
+            convergence: ConvergenceAcc::new(n, cfg.steps, tail),
+            robustness: RobustnessAcc::new(n, cfg.steps, cfg.escape_beta),
+            fast_utilization: FastUtilizationAcc::new(&cfg.loss_based, tail, cfg.min_horizon),
+        }
+    }
+
+    /// Consume one step: the shared total window, link RTT and link loss
+    /// (the trace path's `total_window` / `rtt` / `loss` columns), plus
+    /// one record per sender in sender order.
+    pub fn push_step(&mut self, total: f64, rtt: f64, loss: f64, records: &[StepRecord]) {
+        debug_assert_eq!(records.len(), self.n);
+        self.efficiency.push(total);
+        self.loss.push(loss);
+        self.latency.push(rtt, loss);
+        self.fairness.push_step(records);
+        self.convergence.push_step(records);
+        self.robustness.push_step(records);
+        self.fast_utilization.push_step(records);
+        self.t += 1;
+    }
+
+    /// Steps consumed so far.
+    pub fn steps_seen(&self) -> usize {
+        self.t
+    }
+
+    /// Steps the configuration promised.
+    pub fn steps_expected(&self) -> usize {
+        self.steps
+    }
+
+    /// Number of senders.
+    pub fn num_senders(&self) -> usize {
+        self.n
+    }
+
+    /// Metric I: `efficiency::measured_efficiency`.
+    pub fn measured_efficiency(&self) -> f64 {
+        self.efficiency.measured()
+    }
+
+    /// Companion: `efficiency::mean_utilization`.
+    pub fn mean_utilization(&self) -> f64 {
+        self.efficiency.mean_utilization()
+    }
+
+    /// Metric III: `loss_avoidance::measured_loss_bound`.
+    pub fn measured_loss_bound(&self) -> f64 {
+        self.loss.measured()
+    }
+
+    /// Companion: `loss_avoidance::mean_loss`.
+    pub fn mean_loss(&self) -> f64 {
+        self.loss.mean()
+    }
+
+    /// `loss_avoidance::is_zero_loss`.
+    pub fn is_zero_loss(&self) -> bool {
+        self.loss.is_zero_loss()
+    }
+
+    /// Metric VIII: `latency::measured_latency_inflation`.
+    pub fn measured_latency_inflation(&self) -> f64 {
+        self.latency.measured()
+    }
+
+    /// Metric IV: `fairness::measured_fairness`.
+    pub fn measured_fairness(&self) -> f64 {
+        self.fairness.measured()
+    }
+
+    /// Companion: `fairness::jain_index`.
+    pub fn jain_index(&self) -> f64 {
+        self.fairness.jain_index()
+    }
+
+    /// Metric V: `convergence::measured_convergence`.
+    pub fn measured_convergence(&self) -> f64 {
+        self.convergence.measured()
+    }
+
+    /// Metric II per sender: `fast_utilization::measured_fast_utilization`.
+    pub fn measured_fast_utilization(&self, i: usize) -> Option<f64> {
+        self.fast_utilization.measured(i)
+    }
+
+    /// Metric VII: `friendliness::measured_friendliness` for P-set `p`
+    /// and Q-set `q`.
+    pub fn measured_friendliness(&self, p: &[usize], q: &[usize]) -> f64 {
+        self.fairness.friendliness(p, q)
+    }
+
+    /// Metric VI per sender: `robustness::window_escapes` at the
+    /// configured β.
+    pub fn window_escapes(&self, i: usize, min_suffix_frac: f64) -> bool {
+        self.robustness.escapes(i, min_suffix_frac)
+    }
+
+    /// Metric VI per sender: `robustness::window_diverging`.
+    pub fn window_diverging(&self, i: usize, growth_margin: f64) -> bool {
+        self.robustness.diverging(i, growth_margin)
+    }
+
+    /// Sender `i`'s final window.
+    pub fn last_window(&self, i: usize) -> f64 {
+        self.robustness.last_window(i)
+    }
+
+    /// Sender `i`'s tail-average window.
+    pub fn tail_mean_window(&self, i: usize) -> f64 {
+        self.fairness.tail_mean_window(i)
+    }
+
+    /// Sender `i`'s tail-average goodput.
+    pub fn tail_mean_goodput(&self, i: usize) -> f64 {
+        self.fairness.tail_mean_goodput(i)
+    }
+
+    /// Clear all run state so the accumulator can consume another run of
+    /// the same shape (sweep jobs reuse one instance across scenario
+    /// variations instead of reallocating per run).
+    pub fn reset(&mut self) {
+        self.t = 0;
+        self.efficiency.reset();
+        self.loss.reset();
+        self.latency.reset();
+        self.fairness.reset();
+        self.convergence.reset();
+        self.robustness.reset();
+        self.fast_utilization.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axioms::testutil::{small_link, trace_from_windows};
+    use crate::axioms::{
+        convergence, efficiency, fairness, fast_utilization, friendliness, latency, loss_avoidance,
+        robustness,
+    };
+    use crate::trace::RunTrace;
+
+    /// Drive an accumulator with exactly the columns a finished trace
+    /// holds — the reference replay every equivalence test uses.
+    fn accumulate(trace: &RunTrace, tail_fraction: f64, beta: f64) -> MetricAccumulator {
+        let cfg = MetricConfig {
+            link: trace.link,
+            steps: trace.len(),
+            loss_based: trace.senders.iter().map(|s| s.loss_based).collect(),
+            tail_fraction,
+            min_horizon: fast_utilization::DEFAULT_MIN_HORIZON,
+            escape_beta: beta,
+        };
+        let mut acc = MetricAccumulator::new(&cfg);
+        let mut records = Vec::with_capacity(trace.num_senders());
+        for t in 0..trace.len() {
+            records.clear();
+            for (i, s) in trace.senders.iter().enumerate() {
+                records.push(StepRecord {
+                    window: s.window[t],
+                    loss: s.loss[t],
+                    rtt: trace.sender_rtt(i)[t],
+                    goodput: s.goodput[t],
+                });
+            }
+            acc.push_step(trace.total_window[t], trace.rtt[t], trace.loss[t], &records);
+        }
+        acc
+    }
+
+    fn assert_matches_trace(trace: &RunTrace, tail_fraction: f64) {
+        let tail = trace.tail_start(tail_fraction);
+        let beta = 50.0;
+        let acc = accumulate(trace, tail_fraction, beta);
+        assert_eq!(
+            acc.measured_efficiency().to_bits(),
+            efficiency::measured_efficiency(trace, tail).to_bits()
+        );
+        assert_eq!(
+            acc.mean_utilization().to_bits(),
+            efficiency::mean_utilization(trace, tail).to_bits()
+        );
+        assert_eq!(
+            acc.measured_loss_bound().to_bits(),
+            loss_avoidance::measured_loss_bound(trace, tail).to_bits()
+        );
+        assert_eq!(
+            acc.mean_loss().to_bits(),
+            loss_avoidance::mean_loss(trace, tail).to_bits()
+        );
+        assert_eq!(
+            acc.is_zero_loss(),
+            loss_avoidance::is_zero_loss(trace, tail)
+        );
+        assert_eq!(
+            acc.measured_latency_inflation().to_bits(),
+            latency::measured_latency_inflation(trace, tail).to_bits()
+        );
+        assert_eq!(
+            acc.measured_fairness().to_bits(),
+            fairness::measured_fairness(trace, tail).to_bits()
+        );
+        assert_eq!(
+            acc.jain_index().to_bits(),
+            fairness::jain_index(trace, tail).to_bits()
+        );
+        assert_eq!(
+            acc.measured_convergence().to_bits(),
+            convergence::measured_convergence(trace, tail).to_bits()
+        );
+        for (i, s) in trace.senders.iter().enumerate() {
+            assert_eq!(
+                acc.measured_fast_utilization(i).map(f64::to_bits),
+                fast_utilization::measured_fast_utilization(
+                    s,
+                    trace.sender_rtt(i),
+                    tail,
+                    fast_utilization::DEFAULT_MIN_HORIZON
+                )
+                .map(f64::to_bits),
+                "fast-utilization diverged for sender {i}"
+            );
+            assert_eq!(
+                acc.window_escapes(i, 0.2),
+                robustness::window_escapes(s, beta, 0.2)
+            );
+            assert_eq!(
+                acc.window_diverging(i, 1e-9),
+                robustness::window_diverging(s, 1e-9)
+            );
+            assert_eq!(
+                acc.last_window(i).to_bits(),
+                s.window.last().copied().unwrap_or(0.0).to_bits()
+            );
+            assert_eq!(
+                acc.tail_mean_window(i).to_bits(),
+                s.mean_window_from(tail).to_bits()
+            );
+            assert_eq!(
+                acc.tail_mean_goodput(i).to_bits(),
+                s.mean_goodput_from(tail).to_bits()
+            );
+        }
+        if trace.num_senders() >= 2 {
+            assert_eq!(
+                acc.measured_friendliness(&[0], &[1]).to_bits(),
+                friendliness::measured_friendliness(trace, &[0], &[1], tail).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn sawtooth_pair_matches_trace_evaluation() {
+        let a: Vec<f64> = (0..64).map(|t| 30.0 + (t % 16) as f64 * 4.0).collect();
+        let b: Vec<f64> = (0..64).map(|t| 60.0 - (t % 8) as f64 * 3.0).collect();
+        let trace = trace_from_windows(small_link(), &[a, b]);
+        for frac in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert_matches_trace(&trace, frac);
+        }
+    }
+
+    #[test]
+    fn lossy_overflow_matches_trace_evaluation() {
+        // Overshoots C + τ = 120 periodically: loss steps exercise the
+        // latency INF path and fast-utilization segment splitting.
+        let w: Vec<f64> = (0..48)
+            .map(|t| if t % 6 == 5 { 140.0 } else { 80.0 + t as f64 })
+            .collect();
+        let trace = trace_from_windows(small_link(), &[w]);
+        for frac in [0.0, 0.5] {
+            assert_matches_trace(&trace, frac);
+        }
+    }
+
+    #[test]
+    fn idle_and_staggered_senders_match_trace_evaluation() {
+        // Sender 1 idle for the first half (staggered entry shape).
+        let a = vec![50.0; 32];
+        let b: Vec<f64> = (0..32).map(|t| if t < 16 { 0.0 } else { 20.0 }).collect();
+        let trace = trace_from_windows(small_link(), &[a, b]);
+        for frac in [0.0, 0.25, 0.5, 0.75] {
+            assert_matches_trace(&trace, frac);
+        }
+    }
+
+    #[test]
+    fn all_idle_trace_matches_vacuous_scores() {
+        let trace = trace_from_windows(small_link(), &[vec![0.0; 10], vec![0.0; 10]]);
+        assert_matches_trace(&trace, 0.5);
+        let acc = accumulate(&trace, 0.5, 50.0);
+        assert_eq!(acc.measured_fairness(), 1.0);
+        assert_eq!(acc.measured_convergence(), 1.0);
+    }
+
+    #[test]
+    fn empty_tail_matches_trace_evaluation() {
+        let trace = trace_from_windows(small_link(), &[vec![50.0; 8]]);
+        assert_matches_trace(&trace, 1.0);
+    }
+
+    #[test]
+    fn reset_reproduces_a_fresh_accumulator() {
+        let w: Vec<f64> = (0..40).map(|t| 10.0 + t as f64).collect();
+        let trace = trace_from_windows(small_link(), &[w]);
+        let fresh = accumulate(&trace, 0.5, 50.0);
+        let mut reused = accumulate(&trace, 0.5, 50.0);
+        reused.reset();
+        // Replay after reset: every score must match the fresh pass.
+        let mut records = Vec::new();
+        for t in 0..trace.len() {
+            records.clear();
+            for (i, s) in trace.senders.iter().enumerate() {
+                records.push(StepRecord {
+                    window: s.window[t],
+                    loss: s.loss[t],
+                    rtt: trace.sender_rtt(i)[t],
+                    goodput: s.goodput[t],
+                });
+            }
+            reused.push_step(trace.total_window[t], trace.rtt[t], trace.loss[t], &records);
+        }
+        assert_eq!(
+            reused.measured_efficiency().to_bits(),
+            fresh.measured_efficiency().to_bits()
+        );
+        assert_eq!(
+            reused.measured_fast_utilization(0).map(f64::to_bits),
+            fresh.measured_fast_utilization(0).map(f64::to_bits)
+        );
+        assert_eq!(
+            reused.measured_convergence().to_bits(),
+            fresh.measured_convergence().to_bits()
+        );
+    }
+
+    #[test]
+    fn robustness_quartiles_match_growing_window() {
+        let w: Vec<f64> = (0..100).map(|t| t as f64).collect();
+        let trace = trace_from_windows(crate::link::LinkParams::new(1.0e6, 0.05, 1.0e6), &[w]);
+        assert_matches_trace(&trace, 0.5);
+        let acc = accumulate(&trace, 0.5, 50.0);
+        assert!(acc.window_escapes(0, 0.25));
+        assert!(acc.window_diverging(0, 1.0));
+    }
+
+    #[test]
+    fn mid_stream_reads_do_not_disturb_the_final_score() {
+        // `measured` on the fast-utilization accumulator clones to flush
+        // the open segment; reading mid-stream must not corrupt state.
+        let w: Vec<f64> = (0..40).map(|t| 10.0 + t as f64).collect();
+        let trace = trace_from_windows(small_link(), std::slice::from_ref(&w));
+        let cfg = MetricConfig {
+            link: trace.link,
+            steps: trace.len(),
+            loss_based: vec![true],
+            tail_fraction: 0.0,
+            min_horizon: 8,
+            escape_beta: 50.0,
+        };
+        let mut acc = MetricAccumulator::new(&cfg);
+        for (t, &wt) in w.iter().enumerate() {
+            let rec = [StepRecord {
+                window: wt,
+                loss: trace.senders[0].loss[t],
+                rtt: trace.rtt[t],
+                goodput: trace.senders[0].goodput[t],
+            }];
+            acc.push_step(trace.total_window[t], trace.rtt[t], trace.loss[t], &rec);
+            let _ = acc.measured_fast_utilization(0);
+        }
+        assert_eq!(
+            acc.measured_fast_utilization(0).map(f64::to_bits),
+            fast_utilization::measured_fast_utilization(
+                &trace.senders[0],
+                trace.sender_rtt(0),
+                0,
+                8
+            )
+            .map(f64::to_bits)
+        );
+    }
+}

@@ -20,23 +20,44 @@ pub struct SenderTrace {
     pub window: Vec<f64>,
     /// Loss rate experienced at each step.
     pub loss: Vec<f64>,
-    /// RTT experienced at each step (seconds).
-    pub rtt: Vec<f64>,
+    /// RTT experienced at each step (seconds), **only when it differs from
+    /// the run's shared link RTT column**. In the synchronized fluid model
+    /// every sender sees the identical per-step RTT, so storing a copy per
+    /// sender multiplied the dominant trace column for nothing; engines now
+    /// leave this `None` and readers go through
+    /// [`RunTrace::sender_rtt`], which falls back to the shared column.
+    /// Engines with genuinely heterogeneous RTTs (packet-level simulation,
+    /// multi-path topologies) attach their own column via [`own_rtt_mut`].
+    ///
+    /// [`own_rtt_mut`]: SenderTrace::own_rtt_mut
+    pub rtt: Option<Vec<f64>>,
     /// Goodput at each step (MSS/s): delivered window over RTT.
     pub goodput: Vec<f64>,
 }
 
 impl SenderTrace {
-    /// Create an empty trace with capacity for `steps` entries.
+    /// Create an empty trace with capacity for `steps` entries. The RTT
+    /// column starts shared (`None`); call [`own_rtt_mut`] to record a
+    /// per-sender one.
+    ///
+    /// [`own_rtt_mut`]: SenderTrace::own_rtt_mut
     pub fn with_capacity(protocol: String, loss_based: bool, steps: usize) -> Self {
         SenderTrace {
             protocol,
             loss_based,
             window: Vec::with_capacity(steps),
             loss: Vec::with_capacity(steps),
-            rtt: Vec::with_capacity(steps),
+            rtt: None,
             goodput: Vec::with_capacity(steps),
         }
+    }
+
+    /// The per-sender RTT column, materializing it (empty) on first use.
+    /// Only engines whose senders see RTTs different from the shared link
+    /// column should call this; everyone else keeps the shared column and
+    /// reads through [`RunTrace::sender_rtt`].
+    pub fn own_rtt_mut(&mut self) -> &mut Vec<f64> {
+        self.rtt.get_or_insert_with(Vec::new)
     }
 
     /// Number of recorded steps.
@@ -114,6 +135,13 @@ impl RunTrace {
         (self.len() as f64 * f).floor() as usize
     }
 
+    /// Sender `i`'s RTT column: its own if it recorded one, otherwise the
+    /// run's shared link column (the synchronized-feedback case, where
+    /// every sender's RTT is identical by construction and stored once).
+    pub fn sender_rtt(&self, i: usize) -> &[f64] {
+        self.senders[i].rtt.as_deref().unwrap_or(&self.rtt)
+    }
+
     /// Utilization `X^(t) / C` at each step of the tail.
     pub fn tail_utilization(&self, fraction: f64) -> impl Iterator<Item = f64> + '_ {
         let c = self.link.capacity();
@@ -139,11 +167,14 @@ impl RunTrace {
         out.push_str(",total_window,link_rtt,link_loss\n");
         for t in 0..self.len() {
             let _ = write!(out, "{t}");
-            for s in &self.senders {
+            for (i, s) in self.senders.iter().enumerate() {
                 let _ = write!(
                     out,
                     ",{},{},{},{}",
-                    s.window[t], s.loss[t], s.rtt[t], s.goodput[t]
+                    s.window[t],
+                    s.loss[t],
+                    self.sender_rtt(i)[t],
+                    s.goodput[t]
                 );
             }
             let _ = writeln!(
@@ -186,7 +217,15 @@ impl RunTrace {
                     return Err(format!("sender {i} loss {l} out of [0,1) at t={t}"));
                 }
             }
-            for (t, &r) in s.rtt.iter().enumerate() {
+            if let Some(own) = &s.rtt {
+                if own.len() != steps {
+                    return Err(format!(
+                        "sender {i} has {} rtt entries, run has {steps}",
+                        own.len()
+                    ));
+                }
+            }
+            for (t, &r) in self.sender_rtt(i).iter().enumerate() {
                 if r < self.link.min_rtt() - 1e-12 {
                     return Err(format!("sender {i} rtt {r} below 2Θ at t={t}"));
                 }
@@ -237,7 +276,6 @@ mod tests {
             for (s, w) in [(&mut s0, windows0[t]), (&mut s1, windows1[t])] {
                 s.window.push(w);
                 s.loss.push(loss);
-                s.rtt.push(rtt);
                 s.goodput.push(w * (1.0 - loss) / rtt);
             }
         }
@@ -274,6 +312,31 @@ mod tests {
     fn validate_rejects_ragged_sender() {
         let mut t = toy_trace();
         t.senders[1].window.pop();
+        assert!(t.validate(1e9).is_err());
+    }
+
+    #[test]
+    fn sender_rtt_falls_back_to_the_shared_column() {
+        let t = toy_trace();
+        assert!(t.senders[0].rtt.is_none());
+        assert_eq!(t.sender_rtt(0), &t.rtt[..]);
+        assert_eq!(t.sender_rtt(1), &t.rtt[..]);
+    }
+
+    #[test]
+    fn sender_rtt_prefers_an_own_column() {
+        let mut t = toy_trace();
+        let own: Vec<f64> = t.rtt.iter().map(|r| r * 2.0).collect();
+        *t.senders[1].own_rtt_mut() = own.clone();
+        assert_eq!(t.sender_rtt(0), &t.rtt[..]);
+        assert_eq!(t.sender_rtt(1), &own[..]);
+        t.validate(1e9).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_ragged_own_rtt() {
+        let mut t = toy_trace();
+        t.senders[0].own_rtt_mut().push(1.0);
         assert!(t.validate(1e9).is_err());
     }
 

@@ -36,7 +36,6 @@ fn trace_from(link: LinkParams, windows: Vec<Vec<f64>>) -> RunTrace {
         for (s, w) in senders.iter_mut().zip(&windows) {
             s.window.push(w[t]);
             s.loss.push(loss);
-            s.rtt.push(rtt);
             s.goodput.push(w[t] * (1.0 - loss) / rtt);
         }
     }
@@ -153,7 +152,7 @@ proptest! {
     fn segments_are_disjoint_and_clean(link in arb_link(), windows in arb_windows()) {
         let trace = trace_from(link, windows);
         let s = &trace.senders[0];
-        let segs = fast_utilization::eligible_segments(s, 0, false);
+        let segs = fast_utilization::eligible_segments(s, trace.sender_rtt(0), 0, false);
         let mut prev_end = 0;
         for seg in &segs {
             prop_assert!(seg.start >= prev_end);

@@ -1,18 +1,116 @@
 //! The simulation loop: synchronized discrete-time dynamics (Section 2).
+//!
+//! The loop is written once, as [`try_run_scenario_with`], against a
+//! per-step visitor ([`StepSink`]). Two sinks cover every consumer:
+//!
+//! * [`TraceSink`] appends each step to trace columns and yields the full
+//!   [`RunTrace`] — the historical behavior, still what
+//!   [`try_run_scenario`] returns and what plotting/CSV export needs;
+//! * [`MetricAccumulator`] (via [`try_run_scenario_streaming`]) folds each
+//!   step straight into the axiom scores in O(senders) memory, never
+//!   materializing a trajectory — the fast path for metric-only sweeps,
+//!   bit-identical to evaluating the axioms on the recorded trace.
 
 use crate::loss::{compose_loss, sample_loss_fraction, LossProcess};
 use crate::scenario::{FeedbackMode, Scenario};
+use axcc_core::axioms::streaming::{MetricAccumulator, MetricConfig, StepRecord};
 use axcc_core::protocol::clamp_window;
 use axcc_core::{Observation, RunTrace, ScenarioError, SenderTrace};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-/// Run a scenario to completion, producing the full trace, or a typed
-/// error for an invalid configuration or a numerically divergent run.
+/// Per-step visitor over the simulation loop.
+///
+/// `records` holds one entry per sender, in sender order, exactly the
+/// values the trace path would append to that sender's columns (idle
+/// senders appear with zero window and goodput so consumers see a
+/// rectangular run). `total`, `rtt` and `loss` are the shared link-state
+/// columns. The slice is a buffer reused across steps — sinks must copy
+/// what they keep.
+pub trait StepSink {
+    /// Consume step `t`.
+    fn on_step(&mut self, t: u64, total: f64, rtt: f64, loss: f64, records: &[StepRecord]);
+}
+
+/// The recording sink: builds the same [`RunTrace`] the engine always
+/// produced. This (together with its packet-level counterpart) is the
+/// sanctioned construction site for [`RunTrace`] — everything else goes
+/// through a sink so the two evaluation paths cannot drift.
+pub struct TraceSink {
+    link: axcc_core::LinkParams,
+    seed: u64,
+    senders: Vec<SenderTrace>,
+    total_col: Vec<f64>,
+    rtt_col: Vec<f64>,
+    loss_col: Vec<f64>,
+}
+
+impl TraceSink {
+    /// A sink sized for `scenario`, capturing the metadata (link, seed,
+    /// protocol names) the finished trace records.
+    pub fn for_scenario(scenario: &Scenario) -> Self {
+        TraceSink {
+            link: scenario.link,
+            seed: scenario.seed,
+            senders: scenario
+                .senders
+                .iter()
+                .map(|s| {
+                    SenderTrace::with_capacity(
+                        s.protocol.name(),
+                        s.protocol.loss_based(),
+                        scenario.steps,
+                    )
+                })
+                .collect(),
+            total_col: Vec::with_capacity(scenario.steps),
+            rtt_col: Vec::with_capacity(scenario.steps),
+            loss_col: Vec::with_capacity(scenario.steps),
+        }
+    }
+
+    /// The finished trace. Per-sender RTT columns stay `None`: in the
+    /// synchronized fluid model every sender's RTT equals the shared link
+    /// column, which [`RunTrace::sender_rtt`] resolves on read.
+    pub fn into_trace(self) -> RunTrace {
+        RunTrace {
+            link: self.link,
+            senders: self.senders,
+            total_window: self.total_col,
+            rtt: self.rtt_col,
+            loss: self.loss_col,
+            seed: self.seed,
+        }
+    }
+}
+
+impl StepSink for TraceSink {
+    fn on_step(&mut self, _t: u64, total: f64, rtt: f64, loss: f64, records: &[StepRecord]) {
+        self.total_col.push(total);
+        self.rtt_col.push(rtt);
+        self.loss_col.push(loss);
+        for (s, r) in self.senders.iter_mut().zip(records) {
+            s.window.push(r.window);
+            s.loss.push(r.loss);
+            s.goodput.push(r.goodput);
+        }
+    }
+}
+
+impl StepSink for MetricAccumulator {
+    fn on_step(&mut self, _t: u64, total: f64, rtt: f64, loss: f64, records: &[StepRecord]) {
+        self.push_step(total, rtt, loss, records);
+    }
+}
+
+/// Run a scenario to completion, feeding every step to `sink`, or return
+/// a typed error for an invalid configuration or a numerically divergent
+/// run (the sink then holds a partial prefix and must be discarded).
 ///
 /// At each step `t`:
 ///
-/// 1. senders whose start step is `t` enter with their initial windows;
+/// 1. senders whose start step is `t` enter with their initial windows
+///    (the scan is skipped once every sender has entered);
 /// 2. the total active window `X^(t)` determines the step's RTT
 ///    (equation 1) and congestion loss rate (both shared by all senders —
 ///    synchronized feedback);
@@ -21,12 +119,14 @@ use rand_chacha::ChaCha8Rng;
 ///    loss, RTT and running min-RTT, and selects the next window;
 /// 4. the requested windows are checked for divergence (a NaN or infinite
 ///    request aborts with [`ScenarioError::NumericalDivergence`] rather
-///    than emitting a garbage trace), clamped to `[0, M]`, and become
-///    `x̄^(t+1)`.
+///    than emitting garbage), clamped to `[0, M]`, and become `x̄^(t+1)`.
 ///
-/// Senders that have not yet entered are recorded with zero window and
-/// goodput so traces stay rectangular.
-pub fn try_run_scenario(scenario: Scenario) -> Result<RunTrace, ScenarioError> {
+/// Senders that have not yet entered are reported with zero window and
+/// goodput so every step is rectangular.
+pub fn try_run_scenario_with<S: StepSink>(
+    scenario: Scenario,
+    sink: &mut S,
+) -> Result<(), ScenarioError> {
     scenario.validate()?;
     let Scenario {
         link,
@@ -53,14 +153,11 @@ pub fn try_run_scenario(scenario: Scenario) -> Result<RunTrace, ScenarioError> {
     let mut windows: Vec<f64> = vec![0.0; n];
     let mut started: Vec<bool> = vec![false; n];
     let mut min_rtts: Vec<f64> = vec![f64::INFINITY; n];
+    let mut records: Vec<StepRecord> = Vec::with_capacity(n);
 
-    let mut traces: Vec<SenderTrace> = senders
-        .iter()
-        .map(|s| SenderTrace::with_capacity(s.protocol.name(), s.protocol.loss_based(), steps))
-        .collect();
-    let mut total_col = Vec::with_capacity(steps);
-    let mut rtt_col = Vec::with_capacity(steps);
-    let mut loss_col = Vec::with_capacity(steps);
+    // Senders not yet admitted; the admissions scan stops for good once
+    // this hits zero instead of re-walking the configs every step.
+    let mut pending_admissions = n;
 
     for t in 0..steps as u64 {
         // (0) scheduled link changes.
@@ -73,34 +170,40 @@ pub fn try_run_scenario(scenario: Scenario) -> Result<RunTrace, ScenarioError> {
         }
 
         // (1) admissions.
-        for (i, cfg) in senders.iter().enumerate() {
-            if !started[i] && t >= cfg.start_tick {
-                started[i] = true;
-                windows[i] = clamp_window(cfg.initial_window, max_window);
+        if pending_admissions > 0 {
+            for (i, cfg) in senders.iter().enumerate() {
+                if !started[i] && t >= cfg.start_tick {
+                    started[i] = true;
+                    windows[i] = clamp_window(cfg.initial_window, max_window);
+                    pending_admissions -= 1;
+                }
             }
         }
+        // Admission is monotone: once started, a sender's start_tick is
+        // never revisited, so the count and the flags cannot disagree.
+        debug_assert_eq!(pending_admissions, started.iter().filter(|&&s| !s).count());
 
-        // (2) shared link state.
-        let total: f64 = windows
-            .iter()
-            .zip(&started)
-            .filter(|(_, &s)| s)
-            .map(|(w, _)| *w)
-            .sum();
+        // (2) shared link state. Idle senders hold exactly 0.0, and adding
+        // +0.0 to a non-negative partial sum is exact, so summing every
+        // slot is bit-identical to filtering on `started` while skipping
+        // the per-step predicate. (A delta-incremental running total is
+        // deliberately NOT used: f64 addition is non-associative, so
+        // incremental updates would drift from the recorded column and
+        // break the streaming path's bit-identity contract.)
+        let total: f64 = windows.iter().sum();
         let rtt = active_link.rtt(total);
         let congestion_loss = active_link.loss_rate(total);
 
-        total_col.push(total);
-        rtt_col.push(rtt);
-        loss_col.push(congestion_loss);
-
         // (3)+(4) per-sender observation and update.
+        records.clear();
         for i in 0..n {
             if !started[i] {
-                traces[i].window.push(0.0);
-                traces[i].loss.push(0.0);
-                traces[i].rtt.push(rtt);
-                traces[i].goodput.push(0.0);
+                records.push(StepRecord {
+                    window: 0.0,
+                    loss: 0.0,
+                    rtt,
+                    goodput: 0.0,
+                });
                 continue;
             }
             let wire = wire_loss.sample(&mut rng, i, windows[i]);
@@ -114,10 +217,12 @@ pub fn try_run_scenario(scenario: Scenario) -> Result<RunTrace, ScenarioError> {
             min_rtts[i] = min_rtts[i].min(rtt);
 
             let w = windows[i];
-            traces[i].window.push(w);
-            traces[i].loss.push(loss);
-            traces[i].rtt.push(rtt);
-            traces[i].goodput.push(w * (1.0 - loss) / rtt);
+            records.push(StepRecord {
+                window: w,
+                loss,
+                rtt,
+                goodput: w * (1.0 - loss) / rtt,
+            });
 
             let obs = Observation {
                 tick: t,
@@ -137,18 +242,92 @@ pub fn try_run_scenario(scenario: Scenario) -> Result<RunTrace, ScenarioError> {
             }
             windows[i] = clamp_window(requested, max_window);
         }
-    }
 
-    let trace = RunTrace {
-        link,
-        senders: traces,
-        total_window: total_col,
-        rtt: rtt_col,
-        loss: loss_col,
-        seed,
-    };
+        sink.on_step(t, total, rtt, congestion_loss, &records);
+    }
+    Ok(())
+}
+
+/// Run a scenario to completion, producing the full trace, or a typed
+/// error for an invalid configuration or a numerically divergent run.
+///
+/// Thin wrapper: [`try_run_scenario_with`] driving a [`TraceSink`].
+pub fn try_run_scenario(scenario: Scenario) -> Result<RunTrace, ScenarioError> {
+    let max_window = scenario.max_window;
+    let mut sink = TraceSink::for_scenario(&scenario);
+    try_run_scenario_with(scenario, &mut sink)?;
+    let trace = sink.into_trace();
     debug_assert_eq!(trace.validate(max_window), Ok(()));
     Ok(trace)
+}
+
+/// Evaluation parameters for the streaming path — the knobs the axiom
+/// evaluators take as arguments on the trace path.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamOptions {
+    /// Fraction of the run treated as transient (`RunTrace::tail_start`).
+    pub tail_fraction: f64,
+    /// Minimum fast-utilization segment horizon.
+    pub min_horizon: usize,
+    /// Escape threshold β for the robustness accumulator.
+    pub escape_beta: f64,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        StreamOptions {
+            tail_fraction: axcc_core::axioms::DEFAULT_TAIL_FRACTION,
+            min_horizon: axcc_core::axioms::fast_utilization::DEFAULT_MIN_HORIZON,
+            escape_beta: 50.0,
+        }
+    }
+}
+
+/// The [`MetricAccumulator`] matching `scenario`'s shape: same link, step
+/// count and per-sender `loss_based` flags the trace path would record.
+pub fn metric_accumulator_for(scenario: &Scenario, options: &StreamOptions) -> MetricAccumulator {
+    MetricAccumulator::new(&MetricConfig {
+        link: scenario.link,
+        steps: scenario.steps,
+        loss_based: scenario
+            .senders
+            .iter()
+            .map(|s| s.protocol.loss_based())
+            .collect(),
+        tail_fraction: options.tail_fraction,
+        min_horizon: options.min_horizon,
+        escape_beta: options.escape_beta,
+    })
+}
+
+/// Run a scenario through the trace-free streaming path, returning the
+/// populated accumulator. Bit-identical to running [`try_run_scenario`]
+/// and evaluating the axioms on the trace, without the O(steps × senders)
+/// trace allocation.
+pub fn try_run_scenario_streaming(
+    scenario: Scenario,
+    options: &StreamOptions,
+) -> Result<MetricAccumulator, ScenarioError> {
+    let mut acc = metric_accumulator_for(&scenario, options);
+    try_run_scenario_streaming_into(scenario, &mut acc)?;
+    Ok(acc)
+}
+
+/// Like [`try_run_scenario_streaming`], but reusing a caller-held
+/// accumulator (reset first) so sweep jobs running many same-shape
+/// scenarios allocate it once. The accumulator must have been built for
+/// this scenario's shape (same sender count and step count).
+pub fn try_run_scenario_streaming_into(
+    scenario: Scenario,
+    acc: &mut MetricAccumulator,
+) -> Result<(), ScenarioError> {
+    debug_assert_eq!(acc.num_senders(), scenario.senders.len());
+    debug_assert_eq!(acc.steps_expected(), scenario.steps);
+    acc.reset();
+    let (steps, n) = (scenario.steps, scenario.senders.len());
+    try_run_scenario_with(scenario, acc)?;
+    crate::stats::record_streamed(steps, n);
+    Ok(())
 }
 
 /// Run a scenario to completion, producing the full trace.
@@ -163,6 +342,28 @@ pub fn try_run_scenario(scenario: Scenario) -> Result<RunTrace, ScenarioError> {
 pub fn run_scenario(scenario: Scenario) -> RunTrace {
     // tidy-allow: panic-freedom — documented panicking façade over try_run_scenario; fallible callers use the try_ path
     try_run_scenario(scenario).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Streaming counterpart of [`run_scenario`]: run the scenario and fold it
+/// straight into a fresh [`MetricAccumulator`].
+///
+/// # Panics
+///
+/// Panics on an invalid scenario or a numerically divergent run.
+pub fn run_scenario_streaming(scenario: Scenario, options: &StreamOptions) -> MetricAccumulator {
+    // tidy-allow: panic-freedom — documented panicking façade over try_run_scenario_streaming; fallible callers use the try_ path
+    try_run_scenario_streaming(scenario, options).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Like [`run_scenario_streaming`], but reusing a caller-held accumulator
+/// (see [`try_run_scenario_streaming_into`]).
+///
+/// # Panics
+///
+/// Panics on an invalid scenario or a numerically divergent run.
+pub fn run_scenario_streaming_into(scenario: Scenario, acc: &mut MetricAccumulator) {
+    // tidy-allow: panic-freedom — documented panicking façade over try_run_scenario_streaming_into; fallible callers use the try_ path
+    try_run_scenario_streaming_into(scenario, acc).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
@@ -487,8 +688,6 @@ mod tests {
         assert_ne!(run(1).senders[0].window, run(2).senders[0].window);
     }
 
-    use crate::scenario::FeedbackMode;
-
     #[test]
     fn bandwidth_change_moves_the_operating_point() {
         // Halve the bandwidth mid-run: C drops 100 → 50, so the Reno
@@ -553,5 +752,158 @@ mod tests {
         for s in &trace.senders {
             assert_eq!(s.len(), 123);
         }
+    }
+
+    #[test]
+    fn fluid_traces_share_the_rtt_column() {
+        // Dedup satellite: the fluid engine records no per-sender RTT
+        // copies; readers resolve through the shared column.
+        let trace = Scenario::new(link())
+            .homogeneous(&Aimd::reno(), 3, 1.0)
+            .steps(50)
+            .run();
+        for (i, s) in trace.senders.iter().enumerate() {
+            assert!(s.rtt.is_none(), "sender {i} holds a redundant RTT copy");
+            assert_eq!(trace.sender_rtt(i), &trace.rtt[..]);
+        }
+    }
+
+    /// The two sinks over one loop: streaming scores must equal the trace
+    /// path's bit-for-bit.
+    fn assert_streaming_matches(build: impl Fn() -> Scenario, opts: StreamOptions) {
+        use axcc_core::axioms::{
+            convergence, efficiency, fairness, fast_utilization, latency, loss_avoidance,
+            robustness,
+        };
+        let trace = build().try_run().unwrap();
+        let acc = try_run_scenario_streaming(build(), &opts).unwrap();
+        let tail = trace.tail_start(opts.tail_fraction);
+        assert_eq!(
+            acc.measured_efficiency().to_bits(),
+            efficiency::measured_efficiency(&trace, tail).to_bits()
+        );
+        assert_eq!(
+            acc.mean_utilization().to_bits(),
+            efficiency::mean_utilization(&trace, tail).to_bits()
+        );
+        assert_eq!(
+            acc.measured_loss_bound().to_bits(),
+            loss_avoidance::measured_loss_bound(&trace, tail).to_bits()
+        );
+        assert_eq!(
+            acc.measured_latency_inflation().to_bits(),
+            latency::measured_latency_inflation(&trace, tail).to_bits()
+        );
+        assert_eq!(
+            acc.measured_fairness().to_bits(),
+            fairness::measured_fairness(&trace, tail).to_bits()
+        );
+        assert_eq!(
+            acc.measured_convergence().to_bits(),
+            convergence::measured_convergence(&trace, tail).to_bits()
+        );
+        for (i, s) in trace.senders.iter().enumerate() {
+            assert_eq!(
+                acc.measured_fast_utilization(i).map(f64::to_bits),
+                fast_utilization::measured_fast_utilization(
+                    s,
+                    trace.sender_rtt(i),
+                    tail,
+                    opts.min_horizon
+                )
+                .map(f64::to_bits)
+            );
+            assert_eq!(
+                acc.window_escapes(i, 0.2),
+                robustness::window_escapes(s, opts.escape_beta, 0.2)
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_matches_trace_for_reno_pair() {
+        assert_streaming_matches(
+            || {
+                Scenario::new(link())
+                    .homogeneous(&Aimd::reno(), 2, 1.0)
+                    .steps(800)
+            },
+            StreamOptions::default(),
+        );
+    }
+
+    #[test]
+    fn streaming_matches_trace_with_wire_loss_and_late_joiner() {
+        assert_streaming_matches(
+            || {
+                Scenario::new(link())
+                    .sender(SenderConfig::new(Box::new(Aimd::reno())).initial_window(10.0))
+                    .sender(
+                        SenderConfig::new(Box::new(Vegas::classic()))
+                            .initial_window(1.0)
+                            .start_at(150),
+                    )
+                    .wire_loss(LossModel::bursty(0.01, 4.0, 0.2))
+                    .seed(11)
+                    .steps(600)
+            },
+            StreamOptions::default(),
+        );
+    }
+
+    #[test]
+    fn streaming_matches_trace_with_bandwidth_change_and_per_packet_feedback() {
+        assert_streaming_matches(
+            || {
+                Scenario::new(link())
+                    .homogeneous(&Mimd::scalable(), 2, 4.0)
+                    .bandwidth_change(200, 500.0)
+                    .feedback(FeedbackMode::PerPacket)
+                    .seed(3)
+                    .steps(500)
+            },
+            StreamOptions {
+                tail_fraction: 0.25,
+                ..StreamOptions::default()
+            },
+        );
+    }
+
+    #[test]
+    fn streaming_into_reuses_one_accumulator_across_runs() {
+        let build = |seed| {
+            Scenario::new(link())
+                .homogeneous(&Aimd::reno(), 2, 1.0)
+                .wire_loss(LossModel::Bernoulli { rate: 0.005 })
+                .seed(seed)
+                .steps(400)
+        };
+        let opts = StreamOptions::default();
+        let mut acc = metric_accumulator_for(&build(1), &opts);
+        let mut scores = Vec::new();
+        for seed in [1, 2, 1] {
+            try_run_scenario_streaming_into(build(seed), &mut acc).unwrap();
+            scores.push(acc.measured_efficiency().to_bits());
+        }
+        // Same seed ⇒ same score through the reused accumulator; the
+        // middle run (different seed) must not leak into the third.
+        assert_eq!(scores[0], scores[2]);
+        let fresh = try_run_scenario_streaming(build(1), &opts).unwrap();
+        assert_eq!(scores[2], fresh.measured_efficiency().to_bits());
+    }
+
+    #[test]
+    fn streaming_propagates_divergence_errors() {
+        let scenario = Scenario::new(link())
+            .sender(SenderConfig::new(Box::new(DivergeAfter {
+                remaining: 5,
+                emit: f64::NAN,
+            })))
+            .steps(100);
+        let err = try_run_scenario_streaming(scenario, &StreamOptions::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            ScenarioError::NumericalDivergence { step: 5, .. }
+        ));
     }
 }

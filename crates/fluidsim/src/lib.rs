@@ -20,7 +20,12 @@
 //!   [`ScenarioError`](axcc_core::ScenarioError) for invalid
 //!   configurations and numerically divergent runs instead of panicking;
 //! * **trace recording** — the engine emits the [`RunTrace`] consumed by
-//!   every axiom evaluator in `axcc-core` / `axcc-analysis`.
+//!   every axiom evaluator in `axcc-core` / `axcc-analysis`;
+//! * **streaming evaluation** — the same loop can instead drive a
+//!   [`MetricAccumulator`] ([`try_run_scenario_streaming`]), folding each
+//!   step straight into the axiom scores in O(senders) memory with
+//!   bit-identical results; [`try_run_scenario_with`] exposes the
+//!   underlying [`StepSink`] visitor for custom consumers.
 //!
 //! ```
 //! use axcc_core::LinkParams;
@@ -51,10 +56,16 @@ mod engine;
 pub mod loss;
 pub mod network;
 mod scenario;
+pub mod stats;
 
-pub use engine::{run_scenario, try_run_scenario};
+pub use engine::{
+    metric_accumulator_for, run_scenario, run_scenario_streaming, run_scenario_streaming_into,
+    try_run_scenario, try_run_scenario_streaming, try_run_scenario_streaming_into,
+    try_run_scenario_with, StepSink, StreamOptions, TraceSink,
+};
 pub use loss::{LossModel, LossProcess};
 pub use network::{FlowConfig, NetScenario, NetTrace, Topology};
 pub use scenario::{FeedbackMode, Scenario, SenderConfig};
 
+pub use axcc_core::axioms::streaming::{MetricAccumulator, MetricConfig, StepRecord};
 pub use axcc_core::{LinkParams, RunTrace, ScenarioError, SenderTrace};

@@ -191,6 +191,13 @@ impl NetTrace {
         self.flows[flow].mean_goodput_from(tail_start)
     }
 
+    /// Flow `f`'s per-step RTT column. Network flows always record their
+    /// own column (paths differ, so RTTs are genuinely per-flow); empty
+    /// only for a zero-step run.
+    pub fn flow_rtt(&self, f: usize) -> &[f64] {
+        self.flows[f].rtt.as_deref().unwrap_or(&[])
+    }
+
     /// A link's mean utilization (`X_l / C_l`) over the tail.
     pub fn link_utilization(&self, l: usize, tail_start: usize) -> f64 {
         let c = self.topology_links[l].capacity();
@@ -263,7 +270,10 @@ fn run_network(scenario: NetScenario) -> NetTrace {
             let w = windows[f];
             traces[f].window.push(w);
             traces[f].loss.push(loss);
-            traces[f].rtt.push(rtt);
+            // Paths differ, so flows genuinely see different RTTs: each
+            // flow carries its own column instead of the shared-column
+            // dedup the single-link engine uses.
+            traces[f].own_rtt_mut().push(rtt);
             traces[f].goodput.push(w * (1.0 - loss) / rtt);
 
             let obs = Observation {
@@ -382,13 +392,13 @@ mod tests {
     fn base_rtt_sums_over_path() {
         let net = parking_lot_2();
         // Min RTT of the long flow is 2×(2Θ) = 0.2 s; short flows 0.1 s.
-        let long_min = net.flows[0]
-            .rtt
+        let long_min = net
+            .flow_rtt(0)
             .iter()
             .copied()
             .fold(f64::INFINITY, f64::min);
-        let short_min = net.flows[1]
-            .rtt
+        let short_min = net
+            .flow_rtt(1)
             .iter()
             .copied()
             .fold(f64::INFINITY, f64::min);

@@ -1,0 +1,56 @@
+//! Accounting of trace allocations avoided by the streaming path.
+//!
+//! A recorded fluid run allocates, per step, three shared link columns
+//! plus three per-sender columns (window, loss, goodput — the per-sender
+//! RTT column is deduplicated into the shared one), all `f64`. The
+//! streaming path allocates none of them; every streaming run credits its
+//! would-be footprint here so `bench-engine` can report the eliminated
+//! bytes alongside wall-clock. Counters are atomic because sweep workers
+//! run streaming jobs concurrently; they feed reporting only, never
+//! results.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ELIMINATED_BYTES: AtomicU64 = AtomicU64::new(0);
+static STREAMED_RUNS: AtomicU64 = AtomicU64::new(0);
+
+/// Bytes of trace columns a recorded run of this shape allocates: per
+/// step, 3 shared `f64` columns plus 3 per-sender `f64` columns.
+pub fn trace_bytes(steps: usize, senders: usize) -> u64 {
+    8 * (steps as u64) * (3 * senders as u64 + 3)
+}
+
+/// Credit one completed streaming run of the given shape.
+pub(crate) fn record_streamed(steps: usize, senders: usize) {
+    ELIMINATED_BYTES.fetch_add(trace_bytes(steps, senders), Ordering::Relaxed);
+    STREAMED_RUNS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Snapshot of the streaming-path accounting since the last [`take`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamingStats {
+    /// Completed streaming runs.
+    pub runs: u64,
+    /// Total trace bytes those runs did not allocate.
+    pub eliminated_bytes: u64,
+}
+
+/// Read and reset the counters (process-wide).
+pub fn take() -> StreamingStats {
+    StreamingStats {
+        runs: STREAMED_RUNS.swap(0, Ordering::Relaxed),
+        eliminated_bytes: ELIMINATED_BYTES.swap(0, Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_bytes_formula() {
+        // 100 steps × (3·2 + 3) columns × 8 bytes.
+        assert_eq!(trace_bytes(100, 2), 7200);
+        assert_eq!(trace_bytes(0, 5), 0);
+    }
+}

@@ -56,7 +56,7 @@ proptest! {
             .run();
         prop_assert_eq!(&net.flows[0].window, &single.senders[0].window);
         prop_assert_eq!(&net.flows[0].loss, &single.senders[0].loss);
-        for (a, b) in net.flows[0].rtt.iter().zip(&single.senders[0].rtt) {
+        for (a, b) in net.flow_rtt(0).iter().zip(single.sender_rtt(0)) {
             prop_assert!((a - b).abs() < 1e-12, "{a} vs {b}");
         }
     }
@@ -96,7 +96,7 @@ proptest! {
                     .product::<f64>();
             prop_assert!((net.flows[0].loss[t] - composed).abs() < 1e-12);
             // Long-flow RTT at least the summed propagation floor.
-            prop_assert!(net.flows[0].rtt[t] >= hops as f64 * hop.min_rtt() - 1e-12);
+            prop_assert!(net.flow_rtt(0)[t] >= hops as f64 * hop.min_rtt() - 1e-12);
         }
     }
 

@@ -672,7 +672,10 @@ impl Engine {
             let goodput = acc.acked as f64 / self.sample_interval.as_secs_f64();
             self.traces[i].window.push(w);
             self.traces[i].loss.push(loss);
-            self.traces[i].rtt.push(rtt.max(flow_floor));
+            // Flow RTT floors are heterogeneous (per-flow propagation
+            // delay), so each flow keeps its own RTT column rather than
+            // sharing the link-level one.
+            self.traces[i].own_rtt_mut().push(rtt.max(flow_floor));
             self.traces[i].goodput.push(goodput);
             *acc = IntervalAccum::default();
         }
@@ -846,11 +849,11 @@ mod tests {
             .duration_secs(15.0)
             .run();
         let floor = out.trace.link.min_rtt();
-        for s in &out.trace.senders {
-            assert!(s.rtt.iter().all(|&r| r >= floor - 1e-12));
+        for i in 0..out.trace.senders.len() {
+            assert!(out.trace.sender_rtt(i).iter().all(|&r| r >= floor - 1e-12));
         }
         // And queueing inflates RTTs beyond the floor at least sometimes.
-        let max_rtt = out.trace.senders[0].rtt.iter().copied().fold(0.0, f64::max);
+        let max_rtt = out.trace.sender_rtt(0).iter().copied().fold(0.0, f64::max);
         assert!(max_rtt > floor * 1.05, "max rtt {max_rtt}");
     }
 
@@ -1234,8 +1237,9 @@ mod tests {
             "short-RTT {g_short} vs long-RTT {g_long}"
         );
         // And the long flow's RTT samples include the access delay.
-        let long_min_rtt = out.trace.senders[1]
-            .rtt
+        let long_min_rtt = out
+            .trace
+            .sender_rtt(1)
             .iter()
             .copied()
             .fold(f64::INFINITY, f64::min);
@@ -1296,7 +1300,7 @@ mod tests {
         let tail = out.trace.tail_start(0.5);
         // Mean RTT stays well below the full-buffer RTT: the standing
         // queue hovers around the 20-packet threshold, not 100.
-        let mean_rtt = axcc_core::trace::mean(&out.trace.senders[0].rtt[tail..]);
+        let mean_rtt = axcc_core::trace::mean(&out.trace.sender_rtt(0)[tail..]);
         let full_buffer_rtt = link.min_rtt() + link.buffer / link.bandwidth;
         let threshold_rtt = link.min_rtt() + 30.0 / link.bandwidth;
         assert!(

@@ -99,8 +99,8 @@ proptest! {
         let ser = 1.0 / link.bandwidth;
         let min_possible = link.min_rtt();
         let max_possible = link.min_rtt() + (link.buffer.round() + 2.0) * ser;
-        for s in &out.trace.senders {
-            for &r in &s.rtt {
+        for i in 0..out.trace.senders.len() {
+            for &r in out.trace.sender_rtt(i) {
                 prop_assert!(r >= min_possible - 1e-9, "rtt {r} < floor {min_possible}");
                 prop_assert!(r <= max_possible + 1e-9, "rtt {r} > ceiling {max_possible}");
             }

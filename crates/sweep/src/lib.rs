@@ -48,4 +48,4 @@ pub mod runner;
 pub use cache::ResultCache;
 pub use progress::{ExperimentTiming, Stopwatch};
 pub use record::{Cacheable, Record, RecordReader};
-pub use runner::{SweepJob, SweepRunner, SweepStats, ENGINE_REVISION};
+pub use runner::{EvalMode, SweepJob, SweepRunner, SweepStats, ENGINE_REVISION};

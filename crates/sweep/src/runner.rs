@@ -25,6 +25,33 @@ fn default_engine_tag() -> String {
     format!("axcc-{}+r{}", env!("CARGO_PKG_VERSION"), ENGINE_REVISION)
 }
 
+/// How an experiment evaluates its scenarios: the streaming fast path
+/// folds each engine step straight into the axiom accumulators (no trace
+/// columns are ever allocated), while the traced path records a full
+/// [`RunTrace`](axcc_core::RunTrace) and scores it afterwards. The two
+/// are bit-identical in their metric outputs; the mode still participates
+/// in every job fingerprint so a cache populated under one mode is never
+/// answered under the other (the *path taken* is part of what a cached
+/// result attests to).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalMode {
+    /// Single-pass accumulator evaluation (the default fast path).
+    #[default]
+    Streaming,
+    /// Record a full trace, then score it (`--record-traces`).
+    Traced,
+}
+
+impl Fingerprint for EvalMode {
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        fp.write_str("EvalMode");
+        fp.write_u8(match self {
+            EvalMode::Streaming => 0,
+            EvalMode::Traced => 1,
+        });
+    }
+}
+
 /// One unit of sweep work: a fingerprintable input (scenario + protocol
 /// + metric budget) that evaluates to a cacheable scored result.
 ///
@@ -71,6 +98,7 @@ pub struct SweepRunner {
     workers: usize,
     cache: Option<ResultCache>,
     engine_tag: String,
+    eval_mode: EvalMode,
     hits: AtomicU64,
     executed: AtomicU64,
 }
@@ -83,6 +111,7 @@ impl SweepRunner {
             workers: resolve_workers(workers),
             cache: Some(ResultCache::in_memory()),
             engine_tag: default_engine_tag(),
+            eval_mode: EvalMode::default(),
             hits: AtomicU64::new(0),
             executed: AtomicU64::new(0),
         }
@@ -101,6 +130,7 @@ impl SweepRunner {
             workers: resolve_workers(workers),
             cache: Some(ResultCache::with_disk(dir)),
             engine_tag: default_engine_tag(),
+            eval_mode: EvalMode::default(),
             hits: AtomicU64::new(0),
             executed: AtomicU64::new(0),
         }
@@ -112,6 +142,7 @@ impl SweepRunner {
             workers: resolve_workers(workers),
             cache: None,
             engine_tag: default_engine_tag(),
+            eval_mode: EvalMode::default(),
             hits: AtomicU64::new(0),
             executed: AtomicU64::new(0),
         }
@@ -122,6 +153,20 @@ impl SweepRunner {
     pub fn with_engine_tag(mut self, tag: &str) -> Self {
         self.engine_tag = tag.to_string();
         self
+    }
+
+    /// Select the evaluation mode experiments driven by this runner
+    /// should use (default [`EvalMode::Streaming`]). Experiments read it
+    /// via [`eval_mode`](Self::eval_mode) and must mix it into their job
+    /// fingerprints.
+    pub fn with_eval_mode(mut self, mode: EvalMode) -> Self {
+        self.eval_mode = mode;
+        self
+    }
+
+    /// The evaluation mode experiments should run under.
+    pub fn eval_mode(&self) -> EvalMode {
+        self.eval_mode
     }
 
     /// Number of worker threads this runner fans out to.
@@ -288,5 +333,30 @@ mod tests {
     #[test]
     fn auto_workers_is_at_least_one() {
         assert!(SweepRunner::new(0).workers() >= 1);
+    }
+
+    #[test]
+    fn eval_mode_defaults_to_streaming_and_is_overridable() {
+        assert_eq!(SweepRunner::serial().eval_mode(), EvalMode::Streaming);
+        let traced = SweepRunner::serial().with_eval_mode(EvalMode::Traced);
+        assert_eq!(traced.eval_mode(), EvalMode::Traced);
+    }
+
+    #[test]
+    fn eval_mode_changes_the_job_digest() {
+        // A job that fingerprints the runner's mode (as every mode-aware
+        // experiment must) gets a different address per mode, so cached
+        // streaming results are never served to a traced run.
+        struct ModedJob(EvalMode);
+        impl Fingerprint for ModedJob {
+            fn fingerprint(&self, fp: &mut Fingerprinter) {
+                fp.write_str("ModedJob");
+                self.0.fingerprint(fp);
+            }
+        }
+        let runner = SweepRunner::serial();
+        let streaming = runner.job_digest("moded", &ModedJob(EvalMode::Streaming));
+        let traced = runner.job_digest("moded", &ModedJob(EvalMode::Traced));
+        assert_ne!(streaming, traced);
     }
 }

@@ -57,6 +57,7 @@ pub fn policy_for(rel_path: &str) -> Option<FilePolicy> {
         panic_freedom: true,
         unit_safety: true,
         hygiene: true,
+        trace_discipline: true,
         allow_threads: false,
     };
 
@@ -93,6 +94,20 @@ pub fn policy_for(rel_path: &str) -> Option<FilePolicy> {
         (all, hygiene_kind_for(rel_path))
     } else {
         return None;
+    };
+
+    // The engines' trace sinks are the two sanctioned places that
+    // assemble a `RunTrace` from recorded columns; everywhere else a
+    // literal construction bypasses both evaluation paths.
+    let rules = if rel_path == "crates/fluidsim/src/engine.rs"
+        || rel_path == "crates/packetsim/src/engine.rs"
+    {
+        RuleSet {
+            trace_discipline: false,
+            ..rules
+        }
+    } else {
+        rules
     };
 
     Some(FilePolicy {
@@ -160,6 +175,31 @@ mod tests {
             assert!(
                 !policy_for(other).unwrap().rules.allow_threads,
                 "{other} must not be thread-exempt"
+            );
+        }
+    }
+
+    #[test]
+    fn only_engine_sinks_may_build_runtraces() {
+        for sink in [
+            "crates/fluidsim/src/engine.rs",
+            "crates/packetsim/src/engine.rs",
+        ] {
+            let p = policy_for(sink).unwrap();
+            assert!(!p.rules.trace_discipline, "{sink} holds a sanctioned sink");
+            // …with every other rule family still in force there.
+            assert!(p.rules.determinism && p.rules.panic_freedom && p.rules.nan_safety);
+        }
+        for other in [
+            "crates/core/src/trace.rs",
+            "crates/analysis/src/estimators.rs",
+            "crates/sweep/src/runner.rs",
+            "examples/quickstart.rs",
+            "src/lib.rs",
+        ] {
+            assert!(
+                policy_for(other).unwrap().rules.trace_discipline,
+                "{other} must not construct RunTrace directly"
             );
         }
     }

@@ -21,6 +21,8 @@ pub enum Rule {
     UnitSafety,
     /// Crate-root headers, manifest lint opt-in, experiment-module docs.
     Hygiene,
+    /// Direct `RunTrace` construction outside the sanctioned engine sinks.
+    TraceDiscipline,
     /// Meta-rule: malformed `tidy-allow` suppressions.
     TidyAllow,
 }
@@ -34,6 +36,7 @@ impl Rule {
             Rule::PanicFreedom => "panic-freedom",
             Rule::UnitSafety => "unit-safety",
             Rule::Hygiene => "hygiene",
+            Rule::TraceDiscipline => "trace-discipline",
             Rule::TidyAllow => "tidy-allow",
         }
     }
@@ -46,6 +49,7 @@ impl Rule {
             "panic-freedom" => Some(Rule::PanicFreedom),
             "unit-safety" => Some(Rule::UnitSafety),
             "hygiene" => Some(Rule::Hygiene),
+            "trace-discipline" => Some(Rule::TraceDiscipline),
             _ => None,
         }
     }
@@ -90,6 +94,11 @@ pub struct RuleSet {
     pub unit_safety: bool,
     /// Run the hygiene (header/doc/manifest) checks.
     pub hygiene: bool,
+    /// Flag direct `RunTrace` struct construction. Only the engines'
+    /// sanctioned trace sinks may build one — everything else must go
+    /// through `try_run_scenario` (or the streaming path), so the two
+    /// evaluation paths remain the only producers of trace data.
+    pub trace_discipline: bool,
     /// Exempt this file from the thread-spawning determinism patterns.
     /// Only the `axcc-sweep` ordered worker pool earns this: it is the
     /// one place where threads provably cannot reorder results.
@@ -243,6 +252,16 @@ pub fn check_lines(
                 }
             }
         }
+        if rules.trace_discipline && is_trace_construction(code) {
+            findings.push((
+                lineno,
+                Rule::TraceDiscipline,
+                "direct `RunTrace` construction outside the engine trace sinks; \
+                 run scenarios through try_run_scenario (or the streaming path) so \
+                 the two evaluation paths stay the only producers of trace data"
+                    .to_string(),
+            ));
+        }
         if rules.unit_safety && !is_units_module {
             for &lit in UNIT_LITERALS {
                 if contains_token(code, lit) {
@@ -259,6 +278,45 @@ pub fn check_lines(
         }
     }
     findings
+}
+
+/// Does `code` hold a `RunTrace { … }` struct *literal*? Type positions —
+/// the definition (`struct RunTrace {`), inherent/trait impls
+/// (`impl … RunTrace {`), and return types (`-> RunTrace {`) — name the
+/// type without constructing one and are not flagged.
+fn is_trace_construction(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find("RunTrace") {
+        let start = from + pos;
+        let end = start + "RunTrace".len();
+        from = end;
+        // Must be the full identifier (not `RunTraceExt`/`MyRunTrace`)…
+        let ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+        if end < bytes.len() && ident(bytes[end]) {
+            continue;
+        }
+        if start > 0 && ident(bytes[start - 1]) {
+            continue;
+        }
+        // …followed by `{`.
+        if !code[end..].trim_start().starts_with('{') {
+            continue;
+        }
+        // Walk back over a qualifying path (`axcc_core::RunTrace`,
+        // `crate::trace::RunTrace`) to judge the whole type position.
+        let mut path_start = start;
+        while path_start > 0 && is_token_byte(bytes[path_start - 1]) {
+            path_start -= 1;
+        }
+        let prefix = code[..path_start].trim_end();
+        let prev_word = token_before(code, path_start);
+        if prefix.ends_with("->") || matches!(prev_word, "struct" | "impl" | "for" | "dyn") {
+            continue;
+        }
+        return true;
+    }
+    false
 }
 
 /// Byte offsets of `==` / `!=` operators whose left or right operand is a
@@ -459,7 +517,7 @@ pub fn parse_allow(line: &Line) -> Option<Result<Allow, String>> {
         None => {
             return Some(Err(format!(
                 "unknown rule id `{id}` in tidy-allow (expected one of determinism, \
-                 nan-safety, panic-freedom, unit-safety, hygiene)"
+                 nan-safety, panic-freedom, unit-safety, hygiene, trace-discipline)"
             )))
         }
     };
@@ -488,6 +546,7 @@ mod tests {
             panic_freedom: true,
             unit_safety: true,
             hygiene: true,
+            trace_discipline: true,
             allow_threads: false,
         }
     }
@@ -549,6 +608,30 @@ mod tests {
         assert!(hits
             .iter()
             .any(|(l, r, _)| *l == 1 && *r == Rule::Determinism));
+    }
+
+    #[test]
+    fn trace_construction_is_flagged_outside_test_code() {
+        let f = lex("fn lib() { let t = RunTrace { link, senders, seed: 0 }; }\n");
+        let hits = check_lines(&f, all_rules(), false);
+        assert!(
+            hits.iter().any(|(_, r, _)| *r == Rule::TraceDiscipline),
+            "direct construction must fire trace-discipline; got {hits:?}"
+        );
+        // Test code may hand-build traces freely.
+        let f = lex("#[cfg(test)]\nmod tests {\n    fn t() { let t = RunTrace { seed: 0 }; }\n}\n");
+        assert!(check_lines(&f, all_rules(), false).is_empty());
+        // The type in signatures / paths is fine; only literals fire.
+        let f = lex("fn lib(t: &RunTrace) -> RunTrace { t.clone() }\n");
+        assert!(check_lines(&f, all_rules(), false).is_empty());
+        // A path-qualified literal is still a literal.
+        let f = lex("fn lib() { let t = axcc_core::RunTrace { seed: 0 }; }\n");
+        assert!(check_lines(&f, all_rules(), false)
+            .iter()
+            .any(|(_, r, _)| *r == Rule::TraceDiscipline));
+        // …while a path-qualified impl header is not.
+        let f = lex("impl Summarize for axcc_core::RunTrace {\n");
+        assert!(check_lines(&f, all_rules(), false).is_empty());
     }
 
     #[test]

@@ -39,7 +39,7 @@ fn main() {
         let tail = out.trace.tail_start(0.5);
         let loss = loss_avoidance::measured_loss_bound(&out.trace, tail);
         let mean_rtt: f64 = {
-            let r = &out.trace.senders[0].rtt[tail..];
+            let r = &out.trace.sender_rtt(0)[tail..];
             r.iter().sum::<f64>() / r.len() as f64
         };
         println!(

@@ -61,7 +61,12 @@ fn main() {
     );
     println!(
         "  Metric II   (fast-utilization): α = {:?}",
-        fast_utilization::measured_fast_utilization(&trace.senders[0], tail, 8)
+        fast_utilization::measured_fast_utilization(
+            &trace.senders[0],
+            trace.sender_rtt(0),
+            tail,
+            8
+        )
     );
     println!(
         "  Metric III  (loss bound):       α = {:.4}",

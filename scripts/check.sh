@@ -20,4 +20,8 @@ echo "==> axcc run-all --jobs 2 --smoke (full suite through the sweep engine)"
 cargo run -q -p axcc-cli -- run-all --jobs 2 --smoke \
   --cache-dir target/sweep-cache-ci --out-dir target/run-all-ci
 
+echo "==> bench-engine --smoke (streaming ≡ traced identity + wall-clock)"
+cargo run -q --release -p axcc-bench --bin bench-engine -- --smoke \
+  --out target/BENCH_engine_smoke.json > /dev/null
+
 echo "All checks passed."
