@@ -14,8 +14,11 @@ use axcc_core::{LinkParams, Protocol};
 use axcc_fluidsim::{LossModel, Scenario, SenderConfig};
 use axcc_packetsim::{PacketScenario, PacketSenderConfig};
 use axcc_protocols::registry::resolve;
+use axcc_serve::bench::{run_bench, run_bench_spawned, BenchConfig, BenchReport};
+use axcc_serve::server::{run_until, ServeConfig};
+use axcc_serve::ServeReport;
 use axcc_sweep::progress::render_timings;
-use axcc_sweep::{EvalMode, ExperimentTiming, Stopwatch, SweepRunner};
+use axcc_sweep::{CancelSignal, EvalMode, ExperimentTiming, Stopwatch, SweepRunner};
 use std::fmt::Write as _;
 
 /// CLI usage text.
@@ -61,6 +64,18 @@ sweep engine (parallel + content-addressed cache; see DESIGN.md):
                 [--record-traces] evaluate via full trace recording instead
                                 of the streaming fast path (escape hatch;
                                 results are bit-identical either way)
+
+evaluation service (newline-delimited JSON over TCP; see DESIGN.md §5):
+  axcc serve    [--addr H:P]        fault-tolerant evaluation daemon
+                [--workers N --queue N --max-conns N]
+                [--deadline-ms MS --idle-ms MS]
+                [--cache-dir D]     persist the result cache
+                [--debug-ops]       enable the test-only fault ops
+                                    Ctrl-C drains gracefully
+  axcc bench-serve [--addr H:P | --spawn]  closed-loop bench client
+                [--levels 1,4,16 --requests N --steps N]
+                [--workers N]       worker pool for --spawn
+                [--out FILE]        write the JSON report (BENCH_service.json)
 
 misc:
   axcc characterize [--steps N]  empirical 8-tuples for the whole lineup
@@ -117,6 +132,8 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "aqm" => cmd_aqm(args),
         "sweep" => cmd_sweep(args),
         "run-all" => cmd_run_all(args),
+        "serve" => cmd_serve(args),
+        "bench-serve" => cmd_bench_serve(args),
         "characterize" => cmd_characterize(args),
         "frontier" => cmd_frontier(args),
         "network" => cmd_network(args),
@@ -593,16 +610,37 @@ fn runner_from(args: &Args) -> Result<SweepRunner, CliError> {
     } else {
         EvalMode::Streaming
     };
-    if no_cache {
+    let runner = if no_cache {
         if cache_dir.is_some() {
             return Err(CliError::Usage(
                 "--no-cache and --cache-dir are mutually exclusive".into(),
             ));
         }
-        return Ok(SweepRunner::without_cache(jobs).with_eval_mode(mode));
-    }
-    let dir = cache_dir.unwrap_or_else(|| "target/sweep-cache".to_string());
-    Ok(SweepRunner::with_disk_cache(jobs, dir.into()).with_eval_mode(mode))
+        SweepRunner::without_cache(jobs)
+    } else {
+        let dir = cache_dir.unwrap_or_else(|| "target/sweep-cache".to_string());
+        SweepRunner::with_disk_cache(jobs, dir.into())
+    };
+    // Ctrl-C during a sweep drains in-flight jobs (already persisted by
+    // the write-through cache), prints the partial progress, and exits
+    // 130 — a rerun resumes from the cache instead of starting over.
+    sigmon::install();
+    let caching = !no_cache;
+    Ok(runner
+        .with_eval_mode(mode)
+        .with_cancel(CancelSignal::from_fn(sigmon::interrupted))
+        .with_interrupt_hook(Box::new(move |info| {
+            let resume = if caching {
+                "; completed results are cached, rerun to resume"
+            } else {
+                " (pass a cache to make interrupted runs resumable)"
+            };
+            eprintln!(
+                "\ninterrupted: {} of {} jobs finished{resume}",
+                info.completed, info.total
+            );
+            std::process::exit(130);
+        })))
 }
 
 /// Shared budget flag: `--smoke` selects CI-scale run lengths.
@@ -717,4 +755,99 @@ fn cmd_run_all(args: &Args) -> Result<String, CliError> {
         let _ = writeln!(out, "\nFAILED experiments: {}", failures.join(", "));
         Err(CliError::Failed(out))
     }
+}
+
+/// Parse the daemon flags shared by `serve` and `bench-serve --spawn`.
+fn serve_config_from(args: &Args, default_workers: usize) -> Result<ServeConfig, CliError> {
+    let defaults = ServeConfig::default();
+    let queue = args.get_usize("queue", defaults.queue_capacity)?;
+    let max_conns = args.get_usize("max-conns", defaults.max_connections)?;
+    let deadline_ms = args.get_usize("deadline-ms", defaults.default_deadline_ms as usize)? as u64;
+    let idle_ms = args.get_usize("idle-ms", defaults.idle_timeout_ms as usize)? as u64;
+    if deadline_ms == 0 || idle_ms == 0 {
+        return Err(CliError::Usage(
+            "--deadline-ms and --idle-ms must be at least 1".into(),
+        ));
+    }
+    Ok(ServeConfig {
+        addr: args.get_or("addr", &defaults.addr).to_string(),
+        workers: args.get_usize("workers", default_workers)?,
+        queue_capacity: queue,
+        max_connections: max_conns,
+        default_deadline_ms: deadline_ms,
+        idle_timeout_ms: idle_ms,
+        cache_dir: args.get("cache-dir").map(Into::into),
+        debug_ops: args.get_bool("debug-ops"),
+    })
+}
+
+fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    let config = serve_config_from(args, ServeConfig::default().workers)?;
+    args.finish()?;
+    sigmon::install();
+    let handle = axcc_serve::start(config)
+        .map_err(|e| CliError::Failed(format!("cannot start the daemon: {e}")))?;
+    // The daemon blocks until drained; announce liveness on stderr now
+    // rather than in the return value the caller only sees at exit.
+    eprintln!(
+        "axcc serve listening on {} (Ctrl-C or the `shutdown` op drains)",
+        handle.addr()
+    );
+    let report = run_until(handle, &sigmon::interrupted);
+    Ok(format!("{}\n", report.render()))
+}
+
+fn cmd_bench_serve(args: &Args) -> Result<String, CliError> {
+    let spawn = args.get_bool("spawn");
+    let addr = args.get("addr").map(str::to_string);
+    if spawn && addr.is_some() {
+        return Err(CliError::Usage(
+            "--spawn and --addr are mutually exclusive (spawn picks an ephemeral port)".into(),
+        ));
+    }
+    let mut cfg = BenchConfig::default();
+    if let Some(a) = addr {
+        cfg.addr = a;
+    }
+    let levels = args.get_list("levels");
+    if !levels.is_empty() {
+        cfg.levels = levels
+            .iter()
+            .map(|l| {
+                l.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                    CliError::Usage(format!("--levels entry {l:?} must be a positive integer"))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+    }
+    cfg.requests_per_client = args.get_usize("requests", cfg.requests_per_client)?;
+    cfg.steps = steps_from(args, cfg.steps)?;
+    cfg.deadline_ms = args.get_usize("bench-deadline-ms", cfg.deadline_ms as usize)? as u64;
+    let out_path = args.get("out").map(str::to_string);
+    let json = args.get_bool("json");
+    // Spawn-mode daemon flags (a live daemon via --addr ignores them).
+    let serve_cfg = serve_config_from(args, 4)?;
+    args.finish()?;
+
+    let (report, served): (BenchReport, Option<ServeReport>) = if spawn {
+        let (b, s) = run_bench_spawned(&cfg, serve_cfg).map_err(CliError::Failed)?;
+        (b, Some(s))
+    } else {
+        (run_bench(&cfg).map_err(CliError::Failed)?, None)
+    };
+
+    let mut out = report.render();
+    if let Some(s) = served {
+        let _ = writeln!(out, "\nspawned daemon: {}", s.render());
+    }
+    let doc = report.to_value().render_pretty();
+    if let Some(path) = out_path {
+        std::fs::write(&path, format!("{doc}\n"))
+            .map_err(|e| CliError::Failed(format!("cannot write {path}: {e}")))?;
+        let _ = writeln!(out, "\nJSON report written to {path}");
+    }
+    if json {
+        let _ = writeln!(out, "\n{doc}");
+    }
+    Ok(out)
 }

@@ -286,6 +286,49 @@ mod tests {
     }
 
     #[test]
+    fn bench_serve_spawn_smoke() {
+        // Tiny closed-loop bench against an in-process daemon: exercises
+        // start → warmup → measured levels → graceful drain end to end.
+        let path = std::env::temp_dir().join("axcc_cli_test_bench_service.json");
+        let path_str = path.to_str().unwrap().to_string();
+        let (code, out) = cli(&format!(
+            "bench-serve --spawn --levels 1,2 --requests 3 --steps 120 --out {path_str}"
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("p95"), "{out}");
+        assert!(out.contains("spawned daemon:"), "{out}");
+        let doc: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let levels = doc.get("levels").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(levels.len(), 2);
+        for level in levels {
+            assert!(
+                level
+                    .get("throughput_rps")
+                    .and_then(|v| v.as_f64())
+                    .unwrap()
+                    > 0.0
+            );
+            assert_eq!(level.get("errors").and_then(|v| v.as_f64()), Some(0.0));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bench_serve_rejects_spawn_with_addr() {
+        let (code, out) = cli("bench-serve --spawn --addr 127.0.0.1:1");
+        assert_eq!(code, 2);
+        assert!(out.contains("mutually exclusive"), "{out}");
+    }
+
+    #[test]
+    fn help_covers_the_service_commands() {
+        let (_, out) = cli("help");
+        assert!(out.contains("axcc serve"), "{out}");
+        assert!(out.contains("bench-serve"), "{out}");
+    }
+
+    #[test]
     fn json_flag_emits_json() {
         let (code, out) = cli("score --protocol reno --steps 400 --json");
         assert_eq!(code, 0);

@@ -91,6 +91,7 @@ pub fn resolve(name: &str) -> Result<Box<dyn Protocol>, ResolveError> {
         }
     };
     let guard = |f: &dyn Fn() -> Box<dyn Protocol>| -> Result<Box<dyn Protocol>, ResolveError> {
+        // tidy-allow: panic-freedom — sanctioned boundary: constructor domain panics become typed OutOfDomain errors for the CLI/service to report.
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
             .map_err(|e| ResolveError::OutOfDomain(panic_message(e)))
     };

@@ -1,0 +1,166 @@
+//! The bounded admission queue.
+//!
+//! Load shedding is the queue's whole reason to exist: a burst beyond
+//! `capacity` is rejected *at admission time* with a typed `overloaded`
+//! error rather than buffered into unbounded memory, so a hot daemon
+//! degrades by refusing work it cannot finish, never by growing until the
+//! OS kills it. `close` flips the queue into drain mode: queued jobs are
+//! still handed out, new pushes are refused with `Closed` (the wire's
+//! `shutting-down`), and poppers see `Closed` once the backlog is empty.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Why a push was refused. The rejected job rides along so the caller can
+/// still answer its client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PushError {
+    /// The queue is at capacity: shed the job with `overloaded`.
+    Full,
+    /// The queue is draining: refuse the job with `shutting-down`.
+    Closed,
+}
+
+/// What a worker got back from a timed pop.
+#[derive(Debug)]
+pub(crate) enum Popped<T> {
+    /// A job to run.
+    Job(T),
+    /// Timed out with the queue still open — poll shutdown state and retry.
+    Empty,
+    /// The queue is closed and fully drained — the worker can exit.
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity MPMC job queue with close-and-drain semantics.
+pub(crate) struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    pub(crate) fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Admit a job, or hand it back with the reason it was refused.
+    pub(crate) fn push(&self, job: T) -> Result<(), (PushError, T)> {
+        let mut st = self.lock();
+        if st.closed {
+            return Err((PushError::Closed, job));
+        }
+        if st.items.len() >= self.capacity {
+            return Err((PushError::Full, job));
+        }
+        st.items.push_back(job);
+        drop(st);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Wait up to `timeout` for a job. `Empty` means "still open, nothing
+    /// arrived" — workers use the tick to poll for shutdown.
+    pub(crate) fn pop(&self, timeout: Duration) -> Popped<T> {
+        let mut st = self.lock();
+        loop {
+            if let Some(job) = st.items.pop_front() {
+                return Popped::Job(job);
+            }
+            if st.closed {
+                return Popped::Closed;
+            }
+            let (guard, wait) = self
+                .ready
+                .wait_timeout(st, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+            if wait.timed_out() {
+                return if st.items.is_empty() && !st.closed {
+                    Popped::Empty
+                } else {
+                    continue;
+                };
+            }
+        }
+    }
+
+    /// Stop admitting; queued jobs still drain. Idempotent.
+    pub(crate) fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Jobs currently queued (not yet claimed by a worker).
+    pub(crate) fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        // A pusher can only panic between its own operations, never
+        // mid-mutation of the VecDeque, so a poisoned lock is still sound.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TICK: Duration = Duration::from_millis(5);
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = BoundedQueue::new(3);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert!(matches!(q.pop(TICK), Popped::Job(1)));
+        assert!(matches!(q.pop(TICK), Popped::Job(2)));
+        assert!(matches!(q.pop(TICK), Popped::Empty));
+    }
+
+    #[test]
+    fn overflow_is_shed_with_the_job_returned() {
+        let q = BoundedQueue::new(2);
+        q.push("a").unwrap();
+        q.push("b").unwrap();
+        let (err, job) = q.push("c").unwrap_err();
+        assert_eq!(err, PushError::Full);
+        assert_eq!(job, "c");
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_reports_closed() {
+        let q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.close();
+        assert!(matches!(q.push(2), Err((PushError::Closed, 2))));
+        assert!(matches!(q.pop(TICK), Popped::Job(1)));
+        assert!(matches!(q.pop(TICK), Popped::Closed));
+        assert!(matches!(q.pop(TICK), Popped::Closed));
+    }
+
+    #[test]
+    fn pop_wakes_on_cross_thread_push() {
+        let q = std::sync::Arc::new(BoundedQueue::new(1));
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.pop(Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.push(42).unwrap();
+        assert!(matches!(h.join().unwrap(), Popped::Job(42)));
+    }
+}

@@ -60,13 +60,28 @@ impl ResultCache {
     }
 
     /// Look up a record; disk hits are promoted into memory.
+    ///
+    /// A file that exists but does not decode (truncated write from a
+    /// killed process, bit rot, a stray editor) is treated as a miss
+    /// *and deleted*, so the re-computed result can be persisted again —
+    /// otherwise a corrupt entry would shadow its own address forever and
+    /// every warm run would silently pay for the same re-computation.
     pub fn get(&self, digest: &Digest) -> Option<Record> {
         if let Some(rec) = self.lock_mem().get(digest) {
             return Some(rec.clone());
         }
         let dir = self.dir.as_ref()?;
-        let text = fs::read_to_string(dir.join(digest.to_hex())).ok()?;
-        let rec = Record::decode(&text)?;
+        let path = dir.join(digest.to_hex());
+        let bytes = fs::read(&path).ok()?;
+        let rec = match std::str::from_utf8(&bytes).ok().and_then(Record::decode) {
+            Some(rec) => rec,
+            None => {
+                // Delete-and-recompute: best-effort, a failed unlink just
+                // means we try again next miss.
+                let _ = fs::remove_file(&path);
+                return None;
+            }
+        };
         self.lock_mem().insert(*digest, rec.clone());
         Some(rec)
     }
@@ -150,10 +165,34 @@ mod tests {
         let rec = warm.get(&d).unwrap();
         assert_eq!(rec.reader().f64().unwrap(), f64::INFINITY);
 
-        // Corrupt the file: decode fails, lookup degrades to a miss.
+        // Corrupt the file: decode fails, lookup degrades to a miss AND
+        // the poisoned entry is unlinked so the address is writable again.
         fs::write(dir.join(d.to_hex()), "garbage").unwrap();
         let cold = ResultCache::with_disk(dir.clone());
         assert!(cold.get(&d).is_none());
+        assert!(
+            !dir.join(d.to_hex()).exists(),
+            "corrupt entry should be deleted on miss"
+        );
+
+        // Recompute-and-persist round-trips: the next put re-creates the
+        // file and a fresh cache reads it back.
+        cold.put(d, record_of(2.25));
+        let recovered = ResultCache::with_disk(dir.clone());
+        assert_eq!(recovered.get(&d), Some(record_of(2.25)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_utf8_garbage_is_deleted_too() {
+        let dir = std::env::temp_dir().join(format!("axcc-sweep-utf8-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let cache = ResultCache::with_disk(dir.clone());
+        let d = digest_of("binary-key");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(d.to_hex()), [0xff, 0xfe, 0x00, 0x81]).unwrap();
+        assert!(cache.get(&d).is_none());
+        assert!(!dir.join(d.to_hex()).exists());
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,149 @@
+//! Cooperative sweep cancellation.
+//!
+//! A [`CancelSignal`] is a cheap, thread-safe predicate ("should this
+//! sweep stop claiming new jobs?") that a [`SweepRunner`] polls before
+//! every job claim. Raising it never corrupts results: in-flight jobs run
+//! to completion (and their results are written through to the cache, so
+//! nothing computed is lost), no further jobs start, and the sweep then
+//! *unwinds* with an [`Interrupted`] payload instead of returning — a
+//! cancelled sweep can never hand back a partial `Vec` that a caller
+//! might mistake for a full one. The two sanctioned recipients of that
+//! unwind are:
+//!
+//! * the CLI's SIGINT path, whose interrupt hook prints a partial report
+//!   and exits the process before the unwind propagates; and
+//! * the `axcc-serve` worker's job boundary, whose `catch_unwind`
+//!   downcasts the payload back to [`Interrupted`] and turns it into a
+//!   typed `timeout` response.
+//!
+//! Determinism contract: cancellation affects *whether* a sweep
+//! completes, never *what* a completed sweep returns. Completed sweeps
+//! remain bit-identical to serial uncached runs.
+//!
+//! [`SweepRunner`]: crate::SweepRunner
+
+use std::any::Any;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation predicate polled between job claims.
+#[derive(Clone)]
+pub struct CancelSignal {
+    probe: Arc<dyn Fn() -> bool + Send + Sync>,
+}
+
+impl CancelSignal {
+    /// A signal backed by an arbitrary predicate (e.g. "the SIGINT latch
+    /// fired" or "this request's deadline has passed"). The predicate is
+    /// polled once per job claim, so it should be cheap — an atomic load
+    /// or a clock read.
+    pub fn from_fn<F: Fn() -> bool + Send + Sync + 'static>(probe: F) -> Self {
+        CancelSignal {
+            probe: Arc::new(probe),
+        }
+    }
+
+    /// A signal backed by a shared boolean flag.
+    pub fn from_flag(flag: Arc<AtomicBool>) -> Self {
+        CancelSignal::from_fn(move || flag.load(Ordering::SeqCst))
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_raised(&self) -> bool {
+        (self.probe)()
+    }
+}
+
+impl fmt::Debug for CancelSignal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CancelSignal")
+            .field("raised", &self.is_raised())
+            .finish()
+    }
+}
+
+/// A sweep was cancelled after `completed` of `total` jobs. Everything
+/// completed (and everything answered from the cache) was already written
+/// through to the result cache before this value was raised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interrupted {
+    /// Jobs that finished (executed or answered from cache) before the
+    /// sweep stopped claiming.
+    pub completed: usize,
+    /// Jobs the sweep was asked to run.
+    pub total: usize,
+}
+
+impl fmt::Display for Interrupted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sweep interrupted after {} of {} jobs (completed results are in the cache; \
+             re-running resumes from there)",
+            self.completed, self.total
+        )
+    }
+}
+
+impl std::error::Error for Interrupted {}
+
+/// Unwind out of a cancelled sweep with a typed [`Interrupted`] payload.
+///
+/// This is the one place the sweep engine deliberately unwinds: the
+/// payload is *data*, not a bug report, and the workspace's two unwind
+/// boundaries (the CLI's process-exit hook having already run, or the
+/// serve worker's `catch_unwind`) both know to look for it via
+/// [`interrupted_payload`].
+pub(crate) fn interrupt_unwind(info: Interrupted) -> ! {
+    std::panic::panic_any(info)
+}
+
+/// Recover the [`Interrupted`] payload from a caught unwind, if the
+/// unwind came from a cancelled sweep rather than a genuine panic.
+pub fn interrupted_payload(payload: &(dyn Any + Send)) -> Option<Interrupted> {
+    payload.downcast_ref::<Interrupted>().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_signal_raises() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let sig = CancelSignal::from_flag(flag.clone());
+        assert!(!sig.is_raised());
+        flag.store(true, Ordering::SeqCst);
+        assert!(sig.is_raised());
+    }
+
+    #[test]
+    fn predicate_signal_polls() {
+        let sig = CancelSignal::from_fn(|| true);
+        assert!(sig.is_raised());
+    }
+
+    #[test]
+    fn unwind_payload_round_trips() {
+        let info = Interrupted {
+            completed: 3,
+            total: 10,
+        };
+        let caught = std::panic::catch_unwind(|| interrupt_unwind(info)).unwrap_err();
+        assert_eq!(interrupted_payload(caught.as_ref()), Some(info));
+        let other = std::panic::catch_unwind(|| panic!("real bug")).unwrap_err();
+        assert_eq!(interrupted_payload(other.as_ref()), None);
+    }
+
+    #[test]
+    fn display_names_progress() {
+        let msg = Interrupted {
+            completed: 3,
+            total: 10,
+        }
+        .to_string();
+        assert!(msg.contains("3 of 10"), "{msg}");
+        assert!(msg.contains("cache"), "{msg}");
+    }
+}

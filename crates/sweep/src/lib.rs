@@ -28,6 +28,11 @@
 //!   Timing is *reporting only*; it never feeds back into results, which
 //!   is the contract under which this crate's `Instant::now` suppressions
 //!   are justified.
+//! * [`cancel`] — cooperative cancellation. A [`CancelSignal`] stops a
+//!   runner from claiming further jobs (in-flight jobs finish and reach
+//!   the cache); the sweep then unwinds with a typed [`Interrupted`]
+//!   payload rather than returning a partial `Vec`. Cancellation affects
+//!   *whether* a sweep completes, never *what* a completed sweep returns.
 //!
 //! This is the only crate in the workspace where spawning threads is
 //! policy-allowed by `axcc-tidy`; everywhere else thread use remains a
@@ -40,12 +45,14 @@
 )]
 
 pub mod cache;
+pub mod cancel;
 pub mod pool;
 pub mod progress;
 pub mod record;
 pub mod runner;
 
 pub use cache::ResultCache;
+pub use cancel::{interrupted_payload, CancelSignal, Interrupted};
 pub use progress::{ExperimentTiming, Stopwatch};
 pub use record::{Cacheable, Record, RecordReader};
-pub use runner::{EvalMode, SweepJob, SweepRunner, SweepStats, ENGINE_REVISION};
+pub use runner::{EvalMode, InterruptHook, SweepJob, SweepRunner, SweepStats, ENGINE_REVISION};

@@ -9,7 +9,14 @@
 //! invariant that every job body is itself deterministic (no wall-clock,
 //! no ambient randomness — enforced by `axcc-tidy`), a parallel sweep is
 //! bit-identical to a serial one.
+//!
+//! Cancellation follows the same discipline: a raised
+//! [`CancelSignal`](crate::cancel::CancelSignal) stops workers from
+//! *claiming* further jobs, but claimed jobs always run to completion, so
+//! an interrupted pool reports "n of m completed" rather than tearing
+//! down mid-result.
 
+use crate::cancel::CancelSignal;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
@@ -27,8 +34,41 @@ where
     T: Send,
     F: Fn(usize, &I) -> T + Sync,
 {
+    // The Err arm is unreachable without a signal; satisfy the type
+    // without panicking.
+    run_ordered_cancellable(workers, inputs, f, None).unwrap_or_default()
+}
+
+/// [`run_ordered`] with an optional cancellation signal.
+///
+/// The signal is polled before every job claim (on the serial path,
+/// before every job). When it is raised, workers finish the jobs they
+/// already claimed, stop claiming, and the call returns
+/// `Err(completed_count)` — never a partial `Vec`.
+pub fn run_ordered_cancellable<I, T, F>(
+    workers: usize,
+    inputs: &[I],
+    f: F,
+    cancel: Option<&CancelSignal>,
+) -> Result<Vec<T>, usize>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    let stopped = |done: usize| -> bool {
+        done < inputs.len() && cancel.is_some_and(CancelSignal::is_raised)
+    };
+
     if workers <= 1 || inputs.len() <= 1 {
-        return inputs.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+        let mut out = Vec::with_capacity(inputs.len());
+        for (i, x) in inputs.iter().enumerate() {
+            if stopped(i) {
+                return Err(i);
+            }
+            out.push(f(i, x));
+        }
+        return Ok(out);
     }
 
     let cursor = AtomicUsize::new(0);
@@ -44,6 +84,9 @@ where
                 scope.spawn(|| {
                     let mut local = Vec::new();
                     loop {
+                        if cancel.is_some_and(CancelSignal::is_raised) {
+                            break;
+                        }
                         let idx = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(input) = inputs.get(idx) else {
                             break;
@@ -67,14 +110,19 @@ where
         std::panic::resume_unwind(payload);
     }
 
+    if tagged.len() < inputs.len() {
+        return Err(tagged.len());
+    }
     tagged.sort_unstable_by_key(|&(idx, _)| idx);
     debug_assert_eq!(tagged.len(), inputs.len());
-    tagged.into_iter().map(|(_, v)| v).collect()
+    Ok(tagged.into_iter().map(|(_, v)| v).collect())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
 
     #[test]
     fn parallel_matches_serial_order() {
@@ -107,5 +155,66 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn raised_signal_stops_serial_claims() {
+        let inputs: Vec<usize> = (0..10).collect();
+        let flag = Arc::new(AtomicBool::new(false));
+        let sig = CancelSignal::from_flag(flag.clone());
+        let completed = run_ordered_cancellable(
+            1,
+            &inputs,
+            |_, &x| {
+                if x == 2 {
+                    flag.store(true, Ordering::SeqCst);
+                }
+                x
+            },
+            Some(&sig),
+        )
+        .unwrap_err();
+        // Jobs 0..=2 ran (the flag went up inside job 2); job 3 was never claimed.
+        assert_eq!(completed, 3);
+    }
+
+    #[test]
+    fn raised_signal_stops_parallel_claims_without_partial_output() {
+        let inputs: Vec<usize> = (0..64).collect();
+        let flag = Arc::new(AtomicBool::new(false));
+        let sig = CancelSignal::from_flag(flag.clone());
+        let result = run_ordered_cancellable(
+            4,
+            &inputs,
+            |_, &x| {
+                if x == 8 {
+                    flag.store(true, Ordering::SeqCst);
+                }
+                x
+            },
+            Some(&sig),
+        );
+        let completed = result.unwrap_err();
+        assert!(completed < inputs.len());
+        // In-flight jobs finished: the job that raised the flag completed.
+        assert!(completed >= 1);
+    }
+
+    #[test]
+    fn unraised_signal_changes_nothing() {
+        let inputs: Vec<usize> = (0..20).collect();
+        let sig = CancelSignal::from_fn(|| false);
+        let out = run_ordered_cancellable(4, &inputs, |_, &x| x * 2, Some(&sig)).unwrap();
+        assert_eq!(out, (0..20).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn signal_raised_before_start_completes_zero() {
+        let inputs: Vec<usize> = (0..5).collect();
+        let sig = CancelSignal::from_fn(|| true);
+        assert_eq!(
+            run_ordered_cancellable(1, &inputs, |_, &x| x, Some(&sig)).unwrap_err(),
+            0
+        );
     }
 }

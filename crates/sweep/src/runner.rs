@@ -8,11 +8,13 @@
 //! whether `workers` is 1 or 100, cold cache or warm.
 
 use crate::cache::ResultCache;
-use crate::pool::run_ordered;
+use crate::cancel::{interrupt_unwind, CancelSignal, Interrupted};
+use crate::pool::run_ordered_cancellable;
 use crate::record::Cacheable;
 use axcc_core::fingerprint::{Digest, Fingerprint, Fingerprinter};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Bump when an engine change (simulator semantics, metric definitions,
 /// protocol dynamics) invalidates previously cached results. The
@@ -92,29 +94,52 @@ impl SweepStats {
     }
 }
 
+/// Callback invoked on the sweeping thread after a cancellation drains,
+/// before the sweep unwinds (see [`SweepRunner::with_interrupt_hook`]).
+pub type InterruptHook = Box<dyn Fn(&Interrupted) + Send + Sync>;
+
 /// Orchestrates sweeps: content addressing + cache + ordered pool.
-#[derive(Debug)]
 pub struct SweepRunner {
     workers: usize,
-    cache: Option<ResultCache>,
+    cache: Option<Arc<ResultCache>>,
     engine_tag: String,
     eval_mode: EvalMode,
+    cancel: Option<CancelSignal>,
+    interrupt_hook: Option<InterruptHook>,
     hits: AtomicU64,
     executed: AtomicU64,
 }
 
+impl std::fmt::Debug for SweepRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepRunner")
+            .field("workers", &self.workers)
+            .field("caching", &self.cache.is_some())
+            .field("engine_tag", &self.engine_tag)
+            .field("eval_mode", &self.eval_mode)
+            .field("cancellable", &self.cancel.is_some())
+            .finish()
+    }
+}
+
 impl SweepRunner {
-    /// Runner with `workers` threads and an in-memory cache.
-    /// `workers == 0` selects the host's available parallelism.
-    pub fn new(workers: usize) -> Self {
+    fn with_cache_opt(workers: usize, cache: Option<Arc<ResultCache>>) -> Self {
         SweepRunner {
             workers: resolve_workers(workers),
-            cache: Some(ResultCache::in_memory()),
+            cache,
             engine_tag: default_engine_tag(),
             eval_mode: EvalMode::default(),
+            cancel: None,
+            interrupt_hook: None,
             hits: AtomicU64::new(0),
             executed: AtomicU64::new(0),
         }
+    }
+
+    /// Runner with `workers` threads and an in-memory cache.
+    /// `workers == 0` selects the host's available parallelism.
+    pub fn new(workers: usize) -> Self {
+        Self::with_cache_opt(workers, Some(Arc::new(ResultCache::in_memory())))
     }
 
     /// The serial reference runner: one worker, in-memory cache. This is
@@ -126,26 +151,20 @@ impl SweepRunner {
 
     /// Runner whose cache persists under `dir` (one file per digest).
     pub fn with_disk_cache(workers: usize, dir: PathBuf) -> Self {
-        SweepRunner {
-            workers: resolve_workers(workers),
-            cache: Some(ResultCache::with_disk(dir)),
-            engine_tag: default_engine_tag(),
-            eval_mode: EvalMode::default(),
-            hits: AtomicU64::new(0),
-            executed: AtomicU64::new(0),
-        }
+        Self::with_cache_opt(workers, Some(Arc::new(ResultCache::with_disk(dir))))
+    }
+
+    /// Runner over an existing shared cache. This is how a long-running
+    /// service gives every request its own runner (own cancellation
+    /// signal, own statistics) while all requests share one
+    /// content-addressed store.
+    pub fn with_cache_handle(workers: usize, cache: Arc<ResultCache>) -> Self {
+        Self::with_cache_opt(workers, Some(cache))
     }
 
     /// Runner with caching disabled entirely (`--no-cache`).
     pub fn without_cache(workers: usize) -> Self {
-        SweepRunner {
-            workers: resolve_workers(workers),
-            cache: None,
-            engine_tag: default_engine_tag(),
-            eval_mode: EvalMode::default(),
-            hits: AtomicU64::new(0),
-            executed: AtomicU64::new(0),
-        }
+        Self::with_cache_opt(workers, None)
     }
 
     /// Override the engine tag (tests use this to prove that an
@@ -167,6 +186,31 @@ impl SweepRunner {
     /// The evaluation mode experiments should run under.
     pub fn eval_mode(&self) -> EvalMode {
         self.eval_mode
+    }
+
+    /// Attach a cancellation signal. The runner polls it before every job
+    /// claim; when it is raised, in-flight jobs finish (and their results
+    /// reach the cache), no further jobs start, and the sweep unwinds
+    /// with an [`Interrupted`] payload — see [`crate::cancel`] for the
+    /// contract and the sanctioned unwind boundaries.
+    pub fn with_cancel(mut self, signal: CancelSignal) -> Self {
+        self.cancel = Some(signal);
+        self
+    }
+
+    /// Install a hook that runs (on the sweeping thread) after a
+    /// cancellation drains but before the sweep unwinds. The CLI uses it
+    /// to print a partial report and exit the process cleanly; a hook
+    /// that returns lets the unwind proceed to a `catch_unwind` boundary.
+    pub fn with_interrupt_hook(mut self, hook: InterruptHook) -> Self {
+        self.interrupt_hook = Some(hook);
+        self
+    }
+
+    /// The shared cache handle, for wiring further runners to the same
+    /// store (see [`with_cache_handle`](Self::with_cache_handle)).
+    pub fn cache_handle(&self) -> Option<Arc<ResultCache>> {
+        self.cache.clone()
     }
 
     /// Number of worker threads this runner fans out to.
@@ -207,6 +251,19 @@ impl SweepRunner {
         fp.finish()
     }
 
+    /// Worker count actually used for a batch of `jobs` jobs: batches too
+    /// small to amortize thread spawn + claim traffic run inline on the
+    /// calling thread (BENCH_sweep.json measured 0.93–0.96x "speedup" for
+    /// table1/table2-sized batches before this fallback). The output is
+    /// unaffected either way — that is the pool's ordering invariant.
+    fn effective_workers(&self, jobs: usize) -> usize {
+        if jobs < 2 * self.workers {
+            1
+        } else {
+            self.workers
+        }
+    }
+
     /// Run `eval` over every input, in parallel, answering repeated
     /// inputs from the cache. Results come back in input order and are
     /// bit-identical to a serial, uncached run.
@@ -220,21 +277,66 @@ impl SweepRunner {
         F: Fn(&I) -> T + Sync,
     {
         let digests: Vec<Digest> = inputs.iter().map(|i| self.job_digest(scope, i)).collect();
-        run_ordered(self.workers, inputs, |idx, input| {
-            let digest = digests[idx];
-            if let Some(cache) = &self.cache {
-                if let Some(hit) = cache.get(&digest).and_then(|r| T::from_record(&r)) {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                    return hit;
+        let outcome = run_ordered_cancellable(
+            self.effective_workers(inputs.len()),
+            inputs,
+            |idx, input| {
+                let digest = digests[idx];
+                if let Some(cache) = &self.cache {
+                    if let Some(hit) = cache.get(&digest).and_then(|r| T::from_record(&r)) {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return hit;
+                    }
                 }
+                let out = eval(input);
+                self.executed.fetch_add(1, Ordering::Relaxed);
+                if let Some(cache) = &self.cache {
+                    cache.put(digest, out.to_record());
+                }
+                out
+            },
+            self.cancel.as_ref(),
+        );
+        match outcome {
+            Ok(results) => results,
+            Err(completed) => {
+                let info = Interrupted {
+                    completed,
+                    total: inputs.len(),
+                };
+                if let Some(hook) = &self.interrupt_hook {
+                    hook(&info);
+                }
+                interrupt_unwind(info)
             }
-            let out = eval(input);
-            self.executed.fetch_add(1, Ordering::Relaxed);
-            if let Some(cache) = &self.cache {
-                cache.put(digest, out.to_record());
+        }
+    }
+
+    /// Evaluate one job on the calling thread, answering it from the
+    /// cache when possible. This is the service fast path: a request that
+    /// maps to a single evaluation needs content addressing and the
+    /// shared store, not a worker fan-out, and `FnOnce` lets the caller
+    /// move non-`Sync` state (e.g. a freshly resolved `Box<dyn Protocol>`)
+    /// into the evaluation.
+    pub fn run_cached<I, T, F>(&self, scope: &str, input: &I, eval: F) -> T
+    where
+        I: Fingerprint,
+        T: Cacheable,
+        F: FnOnce() -> T,
+    {
+        let digest = self.job_digest(scope, input);
+        if let Some(cache) = &self.cache {
+            if let Some(hit) = cache.get(&digest).and_then(|r| T::from_record(&r)) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return hit;
             }
-            out
-        })
+        }
+        let out = eval();
+        self.executed.fetch_add(1, Ordering::Relaxed);
+        if let Some(cache) = &self.cache {
+            cache.put(digest, out.to_record());
+        }
+        out
     }
 
     /// Run a slice of self-contained [`SweepJob`]s.
@@ -340,6 +442,95 @@ mod tests {
         assert_eq!(SweepRunner::serial().eval_mode(), EvalMode::Streaming);
         let traced = SweepRunner::serial().with_eval_mode(EvalMode::Traced);
         assert_eq!(traced.eval_mode(), EvalMode::Traced);
+    }
+
+    #[test]
+    fn tiny_batches_fall_back_to_serial() {
+        let runner = SweepRunner::new(4);
+        // 7 jobs < 2×4 workers: run inline.
+        assert_eq!(runner.effective_workers(7), 1);
+        // 8 jobs ≥ 2×4 workers: fan out.
+        assert_eq!(runner.effective_workers(8), 4);
+        // A serial runner is unaffected.
+        assert_eq!(SweepRunner::serial().effective_workers(1000), 1);
+        // …and the fallback never changes results.
+        let jobs: Vec<Square> = (0..7).map(|i| Square(i as f64)).collect();
+        assert_eq!(
+            runner.run_jobs("square", &jobs),
+            SweepRunner::serial().run_jobs("square", &jobs)
+        );
+    }
+
+    #[test]
+    fn shared_cache_handle_is_shared_across_runners() {
+        let a = SweepRunner::serial();
+        let cache = a.cache_handle().unwrap();
+        a.sweep("shared", &[1.0f64, 2.0], |&x| x * 3.0);
+        let b = SweepRunner::with_cache_handle(1, cache);
+        let evals = AtomicUsize::new(0);
+        let out = b.sweep("shared", &[1.0f64, 2.0], |&x| {
+            evals.fetch_add(1, Ordering::Relaxed);
+            x * 3.0
+        });
+        assert_eq!(out, vec![3.0, 6.0]);
+        assert_eq!(evals.load(Ordering::Relaxed), 0, "all answered from cache");
+        assert_eq!(b.stats().cache_hits, 2);
+    }
+
+    #[test]
+    fn run_cached_hits_like_sweep() {
+        let runner = SweepRunner::serial();
+        let first = runner.run_cached("single", &2.0f64, || 4.0);
+        assert_eq!(first, 4.0);
+        // Same address: answered from cache, eval not called.
+        let second = runner.run_cached("single", &2.0f64, || -> f64 { unreachable!() });
+        assert_eq!(second, 4.0);
+        let stats = runner.stats();
+        assert_eq!((stats.cache_hits, stats.executed), (1, 1));
+        // And the sweep path shares the address space.
+        let via_sweep = runner.sweep("single", &[2.0f64], |_| -> f64 { unreachable!() });
+        assert_eq!(via_sweep, vec![4.0]);
+    }
+
+    #[test]
+    fn cancelled_sweep_unwinds_with_typed_payload_after_hook() {
+        use crate::cancel::interrupted_payload;
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let flag = Arc::new(AtomicBool::new(false));
+        let hook_ran = Arc::new(AtomicBool::new(false));
+        let hook_flag = hook_ran.clone();
+        let runner = SweepRunner::serial()
+            .with_cancel(CancelSignal::from_flag(flag.clone()))
+            .with_interrupt_hook(Box::new(move |info| {
+                assert_eq!(info.total, 6);
+                hook_flag.store(true, Ordering::SeqCst);
+            }));
+        let inputs = vec![0.0f64, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            runner.sweep("cancelme", &inputs, |&x| {
+                if x == 1.0 {
+                    flag.store(true, Ordering::SeqCst);
+                }
+                x * 10.0
+            })
+        }))
+        .unwrap_err();
+        let info = interrupted_payload(payload.as_ref()).expect("typed Interrupted payload");
+        assert_eq!((info.completed, info.total), (2, 6));
+        assert!(hook_ran.load(Ordering::SeqCst), "hook runs before unwind");
+        // Completed jobs were written through to the cache: with the
+        // signal lowered, the same runner re-executes only the remaining
+        // four.
+        flag.store(false, Ordering::SeqCst);
+        let evals = AtomicUsize::new(0);
+        let out = runner.sweep("cancelme", &inputs, |&x| {
+            evals.fetch_add(1, Ordering::Relaxed);
+            x * 10.0
+        });
+        assert_eq!(out, vec![0.0, 10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(evals.load(Ordering::Relaxed), 4);
     }
 
     #[test]

@@ -14,6 +14,11 @@
 //!   thread-spawning determinism patterns are waived — its worker pool
 //!   reassembles results in submission order, so scheduling can never
 //!   reach an output. Thread use anywhere else is still flagged.
+//! * **Evaluation daemon** (`crates/serve`): every rule, with the thread
+//!   and wall-clock determinism patterns waived (a server *is* about wall
+//!   time and concurrency; neither feeds back into simulation results)
+//!   and `catch_unwind` permitted only in `worker.rs`, the job boundary
+//!   that converts a panicking scenario into a typed error response.
 //! * **Examples**: pattern rules but no crate-root hygiene (they are
 //!   single files, not crates).
 //! * **Tooling** (`xtask` itself): determinism and hygiene; the tool
@@ -59,9 +64,28 @@ pub fn policy_for(rel_path: &str) -> Option<FilePolicy> {
         hygiene: true,
         trace_discipline: true,
         allow_threads: false,
+        allow_wall_clock: false,
+        allow_catch_unwind: false,
     };
 
-    let (rules, hygiene_kind) = if rel_path.starts_with("crates/sweep/") {
+    let (rules, hygiene_kind) = if rel_path.starts_with("crates/serve/") {
+        // The evaluation daemon lives in wall-clock time by design
+        // (deadlines, idle timeouts, latency percentiles) and runs
+        // connection/worker threads whose outputs are per-request, never
+        // merged into a result ordering. The `catch_unwind` waiver is
+        // narrower still: only the worker's job boundary — the one place
+        // a poisoned scenario is converted into a typed error response —
+        // may catch a panic.
+        (
+            RuleSet {
+                allow_threads: true,
+                allow_wall_clock: true,
+                allow_catch_unwind: rel_path == "crates/serve/src/worker.rs",
+                ..all
+            },
+            hygiene_kind_for(rel_path),
+        )
+    } else if rel_path.starts_with("crates/sweep/") {
         // The sweep crate's ordered worker pool is the one sanctioned
         // home for threads: results are reassembled in submission order,
         // so scheduling nondeterminism cannot reach any output. All
@@ -201,6 +225,34 @@ mod tests {
                 policy_for(other).unwrap().rules.trace_discipline,
                 "{other} must not construct RunTrace directly"
             );
+        }
+    }
+
+    #[test]
+    fn serve_waivers_are_scoped() {
+        // The daemon may use threads and wall clocks everywhere…
+        let server = policy_for("crates/serve/src/server.rs").unwrap();
+        assert!(server.rules.allow_threads && server.rules.allow_wall_clock);
+        // …but catch_unwind only at the worker's job boundary.
+        assert!(!server.rules.allow_catch_unwind);
+        let worker = policy_for("crates/serve/src/worker.rs").unwrap();
+        assert!(worker.rules.allow_catch_unwind);
+        // Every other rule family stays in force.
+        assert!(worker.rules.panic_freedom && worker.rules.nan_safety);
+        assert!(worker.rules.determinism && worker.rules.unit_safety);
+        // No other crate gets either waiver.
+        for other in [
+            "crates/sweep/src/pool.rs",
+            "crates/cli/src/commands.rs",
+            "crates/fluidsim/src/engine.rs",
+            "src/lib.rs",
+        ] {
+            let p = policy_for(other).unwrap();
+            assert!(
+                !p.rules.allow_wall_clock,
+                "{other} must not be clock-exempt"
+            );
+            assert!(!p.rules.allow_catch_unwind, "{other} must not catch panics");
         }
     }
 

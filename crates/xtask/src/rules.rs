@@ -103,6 +103,16 @@ pub struct RuleSet {
     /// Only the `axcc-sweep` ordered worker pool earns this: it is the
     /// one place where threads provably cannot reorder results.
     pub allow_threads: bool,
+    /// Exempt this file from the wall-clock determinism patterns
+    /// (`SystemTime` / `Instant::now`). Only service code earns this:
+    /// deadlines, idle timeouts, and latency measurement are *about* wall
+    /// time, and none of it feeds back into simulation results.
+    pub allow_wall_clock: bool,
+    /// Exempt this file from the `catch_unwind` panic-freedom pattern.
+    /// Only the `axcc-serve` worker's job boundary earns this: it is the
+    /// one sanctioned place where a panic is converted into a typed error
+    /// response instead of propagating.
+    pub allow_catch_unwind: bool,
 }
 
 /// Substring patterns with fixed messages, applied to stripped code.
@@ -116,20 +126,27 @@ const DETERMINISM_PATTERNS: &[(&str, &str)] = &[
         "entropy-seeded RNG; seed a ChaCha8Rng from the scenario seed instead",
     ),
     (
-        "SystemTime",
-        "wall-clock read; simulators must use virtual time only",
-    ),
-    (
-        "Instant::now",
-        "wall-clock read; simulators must use virtual time only",
-    ),
-    (
         "HashMap",
         "unordered iteration is nondeterministic; use BTreeMap or a Vec",
     ),
     (
         "HashSet",
         "unordered iteration is nondeterministic; use BTreeSet or a sorted Vec",
+    ),
+];
+
+/// Wall-clock patterns: part of the determinism family, but separately
+/// gated so the policy can exempt service code (deadlines, idle timeouts,
+/// latency percentiles are *about* wall time) while simulators and
+/// experiments stay flagged.
+const WALL_CLOCK_PATTERNS: &[(&str, &str)] = &[
+    (
+        "SystemTime",
+        "wall-clock read; simulators must use virtual time only",
+    ),
+    (
+        "Instant::now",
+        "wall-clock read; simulators must use virtual time only",
     ),
 ];
 
@@ -213,6 +230,13 @@ pub fn check_lines(
                     findings.push((lineno, Rule::Determinism, format!("`{pat}`: {msg}")));
                 }
             }
+            if !rules.allow_wall_clock {
+                for &(pat, msg) in WALL_CLOCK_PATTERNS {
+                    if code.contains(pat) {
+                        findings.push((lineno, Rule::Determinism, format!("`{pat}`: {msg}")));
+                    }
+                }
+            }
             if !rules.allow_threads {
                 // Report each line once even when several thread patterns
                 // overlap on it (`std::thread::spawn` matches two).
@@ -250,6 +274,17 @@ pub fn check_lines(
                 if code.contains(pat) {
                     findings.push((lineno, Rule::PanicFreedom, format!("`{pat}`: {msg}")));
                 }
+            }
+            if !rules.allow_catch_unwind && code.contains("catch_unwind") {
+                findings.push((
+                    lineno,
+                    Rule::PanicFreedom,
+                    "`catch_unwind`: swallowing panics hides bugs and breaks the \
+                     fail-fast contract; a sanctioned panic-to-typed-error boundary \
+                     needs a policy waiver (the axcc-serve worker) or a tidy-allow \
+                     justification"
+                        .to_string(),
+                ));
             }
         }
         if rules.trace_discipline && is_trace_construction(code) {
@@ -548,7 +583,47 @@ mod tests {
             hygiene: true,
             trace_discipline: true,
             allow_threads: false,
+            allow_wall_clock: false,
+            allow_catch_unwind: false,
         }
+    }
+
+    #[test]
+    fn wall_clock_fires_unless_exempted() {
+        let f = lex("fn lib() { let t = Instant::now(); }\n");
+        let hits = check_lines(&f, all_rules(), false);
+        assert!(
+            hits.iter()
+                .any(|(_, r, m)| *r == Rule::Determinism && m.contains("wall-clock")),
+            "Instant::now must be a determinism finding; got {hits:?}"
+        );
+        let exempt = RuleSet {
+            allow_wall_clock: true,
+            ..all_rules()
+        };
+        assert!(check_lines(&f, exempt, false).is_empty());
+        // The exemption is narrow: thread patterns still fire there.
+        let f = lex("fn lib() { std::thread::spawn(|| {}); }\n");
+        assert!(!check_lines(&f, exempt, false).is_empty());
+    }
+
+    #[test]
+    fn catch_unwind_fires_unless_exempted() {
+        let f = lex("fn lib() { let r = std::panic::catch_unwind(job); }\n");
+        let hits = check_lines(&f, all_rules(), false);
+        assert!(
+            hits.iter()
+                .any(|(_, r, m)| *r == Rule::PanicFreedom && m.contains("catch_unwind")),
+            "catch_unwind must be a panic-freedom finding; got {hits:?}"
+        );
+        let exempt = RuleSet {
+            allow_catch_unwind: true,
+            ..all_rules()
+        };
+        assert!(check_lines(&f, exempt, false).is_empty());
+        // The exemption is narrow: .unwrap() still fires there.
+        let f = lex("fn lib() { x.unwrap(); }\n");
+        assert!(!check_lines(&f, exempt, false).is_empty());
     }
 
     #[test]

@@ -24,4 +24,8 @@ echo "==> bench-engine --smoke (streaming ≡ traced identity + wall-clock)"
 cargo run -q --release -p axcc-bench --bin bench-engine -- --smoke \
   --out target/BENCH_engine_smoke.json > /dev/null
 
+echo "==> bench-serve --spawn (service smoke: daemon up, bench, drain)"
+cargo run -q -p axcc-cli -- bench-serve --spawn --levels 1,2 --requests 3 \
+  --steps 120 --out target/BENCH_service_smoke.json > /dev/null
+
 echo "All checks passed."

@@ -9,7 +9,7 @@
 //! the machinery that regenerates every table and figure in the paper's
 //! evaluation.
 //!
-//! This crate is a facade: it re-exports the six library crates so
+//! This crate is a facade: it re-exports the seven library crates so
 //! applications can depend on one name.
 //!
 //! ```
@@ -42,7 +42,12 @@
 //!   builders for Table 1, Table 2, Figure 1 and the theorem checks;
 //! * [`sweep`] — the deterministic parallel experiment runner with a
 //!   content-addressed result cache that the experiment suite fans out
-//!   through (`axcc run-all`).
+//!   through (`axcc run-all`);
+//! * [`serve`] — the fault-tolerant evaluation daemon (`axcc serve`):
+//!   newline-delimited JSON over TCP with a typed error taxonomy,
+//!   per-job panic isolation, deadlines, bounded-queue overload
+//!   shedding, and graceful drain — plus its closed-loop bench client
+//!   (`axcc bench-serve`).
 //!
 //! Runnable walkthroughs live in `examples/`; the paper's tables and
 //! figures regenerate via the `axcc-bench` binaries (see README).
@@ -58,4 +63,5 @@ pub use axcc_core as core;
 pub use axcc_fluidsim as fluidsim;
 pub use axcc_packetsim as packetsim;
 pub use axcc_protocols as protocols;
+pub use axcc_serve as serve;
 pub use axcc_sweep as sweep;

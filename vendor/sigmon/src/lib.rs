@@ -1,0 +1,103 @@
+//! Offline vendored helper: a process-wide SIGINT latch.
+//!
+//! The workspace is `unsafe`-free and dependency-free, but graceful
+//! Ctrl-C handling (drain the evaluation daemon, flush the sweep cache,
+//! print a partial report) fundamentally requires registering a signal
+//! handler, which is FFI. Like the other `vendor/` stubs, this crate
+//! carries its own (minimal) lint policy so the one `unsafe` block in the
+//! workspace lives here, behind a safe two-function API:
+//!
+//! * [`install`] — register the latch for `SIGINT` (idempotent);
+//! * [`interrupted`] / [`interrupt_count`] — poll the latch.
+//!
+//! The handler itself only performs async-signal-safe work: it increments
+//! one `AtomicUsize`. Everything else (draining queues, flushing caches,
+//! exiting) happens on normal threads that *poll* the latch. A second
+//! Ctrl-C is visible as `interrupt_count() >= 2`, which callers use to
+//! escalate from "graceful drain" to "exit now".
+//!
+//! Registration uses `signal(2)`, which on Linux/glibc gives BSD
+//! semantics (the handler stays installed and interrupted syscalls are
+//! restarted), so pollers must use timeouts or non-blocking I/O rather
+//! than expecting `EINTR` wakeups — which is how the workspace's accept
+//! and queue loops are written anyway.
+
+#![deny(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// `SIGINT` on every platform the workspace targets (POSIX).
+const SIGINT: i32 = 2;
+
+/// How many SIGINTs have been received since [`install`].
+static RECEIVED: AtomicUsize = AtomicUsize::new(0);
+
+/// Whether the handler has been registered already.
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigint(_signum: i32) {
+    // Async-signal-safe: a single lock-free atomic increment.
+    RECEIVED.fetch_add(1, Ordering::SeqCst);
+}
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+/// Register the SIGINT latch. Returns `false` if registration failed
+/// (the process then keeps the default die-on-Ctrl-C behaviour).
+/// Idempotent: repeated calls re-use the first registration.
+pub fn install() -> bool {
+    if INSTALLED.swap(true, Ordering::SeqCst) {
+        return true;
+    }
+    const SIG_ERR: usize = usize::MAX;
+    // SAFETY: `signal` is a POSIX libc function; `on_sigint` is an
+    // `extern "C" fn(i32)` whose body is async-signal-safe (one atomic
+    // increment, no allocation, no locks).
+    let previous = unsafe { signal(SIGINT, on_sigint as extern "C" fn(i32) as usize) };
+    if previous == SIG_ERR {
+        INSTALLED.store(false, Ordering::SeqCst);
+        return false;
+    }
+    true
+}
+
+/// Whether at least one SIGINT has arrived since [`install`].
+pub fn interrupted() -> bool {
+    RECEIVED.load(Ordering::SeqCst) > 0
+}
+
+/// Number of SIGINTs received since [`install`] (a second Ctrl-C is the
+/// conventional "stop draining, exit now" escalation).
+pub fn interrupt_count() -> usize {
+    RECEIVED.load(Ordering::SeqCst)
+}
+
+/// Reset the latch (test support; also lets a long-lived REPL reuse it).
+pub fn reset() {
+    RECEIVED.store(0, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latch_starts_clear_and_resets() {
+        reset();
+        assert!(!interrupted());
+        assert_eq!(interrupt_count(), 0);
+        RECEIVED.fetch_add(2, Ordering::SeqCst);
+        assert!(interrupted());
+        assert_eq!(interrupt_count(), 2);
+        reset();
+        assert!(!interrupted());
+    }
+
+    #[test]
+    fn install_is_idempotent() {
+        assert!(install());
+        assert!(install());
+    }
+}
