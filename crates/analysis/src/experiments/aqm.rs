@@ -131,6 +131,7 @@ impl Cacheable for AqmCell {
 /// One (protocol × discipline) packet-level run. Protocols are rebuilt
 /// from the lineup index inside `run` (`Send` but not `Sync`).
 struct AqmJob {
+    // tidy-allow: fingerprint-coverage — redundant with proto_name: the lineup is fixed and names embed every constructor parameter, so equal names imply equal indices.
     proto_index: usize,
     proto_name: String,
     discipline: Discipline,

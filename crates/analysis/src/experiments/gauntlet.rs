@@ -263,6 +263,7 @@ fn fingerprint_grid(fp: &mut Fingerprinter) {
 /// one (protocol, burst length) pair. Protocols are rebuilt from the
 /// lineup index inside `run` (they are `Send` but not `Sync`).
 struct CellScoreJob {
+    // tidy-allow: fingerprint-coverage — redundant with name: the lineup is fixed and names embed every constructor parameter, so equal names imply equal indices.
     index: usize,
     name: String,
     burst_len: usize,
@@ -296,6 +297,7 @@ impl SweepJob for CellScoreJob {
 /// One protocol's side-effect columns (impaired efficiency and
 /// friendliness) under the reference impairment.
 struct SideEffectJob {
+    // tidy-allow: fingerprint-coverage — redundant with name: the lineup is fixed and names embed every constructor parameter, so equal names imply equal indices.
     index: usize,
     name: String,
     steps: usize,

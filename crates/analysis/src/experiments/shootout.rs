@@ -109,6 +109,7 @@ impl Cacheable for ShootoutRow {
 /// `Sync`); its display name carries every constructor parameter, so the
 /// (name, steps) pair pins the job identity.
 struct LineupJob {
+    // tidy-allow: fingerprint-coverage — redundant with name: the lineup is fixed and names embed every constructor parameter, so equal names imply equal indices.
     index: usize,
     name: String,
     steps: usize,

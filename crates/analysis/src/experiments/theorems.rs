@@ -76,6 +76,7 @@ const CHECKS: [(&str, CheckFn); 6] = [
 /// One theorem-check job, identified by its stable dispatch key.
 struct CheckJob {
     key: &'static str,
+    // tidy-allow: fingerprint-coverage — redundant with key: the dispatch table maps each stable key to exactly one check function.
     run: CheckFn,
     steps: usize,
     mode: EvalMode,

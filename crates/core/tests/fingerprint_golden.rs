@@ -1,0 +1,103 @@
+//! Golden digest vectors for the content-addressed cache.
+//!
+//! The sweep cache stores results under `Digest::to_hex` file names, so
+//! the canonical byte encoding in `axcc_core::fingerprint` is a *frozen
+//! contract*: any change to the FNV constants, the length-prefix rules,
+//! or a `Fingerprint` impl silently invalidates (or worse, aliases)
+//! every cached result on disk. These vectors pin the encoding — if one
+//! fails, either revert the encoding change or bump the engine-version
+//! string the runner mixes into every digest, and regenerate.
+
+use axcc_core::fingerprint::{Digest, Fingerprint, Fingerprinter};
+use axcc_core::link::LinkParams;
+use proptest::prelude::*;
+
+#[track_caller]
+fn assert_digest(actual: Digest, expected_hex: &str) {
+    assert_eq!(
+        actual.to_hex(),
+        expected_hex,
+        "the canonical fingerprint encoding changed; cached digests on \
+         disk no longer address the same content"
+    );
+}
+
+#[test]
+fn golden_primitive_vectors() {
+    // The empty fingerprint is the two FNV-1a offset bases themselves.
+    assert_digest(
+        Fingerprinter::new().finish(),
+        "cbf29ce48422232555c5e55dfb685f30",
+    );
+    assert_digest(0u64.digest(), "a8c7f832281a39c59ee92ea251c82530");
+    assert_digest(1.5f64.digest(), "aa95e93229a27c809d87cda2509bf605");
+    assert_digest(true.digest(), "af63bc4c8601b62c27a3efb23259c043");
+    assert_digest(None::<f64>.digest(), "af63bd4c8601b7df27a3eeb23259be90");
+    assert_digest("scenario".digest(), "0e72bf88ab266b87e4f46e3a911e2cf2");
+}
+
+#[test]
+fn golden_composite_vectors() {
+    assert_digest(
+        ("AIMD(1,0.5)", 4usize, 0.042f64).digest(),
+        "4f69582f7da6729c4108f43de9982be3",
+    );
+    assert_digest(
+        vec![1.0f64, 2.0].digest(),
+        "932e189cc073d0b6c72a35a145980a4b",
+    );
+    let link = LinkParams {
+        bandwidth: 100.0,
+        prop_delay: 0.05,
+        buffer: 50.0,
+        timeout_delta: 0.6,
+    };
+    assert_digest(link.digest(), "631ea4a5dd94469896a63cdd24e94095");
+}
+
+#[test]
+fn golden_structural_properties() {
+    // -0.0 and 0.0 have distinct bit patterns and distinct digests…
+    assert_digest((-0.0f64).digest(), "a8c77832281960459ee9aea251c8feb0");
+    // …while values with identical canonical bytes digest identically
+    // across types: "" (a zero length prefix), 0u64, and 0.0f64 are all
+    // eight zero bytes. Types are NOT encoded — impls that need domain
+    // separation write a tag string first (as `LinkParams` does).
+    assert_eq!("".digest(), 0u64.digest());
+    assert_eq!(0.0f64.digest(), 0u64.digest());
+}
+
+proptest! {
+    /// Every digest survives the hex round trip, and the rendering is
+    /// exactly 32 lowercase hex digits (the cache file-name contract).
+    #[test]
+    fn hex_round_trips(hi in any::<u64>(), lo in any::<u64>()) {
+        let d = Digest { hi, lo };
+        let hex = d.to_hex();
+        prop_assert_eq!(hex.len(), 32);
+        prop_assert!(hex.bytes().all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase()));
+        prop_assert_eq!(Digest::from_hex(&hex), Some(d));
+    }
+
+    /// Parsing accepts exactly the 32-hex-digit language: case-variant
+    /// inputs parse to the same digest, anything else is rejected.
+    /// (Digits 0-15 render lowercase, 16-21 exercise uppercase A-F.)
+    #[test]
+    fn from_hex_rejects_non_canonical(digits in proptest::collection::vec(0u8..22, 0..40)) {
+        let s: String = digits
+            .iter()
+            .map(|&d| {
+                let v = if d < 16 { d } else { d - 6 };
+                let c = char::from_digit(u32::from(v), 16).unwrap_or('0');
+                if d < 16 { c } else { c.to_ascii_uppercase() }
+            })
+            .collect();
+        match Digest::from_hex(&s) {
+            Some(d) => {
+                prop_assert_eq!(s.len(), 32);
+                prop_assert_eq!(d.to_hex(), s.to_ascii_lowercase());
+            }
+            None => prop_assert_ne!(s.len(), 32),
+        }
+    }
+}

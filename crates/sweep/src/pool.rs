@@ -79,7 +79,6 @@ where
     let mut tagged: Vec<(usize, T)> = Vec::with_capacity(inputs.len());
     let panicked = thread::scope(|scope| {
         let handles: Vec<_> = (0..n_workers)
-            // tidy-allow: determinism — worker threads only *claim* jobs; results are reordered by submission index below, so output is schedule-independent.
             .map(|_| {
                 scope.spawn(|| {
                     let mut local = Vec::new();

@@ -26,7 +26,6 @@ impl Stopwatch {
 
     /// Seconds elapsed since [`Stopwatch::start`].
     pub fn elapsed_secs(&self) -> f64 {
-        // tidy-allow: determinism — wall-clock read is reporting-only; elapsed time never feeds results or cache keys.
         self.started.elapsed().as_secs_f64()
     }
 }

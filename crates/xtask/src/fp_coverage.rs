@@ -1,0 +1,191 @@
+//! The `fingerprint-coverage` rule family.
+//!
+//! The content-addressed result cache is only sound if every field that
+//! can affect a job's output is folded into its fingerprint: a field
+//! added to a job type but not to its `Fingerprint` impl makes two
+//! distinct jobs collide on one digest, and the cache serves a stale
+//! result silently. This rule closes that hole structurally — for every
+//! non-test `impl Fingerprint for T` where `T` is a struct in the same
+//! crate, each declared field must be read (`self.field`) somewhere in
+//! the `fingerprint` body, or carry a justified
+//! `tidy-allow: fingerprint-coverage` waiver on its declaration line.
+//!
+//! Diagnostics anchor at the *field declaration*, not the impl, so the
+//! per-line waiver mechanism grants exactly per-field exemptions and a
+//! waiver survives impl-side refactors.
+//!
+//! Soundness caveats (see DESIGN.md §6): enum impls and impls for types
+//! not resolvable to an intra-crate struct are skipped, and a field read
+//! through destructuring (`let Self { .. } = self`) is not recognized —
+//! write `self.field` or waive.
+
+use crate::model::ItemIndex;
+use crate::parse::TokKind;
+use crate::rules::{Diagnostic, Rule};
+
+/// Run the family over every indexed crate.
+pub fn check(index: &ItemIndex<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let crates: Vec<String> = index.crates().map(str::to_string).collect();
+    for krate in &crates {
+        for entry in index.files_of(krate) {
+            for f in &entry.parsed.fns {
+                if f.in_test || f.name != "fingerprint" {
+                    continue;
+                }
+                if f.trait_name.as_deref() != Some("Fingerprint") {
+                    continue;
+                }
+                let Some(self_type) = f.self_type.as_deref() else {
+                    continue;
+                };
+                let Some((def_file, def)) = index.find_struct(krate, self_type, &entry.parsed.rel)
+                else {
+                    // Enums encode their variant tag by hand; primitives
+                    // and out-of-crate types have no field list to check.
+                    continue;
+                };
+                // Field-gating follows the *defining* file's policy.
+                let def_rules = index
+                    .files_of(krate)
+                    .find(|e| e.parsed.rel == def_file.rel)
+                    .map(|e| e.rules);
+                if !def_rules.is_some_and(|r| r.fingerprint_coverage) {
+                    continue;
+                }
+
+                // Every `self.<name>` / `self.<index>` read in the body.
+                let body = &entry.parsed.tokens[f.body.clone()];
+                let mut read = std::collections::BTreeSet::new();
+                for w in 0..body.len().saturating_sub(2) {
+                    if body[w].text == "self"
+                        && body[w + 1].text == "."
+                        && matches!(body[w + 2].kind, TokKind::Ident | TokKind::Number)
+                    {
+                        read.insert(body[w + 2].text.as_str());
+                    }
+                }
+
+                for field in &def.fields {
+                    if !read.contains(field.name.as_str()) {
+                        out.push(Diagnostic {
+                            file: def_file.rel.clone(),
+                            line: field.line,
+                            rule: Rule::FingerprintCoverage,
+                            message: format!(
+                                "field `{}` of `{}` is never read by its Fingerprint impl \
+                                 ({}:{}); a cache digest that ignores a field serves stale \
+                                 results — fingerprint it, or waive this field with \
+                                 `tidy-allow: fingerprint-coverage — why it cannot affect \
+                                 the job's output`",
+                                field.name, self_type, entry.parsed.rel, f.line
+                            ),
+                        });
+                    } else if field.ty.contains("HashMap") || field.ty.contains("HashSet") {
+                        out.push(Diagnostic {
+                            file: def_file.rel.clone(),
+                            line: field.line,
+                            rule: Rule::FingerprintCoverage,
+                            message: format!(
+                                "field `{}` of `{}` is fingerprinted through an unordered \
+                                 container ({}); its iteration order varies run to run, so \
+                                 equal jobs hash to different digests — use a BTreeMap/\
+                                 BTreeSet or a sorted Vec",
+                                field.name, self_type, field.ty
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Convenience for tests: index a single parsed crate and run the check.
+#[cfg(test)]
+pub fn check_files(files: &[crate::model::FileEntry]) -> Vec<Diagnostic> {
+    check(&ItemIndex::build(files))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::model::FileEntry;
+    use crate::parse::parse;
+    use crate::rules::RuleSet;
+
+    fn entry(rel: &str, src: &str) -> FileEntry {
+        FileEntry {
+            parsed: parse(rel, &lex(src)),
+            rules: RuleSet {
+                fingerprint_coverage: true,
+                ..RuleSet::default()
+            },
+        }
+    }
+
+    #[test]
+    fn missing_field_write_is_flagged_at_the_field() {
+        let files = vec![entry(
+            "crates/a/src/lib.rs",
+            "pub struct Job {\n    pub name: String,\n    pub steps: usize,\n}\n\
+             impl Fingerprint for Job {\n    fn fingerprint(&self, fp: &mut Fingerprinter) {\n        fp.write_str(&self.name);\n    }\n}\n",
+        )];
+        let diags = check_files(&files);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 3);
+        assert!(diags[0].message.contains("`steps`"));
+    }
+
+    #[test]
+    fn full_coverage_is_clean_including_cross_file() {
+        let files = vec![
+            entry(
+                "crates/a/src/fp.rs",
+                "impl Fingerprint for Job {\n    fn fingerprint(&self, fp: &mut Fingerprinter) {\n        fp.write_str(&self.name);\n        fp.write_usize(self.steps);\n    }\n}\n",
+            ),
+            entry(
+                "crates/a/src/jobs.rs",
+                "pub struct Job {\n    pub name: String,\n    pub steps: usize,\n}\n",
+            ),
+        ];
+        assert!(check_files(&files).is_empty());
+    }
+
+    #[test]
+    fn tuple_fields_and_enums() {
+        let files = vec![entry(
+            "crates/a/src/lib.rs",
+            "pub struct Pair(f64, u32);\n\
+             impl Fingerprint for Pair {\n    fn fingerprint(&self, fp: &mut Fingerprinter) {\n        fp.write_f64(self.0);\n    }\n}\n\
+             enum Mode { A, B }\n\
+             impl Fingerprint for Mode {\n    fn fingerprint(&self, fp: &mut Fingerprinter) {\n        fp.write_u8(0);\n    }\n}\n",
+        )];
+        let diags = check_files(&files);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("`1`"), "{diags:?}");
+    }
+
+    #[test]
+    fn unordered_container_fields_are_flagged_even_when_read() {
+        let files = vec![entry(
+            "crates/a/src/lib.rs",
+            "pub struct Job {\n    pub tags: HashMap<String, u32>,\n}\n\
+             impl Fingerprint for Job {\n    fn fingerprint(&self, fp: &mut Fingerprinter) {\n        for (k, v) in &self.tags { fp.write_str(k); }\n    }\n}\n",
+        )];
+        let diags = check_files(&files);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("unordered container"));
+    }
+
+    #[test]
+    fn test_gated_impls_are_exempt() {
+        let files = vec![entry(
+            "crates/a/src/lib.rs",
+            "#[cfg(test)]\nmod tests {\n    struct T { x: u8 }\n    impl Fingerprint for T {\n        fn fingerprint(&self, fp: &mut Fingerprinter) {}\n    }\n}\n",
+        )];
+        assert!(check_files(&files).is_empty());
+    }
+}

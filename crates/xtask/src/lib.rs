@@ -8,11 +8,11 @@
 //! invariants unbreakable at commit time by scanning every non-test
 //! source line in the workspace, in the style of rustc's `tidy`.
 //!
-//! The pass is self-contained (no dependencies): a small lexer strips
-//! comments, string/char literals, and doctest code (doc comments *are*
-//! comments) so rules never fire on prose, then tracks `#[cfg(test)]`
-//! regions so rules never fire on test code. Five rule families run
-//! under a per-crate [`policy`]:
+//! The pass is self-contained (no dependencies) and runs in two layers.
+//! The *lexical* layer — a small lexer strips comments, string/char
+//! literals, and doctest code (doc comments *are* comments) so rules
+//! never fire on prose, then tracks `#[cfg(test)]` regions so rules
+//! never fire on test code — drives the line-pattern families:
 //!
 //! * [`determinism`](rules::Rule::Determinism) — no `thread_rng` /
 //!   `from_entropy`, no `SystemTime` / `Instant::now`, no `HashMap` /
@@ -30,19 +30,43 @@
 //!   manifests opt into `[workspace.lints]`, and every experiment module
 //!   cites the paper artifact it reproduces.
 //!
+//! The *item* layer — a permissive token-level [`parse`]r resolves
+//! structs, impl blocks, and functions into a cross-file [`model`] with
+//! an approximate intra-crate call graph — drives the parser-backed
+//! families:
+//!
+//! * [`fingerprint-coverage`](rules::Rule::FingerprintCoverage) — every
+//!   field of a type with a `Fingerprint` impl is folded into the cache
+//!   digest, or carries a per-field justified waiver ([`fp_coverage`]).
+//! * [`lock-discipline`](rules::Rule::LockDiscipline) — no lock-order
+//!   inversions, blocking calls under a live guard, or re-entrant
+//!   double-locks in the threaded crates ([`lock_order`]).
+//! * [`nondet-iteration`](rules::Rule::NondetIteration) — unordered-map
+//!   iteration must not feed fingerprints, folds, or serialized reports
+//!   ([`nondet_iter`]).
+//!
 //! A finding can be suppressed inline with
 //! `// tidy-allow: <rule-id> — <justification>`; the justification text
-//! is mandatory, and a malformed suppression is itself a (meta-rule)
-//! finding. Run with `cargo run -p xtask -- tidy` or the `cargo tidy`
-//! alias; diagnostics print as `file:line: rule-id: message` and the
-//! process exits non-zero on any finding.
+//! is mandatory, a malformed suppression is itself a (meta-rule)
+//! finding, and a suppression (inline or `policy.rs` waiver) that no
+//! longer suppresses anything is a hygiene finding — dead waivers
+//! cannot rot silently. Run with `cargo run -p xtask -- tidy` or the
+//! `cargo tidy` alias; diagnostics print as `file:line: rule-id:
+//! message` (or `--format json`), `--baseline <file>` gates on *new*
+//! violations only, and the exit code is 0 (clean), 1 (findings), or 2
+//! (internal error).
 
 #![forbid(unsafe_code)]
 
+pub mod fp_coverage;
 pub mod lexer;
+pub mod lock_order;
+pub mod model;
+pub mod nondet_iter;
+pub mod parse;
 pub mod policy;
 pub mod rules;
 pub mod runner;
 
 pub use rules::{Diagnostic, Rule};
-pub use runner::run_tidy;
+pub use runner::{run_tidy, run_tidy_report, TidyReport};

@@ -1,64 +1,266 @@
-//! `cargo run -p xtask -- tidy [--root <path>]` — run the `axcc-tidy`
-//! static-analysis gate and exit non-zero on any finding. See the crate
-//! docs ([`xtask`]) and DESIGN.md §"axcc-tidy" for the rule catalogue.
+//! `cargo run -p xtask -- tidy [--root <path>] [--format text|json]
+//! [--baseline <file>] [--write-baseline <file>]` — run the `axcc-tidy`
+//! static-analysis gate. Exit codes: 0 clean, 1 findings, 2 internal
+//! error. See the crate docs ([`xtask`]) and DESIGN.md §6 for the rule
+//! catalogue.
 
 #![forbid(unsafe_code)]
 
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use xtask::{Diagnostic, Rule};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("tidy") => tidy(&args[1..]),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- tidy [--root <path>]");
+            eprintln!("{USAGE}");
             ExitCode::from(2)
         }
     }
+}
+
+const USAGE: &str = "usage: cargo run -p xtask -- tidy [--root <path>] \
+                     [--format text|json] [--baseline <file>] [--write-baseline <file>]";
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+struct Options {
+    root: PathBuf,
+    format: Format,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
 }
 
 fn tidy(args: &[String]) -> ExitCode {
-    let root = match parse_root(args) {
-        Ok(root) => root,
+    let opts = match parse_args(args) {
+        Ok(opts) => opts,
         Err(msg) => {
-            eprintln!("xtask tidy: {msg}");
+            eprintln!("xtask tidy: {msg}\n{USAGE}");
             return ExitCode::from(2);
         }
     };
-    match xtask::run_tidy(&root) {
-        Ok(diags) if diags.is_empty() => {
-            let n = xtask::runner::count_checked_files(&root).unwrap_or(0);
-            eprintln!("tidy: workspace clean ({n} files checked)");
-            ExitCode::SUCCESS
-        }
-        Ok(diags) => {
-            for d in &diags {
-                println!("{d}");
-            }
-            eprintln!("tidy: {} finding(s)", diags.len());
-            ExitCode::FAILURE
-        }
+    let report = match xtask::run_tidy_report(&opts.root) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("xtask tidy: i/o error: {e}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
         }
+    };
+
+    if let Some(path) = &opts.write_baseline {
+        let mut text = String::from(
+            "# axcc-tidy baseline: one `file: rule: message` key per accepted finding.\n\
+             # Regenerate with `cargo tidy --write-baseline <file>`; CI gates on NEW keys.\n",
+        );
+        for d in &report.diagnostics {
+            text.push_str(&baseline_key(d));
+            text.push('\n');
+        }
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("xtask tidy: cannot write baseline {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "tidy: wrote {} baseline entr{} to {}",
+            report.diagnostics.len(),
+            if report.diagnostics.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline: BTreeSet<String> = match &opts.baseline {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => text
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .map(str::to_string)
+                .collect(),
+            Err(e) => {
+                eprintln!("xtask tidy: cannot read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => BTreeSet::new(),
+    };
+    let (new, suppressed): (Vec<&Diagnostic>, Vec<&Diagnostic>) = report
+        .diagnostics
+        .iter()
+        .partition(|d| !baseline.contains(&baseline_key(d)));
+
+    match opts.format {
+        Format::Json => println!("{}", render_json(&new, &report, suppressed.len())),
+        Format::Text => {
+            for d in &new {
+                println!("{d}");
+            }
+        }
+    }
+    if new.is_empty() {
+        if opts.format == Format::Text {
+            let over = if suppressed.is_empty() {
+                String::new()
+            } else {
+                format!("; {} baseline-suppressed", suppressed.len())
+            };
+            eprintln!(
+                "tidy: workspace clean ({} files checked{over})",
+                report.files_checked
+            );
+        }
+        ExitCode::SUCCESS
+    } else {
+        if opts.format == Format::Text {
+            eprint!("{}", summary_table(&new));
+            eprintln!(
+                "tidy: {} finding(s){}",
+                new.len(),
+                if suppressed.is_empty() {
+                    String::new()
+                } else {
+                    format!(" ({} more baseline-suppressed)", suppressed.len())
+                }
+            );
+        }
+        ExitCode::FAILURE
     }
 }
 
-/// `--root <path>` if given, else the workspace root containing this
-/// crate (xtask lives at `<root>/crates/xtask`).
-fn parse_root(args: &[String]) -> Result<PathBuf, String> {
-    match args {
-        [] => {
+/// The baseline identity of a finding: file + rule + message, no line
+/// number, so unrelated edits shifting lines don't churn the baseline.
+fn baseline_key(d: &Diagnostic) -> String {
+    format!("{}: {}: {}", d.file, d.rule.id(), d.message)
+}
+
+/// A right-aligned per-family count table for the failure summary.
+fn summary_table(diags: &[&Diagnostic]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "  {:<22} findings", "family");
+    for &rule in Rule::ALL {
+        let n = diags.iter().filter(|d| d.rule == rule).count();
+        if n > 0 {
+            let _ = writeln!(out, "  {:<22} {n}", rule.id());
+        }
+    }
+    out
+}
+
+/// Hand-rolled JSON (std-only crate): findings plus a summary block.
+fn render_json(new: &[&Diagnostic], report: &xtask::TidyReport, suppressed: usize) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, d) in new.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&d.file),
+            d.line,
+            d.rule.id(),
+            json_escape(&d.message)
+        );
+    }
+    if !new.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"summary\": {");
+    let mut first = true;
+    for &rule in Rule::ALL {
+        let n = new.iter().filter(|d| d.rule == rule).count();
+        if n > 0 {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\n    \"{}\": {n}", rule.id());
+        }
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+    let _ = write!(
+        out,
+        "}},\n  \"files_checked\": {},\n  \"baseline_suppressed\": {}\n}}",
+        report.files_checked, suppressed
+    );
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parse tidy's flags; `--root` defaults to the workspace root
+/// containing this crate (xtask lives at `<root>/crates/xtask`).
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::new(),
+        format: Format::Text,
+        baseline: None,
+        write_baseline: None,
+    };
+    let mut root = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--root" => root = Some(PathBuf::from(value("--root")?)),
+            "--format" => {
+                opts.format = match value("--format")? {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}` (text|json)")),
+                }
+            }
+            "--baseline" => opts.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--write-baseline" => {
+                opts.write_baseline = Some(PathBuf::from(value("--write-baseline")?))
+            }
+            other => return Err(format!("unrecognized argument `{other}`")),
+        }
+    }
+    opts.root = match root {
+        Some(r) => r,
+        None => {
             let manifest_dir = std::env::var("CARGO_MANIFEST_DIR")
                 .map_err(|_| "CARGO_MANIFEST_DIR unset; pass --root <path>".to_string())?;
             let mut p = PathBuf::from(manifest_dir);
             p.pop();
             p.pop();
-            Ok(p)
+            p
         }
-        [flag, path] if flag == "--root" => Ok(PathBuf::from(path)),
-        _ => Err("unrecognized arguments; usage: tidy [--root <path>]".to_string()),
-    }
+    };
+    Ok(opts)
 }

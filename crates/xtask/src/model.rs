@@ -1,0 +1,235 @@
+//! The cross-file item index: parsed files grouped by crate, with
+//! struct/enum/function lookup. This is the resolver layer the
+//! cross-file rule families ([`crate::fp_coverage`],
+//! [`crate::lock_order`], [`crate::nondet_iter`]) query; it holds no
+//! policy decisions of its own.
+//!
+//! "Crate" here is a path prefix: `crates/<name>`, the root facade
+//! `src`, or an individual `examples/` file. Name resolution is
+//! approximate and intra-crate only — see DESIGN.md §6 for the
+//! soundness caveats.
+
+use crate::parse::{FnDef, ParsedFile, StructDef};
+use crate::rules::RuleSet;
+use std::collections::BTreeMap;
+
+/// One in-scope workspace file: its parsed items plus the rule families
+/// the policy enables for it.
+#[derive(Debug, Clone)]
+pub struct FileEntry {
+    /// Parsed token stream and items.
+    pub parsed: ParsedFile,
+    /// The policy's rule selection for this file.
+    pub rules: RuleSet,
+}
+
+/// The crate a workspace-relative path belongs to, as a path prefix.
+pub fn crate_of(rel: &str) -> String {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        if let Some(slash) = rest.find('/') {
+            return format!("crates/{}", &rest[..slash]);
+        }
+    }
+    if rel.starts_with("src/") {
+        return "src".to_string();
+    }
+    // Examples are standalone single-file crates.
+    rel.to_string()
+}
+
+/// Index over all in-scope files, keyed by crate prefix.
+pub struct ItemIndex<'a> {
+    /// The indexed files, in the runner's sorted order.
+    pub files: &'a [FileEntry],
+    by_crate: BTreeMap<String, Vec<usize>>,
+}
+
+impl<'a> ItemIndex<'a> {
+    /// Build the index; `files` must already be sorted by path.
+    pub fn build(files: &'a [FileEntry]) -> Self {
+        let mut by_crate: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, f) in files.iter().enumerate() {
+            by_crate.entry(crate_of(&f.parsed.rel)).or_default().push(i);
+        }
+        ItemIndex { files, by_crate }
+    }
+
+    /// The crates present, in sorted order.
+    pub fn crates(&self) -> impl Iterator<Item = &str> {
+        self.by_crate.keys().map(String::as_str)
+    }
+
+    /// Files of one crate, in sorted path order.
+    pub fn files_of(&self, krate: &str) -> impl Iterator<Item = &FileEntry> {
+        self.by_crate
+            .get(krate)
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.files[i])
+    }
+
+    /// Find a non-test struct by name within a crate. A definition in
+    /// `near` (the file naming the type, e.g. the impl's own file) wins
+    /// over same-named structs elsewhere in the crate — two private
+    /// `CellJob`s in sibling experiment modules must each resolve to
+    /// their own definition. Otherwise the first match in path order
+    /// wins; same-named test-only structs are ignored.
+    pub fn find_struct(
+        &self,
+        krate: &str,
+        name: &str,
+        near: &str,
+    ) -> Option<(&ParsedFile, &StructDef)> {
+        let mut fallback = None;
+        for entry in self.files_of(krate) {
+            for s in &entry.parsed.structs {
+                if s.name == name && !s.in_test {
+                    if entry.parsed.rel == near {
+                        return Some((&entry.parsed, s));
+                    }
+                    if fallback.is_none() {
+                        fallback = Some((&entry.parsed, s));
+                    }
+                }
+            }
+        }
+        fallback
+    }
+
+    /// Is `name` a (non-test-gated lookup is not needed — enum bodies
+    /// carry no fields) enum declared in this crate?
+    pub fn is_enum(&self, krate: &str, name: &str) -> bool {
+        self.files_of(krate)
+            .any(|e| e.parsed.enums.iter().any(|n| n == name))
+    }
+
+    /// All non-test fns of a crate, with their defining files.
+    pub fn fns_of(&self, krate: &str) -> Vec<(&ParsedFile, &FnDef)> {
+        let mut out = Vec::new();
+        for entry in self.files_of(krate) {
+            for f in &entry.parsed.fns {
+                if !f.in_test {
+                    out.push((&entry.parsed, f));
+                }
+            }
+        }
+        out
+    }
+
+    /// The declared type text of a named struct field anywhere in the
+    /// crate (first match in path/declaration order).
+    pub fn field_type(&self, krate: &str, field: &str) -> Option<String> {
+        for entry in self.files_of(krate) {
+            for s in &entry.parsed.structs {
+                if s.in_test {
+                    continue;
+                }
+                for fd in &s.fields {
+                    if fd.name == field {
+                        return Some(fd.ty.clone());
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+/// The end of the statement containing token `i`: the terminating `;`,
+/// the close of the block a condition/iterator head opens (`if x { … }`,
+/// `for p in xs { … }` extend to the body's `}`), or the close of the
+/// enclosing block. Used for value-lifetime approximation by the
+/// cross-file rules.
+pub fn statement_end(file: &ParsedFile, i: usize, hard_end: usize) -> usize {
+    let mut j = i;
+    while j < hard_end {
+        let t = &file.tokens[j];
+        if t.text == "(" || t.text == "[" {
+            j = file.matches[j].unwrap_or(j);
+        } else if t.text == "{" {
+            return file.matches[j].unwrap_or(hard_end);
+        } else if t.text == ";" || t.text == "}" {
+            return j;
+        }
+        j += 1;
+    }
+    hard_end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse;
+
+    fn entry(rel: &str, src: &str) -> FileEntry {
+        FileEntry {
+            parsed: parse(rel, &lex(src)),
+            rules: RuleSet::default(),
+        }
+    }
+
+    #[test]
+    fn crate_prefixes() {
+        assert_eq!(crate_of("crates/serve/src/server.rs"), "crates/serve");
+        assert_eq!(crate_of("src/lib.rs"), "src");
+        assert_eq!(crate_of("examples/quickstart.rs"), "examples/quickstart.rs");
+    }
+
+    #[test]
+    fn cross_file_struct_lookup() {
+        let files = vec![
+            entry(
+                "crates/a/src/jobs.rs",
+                "pub struct Job { pub steps: usize }\n",
+            ),
+            entry(
+                "crates/a/src/lib.rs",
+                "impl Fingerprint for Job { fn fingerprint(&self) {} }\n",
+            ),
+            entry("crates/b/src/lib.rs", "pub struct Job { other: u8 }\n"),
+        ];
+        let idx = ItemIndex::build(&files);
+        let (file, s) = idx
+            .find_struct("crates/a", "Job", "crates/a/src/lib.rs")
+            .unwrap();
+        assert_eq!(file.rel, "crates/a/src/jobs.rs");
+        assert_eq!(s.fields[0].name, "steps");
+        assert!(idx
+            .find_struct("crates/c", "Job", "crates/c/src/lib.rs")
+            .is_none());
+        assert_eq!(idx.field_type("crates/b", "other").as_deref(), Some("u8"));
+    }
+
+    #[test]
+    fn same_named_structs_resolve_to_the_impls_own_file() {
+        let files = vec![
+            entry("crates/a/src/one.rs", "struct Job { alpha: u8 }\n"),
+            entry("crates/a/src/two.rs", "struct Job { beta: u8 }\n"),
+        ];
+        let idx = ItemIndex::build(&files);
+        let (file, s) = idx
+            .find_struct("crates/a", "Job", "crates/a/src/two.rs")
+            .unwrap();
+        assert_eq!(file.rel, "crates/a/src/two.rs");
+        assert_eq!(s.fields[0].name, "beta");
+        // A file that defines no such struct still resolves crate-wide.
+        let (file, _) = idx
+            .find_struct("crates/a", "Job", "crates/a/src/other.rs")
+            .unwrap();
+        assert_eq!(file.rel, "crates/a/src/one.rs");
+    }
+
+    #[test]
+    fn enums_and_test_structs_are_distinguished() {
+        let files = vec![entry(
+            "crates/a/src/lib.rs",
+            "enum Mode { A }\n#[cfg(test)]\nmod tests {\n    struct Hidden { x: u8 }\n}\n",
+        )];
+        let idx = ItemIndex::build(&files);
+        assert!(idx.is_enum("crates/a", "Mode"));
+        assert!(idx
+            .find_struct("crates/a", "Hidden", "crates/a/src/lib.rs")
+            .is_none());
+    }
+}

@@ -1,0 +1,424 @@
+//! The `nondet-iteration` rule family.
+//!
+//! The blanket determinism rule bans `HashMap`/`HashSet` outright in the
+//! deterministic core — any appearance is a finding. Service and tooling
+//! crates legitimately want O(1) maps for bookkeeping, so their policy
+//! waives the blanket ban and runs this scope-aware family instead:
+//! *iterating* an unordered container is only flagged when the iteration
+//! feeds an **order-sensitive sink** — a fingerprint, a numeric fold
+//! (float addition does not associate), a growing `Vec`/`String`, or a
+//! serialized report. Counting, membership tests, min/max, and
+//! collecting back into an ordered or unordered container stay clean.
+//!
+//! Unordered values are tracked by name: parameters and `let` bindings
+//! whose declaration mentions `HashMap`/`HashSet`, struct fields of such
+//! types (reached as `self.field`), and aliases bound from those fields.
+//! The tracking is intra-function and name-based; DESIGN.md §6 lists the
+//! escapes.
+
+use crate::model::{crate_of, statement_end, ItemIndex};
+use crate::parse::{FnDef, ParsedFile, TokKind};
+use crate::rules::{Diagnostic, Rule};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// Iterator-producing methods on maps/sets.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Idents that erase iteration order within the same statement/body:
+/// the result is a set-like or extremal value, or the items get sorted
+/// or re-keyed into an ordered container.
+const NEUTRALIZERS: &[&str] = &[
+    "BTreeMap",
+    "BTreeSet",
+    "all",
+    "any",
+    "contains",
+    "count",
+    "is_empty",
+    "len",
+    "max",
+    "max_by",
+    "max_by_key",
+    "min",
+    "min_by",
+    "min_by_key",
+];
+
+/// Idents whose result depends on visit order: accumulation, hashing,
+/// rendering.
+const SINKS: &[&str] = &[
+    "Fingerprinter",
+    "encode",
+    "fingerprint",
+    "fold",
+    "format",
+    "json",
+    "product",
+    "push",
+    "push_str",
+    "serialize",
+    "sum",
+    "to_writer",
+    "write",
+    "writeln",
+];
+
+/// Run the family over every indexed crate.
+pub fn check(index: &ItemIndex<'_>) -> Vec<Diagnostic> {
+    // One diagnostic per site line; the `for`-loop form and the
+    // method-chain form can both match the same iteration.
+    let mut sites: BTreeMap<(String, usize), Diagnostic> = BTreeMap::new();
+    for entry in index.files {
+        if !entry.rules.nondet_iteration {
+            continue;
+        }
+        let krate = crate_of(&entry.parsed.rel);
+        // Struct fields of unordered type, crate-wide (fields are often
+        // declared in a sibling module).
+        let mut ufields: BTreeSet<String> = BTreeSet::new();
+        for other in index.files_of(&krate) {
+            for s in &other.parsed.structs {
+                if s.in_test {
+                    continue;
+                }
+                for fd in &s.fields {
+                    if is_unordered_ty(&fd.ty) {
+                        ufields.insert(fd.name.clone());
+                    }
+                }
+            }
+        }
+        for f in &entry.parsed.fns {
+            if f.in_test {
+                continue;
+            }
+            check_fn(&entry.parsed, f, &ufields, &mut sites);
+        }
+    }
+    sites.into_values().collect()
+}
+
+fn is_unordered_ty(ty: &str) -> bool {
+    ty.contains("HashMap") || ty.contains("HashSet")
+}
+
+fn check_fn(
+    file: &ParsedFile,
+    f: &FnDef,
+    ufields: &BTreeSet<String>,
+    sites: &mut BTreeMap<(String, usize), Diagnostic>,
+) {
+    let toks = &file.tokens;
+    let body = f.body.clone();
+
+    // Unordered names: parameters declared with an unordered type…
+    let mut unordered = params_with_unordered_types(&f.params);
+    // …and `let` bindings whose statement mentions an unordered type or
+    // aliases an unordered field of `self`.
+    let mut i = body.start;
+    while i < body.end {
+        if toks[i].text == "let" {
+            let mut j = i + 1;
+            while j < body.end && (toks[j].text == "mut" || toks[j].kind == TokKind::Punct) {
+                j += 1;
+            }
+            if j < body.end && toks[j].kind == TokKind::Ident {
+                let name = toks[j].text.clone();
+                let stmt_end = statement_end(file, j, body.end);
+                let mentions_unordered = (j..stmt_end).any(|k| {
+                    is_unordered_ty(&toks[k].text)
+                        || (toks[k].kind == TokKind::Ident
+                            && ufields.contains(&toks[k].text)
+                            && k >= 2
+                            && toks[k - 1].text == "."
+                            && toks[k - 2].text == "self")
+                });
+                if mentions_unordered {
+                    unordered.insert(name);
+                }
+            }
+        }
+        i += 1;
+    }
+
+    // Iteration sites, method-chain form: `X.iter()`, `self.f.keys()`, …
+    for i in body.clone() {
+        if toks[i].kind != TokKind::Ident
+            || !ITER_METHODS.contains(&toks[i].text.as_str())
+            || i < 2
+            || toks[i - 1].text != "."
+            || toks.get(i + 1).is_none_or(|t| t.text != "(")
+        {
+            continue;
+        }
+        let recv = &toks[i - 2];
+        let recv_name = if recv.kind == TokKind::Ident && unordered.contains(&recv.text) {
+            Some(recv.text.clone())
+        } else if recv.kind == TokKind::Ident
+            && ufields.contains(&recv.text)
+            && i >= 4
+            && toks[i - 3].text == "."
+            && toks[i - 4].text == "self"
+        {
+            Some(format!("self.{}", recv.text))
+        } else {
+            None
+        };
+        if let Some(recv_name) = recv_name {
+            let span = i..statement_end(file, i, body.end);
+            judge_span(file, f, span, &recv_name, sites);
+        }
+    }
+
+    // Iteration sites, `for pat in expr { … }` form.
+    let mut i = body.start;
+    while i < body.end {
+        if toks[i].text != "for" || toks[i].kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        // Find `in`, then the loop-body `{`, at the same nesting level.
+        let mut j = i + 1;
+        let mut in_pos = None;
+        while j < body.end {
+            let t = &toks[j];
+            if t.text == "(" || t.text == "[" {
+                j = file.matches[j].unwrap_or(j);
+            } else if t.text == "in" && in_pos.is_none() {
+                in_pos = Some(j);
+            } else if t.text == "{" || t.text == ";" {
+                break;
+            }
+            j += 1;
+        }
+        let (Some(in_pos), true) = (in_pos, j < body.end && toks[j].text == "{") else {
+            i += 1;
+            continue;
+        };
+        let body_close = file.matches[j].unwrap_or(body.end);
+        // An unordered name anywhere in the head expression marks the
+        // loop. (`.iter()` chains in the head were already caught above
+        // with the same span, deduped by site line.)
+        let mut recv_name = None;
+        for k in in_pos + 1..j {
+            let t = &toks[k];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            if unordered.contains(&t.text) {
+                recv_name = Some(t.text.clone());
+                break;
+            }
+            if ufields.contains(&t.text)
+                && k >= 2
+                && toks[k - 1].text == "."
+                && toks[k - 2].text == "self"
+            {
+                recv_name = Some(format!("self.{}", t.text));
+                break;
+            }
+        }
+        if let Some(recv_name) = recv_name {
+            judge_span(file, f, in_pos..body_close, &recv_name, sites);
+        }
+        i = j + 1;
+    }
+}
+
+/// Parameter names whose declared type mentions `HashMap`/`HashSet`.
+/// `params` is the space-joined token text of the parameter list.
+fn params_with_unordered_types(params: &str) -> BTreeSet<String> {
+    let toks: Vec<&str> = params.split_whitespace().collect();
+    let mut out = BTreeSet::new();
+    let mut current: Option<&str> = None;
+    let mut depth = 0i32;
+    let mut k = 0;
+    while k < toks.len() {
+        match toks[k] {
+            "<" | "(" | "[" => depth += 1,
+            ">" | ")" | "]" => depth -= 1,
+            ":" if depth == 0 && k > 0 => current = Some(toks[k - 1]),
+            t if is_unordered_ty(t) => {
+                if let Some(name) = current {
+                    out.insert(name.to_string());
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    out
+}
+
+/// Decide one iteration site: neutralized, sink-feeding, or silent.
+fn judge_span(
+    file: &ParsedFile,
+    f: &FnDef,
+    span: std::ops::Range<usize>,
+    recv: &str,
+    sites: &mut BTreeMap<(String, usize), Diagnostic>,
+) {
+    let toks = &file.tokens;
+    let line = toks[span.start].line;
+    let mut sink: Option<&str> = None;
+    for k in span {
+        let t = &toks[k];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let name = t.text.as_str();
+        if NEUTRALIZERS.contains(&name) || name.starts_with("sort") {
+            return; // order provably erased (or restored) in this span
+        }
+        if sink.is_none() {
+            if SINKS.contains(&name) || name.starts_with("write_") {
+                sink = Some(if name == "write" || name == "writeln" {
+                    // only the macros render; `write` the ident alone is
+                    // too common — require the `!`.
+                    if toks.get(k + 1).is_some_and(|n| n.text == "!") {
+                        t.text.as_str()
+                    } else {
+                        continue;
+                    }
+                } else {
+                    name
+                });
+            } else if name == "collect" {
+                // Collecting into a Vec/String freezes the arbitrary
+                // order into an ordered value; other targets are judged
+                // by their own appearance in the span.
+                let rest = statement_end(file, k, toks.len());
+                if (k..rest).any(|m| toks[m].text == "Vec" || toks[m].text == "String") {
+                    sink = Some("collect into Vec");
+                }
+            }
+        }
+    }
+    if let Some(sink) = sink {
+        sites
+            .entry((file.rel.clone(), line))
+            .or_insert_with(|| Diagnostic {
+                file: file.rel.clone(),
+                line,
+                rule: Rule::NondetIteration,
+                message: format!(
+                    "iteration over unordered `{recv}` feeds an order-sensitive sink \
+                     (`{sink}`) in `{}`; HashMap/HashSet order varies across runs — \
+                     iterate a BTreeMap/BTreeSet, or sort into a Vec first",
+                    f.name
+                ),
+            });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::model::FileEntry;
+    use crate::parse::parse;
+    use crate::rules::RuleSet;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let files = vec![FileEntry {
+            parsed: parse("crates/serve/src/stats.rs", &lex(src)),
+            rules: RuleSet {
+                nondet_iteration: true,
+                ..RuleSet::default()
+            },
+        }];
+        check(&ItemIndex::build(&files))
+    }
+
+    #[test]
+    fn fold_over_hashmap_values_is_flagged() {
+        let diags = run(
+            "fn total(m: &HashMap<String, f64>) -> f64 {\n    m.values().fold(0.0, |a, v| a + v)\n}\n",
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("`m`"));
+    }
+
+    #[test]
+    fn for_loop_pushing_into_vec_is_flagged() {
+        let diags = run(
+            "fn names(m: &HashMap<String, u32>) -> Vec<String> {\n    let mut out = Vec::new();\n    for (k, _) in m {\n        out.push(k.clone());\n    }\n    out\n}\n",
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+    }
+
+    #[test]
+    fn counting_and_membership_are_clean() {
+        let diags = run(
+            "fn stats(m: &HashMap<String, u32>) -> usize {\n    m.values().count()\n}\n\
+             fn there(s: &HashSet<u32>, x: u32) -> bool {\n    s.contains(&x)\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn sorting_first_neutralizes() {
+        let diags = run(
+            "fn report(m: &HashMap<String, u32>) -> Vec<String> {\n    let mut keys: Vec<String> = m.keys().cloned().collect();\n    keys.sort();\n    keys\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn collect_into_btreemap_is_clean_but_vec_is_not() {
+        let clean = run(
+            "fn order(m: HashMap<String, u32>) -> BTreeMap<String, u32> {\n    m.into_iter().collect::<BTreeMap<_, _>>()\n}\n",
+        );
+        assert!(clean.is_empty(), "{clean:?}");
+        let dirty = run(
+            "fn freeze(m: HashMap<String, u32>) -> Vec<(String, u32)> {\n    m.into_iter().collect::<Vec<_>>()\n}\n",
+        );
+        assert_eq!(dirty.len(), 1, "{dirty:?}");
+    }
+
+    #[test]
+    fn local_bindings_and_self_fields_are_tracked() {
+        let diags = run(
+            "struct Stats {\n    by_peer: HashMap<String, u64>,\n}\n\
+             impl Stats {\n    fn render(&self, out: &mut String) {\n        for (k, v) in &self.by_peer {\n            out.push_str(k);\n        }\n    }\n}\n",
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("self.by_peer"), "{diags:?}");
+        let diags = run(
+            "fn build() -> u64 {\n    let m: HashMap<u32, u64> = HashMap::new();\n    m.values().sum()\n}\n",
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+    }
+
+    #[test]
+    fn fingerprint_sinks_are_flagged() {
+        let diags = run(
+            "struct Job {\n    tags: HashMap<String, u32>,\n}\n\
+             impl Job {\n    fn hash_into(&self, fp: &mut Fingerprinter) {\n        for (k, v) in &self.tags {\n            fp.write_str(k);\n        }\n    }\n}\n",
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+    }
+
+    #[test]
+    fn unmarked_files_are_skipped() {
+        let files = vec![FileEntry {
+            parsed: parse(
+                "crates/serve/src/stats.rs",
+                &lex("fn f(m: &HashMap<u32, f64>) -> f64 { m.values().sum() }\n"),
+            ),
+            rules: RuleSet::default(),
+        }];
+        assert!(check(&ItemIndex::build(&files)).is_empty());
+    }
+}

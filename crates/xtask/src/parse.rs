@@ -1,0 +1,752 @@
+//! A token-level Rust parser for cross-file analysis.
+//!
+//! Built directly on [`crate::lexer`]: comments and literal contents are
+//! already blanked, so tokenization never sees prose. The parser extracts
+//! *items* — struct definitions (with their fields), enum names, impl
+//! blocks (self type + implemented trait), and functions (name, params,
+//! return type, body token span) — without attempting full expression
+//! parsing. Rule modules walk the flat token stream of a function body
+//! with their own small state machines.
+//!
+//! The parser is deliberately permissive, like the lexer: malformed or
+//! exotic syntax degrades to "no item recorded here", never a panic or a
+//! hard error, so at worst a rule sees less code than exists (the
+//! line-pattern rules still see every line). The known approximations are
+//! documented in DESIGN.md §6.
+
+use crate::lexer::SourceFile;
+
+/// Token classification, coarse on purpose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal (integer or float, prefix-insensitive).
+    Number,
+    /// Punctuation; `::` and `->` are single tokens, all else one char.
+    Punct,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One token of stripped source, with its 1-based line number.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token text.
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Coarse kind.
+    pub kind: TokKind,
+}
+
+impl Token {
+    fn is(&self, s: &str) -> bool {
+        self.text == s
+    }
+}
+
+/// One declared field of a struct. Tuple-struct fields are named by their
+/// index (`"0"`, `"1"`, …).
+#[derive(Debug, Clone)]
+pub struct FieldDef {
+    /// Field name (or tuple index as text).
+    pub name: String,
+    /// 1-based line of the field declaration.
+    pub line: usize,
+    /// Flattened type text, tokens joined by single spaces.
+    pub ty: String,
+}
+
+/// A struct definition with its declared fields.
+#[derive(Debug, Clone)]
+pub struct StructDef {
+    /// Type name.
+    pub name: String,
+    /// 1-based line of the `struct` keyword.
+    pub line: usize,
+    /// Declared fields, in declaration order.
+    pub fields: Vec<FieldDef>,
+    /// Whether the definition sits in `#[cfg(test)]` code.
+    pub in_test: bool,
+}
+
+/// A function (free or method) with a resolvable body.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// Self type when the fn is inside an `impl` block.
+    pub self_type: Option<String>,
+    /// Trait being implemented when inside an `impl Trait for Type`.
+    pub trait_name: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Flattened parameter-list text (inside the parens).
+    pub params: String,
+    /// Flattened return-type text (empty for `()` / none).
+    pub ret: String,
+    /// Token index range of the body (exclusive of its braces);
+    /// empty for bodyless trait-method signatures.
+    pub body: std::ops::Range<usize>,
+    /// Whether the fn sits in `#[cfg(test)]` code.
+    pub in_test: bool,
+}
+
+/// A parsed file: the token stream plus the items found in it.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedFile {
+    /// Workspace-relative `/`-separated path.
+    pub rel: String,
+    /// The full token stream of the stripped source.
+    pub tokens: Vec<Token>,
+    /// Map from each opening-delimiter token index to its matching
+    /// closer (and vice versa). Unbalanced delimiters are absent.
+    pub matches: Vec<Option<usize>>,
+    /// Struct definitions, in source order.
+    pub structs: Vec<StructDef>,
+    /// Enum names, in source order (so a non-struct `Fingerprint` self
+    /// type can be recognized as an enum rather than "unknown").
+    pub enums: Vec<String>,
+    /// Functions with bodies, in source order.
+    pub fns: Vec<FnDef>,
+}
+
+impl ParsedFile {
+    /// The tokens of `range`, joined by single spaces.
+    pub fn span_text(&self, range: std::ops::Range<usize>) -> String {
+        let mut out = String::new();
+        for t in &self.tokens[range] {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(&t.text);
+        }
+        out
+    }
+}
+
+/// Parse one stripped source file into its token stream and items.
+pub fn parse(rel: &str, file: &SourceFile) -> ParsedFile {
+    let tokens = tokenize(file);
+    let matches = match_delims(&tokens);
+    let mut parsed = ParsedFile {
+        rel: rel.to_string(),
+        tokens,
+        matches,
+        structs: Vec::new(),
+        enums: Vec::new(),
+        fns: Vec::new(),
+    };
+    let in_test: Vec<bool> = file.lines.iter().map(|l| l.in_test).collect();
+    let end = parsed.tokens.len();
+    scan_items(&mut parsed, &in_test, 0, end, None);
+    parsed
+}
+
+/// The impl context a scan runs under.
+#[derive(Debug, Clone)]
+struct ImplCtx {
+    self_type: String,
+    trait_name: Option<String>,
+}
+
+fn tokenize(file: &SourceFile) -> Vec<Token> {
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let bytes = line.code.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let b = bytes[i];
+            if b.is_ascii_whitespace() {
+                i += 1;
+            } else if b.is_ascii_alphabetic() || b == b'_' {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Token {
+                    text: line.code[start..i].to_string(),
+                    line: lineno,
+                    kind: TokKind::Ident,
+                });
+            } else if b.is_ascii_digit() {
+                let start = i;
+                i += 1;
+                while i < bytes.len() {
+                    let c = bytes[i];
+                    // Digits/underscores/type suffixes, a decimal point
+                    // followed by a digit (so `self.0` splits correctly),
+                    // or an exponent sign all continue the number.
+                    let continues = c.is_ascii_alphanumeric()
+                        || c == b'_'
+                        || (c == b'.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit())
+                        || ((c == b'+' || c == b'-') && matches!(bytes[i - 1], b'e' | b'E'));
+                    if !continues {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.push(Token {
+                    text: line.code[start..i].to_string(),
+                    line: lineno,
+                    kind: TokKind::Number,
+                });
+            } else if b == b'\'' {
+                // The lexer only leaves `'` in code for lifetimes.
+                let start = i;
+                i += 1;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Token {
+                    text: line.code[start..i].to_string(),
+                    line: lineno,
+                    kind: TokKind::Lifetime,
+                });
+            } else {
+                let two = if i + 1 < bytes.len() {
+                    &line.code[i..i + 2]
+                } else {
+                    ""
+                };
+                let text = if two == "::" || two == "->" {
+                    i += 2;
+                    two.to_string()
+                } else {
+                    i += 1;
+                    (b as char).to_string()
+                };
+                out.push(Token {
+                    text,
+                    line: lineno,
+                    kind: TokKind::Punct,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Match `()`/`{}`/`[]` pairs across the stream. Mismatched closers are
+/// dropped permissively.
+fn match_delims(tokens: &[Token]) -> Vec<Option<usize>> {
+    let mut out = vec![None; tokens.len()];
+    let mut stack: Vec<(usize, char)> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Punct || t.text.len() != 1 {
+            continue;
+        }
+        match t.text.as_bytes()[0] {
+            b'(' => stack.push((i, ')')),
+            b'{' => stack.push((i, '}')),
+            b'[' => stack.push((i, ']')),
+            c @ (b')' | b'}' | b']') => {
+                if let Some(&(open, want)) = stack.last() {
+                    if want as u8 == c {
+                        stack.pop();
+                        out[open] = Some(i);
+                        out[i] = Some(open);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Skip a generics list starting at `<`; returns the index just past the
+/// matching `>`, bailing out at delimiters that cannot be inside one.
+fn skip_generics(tokens: &[Token], mut i: usize) -> usize {
+    if i >= tokens.len() || !tokens[i].is("<") {
+        return i;
+    }
+    let mut depth = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is("<") {
+            depth += 1;
+        } else if t.is(">") {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        } else if t.is("{") || t.is(";") {
+            return i; // malformed; bail before the body
+        }
+        i += 1;
+    }
+    i
+}
+
+fn line_in_test(in_test: &[bool], line: usize) -> bool {
+    in_test
+        .get(line.saturating_sub(1))
+        .copied()
+        .unwrap_or(false)
+}
+
+/// Scan `parsed.tokens[start..end]` for items, recursing into bodies.
+fn scan_items(
+    parsed: &mut ParsedFile,
+    in_test: &[bool],
+    start: usize,
+    end: usize,
+    ctx: Option<&ImplCtx>,
+) {
+    let mut i = start;
+    while i < end {
+        let t = parsed.tokens[i].clone();
+        if t.is("#") {
+            // Attribute: `#[...]` or `#![...]`.
+            let open = if i + 1 < end && parsed.tokens[i + 1].is("[") {
+                Some(i + 1)
+            } else if i + 2 < end && parsed.tokens[i + 1].is("!") && parsed.tokens[i + 2].is("[") {
+                Some(i + 2)
+            } else {
+                None
+            };
+            if let Some(open) = open {
+                i = parsed.matches[open].map_or(open + 1, |c| c + 1);
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        if t.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            "struct" => i = parse_struct(parsed, in_test, i, end),
+            "enum" => {
+                if i + 1 < end && parsed.tokens[i + 1].kind == TokKind::Ident {
+                    let name = parsed.tokens[i + 1].text.clone();
+                    parsed.enums.push(name);
+                }
+                i = skip_to_body_end(parsed, i + 1, end);
+            }
+            "impl" => i = parse_impl(parsed, in_test, i, end),
+            "fn" if i + 1 < end && parsed.tokens[i + 1].kind == TokKind::Ident => {
+                i = parse_fn(parsed, in_test, i, end, ctx);
+            }
+            "mod" => {
+                // `mod name { … }` — recurse with the same (no) context;
+                // `mod name;` — nothing to do.
+                let mut j = i + 1;
+                while j < end && !parsed.tokens[j].is("{") && !parsed.tokens[j].is(";") {
+                    j += 1;
+                }
+                i = j + 1;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Skip past an item body: advance to the first `{` or `;` and past the
+/// matching `}` when a body opens.
+fn skip_to_body_end(parsed: &ParsedFile, mut i: usize, end: usize) -> usize {
+    while i < end {
+        if parsed.tokens[i].is("{") {
+            return parsed.matches[i].map_or(i + 1, |c| c + 1);
+        }
+        if parsed.tokens[i].is(";") {
+            return i + 1;
+        }
+        i += 1;
+    }
+    end
+}
+
+fn parse_struct(parsed: &mut ParsedFile, in_test: &[bool], kw: usize, end: usize) -> usize {
+    let name_idx = kw + 1;
+    if name_idx >= end || parsed.tokens[name_idx].kind != TokKind::Ident {
+        return kw + 1;
+    }
+    let name = parsed.tokens[name_idx].text.clone();
+    let line = parsed.tokens[kw].line;
+    let mut i = skip_generics(&parsed.tokens, name_idx + 1);
+    // Skip a where clause before the body.
+    while i < end
+        && !parsed.tokens[i].is("{")
+        && !parsed.tokens[i].is("(")
+        && !parsed.tokens[i].is(";")
+    {
+        i += 1;
+    }
+    let mut fields = Vec::new();
+    let after = if i < end && parsed.tokens[i].is("{") {
+        let close = parsed.matches[i].unwrap_or(end.saturating_sub(1));
+        fields = parse_named_fields(parsed, i + 1, close);
+        close + 1
+    } else if i < end && parsed.tokens[i].is("(") {
+        let close = parsed.matches[i].unwrap_or(end.saturating_sub(1));
+        fields = parse_tuple_fields(parsed, i + 1, close);
+        skip_to_body_end(parsed, close + 1, end)
+    } else {
+        // Unit struct `struct X;`.
+        i + 1
+    };
+    parsed.structs.push(StructDef {
+        name,
+        line,
+        fields,
+        in_test: line_in_test(in_test, line),
+    });
+    after
+}
+
+/// `name: Type, …` pairs between braces, skipping visibility and
+/// attributes; nested delimiter groups inside types are skipped whole.
+fn parse_named_fields(parsed: &ParsedFile, start: usize, end: usize) -> Vec<FieldDef> {
+    let mut fields = Vec::new();
+    let mut i = start;
+    while i < end {
+        let t = &parsed.tokens[i];
+        if t.is("#") {
+            if i + 1 < end && parsed.tokens[i + 1].is("[") {
+                i = parsed.matches[i + 1].map_or(i + 2, |c| c + 1);
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        if t.is("pub") {
+            i += 1;
+            if i < end && parsed.tokens[i].is("(") {
+                i = parsed.matches[i].map_or(i + 1, |c| c + 1);
+            }
+            continue;
+        }
+        if t.kind == TokKind::Ident && i + 1 < end && parsed.tokens[i + 1].is(":") {
+            let name = t.text.clone();
+            let line = t.line;
+            // Collect the type: everything to the next comma at this level.
+            let mut j = i + 2;
+            let ty_start = j;
+            let mut angle = 0i32;
+            while j < end {
+                let tj = &parsed.tokens[j];
+                if tj.is("<") {
+                    angle += 1;
+                } else if tj.is(">") {
+                    angle -= 1;
+                } else if tj.is(",") && angle <= 0 {
+                    break;
+                } else if tj.is("(") || tj.is("[") || tj.is("{") {
+                    j = parsed.matches[j].unwrap_or(j);
+                }
+                j += 1;
+            }
+            fields.push(FieldDef {
+                name,
+                line,
+                ty: parsed.span_text(ty_start..j.min(end)),
+            });
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    fields
+}
+
+/// Tuple-struct fields between parens, named by index.
+fn parse_tuple_fields(parsed: &ParsedFile, start: usize, end: usize) -> Vec<FieldDef> {
+    let mut fields = Vec::new();
+    let mut i = start;
+    let mut idx = 0usize;
+    let mut ty_start = start;
+    let mut angle = 0i32;
+    while i <= end {
+        let at_end = i == end;
+        let t = if at_end {
+            None
+        } else {
+            Some(&parsed.tokens[i])
+        };
+        if let Some(t) = t {
+            if t.is("<") {
+                angle += 1;
+            } else if t.is(">") {
+                angle -= 1;
+            } else if t.is("(") || t.is("[") || t.is("{") {
+                i = parsed.matches[i].unwrap_or(i);
+            }
+        }
+        let boundary = at_end || (parsed.tokens[i].is(",") && angle <= 0);
+        if boundary {
+            if ty_start < i {
+                let ty = strip_visibility(parsed.span_text(ty_start..i));
+                if !ty.is_empty() {
+                    fields.push(FieldDef {
+                        name: idx.to_string(),
+                        line: parsed.tokens[ty_start].line,
+                        ty,
+                    });
+                    idx += 1;
+                }
+            }
+            ty_start = i + 1;
+        }
+        if at_end {
+            break;
+        }
+        i += 1;
+    }
+    fields
+}
+
+fn strip_visibility(ty: String) -> String {
+    let t = ty.trim();
+    let t = t.strip_prefix("pub ( crate )").unwrap_or(t);
+    let t = t.strip_prefix("pub").unwrap_or(t);
+    t.trim().to_string()
+}
+
+fn parse_impl(parsed: &mut ParsedFile, in_test: &[bool], kw: usize, end: usize) -> usize {
+    let mut i = skip_generics(&parsed.tokens, kw + 1);
+    // Header tokens up to the body `{` (or `;` for bodyless weirdness),
+    // tracking angle depth so `for` inside generics is not a split point.
+    let header_start = i;
+    let mut angle = 0i32;
+    let mut for_pos: Option<usize> = None;
+    while i < end {
+        let t = &parsed.tokens[i];
+        if t.is("<") {
+            angle += 1;
+        } else if t.is(">") {
+            angle -= 1;
+        } else if t.is("for") && angle <= 0 && for_pos.is_none() {
+            for_pos = Some(i);
+        } else if (t.is("{") || t.is(";")) && angle <= 0 {
+            break;
+        } else if t.is("(") || t.is("[") {
+            i = parsed.matches[i].unwrap_or(i);
+        }
+        i += 1;
+    }
+    if i >= end || !parsed.tokens[i].is("{") {
+        return i + 1;
+    }
+    // `where` clauses end the type part of either side.
+    let where_pos = (header_start..i).find(|&j| parsed.tokens[j].is("where"));
+    let type_end = where_pos.unwrap_or(i);
+    let (trait_name, self_type) = match for_pos {
+        Some(f) => (
+            leading_path_ident(&parsed.tokens[header_start..f]),
+            leading_path_ident(&parsed.tokens[f + 1..type_end]),
+        ),
+        None => (
+            None,
+            leading_path_ident(&parsed.tokens[header_start..type_end]),
+        ),
+    };
+    let close = parsed.matches[i].unwrap_or(end.saturating_sub(1));
+    if let Some(self_type) = self_type {
+        let ctx = ImplCtx {
+            self_type,
+            trait_name,
+        };
+        scan_items(parsed, in_test, i + 1, close, Some(&ctx));
+    } else {
+        scan_items(parsed, in_test, i + 1, close, None);
+    }
+    close + 1
+}
+
+/// The final identifier of the leading path in a type position:
+/// `axcc_core :: RunTrace < 'a >` → `RunTrace`; `& mut T` → `T`.
+fn leading_path_ident(tokens: &[Token]) -> Option<String> {
+    let mut last: Option<String> = None;
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.kind == TokKind::Ident {
+            if matches!(t.text.as_str(), "dyn" | "mut" | "const") {
+                i += 1;
+                continue;
+            }
+            last = Some(t.text.clone());
+            // Continue only through `::`; anything else ends the path.
+            if i + 1 < tokens.len() && tokens[i + 1].is("::") {
+                i += 2;
+                continue;
+            }
+            break;
+        }
+        if t.is("&") || t.is("[") || t.is("(") || t.kind == TokKind::Lifetime {
+            i += 1;
+            continue;
+        }
+        break;
+    }
+    last
+}
+
+fn parse_fn(
+    parsed: &mut ParsedFile,
+    in_test: &[bool],
+    kw: usize,
+    end: usize,
+    ctx: Option<&ImplCtx>,
+) -> usize {
+    let name_tok = parsed.tokens[kw + 1].clone();
+    let line = parsed.tokens[kw].line;
+    let mut i = skip_generics(&parsed.tokens, kw + 2);
+    if i >= end || !parsed.tokens[i].is("(") {
+        return kw + 2;
+    }
+    let params_close = match parsed.matches[i] {
+        Some(c) => c,
+        None => return kw + 2,
+    };
+    let params = parsed.span_text(i + 1..params_close);
+    i = params_close + 1;
+    let mut ret = String::new();
+    if i < end && parsed.tokens[i].is("->") {
+        let ret_start = i + 1;
+        let mut j = ret_start;
+        while j < end
+            && !parsed.tokens[j].is("{")
+            && !parsed.tokens[j].is(";")
+            && !parsed.tokens[j].is("where")
+        {
+            if parsed.tokens[j].is("(") || parsed.tokens[j].is("[") {
+                j = parsed.matches[j].unwrap_or(j);
+            }
+            j += 1;
+        }
+        ret = parsed.span_text(ret_start..j);
+        i = j;
+    }
+    // Skip a where clause.
+    while i < end && !parsed.tokens[i].is("{") && !parsed.tokens[i].is(";") {
+        i += 1;
+    }
+    let body = if i < end && parsed.tokens[i].is("{") {
+        let close = parsed.matches[i].unwrap_or(end.saturating_sub(1));
+        i + 1..close
+    } else {
+        0..0 // bodyless signature
+    };
+    let after = if body.is_empty() { i + 1 } else { body.end + 1 };
+    parsed.fns.push(FnDef {
+        name: name_tok.text,
+        self_type: ctx.map(|c| c.self_type.clone()),
+        trait_name: ctx.and_then(|c| c.trait_name.clone()),
+        line,
+        params,
+        ret,
+        body: body.clone(),
+        in_test: line_in_test(in_test, line),
+    });
+    // Nested items (helper fns, local structs) inside the body.
+    if !body.is_empty() {
+        scan_items(parsed, in_test, body.start, body.end, None);
+    }
+    after
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> ParsedFile {
+        parse("crates/x/src/lib.rs", &lex(src))
+    }
+
+    #[test]
+    fn struct_fields_are_extracted() {
+        let p = parse_src(
+            "pub struct Job {\n    pub name: String,\n    steps: usize,\n    link: Arc<Mutex<Vec<f64>>>,\n}\n",
+        );
+        assert_eq!(p.structs.len(), 1);
+        let s = &p.structs[0];
+        assert_eq!(s.name, "Job");
+        let names: Vec<&str> = s.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["name", "steps", "link"]);
+        assert_eq!(s.fields[2].line, 4);
+        assert!(s.fields[2].ty.contains("Mutex"));
+    }
+
+    #[test]
+    fn tuple_struct_fields_are_indexed() {
+        let p = parse_src("struct Pair(f64, pub Vec<usize>);\n");
+        let s = &p.structs[0];
+        assert_eq!(s.fields.len(), 2);
+        assert_eq!(s.fields[0].name, "0");
+        assert_eq!(s.fields[1].name, "1");
+        assert!(s.fields[1].ty.contains("Vec"));
+    }
+
+    #[test]
+    fn impl_blocks_attach_self_and_trait() {
+        let p = parse_src(
+            "impl Fingerprint for Job {\n    fn fingerprint(&self, fp: &mut Fingerprinter) {\n        fp.write_str(&self.name);\n    }\n}\nimpl Job {\n    fn helper(&self) -> usize { self.steps }\n}\n",
+        );
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].name, "fingerprint");
+        assert_eq!(p.fns[0].self_type.as_deref(), Some("Job"));
+        assert_eq!(p.fns[0].trait_name.as_deref(), Some("Fingerprint"));
+        assert_eq!(p.fns[1].name, "helper");
+        assert_eq!(p.fns[1].trait_name, None);
+        assert!(p.span_text(p.fns[0].body.clone()).contains("self . name"));
+    }
+
+    #[test]
+    fn qualified_impl_paths_resolve_to_final_ident() {
+        let p = parse_src(
+            "impl axcc_core::Fingerprint for crate::jobs::Job {\n    fn fingerprint(&self) {}\n}\n",
+        );
+        assert_eq!(p.fns[0].trait_name.as_deref(), Some("Fingerprint"));
+        assert_eq!(p.fns[0].self_type.as_deref(), Some("Job"));
+    }
+
+    #[test]
+    fn generic_impls_and_where_clauses() {
+        let p = parse_src(
+            "impl<T: Clone> Holder<T> where T: Send {\n    fn get(&self) -> T { self.0.clone() }\n}\n",
+        );
+        assert_eq!(p.fns[0].self_type.as_deref(), Some("Holder"));
+        assert_eq!(p.fns[0].ret, "T");
+    }
+
+    #[test]
+    fn fn_return_types_and_params_are_captured() {
+        let p = parse_src(
+            "fn lock_pending(&self) -> std::sync::MutexGuard<'_, Vec<Pending>> {\n    self.pending.lock()\n}\n",
+        );
+        assert!(p.fns[0].ret.contains("MutexGuard"));
+        assert!(p.fns[0].params.contains("self"));
+    }
+
+    #[test]
+    fn enums_and_test_items_are_marked() {
+        let p = parse_src(
+            "enum Mode { A, B }\n#[cfg(test)]\nmod tests {\n    struct T { x: usize }\n    fn t() {}\n}\n",
+        );
+        assert_eq!(p.enums, vec!["Mode"]);
+        assert!(p.structs[0].in_test);
+        assert!(p.fns[0].in_test);
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let p = parse_src("type CheckFn = fn(usize) -> bool;\nstruct J { run: CheckFn }\n");
+        assert!(p.fns.is_empty());
+        assert_eq!(p.structs[0].fields[0].name, "run");
+    }
+
+    #[test]
+    fn nested_fns_are_found() {
+        let p =
+            parse_src("fn outer() {\n    fn inner(x: usize) -> usize { x }\n    inner(3);\n}\n");
+        let names: Vec<&str> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert!(names.contains(&"outer") && names.contains(&"inner"));
+    }
+}

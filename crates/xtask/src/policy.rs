@@ -63,9 +63,12 @@ pub fn policy_for(rel_path: &str) -> Option<FilePolicy> {
         unit_safety: true,
         hygiene: true,
         trace_discipline: true,
-        allow_threads: false,
-        allow_wall_clock: false,
-        allow_catch_unwind: false,
+        // Every fingerprinted type, wherever it lives, must cover its
+        // fields; the blanket unordered-type ban stays on in the
+        // deterministic core (so nondet-iteration would be redundant
+        // there and stays off).
+        fingerprint_coverage: true,
+        ..RuleSet::default()
     };
 
     let (rules, hygiene_kind) = if rel_path.starts_with("crates/serve/") {
@@ -81,6 +84,13 @@ pub fn policy_for(rel_path: &str) -> Option<FilePolicy> {
                 allow_threads: true,
                 allow_wall_clock: true,
                 allow_catch_unwind: rel_path == "crates/serve/src/worker.rs",
+                // Real locks cross real threads here: the lock-discipline
+                // family guards the worker/timekeeper/queue lock graph.
+                // Unordered maps are fine for connection bookkeeping, so
+                // the blanket ban yields to scope-aware iteration checks.
+                lock_discipline: true,
+                nondet_iteration: true,
+                allow_unordered_types: true,
                 ..all
             },
             hygiene_kind_for(rel_path),
@@ -89,10 +99,16 @@ pub fn policy_for(rel_path: &str) -> Option<FilePolicy> {
         // The sweep crate's ordered worker pool is the one sanctioned
         // home for threads: results are reassembled in submission order,
         // so scheduling nondeterminism cannot reach any output. All
-        // other rules still apply in full.
+        // other rules still apply in full, plus the lock-discipline
+        // family (the result cache and progress meter hold locks across
+        // worker threads) and scope-aware iteration checks in place of
+        // the blanket unordered-type ban.
         (
             RuleSet {
                 allow_threads: true,
+                lock_discipline: true,
+                nondet_iteration: true,
+                allow_unordered_types: true,
                 ..all
             },
             hygiene_kind_for(rel_path),
@@ -254,6 +270,50 @@ mod tests {
             );
             assert!(!p.rules.allow_catch_unwind, "{other} must not catch panics");
         }
+    }
+
+    #[test]
+    fn lock_discipline_covers_exactly_the_threaded_crates() {
+        for locked in ["crates/serve/src/server.rs", "crates/sweep/src/cache.rs"] {
+            let p = policy_for(locked).unwrap();
+            assert!(p.rules.lock_discipline, "{locked} holds cross-thread locks");
+            assert!(p.rules.nondet_iteration && p.rules.allow_unordered_types);
+        }
+        for other in [
+            "crates/core/src/fingerprint.rs",
+            "crates/analysis/src/experiments/table2.rs",
+            "crates/xtask/src/runner.rs",
+            "src/lib.rs",
+        ] {
+            let p = policy_for(other).unwrap();
+            assert!(!p.rules.lock_discipline, "{other} has no sanctioned locks");
+            assert!(
+                !p.rules.allow_unordered_types,
+                "{other} keeps the blanket unordered-type ban"
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_coverage_runs_in_the_deterministic_core() {
+        for covered in [
+            "crates/core/src/fingerprint.rs",
+            "crates/analysis/src/experiments/frontier.rs",
+            "crates/serve/src/protocol.rs",
+            "crates/sweep/src/runner.rs",
+        ] {
+            assert!(
+                policy_for(covered).unwrap().rules.fingerprint_coverage,
+                "{covered} declares or fingerprints cache-keyed types"
+            );
+        }
+        // Tooling declares no fingerprinted types; the family is off.
+        assert!(
+            !policy_for("crates/xtask/src/runner.rs")
+                .unwrap()
+                .rules
+                .fingerprint_coverage
+        );
     }
 
     #[test]

@@ -23,6 +23,12 @@ pub enum Rule {
     Hygiene,
     /// Direct `RunTrace` construction outside the sanctioned engine sinks.
     TraceDiscipline,
+    /// A `Fingerprint` impl that skips a declared field of its type.
+    FingerprintCoverage,
+    /// Lock inversions, blocking under a guard, re-entrant double-locks.
+    LockDiscipline,
+    /// Unordered-container iteration feeding an order-sensitive sink.
+    NondetIteration,
     /// Meta-rule: malformed `tidy-allow` suppressions.
     TidyAllow,
 }
@@ -37,9 +43,26 @@ impl Rule {
             Rule::UnitSafety => "unit-safety",
             Rule::Hygiene => "hygiene",
             Rule::TraceDiscipline => "trace-discipline",
+            Rule::FingerprintCoverage => "fingerprint-coverage",
+            Rule::LockDiscipline => "lock-discipline",
+            Rule::NondetIteration => "nondet-iteration",
             Rule::TidyAllow => "tidy-allow",
         }
     }
+
+    /// Every rule family, in diagnostic-sort order (for summary tables).
+    pub const ALL: &'static [Rule] = &[
+        Rule::Determinism,
+        Rule::NanSafety,
+        Rule::PanicFreedom,
+        Rule::UnitSafety,
+        Rule::Hygiene,
+        Rule::TraceDiscipline,
+        Rule::FingerprintCoverage,
+        Rule::LockDiscipline,
+        Rule::NondetIteration,
+        Rule::TidyAllow,
+    ];
 
     /// Parse a rule id as written in a `tidy-allow:` comment.
     pub fn from_id(id: &str) -> Option<Rule> {
@@ -50,6 +73,9 @@ impl Rule {
             "unit-safety" => Some(Rule::UnitSafety),
             "hygiene" => Some(Rule::Hygiene),
             "trace-discipline" => Some(Rule::TraceDiscipline),
+            "fingerprint-coverage" => Some(Rule::FingerprintCoverage),
+            "lock-discipline" => Some(Rule::LockDiscipline),
+            "nondet-iteration" => Some(Rule::NondetIteration),
             _ => None,
         }
     }
@@ -113,6 +139,24 @@ pub struct RuleSet {
     /// one sanctioned place where a panic is converted into a typed error
     /// response instead of propagating.
     pub allow_catch_unwind: bool,
+    /// Exempt this file from the blanket `HashMap`/`HashSet` determinism
+    /// patterns. Granted only together with [`nondet_iteration`]
+    /// (scope-aware enforcement replaces the blanket ban — service and
+    /// tooling bookkeeping may use O(1) maps, but iteration feeding an
+    /// order-sensitive sink is still flagged).
+    ///
+    /// [`nondet_iteration`]: RuleSet::nondet_iteration
+    pub allow_unordered_types: bool,
+    /// Run the cross-file `fingerprint-coverage` family on this file's
+    /// struct definitions: every field of a fingerprinted type must be
+    /// folded into the digest or carry a per-field waiver.
+    pub fingerprint_coverage: bool,
+    /// Run the cross-file `lock-discipline` family on this file's crate:
+    /// lock-order inversions, blocking under a live guard, re-entrant
+    /// double-locks.
+    pub lock_discipline: bool,
+    /// Run the scope-aware `nondet-iteration` family on this file.
+    pub nondet_iteration: bool,
 }
 
 /// Substring patterns with fixed messages, applied to stripped code.
@@ -125,6 +169,13 @@ const DETERMINISM_PATTERNS: &[(&str, &str)] = &[
         "from_entropy",
         "entropy-seeded RNG; seed a ChaCha8Rng from the scenario seed instead",
     ),
+];
+
+/// Unordered-container patterns: part of the determinism family, but
+/// separately gated so service/tooling crates can trade the blanket ban
+/// for the scope-aware `nondet-iteration` family (which flags only
+/// iteration that feeds an order-sensitive sink).
+const UNORDERED_TYPE_PATTERNS: &[(&str, &str)] = &[
     (
         "HashMap",
         "unordered iteration is nondeterministic; use BTreeMap or a Vec",
@@ -228,6 +279,13 @@ pub fn check_lines(
             for &(pat, msg) in DETERMINISM_PATTERNS {
                 if code.contains(pat) {
                     findings.push((lineno, Rule::Determinism, format!("`{pat}`: {msg}")));
+                }
+            }
+            if !rules.allow_unordered_types {
+                for &(pat, msg) in UNORDERED_TYPE_PATTERNS {
+                    if code.contains(pat) {
+                        findings.push((lineno, Rule::Determinism, format!("`{pat}`: {msg}")));
+                    }
                 }
             }
             if !rules.allow_wall_clock {
@@ -445,6 +503,35 @@ fn contains_token(code: &str, lit: &str) -> bool {
     false
 }
 
+/// Does any non-test line use a waivable pattern group? These probes
+/// back the stale-policy-waiver check: a file (or crate) granted a
+/// waiver in `policy.rs` that no longer exercises it has a rotting
+/// suppression, which is itself a hygiene finding.
+pub fn uses_waived_pattern(file: &SourceFile, waiver: PolicyWaiver) -> bool {
+    file.lines.iter().filter(|l| !l.in_test).any(|l| {
+        let code = l.code.as_str();
+        match waiver {
+            PolicyWaiver::Threads => THREAD_PATTERNS.iter().any(|(p, _)| code.contains(p)),
+            PolicyWaiver::WallClock => WALL_CLOCK_PATTERNS.iter().any(|(p, _)| code.contains(p)),
+            PolicyWaiver::CatchUnwind => code.contains("catch_unwind"),
+            PolicyWaiver::TraceSink => is_trace_construction(code),
+        }
+    })
+}
+
+/// The waivable pattern groups `policy.rs` can grant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyWaiver {
+    /// `allow_threads`.
+    Threads,
+    /// `allow_wall_clock`.
+    WallClock,
+    /// `allow_catch_unwind`.
+    CatchUnwind,
+    /// `trace_discipline: false` (an engine's sanctioned trace sink).
+    TraceSink,
+}
+
 /// Paper-artifact markers an experiment module's docs must cite.
 const ARTIFACT_MARKERS: &[&str] = &[
     "Table", "Figure", "Section", "Claim", "Theorem", "Metric", "\u{a7}",
@@ -552,7 +639,8 @@ pub fn parse_allow(line: &Line) -> Option<Result<Allow, String>> {
         None => {
             return Some(Err(format!(
                 "unknown rule id `{id}` in tidy-allow (expected one of determinism, \
-                 nan-safety, panic-freedom, unit-safety, hygiene, trace-discipline)"
+                 nan-safety, panic-freedom, unit-safety, hygiene, trace-discipline, \
+                 fingerprint-coverage, lock-discipline, nondet-iteration)"
             )))
         }
     };
@@ -582,10 +670,22 @@ mod tests {
             unit_safety: true,
             hygiene: true,
             trace_discipline: true,
-            allow_threads: false,
-            allow_wall_clock: false,
-            allow_catch_unwind: false,
+            ..RuleSet::default()
         }
+    }
+
+    #[test]
+    fn unordered_types_fire_unless_exempted() {
+        let f = lex("fn lib() { let m: HashMap<u32, u32> = HashMap::new(); }\n");
+        assert!(!check_lines(&f, all_rules(), false).is_empty());
+        let exempt = RuleSet {
+            allow_unordered_types: true,
+            ..all_rules()
+        };
+        assert!(check_lines(&f, exempt, false).is_empty());
+        // The exemption is narrow: thread_rng still fires there.
+        let f = lex("fn lib() { let r = thread_rng(); }\n");
+        assert!(!check_lines(&f, exempt, false).is_empty());
     }
 
     #[test]

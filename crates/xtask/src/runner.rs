@@ -1,18 +1,84 @@
 //! Walk the workspace, apply the per-file policy, and collect
 //! diagnostics. The walk order and diagnostic order are fully sorted, so
 //! tidy output is byte-stable across runs and machines.
+//!
+//! The run has two phases. Phase one is per-file: lex, parse, run the
+//! line-pattern rules and hygiene checks, and record inline
+//! suppressions. Phase two is cross-file: build the item index over
+//! every in-scope file and run the parser-backed families
+//! (fingerprint-coverage, lock-discipline, nondet-iteration). Findings
+//! from both phases route through the same per-line `tidy-allow`
+//! tables — and any suppression (inline comment or `policy.rs` waiver)
+//! that suppresses nothing is itself reported, so dead waivers cannot
+//! rot silently.
 
 use crate::lexer::lex;
+use crate::model::{crate_of, FileEntry, ItemIndex};
+use crate::parse::parse;
 use crate::policy::{manifest_for, policy_for};
-use crate::rules::{check_hygiene, check_lines, parse_allow, Diagnostic, Rule};
+use crate::rules::{
+    check_hygiene, check_lines, parse_allow, uses_waived_pattern, Allow, Diagnostic, PolicyWaiver,
+    Rule,
+};
+use crate::{fp_coverage, lock_order, nondet_iter};
+use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+/// The result of a full tidy run.
+#[derive(Debug, Clone)]
+pub struct TidyReport {
+    /// Sorted, deduplicated findings (empty = clean).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of in-scope `.rs` files checked.
+    pub files_checked: usize,
+}
+
+/// Per-file state carried between the phases.
+struct FileCtx {
+    rel: String,
+    /// Inline suppressions by 0-based line index.
+    allows: Vec<Option<Allow>>,
+    /// Whether the allow at the same index suppressed anything.
+    used: Vec<bool>,
+    /// Suppressible findings (line rules now, cross-file rules later).
+    findings: Vec<Diagnostic>,
+}
+
+impl FileCtx {
+    /// Try to suppress `finding`; returns true (and marks the allow
+    /// used) when an inline allow covers it.
+    fn suppress(&mut self, line: usize, rule: Rule) -> bool {
+        if line >= 1 {
+            if let Some(Some(a)) = self.allows.get(line - 1) {
+                if a.own_line && a.rule == rule {
+                    self.used[line - 1] = true;
+                    return true;
+                }
+            }
+        }
+        if line >= 2 {
+            if let Some(Some(a)) = self.allows.get(line - 2) {
+                if !a.own_line && a.rule == rule {
+                    self.used[line - 2] = true;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
 /// Run `axcc-tidy` over the workspace rooted at `root`. Returns the
-/// sorted list of findings (empty = clean). I/O errors abort the run —
-/// an unreadable file must fail the gate, not pass it silently.
+/// sorted findings (empty = clean). I/O errors abort the run — an
+/// unreadable file must fail the gate, not pass it silently.
 pub fn run_tidy(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    run_tidy_report(root).map(|r| r.diagnostics)
+}
+
+/// [`run_tidy`], returning the full report (findings + file count).
+pub fn run_tidy_report(root: &Path) -> io::Result<TidyReport> {
     let mut files = Vec::new();
     for top in ["crates", "src", "examples"] {
         let dir = root.join(top);
@@ -22,7 +88,21 @@ pub fn run_tidy(root: &Path) -> io::Result<Vec<Diagnostic>> {
     }
     files.sort();
 
-    let mut diagnostics = Vec::new();
+    // Unsuppressible diagnostics: manifest drift, malformed allows,
+    // stale waivers (a suppression cannot suppress the report of its
+    // own staleness).
+    let mut direct: Vec<Diagnostic> = Vec::new();
+    let mut ctxs: Vec<FileCtx> = Vec::new();
+    let mut entries: Vec<FileEntry> = Vec::new();
+    // (crate, waiver) → (first granted file, any file uses the pattern).
+    let mut crate_waivers: BTreeMap<(String, &'static str), (String, bool)> = BTreeMap::new();
+    // Trace-discipline grants are only *waivers* in crates that enforce
+    // the rule elsewhere; a crate with the rule off everywhere (tooling)
+    // simply isn't in the trace TCB, so staleness doesn't apply.
+    let mut trace_enforcing: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    let mut trace_waived: Vec<(String, String, bool)> = Vec::new(); // (crate, file, used)
+
+    // Phase one: per-file rules, suppression tables, usage probes.
     for path in &files {
         let rel = relative_slash_path(root, path);
         let Some(policy) = policy_for(&rel) else {
@@ -31,24 +111,20 @@ pub fn run_tidy(root: &Path) -> io::Result<Vec<Diagnostic>> {
         let src = fs::read_to_string(path)?;
         let file = lex(&src);
 
-        let mut findings = check_lines(&file, policy.rules, policy.is_units_module);
-        if policy.rules.hygiene {
-            findings.extend(check_hygiene(&file, policy.hygiene_kind));
-            if let Some(manifest_rel) = manifest_for(&rel) {
-                diagnostics.extend(check_manifest(root, &manifest_rel)?);
-            }
-        }
-
-        // Parse suppressions; malformed ones become meta-rule findings.
-        let mut allows = vec![None; file.lines.len()];
+        let mut ctx = FileCtx {
+            rel: rel.clone(),
+            allows: vec![None; file.lines.len()],
+            used: vec![false; file.lines.len()],
+            findings: Vec::new(),
+        };
         for (idx, line) in file.lines.iter().enumerate() {
             if line.in_test {
                 continue;
             }
             match parse_allow(line) {
                 None => {}
-                Some(Ok(allow)) => allows[idx] = Some(allow),
-                Some(Err(msg)) => diagnostics.push(Diagnostic {
+                Some(Ok(allow)) => ctx.allows[idx] = Some(allow),
+                Some(Err(msg)) => direct.push(Diagnostic {
                     file: rel.clone(),
                     line: idx + 1,
                     rule: Rule::TidyAllow,
@@ -57,23 +133,162 @@ pub fn run_tidy(root: &Path) -> io::Result<Vec<Diagnostic>> {
             }
         }
 
-        for (lineno, rule, message) in findings {
-            if is_suppressed(&allows, lineno, rule) {
-                continue;
-            }
-            diagnostics.push(Diagnostic {
+        for (lineno, rule, message) in check_lines(&file, policy.rules, policy.is_units_module) {
+            ctx.findings.push(Diagnostic {
                 file: rel.clone(),
                 line: lineno,
                 rule,
                 message,
             });
         }
+        if policy.rules.hygiene {
+            for (lineno, rule, message) in check_hygiene(&file, policy.hygiene_kind) {
+                ctx.findings.push(Diagnostic {
+                    file: rel.clone(),
+                    line: lineno,
+                    rule,
+                    message,
+                });
+            }
+            if let Some(manifest_rel) = manifest_for(&rel) {
+                direct.extend(check_manifest(root, &manifest_rel)?);
+            }
+        }
+
+        // Stale policy waivers, file-granular grants.
+        if policy.rules.allow_catch_unwind && !uses_waived_pattern(&file, PolicyWaiver::CatchUnwind)
+        {
+            direct.push(Diagnostic {
+                file: rel.clone(),
+                line: 1,
+                rule: Rule::Hygiene,
+                message: "policy.rs waives `catch_unwind` for this file but nothing uses it; \
+                          stale waivers rot — drop the grant"
+                    .to_string(),
+            });
+        }
+        let krate = crate_of(&rel);
+        if policy.rules.trace_discipline {
+            trace_enforcing.insert(krate.clone());
+        } else {
+            let used = uses_waived_pattern(&file, PolicyWaiver::TraceSink);
+            trace_waived.push((krate.clone(), rel.clone(), used));
+        }
+
+        // Crate-granular waiver usage is aggregated after the walk.
+        for (granted, waiver) in [
+            (policy.rules.allow_threads, PolicyWaiver::Threads),
+            (policy.rules.allow_wall_clock, PolicyWaiver::WallClock),
+        ] {
+            if granted {
+                let used = uses_waived_pattern(&file, waiver);
+                let e = crate_waivers
+                    .entry((krate.clone(), waiver_name(waiver)))
+                    .or_insert((rel.clone(), false));
+                e.1 |= used;
+            }
+        }
+
+        entries.push(FileEntry {
+            parsed: parse(&rel, &file),
+            rules: policy.rules,
+        });
+        ctxs.push(ctx);
+    }
+
+    // Trace-sink grants that are exceptions within an enforcing crate
+    // must be exercised; crate-wide non-applicability is not a waiver.
+    for (krate, file, used) in &trace_waived {
+        if trace_enforcing.contains(krate) && !used {
+            direct.push(Diagnostic {
+                file: file.clone(),
+                line: 1,
+                rule: Rule::Hygiene,
+                message: "policy.rs waives `RunTrace` construction for this file but nothing \
+                          uses it; stale waivers rot — drop the grant"
+                    .to_string(),
+            });
+        }
+    }
+
+    // Crate-granular stale waivers.
+    for ((krate, waiver), (first_file, used)) in &crate_waivers {
+        if !used {
+            direct.push(Diagnostic {
+                file: first_file.clone(),
+                line: 1,
+                rule: Rule::Hygiene,
+                message: format!(
+                    "policy.rs waives the {waiver} determinism patterns for `{krate}` \
+                     but no file there uses them; stale waivers rot — drop the grant"
+                ),
+            });
+        }
+    }
+
+    // Phase two: cross-file families over the item index.
+    let index = ItemIndex::build(&entries);
+    let mut cross: Vec<Diagnostic> = Vec::new();
+    cross.extend(fp_coverage::check(&index));
+    cross.extend(lock_order::check(&index));
+    cross.extend(nondet_iter::check(&index));
+    let mut by_file: BTreeMap<String, Vec<Diagnostic>> = BTreeMap::new();
+    for d in cross {
+        by_file.entry(d.file.clone()).or_default().push(d);
+    }
+    for ctx in &mut ctxs {
+        if let Some(extra) = by_file.remove(&ctx.rel) {
+            ctx.findings.extend(extra);
+        }
+    }
+    // Cross findings pointing at files without a ctx (can't happen for
+    // in-scope files, but stay permissive): report directly.
+    for (_, extra) in by_file {
+        direct.extend(extra);
+    }
+
+    // Suppression + stale-allow detection.
+    let mut diagnostics = direct;
+    for ctx in &mut ctxs {
+        let findings = std::mem::take(&mut ctx.findings);
+        for d in findings {
+            if !ctx.suppress(d.line, d.rule) {
+                diagnostics.push(d);
+            }
+        }
+        for (idx, allow) in ctx.allows.iter().enumerate() {
+            let Some(allow) = allow else { continue };
+            if !ctx.used[idx] {
+                diagnostics.push(Diagnostic {
+                    file: ctx.rel.clone(),
+                    line: idx + 1,
+                    rule: Rule::Hygiene,
+                    message: format!(
+                        "stale `tidy-allow: {}` suppresses no finding; delete it (or fix \
+                         the justification to match a real diagnostic)",
+                        allow.rule.id()
+                    ),
+                });
+            }
+        }
     }
 
     diagnostics
         .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
     diagnostics.dedup();
-    Ok(diagnostics)
+    Ok(TidyReport {
+        diagnostics,
+        files_checked: ctxs.len(),
+    })
+}
+
+fn waiver_name(w: PolicyWaiver) -> &'static str {
+    match w {
+        PolicyWaiver::Threads => "thread",
+        PolicyWaiver::WallClock => "wall-clock",
+        PolicyWaiver::CatchUnwind => "catch-unwind",
+        PolicyWaiver::TraceSink => "trace-sink",
+    }
 }
 
 /// Number of `.rs` files in scope under `root` (for the success summary).
@@ -89,21 +304,6 @@ pub fn count_checked_files(root: &Path) -> io::Result<usize> {
         .iter()
         .filter(|p| policy_for(&relative_slash_path(root, p)).is_some())
         .count())
-}
-
-/// A finding at `lineno` is suppressed by an allow for the same rule on
-/// the same line, or by a comment-only allow on the line above.
-fn is_suppressed(allows: &[Option<crate::rules::Allow>], lineno: usize, rule: Rule) -> bool {
-    let same_line = allows
-        .get(lineno - 1)
-        .and_then(|a| a.as_ref())
-        .is_some_and(|a| a.own_line && a.rule == rule);
-    let line_above = lineno >= 2
-        && allows
-            .get(lineno - 2)
-            .and_then(|a| a.as_ref())
-            .is_some_and(|a| !a.own_line && a.rule == rule);
-    same_line || line_above
 }
 
 /// Check that a crate manifest opts into the workspace lint table:

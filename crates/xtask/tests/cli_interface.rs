@@ -1,0 +1,128 @@
+//! The tidy CLI end-to-end through the compiled binary: exit codes
+//! (0 clean / 1 findings / 2 internal error), `--format json`, and the
+//! `--write-baseline` / `--baseline` workflow CI gates on.
+
+#![allow(clippy::expect_used)] // subprocess/IO failures should abort the suite loudly
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn fixture_root(which: &str) -> String {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(which)
+        .display()
+        .to_string()
+}
+
+fn tidy(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .arg("tidy")
+        .args(args)
+        .output()
+        .expect("tidy binary runs")
+}
+
+#[test]
+fn clean_tree_exits_zero_with_a_summary() {
+    let out = tidy(&["--root", &fixture_root("clean")]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("workspace clean"), "{stderr}");
+}
+
+#[test]
+fn findings_exit_one_with_a_family_table() {
+    let out = tidy(&["--root", &fixture_root("bad")]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stdout.contains("lock-discipline:"), "{stdout}");
+    // The per-family summary table names each tripped family once.
+    for family in [
+        "determinism",
+        "fingerprint-coverage",
+        "lock-discipline",
+        "nondet-iteration",
+        "hygiene",
+    ] {
+        assert!(
+            stderr.contains(family),
+            "summary table missing {family}:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn bad_arguments_exit_two() {
+    for args in [
+        &["--no-such-flag"][..],
+        &["--format", "yaml"][..],
+        &["--baseline"][..],
+    ] {
+        let out = tidy(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}: {out:?}");
+    }
+    // A missing subcommand is also usage error 2.
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn json_output_carries_findings_and_counts() {
+    let out = tidy(&["--root", &fixture_root("bad"), "--format", "json"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim_start().starts_with('{'), "{stdout}");
+    for key in [
+        "\"findings\"",
+        "\"summary\"",
+        "\"files_checked\"",
+        "\"baseline_suppressed\"",
+        "\"rule\": \"lock-discipline\"",
+    ] {
+        assert!(stdout.contains(key), "json output missing {key}:\n{stdout}");
+    }
+    // Messages quote code in backticks and must survive escaping: the
+    // output stays one well-formed object (balanced braces outside
+    // strings is a cheap proxy; real consumers parse it in CI).
+    assert!(!stdout.contains('\t'), "tabs must be escaped:\n{stdout}");
+}
+
+#[test]
+fn baseline_roundtrip_suppresses_known_findings() {
+    let baseline =
+        std::env::temp_dir().join(format!("axcc-tidy-baseline-{}.txt", std::process::id()));
+    let path = baseline.display().to_string();
+    let root = fixture_root("bad");
+
+    let out = tidy(&["--root", &root, "--write-baseline", &path]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = std::fs::read_to_string(&baseline).expect("baseline written");
+    assert!(
+        text.lines().any(|l| l.starts_with('#')),
+        "has header comment"
+    );
+    assert!(text.contains("lock-discipline"), "{text}");
+
+    // With every current finding accepted, the gate passes…
+    let out = tidy(&["--root", &root, "--baseline", &path]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("baseline-suppressed"), "{stderr}");
+
+    // …but a truncated baseline (one key removed) fails on the new key.
+    let truncated: Vec<&str> = text
+        .lines()
+        .filter(|l| !l.contains("lock-discipline"))
+        .collect();
+    std::fs::write(&baseline, truncated.join("\n")).expect("rewrite baseline");
+    let out = tidy(&["--root", &root, "--baseline", &path]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("lock-discipline:"), "{stdout}");
+
+    let _ = std::fs::remove_file(&baseline);
+}

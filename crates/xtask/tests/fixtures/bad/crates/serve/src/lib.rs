@@ -1,0 +1,7 @@
+//! Fixture mirroring the real `axcc-serve` crate: threads and locks are
+//! sanctioned here, but the lock graph in [`locks`] is deliberately
+//! broken. The crate also never reads a wall clock, so the policy's
+//! wall-clock waiver is stale and must be reported.
+#![forbid(unsafe_code)]
+
+pub mod locks;

@@ -1,0 +1,47 @@
+// The daemon's shared state, with every lock-discipline violation the
+// parser-backed family must catch: an acquisition-order inversion, a
+// blocking receive under a live guard, and a re-entrant double-lock.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub queue: Mutex<Vec<u64>>,
+    pub stats: Mutex<u64>,
+}
+
+/// Takes `queue` before `stats`…
+pub fn submit(shared: &Shared, job: u64) {
+    let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+    q.push(job);
+    let mut s = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+    *s += 1;
+}
+
+/// …while this path takes `stats` before `queue`: an inversion.
+pub fn snapshot(shared: &Shared) -> (u64, usize) {
+    let s = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+    let q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+    (*s, q.len())
+}
+
+/// Blocks on a channel while the queue guard is live.
+pub fn drain_one(shared: &Shared, rx: &Receiver<u64>) -> Option<u64> {
+    let q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+    let job = rx.recv().ok();
+    let _ = q.len();
+    job
+}
+
+/// Re-enters the stats lock while already holding it.
+pub fn double_count(shared: &Shared) -> u64 {
+    let a = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+    let b = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+    *a + *b
+}
+
+/// Worker threads are sanctioned in this crate; spawning here keeps the
+/// policy's thread waiver live.
+pub fn spawn_worker() -> std::thread::JoinHandle<()> {
+    std::thread::spawn(|| {})
+}

@@ -1,0 +1,14 @@
+// A Fingerprint impl that skips a declared field: two jobs differing
+// only in `steps` collide on one digest, and the content-addressed
+// cache serves a stale result.
+
+pub struct Job {
+    pub name: String,
+    pub steps: usize,
+}
+
+impl Fingerprint for Job {
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        fp.write_str(&self.name);
+    }
+}

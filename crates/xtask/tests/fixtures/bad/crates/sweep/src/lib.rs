@@ -1,0 +1,8 @@
+//! Fixture mirroring the real `axcc-sweep` crate: the blanket
+//! unordered-type ban yields to scope-aware iteration checks here, and
+//! [`nondet`] feeds map-order iteration into order-sensitive sinks. The
+//! crate also never spawns a thread, so the policy's thread waiver is
+//! stale and must be reported.
+#![forbid(unsafe_code)]
+
+pub mod nondet;

@@ -1,0 +1,24 @@
+// Unordered iteration feeding order-sensitive sinks, plus a suppression
+// with nothing to suppress.
+
+use std::collections::HashMap;
+
+/// Renders per-job counters in arbitrary map order: flagged.
+pub fn render_counts(counts: &HashMap<String, u64>, out: &mut String) {
+    for (name, n) in counts.iter() {
+        out.push_str(name);
+        let _ = n;
+    }
+}
+
+/// Sums f64 values in arbitrary order (float addition does not
+/// associate): flagged.
+pub fn total_cost(costs: &HashMap<String, f64>) -> f64 {
+    costs.values().sum()
+}
+
+/// A suppression that suppresses nothing: flagged as stale.
+pub fn checked_total(xs: &[u64]) -> u64 {
+    // tidy-allow: determinism — nothing on the next line trips determinism; this dead waiver must be reported.
+    xs.iter().sum()
+}

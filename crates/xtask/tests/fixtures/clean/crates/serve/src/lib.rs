@@ -1,0 +1,69 @@
+//! Fixture mirroring the real `axcc-serve` crate: threads, wall clocks,
+//! and locks are sanctioned here, and every use below follows the
+//! discipline — one global acquisition order, condvar waits instead of
+//! blocking calls under guards, guards released before channel receives,
+//! and unordered maps only rendered through a sorted view.
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+use std::sync::mpsc::Receiver;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+pub struct Shared {
+    pub queue: Mutex<Vec<u64>>,
+    pub stats: Mutex<u64>,
+    pub ready: Condvar,
+}
+
+/// Takes `queue` before `stats`…
+pub fn submit(shared: &Shared, job: u64) {
+    let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+    q.push(job);
+    let mut s = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+    *s += 1;
+}
+
+/// …and so does this path: one global order, no inversion.
+pub fn drain(shared: &Shared) -> usize {
+    let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+    let n = q.len();
+    q.clear();
+    let mut s = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+    *s = 0;
+    n
+}
+
+/// Waiting on a condvar releases the guard while parked: sanctioned.
+pub fn wait_ready(shared: &Shared) -> usize {
+    let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+    while q.is_empty() {
+        q = shared.ready.wait(q).unwrap_or_else(|e| e.into_inner());
+    }
+    q.len()
+}
+
+/// The guard is dropped before the receive blocks.
+pub fn recv_after_release(shared: &Shared, rx: &Receiver<u64>) -> Option<u64> {
+    let q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+    let backlog = q.len();
+    drop(q);
+    rx.recv().ok().filter(|_| backlog == 0)
+}
+
+/// Wall-clock reads are sanctioned in the daemon (latency reporting).
+pub fn uptime_secs(started: Instant) -> f64 {
+    Instant::now().duration_since(started).as_secs_f64()
+}
+
+/// Connection handling runs on its own thread: sanctioned.
+pub fn spawn_logger() -> std::thread::JoinHandle<()> {
+    std::thread::spawn(|| {})
+}
+
+/// Session names render through a sorted view: order restored.
+pub fn render_sessions(sessions: &HashMap<String, u64>) -> String {
+    let mut names: Vec<String> = sessions.keys().cloned().collect();
+    names.sort();
+    names.join("\n")
+}

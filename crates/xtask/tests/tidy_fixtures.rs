@@ -113,6 +113,62 @@ fn bad_fixture_trips_every_rule_family() {
 }
 
 #[test]
+fn bad_fixture_trips_the_parser_backed_families() {
+    let diags = tidy("bad");
+    let locks = "crates/serve/src/locks.rs";
+
+    // Lock-discipline: `submit` takes queue→stats while `snapshot` takes
+    // stats→queue — the inversion is reported at both sites (this is the
+    // acceptance demo: reordering two Mutex acquisitions fails the gate)…
+    let inversions = diags
+        .iter()
+        .filter(|d| d.file == locks && d.rule == Rule::LockDiscipline)
+        .filter(|d| d.message.contains("opposite order"))
+        .count();
+    assert_eq!(inversions, 2, "one finding per direction of the inversion");
+    // …plus the blocking receive under a live guard…
+    assert_finding(&diags, locks, Rule::LockDiscipline, "channel `recv`");
+    // …and the re-entrant double-lock.
+    assert_finding(&diags, locks, Rule::LockDiscipline, "not re-entrant");
+
+    // Nondet-iteration: rendering and float-summing in map order.
+    let nondet = "crates/sweep/src/nondet.rs";
+    assert_finding(&diags, nondet, Rule::NondetIteration, "`push_str`");
+    assert_finding(&diags, nondet, Rule::NondetIteration, "`sum`");
+
+    // Fingerprint-coverage: the skipped field, at its declaration line.
+    let fp = "crates/sim/src/fp.rs";
+    assert_finding(&diags, fp, Rule::FingerprintCoverage, "`steps`");
+    let field_line = diags
+        .iter()
+        .find(|d| d.file == fp && d.rule == Rule::FingerprintCoverage)
+        .expect("coverage finding exists")
+        .line;
+    let src = std::fs::read_to_string(fixture_root("bad").join(fp)).expect("fp fixture");
+    assert!(
+        src.lines()
+            .nth(field_line - 1)
+            .is_some_and(|l| l.contains("steps: usize")),
+        "the finding must anchor at the field declaration, not the impl"
+    );
+
+    // Stale suppressions: a dead inline allow and two dead policy waivers.
+    assert_finding(
+        &diags,
+        nondet,
+        Rule::Hygiene,
+        "stale `tidy-allow: determinism`",
+    );
+    assert_finding(
+        &diags,
+        "crates/serve/src/lib.rs",
+        Rule::Hygiene,
+        "wall-clock",
+    );
+    assert_finding(&diags, "crates/sweep/src/lib.rs", Rule::Hygiene, "thread");
+}
+
+#[test]
 fn bad_fixture_findings_are_sorted_and_deduped() {
     let diags = tidy("bad");
     // Sorted by (file, line, rule) — two findings may share that key

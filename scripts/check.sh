@@ -7,8 +7,8 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> cargo tidy (axcc-tidy static analysis)"
-cargo run -q -p xtask -- tidy
+echo "==> cargo tidy (axcc-tidy static analysis, gating on new findings)"
+cargo run -q -p xtask -- tidy --baseline tidy.baseline
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
