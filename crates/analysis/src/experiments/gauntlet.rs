@@ -34,6 +34,12 @@
 //! Side-effect columns guard against robustness "won" by pure aggression:
 //! efficiency (Metric I) and TCP-friendliness (Metric VII) are re-measured
 //! on a standard congested link *under* a reference impairment.
+//!
+//! A final **parking-lot tier** takes the gauntlet multi-bottleneck: each
+//! protocol runs the classic [`PARKING_HOPS`]-hop parking lot (one long
+//! flow across every hop, one short flow per hop) and reports the long
+//! flow's goodput share relative to the mean short flow — how badly the
+//! protocol's dynamics punish multi-bottleneck paths.
 
 use crate::estimators::{stream_options, TAIL_FRACTION};
 use crate::report::{fmt_score, TextTable};
@@ -75,6 +81,10 @@ pub const BETA: f64 = 50.0;
 /// so a single unlucky tail clump would otherwise dominate the score).
 pub const GAUNTLET_SEEDS: [u64; 5] = [11, 12, 13, 14, 15];
 
+/// Hops in the parking-lot tier (one long flow across all of them, one
+/// short flow per hop).
+pub const PARKING_HOPS: usize = 3;
+
 /// One protocol's gauntlet results.
 #[derive(Debug, Clone, Serialize)]
 pub struct GauntletRow {
@@ -88,6 +98,9 @@ pub struct GauntletRow {
     /// Metric VII vs Reno on a congested link under the reference
     /// impairment.
     pub friendliness: f64,
+    /// Parking-lot tier: the long flow's goodput relative to the mean
+    /// short flow on a [`PARKING_HOPS`]-hop lot (1.0 = unpenalized).
+    pub parking_ratio: f64,
 }
 
 impl GauntletRow {
@@ -325,6 +338,61 @@ impl SweepJob for SideEffectJob {
     }
 }
 
+/// Long-flow goodput share on the parking lot: long / mean(short). The
+/// network engine always records traces, so the score is
+/// evaluation-mode independent by construction (and the job fingerprint
+/// carries no mode).
+fn parking_lot_ratio(proto: &dyn Protocol, steps: usize) -> f64 {
+    use axcc_fluidsim::{FlowConfig, NetScenario, Topology};
+    let hop = congested_link();
+    let mut sc = NetScenario::new(Topology::parking_lot(PARKING_HOPS, hop))
+        .steps(steps)
+        .flow(FlowConfig::new(
+            proto.clone_box(),
+            (0..PARKING_HOPS).collect(),
+        ));
+    for l in 0..PARKING_HOPS {
+        sc = sc.flow(FlowConfig::new(proto.clone_box(), vec![l]));
+    }
+    let net = sc.run();
+    let tail = net.tail_start(TAIL_FRACTION);
+    let long = net.flow_goodput(0, tail);
+    let short: f64 = (1..=PARKING_HOPS)
+        .map(|f| net.flow_goodput(f, tail))
+        .sum::<f64>()
+        / PARKING_HOPS as f64;
+    if short > 0.0 {
+        long / short
+    } else {
+        0.0
+    }
+}
+
+/// One protocol's parking-lot tier run.
+struct ParkingLotJob {
+    // tidy-allow: fingerprint-coverage — redundant with name: the lineup is fixed and names embed every constructor parameter, so equal names imply equal indices.
+    index: usize,
+    name: String,
+    steps: usize,
+}
+
+impl Fingerprint for ParkingLotJob {
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        fp.write_str(&self.name);
+        fp.write_usize(self.steps);
+        fp.write_usize(PARKING_HOPS);
+        congested_link().fingerprint(fp);
+    }
+}
+
+impl SweepJob for ParkingLotJob {
+    type Output = f64;
+    fn run(&self) -> f64 {
+        let lineup = gauntlet_lineup();
+        parking_lot_ratio(lineup[self.index].as_ref(), self.steps)
+    }
+}
+
 /// Run the full gauntlet with `steps` fluid steps per run.
 pub fn run_gauntlet(steps: usize) -> GauntletReport {
     run_gauntlet_with(&SweepRunner::serial(), steps)
@@ -360,6 +428,16 @@ pub fn run_gauntlet_with(runner: &SweepRunner, steps: usize) -> GauntletReport {
         })
         .collect();
     let sides = runner.run_jobs("gauntlet/side-effects", &side_jobs);
+    let parking_jobs: Vec<ParkingLotJob> = lineup
+        .iter()
+        .enumerate()
+        .map(|(index, proto)| ParkingLotJob {
+            index,
+            name: proto.name(),
+            steps,
+        })
+        .collect();
+    let parking = runner.run_jobs("gauntlet/parking-lot", &parking_jobs);
 
     let rows = lineup
         .iter()
@@ -372,6 +450,7 @@ pub fn run_gauntlet_with(runner: &SweepRunner, steps: usize) -> GauntletReport {
                 scores: scores[base..base + BURST_LENS.len()].to_vec(),
                 efficiency: eff,
                 friendliness: friend,
+                parking_ratio: parking[i],
             }
         })
         .collect();
@@ -415,12 +494,14 @@ impl GauntletReport {
         headers.extend(self.burst_lens.iter().map(|l| format!("f*@L={l}")));
         headers.push("efficiency".into());
         headers.push("friendliness".into());
+        headers.push("lot-ratio".into());
         let mut t = TextTable::new(headers);
         for r in &self.rows {
             let mut cells = vec![r.protocol.clone()];
             cells.extend(r.scores.iter().map(|&s| fmt_score(s)));
             cells.push(fmt_score(r.efficiency));
             cells.push(fmt_score(r.friendliness));
+            cells.push(fmt_score(r.parking_ratio));
             t.row(cells);
         }
         format!(
@@ -429,7 +510,8 @@ impl GauntletReport {
              withstands (window escapes and holds β = {BETA} MSS on most seeds) when each\n\
              burst lasts L steps at {:.0}% in-burst loss. Efficiency and friendliness are\n\
              re-measured on a congested link under the reference impairment\n\
-             (L = 4, f = 0.005).\n\n{}\nR-AIMD degrades strictly slower than AIMD(1,0.5): {}\n",
+             (L = 4, f = 0.005). lot-ratio: the long flow's goodput share on a\n\
+             {PARKING_HOPS}-hop parking lot (1.0 = unpenalized by multi-bottleneck paths).\n\n{}\nR-AIMD degrades strictly slower than AIMD(1,0.5): {}\n",
             self.loss_bad * 100.0,
             t.render(),
             self.degrades_slower("R-AIMD", "AIMD(1,0.5)"),
@@ -512,6 +594,25 @@ mod tests {
         let reno = rep.row("AIMD(1,0.5)").expect("reno row");
         assert!(raimd.efficiency > 0.15, "{}", raimd.efficiency);
         assert!(raimd.efficiency > reno.efficiency, "{}", rep.render());
+    }
+
+    #[test]
+    fn parking_lot_tier_penalizes_long_reno_flows() {
+        let rep = report();
+        for r in &rep.rows {
+            assert!(
+                r.parking_ratio.is_finite() && r.parking_ratio >= 0.0,
+                "{}: lot ratio {}",
+                r.protocol,
+                r.parking_ratio
+            );
+        }
+        // The loss-based climbers cross PARKING_HOPS bottlenecks (more
+        // loss exposure, longer RTT): their long flow earns clearly less
+        // than the short flows, but is not starved outright.
+        let reno = rep.row("AIMD(1,0.5)").expect("reno row");
+        assert!(reno.parking_ratio < 1.0, "{}", reno.parking_ratio);
+        assert!(reno.parking_ratio > 0.01, "{}", reno.parking_ratio);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! | [`frontier`] | empirical Pareto-frontier search over all implemented families |
 //! | [`aqm`] | §6 in-network queueing: droptail vs ECN vs RED across the metrics |
 //! | [`extensions`] | §6 future-work metrics: smoothness, responsiveness, Metric VIII across classes |
+//! | [`churn`] | §6 dynamic populations: churn-aware metrics under seeded arrival storms |
 //! | [`hierarchy`] | shared machinery: per-metric rankings and theory/measurement agreement |
 //!
 //! Every experiment entry point has a `*_with(runner, …)` variant taking
@@ -29,6 +30,7 @@ use axcc_core::LinkParams;
 use axcc_sweep::SweepRunner;
 
 pub mod aqm;
+pub mod churn;
 pub mod emulab;
 pub mod extensions;
 pub mod figure1;
@@ -96,6 +98,11 @@ pub struct Experiment {
     pub name: &'static str,
     /// Which paper artifact the experiment reproduces.
     pub artifact: &'static str,
+    /// Experiment family, for grouping in `axcc list` (e.g. the paper's
+    /// core tables vs the repo's extension studies).
+    pub family: &'static str,
+    /// Human-readable paper/smoke run budget shown by `axcc list`.
+    pub budget: &'static str,
     /// Run the experiment through a sweep runner at the given budget.
     pub run: fn(&SweepRunner, RunBudget) -> ExperimentOutcome,
     /// Whether the experiment honours the runner's
@@ -204,69 +211,105 @@ fn run_extensions(runner: &SweepRunner, budget: RunBudget) -> ExperimentOutcome 
     }
 }
 
+fn run_churn(runner: &SweepRunner, budget: RunBudget) -> ExperimentOutcome {
+    let rep = churn::run_churn_with(runner, budget.steps(4000, 1000), budget.secs(30.0, 8.0));
+    ExperimentOutcome {
+        passed: rep.sane(),
+        report: rep.render(),
+    }
+}
+
 /// All experiments, in the paper's presentation order. Names are stable
 /// CLI identifiers.
 pub fn registry() -> Vec<Experiment> {
     vec![
         Experiment {
             name: "table1",
+            family: "characterization",
+            budget: "4000/800 steps",
             supports_streaming: true,
             artifact: "Table 1 — protocol characterization (empirical)",
             run: run_table1,
         },
         Experiment {
             name: "table2",
+            family: "friendliness",
+            budget: "4000/1500 steps",
             supports_streaming: false,
             artifact: "Table 2 — Robust-AIMD vs PCC friendliness grid",
             run: run_table2,
         },
         Experiment {
             name: "figure1",
+            family: "frontier",
+            budget: "3000/800 steps",
             supports_streaming: true,
             artifact: "Figure 1 — Pareto frontier feasibility validation",
             run: run_figure1,
         },
         Experiment {
             name: "theorems",
+            family: "theory",
+            budget: "3000/3000 steps",
             supports_streaming: true,
             artifact: "Section 4 — Claim 1 + Theorems 1-5 checks",
             run: run_theorems,
         },
         Experiment {
             name: "emulab",
+            family: "validation",
+            budget: "paper/quick grid",
             supports_streaming: false,
             artifact: "Section 5.1 — Emulab validation grid (packet-level)",
             run: run_emulab,
         },
         Experiment {
             name: "shootout",
+            family: "robustness",
+            budget: "3000/1500 steps",
             supports_streaming: true,
             artifact: "Section 5.2 — robustness shootout",
             run: run_shootout,
         },
         Experiment {
             name: "gauntlet",
+            family: "robustness",
+            budget: "2500/2500 steps",
             supports_streaming: true,
             artifact: "Metric VI under Gilbert-Elliott bursty loss",
             run: run_gauntlet,
         },
         Experiment {
             name: "frontier",
+            family: "frontier",
+            budget: "3000/1200 steps",
             supports_streaming: true,
             artifact: "empirical Pareto-frontier search",
             run: run_frontier,
         },
         Experiment {
             name: "aqm",
+            family: "queueing",
+            budget: "40/20 s",
             supports_streaming: false,
             artifact: "Section 6 — in-network queueing comparison",
             run: run_aqm,
         },
         Experiment {
             name: "extensions",
+            family: "extensions",
+            budget: "3000/1500 steps",
             supports_streaming: false,
             artifact: "Section 6 — extension metrics",
             run: run_extensions,
+        },
+        Experiment {
+            name: "churn",
+            family: "churn",
+            budget: "4000/1000 steps + 30/8 s",
+            supports_streaming: true,
+            artifact: "Section 6 — dynamic flow populations under arrival storms",
+            run: run_churn,
         },
     ]
 }
@@ -287,10 +330,30 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(names.len(), dedup.len(), "duplicate registry names");
-        assert_eq!(names.len(), 10);
-        for expected in ["table1", "table2", "figure1", "theorems", "gauntlet"] {
+        assert_eq!(names.len(), 11);
+        for expected in [
+            "table1", "table2", "figure1", "theorems", "gauntlet", "churn",
+        ] {
             assert!(names.contains(&expected), "{expected} missing");
         }
+    }
+
+    #[test]
+    fn every_entry_carries_family_and_budget_metadata() {
+        // `axcc list` renders one row per experiment from these fields;
+        // the row count must track the registry exactly.
+        let reg = registry();
+        assert_eq!(reg.len(), 11, "registry row count");
+        for e in &reg {
+            assert!(!e.family.is_empty(), "{} has no family", e.name);
+            assert!(!e.budget.is_empty(), "{} has no budget", e.name);
+            assert!(!e.artifact.is_empty(), "{} has no artifact", e.name);
+        }
+        assert_eq!(
+            find_experiment("churn").map(|e| e.family),
+            Some("churn"),
+            "churn family"
+        );
     }
 
     #[test]

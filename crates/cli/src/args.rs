@@ -191,6 +191,22 @@ mod tests {
     }
 
     #[test]
+    fn comma_lists_are_split_trimmed_and_cleaned() {
+        // `sweep --only a,b, c` style input: commas split, whitespace is
+        // trimmed, and empty segments (trailing or doubled commas) drop.
+        let a = Args::parse(
+            ["sweep", "--only", "churn, gauntlet,,table1,"]
+                .into_iter()
+                .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(a.get_list("only"), vec!["churn", "gauntlet", "table1"]);
+        // A missing flag is an empty list, not an error.
+        assert!(a.get_list("absent").is_empty());
+        a.finish().unwrap();
+    }
+
+    #[test]
     fn missing_command() {
         assert_eq!(parse(""), Err(ArgError::MissingCommand));
         assert_eq!(parse("--help"), Err(ArgError::MissingCommand));

@@ -51,7 +51,8 @@ paper artifacts:
 
 sweep engine (parallel + content-addressed cache; see DESIGN.md):
   axcc sweep    --experiment NAME   one registry experiment through the
-                                    sweep engine (see `axcc run-all` for names)
+                                    sweep engine (`axcc list` shows names)
+                [--only n1,n2,…]    comma-separated list of experiments
   axcc run-all  [--out-dir D]       the full experiment suite; writes one
                                     report per experiment to D when given
                 [--only n1,n2,…]    restrict to a subset of experiments
@@ -83,7 +84,7 @@ misc:
   axcc network  --protocol P --hops K  parking-lot topology run
   axcc feasible --fast A --eff B --friendly F [--robust R --conv C --loss L]
                                  check a target point against Theorems 1-5
-  axcc list                      protocol registry
+  axcc list                      protocol + experiment registries
   axcc help                      this text
 
 link flags (anywhere): --bw-mbps F  --rtt-ms F  --buffer F
@@ -198,6 +199,24 @@ fn cmd_list(args: &Args) -> Result<String, CliError> {
     out.push_str(
         "\n  parameterized families:\n    aimd(a,b)  mimd(a,b)  bin(a,b,k,l)  cubic(c,b)  r-aimd(a,b,eps)  vegas(alpha,beta)\n",
     );
+    out.push_str("\nexperiment registry (axcc sweep --experiment NAME | --only n1,n2,…):\n\n");
+    let mut t = TextTable::new(["name", "family", "paper/smoke budget", "streaming"]);
+    for e in registry() {
+        t.row(vec![
+            e.name.to_string(),
+            e.family.to_string(),
+            e.budget.to_string(),
+            if e.supports_streaming {
+                "yes"
+            } else {
+                "traced-only"
+            }
+            .to_string(),
+        ]);
+    }
+    for line in t.render().lines() {
+        let _ = writeln!(out, "  {line}");
+    }
     Ok(out)
 }
 
@@ -653,39 +672,61 @@ fn budget_from(args: &Args) -> RunBudget {
 }
 
 fn cmd_sweep(args: &Args) -> Result<String, CliError> {
-    let name = args
-        .get("experiment")
-        .ok_or_else(|| {
-            CliError::Usage("sweep needs --experiment NAME (try `axcc run-all` for all)".into())
-        })?
-        .to_string();
+    // Accept both spellings: `--experiment NAME` (one experiment) and
+    // `--only n1,n2,…` (a comma-separated list, as in `run-all`).
+    let mut names: Vec<String> = args.get_list("only");
+    if let Some(name) = args.get("experiment") {
+        names.insert(0, name.to_string());
+    }
+    if names.is_empty() {
+        return Err(CliError::Usage(
+            "sweep needs --experiment NAME or --only n1,n2,… (see `axcc list`)".into(),
+        ));
+    }
     let runner = runner_from(args)?;
     let budget = budget_from(args);
     args.finish()?;
-    let exp = find_experiment(&name).ok_or_else(|| {
-        let known: Vec<&str> = registry().iter().map(|e| e.name).collect();
-        CliError::Usage(format!(
-            "unknown experiment {name:?}; known: {}",
-            known.join(", ")
-        ))
-    })?;
-    let sw = Stopwatch::start();
-    let outcome = (exp.run)(&runner, budget);
-    let stats = runner.take_stats();
-    let mut out = format!("{} — {}\n\n{}", exp.name, exp.artifact, outcome.report);
-    let _ = writeln!(
-        out,
-        "\n{} jobs over {} workers in {:.2} s ({} from cache, {:.1}% hit rate)",
-        stats.jobs(),
-        runner.workers(),
-        sw.elapsed_secs(),
-        stats.cache_hits,
-        100.0 * stats.hit_rate(),
-    );
-    if outcome.passed {
+    let mut experiments = Vec::new();
+    for name in &names {
+        experiments.push(find_experiment(name).ok_or_else(|| {
+            let known: Vec<&str> = registry().iter().map(|e| e.name).collect();
+            CliError::Usage(format!(
+                "unknown experiment {name:?}; known: {}",
+                known.join(", ")
+            ))
+        })?);
+    }
+    let mut out = String::new();
+    let mut failures = Vec::new();
+    for (i, exp) in experiments.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        let sw = Stopwatch::start();
+        let outcome = (exp.run)(&runner, budget);
+        let stats = runner.take_stats();
+        let _ = write!(out, "{} — {}\n\n{}", exp.name, exp.artifact, outcome.report);
+        let _ = writeln!(
+            out,
+            "\n{} jobs over {} workers in {:.2} s ({} from cache, {:.1}% hit rate)",
+            stats.jobs(),
+            runner.workers(),
+            sw.elapsed_secs(),
+            stats.cache_hits,
+            100.0 * stats.hit_rate(),
+        );
+        if !outcome.passed {
+            failures.push(exp.name);
+        }
+    }
+    if failures.is_empty() {
         Ok(out)
     } else {
-        let _ = writeln!(out, "\nexperiment predicate FAILED");
+        let _ = writeln!(
+            out,
+            "\nexperiment predicate FAILED: {}",
+            failures.join(", ")
+        );
         Err(CliError::Failed(out))
     }
 }

@@ -1,0 +1,585 @@
+//! Churn-aware axiom forms: the paper's metrics re-posed for runs whose
+//! sender population changes mid-run (`axcc-topo`'s `ChurnPlan`).
+//!
+//! With arrivals and departures the static tail quantifiers of Section 3
+//! stop being the right lens — there is no single "from T onwards" once
+//! the population keeps shifting. Three churn-aware forms replace them:
+//!
+//! * **convergence after arrival** ([`mean_settle_after_arrival`]) — how
+//!   many steps after each arrival the link's total window recovers to a
+//!   threshold (Metric V's spirit, re-anchored at every arrival);
+//! * **fairness over coexistence windows** ([`coexistence_fairness`]) —
+//!   Jain's index evaluated per churn segment (the spans between arrival/
+//!   departure events, where the competitor set is constant) over the
+//!   senders actually active there, weighted by segment length (Metric IV);
+//! * **utilization under churn** ([`utilization_under_churn`]) — mean
+//!   capped utilization over the steps where at least one sender is
+//!   active (Metric I without charging idle spans to the protocol).
+//!
+//! Each form ships as a slice evaluator *and* an online accumulator
+//! ([`ChurnAccumulator`] combines all three), bound by the same
+//! bit-identity contract as [`streaming`](crate::axioms::streaming): the
+//! same additions in the same order, asserted to the exact f64 bit by the
+//! tests here and by `axcc-fluidsim` / `axcc-analysis` on real runs.
+
+use crate::axioms::streaming::StepRecord;
+
+/// Segment boundaries for a `steps`-long run: the churn-event steps
+/// clipped to the run, plus the run's own endpoints, sorted and deduped.
+/// Consecutive pairs delimit the coexistence windows.
+pub fn segment_bounds(boundaries: &[usize], steps: usize) -> Vec<usize> {
+    let mut b: Vec<usize> = boundaries.iter().copied().filter(|&x| x < steps).collect();
+    b.push(0);
+    b.push(steps);
+    b.sort_unstable();
+    b.dedup();
+    b
+}
+
+/// Jain's fairness index over the strictly-positive entries of `sums`,
+/// or `None` when fewer than two senders had positive volume (a segment
+/// with zero or one active sender says nothing about fairness).
+fn jain_over_positive(sums: &[f64]) -> Option<f64> {
+    let pos: Vec<f64> = sums.iter().copied().filter(|&x| x > 0.0).collect();
+    if pos.len() < 2 {
+        return None;
+    }
+    let sum: f64 = pos.iter().sum();
+    let sum_sq: f64 = pos.iter().map(|x| x * x).sum();
+    Some((sum * sum) / (pos.len() as f64 * sum_sq))
+}
+
+/// Mean settle time after arrivals: for each arrival step `a` (sorted
+/// ascending), the number of steps until the first `t >= a` with
+/// `total[t] >= threshold`; arrivals that never settle contribute the
+/// remainder of the run. Returns 0.0 with no arrivals.
+pub fn mean_settle_after_arrival(total: &[f64], arrivals: &[u64], threshold: f64) -> f64 {
+    debug_assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+    if arrivals.is_empty() {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for &a in arrivals {
+        let start = (a as usize).min(total.len());
+        let settle = total[start..]
+            .iter()
+            .position(|&x| x >= threshold)
+            .map(|off| (start + off) as u64 - a)
+            .unwrap_or_else(|| (total.len() as u64).saturating_sub(a));
+        sum += settle as f64;
+    }
+    sum / arrivals.len() as f64
+}
+
+/// Fairness over coexistence windows: Jain's index of per-sender goodput
+/// volume inside each churn segment (see [`segment_bounds`]), over the
+/// senders with positive volume there, weighted by segment length.
+/// Segments with fewer than two active senders are skipped; returns 1.0
+/// when no segment qualifies (fairness is vacuous for a lone sender).
+pub fn coexistence_fairness(goodputs: &[&[f64]], boundaries: &[usize], steps: usize) -> f64 {
+    let bounds = segment_bounds(boundaries, steps);
+    let mut weighted = 0.0;
+    let mut weight = 0.0;
+    for w in bounds.windows(2) {
+        let (s, e) = (w[0], w[1]);
+        let sums: Vec<f64> = goodputs
+            .iter()
+            .map(|g| g[s.min(g.len())..e.min(g.len())].iter().sum())
+            .collect();
+        if let Some(j) = jain_over_positive(&sums) {
+            weighted += j * (e - s) as f64;
+            weight += (e - s) as f64;
+        }
+    }
+    if weight > 0.0 {
+        weighted / weight
+    } else {
+        1.0
+    }
+}
+
+/// Mean capped utilization (`min(X/C, 1)`) over the steps where at least
+/// one activity interval `[start, stop)` covers the step; 0.0 if no step
+/// is covered.
+pub fn utilization_under_churn(total: &[f64], capacity: f64, activity: &[(u64, u64)]) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (t, &x) in total.iter().enumerate() {
+        let t = t as u64;
+        if activity.iter().any(|&(s, e)| s <= t && t < e) {
+            sum += (x / capacity).min(1.0);
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Static shape of a churned run — everything the accumulators need to
+/// know up front (all of it is deterministic: the churn plan expands
+/// before the run starts).
+#[derive(Debug, Clone)]
+pub struct ChurnConfig {
+    /// Link capacity `C` (MSS); settle threshold and utilization divide
+    /// by it.
+    pub capacity: f64,
+    /// Total number of steps the run will execute.
+    pub steps: usize,
+    /// Absolute settle threshold (MSS) for [`mean_settle_after_arrival`].
+    pub settle_threshold: f64,
+    /// Arrival steps, sorted ascending.
+    pub arrivals: Vec<u64>,
+    /// Churn-event steps (arrivals and departures) delimiting coexistence
+    /// segments; [`segment_bounds`] normalizes them.
+    pub boundaries: Vec<usize>,
+    /// Per-sender activity intervals `[start, stop)` in steps.
+    pub activity: Vec<(u64, u64)>,
+}
+
+/// Convergence-after-arrival online: the settle scan of
+/// [`mean_settle_after_arrival`] as a single forward pass. Arrivals
+/// settle in arrival order (a later arrival cannot settle earlier), so
+/// the accumulated sum folds in the same order as the slice evaluator.
+#[derive(Debug, Clone)]
+pub struct SettleAcc {
+    threshold: f64,
+    arrivals: Vec<u64>,
+    next: usize,
+    t: usize,
+    sum: f64,
+}
+
+impl SettleAcc {
+    /// Accumulator for the given sorted arrival steps and threshold.
+    pub fn new(arrivals: Vec<u64>, threshold: f64) -> Self {
+        debug_assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        SettleAcc {
+            threshold,
+            arrivals,
+            next: 0,
+            t: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Consume one step's total window.
+    pub fn push(&mut self, total: f64) {
+        if total >= self.threshold {
+            while self.next < self.arrivals.len() && self.arrivals[self.next] <= self.t as u64 {
+                self.sum += (self.t as u64 - self.arrivals[self.next]) as f64;
+                self.next += 1;
+            }
+        }
+        self.t += 1;
+    }
+
+    /// `mean_settle_after_arrival` of the stream so far (unsettled
+    /// arrivals contribute the steps seen past their arrival).
+    pub fn measured(&self) -> f64 {
+        if self.arrivals.is_empty() {
+            return 0.0;
+        }
+        let mut sum = self.sum;
+        for &a in &self.arrivals[self.next..] {
+            sum += (self.t as u64).saturating_sub(a) as f64;
+        }
+        sum / self.arrivals.len() as f64
+    }
+
+    /// Clear run state, keeping the configuration.
+    pub fn reset(&mut self) {
+        self.next = 0;
+        self.t = 0;
+        self.sum = 0.0;
+    }
+}
+
+/// Coexistence-fairness online: per-segment per-sender goodput sums,
+/// finalized into the length-weighted Jain mean exactly as
+/// [`coexistence_fairness`] computes it.
+#[derive(Debug, Clone)]
+pub struct CoexistenceFairnessAcc {
+    bounds: Vec<usize>,
+    seg: usize,
+    t: usize,
+    sums: Vec<f64>,
+    weighted: f64,
+    weight: f64,
+}
+
+impl CoexistenceFairnessAcc {
+    /// Accumulator for `n` senders with the given churn boundaries over a
+    /// `steps`-long run.
+    pub fn new(n: usize, boundaries: &[usize], steps: usize) -> Self {
+        CoexistenceFairnessAcc {
+            bounds: segment_bounds(boundaries, steps),
+            seg: 0,
+            t: 0,
+            sums: vec![0.0; n],
+            weighted: 0.0,
+            weight: 0.0,
+        }
+    }
+
+    fn close_segments_before(&mut self, t: usize) {
+        while self.seg + 1 < self.bounds.len() && t >= self.bounds[self.seg + 1] {
+            let (s, e) = (self.bounds[self.seg], self.bounds[self.seg + 1]);
+            if let Some(j) = jain_over_positive(&self.sums) {
+                self.weighted += j * (e - s) as f64;
+                self.weight += (e - s) as f64;
+            }
+            self.sums.fill(0.0);
+            self.seg += 1;
+        }
+    }
+
+    /// Consume one step: every sender's record, in sender order.
+    pub fn push_step(&mut self, records: &[StepRecord]) {
+        self.close_segments_before(self.t);
+        for (i, r) in records.iter().enumerate() {
+            self.sums[i] += r.goodput;
+        }
+        self.t += 1;
+    }
+
+    /// `coexistence_fairness` of the stream so far.
+    pub fn measured(&self) -> f64 {
+        // Flush pending segments without mutating (mid-stream reads must
+        // not disturb state); the per-segment state is tiny, clone it.
+        let mut fin = self.clone();
+        fin.close_segments_before(fin.t);
+        if fin.weight > 0.0 {
+            fin.weighted / fin.weight
+        } else {
+            1.0
+        }
+    }
+
+    /// Clear run state, keeping the configuration.
+    pub fn reset(&mut self) {
+        self.seg = 0;
+        self.t = 0;
+        self.sums.fill(0.0);
+        self.weighted = 0.0;
+        self.weight = 0.0;
+    }
+}
+
+/// Utilization-under-churn online: the covered-step mean of
+/// [`utilization_under_churn`] as a running sum.
+#[derive(Debug, Clone)]
+pub struct ChurnUtilAcc {
+    capacity: f64,
+    activity: Vec<(u64, u64)>,
+    t: usize,
+    sum: f64,
+    n: usize,
+}
+
+impl ChurnUtilAcc {
+    /// Accumulator for capacity `C` and the given activity intervals.
+    pub fn new(capacity: f64, activity: Vec<(u64, u64)>) -> Self {
+        ChurnUtilAcc {
+            capacity,
+            activity,
+            t: 0,
+            sum: 0.0,
+            n: 0,
+        }
+    }
+
+    /// Consume one step's total window.
+    pub fn push(&mut self, total: f64) {
+        let t = self.t as u64;
+        if self.activity.iter().any(|&(s, e)| s <= t && t < e) {
+            self.sum += (total / self.capacity).min(1.0);
+            self.n += 1;
+        }
+        self.t += 1;
+    }
+
+    /// `utilization_under_churn` of the stream so far.
+    pub fn measured(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    /// Clear run state, keeping the configuration.
+    pub fn reset(&mut self) {
+        self.t = 0;
+        self.sum = 0.0;
+        self.n = 0;
+    }
+}
+
+/// The combined churn-aware single-pass evaluator: one instance per run,
+/// consuming the shared total window and per-sender records, exposing all
+/// three churn scores bit-identically to the slice evaluators.
+#[derive(Debug, Clone)]
+pub struct ChurnAccumulator {
+    n: usize,
+    settle: SettleAcc,
+    fairness: CoexistenceFairnessAcc,
+    util: ChurnUtilAcc,
+}
+
+impl ChurnAccumulator {
+    /// Build the accumulator for one run shape with `n` senders.
+    pub fn new(cfg: &ChurnConfig, n: usize) -> Self {
+        ChurnAccumulator {
+            n,
+            settle: SettleAcc::new(cfg.arrivals.clone(), cfg.settle_threshold),
+            fairness: CoexistenceFairnessAcc::new(n, &cfg.boundaries, cfg.steps),
+            util: ChurnUtilAcc::new(cfg.capacity, cfg.activity.clone()),
+        }
+    }
+
+    /// Consume one step: the shared total window plus one record per
+    /// sender in sender order.
+    pub fn push_step(&mut self, total: f64, records: &[StepRecord]) {
+        debug_assert_eq!(records.len(), self.n);
+        self.settle.push(total);
+        self.fairness.push_step(records);
+        self.util.push(total);
+    }
+
+    /// Number of senders.
+    pub fn num_senders(&self) -> usize {
+        self.n
+    }
+
+    /// `mean_settle_after_arrival` of the stream so far.
+    pub fn mean_settle_after_arrival(&self) -> f64 {
+        self.settle.measured()
+    }
+
+    /// `coexistence_fairness` of the stream so far.
+    pub fn coexistence_fairness(&self) -> f64 {
+        self.fairness.measured()
+    }
+
+    /// `utilization_under_churn` of the stream so far.
+    pub fn utilization_under_churn(&self) -> f64 {
+        self.util.measured()
+    }
+
+    /// Clear all run state so the accumulator can consume another run of
+    /// the same shape.
+    pub fn reset(&mut self) {
+        self.settle.reset();
+        self.fairness.reset();
+        self.util.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axioms::testutil::{small_link, trace_from_windows};
+    use crate::trace::RunTrace;
+
+    /// Replay a finished trace into a [`ChurnAccumulator`] — the reference
+    /// replay every equivalence test uses.
+    fn accumulate(trace: &RunTrace, cfg: &ChurnConfig) -> ChurnAccumulator {
+        let mut acc = ChurnAccumulator::new(cfg, trace.num_senders());
+        let mut records = Vec::with_capacity(trace.num_senders());
+        for t in 0..trace.len() {
+            records.clear();
+            for (i, s) in trace.senders.iter().enumerate() {
+                records.push(StepRecord {
+                    window: s.window[t],
+                    loss: s.loss[t],
+                    rtt: trace.sender_rtt(i)[t],
+                    goodput: s.goodput[t],
+                });
+            }
+            acc.push_step(trace.total_window[t], &records);
+        }
+        acc
+    }
+
+    fn assert_matches_trace(trace: &RunTrace, cfg: &ChurnConfig) {
+        let acc = accumulate(trace, cfg);
+        assert_eq!(
+            acc.mean_settle_after_arrival().to_bits(),
+            mean_settle_after_arrival(&trace.total_window, &cfg.arrivals, cfg.settle_threshold)
+                .to_bits()
+        );
+        let goodputs: Vec<&[f64]> = trace.senders.iter().map(|s| s.goodput.as_slice()).collect();
+        assert_eq!(
+            acc.coexistence_fairness().to_bits(),
+            coexistence_fairness(&goodputs, &cfg.boundaries, trace.len()).to_bits()
+        );
+        assert_eq!(
+            acc.utilization_under_churn().to_bits(),
+            utilization_under_churn(&trace.total_window, cfg.capacity, &cfg.activity).to_bits()
+        );
+    }
+
+    /// A churned two-sender shape: sender 1 active only in [20, 60).
+    fn churned_trace() -> (RunTrace, ChurnConfig) {
+        let a: Vec<f64> = (0..100).map(|t| 40.0 + (t % 10) as f64 * 3.0).collect();
+        let b: Vec<f64> = (0..100)
+            .map(|t| if (20..60).contains(&t) { 25.0 } else { 0.0 })
+            .collect();
+        let trace = trace_from_windows(small_link(), &[a, b]);
+        let cfg = ChurnConfig {
+            capacity: small_link().capacity(),
+            steps: 100,
+            settle_threshold: 0.6 * small_link().capacity(),
+            arrivals: vec![20],
+            boundaries: vec![20, 60],
+            activity: vec![(0, 100), (20, 60)],
+        };
+        (trace, cfg)
+    }
+
+    #[test]
+    fn accumulator_matches_slice_evaluators_bitwise() {
+        let (trace, cfg) = churned_trace();
+        assert_matches_trace(&trace, &cfg);
+    }
+
+    #[test]
+    fn accumulator_matches_with_unsettled_arrivals_and_gaps() {
+        // Threshold never reached after the second arrival; an idle gap
+        // (no sender active) in the middle exercises the activity filter.
+        let a: Vec<f64> = (0..80)
+            .map(|t| if (30..40).contains(&t) { 0.0 } else { 50.0 })
+            .collect();
+        let trace = trace_from_windows(small_link(), &[a]);
+        let cfg = ChurnConfig {
+            capacity: small_link().capacity(),
+            steps: 80,
+            settle_threshold: 120.0,
+            arrivals: vec![0, 35],
+            boundaries: vec![30, 40],
+            activity: vec![(0, 30), (40, 80)],
+        };
+        assert_matches_trace(&trace, &cfg);
+    }
+
+    #[test]
+    fn accumulator_matches_with_no_churn_at_all() {
+        let (trace, _) = churned_trace();
+        let cfg = ChurnConfig {
+            capacity: small_link().capacity(),
+            steps: trace.len(),
+            settle_threshold: 60.0,
+            arrivals: Vec::new(),
+            boundaries: Vec::new(),
+            activity: vec![(0, trace.len() as u64), (0, trace.len() as u64)],
+        };
+        assert_matches_trace(&trace, &cfg);
+        let acc = accumulate(&trace, &cfg);
+        assert_eq!(acc.mean_settle_after_arrival(), 0.0);
+    }
+
+    #[test]
+    fn settle_counts_steps_to_recovery() {
+        // Total dips below 60 at the arrival and recovers 5 steps later.
+        let total: Vec<f64> = (0..20)
+            .map(|t| if (10..15).contains(&t) { 40.0 } else { 80.0 })
+            .collect();
+        assert_eq!(mean_settle_after_arrival(&total, &[10], 60.0), 5.0);
+        // An arrival in an already-settled span settles immediately.
+        assert_eq!(mean_settle_after_arrival(&total, &[2], 60.0), 0.0);
+        // Never settles: contributes the rest of the run.
+        assert_eq!(mean_settle_after_arrival(&total, &[10], 1000.0), 10.0);
+    }
+
+    #[test]
+    fn coexistence_fairness_weights_segments() {
+        // Segment 1 (steps 0..10): equal goodput => Jain 1. Segment 2
+        // (10..30): only one sender active => skipped.
+        let g0 = vec![1.0; 30];
+        let g1: Vec<f64> = (0..30).map(|t| if t < 10 { 1.0 } else { 0.0 }).collect();
+        let f = coexistence_fairness(&[&g0, &g1], &[10], 30);
+        assert!((f - 1.0).abs() < 1e-12, "{f}");
+        // A lopsided segment pulls the weighted mean down.
+        let g2: Vec<f64> = (0..30).map(|t| if t < 10 { 3.0 } else { 0.0 }).collect();
+        let f2 = coexistence_fairness(&[&g0, &g2], &[10], 30);
+        assert!(f2 < 1.0, "{f2}");
+    }
+
+    #[test]
+    fn utilization_ignores_uncovered_steps() {
+        let total = vec![50.0, 100.0, 0.0, 0.0];
+        // Only steps 0 and 1 are covered; capacity 100.
+        let u = utilization_under_churn(&total, 100.0, &[(0, 2)]);
+        assert!((u - 0.75).abs() < 1e-12, "{u}");
+        assert_eq!(utilization_under_churn(&total, 100.0, &[]), 0.0);
+    }
+
+    #[test]
+    fn segment_bounds_normalizes() {
+        assert_eq!(segment_bounds(&[], 10), vec![0, 10]);
+        assert_eq!(segment_bounds(&[3, 3, 7, 15], 10), vec![0, 3, 7, 10]);
+        assert_eq!(segment_bounds(&[0, 10], 10), vec![0, 10]);
+    }
+
+    #[test]
+    fn reset_reproduces_a_fresh_accumulator() {
+        let (trace, cfg) = churned_trace();
+        let fresh = accumulate(&trace, &cfg);
+        let mut reused = accumulate(&trace, &cfg);
+        reused.reset();
+        let mut records = Vec::new();
+        for t in 0..trace.len() {
+            records.clear();
+            for (i, s) in trace.senders.iter().enumerate() {
+                records.push(StepRecord {
+                    window: s.window[t],
+                    loss: s.loss[t],
+                    rtt: trace.sender_rtt(i)[t],
+                    goodput: s.goodput[t],
+                });
+            }
+            reused.push_step(trace.total_window[t], &records);
+        }
+        assert_eq!(
+            reused.mean_settle_after_arrival().to_bits(),
+            fresh.mean_settle_after_arrival().to_bits()
+        );
+        assert_eq!(
+            reused.coexistence_fairness().to_bits(),
+            fresh.coexistence_fairness().to_bits()
+        );
+        assert_eq!(
+            reused.utilization_under_churn().to_bits(),
+            fresh.utilization_under_churn().to_bits()
+        );
+    }
+
+    #[test]
+    fn mid_stream_reads_do_not_disturb_the_final_score() {
+        let (trace, cfg) = churned_trace();
+        let mut acc = ChurnAccumulator::new(&cfg, trace.num_senders());
+        let mut records = Vec::new();
+        for t in 0..trace.len() {
+            records.clear();
+            for (i, s) in trace.senders.iter().enumerate() {
+                records.push(StepRecord {
+                    window: s.window[t],
+                    loss: s.loss[t],
+                    rtt: trace.sender_rtt(i)[t],
+                    goodput: s.goodput[t],
+                });
+            }
+            acc.push_step(trace.total_window[t], &records);
+            let _ = acc.coexistence_fairness();
+            let _ = acc.mean_settle_after_arrival();
+        }
+        let clean = accumulate(&trace, &cfg);
+        assert_eq!(
+            acc.coexistence_fairness().to_bits(),
+            clean.coexistence_fairness().to_bits()
+        );
+    }
+}

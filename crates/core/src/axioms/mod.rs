@@ -28,6 +28,7 @@
 //! here evaluate a single trace; the scenario sweeps that realize the
 //! universal quantifiers live in `axcc-analysis`.
 
+pub mod churn;
 pub mod convergence;
 pub mod efficiency;
 pub mod extensions;

@@ -103,6 +103,12 @@ impl StepSink for MetricAccumulator {
     }
 }
 
+impl StepSink for axcc_core::axioms::churn::ChurnAccumulator {
+    fn on_step(&mut self, _t: u64, total: f64, _rtt: f64, _loss: f64, records: &[StepRecord]) {
+        self.push_step(total, records);
+    }
+}
+
 /// Run a scenario to completion, feeding every step to `sink`, or return
 /// a typed error for an invalid configuration or a numerically divergent
 /// run (the sink then holds a partial prefix and must be discarded).
@@ -110,7 +116,9 @@ impl StepSink for MetricAccumulator {
 /// At each step `t`:
 ///
 /// 1. senders whose start step is `t` enter with their initial windows
-///    (the scan is skipped once every sender has entered);
+///    (the scan is skipped once every sender has entered), and senders
+///    whose stop step is `t` depart — their window drops to zero and
+///    stays there (churned populations; see `SenderConfig::stop_at`);
 /// 2. the total active window `X^(t)` determines the step's RTT
 ///    (equation 1) and congestion loss rate (both shared by all senders —
 ///    synchronized feedback);
@@ -121,8 +129,8 @@ impl StepSink for MetricAccumulator {
 ///    request aborts with [`ScenarioError::NumericalDivergence`] rather
 ///    than emitting garbage), clamped to `[0, M]`, and become `x̄^(t+1)`.
 ///
-/// Senders that have not yet entered are reported with zero window and
-/// goodput so every step is rectangular.
+/// Senders that have not yet entered (or have departed) are reported with
+/// zero window and goodput so every step is rectangular.
 pub fn try_run_scenario_with<S: StepSink>(
     scenario: Scenario,
     sink: &mut S,
@@ -152,12 +160,16 @@ pub fn try_run_scenario_with<S: StepSink>(
 
     let mut windows: Vec<f64> = vec![0.0; n];
     let mut started: Vec<bool> = vec![false; n];
+    let mut stopped: Vec<bool> = vec![false; n];
     let mut min_rtts: Vec<f64> = vec![f64::INFINITY; n];
     let mut records: Vec<StepRecord> = Vec::with_capacity(n);
 
     // Senders not yet admitted; the admissions scan stops for good once
     // this hits zero instead of re-walking the configs every step.
     let mut pending_admissions = n;
+    // Departures still scheduled; the scan stops once none remain (the
+    // common fixed-population scenario never walks it at all).
+    let mut pending_departures = senders.iter().filter(|s| s.stop_tick.is_some()).count();
 
     for t in 0..steps as u64 {
         // (0) scheduled link changes.
@@ -183,6 +195,19 @@ pub fn try_run_scenario_with<S: StepSink>(
         // never revisited, so the count and the flags cannot disagree.
         debug_assert_eq!(pending_admissions, started.iter().filter(|&&s| !s).count());
 
+        // (1b) departures: a sender is active for steps in [start, stop).
+        if pending_departures > 0 {
+            for (i, cfg) in senders.iter().enumerate() {
+                if let Some(stop) = cfg.stop_tick {
+                    if !stopped[i] && t >= stop {
+                        stopped[i] = true;
+                        windows[i] = 0.0;
+                        pending_departures -= 1;
+                    }
+                }
+            }
+        }
+
         // (2) shared link state. Idle senders hold exactly 0.0, and adding
         // +0.0 to a non-negative partial sum is exact, so summing every
         // slot is bit-identical to filtering on `started` while skipping
@@ -197,7 +222,7 @@ pub fn try_run_scenario_with<S: StepSink>(
         // (3)+(4) per-sender observation and update.
         records.clear();
         for i in 0..n {
-            if !started[i] {
+            if !started[i] || stopped[i] {
                 records.push(StepRecord {
                     window: 0.0,
                     loss: 0.0,
@@ -451,6 +476,110 @@ mod tests {
         assert!(trace.senders[1].window[..200].iter().all(|&w| w == 0.0));
         assert_eq!(trace.senders[1].window[200], 1.0);
         assert!(trace.senders[1].window[399] > 1.0);
+    }
+
+    #[test]
+    fn departing_sender_holds_zero_window_after_stop() {
+        let trace = Scenario::new(link())
+            .sender(SenderConfig::new(Box::new(Aimd::reno())).initial_window(1.0))
+            .sender(
+                SenderConfig::new(Box::new(Aimd::reno()))
+                    .initial_window(1.0)
+                    .start_at(100)
+                    .stop_at(300),
+            )
+            .steps(500)
+            .run();
+        // Active exactly in [100, 300).
+        assert!(trace.senders[1].window[..100].iter().all(|&w| w == 0.0));
+        assert_eq!(trace.senders[1].window[100], 1.0);
+        assert!(trace.senders[1].window[150] > 1.0);
+        assert!(trace.senders[1].window[300..].iter().all(|&w| w == 0.0));
+        assert!(trace.senders[1].goodput[300..].iter().all(|&g| g == 0.0));
+        // The survivor reclaims the vacated capacity.
+        let before = axcc_core::trace::mean(&trace.senders[0].window[250..300]);
+        let after = axcc_core::trace::mean(&trace.senders[0].window[450..]);
+        assert!(after > before, "after {after} vs before {before}");
+    }
+
+    #[test]
+    fn departed_sender_never_contributes_to_the_total() {
+        let trace = Scenario::new(link())
+            .sender(SenderConfig::new(Box::new(Aimd::reno())).initial_window(1.0))
+            .sender(
+                SenderConfig::new(Box::new(Aimd::reno()))
+                    .initial_window(50.0)
+                    .stop_at(50),
+            )
+            .steps(200)
+            .run();
+        for t in 50..200 {
+            assert_eq!(
+                trace.total_window[t].to_bits(),
+                trace.senders[0].window[t].to_bits(),
+                "step {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn stop_at_or_before_start_is_rejected() {
+        let err = Scenario::new(link())
+            .sender(
+                SenderConfig::new(Box::new(Aimd::reno()))
+                    .start_at(100)
+                    .stop_at(100),
+            )
+            .try_run()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ScenarioError::InvalidSender {
+                field: "stop_tick",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn churn_builder_expands_the_plan_into_senders() {
+        let plan = axcc_topo::ChurnPlan::poisson(0.02, 200.0).seed(9);
+        let sc = Scenario::new(link())
+            .homogeneous(&Aimd::reno(), 2, 1.0)
+            .steps(1000)
+            .churn(&plan, &Aimd::reno())
+            .unwrap();
+        let n_churned = sc.senders.len() - 2;
+        let expected = plan.try_expand(1000).unwrap();
+        assert_eq!(n_churned, expected.len());
+        assert!(n_churned > 0, "plan produced no arrivals at this scale");
+        let trace = sc.run();
+        // Every churned sender is idle outside its interval.
+        for (k, iv) in expected.iter().enumerate() {
+            let s = &trace.senders[2 + k];
+            for t in 0..trace.len() as u64 {
+                if !iv.contains(t) {
+                    assert_eq!(s.window[t as usize], 0.0, "sender {k} step {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn churned_runs_are_deterministic_per_seed() {
+        let run = |seed| {
+            Scenario::new(link())
+                .homogeneous(&Aimd::reno(), 2, 1.0)
+                .steps(800)
+                .churn(
+                    &axcc_topo::ChurnPlan::poisson(0.01, 150.0).seed(seed),
+                    &Aimd::reno(),
+                )
+                .unwrap()
+                .run()
+        };
+        assert_eq!(run(4), run(4));
+        assert_ne!(run(4), run(5));
     }
 
     #[test]
@@ -866,6 +995,82 @@ mod tests {
                 tail_fraction: 0.25,
                 ..StreamOptions::default()
             },
+        );
+    }
+
+    #[test]
+    fn streaming_matches_trace_with_departures_and_churn() {
+        assert_streaming_matches(
+            || {
+                Scenario::new(link())
+                    .sender(SenderConfig::new(Box::new(Aimd::reno())).initial_window(10.0))
+                    .sender(
+                        SenderConfig::new(Box::new(Aimd::reno()))
+                            .initial_window(1.0)
+                            .start_at(100)
+                            .stop_at(400),
+                    )
+                    .steps(600)
+                    .churn(
+                        &axcc_topo::ChurnPlan::poisson(0.01, 120.0).seed(2),
+                        &Aimd::reno(),
+                    )
+                    .unwrap()
+            },
+            StreamOptions::default(),
+        );
+    }
+
+    #[test]
+    fn churn_accumulator_streams_bit_identically_to_the_trace() {
+        use axcc_core::axioms::churn::{self, ChurnAccumulator, ChurnConfig};
+        let plan = axcc_topo::ChurnPlan::poisson(0.015, 150.0).seed(6);
+        let steps = 800usize;
+        let base = 2usize;
+        let build = || {
+            Scenario::new(link())
+                .homogeneous(&Aimd::reno(), base, 1.0)
+                .steps(steps)
+                .churn(&plan, &Aimd::reno())
+                .unwrap()
+        };
+        let intervals = plan.try_expand(steps as u64).unwrap();
+        let arrivals: Vec<u64> = intervals.iter().map(|iv| iv.start).collect();
+        let mut boundaries: Vec<usize> = intervals
+            .iter()
+            .flat_map(|iv| [iv.start as usize, iv.stop as usize])
+            .collect();
+        boundaries.sort_unstable();
+        let mut activity: Vec<(u64, u64)> = vec![(0, steps as u64); base];
+        activity.extend(intervals.iter().map(|iv| (iv.start, iv.stop)));
+        let cfg = ChurnConfig {
+            capacity: link().capacity(),
+            steps,
+            settle_threshold: 0.8 * link().capacity(),
+            arrivals: arrivals.clone(),
+            boundaries: boundaries.clone(),
+            activity: activity.clone(),
+        };
+
+        // Streaming: drive the ChurnAccumulator straight off the loop.
+        let mut acc = ChurnAccumulator::new(&cfg, base + intervals.len());
+        try_run_scenario_with(build(), &mut acc).unwrap();
+
+        // Traced: record, then evaluate the slice forms.
+        let trace = build().try_run().unwrap();
+        let goodputs: Vec<&[f64]> = trace.senders.iter().map(|s| s.goodput.as_slice()).collect();
+        assert_eq!(
+            acc.mean_settle_after_arrival().to_bits(),
+            churn::mean_settle_after_arrival(&trace.total_window, &arrivals, cfg.settle_threshold)
+                .to_bits()
+        );
+        assert_eq!(
+            acc.coexistence_fairness().to_bits(),
+            churn::coexistence_fairness(&goodputs, &boundaries, steps).to_bits()
+        );
+        assert_eq!(
+            acc.utilization_under_churn().to_bits(),
+            churn::utilization_under_churn(&trace.total_window, cfg.capacity, &activity).to_bits()
         );
     }
 

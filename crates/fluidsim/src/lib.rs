@@ -25,7 +25,13 @@
 //!   [`MetricAccumulator`] ([`try_run_scenario_streaming`]), folding each
 //!   step straight into the axiom scores in O(senders) memory with
 //!   bit-identical results; [`try_run_scenario_with`] exposes the
-//!   underlying [`StepSink`] visitor for custom consumers.
+//!   underlying [`StepSink`] visitor for custom consumers;
+//! * **flow churn** — sender populations can grow and shrink mid-run:
+//!   every sender has an optional stop step, and [`Scenario::churn`] /
+//!   [`NetScenario::churn`] expand a deterministic seeded
+//!   [`ChurnPlan`](axcc_topo::ChurnPlan) (Poisson arrivals, exponential
+//!   lifetimes, optional on/off phases) into a concrete staggered sender
+//!   population shared bit-for-bit with the packet-level engine.
 //!
 //! ```
 //! use axcc_core::LinkParams;
@@ -69,3 +75,4 @@ pub use scenario::{FeedbackMode, Scenario, SenderConfig};
 
 pub use axcc_core::axioms::streaming::{MetricAccumulator, MetricConfig, StepRecord};
 pub use axcc_core::{LinkParams, RunTrace, ScenarioError, SenderTrace};
+pub use axcc_topo::{ChurnPlan, FlowInterval, OnOffPhases};

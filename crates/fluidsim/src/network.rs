@@ -23,52 +23,22 @@
 use axcc_core::protocol::{clamp_window, MAX_WINDOW};
 use axcc_core::{LinkParams, Observation, Protocol, SenderTrace};
 
-/// A network of links.
-#[derive(Debug, Clone)]
-pub struct Topology {
-    links: Vec<LinkParams>,
-}
+pub use axcc_topo::Topology;
 
-impl Topology {
-    /// A topology over the given links.
-    ///
-    /// # Panics
-    ///
-    /// Panics if empty.
-    pub fn new(links: Vec<LinkParams>) -> Self {
-        assert!(!links.is_empty(), "topology needs at least one link");
-        Topology { links }
-    }
-
-    /// The classic parking lot: `k` identical links in a row.
-    pub fn parking_lot(k: usize, link: LinkParams) -> Self {
-        assert!(k > 0, "parking lot needs at least one hop");
-        Topology {
-            links: vec![link; k],
-        }
-    }
-
-    /// Number of links.
-    pub fn num_links(&self) -> usize {
-        self.links.len()
-    }
-
-    /// The links.
-    pub fn links(&self) -> &[LinkParams] {
-        &self.links
-    }
-}
-
-/// One flow: a protocol, a path (link indices), and an initial window.
+/// One flow: a protocol, a path (link indices), an initial window, and an
+/// activity window (start/stop steps, for churned populations).
 pub struct FlowConfig {
     protocol: Box<dyn Protocol>,
     path: Vec<usize>,
     initial_window: f64,
+    start_step: u64,
+    stop_step: Option<u64>,
 }
 
 impl FlowConfig {
     /// A flow running `protocol` over `path` (indices into the topology's
-    /// link list), starting from a 1-MSS window.
+    /// link list), starting from a 1-MSS window at step 0 and never
+    /// departing.
     ///
     /// # Panics
     ///
@@ -79,6 +49,8 @@ impl FlowConfig {
             protocol,
             path,
             initial_window: 1.0,
+            start_step: 0,
+            stop_step: None,
         }
     }
 
@@ -94,6 +66,28 @@ impl FlowConfig {
         );
         self.initial_window = w;
         self
+    }
+
+    /// Delay the flow's entry until the given step.
+    pub fn start_at(mut self, step: u64) -> Self {
+        self.start_step = step;
+        self
+    }
+
+    /// Remove the flow at the given step: active for steps in
+    /// `[start, stop)`, zero window afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stop step does not exceed the start step.
+    pub fn stop_at(mut self, step: u64) -> Self {
+        assert!(step > self.start_step, "stop step must follow the start");
+        self.stop_step = Some(step);
+        self
+    }
+
+    fn active_at(&self, t: u64) -> bool {
+        t >= self.start_step && self.stop_step.is_none_or(|s| t < s)
     }
 }
 
@@ -142,6 +136,28 @@ impl NetScenario {
         assert!(steps > 0, "scenario must run at least one step");
         self.steps = steps;
         self
+    }
+
+    /// Add a churned flow population on `path`: expand `plan` over this
+    /// scenario's current step count (set [`steps`](NetScenario::steps)
+    /// *first*) and add one flow per activity interval, each a clone of
+    /// `prototype` entering with a 1-MSS window at its arrival step and
+    /// departing at its stop step.
+    pub fn churn(
+        mut self,
+        plan: &axcc_topo::ChurnPlan,
+        prototype: &dyn Protocol,
+        path: Vec<usize>,
+    ) -> Result<Self, axcc_core::ScenarioError> {
+        self.topology.validate_path(&path)?;
+        for iv in plan.try_expand(self.steps as u64)? {
+            self.flows.push(
+                FlowConfig::new(prototype.clone_box(), path.clone())
+                    .start_at(iv.start)
+                    .stop_at(iv.stop),
+            );
+        }
+        Ok(self)
     }
 
     /// Run the scenario.
@@ -223,10 +239,7 @@ fn run_network(scenario: NetScenario) -> NetTrace {
 
     let nf = flows.len();
     let nl = topology.num_links();
-    let mut windows: Vec<f64> = flows
-        .iter()
-        .map(|f| clamp_window(f.initial_window, max_window))
-        .collect();
+    let mut windows: Vec<f64> = vec![0.0; nf];
     let mut min_rtts = vec![f64::INFINITY; nf];
 
     let mut traces: Vec<SenderTrace> = flows
@@ -237,6 +250,18 @@ fn run_network(scenario: NetScenario) -> NetTrace {
     let mut link_loss = vec![Vec::with_capacity(steps); nl];
 
     for t in 0..steps as u64 {
+        // Admissions and departures: a flow's window appears at its start
+        // step and vanishes at its stop step (idle flows hold exactly 0.0
+        // and contribute nothing to any link's load).
+        for (f, cfg) in flows.iter().enumerate() {
+            if t == cfg.start_step {
+                windows[f] = clamp_window(cfg.initial_window, max_window);
+            }
+            if cfg.stop_step == Some(t) {
+                windows[f] = 0.0;
+            }
+        }
+
         // Per-link aggregates.
         let mut loads = vec![0.0; nl];
         for (f, cfg) in flows.iter().enumerate() {
@@ -245,11 +270,11 @@ fn run_network(scenario: NetScenario) -> NetTrace {
             }
         }
         let losses: Vec<f64> = (0..nl)
-            .map(|l| topology.links[l].loss_rate(loads[l]))
+            .map(|l| topology.link(l).loss_rate(loads[l]))
             .collect();
         let qdelays: Vec<f64> = (0..nl)
             .map(|l| {
-                let link = &topology.links[l];
+                let link = topology.link(l);
                 // Queueing component of equation (1): RTT − 2Θ, capped by
                 // the timeout branch as on the single link.
                 link.rtt(loads[l]) - link.min_rtt()
@@ -262,8 +287,21 @@ fn run_network(scenario: NetScenario) -> NetTrace {
 
         // Per-flow observation and update.
         for (f, cfg) in flows.iter_mut().enumerate() {
-            let base_rtt: f64 = cfg.path.iter().map(|&l| topology.links[l].min_rtt()).sum();
+            let base_rtt: f64 = cfg.path.iter().map(|&l| topology.link(l).min_rtt()).sum();
             let rtt: f64 = base_rtt + cfg.path.iter().map(|&l| qdelays[l]).sum::<f64>();
+
+            // Idle flows (not yet arrived, or departed) record exact
+            // zeros — the path RTT is still recorded so the column stays
+            // rectangular and meaningful — and skip the protocol update,
+            // matching the single-link engine's churn semantics.
+            if !cfg.active_at(t) {
+                traces[f].window.push(0.0);
+                traces[f].loss.push(0.0);
+                traces[f].own_rtt_mut().push(rtt);
+                traces[f].goodput.push(0.0);
+                continue;
+            }
+
             let loss = 1.0 - cfg.path.iter().map(|&l| 1.0 - losses[l]).product::<f64>();
             min_rtts[f] = min_rtts[f].min(rtt);
 
@@ -292,7 +330,7 @@ fn run_network(scenario: NetScenario) -> NetTrace {
         paths: flows.iter().map(|f| f.path.clone()).collect(),
         link_load,
         link_loss,
-        topology_links: topology.links,
+        topology_links: topology.links().to_vec(),
     }
 }
 
@@ -424,6 +462,69 @@ mod tests {
             let u = net.link_utilization(l, tail);
             assert!(u > 0.85 && u < 1.1, "link {l} utilization {u}");
         }
+    }
+
+    #[test]
+    fn churned_flows_are_idle_outside_their_intervals() {
+        let plan = axcc_topo::ChurnPlan::poisson(0.01, 150.0).seed(4);
+        let ivs = plan.expand(2000);
+        assert!(!ivs.is_empty(), "plan expands to at least one arrival");
+        let net = NetScenario::new(Topology::parking_lot(2, hop()))
+            .steps(2000)
+            .flow(FlowConfig::new(Box::new(Aimd::reno()), vec![0, 1]))
+            .churn(&plan, &Aimd::reno(), vec![0, 1])
+            .unwrap()
+            .run();
+        assert_eq!(net.flows.len(), 1 + ivs.len());
+        for (k, iv) in ivs.iter().enumerate() {
+            let f = 1 + k;
+            for t in 0..2000 {
+                let w = net.flows[f].window[t];
+                if (t as u64) < iv.start || (t as u64) >= iv.stop {
+                    assert_eq!(w, 0.0, "flow {f} idle at step {t}");
+                    assert_eq!(net.flows[f].goodput[t], 0.0, "flow {f} step {t}");
+                } else if t as u64 == iv.start {
+                    // Admitted with a 1-MSS window at its arrival step.
+                    assert_eq!(w, 1.0, "flow {f} arrival step {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn churned_network_runs_are_deterministic() {
+        let build = || {
+            let plan = axcc_topo::ChurnPlan::poisson(0.008, 200.0).seed(11);
+            NetScenario::new(Topology::parking_lot(3, hop()))
+                .steps(1500)
+                .flow(FlowConfig::new(Box::new(Aimd::reno()), vec![0, 1, 2]))
+                .churn(&plan, &Aimd::reno(), vec![1])
+                .unwrap()
+                .run()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn link_load_counts_only_active_flows() {
+        // One permanent flow plus one that departs midway: after the
+        // departure the link load must equal the survivor's window alone.
+        let net = NetScenario::new(Topology::new(vec![hop()]))
+            .steps(1000)
+            .flow(FlowConfig::new(Box::new(Aimd::reno()), vec![0]))
+            .flow(FlowConfig::new(Box::new(Aimd::reno()), vec![0]).stop_at(500))
+            .run();
+        for t in 500..1000 {
+            assert_eq!(
+                net.link_load[0][t].to_bits(),
+                net.flows[0].window[t].to_bits(),
+                "step {t}"
+            );
+        }
+        // Before the departure both contribute.
+        assert!(net.link_load[0][300] > net.flows[0].window[300]);
     }
 
     #[test]

@@ -5,12 +5,14 @@ use axcc_core::protocol::MAX_WINDOW;
 use axcc_core::{LinkParams, Protocol, RunTrace, ScenarioError};
 use serde::{Deserialize, Serialize};
 
-/// One sender in a scenario: a protocol, an initial window, and a start
-/// step (for late-joiner dynamics).
+/// One sender in a scenario: a protocol, an initial window, a start step
+/// (for late-joiner dynamics), and an optional stop step (for departures
+/// in churned populations).
 pub struct SenderConfig {
     pub(crate) protocol: Box<dyn Protocol>,
     pub(crate) initial_window: f64,
     pub(crate) start_tick: u64,
+    pub(crate) stop_tick: Option<u64>,
 }
 
 impl SenderConfig {
@@ -20,6 +22,7 @@ impl SenderConfig {
             protocol,
             initial_window: 1.0,
             start_tick: 0,
+            stop_tick: None,
         }
     }
 
@@ -34,6 +37,14 @@ impl SenderConfig {
     /// Delay the sender's entry until the given step.
     pub fn start_at(mut self, tick: u64) -> Self {
         self.start_tick = tick;
+        self
+    }
+
+    /// Remove the sender from the link at the given step: it is active for
+    /// steps in `[start, stop)` and holds a zero window afterwards. Must
+    /// exceed the start step; checked by [`Scenario::validate`].
+    pub fn stop_at(mut self, tick: u64) -> Self {
+        self.stop_tick = Some(tick);
         self
     }
 }
@@ -172,6 +183,27 @@ impl Scenario {
         self
     }
 
+    /// Add a churned flow population: expand `plan` over this scenario's
+    /// current step count (set [`steps`](Scenario::steps) *first*) and add
+    /// one sender per activity interval, each a clone of `prototype`
+    /// entering with a 1-MSS window at its arrival step and departing at
+    /// its stop step. Plan parameter errors surface immediately.
+    pub fn churn(
+        mut self,
+        plan: &axcc_topo::ChurnPlan,
+        prototype: &dyn Protocol,
+    ) -> Result<Self, ScenarioError> {
+        for iv in plan.try_expand(self.steps as u64)? {
+            self.senders.push(
+                SenderConfig::new(prototype.clone_box())
+                    .initial_window(1.0)
+                    .start_at(iv.start)
+                    .stop_at(iv.stop),
+            );
+        }
+        Ok(self)
+    }
+
     /// Check the full configuration. Both [`run`](Scenario::run) and
     /// [`try_run`](Scenario::try_run) call this before simulating; it is
     /// public so schedulers can validate scenarios they did not build.
@@ -204,6 +236,16 @@ impl Scenario {
                     value: cfg.initial_window,
                     constraint: "finite and >= 0",
                 });
+            }
+            if let Some(stop) = cfg.stop_tick {
+                if stop <= cfg.start_tick {
+                    return Err(ScenarioError::InvalidSender {
+                        index: i,
+                        field: "stop_tick",
+                        value: stop as f64,
+                        constraint: "after the sender's start step",
+                    });
+                }
             }
         }
         for &(_, bw) in &self.bandwidth_changes {

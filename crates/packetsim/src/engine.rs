@@ -17,6 +17,7 @@ pub struct PacketSenderConfig {
     protocol: Box<dyn Protocol>,
     initial_cwnd: f64,
     start_secs: f64,
+    stop_secs: Option<f64>,
     mode: SendMode,
     extra_delay_secs: f64,
 }
@@ -28,6 +29,7 @@ impl PacketSenderConfig {
             protocol,
             initial_cwnd: 1.0,
             start_secs: 0.0,
+            stop_secs: None,
             mode: SendMode::WindowClocked,
             extra_delay_secs: 0.0,
         }
@@ -63,6 +65,16 @@ impl PacketSenderConfig {
     /// (checked by [`PacketScenario::validate`]).
     pub fn start_at_secs(mut self, t: f64) -> Self {
         self.start_secs = t;
+        self
+    }
+
+    /// Remove the flow at the given time (seconds): it stops transmitting
+    /// for good, though packets already in flight still drain. Must be
+    /// finite and after the start time (checked by
+    /// [`PacketScenario::validate`]). Models flow churn — short
+    /// connections arriving and departing around long-lived ones.
+    pub fn stop_at_secs(mut self, t: f64) -> Self {
+        self.stop_secs = Some(t);
         self
     }
 }
@@ -115,6 +127,37 @@ impl PacketScenario {
                 .push(PacketSenderConfig::new(prototype.clone_box()));
         }
         self
+    }
+
+    /// Add a churned flow population: expand `plan` over the scenario's
+    /// current duration (set [`duration_secs`](Self::duration_secs)
+    /// *first*) at a resolution of `step_secs` seconds per plan step, and
+    /// add one flow per activity interval — each a clone of `prototype`
+    /// arriving with a 1-MSS window and departing at its stop time. Using
+    /// the fluid engine's step length for `step_secs` makes the two
+    /// engines run the *same* arrival pattern.
+    pub fn churn(
+        mut self,
+        plan: &axcc_topo::ChurnPlan,
+        prototype: &dyn Protocol,
+        step_secs: f64,
+    ) -> Result<Self, ScenarioError> {
+        if !(step_secs > 0.0 && step_secs.is_finite()) {
+            return Err(ScenarioError::InvalidParameter {
+                field: "step_secs",
+                value: step_secs,
+                constraint: "positive and finite",
+            });
+        }
+        let horizon = (self.duration_secs / step_secs).floor().max(0.0) as u64;
+        for iv in plan.try_expand(horizon)? {
+            self.senders.push(
+                PacketSenderConfig::new(prototype.clone_box())
+                    .start_at_secs(iv.start as f64 * step_secs)
+                    .stop_at_secs(iv.stop as f64 * step_secs),
+            );
+        }
+        Ok(self)
     }
 
     /// Simulated duration in seconds. Must be positive and finite
@@ -261,6 +304,15 @@ impl PacketScenario {
                     "finite and >= 0",
                 ));
             }
+            if let Some(stop) = sc.stop_secs {
+                if !(stop.is_finite() && stop > sc.start_secs) {
+                    return Err(sender_field(
+                        "stop_at_secs",
+                        stop,
+                        "finite and after the flow's start time",
+                    ));
+                }
+            }
         }
         Ok(())
     }
@@ -385,6 +437,9 @@ impl Engine {
                 Time::from_secs_f64(sc.start_secs),
                 Event::FlowStart { flow: i },
             );
+            if let Some(stop) = sc.stop_secs {
+                events.schedule(Time::from_secs_f64(stop), Event::FlowStop { flow: i });
+            }
         }
         events.schedule(Time::ZERO, Event::Sample);
 
@@ -439,6 +494,13 @@ impl Engine {
                             self.events.schedule(now + mi, Event::MiBoundary { flow });
                         }
                     }
+                }
+                Event::FlowStop { flow } => {
+                    // The flow departs: no further transmissions (paced
+                    // flows' timer events see `active == false` and lapse),
+                    // but in-flight packets still drain and their feedback
+                    // is still processed, so conservation stays exact.
+                    self.senders[flow].active = false;
                 }
                 Event::QueueDeparture => self.on_departure(now),
                 Event::AckArrive {
@@ -840,6 +902,98 @@ mod tests {
             .iter()
             .all(|&w| w == 0.0));
         assert!(out.flows[1].sent > 0);
+    }
+
+    #[test]
+    fn stopped_flow_goes_quiet_and_conserves_packets() {
+        let out = PacketScenario::new(paper_link())
+            .sender(PacketSenderConfig::new(Box::new(Aimd::reno())))
+            .sender(PacketSenderConfig::new(Box::new(Aimd::reno())).stop_at_secs(5.0))
+            .duration_secs(15.0)
+            .run();
+        assert!(out.conservation_ok());
+        // Samples after the stop (plus drain slack) show a zero window
+        // and zero goodput for the departed flow.
+        let interval = out.trace.link.min_rtt();
+        let after = (6.0 / interval) as usize;
+        assert!(out.trace.senders[1].window[after..]
+            .iter()
+            .all(|&w| w == 0.0));
+        assert!(
+            out.trace.senders[1].goodput[after..]
+                .iter()
+                .all(|&g| g == 0.0),
+            "departed flow still earned goodput"
+        );
+        // The survivor reclaims the capacity the departed flow vacated.
+        let g = &out.trace.senders[0].goodput;
+        let before =
+            axcc_core::trace::mean(&g[(2.0 / interval) as usize..(5.0 / interval) as usize]);
+        let later =
+            axcc_core::trace::mean(&g[(10.0 / interval) as usize..(14.0 / interval) as usize]);
+        assert!(later > before, "survivor {later} vs shared-era {before}");
+    }
+
+    #[test]
+    fn stop_before_start_is_rejected() {
+        let err = PacketScenario::new(paper_link())
+            .sender(
+                PacketSenderConfig::new(Box::new(Aimd::reno()))
+                    .start_at_secs(5.0)
+                    .stop_at_secs(5.0),
+            )
+            .try_run()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ScenarioError::InvalidSender {
+                index: 0,
+                field: "stop_at_secs",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn churned_packet_runs_are_deterministic() {
+        let plan = axcc_topo::ChurnPlan::poisson(0.01, 120.0).seed(7);
+        let run = || {
+            let out = PacketScenario::new(paper_link())
+                .homogeneous(&Aimd::reno(), 1)
+                .duration_secs(20.0)
+                .churn(&plan, &Aimd::reno(), paper_link().min_rtt())
+                .unwrap()
+                .run();
+            assert!(out.conservation_ok());
+            (out.trace, out.flows)
+        };
+        let (t1, f1) = run();
+        let (t2, f2) = run();
+        assert_eq!(t1, t2);
+        assert_eq!(f1, f2);
+        // The plan actually admitted churned flows alongside the base one.
+        assert!(t1.senders.len() > 1, "plan produced no arrivals");
+    }
+
+    #[test]
+    fn churn_uses_the_same_intervals_as_the_fluid_engine() {
+        // Expanding the plan at the fluid step length and mapping to
+        // seconds must land each packet flow's start/stop exactly where
+        // the plan says.
+        let plan = axcc_topo::ChurnPlan::poisson(0.02, 80.0).seed(3);
+        let step = paper_link().min_rtt();
+        let duration = 20.0;
+        let ivs = plan.expand((duration / step).floor() as u64);
+        let sc = PacketScenario::new(paper_link())
+            .homogeneous(&Aimd::reno(), 1)
+            .duration_secs(duration)
+            .churn(&plan, &Aimd::reno(), step)
+            .unwrap();
+        assert_eq!(sc.senders.len(), 1 + ivs.len());
+        for (iv, cfg) in ivs.iter().zip(&sc.senders[1..]) {
+            assert_eq!(cfg.start_secs, iv.start as f64 * step);
+            assert_eq!(cfg.stop_secs, Some(iv.stop as f64 * step));
+        }
     }
 
     #[test]

@@ -17,6 +17,13 @@ pub enum Event {
         /// Index of the flow.
         flow: usize,
     },
+    /// A flow departs: it stops transmitting for good (in-flight packets
+    /// still drain and their feedback is still delivered, keeping packet
+    /// conservation exact).
+    FlowStop {
+        /// Index of the flow.
+        flow: usize,
+    },
     /// The packet at the head of the bottleneck queue finishes
     /// serialization.
     QueueDeparture,

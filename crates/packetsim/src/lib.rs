@@ -15,6 +15,11 @@
 //!   one observation per *epoch* — a window's worth of feedback, the
 //!   packet-level realization of the fluid model's RTT step and of
 //!   Robust-AIMD's "monitor interval";
+//! * **flow churn**: every flow has optional start/stop times, and
+//!   [`PacketScenario::churn`] expands the same deterministic seeded
+//!   [`ChurnPlan`](axcc_topo::ChurnPlan) the fluid engine uses into a
+//!   packet-level flow population — identical arrival patterns in both
+//!   engines;
 //! * composable **fault injection** ([`faults`]): Bernoulli or
 //!   Gilbert–Elliott bursty wire loss (non-congestion loss, Metric VI),
 //!   ACK-path loss, feedback jitter and reordering, link outages, and

@@ -1,0 +1,34 @@
+//! # axcc-topo — topologies and dynamic flow populations
+//!
+//! The paper evaluates every axiom on a single static FIFO bottleneck with
+//! a fixed sender set. This crate supplies the two scenario dimensions the
+//! repro adds on top (ROADMAP item 3):
+//!
+//! * [`Topology`] — a set of links and per-flow paths: a single link, the
+//!   classic N-hop *parking lot* with per-hop capacity/buffer, or any
+//!   heterogeneous link list. Path assignment gives senders genuinely
+//!   different base RTTs and loss exposure.
+//! * [`ChurnPlan`] — a dynamic flow population: deterministic seeded
+//!   Poisson arrivals with exponential lifetimes, an optional on/off
+//!   traffic phase split, and a concurrency cap. [`ChurnPlan::try_expand`]
+//!   turns the plan into a plain list of [`FlowInterval`]s, which both
+//!   engines (`axcc-fluidsim` staggered entry/exit, `axcc-packetsim`
+//!   `FlowStart`/`FlowStop` events) consume without knowing anything about
+//!   the stochastic model.
+//!
+//! Everything is deterministic per seed: all randomness flows through one
+//! `ChaCha8Rng::seed_from_u64(seed)` stream, and every field of both types
+//! is covered by [`Fingerprint`](axcc_core::Fingerprint) so the sweep
+//! cache can key on churn scenarios.
+
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    test,
+    allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)
+)]
+
+mod churn;
+mod topology;
+
+pub use churn::{ChurnPlan, FlowInterval, OnOffPhases};
+pub use topology::Topology;

@@ -1,0 +1,155 @@
+//! The link graph: a list of links plus per-flow paths (link-index sets).
+
+use axcc_core::{Fingerprint, Fingerprinter, LinkParams, ScenarioError};
+
+/// A network of links. Flows reference links by index (their *path*); a
+/// single-link topology reduces exactly to the paper's model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    links: Vec<LinkParams>,
+}
+
+impl Topology {
+    /// A topology over the given links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty.
+    pub fn new(links: Vec<LinkParams>) -> Self {
+        assert!(!links.is_empty(), "topology needs at least one link");
+        Topology { links }
+    }
+
+    /// The degenerate single-bottleneck topology of the paper's model.
+    pub fn single(link: LinkParams) -> Self {
+        Topology { links: vec![link] }
+    }
+
+    /// The classic parking lot: `k` identical links in a row. The long
+    /// flow crosses all of them (`path = 0..k`); each short flow crosses
+    /// one.
+    pub fn parking_lot(k: usize, link: LinkParams) -> Self {
+        assert!(k > 0, "parking lot needs at least one hop");
+        Topology {
+            links: vec![link; k],
+        }
+    }
+
+    /// Number of links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The links.
+    pub fn links(&self) -> &[LinkParams] {
+        &self.links
+    }
+
+    /// Link `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range (validate paths first).
+    pub fn link(&self, l: usize) -> &LinkParams {
+        &self.links[l]
+    }
+
+    /// Check that a flow path is non-empty and references only links this
+    /// topology has.
+    pub fn validate_path(&self, path: &[usize]) -> Result<(), ScenarioError> {
+        if path.is_empty() {
+            return Err(ScenarioError::InvalidParameter {
+                field: "path",
+                value: 0.0,
+                constraint: "at least one link",
+            });
+        }
+        for &l in path {
+            if l >= self.links.len() {
+                return Err(ScenarioError::InvalidParameter {
+                    field: "path",
+                    value: l as f64,
+                    constraint: "an index into the topology's link list",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// A path's base (zero-queue) RTT: the sum of the per-link propagation
+    /// floors. Out-of-range links contribute nothing — validate first.
+    pub fn path_min_rtt(&self, path: &[usize]) -> f64 {
+        path.iter()
+            .filter_map(|&l| self.links.get(l))
+            .map(LinkParams::min_rtt)
+            .sum()
+    }
+}
+
+impl Fingerprint for Topology {
+    fn fingerprint(&self, fp: &mut Fingerprinter) {
+        fp.write_str("Topology");
+        self.links.fingerprint(fp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hop() -> LinkParams {
+        LinkParams::new(1000.0, 0.05, 20.0)
+    }
+
+    #[test]
+    fn parking_lot_replicates_the_hop() {
+        let t = Topology::parking_lot(3, hop());
+        assert_eq!(t.num_links(), 3);
+        for l in 0..3 {
+            assert_eq!(t.link(l), &hop());
+        }
+    }
+
+    #[test]
+    fn single_is_one_link() {
+        assert_eq!(Topology::single(hop()).num_links(), 1);
+    }
+
+    #[test]
+    fn path_validation() {
+        let t = Topology::parking_lot(2, hop());
+        assert_eq!(t.validate_path(&[0, 1]), Ok(()));
+        assert!(t.validate_path(&[]).is_err());
+        assert!(t.validate_path(&[2]).is_err());
+    }
+
+    #[test]
+    fn path_min_rtt_sums_over_hops() {
+        let t = Topology::parking_lot(3, hop());
+        // Each hop's floor is 2Θ = 0.1 s.
+        assert!((t.path_min_rtt(&[0, 1, 2]) - 0.3).abs() < 1e-12);
+        assert!((t.path_min_rtt(&[1]) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one link")]
+    fn empty_topology_rejected() {
+        Topology::new(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hop")]
+    fn zero_hop_parking_lot_rejected() {
+        Topology::parking_lot(0, hop());
+    }
+
+    #[test]
+    fn fingerprint_covers_every_link() {
+        let a = Topology::parking_lot(2, hop()).digest();
+        let b = Topology::parking_lot(3, hop()).digest();
+        let c = Topology::new(vec![hop(), LinkParams::new(500.0, 0.05, 20.0)]).digest();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, Topology::parking_lot(2, hop()).digest());
+    }
+}

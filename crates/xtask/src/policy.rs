@@ -4,10 +4,14 @@
 //! on fixture trees that mimic the workspace layout (see
 //! `tests/fixtures/`). The intent per tier:
 //!
-//! * **Deterministic core** (`core`, `fluidsim`, `packetsim`,
+//! * **Deterministic core** (`core`, `topo`, `fluidsim`, `packetsim`,
 //!   `protocols`, `analysis`, `cli`, the root facade): every rule. These
 //!   crates compute paper artifacts; a panic, NaN mis-sort, wall-clock
-//!   read, or raw unit literal there invalidates results.
+//!   read, or raw unit literal there invalidates results. In particular
+//!   `crates/topo` draws churn schedules: all of its randomness must flow
+//!   through a seeded RNG — `thread_rng`/`from_entropy` there would make
+//!   every churn experiment unreproducible, so the determinism family is
+//!   load-bearing and never waived for it.
 //! * **Generators** (`bench` bins): every rule too — artifact generators
 //!   propagate errors with `?` rather than panicking mid-artifact.
 //! * **Sweep engine** (`crates/sweep`): every rule, but the
@@ -313,6 +317,39 @@ mod tests {
                 .unwrap()
                 .rules
                 .fingerprint_coverage
+        );
+    }
+
+    #[test]
+    fn churn_randomness_must_be_seeded() {
+        // `crates/topo` generates churn schedules from an RNG; the
+        // determinism family (which bans `thread_rng` / `from_entropy` /
+        // wall clocks) must cover every file, with no waiver — an
+        // entropy-seeded plan would make churn experiments
+        // unreproducible.
+        for file in [
+            "crates/topo/src/lib.rs",
+            "crates/topo/src/churn.rs",
+            "crates/topo/src/topology.rs",
+        ] {
+            let p = policy_for(file).unwrap();
+            assert!(p.rules.determinism, "{file} must run determinism checks");
+            assert!(!p.rules.allow_wall_clock, "{file} must not read clocks");
+            assert!(!p.rules.allow_threads, "{file} must not spawn threads");
+            // Topology and ChurnPlan are cache-keyed: every field must
+            // reach the fingerprint, so sweep results can never go stale.
+            assert!(
+                p.rules.fingerprint_coverage,
+                "{file} fingerprints cache-keyed types"
+            );
+        }
+        assert_eq!(
+            policy_for("crates/topo/src/lib.rs").unwrap().hygiene_kind,
+            HygieneKind::CrateRoot
+        );
+        assert_eq!(
+            manifest_for("crates/topo/src/lib.rs").as_deref(),
+            Some("crates/topo/Cargo.toml")
         );
     }
 

@@ -20,6 +20,10 @@ echo "==> axcc run-all --jobs 2 --smoke (full suite through the sweep engine)"
 cargo run -q -p axcc-cli -- run-all --jobs 2 --smoke \
   --cache-dir target/sweep-cache-ci --out-dir target/run-all-ci
 
+echo "==> axcc sweep --only churn --smoke (flow churn: both engines, streaming path)"
+cargo run -q -p axcc-cli -- sweep --only churn --smoke --jobs 2 \
+  --cache-dir target/sweep-cache-ci > /dev/null
+
 echo "==> bench-engine --smoke (streaming ≡ traced identity + wall-clock)"
 cargo run -q --release -p axcc-bench --bin bench-engine -- --smoke \
   --out target/BENCH_engine_smoke.json > /dev/null

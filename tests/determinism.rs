@@ -146,6 +146,44 @@ fn packet_runs_under_every_impairment_are_bit_identical_per_seed() {
 }
 
 #[test]
+fn churn_family_jobs_are_bit_identical_parallel_vs_serial() {
+    // The churn experiment fans dynamic-population cells out through the
+    // sweep runner; worker count must never leak into the report. Run the
+    // whole family serially and with 8 workers (cacheless, so every job
+    // really executes both times) and demand exact bit equality on every
+    // settle/fairness/utilization number.
+    use axiomatic_cc::analysis::experiments::churn::{run_churn_with, ChurnReport};
+    use axiomatic_cc::sweep::SweepRunner;
+    fn bits(rep: &ChurnReport) -> Vec<(String, Vec<u64>)> {
+        rep.rows
+            .iter()
+            .map(|r| {
+                let mut b: Vec<u64> = r
+                    .cells
+                    .iter()
+                    .flat_map(|c| {
+                        [
+                            c.settle.to_bits(),
+                            c.fairness.to_bits(),
+                            c.utilization.to_bits(),
+                        ]
+                    })
+                    .collect();
+                b.push(r.packet_utilization.to_bits());
+                (r.protocol.clone(), b)
+            })
+            .collect()
+    }
+    let serial = run_churn_with(&SweepRunner::serial(), 400, 4.0);
+    let parallel = run_churn_with(&SweepRunner::without_cache(8), 400, 4.0);
+    assert_eq!(
+        bits(&serial),
+        bits(&parallel),
+        "churn family diverged between serial and parallel runners"
+    );
+}
+
+#[test]
 fn deterministic_scenarios_ignore_seed_entirely() {
     // Without wire loss there is no randomness at all: seeds must not
     // matter.
