@@ -21,7 +21,7 @@ use axcc_core::protocol::MAX_WINDOW;
 use axcc_core::{LinkParams, Protocol, RunTrace};
 use axcc_fluidsim::{
     metric_accumulator_for, run_scenario_streaming, run_scenario_streaming_into, LossModel,
-    MetricAccumulator, Scenario, SenderConfig, StreamOptions,
+    MetricAccumulator, MetricSet, Scenario, SenderConfig, StreamOptions,
 };
 use axcc_packetsim::{PacketScenario, PacketSenderConfig};
 use axcc_sweep::EvalMode;
@@ -44,6 +44,18 @@ pub fn stream_options() -> StreamOptions {
         tail_fraction: TAIL_FRACTION,
         min_horizon: FAST_UTIL_HORIZON,
         escape_beta: ROBUSTNESS_ESCAPE_BETA,
+        metrics: MetricSet::ALL,
+    }
+}
+
+/// [`stream_options`] restricted to the metric families a job will
+/// actually read — the sink-specialization entry point: the accumulator
+/// skips every other family's per-block fold, which is what makes
+/// short-run streaming cheaper than tracing.
+pub fn stream_options_for(metrics: MetricSet) -> StreamOptions {
+    StreamOptions {
+        metrics,
+        ..stream_options()
     }
 }
 
@@ -232,7 +244,7 @@ pub fn measure_solo_fluid_mode(
     if mode == EvalMode::Traced {
         return measure_solo_fluid(proto, cfg);
     }
-    let opts = stream_options();
+    let opts = stream_options_for(MetricSet::SOLO);
     let mut acc: Option<MetricAccumulator> = None;
     let mut agg: Option<SoloMetrics> = None;
     for init in &cfg.initial_configs {
@@ -331,7 +343,7 @@ pub fn measure_friendliness_fluid_mode(
         return measure_friendliness_fluid(p, q, link, n_p, n_q, steps, initial_pairs);
     }
     assert!(n_p > 0 && n_q > 0, "friendliness needs both sender sets");
-    let opts = stream_options();
+    let opts = stream_options_for(MetricSet::FAIRNESS);
     let p_idx: Vec<usize> = (0..n_p).collect();
     let q_idx: Vec<usize> = (n_p..n_p + n_q).collect();
     let mut acc: Option<MetricAccumulator> = None;
@@ -433,7 +445,7 @@ pub fn empirically_more_aggressive_mode(
     if mode == EvalMode::Traced {
         return empirically_more_aggressive(p, q, link, steps);
     }
-    let opts = stream_options();
+    let opts = stream_options_for(MetricSet::FAIRNESS);
     let ct = link.loss_threshold();
     for (n_p, n_q) in [(1usize, 1usize), (2, 1), (1, 2)] {
         for &(pi, qi) in &[(1.0, 1.0), (1.0, 0.8 * ct), (0.8 * ct, 1.0)] {
@@ -506,7 +518,7 @@ pub fn measure_robustness_fluid_mode(
     if mode == EvalMode::Traced {
         return measure_robustness_fluid(proto, rates, steps);
     }
-    let opts = stream_options();
+    let opts = stream_options_for(MetricSet::ROBUSTNESS);
     let infinite = LinkParams::new(MAX_WINDOW * 100.0, 0.05, MAX_WINDOW);
     let mut acc: Option<MetricAccumulator> = None;
     let mut best = 0.0;

@@ -41,13 +41,15 @@
 //! flow's goodput share relative to the mean short flow — how badly the
 //! protocol's dynamics punish multi-bottleneck paths.
 
-use crate::estimators::{stream_options, TAIL_FRACTION};
+use crate::estimators::{stream_options_for, TAIL_FRACTION};
 use crate::report::{fmt_score, TextTable};
 use axcc_core::axioms::{efficiency, friendliness, robustness};
 use axcc_core::fingerprint::{Fingerprint, Fingerprinter};
 use axcc_core::protocol::MAX_WINDOW;
 use axcc_core::{LinkParams, Protocol};
-use axcc_fluidsim::{run_scenario_streaming, LossModel, Scenario, SenderConfig, StreamOptions};
+use axcc_fluidsim::{
+    run_scenario_streaming, LossModel, MetricSet, Scenario, SenderConfig, StreamOptions,
+};
 use axcc_protocols::presets;
 use axcc_sweep::{EvalMode, SweepJob, SweepRunner};
 use serde::Serialize;
@@ -166,12 +168,14 @@ fn reference_model() -> LossModel {
     cell_model(4, 0.005)
 }
 
-/// Streaming options for gauntlet cells: the estimator defaults with the
+/// Streaming options for gauntlet cells, restricted to the metric
+/// families `metrics` (each gauntlet tier reads exactly one or two
+/// scores, so the accumulator skips every other family's fold) with the
 /// escape threshold lowered to the gauntlet's β.
-fn gauntlet_stream_options() -> StreamOptions {
+fn gauntlet_stream_options(metrics: MetricSet) -> StreamOptions {
     StreamOptions {
         escape_beta: BETA,
-        ..stream_options()
+        ..stream_options_for(metrics)
     }
 }
 
@@ -199,7 +203,8 @@ fn withstands(
     match mode {
         EvalMode::Traced => robustness::window_escapes(&sc.run().senders[0], BETA, 0.2),
         EvalMode::Streaming => {
-            run_scenario_streaming(sc, &gauntlet_stream_options()).window_escapes(0, 0.2)
+            run_scenario_streaming(sc, &gauntlet_stream_options(MetricSet::ROBUSTNESS))
+                .window_escapes(0, 0.2)
         }
     }
 }
@@ -235,7 +240,8 @@ fn impaired_efficiency(proto: &dyn Protocol, steps: usize, mode: EvalMode) -> f6
             efficiency::measured_efficiency(&trace, trace.tail_start(TAIL_FRACTION))
         }
         EvalMode::Streaming => {
-            run_scenario_streaming(sc, &gauntlet_stream_options()).measured_efficiency()
+            run_scenario_streaming(sc, &gauntlet_stream_options(MetricSet::EFFICIENCY))
+                .measured_efficiency()
         }
     }
 }
@@ -256,7 +262,8 @@ fn impaired_friendliness(proto: &dyn Protocol, steps: usize, mode: EvalMode) -> 
             friendliness::measured_friendliness(&trace, &[0], &[1], trace.tail_start(TAIL_FRACTION))
         }
         EvalMode::Streaming => {
-            run_scenario_streaming(sc, &gauntlet_stream_options()).measured_friendliness(&[0], &[1])
+            run_scenario_streaming(sc, &gauntlet_stream_options(MetricSet::FAIRNESS))
+                .measured_friendliness(&[0], &[1])
         }
     }
 }

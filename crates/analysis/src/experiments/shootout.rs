@@ -18,13 +18,13 @@
 //! the `gen-table2 --shootout`-style binaries.
 
 use crate::estimators::{
-    measure_robustness_fluid_mode, measure_solo_fluid_mode, stream_options, SweepConfig,
+    measure_robustness_fluid_mode, measure_solo_fluid_mode, stream_options_for, SweepConfig,
     ROBUSTNESS_RATES,
 };
 use crate::report::{fmt_score, TextTable};
 use axcc_core::fingerprint::{Fingerprint, Fingerprinter};
 use axcc_core::{LinkParams, Protocol};
-use axcc_fluidsim::{LossModel, Scenario, SenderConfig};
+use axcc_fluidsim::{LossModel, MetricSet, Scenario, SenderConfig};
 use axcc_protocols::{presets, Bbr};
 use axcc_sweep::{Cacheable, EvalMode, Record, SweepJob, SweepRunner};
 use serde::Serialize;
@@ -192,7 +192,8 @@ fn noisy_goodput(proto: &dyn Protocol, rate: f64, steps: usize, mode: EvalMode) 
             trace.senders[0].mean_goodput_from(tail)
         }
         EvalMode::Streaming => {
-            axcc_fluidsim::run_scenario_streaming(sc, &stream_options()).tail_mean_goodput(0)
+            axcc_fluidsim::run_scenario_streaming(sc, &stream_options_for(MetricSet::FAIRNESS))
+                .tail_mean_goodput(0)
         }
     }
 }

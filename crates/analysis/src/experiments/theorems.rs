@@ -10,7 +10,7 @@
 
 use crate::estimators::{
     measure_friendliness_fluid_mode, measure_robustness_fluid_mode, measure_solo_fluid_mode,
-    stream_options, SweepConfig, ROBUSTNESS_RATES,
+    stream_options_for, SweepConfig, ROBUSTNESS_RATES,
 };
 use axcc_core::axioms::{fast_utilization, loss_avoidance};
 use axcc_core::fingerprint::{Fingerprint, Fingerprinter};
@@ -19,7 +19,7 @@ use axcc_core::theory::theorems::{
     theorem3_friendliness_upper_bound,
 };
 use axcc_core::{LinkParams, Protocol};
-use axcc_fluidsim::{run_scenario_streaming, Scenario, SenderConfig};
+use axcc_fluidsim::{run_scenario_streaming, MetricSet, Scenario, SenderConfig};
 use axcc_protocols::{Aimd, CautiousProber, Mimd, RobustAimd, Vegas};
 use axcc_sweep::{Cacheable, EvalMode, Record, SweepJob, SweepRunner};
 use serde::Serialize;
@@ -154,7 +154,8 @@ pub fn check_claim1(steps: usize, mode: EvalMode) -> TheoremCheck {
             )
         }
         EvalMode::Streaming => {
-            let opts = stream_options();
+            let opts =
+                stream_options_for(MetricSet::LOSS_AVOIDANCE.with(MetricSet::FAST_UTILIZATION));
             let prober =
                 run_scenario_streaming(scenario(Box::new(CautiousProber::default_probe())), &opts);
             let reno = run_scenario_streaming(scenario(Box::new(Aimd::reno())), &opts);

@@ -11,7 +11,7 @@ use axcc_analysis::experiments::{
 use axcc_analysis::report::{fmt_ratio, fmt_score, TextTable};
 use axcc_core::units::Bandwidth;
 use axcc_core::{LinkParams, Protocol};
-use axcc_fluidsim::{LossModel, Scenario, SenderConfig};
+use axcc_fluidsim::{LossModel, MathMode, Scenario, SenderConfig};
 use axcc_packetsim::{PacketScenario, PacketSenderConfig};
 use axcc_protocols::registry::resolve;
 use axcc_serve::bench::{run_bench, run_bench_spawned, BenchConfig, BenchReport};
@@ -33,6 +33,8 @@ scenario commands (default link: 20 Mbps, 42 ms RTT, 100-MSS buffer):
                 [--steps N]            fluid-model steps (default 2000)
                 [--packet --duration S] packet-level backend instead
                 [--wire-loss R --seed N --stagger-s S --ecn K]
+                [--fast-math]          relaxed fp orderings in the fluid
+                                       hot loop (reassociated sums/FMA)
   axcc score    --protocol P          measure the full empirical 8-tuple
                 [--steps N]
   axcc compare  --challenger P --defender Q   Metric VII head-to-head
@@ -237,6 +239,7 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
         .map(|v| v.parse::<usize>())
         .transpose()
         .map_err(|_| CliError::Usage("--ecn takes a marking threshold in packets".into()))?;
+    let fast_math = args.get_bool("fast-math");
     let csv_path = args.get("csv").map(str::to_string);
     let json = args.get_bool("json");
     args.finish()?;
@@ -251,6 +254,11 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
     );
 
     let trace = if packet {
+        if fast_math {
+            return Err(CliError::Usage(
+                "--fast-math applies to the fluid backend only (drop --packet)".into(),
+            ));
+        }
         let mut sc = PacketScenario::new(link).duration_secs(duration).seed(seed);
         if wire > 0.0 {
             sc = sc.wire_loss(wire);
@@ -284,6 +292,9 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
             ));
         }
         let mut sc = Scenario::new(link).steps(steps).seed(seed);
+        if fast_math {
+            sc = sc.math(MathMode::Fast);
+        }
         if wire > 0.0 {
             sc = sc.wire_loss(LossModel::Bernoulli { rate: wire });
         }
@@ -294,7 +305,11 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
                     .start_at((i as f64 * stagger / link.min_rtt()) as u64),
             );
         }
-        let _ = writeln!(out, "backend: fluid model, {steps} RTT steps");
+        let _ = writeln!(
+            out,
+            "backend: fluid model, {steps} RTT steps{}",
+            if fast_math { " (fast math)" } else { "" }
+        );
         sc.try_run().map_err(|e| CliError::Usage(e.to_string()))?
     };
 

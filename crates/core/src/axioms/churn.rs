@@ -22,7 +22,7 @@
 //! same additions in the same order, asserted to the exact f64 bit by the
 //! tests here and by `axcc-fluidsim` / `axcc-analysis` on real runs.
 
-use crate::axioms::streaming::StepRecord;
+use crate::axioms::streaming::{StepBlock, StepRecord};
 
 /// Segment boundaries for a `steps`-long run: the churn-event steps
 /// clipped to the run, plus the run's own endpoints, sorted and deduped.
@@ -176,6 +176,15 @@ impl SettleAcc {
         self.t += 1;
     }
 
+    /// Consume a batch of total windows — bit-identical to per-step
+    /// pushes. The arrival cursor is inherently sequential state, so the
+    /// rows replay in order; batching only amortizes the call overhead.
+    pub fn push_block(&mut self, totals: &[f64]) {
+        for &total in totals {
+            self.push(total);
+        }
+    }
+
     /// `mean_settle_after_arrival` of the stream so far (unsettled
     /// arrivals contribute the steps seen past their arrival).
     pub fn measured(&self) -> f64 {
@@ -245,6 +254,21 @@ impl CoexistenceFairnessAcc {
         self.t += 1;
     }
 
+    /// Consume a batch of steps from a [`StepBlock`] — bit-identical to
+    /// per-step pushes. Segment closing depends on the running step
+    /// index, so rows replay row-major; the per-sender sums still read
+    /// from the block's contiguous goodput columns.
+    pub fn push_steps(&mut self, block: &StepBlock) {
+        debug_assert_eq!(block.num_senders(), self.sums.len());
+        for k in 0..block.len() {
+            self.close_segments_before(self.t);
+            for i in 0..self.sums.len() {
+                self.sums[i] += block.goodputs(i)[k];
+            }
+            self.t += 1;
+        }
+    }
+
     /// `coexistence_fairness` of the stream so far.
     pub fn measured(&self) -> f64 {
         // Flush pending segments without mutating (mid-stream reads must
@@ -301,6 +325,14 @@ impl ChurnUtilAcc {
         self.t += 1;
     }
 
+    /// Consume a batch of total windows — bit-identical to per-step
+    /// pushes (the activity-interval test replays per row).
+    pub fn push_block(&mut self, totals: &[f64]) {
+        for &total in totals {
+            self.push(total);
+        }
+    }
+
     /// `utilization_under_churn` of the stream so far.
     pub fn measured(&self) -> f64 {
         if self.n == 0 {
@@ -347,6 +379,17 @@ impl ChurnAccumulator {
         self.settle.push(total);
         self.fairness.push_step(records);
         self.util.push(total);
+    }
+
+    /// Consume a whole block of steps — bit-identical to feeding the same
+    /// rows through [`ChurnAccumulator::push_step`] one at a time. The
+    /// sub-accumulators are independent, so each consumes the whole block
+    /// in step order.
+    pub fn push_steps(&mut self, block: &StepBlock) {
+        debug_assert_eq!(block.num_senders(), self.n);
+        self.settle.push_block(block.totals());
+        self.fairness.push_steps(block);
+        self.util.push_block(block.totals());
     }
 
     /// Number of senders.
@@ -444,6 +487,54 @@ mod tests {
     fn accumulator_matches_slice_evaluators_bitwise() {
         let (trace, cfg) = churned_trace();
         assert_matches_trace(&trace, &cfg);
+    }
+
+    /// Replay the same trace through `StepBlock`s of capacity `cap` via
+    /// the batched `push_steps` ingest.
+    fn accumulate_blocks(trace: &RunTrace, cfg: &ChurnConfig, cap: usize) -> ChurnAccumulator {
+        let mut acc = ChurnAccumulator::new(cfg, trace.num_senders());
+        let mut block = StepBlock::new(trace.num_senders(), cap);
+        for t in 0..trace.len() {
+            block.stage_shared(trace.total_window[t], trace.rtt[t], trace.loss[t]);
+            for (i, s) in trace.senders.iter().enumerate() {
+                block.stage_sender(i, s.window[t], s.loss[t], s.goodput[t]);
+            }
+            if block.advance() {
+                acc.push_steps(&block);
+                block.begin(t + 1);
+            }
+        }
+        if !block.is_empty() {
+            acc.push_steps(&block);
+        }
+        acc
+    }
+
+    #[test]
+    fn block_ingest_matches_per_step_ingest() {
+        // Odd capacities land churn boundaries mid-block; cap 1
+        // degenerates to the per-step path; an oversized cap exercises
+        // the single partial flush.
+        let (trace, cfg) = churned_trace();
+        let by_step = accumulate(&trace, &cfg);
+        for cap in [1, 7, 32, 1024] {
+            let by_block = accumulate_blocks(&trace, &cfg, cap);
+            assert_eq!(
+                by_block.mean_settle_after_arrival().to_bits(),
+                by_step.mean_settle_after_arrival().to_bits(),
+                "settle diverged at cap {cap}"
+            );
+            assert_eq!(
+                by_block.coexistence_fairness().to_bits(),
+                by_step.coexistence_fairness().to_bits(),
+                "fairness diverged at cap {cap}"
+            );
+            assert_eq!(
+                by_block.utilization_under_churn().to_bits(),
+                by_step.utilization_under_churn().to_bits(),
+                "utilization diverged at cap {cap}"
+            );
+        }
     }
 
     #[test]

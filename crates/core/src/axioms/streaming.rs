@@ -45,8 +45,256 @@ pub struct StepRecord {
     pub goodput: f64,
 }
 
+/// A fixed-capacity column-major batch of simulation steps — the unit of
+/// the batched sink path (`StepSink::on_steps` in `axcc-fluidsim`).
+///
+/// The engine stages each step's shared link state and per-sender values
+/// into the block and flushes it to the sink when full, so short runs pay
+/// one virtual dispatch (and one accumulator tail-boundary check) per
+/// block instead of per step. Columns are stored sender-major: sender
+/// `i`'s windows occupy one contiguous slice, which is what every
+/// accumulator reads (each consumes its column in step order) and what
+/// the trace sink extends from.
+///
+/// Consuming a block row-by-row in step order is bit-identical to the
+/// per-step path: [`record`](StepBlock::record) reconstructs exactly the
+/// `StepRecord` the engine would have passed to `on_step` (idle senders
+/// hold staged zeros; every sender's RTT is the shared column, as in the
+/// synchronized fluid model).
+#[derive(Debug, Clone, Default)]
+pub struct StepBlock {
+    n: usize,
+    cap: usize,
+    len: usize,
+    start: usize,
+    totals: Vec<f64>,
+    rtts: Vec<f64>,
+    link_losses: Vec<f64>,
+    windows: Vec<f64>,
+    losses: Vec<f64>,
+    goodputs: Vec<f64>,
+}
+
+fn resize_zeroed(v: &mut Vec<f64>, len: usize) {
+    v.clear();
+    v.resize(len, 0.0);
+}
+
+impl StepBlock {
+    /// Default number of steps per block: small enough that the staged
+    /// columns stay cache-resident, large enough to amortize the
+    /// per-block dispatch down to noise.
+    pub const DEFAULT_CAPACITY: usize = 128;
+
+    /// An empty block for `n` senders holding up to `cap` rows.
+    pub fn new(n: usize, cap: usize) -> Self {
+        let mut block = StepBlock {
+            n: 0,
+            cap: 0,
+            len: 0,
+            start: 0,
+            totals: Vec::new(),
+            rtts: Vec::new(),
+            link_losses: Vec::new(),
+            windows: Vec::new(),
+            losses: Vec::new(),
+            goodputs: Vec::new(),
+        };
+        block.reshape(n, cap);
+        block
+    }
+
+    /// Resize for a run shape, zeroing every column and resetting the
+    /// cursor. Reusable workspaces call this once per run; when the shape
+    /// matches the previous run the buffers are reused in place.
+    pub fn reshape(&mut self, n: usize, cap: usize) {
+        self.n = n;
+        self.cap = cap.max(1);
+        self.len = 0;
+        self.start = 0;
+        resize_zeroed(&mut self.totals, self.cap);
+        resize_zeroed(&mut self.rtts, self.cap);
+        resize_zeroed(&mut self.link_losses, self.cap);
+        resize_zeroed(&mut self.windows, n * self.cap);
+        resize_zeroed(&mut self.losses, n * self.cap);
+        resize_zeroed(&mut self.goodputs, n * self.cap);
+    }
+
+    /// Start a new (empty) block whose first row is absolute step `start`.
+    pub fn begin(&mut self, start: usize) {
+        self.len = 0;
+        self.start = start;
+    }
+
+    /// Zero the per-sender columns. Engines whose step loop stages only
+    /// the currently-active senders call this at block start so idle
+    /// senders read as exact zeros; a run whose senders are all active
+    /// throughout writes every slot and may skip it.
+    pub fn zero_senders(&mut self) {
+        self.windows.fill(0.0);
+        self.losses.fill(0.0);
+        self.goodputs.fill(0.0);
+    }
+
+    /// Stage the current row's shared link state (total window, link RTT,
+    /// link loss).
+    #[inline]
+    pub fn stage_shared(&mut self, total: f64, rtt: f64, loss: f64) {
+        self.totals[self.len] = total;
+        self.rtts[self.len] = rtt;
+        self.link_losses[self.len] = loss;
+    }
+
+    /// Stage sender `i`'s values for the current row.
+    #[inline]
+    pub fn stage_sender(&mut self, i: usize, window: f64, loss: f64, goodput: f64) {
+        let at = i * self.cap + self.len;
+        self.windows[at] = window;
+        self.losses[at] = loss;
+        self.goodputs[at] = goodput;
+    }
+
+    /// Commit the current row; returns `true` when the block is full —
+    /// the caller flushes it to the sink and calls
+    /// [`begin`](StepBlock::begin) for the next row.
+    #[inline]
+    pub fn advance(&mut self) -> bool {
+        self.len += 1;
+        self.len == self.cap
+    }
+
+    /// Committed rows in the block.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no row has been committed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of senders per row.
+    pub fn num_senders(&self) -> usize {
+        self.n
+    }
+
+    /// Maximum rows the block holds.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Absolute step index of row 0.
+    pub fn start_step(&self) -> usize {
+        self.start
+    }
+
+    /// The committed slice of the total-window column.
+    pub fn totals(&self) -> &[f64] {
+        &self.totals[..self.len]
+    }
+
+    /// The committed slice of the shared link-RTT column.
+    pub fn rtts(&self) -> &[f64] {
+        &self.rtts[..self.len]
+    }
+
+    /// The committed slice of the link-loss column.
+    pub fn link_losses(&self) -> &[f64] {
+        &self.link_losses[..self.len]
+    }
+
+    /// Sender `i`'s committed window column.
+    pub fn windows(&self, i: usize) -> &[f64] {
+        &self.windows[i * self.cap..i * self.cap + self.len]
+    }
+
+    /// Sender `i`'s committed loss column.
+    pub fn sender_losses(&self, i: usize) -> &[f64] {
+        &self.losses[i * self.cap..i * self.cap + self.len]
+    }
+
+    /// Sender `i`'s committed goodput column.
+    pub fn goodputs(&self, i: usize) -> &[f64] {
+        &self.goodputs[i * self.cap..i * self.cap + self.len]
+    }
+
+    /// The [`StepRecord`] row `k` holds for sender `i` — exactly what the
+    /// per-step path would have passed to `on_step`.
+    pub fn record(&self, i: usize, k: usize) -> StepRecord {
+        let at = i * self.cap + k;
+        StepRecord {
+            window: self.windows[at],
+            loss: self.losses[at],
+            rtt: self.rtts[k],
+            goodput: self.goodputs[at],
+        }
+    }
+}
+
+/// A set of metric families for [`MetricAccumulator`] to maintain —
+/// the sink-specialization knob of the streaming path.
+///
+/// Every streaming call site reads a small, statically-known subset of
+/// the axiom scores (a robustness sweep only ever calls
+/// [`MetricAccumulator::window_escapes`]; a friendliness job only the
+/// fairness-family tail means), yet the combined accumulator pays every
+/// family's per-step fold. Restricting the set skips the disabled
+/// families' block passes entirely; the enabled families' folds are
+/// untouched, so every score that *is* maintained keeps the bit-identity
+/// contract. Reading a disabled family is a logic error (caught by
+/// `debug_assert!` in the accessors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricSet(u8);
+
+impl MetricSet {
+    /// Metric I (efficiency) and its mean-utilization companion.
+    pub const EFFICIENCY: MetricSet = MetricSet(1 << 0);
+    /// Metric III (loss-avoidance) and the zero-loss predicate.
+    pub const LOSS_AVOIDANCE: MetricSet = MetricSet(1 << 1);
+    /// Metric VIII (latency-avoidance).
+    pub const LATENCY: MetricSet = MetricSet(1 << 2);
+    /// Metric IV (fairness), Metric VII (friendliness), Jain's index,
+    /// and the per-sender tail-mean window/goodput readers.
+    pub const FAIRNESS: MetricSet = MetricSet(1 << 3);
+    /// Metric V (convergence).
+    pub const CONVERGENCE: MetricSet = MetricSet(1 << 4);
+    /// Metric VI (robustness): escape, divergence, and last window.
+    pub const ROBUSTNESS: MetricSet = MetricSet(1 << 5);
+    /// Metric II (fast-utilization).
+    pub const FAST_UTILIZATION: MetricSet = MetricSet(1 << 6);
+    /// Every family — the default, and the set the equivalence suites run.
+    pub const ALL: MetricSet = MetricSet(0x7f);
+    /// Metrics I–V and VIII: what a homogeneous ("solo") sweep reads.
+    pub const SOLO: MetricSet = MetricSet(
+        Self::EFFICIENCY.0
+            | Self::LOSS_AVOIDANCE.0
+            | Self::LATENCY.0
+            | Self::FAIRNESS.0
+            | Self::CONVERGENCE.0
+            | Self::FAST_UTILIZATION.0,
+    );
+
+    /// Does this set include every family in `other`?
+    pub fn contains(self, other: MetricSet) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// The union of two sets.
+    #[must_use]
+    pub fn with(self, other: MetricSet) -> MetricSet {
+        MetricSet(self.0 | other.0)
+    }
+}
+
+impl Default for MetricSet {
+    fn default() -> Self {
+        MetricSet::ALL
+    }
+}
+
 /// Static shape of the run the accumulators will consume — everything the
-/// trace path would have read from `RunTrace` metadata.
+/// trace path would have read from `RunTrace` metadata — plus the
+/// [`MetricSet`] selecting which families to maintain.
 #[derive(Debug, Clone)]
 pub struct MetricConfig {
     /// The (nominal) link of the run; capacity and RTT floor come from
@@ -64,6 +312,9 @@ pub struct MetricConfig {
     pub min_horizon: usize,
     /// Escape threshold β tracked by the robustness accumulator.
     pub escape_beta: f64,
+    /// Which metric families to maintain ([`MetricSet::ALL`] for the
+    /// full evaluator).
+    pub metrics: MetricSet,
 }
 
 impl MetricConfig {
@@ -108,6 +359,22 @@ impl EfficiencyAcc {
             self.tail_len += 1;
         }
         self.t += 1;
+    }
+
+    /// Consume a batch of total windows — bit-identical to pushing each
+    /// in order (the per-step tail check hoists to one slice boundary).
+    pub fn push_block(&mut self, totals: &[f64]) {
+        let from = self.tail_start.saturating_sub(self.t).min(totals.len());
+        let mut worst = self.worst_ratio;
+        let mut sum = self.sum;
+        for &total in &totals[from..] {
+            worst = f64::min(worst, total / self.capacity);
+            sum += total;
+        }
+        self.worst_ratio = worst;
+        self.sum = sum;
+        self.tail_len += totals.len() - from;
+        self.t += totals.len();
     }
 
     /// `efficiency::measured_efficiency` of the stream so far.
@@ -168,6 +435,22 @@ impl LossAvoidanceAcc {
             self.tail_len += 1;
         }
         self.t += 1;
+    }
+
+    /// Consume a batch of link loss rates — bit-identical to pushing each
+    /// in order.
+    pub fn push_block(&mut self, losses: &[f64]) {
+        let from = self.tail_start.saturating_sub(self.t).min(losses.len());
+        let mut worst = self.worst;
+        let mut sum = self.sum;
+        for &loss in &losses[from..] {
+            worst = f64::max(worst, loss);
+            sum += loss;
+        }
+        self.worst = worst;
+        self.sum = sum;
+        self.tail_len += losses.len() - from;
+        self.t += losses.len();
     }
 
     /// `loss_avoidance::measured_loss_bound` of the stream so far.
@@ -239,6 +522,21 @@ impl LatencyAcc {
         self.t += 1;
     }
 
+    /// Consume a batch of link RTT and loss rows — bit-identical to
+    /// pushing each pair in order.
+    pub fn push_block(&mut self, rtts: &[f64], losses: &[f64]) {
+        debug_assert_eq!(rtts.len(), losses.len());
+        let from = self.tail_start.saturating_sub(self.t).min(rtts.len());
+        for k in from..rtts.len() {
+            if losses[k] > 0.0 {
+                self.saw_tail_loss = true;
+            } else if !self.saw_tail_loss {
+                self.worst = f64::max(self.worst, rtts[k] / self.floor - 1.0);
+            }
+        }
+        self.t += rtts.len();
+    }
+
     /// `latency::measured_latency_inflation` of the stream so far.
     pub fn measured(&self) -> f64 {
         if self.saw_tail_loss {
@@ -289,6 +587,31 @@ impl FairnessAcc {
             self.tail_len += 1;
         }
         self.t += 1;
+    }
+
+    /// Consume a batch of steps — bit-identical to per-step pushes: each
+    /// per-sender sum folds its own column in step order, so the additions
+    /// into `win_sums[i]` / `goodput_sums[i]` happen in exactly the order
+    /// the row-major path performs them.
+    pub fn push_steps(&mut self, block: &StepBlock) {
+        let len = block.len();
+        let from = self.tail_start.saturating_sub(self.t).min(len);
+        if from < len {
+            for i in 0..self.win_sums.len() {
+                let mut ws = self.win_sums[i];
+                for &w in &block.windows(i)[from..] {
+                    ws += w;
+                }
+                self.win_sums[i] = ws;
+                let mut gs = self.goodput_sums[i];
+                for &g in &block.goodputs(i)[from..] {
+                    gs += g;
+                }
+                self.goodput_sums[i] = gs;
+            }
+            self.tail_len += len - from;
+        }
+        self.t += len;
     }
 
     /// Sender `i`'s tail-average window (`mean_window_from(tail)`).
@@ -399,6 +722,27 @@ impl ConvergenceAcc {
         self.t += 1;
     }
 
+    /// Consume a batch of steps — bit-identical to per-step pushes (each
+    /// sender's `[lo, hi]` fold consumes its own column in step order
+    /// with the same `f64::min`/`f64::max` argument order).
+    pub fn push_steps(&mut self, block: &StepBlock) {
+        let len = block.len();
+        let from = self.tail_start.saturating_sub(self.t).min(len);
+        if from < len {
+            for i in 0..self.los.len() {
+                let mut lo = self.los[i];
+                let mut hi = self.his[i];
+                for &w in &block.windows(i)[from..] {
+                    lo = f64::min(lo, w);
+                    hi = f64::max(hi, w);
+                }
+                self.los[i] = lo;
+                self.his[i] = hi;
+            }
+        }
+        self.t += len;
+    }
+
     /// `convergence::measured_convergence` of the stream so far.
     pub fn measured(&self) -> f64 {
         if self.tail_start.min(self.steps) >= self.steps {
@@ -465,6 +809,43 @@ impl RobustnessAcc {
             self.last_windows[i] = r.window;
         }
         self.t += 1;
+    }
+
+    /// Consume a batch of steps — bit-identical to per-step pushes: the
+    /// quartile boundaries hoist to slice boundaries (every row in
+    /// `[h_from, q_from)` satisfies `h <= t < q`, and rows from `q_from`
+    /// satisfy `t >= q`), and each per-sender sum folds its column in
+    /// step order.
+    pub fn push_steps(&mut self, block: &StepBlock) {
+        let len = block.len();
+        if len == 0 {
+            return;
+        }
+        let (h, q) = (self.steps / 2, 3 * self.steps / 4);
+        let h_from = h.saturating_sub(self.t).min(len);
+        let q_from = q.saturating_sub(self.t).min(len).max(h_from);
+        for i in 0..self.last_dips.len() {
+            let col = block.windows(i);
+            let mut dip = self.last_dips[i];
+            for (k, &w) in col.iter().enumerate() {
+                if w < self.beta {
+                    dip = Some(self.t + k);
+                }
+            }
+            self.last_dips[i] = dip;
+            let mut q3 = self.q3_sums[i];
+            for &w in &col[h_from..q_from] {
+                q3 += w;
+            }
+            self.q3_sums[i] = q3;
+            let mut q4 = self.q4_sums[i];
+            for &w in &col[q_from..] {
+                q4 += w;
+            }
+            self.q4_sums[i] = q4;
+            self.last_windows[i] = col[len - 1];
+        }
+        self.t += len;
     }
 
     /// `robustness::window_escapes(senders[i], beta, min_suffix_frac)` of
@@ -645,6 +1026,32 @@ impl FastUtilizationAcc {
         self.t += 1;
     }
 
+    /// Consume a batch of steps — bit-identical to per-step pushes. The
+    /// segment scan is an inherently sequential state machine, so rows
+    /// replay per sender in step order (reading straight from the block's
+    /// columns instead of rebuilding a record slice per step).
+    pub fn push_steps(&mut self, block: &StepBlock) {
+        let len = block.len();
+        let start = self.from.saturating_sub(self.t).min(len);
+        let (t0, from, min_horizon) = (self.t, self.from, self.min_horizon);
+        let rtts = block.rtts();
+        for (i, s) in self.senders.iter_mut().enumerate() {
+            let windows = block.windows(i);
+            let losses = block.sender_losses(i);
+            let goodputs = block.goodputs(i);
+            for k in start..len {
+                let r = StepRecord {
+                    window: windows[k],
+                    loss: losses[k],
+                    rtt: rtts[k],
+                    goodput: goodputs[k],
+                };
+                s.push(t0 + k, from, min_horizon, &r);
+            }
+        }
+        self.t += len;
+    }
+
     /// `fast_utilization::measured_fast_utilization(senders[i], from,
     /// min_horizon)` of the stream so far.
     pub fn measured(&self, i: usize) -> Option<f64> {
@@ -668,6 +1075,7 @@ pub struct MetricAccumulator {
     steps: usize,
     n: usize,
     t: usize,
+    metrics: MetricSet,
     efficiency: EfficiencyAcc,
     loss: LossAvoidanceAcc,
     latency: LatencyAcc,
@@ -686,6 +1094,7 @@ impl MetricAccumulator {
             steps: cfg.steps,
             n,
             t: 0,
+            metrics: cfg.metrics,
             efficiency: EfficiencyAcc::new(&cfg.link, tail),
             loss: LossAvoidanceAcc::new(tail),
             latency: LatencyAcc::new(&cfg.link, tail),
@@ -701,14 +1110,63 @@ impl MetricAccumulator {
     /// one record per sender in sender order.
     pub fn push_step(&mut self, total: f64, rtt: f64, loss: f64, records: &[StepRecord]) {
         debug_assert_eq!(records.len(), self.n);
-        self.efficiency.push(total);
-        self.loss.push(loss);
-        self.latency.push(rtt, loss);
-        self.fairness.push_step(records);
-        self.convergence.push_step(records);
-        self.robustness.push_step(records);
-        self.fast_utilization.push_step(records);
+        let m = self.metrics;
+        if m.contains(MetricSet::EFFICIENCY) {
+            self.efficiency.push(total);
+        }
+        if m.contains(MetricSet::LOSS_AVOIDANCE) {
+            self.loss.push(loss);
+        }
+        if m.contains(MetricSet::LATENCY) {
+            self.latency.push(rtt, loss);
+        }
+        if m.contains(MetricSet::FAIRNESS) {
+            self.fairness.push_step(records);
+        }
+        if m.contains(MetricSet::CONVERGENCE) {
+            self.convergence.push_step(records);
+        }
+        if m.contains(MetricSet::ROBUSTNESS) {
+            self.robustness.push_step(records);
+        }
+        if m.contains(MetricSet::FAST_UTILIZATION) {
+            self.fast_utilization.push_step(records);
+        }
         self.t += 1;
+    }
+
+    /// Consume a whole block of steps at once — bit-identical to feeding
+    /// the same rows through [`MetricAccumulator::push_step`] one at a
+    /// time. Each sub-accumulator walks the block's contiguous columns in
+    /// step order, so the f64 accumulation order is exactly the per-step
+    /// order; the win is branch hoisting (tail boundaries and quartile
+    /// cuts computed once per block instead of once per step) and the
+    /// removal of the per-step `StepRecord` slice round-trip.
+    pub fn push_steps(&mut self, block: &StepBlock) {
+        debug_assert_eq!(block.num_senders(), self.n);
+        let m = self.metrics;
+        if m.contains(MetricSet::EFFICIENCY) {
+            self.efficiency.push_block(block.totals());
+        }
+        if m.contains(MetricSet::LOSS_AVOIDANCE) {
+            self.loss.push_block(block.link_losses());
+        }
+        if m.contains(MetricSet::LATENCY) {
+            self.latency.push_block(block.rtts(), block.link_losses());
+        }
+        if m.contains(MetricSet::FAIRNESS) {
+            self.fairness.push_steps(block);
+        }
+        if m.contains(MetricSet::CONVERGENCE) {
+            self.convergence.push_steps(block);
+        }
+        if m.contains(MetricSet::ROBUSTNESS) {
+            self.robustness.push_steps(block);
+        }
+        if m.contains(MetricSet::FAST_UTILIZATION) {
+            self.fast_utilization.push_steps(block);
+        }
+        self.t += block.len();
     }
 
     /// Steps consumed so far.
@@ -728,83 +1186,99 @@ impl MetricAccumulator {
 
     /// Metric I: `efficiency::measured_efficiency`.
     pub fn measured_efficiency(&self) -> f64 {
+        debug_assert!(self.metrics.contains(MetricSet::EFFICIENCY));
         self.efficiency.measured()
     }
 
     /// Companion: `efficiency::mean_utilization`.
     pub fn mean_utilization(&self) -> f64 {
+        debug_assert!(self.metrics.contains(MetricSet::EFFICIENCY));
         self.efficiency.mean_utilization()
     }
 
     /// Metric III: `loss_avoidance::measured_loss_bound`.
     pub fn measured_loss_bound(&self) -> f64 {
+        debug_assert!(self.metrics.contains(MetricSet::LOSS_AVOIDANCE));
         self.loss.measured()
     }
 
     /// Companion: `loss_avoidance::mean_loss`.
     pub fn mean_loss(&self) -> f64 {
+        debug_assert!(self.metrics.contains(MetricSet::LOSS_AVOIDANCE));
         self.loss.mean()
     }
 
     /// `loss_avoidance::is_zero_loss`.
     pub fn is_zero_loss(&self) -> bool {
+        debug_assert!(self.metrics.contains(MetricSet::LOSS_AVOIDANCE));
         self.loss.is_zero_loss()
     }
 
     /// Metric VIII: `latency::measured_latency_inflation`.
     pub fn measured_latency_inflation(&self) -> f64 {
+        debug_assert!(self.metrics.contains(MetricSet::LATENCY));
         self.latency.measured()
     }
 
     /// Metric IV: `fairness::measured_fairness`.
     pub fn measured_fairness(&self) -> f64 {
+        debug_assert!(self.metrics.contains(MetricSet::FAIRNESS));
         self.fairness.measured()
     }
 
     /// Companion: `fairness::jain_index`.
     pub fn jain_index(&self) -> f64 {
+        debug_assert!(self.metrics.contains(MetricSet::FAIRNESS));
         self.fairness.jain_index()
     }
 
     /// Metric V: `convergence::measured_convergence`.
     pub fn measured_convergence(&self) -> f64 {
+        debug_assert!(self.metrics.contains(MetricSet::CONVERGENCE));
         self.convergence.measured()
     }
 
     /// Metric II per sender: `fast_utilization::measured_fast_utilization`.
     pub fn measured_fast_utilization(&self, i: usize) -> Option<f64> {
+        debug_assert!(self.metrics.contains(MetricSet::FAST_UTILIZATION));
         self.fast_utilization.measured(i)
     }
 
     /// Metric VII: `friendliness::measured_friendliness` for P-set `p`
     /// and Q-set `q`.
     pub fn measured_friendliness(&self, p: &[usize], q: &[usize]) -> f64 {
+        debug_assert!(self.metrics.contains(MetricSet::FAIRNESS));
         self.fairness.friendliness(p, q)
     }
 
     /// Metric VI per sender: `robustness::window_escapes` at the
     /// configured β.
     pub fn window_escapes(&self, i: usize, min_suffix_frac: f64) -> bool {
+        debug_assert!(self.metrics.contains(MetricSet::ROBUSTNESS));
         self.robustness.escapes(i, min_suffix_frac)
     }
 
     /// Metric VI per sender: `robustness::window_diverging`.
     pub fn window_diverging(&self, i: usize, growth_margin: f64) -> bool {
+        debug_assert!(self.metrics.contains(MetricSet::ROBUSTNESS));
         self.robustness.diverging(i, growth_margin)
     }
 
     /// Sender `i`'s final window.
     pub fn last_window(&self, i: usize) -> f64 {
+        debug_assert!(self.metrics.contains(MetricSet::ROBUSTNESS));
         self.robustness.last_window(i)
     }
 
     /// Sender `i`'s tail-average window.
     pub fn tail_mean_window(&self, i: usize) -> f64 {
+        debug_assert!(self.metrics.contains(MetricSet::FAIRNESS));
         self.fairness.tail_mean_window(i)
     }
 
     /// Sender `i`'s tail-average goodput.
     pub fn tail_mean_goodput(&self, i: usize) -> f64 {
+        debug_assert!(self.metrics.contains(MetricSet::FAIRNESS));
         self.fairness.tail_mean_goodput(i)
     }
 
@@ -843,6 +1317,7 @@ mod tests {
             tail_fraction,
             min_horizon: fast_utilization::DEFAULT_MIN_HORIZON,
             escape_beta: beta,
+            metrics: MetricSet::ALL,
         };
         let mut acc = MetricAccumulator::new(&cfg);
         let mut records = Vec::with_capacity(trace.num_senders());
@@ -1036,6 +1511,176 @@ mod tests {
         assert!(acc.window_diverging(0, 1.0));
     }
 
+    /// Replay the same trace through `StepBlock`s of capacity `cap`,
+    /// flushing each full block through the batched `push_steps` ingest —
+    /// the path the engine's short-run sink specialization exercises.
+    fn accumulate_blocks(
+        trace: &RunTrace,
+        tail_fraction: f64,
+        beta: f64,
+        cap: usize,
+    ) -> MetricAccumulator {
+        let cfg = MetricConfig {
+            link: trace.link,
+            steps: trace.len(),
+            loss_based: trace.senders.iter().map(|s| s.loss_based).collect(),
+            tail_fraction,
+            min_horizon: fast_utilization::DEFAULT_MIN_HORIZON,
+            escape_beta: beta,
+            metrics: MetricSet::ALL,
+        };
+        let mut acc = MetricAccumulator::new(&cfg);
+        let mut block = StepBlock::new(trace.num_senders(), cap);
+        for t in 0..trace.len() {
+            block.stage_shared(trace.total_window[t], trace.rtt[t], trace.loss[t]);
+            for (i, s) in trace.senders.iter().enumerate() {
+                block.stage_sender(i, s.window[t], s.loss[t], s.goodput[t]);
+            }
+            if block.advance() {
+                acc.push_steps(&block);
+                block.begin(t + 1);
+            }
+        }
+        if !block.is_empty() {
+            acc.push_steps(&block);
+        }
+        acc
+    }
+
+    fn assert_blocks_match_steps(trace: &RunTrace, tail_fraction: f64, cap: usize) {
+        let beta = 50.0;
+        let by_step = accumulate(trace, tail_fraction, beta);
+        let by_block = accumulate_blocks(trace, tail_fraction, beta, cap);
+        assert_eq!(by_block.steps_seen(), by_step.steps_seen());
+        assert_eq!(
+            by_block.measured_efficiency().to_bits(),
+            by_step.measured_efficiency().to_bits()
+        );
+        assert_eq!(
+            by_block.mean_utilization().to_bits(),
+            by_step.mean_utilization().to_bits()
+        );
+        assert_eq!(
+            by_block.measured_loss_bound().to_bits(),
+            by_step.measured_loss_bound().to_bits()
+        );
+        assert_eq!(
+            by_block.mean_loss().to_bits(),
+            by_step.mean_loss().to_bits()
+        );
+        assert_eq!(by_block.is_zero_loss(), by_step.is_zero_loss());
+        assert_eq!(
+            by_block.measured_latency_inflation().to_bits(),
+            by_step.measured_latency_inflation().to_bits()
+        );
+        assert_eq!(
+            by_block.measured_fairness().to_bits(),
+            by_step.measured_fairness().to_bits()
+        );
+        assert_eq!(
+            by_block.jain_index().to_bits(),
+            by_step.jain_index().to_bits()
+        );
+        assert_eq!(
+            by_block.measured_convergence().to_bits(),
+            by_step.measured_convergence().to_bits()
+        );
+        for i in 0..trace.num_senders() {
+            assert_eq!(
+                by_block.measured_fast_utilization(i).map(f64::to_bits),
+                by_step.measured_fast_utilization(i).map(f64::to_bits),
+                "fast-utilization diverged for sender {i} at cap {cap}"
+            );
+            assert_eq!(
+                by_block.window_escapes(i, 0.2),
+                by_step.window_escapes(i, 0.2)
+            );
+            assert_eq!(
+                by_block.window_diverging(i, 1e-9),
+                by_step.window_diverging(i, 1e-9)
+            );
+            assert_eq!(
+                by_block.last_window(i).to_bits(),
+                by_step.last_window(i).to_bits()
+            );
+            assert_eq!(
+                by_block.tail_mean_window(i).to_bits(),
+                by_step.tail_mean_window(i).to_bits()
+            );
+            assert_eq!(
+                by_block.tail_mean_goodput(i).to_bits(),
+                by_step.tail_mean_goodput(i).to_bits()
+            );
+        }
+        if trace.num_senders() >= 2 {
+            assert_eq!(
+                by_block.measured_friendliness(&[0], &[1]).to_bits(),
+                by_step.measured_friendliness(&[0], &[1]).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn block_ingest_matches_per_step_ingest() {
+        // Odd capacities force tail boundaries and quartile cuts to land
+        // mid-block; cap 1 degenerates to the per-step path; a cap larger
+        // than the run exercises the final partial flush.
+        let a: Vec<f64> = (0..64).map(|t| 30.0 + (t % 16) as f64 * 4.0).collect();
+        let b: Vec<f64> = (0..64).map(|t| 60.0 - (t % 8) as f64 * 3.0).collect();
+        let sawtooth = trace_from_windows(small_link(), &[a, b]);
+        let lossy: Vec<f64> = (0..48)
+            .map(|t| if t % 6 == 5 { 140.0 } else { 80.0 + t as f64 })
+            .collect();
+        let lossy = trace_from_windows(small_link(), &[lossy]);
+        let idle_a = vec![50.0; 32];
+        let idle_b: Vec<f64> = (0..32).map(|t| if t < 16 { 0.0 } else { 20.0 }).collect();
+        let staggered = trace_from_windows(small_link(), &[idle_a, idle_b]);
+        for trace in [&sawtooth, &lossy, &staggered] {
+            for frac in [0.0, 0.25, 0.5, 0.9, 1.0] {
+                for cap in [1, 7, 16, 1024] {
+                    assert_blocks_match_steps(trace, frac, cap);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn step_block_layout_round_trips_records() {
+        let mut block = StepBlock::new(2, 4);
+        block.begin(10);
+        for k in 0..3 {
+            block.stage_shared(100.0 + k as f64, 0.05, 0.01 * k as f64);
+            block.stage_sender(0, 1.0 + k as f64, 0.0, 9.0);
+            block.stage_sender(1, 2.0 + k as f64, 0.5, 8.0);
+            assert!(!block.advance());
+        }
+        assert_eq!(block.len(), 3);
+        assert_eq!(block.start_step(), 10);
+        assert_eq!(block.num_senders(), 2);
+        assert_eq!(block.totals(), &[100.0, 101.0, 102.0]);
+        assert_eq!(block.windows(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(block.windows(1), &[2.0, 3.0, 4.0]);
+        let r = block.record(1, 2);
+        assert_eq!(r.window, 4.0);
+        assert_eq!(r.loss, 0.5);
+        assert_eq!(r.rtt, 0.05);
+        assert_eq!(r.goodput, 8.0);
+        // The fourth row fills the block.
+        block.stage_shared(103.0, 0.05, 0.0);
+        block.stage_sender(0, 4.0, 0.0, 9.0);
+        block.stage_sender(1, 5.0, 0.0, 8.0);
+        assert!(block.advance());
+        assert_eq!(block.len(), block.capacity());
+        // Reshape resets and re-zeroes for a new run shape.
+        block.reshape(3, 8);
+        assert!(block.is_empty());
+        assert_eq!(block.num_senders(), 3);
+        assert!(block.windows(2).is_empty());
+        block.stage_shared(1.0, 0.1, 0.0);
+        assert!(!block.advance());
+        assert_eq!(block.windows(2), &[0.0]);
+    }
+
     #[test]
     fn mid_stream_reads_do_not_disturb_the_final_score() {
         // `measured` on the fast-utilization accumulator clones to flush
@@ -1049,6 +1694,7 @@ mod tests {
             tail_fraction: 0.0,
             min_horizon: 8,
             escape_beta: 50.0,
+            metrics: MetricSet::ALL,
         };
         let mut acc = MetricAccumulator::new(&cfg);
         for (t, &wt) in w.iter().enumerate() {

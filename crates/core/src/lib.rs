@@ -55,6 +55,6 @@ pub mod units;
 pub use error::ScenarioError;
 pub use fingerprint::{Digest, Fingerprint, Fingerprinter};
 pub use link::{LinkParams, LossRate, RttSeconds};
-pub use protocol::{Observation, Protocol};
+pub use protocol::{LaneObs, Observation, Protocol};
 pub use score::AxiomScores;
 pub use trace::{RunTrace, SenderTrace};

@@ -49,6 +49,42 @@ impl Observation {
     }
 }
 
+/// One step's observations for *all* senders, laid out as contiguous
+/// per-field lanes (the engine's struct-of-arrays hot-path view). The
+/// shared link RTT is a scalar because every sender on a single link sees
+/// the same RTT; per-sender fields index by sender.
+///
+/// [`Protocol::next_window_lane`] receives this view so simple protocols
+/// can read straight from the lanes without materializing an
+/// [`Observation`]; the default method builds one via
+/// [`LaneObs::observation`], so existing protocols are unaffected.
+#[derive(Debug, Clone, Copy)]
+pub struct LaneObs<'a> {
+    /// Index of the time step that just elapsed.
+    pub tick: u64,
+    /// Duration of the step, `RTT(t)`, in seconds — shared by all senders.
+    pub rtt: RttSeconds,
+    /// Per-sender congestion windows `x_i^(t)` during the step, in MSS.
+    pub windows: &'a [f64],
+    /// Per-sender loss rates experienced during the step.
+    pub losses: &'a [f64],
+    /// Per-sender smallest RTT observed so far.
+    pub min_rtts: &'a [f64],
+}
+
+impl LaneObs<'_> {
+    /// Materialize sender `i`'s scalar [`Observation`] from the lanes.
+    pub fn observation(&self, i: usize) -> Observation {
+        Observation {
+            tick: self.tick,
+            window: self.windows[i],
+            loss_rate: self.losses[i],
+            rtt: self.rtt,
+            min_rtt: self.min_rtts[i],
+        }
+    }
+}
+
 /// A window-based congestion-control protocol in congestion-avoidance mode.
 ///
 /// Implementations must be **deterministic**: the next window may depend
@@ -68,6 +104,16 @@ pub trait Protocol: Send + std::fmt::Debug {
     /// Select the congestion window for the next time step, given the
     /// observation of the step that just ended.
     fn next_window(&mut self, obs: &Observation) -> f64;
+
+    /// Lane-slice variant of [`next_window`](Self::next_window): select
+    /// sender `i`'s next window reading directly from the engine's
+    /// struct-of-arrays lanes. The default materializes the scalar
+    /// observation and delegates, so overriding is purely an optimization
+    /// — any override must return the bit-identical value the default
+    /// would (the simulator equivalence proptests enforce this).
+    fn next_window_lane(&mut self, lanes: &LaneObs<'_>, i: usize) -> f64 {
+        self.next_window(&lanes.observation(i))
+    }
 
     /// Whether this protocol is *loss-based*: its window choices are
     /// invariant to the RTT values in the observations (paper, Section 2).
@@ -156,5 +202,38 @@ mod tests {
         assert_eq!(o.tick, 3);
         assert_eq!(o.window, 10.0);
         assert_eq!(o.loss_rate, 0.25);
+    }
+
+    #[test]
+    fn lane_obs_materializes_per_sender_observations() {
+        let lanes = LaneObs {
+            tick: 7,
+            rtt: 0.05,
+            windows: &[10.0, 20.0],
+            losses: &[0.0, 0.25],
+            min_rtts: &[0.04, 0.05],
+        };
+        let o = lanes.observation(1);
+        assert_eq!(o.tick, 7);
+        assert_eq!(o.window, 20.0);
+        assert_eq!(o.loss_rate, 0.25);
+        assert_eq!(o.rtt, 0.05);
+        assert_eq!(o.min_rtt, 0.05);
+    }
+
+    #[test]
+    fn default_lane_method_delegates_to_next_window() {
+        let mut p = ConstWindow(7.0);
+        let lanes = LaneObs {
+            tick: 0,
+            rtt: 0.1,
+            windows: &[1.0],
+            losses: &[0.0],
+            min_rtts: &[0.1],
+        };
+        assert_eq!(
+            p.next_window_lane(&lanes, 0).to_bits(),
+            p.next_window(&lanes.observation(0)).to_bits()
+        );
     }
 }

@@ -11,13 +11,16 @@
 //!   materializing a trajectory — the fast path for metric-only sweeps,
 //!   bit-identical to evaluating the axioms on the recorded trace.
 
-use crate::loss::{compose_loss, sample_loss_fraction, LossProcess};
-use crate::scenario::{FeedbackMode, Scenario};
-use axcc_core::axioms::streaming::{MetricAccumulator, MetricConfig, StepRecord};
+use crate::loss::{compose_loss, sample_loss_fraction, LossModel, LossProcess};
+use crate::scenario::{FeedbackMode, MathMode, Scenario};
+use axcc_core::axioms::streaming::{
+    MetricAccumulator, MetricConfig, MetricSet, StepBlock, StepRecord,
+};
 use axcc_core::protocol::clamp_window;
-use axcc_core::{Observation, RunTrace, ScenarioError, SenderTrace};
+use axcc_core::{LaneObs, RunTrace, ScenarioError, SenderTrace};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::cell::RefCell;
 
 /// Per-step visitor over the simulation loop.
 ///
@@ -30,6 +33,31 @@ use rand_chacha::ChaCha8Rng;
 pub trait StepSink {
     /// Consume step `t`.
     fn on_step(&mut self, t: u64, total: f64, rtt: f64, loss: f64, records: &[StepRecord]);
+
+    /// Consume a whole [`StepBlock`] of staged steps at once. The engine
+    /// hot path delivers blocks, not single steps; the default replays
+    /// each row through [`on_step`](Self::on_step) so existing sinks keep
+    /// working unchanged, and sinks with a native batch ingest (the trace
+    /// columns, the metric accumulators) override it to consume the
+    /// block's contiguous columns directly. Overrides must be
+    /// bit-identical to the default replay.
+    fn on_steps(&mut self, block: &StepBlock) {
+        let n = block.num_senders();
+        let mut records = Vec::with_capacity(n);
+        for k in 0..block.len() {
+            records.clear();
+            for i in 0..n {
+                records.push(block.record(i, k));
+            }
+            self.on_step(
+                (block.start_step() + k) as u64,
+                block.totals()[k],
+                block.rtts()[k],
+                block.link_losses()[k],
+                &records,
+            );
+        }
+    }
 }
 
 /// The recording sink: builds the same [`RunTrace`] the engine always
@@ -95,11 +123,28 @@ impl StepSink for TraceSink {
             s.goodput.push(r.goodput);
         }
     }
+
+    // Column-to-column copies: the block already holds each sender's rows
+    // contiguously, so recording a block is six memcpy-shaped extends.
+    fn on_steps(&mut self, block: &StepBlock) {
+        self.total_col.extend_from_slice(block.totals());
+        self.rtt_col.extend_from_slice(block.rtts());
+        self.loss_col.extend_from_slice(block.link_losses());
+        for (i, s) in self.senders.iter_mut().enumerate() {
+            s.window.extend_from_slice(block.windows(i));
+            s.loss.extend_from_slice(block.sender_losses(i));
+            s.goodput.extend_from_slice(block.goodputs(i));
+        }
+    }
 }
 
 impl StepSink for MetricAccumulator {
     fn on_step(&mut self, _t: u64, total: f64, rtt: f64, loss: f64, records: &[StepRecord]) {
         self.push_step(total, rtt, loss, records);
+    }
+
+    fn on_steps(&mut self, block: &StepBlock) {
+        self.push_steps(block);
     }
 }
 
@@ -107,6 +152,119 @@ impl StepSink for axcc_core::axioms::churn::ChurnAccumulator {
     fn on_step(&mut self, _t: u64, total: f64, _rtt: f64, _loss: f64, records: &[StepRecord]) {
         self.push_step(total, records);
     }
+
+    fn on_steps(&mut self, block: &StepBlock) {
+        self.push_steps(block);
+    }
+}
+
+/// Struct-of-arrays per-sender state: one contiguous lane per field, so
+/// the engine's per-step passes (total-window reduction, loss
+/// application, goodput, protocol updates) each sweep a flat `f64` slice
+/// instead of hopping across an array of structs.
+#[derive(Debug, Default)]
+struct SenderLanes {
+    /// Current congestion windows `x_i^(t)` (idle senders hold 0.0).
+    windows: Vec<f64>,
+    /// Composed per-sender loss for the step in flight.
+    losses: Vec<f64>,
+    /// Per-sender goodput for the step in flight.
+    goodputs: Vec<f64>,
+    /// Running per-sender min-RTT.
+    min_rtts: Vec<f64>,
+    /// Requested next windows, staged before the divergence scan.
+    requests: Vec<f64>,
+    /// Admission flags (a sender is active iff started and not stopped).
+    started: Vec<bool>,
+    /// Departure flags.
+    stopped: Vec<bool>,
+}
+
+fn reset_lane(v: &mut Vec<f64>, n: usize, x: f64) {
+    v.clear();
+    v.resize(n, x);
+}
+
+/// The engine's per-run arena: every buffer a simulation needs, owned in
+/// one reusable bundle so back-to-back runs (sweep workers, the serve
+/// daemon) stop paying per-run allocation. [`EngineWorkspace::new`] is
+/// free — lanes size themselves lazily on first run — and a workspace can
+/// be reused across runs of *different* shapes (each run re-sizes and
+/// re-zeroes what it needs; the bit-identity tests cover reuse).
+#[derive(Debug, Default)]
+pub struct EngineWorkspace {
+    lanes: SenderLanes,
+    /// Indices of currently-active senders, ascending — rebuilt at every
+    /// activity boundary so the step loop iterates exactly the senders
+    /// that matter without per-sender flag checks.
+    active: Vec<usize>,
+    /// Activity-span boundaries (see `try_run_scenario_with_workspace`).
+    boundaries: Vec<u64>,
+    /// The staging block batched into the sink.
+    block: StepBlock,
+}
+
+impl EngineWorkspace {
+    /// A fresh, empty workspace (no allocation until first use).
+    pub fn new() -> Self {
+        EngineWorkspace::default()
+    }
+
+    /// Size every lane for an `n`-sender run and clear run state.
+    fn prepare(&mut self, n: usize) {
+        reset_lane(&mut self.lanes.windows, n, 0.0);
+        reset_lane(&mut self.lanes.losses, n, 0.0);
+        reset_lane(&mut self.lanes.goodputs, n, 0.0);
+        reset_lane(&mut self.lanes.min_rtts, n, f64::INFINITY);
+        reset_lane(&mut self.lanes.requests, n, 0.0);
+        self.lanes.started.clear();
+        self.lanes.started.resize(n, false);
+        self.lanes.stopped.clear();
+        self.lanes.stopped.resize(n, false);
+        self.active.clear();
+        self.active.reserve(n);
+        self.boundaries.clear();
+        self.block.reshape(n, StepBlock::DEFAULT_CAPACITY);
+    }
+}
+
+thread_local! {
+    /// The per-thread engine workspace backing [`try_run_scenario_with`]:
+    /// one arena reused across every run this thread executes, so
+    /// long-lived sweep workers allocate per-run state once. The
+    /// workspace is *taken out* of the cell while a run is in flight, so
+    /// a re-entrant call (a sink that itself runs a scenario) falls back
+    /// to a fresh workspace instead of aliasing the busy one.
+    static WORKSPACE: RefCell<EngineWorkspace> = RefCell::new(EngineWorkspace::new());
+}
+
+fn with_workspace<R>(f: impl FnOnce(&mut EngineWorkspace) -> R) -> R {
+    WORKSPACE.with(|cell| {
+        let mut ws = cell.replace(EngineWorkspace::new());
+        let out = f(&mut ws);
+        cell.replace(ws);
+        out
+    })
+}
+
+/// Four-accumulator chunked sum — the [`MathMode::Fast`] total-window
+/// reduction. Splitting the fold across four independent accumulators
+/// breaks the strict left-to-right association of `iter().sum()` (same
+/// math, different rounding), which is exactly the reordering `Fast`
+/// licenses; the payoff is an instruction-parallel, vectorizable
+/// reduction.
+fn chunked_sum(xs: &[f64]) -> f64 {
+    let chunks = xs.chunks_exact(4);
+    let tail = chunks.remainder();
+    let mut acc = [0.0f64; 4];
+    for c in chunks {
+        acc[0] += c[0];
+        acc[1] += c[1];
+        acc[2] += c[2];
+        acc[3] += c[3];
+    }
+    let rest: f64 = tail.iter().sum();
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + rest
 }
 
 /// Run a scenario to completion, feeding every step to `sink`, or return
@@ -115,10 +273,10 @@ impl StepSink for axcc_core::axioms::churn::ChurnAccumulator {
 ///
 /// At each step `t`:
 ///
-/// 1. senders whose start step is `t` enter with their initial windows
-///    (the scan is skipped once every sender has entered), and senders
-///    whose stop step is `t` depart — their window drops to zero and
-///    stays there (churned populations; see `SenderConfig::stop_at`);
+/// 1. senders whose start step is `t` enter with their initial windows,
+///    and senders whose stop step is `t` depart — their window drops to
+///    zero and stays there (churned populations; see
+///    `SenderConfig::stop_at`);
 /// 2. the total active window `X^(t)` determines the step's RTT
 ///    (equation 1) and congestion loss rate (both shared by all senders —
 ///    synchronized feedback);
@@ -131,9 +289,39 @@ impl StepSink for axcc_core::axioms::churn::ChurnAccumulator {
 ///
 /// Senders that have not yet entered (or have departed) are reported with
 /// zero window and goodput so every step is rectangular.
+///
+/// Uses the calling thread's cached [`EngineWorkspace`];
+/// [`try_run_scenario_with_workspace`] takes an explicit one.
 pub fn try_run_scenario_with<S: StepSink>(
     scenario: Scenario,
     sink: &mut S,
+) -> Result<(), ScenarioError> {
+    with_workspace(|ws| try_run_scenario_with_workspace(scenario, sink, ws))
+}
+
+/// [`try_run_scenario_with`] against a caller-held [`EngineWorkspace`].
+///
+/// The hot path is organized around two refactors of the scalar loop,
+/// both bit-identity-preserving (the equivalence proptests pin the new
+/// engine to a verbatim copy of the scalar one):
+///
+/// * **activity spans** — admissions, departures and bandwidth changes
+///   can only take effect at a precomputed set of boundary steps, so the
+///   per-step scans are hoisted out of the inner loop entirely and the
+///   active-sender set is rebuilt once per span;
+/// * **lane passes** — per-sender work runs as tight passes over the
+///   workspace's contiguous lanes (loss fill or sampled loss, min-RTT,
+///   goodput, protocol requests, divergence scan + clamp), and finished
+///   rows are staged into a [`StepBlock`] delivered to the sink in
+///   batches ([`StepSink::on_steps`]).
+///
+/// Every f64 reduction keeps the scalar engine's exact evaluation order
+/// under [`MathMode::Exact`]; [`MathMode::Fast`] substitutes the chunked
+/// total and a `mul_add` goodput.
+pub fn try_run_scenario_with_workspace<S: StepSink>(
+    scenario: Scenario,
+    sink: &mut S,
+    ws: &mut EngineWorkspace,
 ) -> Result<(), ScenarioError> {
     scenario.validate()?;
     let Scenario {
@@ -145,130 +333,316 @@ pub fn try_run_scenario_with<S: StepSink>(
         seed,
         bandwidth_changes,
         feedback,
+        math,
     } = scenario;
+
+    let n = senders.len();
+    let horizon = steps as u64;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut wire_loss = LossProcess::new(loss_model, n);
+
+    // When no per-sender RNG draw is involved, the composed loss is one
+    // shared value per step and the loss pass is a fill instead of n
+    // samples. (`compose_loss` is still applied — even with wire = 0.0
+    // its clamp must run for bit-identity with the sampled path.)
+    let uniform_wire = match (loss_model, feedback) {
+        (LossModel::None, FeedbackMode::Synchronized) => Some(0.0),
+        (LossModel::Constant { rate }, FeedbackMode::Synchronized) => Some(rate),
+        _ => None,
+    };
+
+    ws.prepare(n);
+    let EngineWorkspace {
+        lanes,
+        active,
+        boundaries,
+        block,
+    } = ws;
+    let SenderLanes {
+        windows,
+        losses,
+        goodputs,
+        min_rtts,
+        requests,
+        started,
+        stopped,
+    } = lanes;
+
+    // Activity boundaries: the only steps where the active population or
+    // the link can change. The scalar engine re-checked all three every
+    // step; between consecutive boundaries those checks are provably
+    // no-ops, so the inner loop hoists them. Boundary 0 covers everything
+    // scheduled at or before the first step; events scheduled at or past
+    // the horizon never fire (exactly as in the per-step scans).
+    boundaries.push(0);
+    for cfg in &senders {
+        if cfg.start_tick > 0 && cfg.start_tick < horizon {
+            boundaries.push(cfg.start_tick);
+        }
+        if let Some(stop) = cfg.stop_tick {
+            if stop > 0 && stop < horizon {
+                boundaries.push(stop);
+            }
+        }
+    }
+    for &(at, _) in &bandwidth_changes {
+        if at > 0 && at < horizon {
+            boundaries.push(at);
+        }
+    }
+    boundaries.sort_unstable();
+    boundaries.dedup();
+
+    // With a fixed population every sender is staged every step, so the
+    // block's idle-lane zeroing between flushes is skipped.
+    let static_dense = senders
+        .iter()
+        .all(|s| s.start_tick == 0 && s.stop_tick.is_none());
 
     // The active link: bandwidth may change mid-run (an extension of the
     // paper's static model; see `Scenario::bandwidth_change`). Propagation
     // delay and buffer never change, so the trace's recorded link keeps
     // the correct RTT floor for validation.
     let mut active_link = link;
-    let mut pending_changes = bandwidth_changes.into_iter().peekable();
+    let mut pending_changes = bandwidth_changes.iter().copied().peekable();
 
-    let n = senders.len();
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut wire_loss = LossProcess::new(loss_model, n);
+    for bi in 0..boundaries.len() {
+        let span_start = boundaries[bi];
+        let span_end = boundaries.get(bi + 1).copied().unwrap_or(horizon);
 
-    let mut windows: Vec<f64> = vec![0.0; n];
-    let mut started: Vec<bool> = vec![false; n];
-    let mut stopped: Vec<bool> = vec![false; n];
-    let mut min_rtts: Vec<f64> = vec![f64::INFINITY; n];
-    let mut records: Vec<StepRecord> = Vec::with_capacity(n);
-
-    // Senders not yet admitted; the admissions scan stops for good once
-    // this hits zero instead of re-walking the configs every step.
-    let mut pending_admissions = n;
-    // Departures still scheduled; the scan stops once none remain (the
-    // common fixed-population scenario never walks it at all).
-    let mut pending_departures = senders.iter().filter(|s| s.stop_tick.is_some()).count();
-
-    for t in 0..steps as u64 {
-        // (0) scheduled link changes.
+        // (0) scheduled link changes up to this span.
         while let Some(&(at, new_bw)) = pending_changes.peek() {
-            if at > t {
+            if at > span_start {
                 break;
             }
             pending_changes.next();
             active_link = axcc_core::LinkParams::new(new_bw, link.prop_delay, link.buffer);
         }
 
-        // (1) admissions.
-        if pending_admissions > 0 {
-            for (i, cfg) in senders.iter().enumerate() {
-                if !started[i] && t >= cfg.start_tick {
-                    started[i] = true;
-                    windows[i] = clamp_window(cfg.initial_window, max_window);
-                    pending_admissions -= 1;
+        // (1) admissions and departures due at this span, then the span's
+        // active set (ascending, so RNG draw order matches the scalar
+        // engine's 0..n sweep).
+        for (i, cfg) in senders.iter().enumerate() {
+            if !started[i] && span_start >= cfg.start_tick {
+                started[i] = true;
+                windows[i] = clamp_window(cfg.initial_window, max_window);
+            }
+            if let Some(stop) = cfg.stop_tick {
+                if !stopped[i] && span_start >= stop {
+                    stopped[i] = true;
+                    windows[i] = 0.0;
                 }
             }
         }
-        // Admission is monotone: once started, a sender's start_tick is
-        // never revisited, so the count and the flags cannot disagree.
-        debug_assert_eq!(pending_admissions, started.iter().filter(|&&s| !s).count());
+        active.clear();
+        for i in 0..n {
+            if started[i] && !stopped[i] {
+                active.push(i);
+            }
+        }
+        let dense = active.len() == n;
 
-        // (1b) departures: a sender is active for steps in [start, stop).
-        if pending_departures > 0 {
-            for (i, cfg) in senders.iter().enumerate() {
-                if let Some(stop) = cfg.stop_tick {
-                    if !stopped[i] && t >= stop {
-                        stopped[i] = true;
-                        windows[i] = 0.0;
-                        pending_departures -= 1;
+        // Below link capacity the step RTT sits on its `2Θ` floor and the
+        // congestion-loss branch is dead, so when even the largest
+        // representable total — `n` clamped windows plus summation
+        // rounding headroom — cannot reach capacity, both per-step link
+        // equations hoist to span constants. The robustness sweeps'
+        // infinite-capacity link is the motivating case; `min_rtt()` is
+        // the same `2.0 * prop_delay` expression `rtt()` floors to.
+        let flat_link = (n as f64) * max_window * (1.0 + 1e-9) < active_link.capacity();
+        let flat_rtt = active_link.min_rtt();
+
+        if n == 1 && dense {
+            // Single-lane fast path: the robustness-sweep shape (one
+            // sender, staged every step). Statement-for-statement the
+            // general body below with the lane sweeps collapsed to index
+            // 0; `0.0 + w` is exactly the one-lane fold of both
+            // `iter().sum()` and `chunked_sum`, so totals are
+            // bit-identical in either math mode.
+            for t in span_start..span_end {
+                let w0 = windows[0];
+                let total = 0.0 + w0;
+                let (rtt, congestion_loss) = if flat_link {
+                    (flat_rtt, 0.0)
+                } else {
+                    (active_link.rtt(total), active_link.loss_rate(total))
+                };
+                let loss = if let Some(wire) = uniform_wire {
+                    compose_loss(congestion_loss, wire)
+                } else {
+                    let wire = wire_loss.sample(&mut rng, 0, w0);
+                    let observed = match feedback {
+                        FeedbackMode::Synchronized => congestion_loss,
+                        FeedbackMode::PerPacket => {
+                            sample_loss_fraction(&mut rng, w0, congestion_loss)
+                        }
+                    };
+                    compose_loss(observed, wire)
+                };
+                losses[0] = loss;
+                min_rtts[0] = min_rtts[0].min(rtt);
+                let goodput = match math {
+                    MathMode::Exact => w0 * (1.0 - loss) / rtt,
+                    MathMode::Fast => w0.mul_add(-loss, w0) / rtt,
+                };
+                goodputs[0] = goodput;
+                block.stage_shared(total, rtt, congestion_loss);
+                block.stage_sender(0, w0, loss, goodput);
+                let lane_obs = LaneObs {
+                    tick: t,
+                    rtt,
+                    windows: &windows[..],
+                    losses: &losses[..],
+                    min_rtts: &min_rtts[..],
+                };
+                let requested = senders[0].protocol.next_window_lane(&lane_obs, 0);
+                if !requested.is_finite() {
+                    return Err(ScenarioError::NumericalDivergence {
+                        step: t,
+                        sender: 0,
+                        context: "requested window",
+                        value: requested,
+                    });
+                }
+                windows[0] = clamp_window(requested, max_window);
+                if block.advance() {
+                    sink.on_steps(block);
+                    block.begin(t as usize + 1);
+                    if !static_dense {
+                        block.zero_senders();
                     }
                 }
             }
+            continue;
         }
 
-        // (2) shared link state. Idle senders hold exactly 0.0, and adding
-        // +0.0 to a non-negative partial sum is exact, so summing every
-        // slot is bit-identical to filtering on `started` while skipping
-        // the per-step predicate. (A delta-incremental running total is
-        // deliberately NOT used: f64 addition is non-associative, so
-        // incremental updates would drift from the recorded column and
-        // break the streaming path's bit-identity contract.)
-        let total: f64 = windows.iter().sum();
-        let rtt = active_link.rtt(total);
-        let congestion_loss = active_link.loss_rate(total);
+        for t in span_start..span_end {
+            // (2) shared link state. Idle senders hold exactly 0.0, and
+            // adding +0.0 to a non-negative partial sum is exact, so
+            // summing every slot is bit-identical to filtering on the
+            // active set. (A delta-incremental running total is
+            // deliberately NOT used: f64 addition is non-associative, so
+            // incremental updates would drift from the recorded column
+            // and break the streaming path's bit-identity contract.)
+            let total = match math {
+                MathMode::Exact => windows.iter().sum(),
+                MathMode::Fast => chunked_sum(windows),
+            };
+            let rtt = active_link.rtt(total);
+            let congestion_loss = active_link.loss_rate(total);
 
-        // (3)+(4) per-sender observation and update.
-        records.clear();
-        for i in 0..n {
-            if !started[i] || stopped[i] {
-                records.push(StepRecord {
-                    window: 0.0,
-                    loss: 0.0,
-                    rtt,
-                    goodput: 0.0,
-                });
-                continue;
-            }
-            let wire = wire_loss.sample(&mut rng, i, windows[i]);
-            let observed_congestion = match feedback {
-                FeedbackMode::Synchronized => congestion_loss,
-                FeedbackMode::PerPacket => {
-                    sample_loss_fraction(&mut rng, windows[i], congestion_loss)
+            // (3) the loss pass.
+            if let Some(wire) = uniform_wire {
+                let loss = compose_loss(congestion_loss, wire);
+                if dense {
+                    losses.fill(loss);
+                } else {
+                    for &i in active.iter() {
+                        losses[i] = loss;
+                    }
                 }
-            };
-            let loss = compose_loss(observed_congestion, wire);
-            min_rtts[i] = min_rtts[i].min(rtt);
-
-            let w = windows[i];
-            records.push(StepRecord {
-                window: w,
-                loss,
-                rtt,
-                goodput: w * (1.0 - loss) / rtt,
-            });
-
-            let obs = Observation {
-                tick: t,
-                window: w,
-                loss_rate: loss,
-                rtt,
-                min_rtt: min_rtts[i],
-            };
-            let requested = senders[i].protocol.next_window(&obs);
-            if !requested.is_finite() {
-                return Err(ScenarioError::NumericalDivergence {
-                    step: t,
-                    sender: i,
-                    context: "requested window",
-                    value: requested,
-                });
+            } else {
+                for &i in active.iter() {
+                    let wire = wire_loss.sample(&mut rng, i, windows[i]);
+                    let observed = match feedback {
+                        FeedbackMode::Synchronized => congestion_loss,
+                        FeedbackMode::PerPacket => {
+                            sample_loss_fraction(&mut rng, windows[i], congestion_loss)
+                        }
+                    };
+                    losses[i] = compose_loss(observed, wire);
+                }
             }
-            windows[i] = clamp_window(requested, max_window);
-        }
 
-        sink.on_step(t, total, rtt, congestion_loss, &records);
+            // min-RTT and goodput passes over the lanes.
+            if dense {
+                for m in min_rtts.iter_mut() {
+                    *m = m.min(rtt);
+                }
+                match math {
+                    MathMode::Exact => {
+                        for i in 0..n {
+                            goodputs[i] = windows[i] * (1.0 - losses[i]) / rtt;
+                        }
+                    }
+                    MathMode::Fast => {
+                        for i in 0..n {
+                            goodputs[i] = windows[i].mul_add(-losses[i], windows[i]) / rtt;
+                        }
+                    }
+                }
+            } else {
+                for &i in active.iter() {
+                    min_rtts[i] = min_rtts[i].min(rtt);
+                }
+                match math {
+                    MathMode::Exact => {
+                        for &i in active.iter() {
+                            goodputs[i] = windows[i] * (1.0 - losses[i]) / rtt;
+                        }
+                    }
+                    MathMode::Fast => {
+                        for &i in active.iter() {
+                            goodputs[i] = windows[i].mul_add(-losses[i], windows[i]) / rtt;
+                        }
+                    }
+                }
+            }
+
+            // Stage the finished row. Idle senders' columns hold staged
+            // zeros (the block is zeroed between flushes when the
+            // population churns), matching the scalar engine's explicit
+            // zero records.
+            block.stage_shared(total, rtt, congestion_loss);
+            if dense {
+                for i in 0..n {
+                    block.stage_sender(i, windows[i], losses[i], goodputs[i]);
+                }
+            } else {
+                for &i in active.iter() {
+                    block.stage_sender(i, windows[i], losses[i], goodputs[i]);
+                }
+            }
+
+            // (4) protocol updates straight off the lanes, then the
+            // divergence scan + clamp. The scan reports the lowest-index
+            // offender, exactly as the scalar engine's interleaved check
+            // did (protocol state past the offender differs, but an
+            // errored run's protocols and sink are both discarded).
+            let lane_obs = LaneObs {
+                tick: t,
+                rtt,
+                windows: &windows[..],
+                losses: &losses[..],
+                min_rtts: &min_rtts[..],
+            };
+            for &i in active.iter() {
+                requests[i] = senders[i].protocol.next_window_lane(&lane_obs, i);
+            }
+            for &i in active.iter() {
+                let requested = requests[i];
+                if !requested.is_finite() {
+                    return Err(ScenarioError::NumericalDivergence {
+                        step: t,
+                        sender: i,
+                        context: "requested window",
+                        value: requested,
+                    });
+                }
+                windows[i] = clamp_window(requested, max_window);
+            }
+
+            if block.advance() {
+                sink.on_steps(block);
+                block.begin(t as usize + 1);
+                if !static_dense {
+                    block.zero_senders();
+                }
+            }
+        }
+    }
+    if !block.is_empty() {
+        sink.on_steps(block);
     }
     Ok(())
 }
@@ -296,6 +670,12 @@ pub struct StreamOptions {
     pub min_horizon: usize,
     /// Escape threshold β for the robustness accumulator.
     pub escape_beta: f64,
+    /// Which metric families the accumulator maintains. Sweeps that read
+    /// a known subset of scores (a robustness cell only asks
+    /// "did the window escape?") restrict this so the sink skips every
+    /// other family's per-block fold; [`MetricSet::ALL`] keeps the full
+    /// evaluator.
+    pub metrics: MetricSet,
 }
 
 impl Default for StreamOptions {
@@ -304,6 +684,7 @@ impl Default for StreamOptions {
             tail_fraction: axcc_core::axioms::DEFAULT_TAIL_FRACTION,
             min_horizon: axcc_core::axioms::fast_utilization::DEFAULT_MIN_HORIZON,
             escape_beta: 50.0,
+            metrics: MetricSet::ALL,
         }
     }
 }
@@ -322,6 +703,7 @@ pub fn metric_accumulator_for(scenario: &Scenario, options: &StreamOptions) -> M
         tail_fraction: options.tail_fraction,
         min_horizon: options.min_horizon,
         escape_beta: options.escape_beta,
+        metrics: options.metrics,
     })
 }
 
@@ -396,12 +778,154 @@ mod tests {
     use super::*;
     use crate::loss::LossModel;
     use crate::scenario::SenderConfig;
-    use axcc_core::LinkParams;
+    use axcc_core::{LinkParams, Observation};
     use axcc_protocols::{Aimd, Mimd, RobustAimd, Vegas};
 
     /// C = 100 MSS, τ = 20 MSS.
     fn link() -> LinkParams {
         LinkParams::new(1000.0, 0.05, 20.0)
+    }
+
+    /// A verbatim copy of the pre-SoA scalar engine: per-step admission,
+    /// departure and bandwidth scans, array-of-records emission, one
+    /// `on_step` per step. This is the bit-identity reference the lane
+    /// engine is pinned against ([`MathMode::Exact`] only — the reference
+    /// predates `Fast`).
+    fn run_reference<S: StepSink>(scenario: Scenario, sink: &mut S) -> Result<(), ScenarioError> {
+        scenario.validate()?;
+        let Scenario {
+            link,
+            mut senders,
+            steps,
+            max_window,
+            loss_model,
+            seed,
+            bandwidth_changes,
+            feedback,
+            math: _,
+        } = scenario;
+
+        let mut active_link = link;
+        let mut pending_changes = bandwidth_changes.into_iter().peekable();
+
+        let n = senders.len();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut wire_loss = LossProcess::new(loss_model, n);
+
+        let mut windows: Vec<f64> = vec![0.0; n];
+        let mut started: Vec<bool> = vec![false; n];
+        let mut stopped: Vec<bool> = vec![false; n];
+        let mut min_rtts: Vec<f64> = vec![f64::INFINITY; n];
+        let mut records: Vec<StepRecord> = Vec::with_capacity(n);
+
+        let mut pending_admissions = n;
+        let mut pending_departures = senders.iter().filter(|s| s.stop_tick.is_some()).count();
+
+        for t in 0..steps as u64 {
+            while let Some(&(at, new_bw)) = pending_changes.peek() {
+                if at > t {
+                    break;
+                }
+                pending_changes.next();
+                active_link = axcc_core::LinkParams::new(new_bw, link.prop_delay, link.buffer);
+            }
+
+            if pending_admissions > 0 {
+                for (i, cfg) in senders.iter().enumerate() {
+                    if !started[i] && t >= cfg.start_tick {
+                        started[i] = true;
+                        windows[i] = clamp_window(cfg.initial_window, max_window);
+                        pending_admissions -= 1;
+                    }
+                }
+            }
+            if pending_departures > 0 {
+                for (i, cfg) in senders.iter().enumerate() {
+                    if let Some(stop) = cfg.stop_tick {
+                        if !stopped[i] && t >= stop {
+                            stopped[i] = true;
+                            windows[i] = 0.0;
+                            pending_departures -= 1;
+                        }
+                    }
+                }
+            }
+
+            let total: f64 = windows.iter().sum();
+            let rtt = active_link.rtt(total);
+            let congestion_loss = active_link.loss_rate(total);
+
+            records.clear();
+            for i in 0..n {
+                if !started[i] || stopped[i] {
+                    records.push(StepRecord {
+                        window: 0.0,
+                        loss: 0.0,
+                        rtt,
+                        goodput: 0.0,
+                    });
+                    continue;
+                }
+                let wire = wire_loss.sample(&mut rng, i, windows[i]);
+                let observed_congestion = match feedback {
+                    FeedbackMode::Synchronized => congestion_loss,
+                    FeedbackMode::PerPacket => {
+                        sample_loss_fraction(&mut rng, windows[i], congestion_loss)
+                    }
+                };
+                let loss = compose_loss(observed_congestion, wire);
+                min_rtts[i] = min_rtts[i].min(rtt);
+
+                let w = windows[i];
+                records.push(StepRecord {
+                    window: w,
+                    loss,
+                    rtt,
+                    goodput: w * (1.0 - loss) / rtt,
+                });
+
+                let obs = Observation {
+                    tick: t,
+                    window: w,
+                    loss_rate: loss,
+                    rtt,
+                    min_rtt: min_rtts[i],
+                };
+                let requested = senders[i].protocol.next_window(&obs);
+                if !requested.is_finite() {
+                    return Err(ScenarioError::NumericalDivergence {
+                        step: t,
+                        sender: i,
+                        context: "requested window",
+                        value: requested,
+                    });
+                }
+                windows[i] = clamp_window(requested, max_window);
+            }
+
+            sink.on_step(t, total, rtt, congestion_loss, &records);
+        }
+        Ok(())
+    }
+
+    /// Run `build()` through both engines and require bit-identical
+    /// traces (or identical typed errors).
+    fn assert_engines_match(build: impl Fn() -> Scenario) {
+        let sc = build();
+        let mut reference = TraceSink::for_scenario(&sc);
+        let ra = run_reference(sc, &mut reference);
+        let sc = build();
+        let mut lanes = TraceSink::for_scenario(&sc);
+        let rb = try_run_scenario_with(sc, &mut lanes);
+        match (ra, rb) {
+            (Ok(()), Ok(())) => {
+                let a = reference.into_trace();
+                let b = lanes.into_trace();
+                assert_eq!(a, b, "lane engine diverged from scalar reference");
+            }
+            (Err(ea), Err(eb)) => assert_eq!(format!("{ea:?}"), format!("{eb:?}")),
+            (ra, rb) => panic!("engines disagree on outcome: {ra:?} vs {rb:?}"),
+        }
     }
 
     #[test]
@@ -1110,5 +1634,252 @@ mod tests {
             err,
             ScenarioError::NumericalDivergence { step: 5, .. }
         ));
+    }
+
+    #[test]
+    fn lane_engine_matches_reference_on_canonical_shapes() {
+        // The named scenarios every other engine test leans on, pinned
+        // against the scalar reference bit-for-bit.
+        assert_engines_match(|| {
+            Scenario::new(link())
+                .homogeneous(&Aimd::reno(), 2, 1.0)
+                .steps(600)
+        });
+        assert_engines_match(|| {
+            Scenario::new(link())
+                .sender(SenderConfig::new(Box::new(Mimd::scalable())).initial_window(40.0))
+                .sender(SenderConfig::new(Box::new(Vegas::classic())).initial_window(10.0))
+                .wire_loss(LossModel::bursty(0.01, 6.0, 0.2))
+                .seed(11)
+                .steps(500)
+        });
+        assert_engines_match(|| {
+            Scenario::new(link())
+                .sender(SenderConfig::new(Box::new(Aimd::reno())).initial_window(10.0))
+                .sender(
+                    SenderConfig::new(Box::new(Aimd::reno()))
+                        .initial_window(1.0)
+                        .start_at(100)
+                        .stop_at(400),
+                )
+                .bandwidth_change(250, 500.0)
+                .feedback(FeedbackMode::PerPacket)
+                .seed(7)
+                .steps(600)
+        });
+    }
+
+    #[test]
+    fn lane_engine_matches_reference_with_events_at_and_past_the_horizon() {
+        // Admissions, departures and bandwidth changes scheduled at or
+        // past the last step must never fire in either engine (they are
+        // not activity boundaries).
+        assert_engines_match(|| {
+            Scenario::new(link())
+                .sender(SenderConfig::new(Box::new(Aimd::reno())).initial_window(1.0))
+                .sender(
+                    SenderConfig::new(Box::new(Aimd::reno()))
+                        .initial_window(5.0)
+                        .start_at(100),
+                )
+                .sender(
+                    SenderConfig::new(Box::new(Aimd::reno()))
+                        .initial_window(5.0)
+                        .stop_at(99),
+                )
+                .sender(
+                    SenderConfig::new(Box::new(Aimd::reno()))
+                        .initial_window(5.0)
+                        .stop_at(1000),
+                )
+                .bandwidth_change(100, 500.0)
+                .bandwidth_change(4000, 2000.0)
+                .steps(100)
+        });
+    }
+
+    #[test]
+    fn lane_engine_matches_reference_on_divergent_runs() {
+        assert_engines_match(|| {
+            Scenario::new(link())
+                .sender(SenderConfig::new(Box::new(Aimd::reno())).initial_window(1.0))
+                .sender(SenderConfig::new(Box::new(DivergeAfter {
+                    remaining: 17,
+                    emit: f64::NAN,
+                })))
+                .steps(100)
+        });
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_allocation_across_shapes() {
+        // One workspace, back-to-back runs of *different* shapes (sender
+        // count, churn, loss model): every run must equal the same run on
+        // a fresh workspace.
+        let shapes: Vec<Box<dyn Fn() -> Scenario>> = vec![
+            Box::new(|| {
+                Scenario::new(link())
+                    .homogeneous(&Aimd::reno(), 3, 1.0)
+                    .steps(400)
+            }),
+            Box::new(|| {
+                Scenario::new(link())
+                    .homogeneous(&Mimd::scalable(), 1, 4.0)
+                    .wire_loss(LossModel::Bernoulli { rate: 0.01 })
+                    .seed(5)
+                    .steps(273)
+            }),
+            Box::new(|| {
+                Scenario::new(link())
+                    .homogeneous(&Aimd::reno(), 2, 1.0)
+                    .steps(500)
+                    .churn(
+                        &axcc_topo::ChurnPlan::poisson(0.01, 120.0).seed(3),
+                        &Aimd::reno(),
+                    )
+                    .unwrap()
+            }),
+            Box::new(|| {
+                Scenario::new(link())
+                    .homogeneous(&Aimd::reno(), 3, 1.0)
+                    .steps(400)
+            }),
+        ];
+        let mut shared = EngineWorkspace::new();
+        for build in &shapes {
+            let mut with_shared = TraceSink::for_scenario(&build());
+            try_run_scenario_with_workspace(build(), &mut with_shared, &mut shared).unwrap();
+            let mut with_fresh = TraceSink::for_scenario(&build());
+            try_run_scenario_with_workspace(build(), &mut with_fresh, &mut EngineWorkspace::new())
+                .unwrap();
+            assert_eq!(with_shared.into_trace(), with_fresh.into_trace());
+        }
+    }
+
+    #[test]
+    fn fast_math_stays_close_to_exact() {
+        // Fast mode licenses reassociation, not different math: scores
+        // track the exact path to ~1e-9 relative on a well-conditioned
+        // run (bit-identity is deliberately NOT asserted).
+        let build = |mode| {
+            Scenario::new(link())
+                .homogeneous(&Aimd::reno(), 5, 1.0)
+                .math(mode)
+                .steps(2000)
+        };
+        let exact = build(MathMode::Exact).try_run().unwrap();
+        let fast = build(MathMode::Fast).try_run().unwrap();
+        assert_eq!(exact.len(), fast.len());
+        for (a, b) in exact.total_window.iter().zip(&fast.total_window) {
+            assert!((a - b).abs() <= 1e-6 * a.abs().max(1.0), "{a} vs {b}");
+        }
+        let tail = exact.tail_start(0.5);
+        let ea = axcc_core::axioms::efficiency::measured_efficiency(&exact, tail);
+        let eb = axcc_core::axioms::efficiency::measured_efficiency(&fast, tail);
+        assert!((ea - eb).abs() < 1e-6, "{ea} vs {eb}");
+    }
+
+    mod equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        #[derive(Debug, Clone)]
+        struct Params {
+            n: usize,
+            steps: usize,
+            proto: u8,
+            initial: f64,
+            loss_sel: u8,
+            seed: u64,
+            per_packet: bool,
+            shape: u8,
+        }
+
+        fn arb_params() -> impl Strategy<Value = Params> {
+            (
+                1usize..5,
+                40usize..220,
+                0u8..4,
+                0.5f64..60.0,
+                0u8..4,
+                any::<u64>(),
+                any::<bool>(),
+                0u8..4,
+            )
+                .prop_map(
+                    |(n, steps, proto, initial, loss_sel, seed, per_packet, shape)| Params {
+                        n,
+                        steps,
+                        proto,
+                        initial,
+                        loss_sel,
+                        seed,
+                        per_packet,
+                        shape,
+                    },
+                )
+        }
+
+        fn build(p: &Params) -> Scenario {
+            let proto: Box<dyn axcc_core::Protocol> = match p.proto {
+                0 => Box::new(Aimd::reno()),
+                1 => Box::new(Mimd::scalable()),
+                2 => Box::new(Vegas::classic()),
+                _ => Box::new(RobustAimd::table2()),
+            };
+            let steps = p.steps as u64;
+            let mut sc = Scenario::new(link()).seed(p.seed).steps(p.steps);
+            for k in 0..p.n {
+                let mut cfg =
+                    SenderConfig::new(proto.clone_box()).initial_window(p.initial + 3.0 * k as f64);
+                // Shape 1: every other sender churns in and out mid-run.
+                if p.shape == 1 && k % 2 == 1 {
+                    cfg = cfg
+                        .start_at(steps / 4)
+                        .stop_at((3 * steps / 4).max(steps / 4 + 1));
+                }
+                sc = sc.sender(cfg);
+            }
+            sc = match p.loss_sel {
+                0 => sc,
+                1 => sc.wire_loss(LossModel::Constant { rate: 0.01 }),
+                2 => sc.wire_loss(LossModel::Bernoulli { rate: 0.02 }),
+                _ => sc.wire_loss(LossModel::bursty(0.01, 6.0, 0.25)),
+            };
+            if p.per_packet {
+                sc = sc.feedback(FeedbackMode::PerPacket);
+            }
+            match p.shape {
+                2 => {
+                    sc = sc
+                        .bandwidth_change(steps / 3, 500.0)
+                        .bandwidth_change(2 * steps / 3, 1500.0)
+                }
+                3 => {
+                    sc = sc
+                        .churn(
+                            &axcc_topo::ChurnPlan::poisson(0.02, p.steps as f64 / 4.0)
+                                .seed(p.seed ^ 1),
+                            &Aimd::reno(),
+                        )
+                        .unwrap()
+                }
+                _ => {}
+            }
+            sc
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// The SoA lane engine is bit-identical to the scalar
+            /// reference over random scenarios: protocols × loss models ×
+            /// feedback modes × staggered/churned populations × bandwidth
+            /// schedules.
+            #[test]
+            fn lane_engine_matches_scalar_reference(p in arb_params()) {
+                assert_engines_match(|| build(&p));
+            }
+        }
     }
 }

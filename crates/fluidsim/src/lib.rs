@@ -67,12 +67,15 @@ pub mod stats;
 pub use engine::{
     metric_accumulator_for, run_scenario, run_scenario_streaming, run_scenario_streaming_into,
     try_run_scenario, try_run_scenario_streaming, try_run_scenario_streaming_into,
-    try_run_scenario_with, StepSink, StreamOptions, TraceSink,
+    try_run_scenario_with, try_run_scenario_with_workspace, EngineWorkspace, StepSink,
+    StreamOptions, TraceSink,
 };
 pub use loss::{LossModel, LossProcess};
 pub use network::{FlowConfig, NetScenario, NetTrace, Topology};
-pub use scenario::{FeedbackMode, Scenario, SenderConfig};
+pub use scenario::{FeedbackMode, MathMode, Scenario, SenderConfig};
 
-pub use axcc_core::axioms::streaming::{MetricAccumulator, MetricConfig, StepRecord};
+pub use axcc_core::axioms::streaming::{
+    MetricAccumulator, MetricConfig, MetricSet, StepBlock, StepRecord,
+};
 pub use axcc_core::{LinkParams, RunTrace, ScenarioError, SenderTrace};
 pub use axcc_topo::{ChurnPlan, FlowInterval, OnOffPhases};

@@ -242,14 +242,42 @@ fn run_network(scenario: NetScenario) -> NetTrace {
     let mut windows: Vec<f64> = vec![0.0; nf];
     let mut min_rtts = vec![f64::INFINITY; nf];
 
+    // Per-flow base propagation RTT: constant across the run, so the sum
+    // over the path is hoisted out of the step loop (same left-to-right
+    // addition order as the in-loop sum it replaces — bit-identical).
+    let base_rtts: Vec<f64> = flows
+        .iter()
+        .map(|f| f.path.iter().map(|&l| topology.link(l).min_rtt()).sum())
+        .collect();
+
+    // Every trace column is prefilled to its final length and written by
+    // index: idle flows' exact zeros are already in place, and the step
+    // loop below never allocates (the `step-loop-alloc` tidy rule keeps
+    // it that way).
     let mut traces: Vec<SenderTrace> = flows
         .iter()
-        .map(|f| SenderTrace::with_capacity(f.protocol.name(), f.protocol.loss_based(), steps))
+        .map(|f| {
+            let mut tr =
+                SenderTrace::with_capacity(f.protocol.name(), f.protocol.loss_based(), steps);
+            tr.window.resize(steps, 0.0);
+            tr.loss.resize(steps, 0.0);
+            tr.goodput.resize(steps, 0.0);
+            // Paths differ, so flows genuinely see different RTTs: each
+            // flow carries its own column instead of the shared-column
+            // dedup the single-link engine uses.
+            tr.own_rtt_mut().resize(steps, 0.0);
+            tr
+        })
         .collect();
-    let mut link_load = vec![Vec::with_capacity(steps); nl];
-    let mut link_loss = vec![Vec::with_capacity(steps); nl];
+    let mut link_load = vec![vec![0.0; steps]; nl];
+    let mut link_loss = vec![vec![0.0; steps]; nl];
+    let mut loads = vec![0.0; nl];
+    let mut losses = vec![0.0; nl];
+    let mut qdelays = vec![0.0; nl];
 
     for t in 0..steps as u64 {
+        let k = t as usize;
+
         // Admissions and departures: a flow's window appears at its start
         // step and vanishes at its stop step (idle flows hold exactly 0.0
         // and contribute nothing to any link's load).
@@ -263,42 +291,33 @@ fn run_network(scenario: NetScenario) -> NetTrace {
         }
 
         // Per-link aggregates.
-        let mut loads = vec![0.0; nl];
+        loads.fill(0.0);
         for (f, cfg) in flows.iter().enumerate() {
             for &l in &cfg.path {
                 loads[l] += windows[f];
             }
         }
-        let losses: Vec<f64> = (0..nl)
-            .map(|l| topology.link(l).loss_rate(loads[l]))
-            .collect();
-        let qdelays: Vec<f64> = (0..nl)
-            .map(|l| {
-                let link = topology.link(l);
-                // Queueing component of equation (1): RTT − 2Θ, capped by
-                // the timeout branch as on the single link.
-                link.rtt(loads[l]) - link.min_rtt()
-            })
-            .collect();
         for l in 0..nl {
-            link_load[l].push(loads[l]);
-            link_loss[l].push(losses[l]);
+            let link = topology.link(l);
+            losses[l] = link.loss_rate(loads[l]);
+            // Queueing component of equation (1): RTT − 2Θ, capped by
+            // the timeout branch as on the single link.
+            qdelays[l] = link.rtt(loads[l]) - link.min_rtt();
+            link_load[l][k] = loads[l];
+            link_loss[l][k] = losses[l];
         }
 
         // Per-flow observation and update.
         for (f, cfg) in flows.iter_mut().enumerate() {
-            let base_rtt: f64 = cfg.path.iter().map(|&l| topology.link(l).min_rtt()).sum();
-            let rtt: f64 = base_rtt + cfg.path.iter().map(|&l| qdelays[l]).sum::<f64>();
+            let rtt: f64 = base_rtts[f] + cfg.path.iter().map(|&l| qdelays[l]).sum::<f64>();
+            traces[f].own_rtt_mut()[k] = rtt;
 
-            // Idle flows (not yet arrived, or departed) record exact
-            // zeros — the path RTT is still recorded so the column stays
-            // rectangular and meaningful — and skip the protocol update,
-            // matching the single-link engine's churn semantics.
+            // Idle flows (not yet arrived, or departed) keep the
+            // prefilled exact zeros — the path RTT is still recorded so
+            // the column stays rectangular and meaningful — and skip the
+            // protocol update, matching the single-link engine's churn
+            // semantics.
             if !cfg.active_at(t) {
-                traces[f].window.push(0.0);
-                traces[f].loss.push(0.0);
-                traces[f].own_rtt_mut().push(rtt);
-                traces[f].goodput.push(0.0);
                 continue;
             }
 
@@ -306,13 +325,9 @@ fn run_network(scenario: NetScenario) -> NetTrace {
             min_rtts[f] = min_rtts[f].min(rtt);
 
             let w = windows[f];
-            traces[f].window.push(w);
-            traces[f].loss.push(loss);
-            // Paths differ, so flows genuinely see different RTTs: each
-            // flow carries its own column instead of the shared-column
-            // dedup the single-link engine uses.
-            traces[f].own_rtt_mut().push(rtt);
-            traces[f].goodput.push(w * (1.0 - loss) / rtt);
+            traces[f].window[k] = w;
+            traces[f].loss[k] = loss;
+            traces[f].goodput[k] = w * (1.0 - loss) / rtt;
 
             let obs = Observation {
                 tick: t,
@@ -538,5 +553,188 @@ mod tests {
     #[should_panic(expected = "at least one flow")]
     fn empty_scenario_rejected() {
         NetScenario::new(Topology::new(vec![hop()])).run();
+    }
+
+    /// The pre-hoisting network engine, kept verbatim as the equivalence
+    /// reference for the allocation-free rewrite of [`run_network`].
+    fn run_network_reference(scenario: NetScenario) -> NetTrace {
+        let NetScenario {
+            topology,
+            mut flows,
+            steps,
+            max_window,
+        } = scenario;
+        assert!(
+            !flows.is_empty(),
+            "network scenario needs at least one flow"
+        );
+
+        let nf = flows.len();
+        let nl = topology.num_links();
+        let mut windows: Vec<f64> = vec![0.0; nf];
+        let mut min_rtts = vec![f64::INFINITY; nf];
+
+        let mut traces: Vec<SenderTrace> = flows
+            .iter()
+            .map(|f| SenderTrace::with_capacity(f.protocol.name(), f.protocol.loss_based(), steps))
+            .collect();
+        let mut link_load = vec![Vec::with_capacity(steps); nl];
+        let mut link_loss = vec![Vec::with_capacity(steps); nl];
+
+        for t in 0..steps as u64 {
+            for (f, cfg) in flows.iter().enumerate() {
+                if t == cfg.start_step {
+                    windows[f] = clamp_window(cfg.initial_window, max_window);
+                }
+                if cfg.stop_step == Some(t) {
+                    windows[f] = 0.0;
+                }
+            }
+
+            let mut loads = vec![0.0; nl];
+            for (f, cfg) in flows.iter().enumerate() {
+                for &l in &cfg.path {
+                    loads[l] += windows[f];
+                }
+            }
+            let losses: Vec<f64> = (0..nl)
+                .map(|l| topology.link(l).loss_rate(loads[l]))
+                .collect();
+            let qdelays: Vec<f64> = (0..nl)
+                .map(|l| {
+                    let link = topology.link(l);
+                    link.rtt(loads[l]) - link.min_rtt()
+                })
+                .collect();
+            for l in 0..nl {
+                link_load[l].push(loads[l]);
+                link_loss[l].push(losses[l]);
+            }
+
+            for (f, cfg) in flows.iter_mut().enumerate() {
+                let base_rtt: f64 = cfg.path.iter().map(|&l| topology.link(l).min_rtt()).sum();
+                let rtt: f64 = base_rtt + cfg.path.iter().map(|&l| qdelays[l]).sum::<f64>();
+
+                if !cfg.active_at(t) {
+                    traces[f].window.push(0.0);
+                    traces[f].loss.push(0.0);
+                    traces[f].own_rtt_mut().push(rtt);
+                    traces[f].goodput.push(0.0);
+                    continue;
+                }
+
+                let loss = 1.0 - cfg.path.iter().map(|&l| 1.0 - losses[l]).product::<f64>();
+                min_rtts[f] = min_rtts[f].min(rtt);
+
+                let w = windows[f];
+                traces[f].window.push(w);
+                traces[f].loss.push(loss);
+                traces[f].own_rtt_mut().push(rtt);
+                traces[f].goodput.push(w * (1.0 - loss) / rtt);
+
+                let obs = Observation {
+                    tick: t,
+                    window: w,
+                    loss_rate: loss,
+                    rtt,
+                    min_rtt: min_rtts[f],
+                };
+                windows[f] = clamp_window(cfg.protocol.next_window(&obs), max_window);
+            }
+        }
+
+        NetTrace {
+            flows: traces,
+            paths: flows.iter().map(|f| f.path.clone()).collect(),
+            link_load,
+            link_loss,
+            topology_links: topology.links().to_vec(),
+        }
+    }
+
+    /// `FlowConfig` is deliberately not `Clone` (it owns a protocol box),
+    /// so equivalence checks build the scenario twice from a closure.
+    fn assert_network_engines_match(build: impl Fn() -> NetScenario) {
+        let hoisted = run_network(build());
+        let reference = run_network_reference(build());
+        assert_eq!(
+            hoisted, reference,
+            "hoisted network engine diverged from the push-based reference"
+        );
+    }
+
+    #[test]
+    fn hoisted_engine_matches_reference_on_the_parking_lot() {
+        assert_network_engines_match(|| {
+            NetScenario::new(Topology::parking_lot(2, hop()))
+                .flow(FlowConfig::new(Box::new(Aimd::reno()), vec![0, 1]))
+                .flow(FlowConfig::new(Box::new(Aimd::reno()), vec![0]))
+                .flow(FlowConfig::new(Box::new(Vegas::classic()), vec![1]))
+                .steps(2000)
+        });
+    }
+
+    #[test]
+    fn hoisted_engine_matches_reference_under_churn() {
+        assert_network_engines_match(|| {
+            let plan = axcc_topo::ChurnPlan::poisson(0.01, 150.0).seed(4);
+            NetScenario::new(Topology::parking_lot(3, hop()))
+                .steps(1500)
+                .flow(FlowConfig::new(Box::new(Aimd::reno()), vec![0, 1, 2]))
+                .flow(
+                    FlowConfig::new(Box::new(Aimd::reno()), vec![1])
+                        .start_at(200)
+                        .stop_at(900),
+                )
+                .churn(&plan, &Aimd::reno(), vec![0, 1])
+                .unwrap()
+        });
+    }
+
+    mod equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// The allocation-free network engine is bit-identical to the
+            /// push-based reference across random parking lots: hop
+            /// counts, protocols, flow populations, activity windows.
+            #[test]
+            fn hoisted_engine_matches_reference(
+                hops in 1usize..4,
+                steps in 50usize..400,
+                protos in proptest::collection::vec(0u8..2, 1..5),
+                initial in 0.5f64..40.0,
+                stagger in any::<bool>(),
+            ) {
+                let build = || {
+                    let mut sc = NetScenario::new(Topology::parking_lot(hops, hop())).steps(steps);
+                    // One long flow across every hop, then a short flow
+                    // per remaining protocol, round-robin over links.
+                    sc = sc.flow(
+                        FlowConfig::new(Box::new(Aimd::reno()), (0..hops).collect())
+                            .initial_window(initial),
+                    );
+                    for (k, &p) in protos.iter().enumerate() {
+                        let proto: Box<dyn Protocol> = match p {
+                            0 => Box::new(Aimd::reno()),
+                            _ => Box::new(Vegas::classic()),
+                        };
+                        let mut cfg = FlowConfig::new(proto, vec![k % hops])
+                            .initial_window(initial + k as f64);
+                        if stagger && k % 2 == 1 {
+                            cfg = cfg
+                                .start_at(steps as u64 / 4)
+                                .stop_at((3 * steps as u64 / 4).max(steps as u64 / 4 + 1));
+                        }
+                        sc = sc.flow(cfg);
+                    }
+                    sc
+                };
+                assert_network_engines_match(build);
+            }
+        }
     }
 }

@@ -13,6 +13,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 static ELIMINATED_BYTES: AtomicU64 = AtomicU64::new(0);
 static STREAMED_RUNS: AtomicU64 = AtomicU64::new(0);
+static STREAMED_STEPS: AtomicU64 = AtomicU64::new(0);
+static STREAMED_SENDER_STEPS: AtomicU64 = AtomicU64::new(0);
 
 /// Bytes of trace columns a recorded run of this shape allocates: per
 /// step, 3 shared `f64` columns plus 3 per-sender `f64` columns.
@@ -24,6 +26,8 @@ pub fn trace_bytes(steps: usize, senders: usize) -> u64 {
 pub(crate) fn record_streamed(steps: usize, senders: usize) {
     ELIMINATED_BYTES.fetch_add(trace_bytes(steps, senders), Ordering::Relaxed);
     STREAMED_RUNS.fetch_add(1, Ordering::Relaxed);
+    STREAMED_STEPS.fetch_add(steps as u64, Ordering::Relaxed);
+    STREAMED_SENDER_STEPS.fetch_add(steps as u64 * senders as u64, Ordering::Relaxed);
 }
 
 /// Snapshot of the streaming-path accounting since the last [`take`].
@@ -33,6 +37,12 @@ pub struct StreamingStats {
     pub runs: u64,
     /// Total trace bytes those runs did not allocate.
     pub eliminated_bytes: u64,
+    /// Total simulation steps those runs executed.
+    pub steps: u64,
+    /// Total sender-steps (steps × senders) those runs executed — the
+    /// denominator for per-lane throughput (`bench-engine`'s
+    /// steps-per-second and ns-per-step columns).
+    pub sender_steps: u64,
 }
 
 /// Read and reset the counters (process-wide).
@@ -40,6 +50,8 @@ pub fn take() -> StreamingStats {
     StreamingStats {
         runs: STREAMED_RUNS.swap(0, Ordering::Relaxed),
         eliminated_bytes: ELIMINATED_BYTES.swap(0, Ordering::Relaxed),
+        steps: STREAMED_STEPS.swap(0, Ordering::Relaxed),
+        sender_steps: STREAMED_SENDER_STEPS.swap(0, Ordering::Relaxed),
     }
 }
 

@@ -1,0 +1,217 @@
+//! Ignored-by-default wall-clock probes for the engine hot path. Run with
+//! `cargo test --release -p axcc-fluidsim --test profile_hotloop -- --ignored --nocapture`
+//! to see where a gauntlet-shaped run spends its time.
+
+use axcc_core::LinkParams;
+use axcc_fluidsim::{
+    metric_accumulator_for, try_run_scenario_with, LossModel, Scenario, SenderConfig, StepSink,
+    StreamOptions, TraceSink,
+};
+use axcc_protocols::Aimd;
+use std::time::Instant;
+
+struct NullSink;
+impl StepSink for NullSink {
+    fn on_step(
+        &mut self,
+        _t: u64,
+        _total: f64,
+        _rtt: f64,
+        _loss: f64,
+        _records: &[axcc_fluidsim::StepRecord],
+    ) {
+    }
+}
+
+/// A null sink that still pays the default row-replay path (no on_steps
+/// override), isolating the block-replay overhead.
+struct ReplaySink(u64);
+impl StepSink for ReplaySink {
+    fn on_step(
+        &mut self,
+        t: u64,
+        _total: f64,
+        _rtt: f64,
+        _loss: f64,
+        _records: &[axcc_fluidsim::StepRecord],
+    ) {
+        self.0 = self.0.wrapping_add(t);
+    }
+}
+
+struct BlockNullSink;
+impl StepSink for BlockNullSink {
+    fn on_step(
+        &mut self,
+        _t: u64,
+        _total: f64,
+        _rtt: f64,
+        _loss: f64,
+        _records: &[axcc_fluidsim::StepRecord],
+    ) {
+    }
+    fn on_steps(&mut self, _block: &axcc_fluidsim::StepBlock) {}
+}
+
+fn gauntlet_like() -> Scenario {
+    Scenario::new(LinkParams::new(1e9, 0.05, 1e9))
+        .sender(SenderConfig::new(Box::new(Aimd::reno())).initial_window(10.0))
+        .wire_loss(LossModel::bursty(0.01, 8.0, 0.3))
+        .steps(3000)
+        .seed(7)
+}
+
+#[test]
+#[ignore]
+fn profile_cost_decomposition() {
+    const REPS: usize = 2000;
+    let time = |build: &dyn Fn() -> Scenario| {
+        let mut sink = BlockNullSink;
+        try_run_scenario_with(build(), &mut sink).unwrap();
+        let t0 = Instant::now();
+        for _ in 0..REPS {
+            let mut sink = BlockNullSink;
+            try_run_scenario_with(build(), &mut sink).unwrap();
+        }
+        t0.elapsed().as_secs_f64() * 1e9 / (REPS as f64 * 3000.0)
+    };
+    let base = |n: usize| {
+        let mut sc = Scenario::new(LinkParams::new(1e9, 0.05, 1e9))
+            .steps(3000)
+            .seed(7);
+        for _ in 0..n {
+            sc = sc.sender(SenderConfig::new(Box::new(Aimd::reno())).initial_window(10.0));
+        }
+        sc
+    };
+    println!(
+        "1 sender, no loss:        {:>7.1} ns/step",
+        time(&|| base(1))
+    );
+    println!(
+        "1 sender, constant loss:  {:>7.1} ns/step",
+        time(&|| base(1).wire_loss(LossModel::Constant { rate: 0.01 }))
+    );
+    println!(
+        "1 sender, bernoulli loss: {:>7.1} ns/step",
+        time(&|| base(1).wire_loss(LossModel::Bernoulli { rate: 0.01 }))
+    );
+    println!(
+        "1 sender, bursty loss:    {:>7.1} ns/step",
+        time(&|| base(1).wire_loss(LossModel::bursty(0.01, 8.0, 0.3)))
+    );
+    println!(
+        "8 senders, bursty loss:   {:>7.1} ns/step",
+        time(&|| base(8).wire_loss(LossModel::bursty(0.01, 8.0, 0.3)))
+    );
+    println!(
+        "8 senders, no loss:       {:>7.1} ns/step",
+        time(&|| base(8))
+    );
+}
+
+#[test]
+#[ignore]
+fn profile_gauntlet_shape() {
+    const REPS: usize = 2000;
+    let warm = gauntlet_like();
+    let mut sink = NullSink;
+    try_run_scenario_with(warm, &mut sink).unwrap();
+
+    let t0 = Instant::now();
+    for _ in 0..REPS {
+        let mut sink = BlockNullSink;
+        try_run_scenario_with(gauntlet_like(), &mut sink).unwrap();
+    }
+    let engine_only = t0.elapsed();
+
+    let t0 = Instant::now();
+    for _ in 0..REPS {
+        let mut sink = ReplaySink(0);
+        try_run_scenario_with(gauntlet_like(), &mut sink).unwrap();
+    }
+    let replay = t0.elapsed();
+
+    let t0 = Instant::now();
+    for _ in 0..REPS {
+        let mut sink = TraceSink::for_scenario(&gauntlet_like());
+        try_run_scenario_with(gauntlet_like(), &mut sink).unwrap();
+        std::hint::black_box(sink.into_trace());
+    }
+    let traced = t0.elapsed();
+
+    let t0 = Instant::now();
+    for _ in 0..REPS {
+        let sc = gauntlet_like();
+        let mut acc = metric_accumulator_for(&sc, &StreamOptions::default());
+        try_run_scenario_with(sc, &mut acc).unwrap();
+        std::hint::black_box(acc.measured_efficiency());
+    }
+    let streamed = t0.elapsed();
+
+    let per = |d: std::time::Duration| d.as_secs_f64() * 1e9 / (REPS as f64 * 3000.0);
+    println!(
+        "engine-only (block null sink): {:>7.1} ns/step",
+        per(engine_only)
+    );
+    println!(
+        "engine + row replay:           {:>7.1} ns/step",
+        per(replay)
+    );
+    println!(
+        "engine + TraceSink:            {:>7.1} ns/step",
+        per(traced)
+    );
+    println!(
+        "engine + MetricAccumulator:    {:>7.1} ns/step",
+        per(streamed)
+    );
+}
+
+#[test]
+#[ignore]
+fn profile_protocol_mix() {
+    use axcc_protocols::{Cubic, Mimd, Pcc, RobustAimd, Vegas};
+    const REPS: usize = 1000;
+    let time = |build: &dyn Fn() -> Scenario| {
+        let mut sink = BlockNullSink;
+        try_run_scenario_with(build(), &mut sink).unwrap();
+        let t0 = Instant::now();
+        for _ in 0..REPS {
+            let mut sink = BlockNullSink;
+            try_run_scenario_with(build(), &mut sink).unwrap();
+        }
+        t0.elapsed().as_secs_f64() * 1e9 / (REPS as f64 * 3000.0)
+    };
+    let with = |p: Box<dyn axcc_core::Protocol>| {
+        Scenario::new(LinkParams::new(1e9, 0.05, 1e9))
+            .sender(SenderConfig::new(p).initial_window(10.0))
+            .wire_loss(LossModel::bursty(0.01, 8.0, 0.3))
+            .steps(3000)
+            .seed(7)
+    };
+    println!(
+        "reno:        {:>7.1} ns/step",
+        time(&|| with(Box::new(Aimd::reno())))
+    );
+    println!(
+        "cubic:       {:>7.1} ns/step",
+        time(&|| with(Box::new(Cubic::linux())))
+    );
+    println!(
+        "mimd:        {:>7.1} ns/step",
+        time(&|| with(Box::new(Mimd::scalable())))
+    );
+    println!(
+        "robust_aimd: {:>7.1} ns/step",
+        time(&|| with(Box::new(RobustAimd::new(1.0, 0.8, 0.01))))
+    );
+    println!(
+        "pcc:         {:>7.1} ns/step",
+        time(&|| with(Box::new(Pcc::new())))
+    );
+    println!(
+        "vegas:       {:>7.1} ns/step",
+        time(&|| with(Box::new(Vegas::classic())))
+    );
+}

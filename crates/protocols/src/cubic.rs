@@ -25,6 +25,11 @@ pub struct Cubic {
     /// Window at the last loss (`x_max`); `None` until the first
     /// observation anchors the cubic.
     x_max: Option<f64>,
+    /// `plateau(x_max)` for the current anchor. The cube root is the
+    /// protocol's only expensive operation and its input changes only
+    /// when the anchor moves, so it is computed once per anchor here
+    /// rather than once per step (same input bits, same result bits).
+    k: f64,
     /// Time steps since the last loss.
     t_since_loss: u64,
 }
@@ -43,6 +48,7 @@ impl Cubic {
             c,
             b,
             x_max: None,
+            k: 0.0,
             t_since_loss: 0,
         }
     }
@@ -76,6 +82,7 @@ impl Protocol for Cubic {
         if obs.loss_rate > 0.0 {
             // Anchor the cubic at the window that just saturated the link.
             self.x_max = Some(obs.window);
+            self.k = self.plateau(obs.window);
             self.t_since_loss = 0;
             self.b * obs.window
         } else {
@@ -83,11 +90,18 @@ impl Protocol for Cubic {
             // current window as if it were the anchor's floor (this mirrors
             // real Cubic's behaviour of tracking a synthetic x_max when none
             // has been recorded yet).
-            let x_max = *self.x_max.get_or_insert(obs.window.max(1.0) / self.b);
+            let x_max = match self.x_max {
+                Some(x) => x,
+                None => {
+                    let x = obs.window.max(1.0) / self.b;
+                    self.x_max = Some(x);
+                    self.k = self.plateau(x);
+                    x
+                }
+            };
             self.t_since_loss += 1;
-            let k = self.plateau(x_max);
             let t = self.t_since_loss as f64;
-            x_max + self.c * (t - k).powi(3)
+            x_max + self.c * (t - self.k).powi(3)
         }
     }
 
@@ -97,6 +111,7 @@ impl Protocol for Cubic {
 
     fn reset(&mut self) {
         self.x_max = None;
+        self.k = 0.0;
         self.t_since_loss = 0;
     }
 

@@ -154,6 +154,19 @@ pub fn policy_for(rel_path: &str) -> Option<FilePolicy> {
         rules
     };
 
+    // The fluid simulator's step loops (`for t in …`) are the hot path
+    // the SoA refactor vectorized: any per-step heap allocation there is
+    // a performance regression, so the step-loop-alloc family keeps them
+    // allocation-free.
+    let rules = if rel_path.starts_with("crates/fluidsim/") {
+        RuleSet {
+            step_alloc: true,
+            ..rules
+        }
+    } else {
+        rules
+    };
+
     Some(FilePolicy {
         rules,
         hygiene_kind,
@@ -351,6 +364,30 @@ mod tests {
             manifest_for("crates/topo/src/lib.rs").as_deref(),
             Some("crates/topo/Cargo.toml")
         );
+    }
+
+    #[test]
+    fn step_loop_alloc_covers_exactly_the_fluid_simulator() {
+        for hot in [
+            "crates/fluidsim/src/engine.rs",
+            "crates/fluidsim/src/network.rs",
+        ] {
+            assert!(
+                policy_for(hot).unwrap().rules.step_alloc,
+                "{hot} holds an engine step loop"
+            );
+        }
+        for other in [
+            "crates/core/src/axioms/streaming.rs",
+            "crates/packetsim/src/engine.rs",
+            "crates/analysis/src/experiments/table1.rs",
+            "src/lib.rs",
+        ] {
+            assert!(
+                !policy_for(other).unwrap().rules.step_alloc,
+                "{other} is outside the step-loop-alloc scope"
+            );
+        }
     }
 
     #[test]

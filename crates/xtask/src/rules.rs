@@ -29,6 +29,8 @@ pub enum Rule {
     LockDiscipline,
     /// Unordered-container iteration feeding an order-sensitive sink.
     NondetIteration,
+    /// Heap allocation inside an engine step loop (`for t in …`).
+    StepAlloc,
     /// Meta-rule: malformed `tidy-allow` suppressions.
     TidyAllow,
 }
@@ -46,6 +48,7 @@ impl Rule {
             Rule::FingerprintCoverage => "fingerprint-coverage",
             Rule::LockDiscipline => "lock-discipline",
             Rule::NondetIteration => "nondet-iteration",
+            Rule::StepAlloc => "step-loop-alloc",
             Rule::TidyAllow => "tidy-allow",
         }
     }
@@ -61,6 +64,7 @@ impl Rule {
         Rule::FingerprintCoverage,
         Rule::LockDiscipline,
         Rule::NondetIteration,
+        Rule::StepAlloc,
         Rule::TidyAllow,
     ];
 
@@ -76,6 +80,7 @@ impl Rule {
             "fingerprint-coverage" => Some(Rule::FingerprintCoverage),
             "lock-discipline" => Some(Rule::LockDiscipline),
             "nondet-iteration" => Some(Rule::NondetIteration),
+            "step-loop-alloc" => Some(Rule::StepAlloc),
             _ => None,
         }
     }
@@ -157,6 +162,11 @@ pub struct RuleSet {
     pub lock_discipline: bool,
     /// Run the scope-aware `nondet-iteration` family on this file.
     pub nondet_iteration: bool,
+    /// Flag heap allocation inside an engine step loop. Granted to the
+    /// simulator crates: the per-step body (`for t in …`) is the hot
+    /// path, and every buffer it needs must be hoisted into a reusable
+    /// workspace (or prefilled column) before the loop starts.
+    pub step_alloc: bool,
 }
 
 /// Substring patterns with fixed messages, applied to stripped code.
@@ -247,6 +257,23 @@ const PANIC_PATTERNS: &[(&str, &str)] = &[
     ),
 ];
 
+/// Allocation patterns forbidden inside an engine step loop. The hot
+/// path must work entirely in buffers hoisted before the loop (the
+/// `EngineWorkspace` arena, prefilled trace columns); any of these inside
+/// a `for t in …` body is a per-step heap allocation.
+const ALLOC_PATTERNS: &[&str] = &[
+    "Vec::new(",
+    "vec![",
+    ".push(",
+    ".to_vec()",
+    ".collect(",
+    "with_capacity(",
+    "Box::new(",
+    "format!(",
+    "String::new(",
+    "to_string(",
+];
+
 /// Numeric literals that smell like inline Mbps/ms/MSS conversions.
 const UNIT_LITERALS: &[&str] = &[
     "1000.0",
@@ -269,12 +296,49 @@ pub fn check_lines(
     is_units_module: bool,
 ) -> Vec<(usize, Rule, String)> {
     let mut findings = Vec::new();
+    // Brace-depth tracker for the step-loop-alloc family: `step_body` is
+    // the depth of the innermost `for t in …` body currently open (the
+    // step loops of the fluid engines bind their step counter `t`).
+    let mut depth: i64 = 0;
+    let mut step_body: Option<i64> = None;
     for (idx, line) in file.lines.iter().enumerate() {
         let lineno = idx + 1;
+        let raw_code = line.code.as_str();
+        let opens = raw_code.matches('{').count() as i64;
+        let closes = raw_code.matches('}').count() as i64;
+        let depth_before = depth;
+        depth += opens - closes;
+        if let Some(body) = step_body {
+            if depth < body {
+                step_body = None;
+            }
+        }
         if line.in_test {
             continue;
         }
-        let code = line.code.as_str();
+        let code = raw_code;
+        if rules.step_alloc {
+            if let Some(body) = step_body {
+                if depth_before >= body {
+                    for &pat in ALLOC_PATTERNS {
+                        if code.contains(pat) {
+                            findings.push((
+                                lineno,
+                                Rule::StepAlloc,
+                                format!(
+                                    "`{pat}` inside the engine step loop: per-step heap \
+                                     allocation; hoist the buffer out of the loop \
+                                     (EngineWorkspace arena / prefilled column)"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            if code.trim_start().starts_with("for t in ") && depth > depth_before {
+                step_body = Some(depth);
+            }
+        }
         if rules.determinism {
             for &(pat, msg) in DETERMINISM_PATTERNS {
                 if code.contains(pat) {
@@ -640,7 +704,8 @@ pub fn parse_allow(line: &Line) -> Option<Result<Allow, String>> {
             return Some(Err(format!(
                 "unknown rule id `{id}` in tidy-allow (expected one of determinism, \
                  nan-safety, panic-freedom, unit-safety, hygiene, trace-discipline, \
-                 fingerprint-coverage, lock-discipline, nondet-iteration)"
+                 fingerprint-coverage, lock-discipline, nondet-iteration, \
+                 step-loop-alloc)"
             )))
         }
     };
@@ -827,5 +892,86 @@ mod tests {
     fn allow_unknown_rule_is_error() {
         let f = lex("// tidy-allow: no-such-rule — because reasons here\n");
         assert!(matches!(parse_allow(&f.lines[0]), Some(Err(_))));
+    }
+
+    fn step_rules() -> RuleSet {
+        RuleSet {
+            step_alloc: true,
+            ..RuleSet::default()
+        }
+    }
+
+    #[test]
+    fn step_loop_alloc_fires_inside_the_loop_body() {
+        let src = "\
+fn engine() {
+    for t in 0..steps {
+        let loads = vec![0.0; nl];
+        trace.push(loads[0]);
+    }
+}
+";
+        let hits = check_lines(&lex(src), step_rules(), false);
+        assert_eq!(
+            hits.iter()
+                .filter(|(_, r, _)| *r == Rule::StepAlloc)
+                .count(),
+            2,
+            "vec! and .push( in the body must both fire; got {hits:?}"
+        );
+        assert!(hits.iter().any(|(l, _, _)| *l == 3));
+        assert!(hits.iter().any(|(l, _, _)| *l == 4));
+    }
+
+    #[test]
+    fn step_loop_alloc_ignores_code_outside_the_loop() {
+        let src = "\
+fn engine() {
+    let mut loads = vec![0.0; nl];
+    for t in 0..steps {
+        loads.fill(0.0);
+    }
+    loads.push(1.0);
+}
+";
+        assert!(check_lines(&lex(src), step_rules(), false).is_empty());
+    }
+
+    #[test]
+    fn step_loop_alloc_tracks_nested_braces() {
+        let src = "\
+fn engine() {
+    for t in 0..steps {
+        if dense {
+            let v = x.to_vec();
+        }
+    }
+    let after = y.to_vec();
+}
+";
+        let hits = check_lines(&lex(src), step_rules(), false);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].0, 4);
+    }
+
+    #[test]
+    fn step_loop_alloc_skips_other_loop_binders_and_tests() {
+        // `for k in …` is not a step loop; test code is exempt wholesale.
+        let src = "\
+fn replay() {
+    for k in 0..n {
+        records.push(k);
+    }
+}
+#[cfg(test)]
+mod tests {
+    fn t() {
+        for t in 0..9 {
+            v.push(t);
+        }
+    }
+}
+";
+        assert!(check_lines(&lex(src), step_rules(), false).is_empty());
     }
 }

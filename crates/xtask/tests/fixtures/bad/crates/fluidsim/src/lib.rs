@@ -1,0 +1,5 @@
+//! A fluid-simulator crate whose step loop allocates — the positive
+//! case for the `step-loop-alloc` family.
+#![forbid(unsafe_code)]
+
+pub mod hotloop;

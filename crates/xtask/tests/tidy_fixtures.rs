@@ -169,6 +169,42 @@ fn bad_fixture_trips_the_parser_backed_families() {
 }
 
 #[test]
+fn bad_fixture_trips_the_step_loop_alloc_rule() {
+    let diags = tidy("bad");
+    let hotloop = "crates/fluidsim/src/hotloop.rs";
+
+    // Every allocation pattern inside the `for t in …` body fires…
+    assert_finding(&diags, hotloop, Rule::StepAlloc, "`vec![`");
+    assert_finding(&diags, hotloop, Rule::StepAlloc, "`.collect(`");
+    assert_finding(&diags, hotloop, Rule::StepAlloc, "`.to_vec()`");
+    assert_finding(&diags, hotloop, Rule::StepAlloc, "`.push(`");
+
+    // …while the with_capacity on the hoisted accumulator (before the
+    // loop) does not.
+    let src = std::fs::read_to_string(fixture_root("bad").join(hotloop)).expect("hotloop fixture");
+    let hoisted_line = src
+        .lines()
+        .position(|l| l.contains("with_capacity"))
+        .expect("fixture hoists an accumulator")
+        + 1;
+    assert!(
+        !diags
+            .iter()
+            .any(|d| d.file == hotloop && d.rule == Rule::StepAlloc && d.line == hoisted_line),
+        "allocation before the step loop must not be flagged"
+    );
+
+    // The family is scoped to the fluid simulator: the sim crate's
+    // engine fixture never produces step-loop-alloc findings.
+    assert!(
+        !diags
+            .iter()
+            .any(|d| d.file.starts_with("crates/sim/") && d.rule == Rule::StepAlloc),
+        "step-loop-alloc must not fire outside crates/fluidsim"
+    );
+}
+
+#[test]
 fn bad_fixture_findings_are_sorted_and_deduped() {
     let diags = tidy("bad");
     // Sorted by (file, line, rule) — two findings may share that key

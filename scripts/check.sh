@@ -24,9 +24,9 @@ echo "==> axcc sweep --only churn --smoke (flow churn: both engines, streaming p
 cargo run -q -p axcc-cli -- sweep --only churn --smoke --jobs 2 \
   --cache-dir target/sweep-cache-ci > /dev/null
 
-echo "==> bench-engine --smoke (streaming ≡ traced identity + wall-clock)"
+echo "==> bench-engine --smoke (streaming ≡ traced identity + speedup gate)"
 cargo run -q --release -p axcc-bench --bin bench-engine -- --smoke \
-  --out target/BENCH_engine_smoke.json > /dev/null
+  --min-speedup 0.95 --out target/BENCH_engine_smoke.json > /dev/null
 
 echo "==> bench-serve --spawn (service smoke: daemon up, bench, drain)"
 cargo run -q -p axcc-cli -- bench-serve --spawn --levels 1,2 --requests 3 \
