@@ -11,6 +11,7 @@
 //! | [`shootout`] | §5.2's robustness/efficiency shootout (R-AIMD vs classics vs PCC) |
 //! | [`gauntlet`] | Metric VI under Gilbert–Elliott bursty loss (the adverse-network gauntlet) |
 //! | [`frontier`] | empirical Pareto-frontier search over all implemented families |
+//! | [`explore`] | parameter-space exploration: protocol grid × loss ladder, 10⁵ cells |
 //! | [`aqm`] | §6 in-network queueing: droptail vs ECN vs RED across the metrics |
 //! | [`extensions`] | §6 future-work metrics: smoothness, responsiveness, Metric VIII across classes |
 //! | [`churn`] | §6 dynamic populations: churn-aware metrics under seeded arrival storms |
@@ -32,6 +33,7 @@ use axcc_sweep::SweepRunner;
 pub mod aqm;
 pub mod churn;
 pub mod emulab;
+pub mod explore;
 pub mod extensions;
 pub mod figure1;
 pub mod frontier;
@@ -182,6 +184,14 @@ fn run_frontier(runner: &SweepRunner, budget: RunBudget) -> ExperimentOutcome {
     }
 }
 
+fn run_explore(runner: &SweepRunner, budget: RunBudget) -> ExperimentOutcome {
+    let rep = explore::run_explore_with(runner, budget);
+    ExperimentOutcome {
+        passed: rep.passed(),
+        report: rep.render(),
+    }
+}
+
 fn run_emulab(runner: &SweepRunner, budget: RunBudget) -> ExperimentOutcome {
     let cfg = if budget.smoke {
         emulab::EmulabConfig::quick()
@@ -288,6 +298,14 @@ pub fn registry() -> Vec<Experiment> {
             run: run_frontier,
         },
         Experiment {
+            name: "explore",
+            family: "frontier",
+            budget: "101670/310 jobs",
+            supports_streaming: true,
+            artifact: "parameter-space exploration — protocol grid × loss ladder",
+            run: run_explore,
+        },
+        Experiment {
             name: "aqm",
             family: "queueing",
             budget: "40/20 s",
@@ -330,7 +348,7 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(names.len(), dedup.len(), "duplicate registry names");
-        assert_eq!(names.len(), 11);
+        assert_eq!(names.len(), 12);
         for expected in [
             "table1", "table2", "figure1", "theorems", "gauntlet", "churn",
         ] {
@@ -343,7 +361,7 @@ mod tests {
         // `axcc list` renders one row per experiment from these fields;
         // the row count must track the registry exactly.
         let reg = registry();
-        assert_eq!(reg.len(), 11, "registry row count");
+        assert_eq!(reg.len(), 12, "registry row count");
         for e in &reg {
             assert!(!e.family.is_empty(), "{} has no family", e.name);
             assert!(!e.budget.is_empty(), "{} has no budget", e.name);

@@ -1,28 +1,204 @@
 //! Benchmark the sweep engine itself and emit **BENCH_sweep.json**.
 //!
 //! For every experiment in the registry (smoke scale by default) this
-//! measures three wall-clock configurations:
+//! measures three configurations with min-of-N interleaved timing (the
+//! serial and parallel passes alternate within each repetition, so clock
+//! drift and cache-warming bias hit both sides equally):
 //!
-//! 1. **serial** — one worker, cache disabled (the pre-sweep baseline);
-//! 2. **parallel** — `--jobs` workers (default: all cores), cold cache;
-//! 3. **warm** — the same runner again, so every job should be answered
-//!    from the content-addressed cache.
+//! 1. **serial** — one worker, cache disabled;
+//! 2. **parallel** — `--jobs` workers (default: all cores), cache
+//!    disabled too, so the comparison is symmetric and measures dispatch,
+//!    not cache asymmetry;
+//! 3. **warm** — a cached runner primed by one cold pass, then re-run, so
+//!    every job is answered from the content-addressed store. The warm
+//!    wall-clock divided by the job count is the engine's per-job
+//!    *lookup* overhead.
 //!
-//! The JSON snapshot records per-experiment wall-clock, speedup, and the
-//! warm-pass cache hit rate, plus suite totals. Reports are discarded —
-//! this binary times the engine, it does not regenerate artifacts.
+//! A separate **dispatch microbench** measures per-job dispatch cost with
+//! no-op jobs at a fixed worker count, in three shapes: the pre-chunking
+//! **per-job-channel baseline** (single-job claims + one mpsc round-trip
+//! per result), the pool at `chunk = 1` (single-job claims, per-job slot
+//! lock), and the pool at the auto chunk size. The reported
+//! `overhead_reduction` is channel-baseline ÷ auto — the dispatch cost
+//! chunked claiming removed, independent of any simulation cost.
+//!
+//! The snapshot also records [`ENGINE_REVISION`] and the host
+//! parallelism; `--check PATH` validates an existing snapshot against the
+//! current engine revision and **fails loudly on mismatch** — a stale
+//! snapshot describes an engine that no longer exists, so CI should
+//! regenerate rather than trust it.
 //!
 //! Flags:
 //! * `--jobs N` — parallel worker count (0 = all cores; the default);
 //! * `--paper` — full artifact scale instead of smoke scale;
-//! * `--out PATH` — where to write the snapshot (default `BENCH_sweep.json`).
+//! * `--reps N` — timing repetitions per experiment (min is kept;
+//!   default 5 smoke / 1 paper);
+//! * `--only n1,n2,…` — restrict to a comma-separated experiment subset;
+//! * `--min-speedup X` — exit 1 if the suite speedup lands below `X`;
+//! * `--out PATH` — where to write the snapshot (default
+//!   `BENCH_sweep.json`);
+//! * `--check PATH` — validate an existing snapshot's engine revision
+//!   instead of benchmarking.
 
 use axcc_analysis::experiments::{registry, RunBudget};
 use axcc_bench::has_flag;
 use axcc_bench::runner::flag_value;
-use axcc_sweep::{Stopwatch, SweepRunner, ENGINE_REVISION};
+use axcc_sweep::pool::run_chunked_cancellable;
+use axcc_sweep::{
+    default_chunk_size, host_parallelism, Stopwatch, SweepRunner, ENGINE_REVISION, SHARD_COUNT,
+};
+
+/// Worker count of the dispatch microbench. Fixed (not host-derived) so
+/// snapshots from different machines measure the same contention shape;
+/// the pool is driven directly, so the runner's host clamp does not
+/// apply.
+const DISPATCH_WORKERS: usize = 4;
+
+/// No-op jobs in the dispatch microbench — enough that per-job overhead
+/// dominates thread startup.
+const DISPATCH_JOBS: usize = 200_000;
+
+fn die(msg: &str) -> ! {
+    eprintln!("[bench-sweep] {msg}");
+    std::process::exit(1);
+}
+
+/// Validate a snapshot file against the running engine revision.
+fn check_snapshot(path: &str) -> ! {
+    let raw = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => die(&format!("cannot read {path}: {e}")),
+    };
+    let v: serde_json::Value = match serde_json::from_str(&raw) {
+        Ok(v) => v,
+        Err(e) => die(&format!("{path} is not valid JSON: {e}")),
+    };
+    let Some(rev) = v["engine_revision"].as_u64() else {
+        die(&format!("{path} has no engine_revision field"));
+    };
+    if rev != u64::from(ENGINE_REVISION) {
+        die(&format!(
+            "STALE SNAPSHOT: {path} was measured at engine revision {rev}, \
+             but this build is revision {ENGINE_REVISION}. The numbers \
+             describe an engine that no longer exists — regenerate with \
+             `cargo run --release --bin bench-sweep`."
+        ));
+    }
+    if v["totals"]["speedup"].as_f64().is_none() {
+        die(&format!("{path} has no totals.speedup field"));
+    }
+    eprintln!("[bench-sweep] {path}: engine revision {rev} matches this build");
+    std::process::exit(0);
+}
+
+/// Min-of-N interleaved wall-clock for two closures. The pair order
+/// alternates between repetitions (a,b then b,a), so clock drift, CPU
+/// frequency decay, and page-cache warming bias both sides equally.
+/// Returns `(min_a, min_b)`.
+fn time_pair(reps: usize, mut a: impl FnMut(), mut b: impl FnMut()) -> (f64, f64) {
+    let mut min_a = f64::INFINITY;
+    let mut min_b = f64::INFINITY;
+    for rep in 0..reps.max(1) {
+        let mut run_a = |min_a: &mut f64| {
+            let sw = Stopwatch::start();
+            a();
+            *min_a = min_a.min(sw.elapsed_secs());
+        };
+        let mut run_b = |min_b: &mut f64| {
+            let sw = Stopwatch::start();
+            b();
+            *min_b = min_b.min(sw.elapsed_secs());
+        };
+        if rep % 2 == 0 {
+            run_a(&mut min_a);
+            run_b(&mut min_b);
+        } else {
+            run_b(&mut min_b);
+            run_a(&mut min_a);
+        }
+    }
+    (min_a, min_b)
+}
+
+/// Per-job cost (nanoseconds) of the engine's **pre-chunking dispatch
+/// shape** — one channel round-trip per job. A submission thread feeds
+/// single job indices through a work channel that workers pull off a
+/// shared `Mutex<Receiver>` (the std-only work-queue idiom the old pool
+/// used), and every `(index, result)` travels back through a result
+/// channel to a collector that reassembles the slot vector. Min over
+/// `reps` runs of [`DISPATCH_JOBS`] no-op jobs.
+fn per_job_channel_ns(reps: usize) -> f64 {
+    use std::sync::{mpsc, Mutex};
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let sw = Stopwatch::start();
+        let (job_tx, job_rx) = mpsc::channel::<usize>();
+        let job_rx = Mutex::new(job_rx);
+        let (res_tx, res_rx) = mpsc::channel::<(usize, u64)>();
+        // tidy-allow: determinism — this deliberately rebuilds the retired per-job-channel dispatch as a timing baseline; results are reassembled by index and only the wall-clock is reported.
+        let slots = std::thread::scope(|scope| {
+            for _ in 0..DISPATCH_WORKERS {
+                let res_tx = res_tx.clone();
+                let job_rx = &job_rx;
+                scope.spawn(move || loop {
+                    let claimed = match job_rx.lock() {
+                        Ok(guard) => guard.recv(),
+                        Err(_) => break,
+                    };
+                    let Ok(idx) = claimed else { break };
+                    if res_tx.send((idx, idx as u64)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(res_tx);
+            for idx in 0..DISPATCH_JOBS {
+                if job_tx.send(idx).is_err() {
+                    break;
+                }
+            }
+            drop(job_tx);
+            let mut slots: Vec<Option<u64>> = vec![None; DISPATCH_JOBS];
+            for (idx, v) in res_rx {
+                slots[idx] = Some(v);
+            }
+            slots
+        });
+        let secs = sw.elapsed_secs();
+        assert!(slots.iter().all(Option::is_some), "channel lost jobs");
+        best = best.min(secs);
+    }
+    best / DISPATCH_JOBS as f64 * 1e9
+}
+
+/// Per-job dispatch cost (nanoseconds) of the pool at a given chunk size,
+/// min over `reps` runs of [`DISPATCH_JOBS`] no-op jobs.
+fn dispatch_per_job_ns(chunk: usize, reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let sw = Stopwatch::start();
+        let out = run_chunked_cancellable(
+            DISPATCH_WORKERS,
+            DISPATCH_JOBS,
+            chunk,
+            |range, out| {
+                for idx in range {
+                    out.push(idx as u64);
+                }
+            },
+            None,
+        );
+        let secs = sw.elapsed_secs();
+        assert_eq!(out.map(|v| v.len()), Ok(DISPATCH_JOBS), "pool lost jobs");
+        best = best.min(secs);
+    }
+    best / DISPATCH_JOBS as f64 * 1e9
+}
 
 fn main() {
+    if let Some(path) = flag_value("--check") {
+        check_snapshot(&path);
+    }
     let workers = flag_value("--jobs")
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or(0);
@@ -31,7 +207,27 @@ fn main() {
     } else {
         RunBudget::smoke()
     };
+    let reps = flag_value("--reps")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(if budget.smoke { 5 } else { 1 });
+    let min_speedup = flag_value("--min-speedup").and_then(|v| v.parse::<f64>().ok());
+    let only: Vec<String> = flag_value("--only")
+        .map(|v| {
+            v.split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect()
+        })
+        .unwrap_or_default();
     let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_sweep.json".to_string());
+
+    let suite: Vec<_> = registry()
+        .into_iter()
+        .filter(|e| only.is_empty() || only.iter().any(|n| n == e.name))
+        .collect();
+    if suite.is_empty() {
+        die("--only matched no experiments");
+    }
 
     let mut experiments = Vec::new();
     let mut serial_total = 0.0;
@@ -39,32 +235,42 @@ fn main() {
     let mut warm_hits = 0u64;
     let mut warm_jobs = 0u64;
     let resolved_workers = SweepRunner::new(workers).workers();
-    for exp in registry() {
+    for exp in &suite {
         eprintln!("[bench-sweep] {} …", exp.name);
 
-        let serial = SweepRunner::without_cache(1);
-        let sw = Stopwatch::start();
-        let serial_outcome = (exp.run)(&serial, budget);
-        let serial_secs = sw.elapsed_secs();
+        // Interleaved min-of-N, both sides uncached (symmetric).
+        let mut serial_report = None;
+        let mut parallel_report = None;
+        let (serial_secs, parallel_secs) = time_pair(
+            reps,
+            || {
+                let r = SweepRunner::without_cache(1);
+                serial_report = Some((exp.run)(&r, budget).report);
+            },
+            || {
+                let r = SweepRunner::without_cache(workers);
+                parallel_report = Some((exp.run)(&r, budget).report);
+            },
+        );
 
-        let parallel = SweepRunner::new(workers);
+        // Warm pass: prime a cached runner, then re-run against the store.
+        let cached = SweepRunner::new(workers);
+        let _ = (exp.run)(&cached, budget);
+        let jobs = cached.take_stats().jobs();
         let sw = Stopwatch::start();
-        let parallel_outcome = (exp.run)(&parallel, budget);
-        let parallel_secs = sw.elapsed_secs();
-        let cold = parallel.take_stats();
-
-        let sw = Stopwatch::start();
-        let warm_outcome = (exp.run)(&parallel, budget);
+        let warm_outcome = (exp.run)(&cached, budget);
         let warm_secs = sw.elapsed_secs();
-        let warm = parallel.take_stats();
+        let warm = cached.take_stats();
 
+        let serial_report = serial_report.unwrap_or_default();
         assert_eq!(
-            serial_outcome.report, parallel_outcome.report,
+            Some(&serial_report),
+            parallel_report.as_ref(),
             "{}: parallel report diverged from serial",
             exp.name
         );
         assert_eq!(
-            serial_outcome.report, warm_outcome.report,
+            serial_report, warm_outcome.report,
             "{}: warm-cache report diverged from serial",
             exp.name
         );
@@ -78,16 +284,39 @@ fn main() {
         } else {
             0.0
         };
+        let jobs_per_sec = if parallel_secs > 0.0 {
+            jobs as f64 / parallel_secs
+        } else {
+            0.0
+        };
+        let warm_per_job_ns = if jobs > 0 {
+            warm_secs / jobs as f64 * 1e9
+        } else {
+            0.0
+        };
         experiments.push(serde_json::json!({
             "name": exp.name,
-            "jobs": cold.jobs(),
+            "jobs": jobs,
             "serial_secs": serial_secs,
             "parallel_secs": parallel_secs,
             "speedup": speedup,
+            "jobs_per_sec": jobs_per_sec,
             "warm_secs": warm_secs,
             "warm_hit_rate": warm.hit_rate(),
+            "warm_per_job_ns": warm_per_job_ns,
         }));
     }
+
+    eprintln!("[bench-sweep] dispatch microbench …");
+    let per_job_ns_channel = per_job_channel_ns(reps);
+    let per_job_ns_chunk1 = dispatch_per_job_ns(1, reps);
+    let auto_chunk = default_chunk_size(DISPATCH_JOBS, DISPATCH_WORKERS);
+    let per_job_ns_auto = dispatch_per_job_ns(auto_chunk, reps);
+    let overhead_reduction = if per_job_ns_auto > 0.0 {
+        per_job_ns_channel / per_job_ns_auto
+    } else {
+        0.0
+    };
 
     let suite_speedup = if parallel_total > 0.0 {
         serial_total / parallel_total
@@ -109,25 +338,41 @@ fn main() {
     let snapshot = serde_json::json!({
         "engine_revision": ENGINE_REVISION,
         "workers": resolved_workers,
+        "host_parallelism": host_parallelism(),
+        "store_shards": SHARD_COUNT,
         "scale": scale,
+        "reps": reps,
+        "dispatch": serde_json::json!({
+            "workers": DISPATCH_WORKERS,
+            "jobs": DISPATCH_JOBS,
+            "auto_chunk": auto_chunk,
+            "per_job_ns_channel": per_job_ns_channel,
+            "per_job_ns_chunk1": per_job_ns_chunk1,
+            "per_job_ns_auto": per_job_ns_auto,
+            "overhead_reduction": overhead_reduction,
+        }),
         "experiments": experiments,
         "totals": totals,
     });
     let rendered = match serde_json::to_string_pretty(&snapshot) {
         Ok(s) => s,
-        Err(e) => {
-            eprintln!("[bench-sweep] JSON serialization failed: {e}");
-            std::process::exit(1);
-        }
+        Err(e) => die(&format!("JSON serialization failed: {e}")),
     };
     println!("{rendered}");
     if let Err(e) = std::fs::write(&out_path, format!("{rendered}\n")) {
-        eprintln!("[bench-sweep] cannot write {out_path}: {e}");
-        std::process::exit(1);
+        die(&format!("cannot write {out_path}: {e}"));
     }
     eprintln!(
-        "[bench-sweep] snapshot written to {out_path} ({}x suite speedup, {:.1}% warm hit rate)",
-        (serial_total / parallel_total.max(1e-9)).round(),
-        100.0 * warm_hits as f64 / warm_jobs.max(1) as f64
+        "[bench-sweep] snapshot written to {out_path} ({suite_speedup:.2}x suite speedup, \
+         {:.1}% warm hit rate, {overhead_reduction:.1}x dispatch-overhead reduction)",
+        100.0 * suite_warm_hit_rate,
     );
+    if let Some(gate) = min_speedup {
+        if suite_speedup < gate {
+            die(&format!(
+                "suite speedup {suite_speedup:.3}x is below the --min-speedup gate {gate:.3}x"
+            ));
+        }
+        eprintln!("[bench-sweep] speedup gate passed ({suite_speedup:.2}x >= {gate:.2}x)");
+    }
 }

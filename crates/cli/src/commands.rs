@@ -55,11 +55,15 @@ sweep engine (parallel + content-addressed cache; see DESIGN.md):
   axcc sweep    --experiment NAME   one registry experiment through the
                                     sweep engine (`axcc list` shows names)
                 [--only n1,n2,…]    comma-separated list of experiments
+                [--cache-stats]     append a result-store report (per-shard
+                                    segment sizes, hit/miss/heal counters)
   axcc run-all  [--out-dir D]       the full experiment suite; writes one
                                     report per experiment to D when given
                 [--only n1,n2,…]    restrict to a subset of experiments
   flags for both:
                 [--jobs N]     worker threads (0 = all cores; default 1)
+                [--chunk-size N] jobs claimed per worker grab (0 = auto,
+                                scaled to jobs/workers; results identical)
                 [--smoke]      reduced run lengths (CI scale)
                 [--no-cache]   disable the result cache
                 [--cache-dir D] persist the cache under D
@@ -637,6 +641,7 @@ fn cmd_extensions(args: &Args) -> Result<String, CliError> {
 /// switches metric-only experiments back to full trace recording.
 fn runner_from(args: &Args) -> Result<SweepRunner, CliError> {
     let jobs = args.get_usize("jobs", 1)?;
+    let chunk = args.get_usize("chunk-size", 0)?;
     let no_cache = args.get_bool("no-cache");
     let cache_dir = args.get("cache-dir").map(str::to_string);
     let mode = if args.get_bool("record-traces") {
@@ -661,6 +666,7 @@ fn runner_from(args: &Args) -> Result<SweepRunner, CliError> {
     sigmon::install();
     let caching = !no_cache;
     Ok(runner
+        .with_chunk_size(chunk)
         .with_eval_mode(mode)
         .with_cancel(CancelSignal::from_fn(sigmon::interrupted))
         .with_interrupt_hook(Box::new(move |info| {
@@ -675,6 +681,41 @@ fn runner_from(args: &Args) -> Result<SweepRunner, CliError> {
             );
             std::process::exit(130);
         })))
+}
+
+/// Render the runner's result-store statistics (`sweep --cache-stats`):
+/// process-lifetime hit/miss/heal counters, the in-memory index size, and
+/// one row per on-disk shard with its entry count and segment bytes — the
+/// observable footprint of the sharded log-structured store (O(shards)
+/// files regardless of job count).
+fn render_cache_stats(runner: &SweepRunner) -> String {
+    let Some(cache) = runner.cache_handle() else {
+        return "result store: disabled (--no-cache)\n".to_string();
+    };
+    let s = cache.stats();
+    let mut out = format!(
+        "result store: {} hits / {} misses this process, {} heal event(s)\n\
+         in-memory index: {} entries; on disk: {} entries in {} segment file(s), {} bytes\n",
+        s.hits,
+        s.misses,
+        s.heal_events,
+        s.mem_entries,
+        s.disk_entries(),
+        s.shards.iter().filter(|sh| sh.entries > 0).count(),
+        s.segment_bytes(),
+    );
+    if !s.shards.is_empty() {
+        let mut t = TextTable::new(["shard", "entries", "bytes"]);
+        for (id, sh) in s.shards.iter().enumerate() {
+            t.row([
+                format!("{id:02x}"),
+                sh.entries.to_string(),
+                sh.segment_bytes.to_string(),
+            ]);
+        }
+        out.push_str(&t.render());
+    }
+    out
 }
 
 /// Shared budget flag: `--smoke` selects CI-scale run lengths.
@@ -700,6 +741,7 @@ fn cmd_sweep(args: &Args) -> Result<String, CliError> {
     }
     let runner = runner_from(args)?;
     let budget = budget_from(args);
+    let want_cache_stats = args.get_bool("cache-stats");
     args.finish()?;
     let mut experiments = Vec::new();
     for name in &names {
@@ -733,6 +775,10 @@ fn cmd_sweep(args: &Args) -> Result<String, CliError> {
         if !outcome.passed {
             failures.push(exp.name);
         }
+    }
+    if want_cache_stats {
+        out.push('\n');
+        out.push_str(&render_cache_stats(&runner));
     }
     if failures.is_empty() {
         Ok(out)

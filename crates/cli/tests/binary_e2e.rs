@@ -96,3 +96,71 @@ fn feasible_is_scriptable() {
     assert_eq!(code, 0);
     assert!(stdout.contains("Theorem 2"), "{stdout}");
 }
+
+#[test]
+fn sweep_honours_chunk_size_and_reports_cache_stats() {
+    let dir = std::env::temp_dir().join(format!("axcc-e2e-cache-stats-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache_dir = dir.to_str().expect("utf-8 temp path");
+    let base = [
+        "sweep",
+        "--experiment",
+        "theorems",
+        "--smoke",
+        "--cache-stats",
+        "--cache-dir",
+        cache_dir,
+    ];
+
+    // Cold run with an explicit (tiny) chunk size: same results, and the
+    // store report shows the sharded on-disk layout.
+    let mut cold_args: Vec<&str> = base.to_vec();
+    cold_args.extend(["--chunk-size", "2"]);
+    let (code, cold, stderr) = axcc(&cold_args);
+    assert_eq!(code, 0, "stdout: {cold}\nstderr: {stderr}");
+    assert!(cold.contains("result store:"), "{cold}");
+    assert!(cold.contains("in-memory index:"), "{cold}");
+    assert!(cold.contains("shard"), "{cold}");
+    assert!(cold.contains("0.0% hit rate"), "{cold}");
+
+    // Warm run at the auto chunk size: answered from disk, and the report
+    // body (everything before the timing line) is byte-identical.
+    let (code, warm, _) = axcc(&base);
+    assert_eq!(code, 0, "{warm}");
+    assert!(warm.contains("100.0% hit rate"), "{warm}");
+    let body = |s: &str| {
+        s.lines()
+            .filter(|l| !l.contains("jobs over") && !l.contains("result store:"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(body(&cold), body(&warm), "chunking must not change results");
+
+    // The 10^5-layout invariant end to end: entries live in O(shards)
+    // segment files, never one file per digest.
+    let files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("cache dir exists")
+        .flatten()
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(
+        files.iter().all(|f| f.ends_with(".seg")),
+        "only segment files expected: {files:?}"
+    );
+    assert!(files.len() <= 16, "O(shards) files, got {files:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn no_cache_sweep_reports_disabled_store() {
+    let (code, stdout, _) = axcc(&[
+        "sweep",
+        "--experiment",
+        "theorems",
+        "--smoke",
+        "--no-cache",
+        "--cache-stats",
+    ]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("result store: disabled"), "{stdout}");
+}

@@ -16,13 +16,18 @@
 //!   in, a [`Cacheable`](record::Cacheable) scored result out. Jobs
 //!   fingerprint themselves ([`axcc_core::fingerprint`]) so equal inputs
 //!   share a cache address.
-//! * [`pool`] — a fixed-size `std::thread` worker pool. Workers race to
-//!   *claim* jobs but results are reassembled by submission index, which
+//! * [`pool`] — a fixed-size `std::thread` worker pool. Workers claim
+//!   contiguous *chunks* of jobs off one atomic cursor (no per-job locks
+//!   or channel round-trips) and flush each chunk into a preallocated
+//!   slot vector, so results are reassembled by submission index — which
 //!   is why parallel output is byte-identical to serial output (see
-//!   DESIGN.md, "The sweep subsystem").
+//!   DESIGN.md, "The sweep subsystem" and §9).
 //! * [`cache`] — content-addressed in-memory + optional on-disk result
-//!   store keyed by the 128-bit job digest. The on-disk format is the
-//!   exact bit-pattern [`record::Record`] codec, not JSON, so ±∞ and NaN
+//!   store keyed by the 128-bit job digest. The on-disk layout is
+//!   sharded and log-structured: [`cache::SHARD_COUNT`] append-only
+//!   segment files indexed in memory on open, so a 10⁵-job sweep creates
+//!   O(shards) files, not O(jobs). Record bodies use the exact
+//!   bit-pattern [`record::Record`] codec, not JSON, so ±∞ and NaN
 //!   scores round-trip losslessly.
 //! * [`progress`] — wall-clock / jobs-per-second / hit-rate reporting.
 //!   Timing is *reporting only*; it never feeds back into results, which
@@ -51,8 +56,11 @@ pub mod progress;
 pub mod record;
 pub mod runner;
 
-pub use cache::ResultCache;
+pub use cache::{CacheStats, ResultCache, ShardStats, SHARD_COUNT};
 pub use cancel::{interrupted_payload, CancelSignal, Interrupted};
-pub use progress::{ExperimentTiming, Stopwatch};
+pub use pool::default_chunk_size;
+pub use progress::{ExperimentTiming, Stopwatch, SweepProgress};
 pub use record::{Cacheable, Record, RecordReader};
-pub use runner::{EvalMode, InterruptHook, SweepJob, SweepRunner, SweepStats, ENGINE_REVISION};
+pub use runner::{
+    host_parallelism, EvalMode, InterruptHook, SweepJob, SweepRunner, SweepStats, ENGINE_REVISION,
+};

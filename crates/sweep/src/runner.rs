@@ -9,8 +9,9 @@
 
 use crate::cache::ResultCache;
 use crate::cancel::{interrupt_unwind, CancelSignal, Interrupted};
-use crate::pool::run_ordered_cancellable;
-use crate::record::Cacheable;
+use crate::pool::{default_chunk_size, run_chunked_cancellable};
+use crate::progress::SweepProgress;
+use crate::record::{Cacheable, Record};
 use axcc_core::fingerprint::{Digest, Fingerprint, Fingerprinter};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -106,6 +107,8 @@ pub struct SweepRunner {
     eval_mode: EvalMode,
     cancel: Option<CancelSignal>,
     interrupt_hook: Option<InterruptHook>,
+    chunk_size: Option<usize>,
+    progress: Option<Arc<SweepProgress>>,
     hits: AtomicU64,
     executed: AtomicU64,
 }
@@ -131,6 +134,8 @@ impl SweepRunner {
             eval_mode: EvalMode::default(),
             cancel: None,
             interrupt_hook: None,
+            chunk_size: None,
+            progress: None,
             hits: AtomicU64::new(0),
             executed: AtomicU64::new(0),
         }
@@ -207,6 +212,24 @@ impl SweepRunner {
         self
     }
 
+    /// Override the dispatch chunk size (`--chunk-size`). `0` restores
+    /// the automatic choice, `max(1, jobs / (8·workers))` clamped — see
+    /// [`default_chunk_size`]. The chunk size never affects results
+    /// (that is the pool's ordering invariant), only how claim and flush
+    /// traffic amortizes.
+    pub fn with_chunk_size(mut self, chunk: usize) -> Self {
+        self.chunk_size = if chunk == 0 { None } else { Some(chunk) };
+        self
+    }
+
+    /// Attach a completed-jobs counter that sweeps update once per
+    /// flushed chunk (relaxed atomic adds — off the dispatch hot path).
+    /// The caller keeps a clone of the `Arc` to read it.
+    pub fn with_progress(mut self, progress: Arc<SweepProgress>) -> Self {
+        self.progress = Some(progress);
+        self
+    }
+
     /// The shared cache handle, for wiring further runners to the same
     /// store (see [`with_cache_handle`](Self::with_cache_handle)).
     pub fn cache_handle(&self) -> Option<Arc<ResultCache>> {
@@ -251,17 +274,32 @@ impl SweepRunner {
         fp.finish()
     }
 
-    /// Worker count actually used for a batch of `jobs` jobs: batches too
-    /// small to amortize thread spawn + claim traffic run inline on the
-    /// calling thread (BENCH_sweep.json measured 0.93–0.96x "speedup" for
-    /// table1/table2-sized batches before this fallback). The output is
-    /// unaffected either way — that is the pool's ordering invariant.
+    /// Worker count actually used for a batch of `jobs` jobs. Two
+    /// fallbacks, neither of which can affect results (that is the
+    /// pool's ordering invariant):
+    ///
+    /// * the configured count is clamped to the host's available
+    ///   parallelism — oversubscribing a smaller host buys nothing but
+    ///   scheduling overhead (the pre-clamp BENCH_sweep.json measured
+    ///   0.95x total "speedup" at 4 workers on a 1-core container);
+    /// * batches too small to amortize thread spawn + claim traffic run
+    ///   inline on the calling thread (0.93–0.96x for table1/table2-sized
+    ///   batches before this fallback).
     fn effective_workers(&self, jobs: usize) -> usize {
-        if jobs < 2 * self.workers {
+        let workers = self.workers.min(host_parallelism());
+        if jobs < 2 * workers {
             1
         } else {
-            self.workers
+            workers
         }
+    }
+
+    /// Chunk size used for a sweep of `jobs` jobs over `workers` workers:
+    /// the explicit override if one was set, otherwise the automatic
+    /// choice.
+    fn chunk_size_for(&self, jobs: usize, workers: usize) -> usize {
+        self.chunk_size
+            .unwrap_or_else(|| default_chunk_size(jobs, workers))
     }
 
     /// Run `eval` over every input, in parallel, answering repeated
@@ -276,24 +314,48 @@ impl SweepRunner {
         T: Cacheable + Send,
         F: Fn(&I) -> T + Sync,
     {
-        let digests: Vec<Digest> = inputs.iter().map(|i| self.job_digest(scope, i)).collect();
-        let outcome = run_ordered_cancellable(
-            self.effective_workers(inputs.len()),
-            inputs,
-            |idx, input| {
-                let digest = digests[idx];
-                if let Some(cache) = &self.cache {
-                    if let Some(hit) = cache.get(&digest).and_then(|r| T::from_record(&r)) {
-                        self.hits.fetch_add(1, Ordering::Relaxed);
-                        return hit;
+        let workers = self.effective_workers(inputs.len());
+        let chunk = self.chunk_size_for(inputs.len(), workers);
+        // Everything per-job lives inside the chunk processor, on the
+        // worker: digests are fingerprinted off the submission thread,
+        // cache writes and hit/executed counters batch up per chunk and
+        // flush once, and the progress counter advances once per chunk.
+        let outcome = run_chunked_cancellable(
+            workers,
+            inputs.len(),
+            chunk,
+            |range, out| {
+                let mut writes: Vec<(Digest, Record)> = Vec::new();
+                let mut hits = 0u64;
+                let mut executed = 0u64;
+                for idx in range {
+                    if self.cancel.as_ref().is_some_and(CancelSignal::is_raised) {
+                        break;
                     }
+                    let input = &inputs[idx];
+                    let digest = self.job_digest(scope, input);
+                    if let Some(cache) = &self.cache {
+                        if let Some(hit) = cache.get(&digest).and_then(|r| T::from_record(&r)) {
+                            hits += 1;
+                            out.push(hit);
+                            continue;
+                        }
+                    }
+                    let result = eval(input);
+                    executed += 1;
+                    if self.cache.is_some() {
+                        writes.push((digest, result.to_record()));
+                    }
+                    out.push(result);
                 }
-                let out = eval(input);
-                self.executed.fetch_add(1, Ordering::Relaxed);
                 if let Some(cache) = &self.cache {
-                    cache.put(digest, out.to_record());
+                    cache.put_batch(writes);
                 }
-                out
+                self.hits.fetch_add(hits, Ordering::Relaxed);
+                self.executed.fetch_add(executed, Ordering::Relaxed);
+                if let Some(progress) = &self.progress {
+                    progress.add(hits + executed);
+                }
             },
             self.cancel.as_ref(),
         );
@@ -350,6 +412,13 @@ fn resolve_workers(workers: usize) -> usize {
     if workers > 0 {
         return workers;
     }
+    host_parallelism()
+}
+
+/// The host's available parallelism (1 if the host won't say). Public so
+/// benchmarks and capacity reports can record the hardware context a
+/// speedup was measured under.
+pub fn host_parallelism() -> usize {
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
@@ -447,10 +516,13 @@ mod tests {
     #[test]
     fn tiny_batches_fall_back_to_serial() {
         let runner = SweepRunner::new(4);
-        // 7 jobs < 2×4 workers: run inline.
-        assert_eq!(runner.effective_workers(7), 1);
-        // 8 jobs ≥ 2×4 workers: fan out.
-        assert_eq!(runner.effective_workers(8), 4);
+        // The configured count is clamped to the host, so compute the
+        // thresholds against what this machine can actually do.
+        let w = 4.min(host_parallelism());
+        // Fewer than 2×w jobs: run inline.
+        assert_eq!(runner.effective_workers((2 * w).saturating_sub(1)), 1);
+        // 2×w jobs or more: fan out to the clamped count.
+        assert_eq!(runner.effective_workers(2 * w), w);
         // A serial runner is unaffected.
         assert_eq!(SweepRunner::serial().effective_workers(1000), 1);
         // …and the fallback never changes results.
@@ -459,6 +531,64 @@ mod tests {
             runner.run_jobs("square", &jobs),
             SweepRunner::serial().run_jobs("square", &jobs)
         );
+    }
+
+    #[test]
+    fn chunk_size_override_never_changes_results() {
+        let jobs: Vec<Square> = (0..40).map(|i| Square(i as f64)).collect();
+        let reference = SweepRunner::serial().run_jobs("square", &jobs);
+        // Chunk 1, a ragged chunk, and one chunk bigger than the sweep.
+        for chunk in [1, 7, 1000] {
+            let runner = SweepRunner::new(4).with_chunk_size(chunk);
+            assert_eq!(runner.run_jobs("square", &jobs), reference, "chunk={chunk}");
+        }
+        // `0` restores the automatic choice.
+        let auto = SweepRunner::new(4).with_chunk_size(3).with_chunk_size(0);
+        assert_eq!(auto.run_jobs("square", &jobs), reference);
+    }
+
+    #[test]
+    fn progress_counts_every_job_once() {
+        let progress = Arc::new(SweepProgress::new());
+        let runner = SweepRunner::new(4)
+            .with_chunk_size(3)
+            .with_progress(progress.clone());
+        let jobs: Vec<Square> = (0..25).map(|i| Square(i as f64)).collect();
+        runner.run_jobs("square", &jobs);
+        assert_eq!(progress.done(), 25);
+        // Cache hits count as completed jobs too.
+        progress.reset();
+        runner.run_jobs("square", &jobs);
+        assert_eq!(progress.done(), 25);
+        assert_eq!(runner.stats().cache_hits, 25);
+    }
+
+    #[test]
+    fn progress_total_matches_completed_under_cancellation() {
+        use crate::cancel::interrupted_payload;
+        use std::sync::atomic::AtomicBool;
+
+        let flag = Arc::new(AtomicBool::new(false));
+        let progress = Arc::new(SweepProgress::new());
+        let runner = SweepRunner::serial()
+            .with_chunk_size(4)
+            .with_cancel(CancelSignal::from_flag(flag.clone()))
+            .with_progress(progress.clone());
+        let inputs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            runner.sweep("cancelprog", &inputs, |&x| {
+                if x == 5.0 {
+                    flag.store(true, Ordering::SeqCst);
+                }
+                x
+            })
+        }))
+        .unwrap_err();
+        let info = interrupted_payload(payload.as_ref()).expect("typed Interrupted payload");
+        // The partial chunk was flushed: the counter agrees exactly with
+        // the completed count the unwind reported.
+        assert_eq!(progress.done(), info.completed as u64);
+        assert!(info.completed < inputs.len());
     }
 
     #[test]

@@ -95,6 +95,55 @@ proptest! {
         let uncached = SweepRunner::without_cache(8).run_jobs("determinism", &jobs);
         prop_assert_eq!(bits(&serial), bits(&uncached));
     }
+
+    /// Chunked dispatch never changes results: random worker counts and
+    /// chunk sizes — including chunk 1 and one chunk larger than the whole
+    /// sweep — reproduce the serial reference bits on real fluid jobs.
+    #[test]
+    fn chunked_dispatch_is_bit_identical_for_any_chunking(
+        alpha in 0.5f64..2.0,
+        workers in 1usize..9,
+        chunk in prop_oneof![Just(1usize), 2usize..8, Just(1000usize)],
+    ) {
+        let jobs = job_grid(alpha, 0.5, 300);
+        let serial = SweepRunner::serial().run_jobs("chunking", &jobs);
+        let chunked = SweepRunner::new(workers)
+            .with_chunk_size(chunk)
+            .run_jobs("chunking", &jobs);
+        prop_assert_eq!(bits(&serial), bits(&chunked));
+        let uncached = SweepRunner::without_cache(workers)
+            .with_chunk_size(chunk)
+            .run_jobs("chunking", &jobs);
+        prop_assert_eq!(bits(&serial), bits(&uncached));
+    }
+}
+
+/// Reference chunk processor for the pool-level property: a cheap pure
+/// function of the job index.
+fn mix_range(range: std::ops::Range<usize>, out: &mut Vec<u64>) {
+    for idx in range {
+        out.push((idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The pool itself (below the runner's serial-fallback heuristics):
+    /// random job counts × worker counts × chunk sizes produce the serial
+    /// reference output, exercising ragged tails, chunks larger than the
+    /// sweep, and single-job chunks under real thread interleaving.
+    #[test]
+    fn pool_chunked_claims_preserve_submission_order(
+        jobs in 0usize..120,
+        workers in 1usize..9,
+        chunk in 1usize..140,
+    ) {
+        use axcc_sweep::pool::run_chunked_cancellable;
+        let reference = run_chunked_cancellable(1, jobs, 1, mix_range, None);
+        let chunked = run_chunked_cancellable(workers, jobs, chunk, mix_range, None);
+        prop_assert_eq!(reference, chunked);
+    }
 }
 
 /// An instrumented job: counts how many times `run` actually executes.

@@ -15,6 +15,14 @@
 //! 3. **Re-entrant double-lock** — acquiring a lock already held on the
 //!    same path: `std::sync::Mutex` is not re-entrant, so this
 //!    self-deadlocks deterministically.
+//! 4. **Per-job synchronization in a dispatch loop** — scoped to the
+//!    sweep engine's claim loops (`crates/sweep/src/pool.rs` and
+//!    `runner.rs`): a loop body that claims work off the atomic cursor
+//!    (`fetch_add`) must not also take a `.lock(` or push through a
+//!    `.send(` per iteration. That round-trip is exactly what chunked
+//!    dispatch removed (results flush once per chunk via a helper);
+//!    reintroducing it is a measured ~15× per-job overhead regression
+//!    (see BENCH_sweep.json's dispatch columns).
 //!
 //! The analysis is name-based: a lock's identity is the field or
 //! binding it is called on (`pending`, `state`, `mem`, `out`), guards
@@ -158,6 +166,9 @@ fn check_crate(index: &ItemIndex<'_>, krate: &str, out: &mut Vec<Diagnostic>) {
         simulate(
             file, f, &guard_fns, &by_name, &fns, &summaries, &mut pairs, out,
         );
+        if is_dispatch_file(&file.rel) {
+            check_dispatch_loops(file, f, out);
+        }
     }
 
     // Inversions: both (a,b) and (b,a) observed somewhere in the crate.
@@ -178,6 +189,67 @@ fn check_crate(index: &ItemIndex<'_>, krate: &str, out: &mut Vec<Diagnostic>) {
                         "`{x}` is acquired here while `{y}` is held, but {f2}:{l2} acquires \
                          them in the opposite order; two threads on these paths deadlock — \
                          pick one global acquisition order"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Is `rel` one of the sweep engine's dispatch files, where claim loops
+/// live and the per-job-synchronization rule applies?
+fn is_dispatch_file(rel: &str) -> bool {
+    rel.ends_with("crates/sweep/src/pool.rs") || rel.ends_with("crates/sweep/src/runner.rs")
+}
+
+/// The dispatch-loop rule (family bug class 4): inside the sweep
+/// engine's claim loops, flag any loop body that both claims work via
+/// `fetch_add` and takes a per-iteration `.lock(` or `.send(`. The check
+/// is lexical — the sanctioned shape keeps the flush lock inside a
+/// helper called once per chunk, so it never appears in the loop body.
+fn check_dispatch_loops(file: &ParsedFile, f: &FnDef, out: &mut Vec<Diagnostic>) {
+    let toks = &file.tokens;
+    let mut seen: BTreeSet<(usize, &'static str)> = BTreeSet::new();
+    for i in f.body.clone() {
+        if !matches!(toks[i].text.as_str(), "loop" | "while" | "for") {
+            continue;
+        }
+        // The body is the first brace after the loop head (loop heads in
+        // this workspace contain no struct literals or block expressions).
+        let Some(open) = (i + 1..f.body.end).find(|&j| toks[j].text == "{") else {
+            continue;
+        };
+        let end = file.matches[open].unwrap_or(f.body.end).min(f.body.end);
+        let mut claims = false;
+        let mut per_job: Vec<(usize, &'static str)> = Vec::new();
+        for k in open + 1..end {
+            if toks[k].kind != TokKind::Ident
+                || toks.get(k + 1).is_none_or(|t| t.text != "(")
+                || k == 0
+                || toks[k - 1].text != "."
+            {
+                continue;
+            }
+            match toks[k].text.as_str() {
+                "fetch_add" => claims = true,
+                "lock" => per_job.push((toks[k].line, "lock")),
+                "send" => per_job.push((toks[k].line, "send")),
+                _ => {}
+            }
+        }
+        if !claims {
+            continue;
+        }
+        for (line, what) in per_job {
+            if seen.insert((line, what)) {
+                out.push(Diagnostic {
+                    file: file.rel.clone(),
+                    line,
+                    rule: Rule::LockDiscipline,
+                    message: format!(
+                        "per-job `.{what}(` inside a `fetch_add` claim loop; dispatch must \
+                         stay chunked — flush results once per chunk through a helper \
+                         instead of paying a lock or channel round-trip per job"
                     ),
                 });
             }
@@ -512,8 +584,12 @@ mod tests {
     use crate::rules::RuleSet;
 
     fn run(src: &str) -> Vec<Diagnostic> {
+        run_at("crates/serve/src/locks.rs", src)
+    }
+
+    fn run_at(rel: &str, src: &str) -> Vec<Diagnostic> {
         let files = vec![FileEntry {
-            parsed: parse("crates/serve/src/locks.rs", &lex(src)),
+            parsed: parse(rel, &lex(src)),
             rules: RuleSet {
                 lock_discipline: true,
                 ..RuleSet::default()
@@ -619,6 +695,58 @@ mod tests {
         );
         assert!(
             diags.iter().any(|d| d.message.contains("opposite order")),
+            "{diags:?}"
+        );
+    }
+
+    const PER_JOB_DISPATCH: &str = "fn drain(c: &AtomicUsize, n: usize, slots: &Mutex<Vec<u64>>, tx: &Sender<usize>) {\n    loop {\n        let idx = c.fetch_add(1, Ordering::Relaxed);\n        if idx >= n {\n            break;\n        }\n        if let Ok(mut g) = slots.lock() {\n            g.push(idx as u64);\n        }\n        let _ = tx.send(idx);\n    }\n}\n";
+
+    #[test]
+    fn per_job_lock_and_send_in_a_claim_loop_are_flagged() {
+        let diags = run_at("crates/sweep/src/pool.rs", PER_JOB_DISPATCH);
+        assert!(
+            diags.iter().any(|d| d.message.contains("per-job `.lock(`")),
+            "{diags:?}"
+        );
+        assert!(
+            diags.iter().any(|d| d.message.contains("per-job `.send(`")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn chunked_dispatch_with_a_helper_flush_is_clean() {
+        let diags = run_at(
+            "crates/sweep/src/pool.rs",
+            "fn drain(c: &AtomicUsize, n: usize, chunk: usize, slots: &Mutex<Vec<u64>>) {\n    let mut local = Vec::new();\n    loop {\n        let start = c.fetch_add(chunk, Ordering::Relaxed);\n        if start >= n {\n            break;\n        }\n        local.clear();\n        fill(start, n.min(start + chunk), &mut local);\n        flush_chunk(slots, start, &mut local);\n    }\n}\n\
+             fn fill(start: usize, end: usize, local: &mut Vec<u64>) {\n    for idx in start..end {\n        local.push(idx as u64);\n    }\n}\n\
+             fn flush_chunk(slots: &Mutex<Vec<u64>>, start: usize, local: &mut Vec<u64>) {\n    if let Ok(mut g) = slots.lock() {\n        let _ = start;\n        g.append(local);\n    }\n}\n",
+        );
+        assert!(
+            !diags.iter().any(|d| d.message.contains("claim loop")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn dispatch_rule_is_scoped_to_the_sweep_dispatch_files() {
+        // The identical per-job shape outside pool.rs/runner.rs is the
+        // other families' business, not the dispatch rule's.
+        let diags = run_at("crates/serve/src/locks.rs", PER_JOB_DISPATCH);
+        assert!(
+            !diags.iter().any(|d| d.message.contains("claim loop")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn lock_without_a_claim_in_the_loop_is_not_a_dispatch_finding() {
+        let diags = run_at(
+            "crates/sweep/src/runner.rs",
+            "fn tally(rows: &[u64], slots: &Mutex<Vec<u64>>) {\n    for &row in rows {\n        if let Ok(mut g) = slots.lock() {\n            g.push(row);\n        }\n    }\n}\n",
+        );
+        assert!(
+            !diags.iter().any(|d| d.message.contains("claim loop")),
             "{diags:?}"
         );
     }

@@ -1,8 +1,10 @@
 //! Fixture mirroring the real `axcc-sweep` crate: the blanket
-//! unordered-type ban yields to scope-aware iteration checks here, and
-//! [`nondet`] feeds map-order iteration into order-sensitive sinks. The
-//! crate also never spawns a thread, so the policy's thread waiver is
-//! stale and must be reported.
+//! unordered-type ban yields to scope-aware iteration checks here,
+//! [`nondet`] feeds map-order iteration into order-sensitive sinks, and
+//! [`pool`] regresses its claim loop to per-job locking. The crate also
+//! never spawns a thread, so the policy's thread waiver is stale and
+//! must be reported.
 #![forbid(unsafe_code)]
 
 pub mod nondet;
+pub mod pool;

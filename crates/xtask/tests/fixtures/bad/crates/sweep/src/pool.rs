@@ -1,0 +1,28 @@
+// A dispatch loop regressed to per-job synchronization: every claim off
+// the atomic cursor takes the slot lock and sends a completion message —
+// the exact round-trip chunked dispatch removed. Both sites must be
+// flagged by the lock-discipline dispatch rule. (No thread is spawned
+// here: the crate's thread waiver must stay reportably stale.)
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+/// Claims one job at a time, locking and messaging per job: flagged.
+pub fn drain(
+    cursor: &AtomicUsize,
+    jobs: usize,
+    slots: &Mutex<Vec<Option<u64>>>,
+    done: &Sender<usize>,
+) {
+    loop {
+        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+        if idx >= jobs {
+            break;
+        }
+        if let Ok(mut guard) = slots.lock() {
+            guard[idx] = Some(idx as u64);
+        }
+        let _ = done.send(idx);
+    }
+}

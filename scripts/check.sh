@@ -24,6 +24,19 @@ echo "==> axcc sweep --only churn --smoke (flow churn: both engines, streaming p
 cargo run -q -p axcc-cli -- sweep --only churn --smoke --jobs 2 \
   --cache-dir target/sweep-cache-ci > /dev/null
 
+echo "==> axcc sweep --only explore --smoke (parameter-space exploration through the sharded store)"
+cargo run -q -p axcc-cli -- sweep --only explore --smoke --jobs 2 --chunk-size 8 \
+  --cache-dir target/sweep-cache-ci --cache-stats > /dev/null
+
+echo "==> bench-sweep --check (snapshot was measured at this engine revision)"
+cargo run -q --release -p axcc-bench --bin bench-sweep -- --check BENCH_sweep.json
+
+echo "==> bench-sweep smoke gate (parallel vs serial at 4 workers on the gauntlet tier)"
+# 0.90 tolerance: on a single-core host both sides run the same serial
+# path, so anything below is dispatch-layer regression, not scheduling.
+cargo run -q --release -p axcc-bench --bin bench-sweep -- --jobs 4 --only gauntlet \
+  --reps 15 --min-speedup 0.90 --out target/BENCH_sweep_smoke.json > /dev/null
+
 echo "==> bench-engine --smoke (streaming ≡ traced identity + speedup gate)"
 cargo run -q --release -p axcc-bench --bin bench-engine -- --smoke \
   --min-speedup 0.95 --out target/BENCH_engine_smoke.json > /dev/null
